@@ -1,0 +1,42 @@
+//! Baseline platform models for the SPASM evaluation.
+//!
+//! The paper measures HiSparse \[7\], Serpens \[25\] (16- and 24-channel
+//! variants) and cuSPARSE on an RTX 3090. None of those artifacts (two
+//! FPGA bitstreams and a GPU) are available here, so this crate models each
+//! as an analytic, bandwidth-centred performance estimate built from:
+//!
+//! * the platform specs of Table III (frequency, bandwidth, peak GFLOP/s);
+//! * the architecture's stream format footprint (both FPGA baselines use
+//!   8-byte-per-nonzero two-level formats — the constant 1.50×-vs-COO line
+//!   of Table VI);
+//! * per-architecture efficiency terms driven by measurable matrix
+//!   features ([`MatrixProfile`]): accumulator hazards on short rows,
+//!   round-robin lane imbalance, x-gather locality and vector-buffer
+//!   reloads.
+//!
+//! The calibration constants live in [`calib`] with their rationale;
+//! EXPERIMENTS.md records the resulting paper-vs-measured geomeans.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calib;
+mod platform;
+mod profile;
+
+pub use platform::{
+    CusparseGpu, HiSparse, Platform, PlatformReport, Serpens,
+};
+pub use profile::MatrixProfile;
+
+/// Average power draw of each platform (Table VII), in watts.
+pub mod power {
+    /// NVIDIA RTX 3090 under cuSPARSE SpMV load.
+    pub const RTX_3090_W: f64 = 333.0;
+    /// HiSparse bitstream on the U280.
+    pub const HISPARSE_W: f64 = 45.0;
+    /// Serpens bitstreams on the U280.
+    pub const SERPENS_W: f64 = 48.0;
+    /// SPASM bitstreams on the U280.
+    pub const SPASM_W: f64 = 58.0;
+}

@@ -1,0 +1,350 @@
+//! The [`Platform`] trait and the three baseline models.
+
+use crate::calib;
+use crate::profile::MatrixProfile;
+
+/// Static specification of a platform (Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformSpec {
+    /// Clock frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Aggregate memory bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Peak arithmetic throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Average power draw in watts (Table VII).
+    pub power_w: f64,
+}
+
+/// Metrics of one SpMV execution on a platform, in the units the paper
+/// reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformReport {
+    /// Platform name.
+    pub name: String,
+    /// Execution time in seconds.
+    pub seconds: f64,
+    /// Throughput `(2·nnz + rows) / time`, GFLOP/s.
+    pub gflops: f64,
+    /// Bandwidth efficiency, (GFLOP/s)/(GB/s).
+    pub bandwidth_eff: f64,
+    /// Energy efficiency, (GFLOP/s)/W.
+    pub energy_eff: f64,
+    /// Fraction of peak compute used.
+    pub compute_utilization: f64,
+    /// Fraction of the platform's aggregate bandwidth used
+    /// (modelled traffic / time / bandwidth).
+    pub bandwidth_utilization: f64,
+}
+
+/// An SpMV execution platform: a spec plus a time estimator.
+pub trait Platform {
+    /// Platform name as it appears in the paper's figures.
+    fn name(&self) -> &str;
+
+    /// Static specification.
+    fn spec(&self) -> PlatformSpec;
+
+    /// Estimated SpMV execution time in seconds for a matrix profile.
+    fn estimate_seconds(&self, profile: &MatrixProfile) -> f64;
+
+    /// Modelled HBM/DRAM traffic for one SpMV, in bytes. The default is
+    /// the common FPGA stream footprint (8 B/nnz plus x and y vectors).
+    fn estimate_traffic_bytes(&self, profile: &MatrixProfile) -> f64 {
+        calib::FPGA_STREAM_BYTES_PER_NNZ * profile.nnz as f64
+            + 4.0 * profile.cols as f64
+            + 8.0 * profile.rows as f64
+    }
+
+    /// Full report with the paper's derived metrics.
+    fn report(&self, profile: &MatrixProfile) -> PlatformReport {
+        let spec = self.spec();
+        let seconds = self.estimate_seconds(profile);
+        let flops = 2.0 * profile.nnz as f64 + profile.rows as f64;
+        let gflops = flops / seconds / 1e9;
+        let bw_used = self.estimate_traffic_bytes(profile) / seconds / 1e9;
+        PlatformReport {
+            name: self.name().to_string(),
+            seconds,
+            gflops,
+            bandwidth_eff: gflops / spec.bandwidth_gbs,
+            energy_eff: gflops / spec.power_w,
+            compute_utilization: gflops / spec.peak_gflops,
+            bandwidth_utilization: bw_used / spec.bandwidth_gbs,
+        }
+    }
+}
+
+/// The Serpens accelerator \[25\]: a general-purpose HBM SpMV design
+/// streaming an 8-byte-per-nonzero format through `a` matrix channels into
+/// row-interleaved accumulator lanes.
+///
+/// # Examples
+///
+/// ```
+/// use spasm_baselines::{MatrixProfile, Platform, Serpens};
+/// use spasm_sparse::Coo;
+///
+/// # fn main() -> Result<(), spasm_sparse::SparseError> {
+/// let m = Coo::from_triplets(64, 64, (0..64).map(|i| (i, i, 1.0)).collect())?;
+/// let profile = MatrixProfile::from_coo(&m);
+/// let report = Serpens::a24().report(&profile);
+/// assert!(report.gflops > 0.0);
+/// assert!(report.gflops < Serpens::a24().spec().peak_gflops);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Serpens {
+    a_channels: u32,
+}
+
+impl Serpens {
+    /// `Serpens_a16`: 16 matrix channels (Table III: 282 MHz, 288 GB/s,
+    /// 72.2 GFLOP/s peak).
+    pub fn a16() -> Self {
+        Serpens { a_channels: 16 }
+    }
+
+    /// `Serpens_a24`: 24 matrix channels (Table III: 276 MHz, 403 GB/s,
+    /// 106 GFLOP/s peak).
+    pub fn a24() -> Self {
+        Serpens { a_channels: 24 }
+    }
+
+    /// Number of HBM channels carrying the matrix stream.
+    pub fn a_channels(&self) -> u32 {
+        self.a_channels
+    }
+}
+
+impl Platform for Serpens {
+    fn name(&self) -> &str {
+        match self.a_channels {
+            16 => "Serpens_a16",
+            24 => "Serpens_a24",
+            _ => "Serpens",
+        }
+    }
+
+    fn spec(&self) -> PlatformSpec {
+        match self.a_channels {
+            16 => PlatformSpec {
+                frequency_mhz: 282.0,
+                bandwidth_gbs: 288.0,
+                peak_gflops: 72.2,
+                power_w: crate::power::SERPENS_W,
+            },
+            _ => PlatformSpec {
+                frequency_mhz: 276.0,
+                bandwidth_gbs: 403.0,
+                peak_gflops: 106.0,
+                power_w: crate::power::SERPENS_W,
+            },
+        }
+    }
+
+    fn estimate_seconds(&self, p: &MatrixProfile) -> f64 {
+        let a_bw = self.a_channels as f64 * calib::HBM_CHANNEL_GBS * 1e9;
+        let stream_bytes = calib::FPGA_STREAM_BYTES_PER_NNZ * p.nnz as f64;
+        let stream_s = stream_bytes / (a_bw * calib::SERPENS_STREAM_EFF);
+        // x/y traffic moves through a fixed set of auxiliary channels,
+        // independent of the matrix-channel count.
+        let aux_bw = calib::SERPENS_AUX_CHANNELS * calib::HBM_CHANNEL_GBS * 1e9;
+        let aux_s = (8.0 * p.rows as f64 + 4.0 * p.cols as f64) / aux_bw;
+        let hazard = 1.0 + calib::SERPENS_HAZARD_K / p.mean_row_len.max(1.0);
+        let lanes = self.a_channels * calib::SERPENS_LANES_PER_CH;
+        let imbalance = p.lane_imbalance(lanes);
+        (stream_s + aux_s) * hazard * imbalance + calib::SERPENS_OVERHEAD_S
+    }
+}
+
+/// The HiSparse accelerator \[7\]: an earlier HLS SpMV design with a
+/// blocked x-vector buffer and a shuffle/arbiter pipeline that stalls more
+/// aggressively than Serpens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HiSparse;
+
+impl HiSparse {
+    /// Creates the HiSparse model.
+    pub fn new() -> Self {
+        HiSparse
+    }
+}
+
+impl Platform for HiSparse {
+    fn name(&self) -> &str {
+        "HiSparse"
+    }
+
+    fn spec(&self) -> PlatformSpec {
+        PlatformSpec {
+            frequency_mhz: 237.0,
+            bandwidth_gbs: 273.0,
+            peak_gflops: 60.7,
+            power_w: crate::power::HISPARSE_W,
+        }
+    }
+
+    fn estimate_seconds(&self, p: &MatrixProfile) -> f64 {
+        let bw = self.spec().bandwidth_gbs * 1e9;
+        let stream_bytes = calib::FPGA_STREAM_BYTES_PER_NNZ * p.nnz as f64;
+        let stream_s = stream_bytes / (bw * calib::HISPARSE_STREAM_EFF);
+        let hazard = 1.0 + calib::HISPARSE_HAZARD_K / p.mean_row_len.max(1.0);
+        let imbalance = p.lane_imbalance(calib::HISPARSE_LANES);
+        // Matrices wider than the x buffer run in column-block passes.
+        let passes = (p.cols as f64 / calib::HISPARSE_XBUF_ELEMS as f64).ceil().max(1.0);
+        let pass_overhead = (passes - 1.0) * calib::HISPARSE_PASS_OVERHEAD_S;
+        stream_s * hazard * imbalance + pass_overhead + calib::HISPARSE_OVERHEAD_S
+    }
+}
+
+/// cuSPARSE CSR SpMV on an NVIDIA RTX 3090: a cache-aware roofline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CusparseGpu;
+
+impl CusparseGpu {
+    /// Creates the GPU model.
+    pub fn new() -> Self {
+        CusparseGpu
+    }
+}
+
+impl Platform for CusparseGpu {
+    fn name(&self) -> &str {
+        "RTX 3090 (cuSPARSE)"
+    }
+
+    fn spec(&self) -> PlatformSpec {
+        PlatformSpec {
+            frequency_mhz: 1560.0,
+            bandwidth_gbs: 935.8,
+            peak_gflops: 35_580.0,
+            power_w: crate::power::RTX_3090_W,
+        }
+    }
+
+    fn estimate_seconds(&self, p: &MatrixProfile) -> f64 {
+        let bw = self.spec().bandwidth_gbs * 1e9 * calib::GPU_STREAM_EFF;
+        // CSR streaming traffic: 8 B/nnz (value + column) + row pointers +
+        // y read/write.
+        let stream_bytes =
+            8.0 * p.nnz as f64 + 4.0 * (p.rows as f64 + 1.0) + 8.0 * p.rows as f64;
+        // x gathers: every distinct touched cache line that misses L2.
+        let gather_bytes = p.lines_per_nnz
+            * p.nnz as f64
+            * calib::GPU_CACHE_LINE_B
+            * (1.0 - calib::GPU_L2_HIT);
+        (stream_bytes + gather_bytes) / bw + calib::GPU_LAUNCH_OVERHEAD_S
+    }
+
+    fn estimate_traffic_bytes(&self, p: &MatrixProfile) -> f64 {
+        8.0 * p.nnz as f64
+            + 4.0 * (p.rows as f64 + 1.0)
+            + 8.0 * p.rows as f64
+            + p.lines_per_nnz
+                * p.nnz as f64
+                * calib::GPU_CACHE_LINE_B
+                * (1.0 - calib::GPU_L2_HIT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spasm_sparse::Coo;
+
+    fn banded_profile(n: u32, band: u32) -> MatrixProfile {
+        let mut t = Vec::new();
+        for i in 0..n {
+            for k in 0..band {
+                let c = (i + k) % n;
+                t.push((i, c, 1.0));
+            }
+        }
+        MatrixProfile::from_coo(&Coo::from_triplets(n, n, t).unwrap())
+    }
+
+    fn skewed_profile(n: u32) -> MatrixProfile {
+        // One megarow plus a sparse diagonal.
+        let mut t: Vec<_> = (0..n).map(|c| (0, c, 1.0)).collect();
+        t.extend((1..n).map(|i| (i, i, 1.0)));
+        MatrixProfile::from_coo(&Coo::from_triplets(n, n, t).unwrap())
+    }
+
+    #[test]
+    fn table_iii_specs() {
+        assert_eq!(HiSparse::new().spec().bandwidth_gbs, 273.0);
+        assert_eq!(Serpens::a16().spec().bandwidth_gbs, 288.0);
+        assert_eq!(Serpens::a24().spec().bandwidth_gbs, 403.0);
+        assert_eq!(CusparseGpu::new().spec().bandwidth_gbs, 935.8);
+        assert_eq!(Serpens::a24().spec().peak_gflops, 106.0);
+    }
+
+    #[test]
+    fn a24_faster_than_a16() {
+        let p = banded_profile(4096, 16);
+        assert!(Serpens::a24().estimate_seconds(&p) < Serpens::a16().estimate_seconds(&p));
+    }
+
+    #[test]
+    fn serpens_beats_hisparse_on_regular_matrices() {
+        let p = banded_profile(4096, 16);
+        assert!(Serpens::a16().estimate_seconds(&p) < HiSparse::new().estimate_seconds(&p));
+    }
+
+    #[test]
+    fn imbalance_slows_fpga_baselines() {
+        let good = banded_profile(4096, 8);
+        let bad = skewed_profile(4096);
+        // Same-ish nnz; the skewed one must be much slower per nnz.
+        let per_nnz = |s: f64, p: &MatrixProfile| s / p.nnz as f64;
+        let g = Serpens::a24().estimate_seconds(&good);
+        let b = Serpens::a24().estimate_seconds(&bad);
+        assert!(per_nnz(b, &bad) > 2.0 * per_nnz(g, &good));
+    }
+
+    #[test]
+    fn gpu_gather_penalty() {
+        let banded = banded_profile(4096, 8);
+        // Scattered columns: every access a new line.
+        let t: Vec<_> = (0..4096u32).map(|i| (i, (i * 997) % 4096, 1.0)).collect();
+        let scattered =
+            MatrixProfile::from_coo(&Coo::from_triplets(4096, 4096, t).unwrap());
+        let g = CusparseGpu::new();
+        assert!(
+            g.estimate_seconds(&scattered) / scattered.nnz as f64
+                > g.estimate_seconds(&banded) / banded.nnz as f64
+        );
+    }
+
+    #[test]
+    fn report_metrics_consistent() {
+        let p = banded_profile(1024, 8);
+        let r = Serpens::a24().report(&p);
+        let spec = Serpens::a24().spec();
+        assert!((r.bandwidth_eff - r.gflops / spec.bandwidth_gbs).abs() < 1e-12);
+        assert!((r.energy_eff - r.gflops / spec.power_w).abs() < 1e-12);
+        assert!(r.gflops > 0.0 && r.gflops < spec.peak_gflops);
+    }
+
+    #[test]
+    fn throughput_below_roofline() {
+        // No platform may exceed bandwidth-limited throughput for its
+        // format (2 FLOPs per 8 streamed bytes).
+        let p = banded_profile(8192, 32);
+        for r in [
+            Serpens::a16().report(&p),
+            Serpens::a24().report(&p),
+            HiSparse::new().report(&p),
+        ] {
+            let spec_bw = match r.name.as_str() {
+                "Serpens_a16" => 16.0 * calib::HBM_CHANNEL_GBS,
+                "Serpens_a24" => 24.0 * calib::HBM_CHANNEL_GBS,
+                _ => 273.0,
+            };
+            let roofline = 2.0 * spec_bw / 8.0;
+            assert!(r.gflops <= roofline, "{}: {} vs {roofline}", r.name, r.gflops);
+        }
+    }
+}

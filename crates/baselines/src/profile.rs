@@ -1,0 +1,131 @@
+//! Matrix features that drive the baseline performance models.
+
+use spasm_sparse::Coo;
+
+/// Structural features of a matrix, extracted once and consumed by every
+/// baseline model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixProfile {
+    /// Number of rows.
+    pub rows: u32,
+    /// Number of columns.
+    pub cols: u32,
+    /// Stored entries.
+    pub nnz: usize,
+    /// Mean stored entries per non-empty row.
+    pub mean_row_len: f64,
+    /// Longest row.
+    pub max_row_len: usize,
+    /// Per-row entry counts (kept for lane-imbalance queries).
+    row_lengths: Vec<usize>,
+    /// Average distinct 16-column cache lines touched per non-zero —
+    /// 1/locality: 1.0 means every access opens a new line, small values
+    /// mean dense line reuse within rows.
+    pub lines_per_nnz: f64,
+}
+
+impl MatrixProfile {
+    /// Extracts the profile from a COO matrix.
+    pub fn from_coo(matrix: &Coo) -> Self {
+        let rows = matrix.rows();
+        let mut row_lengths = vec![0usize; rows as usize];
+        for &r in matrix.row_indices() {
+            row_lengths[r as usize] += 1;
+        }
+        let non_empty = row_lengths.iter().filter(|&&l| l > 0).count().max(1);
+        let nnz = matrix.nnz();
+        let mean_row_len = nnz as f64 / non_empty as f64;
+        let max_row_len = row_lengths.iter().copied().max().unwrap_or(0);
+
+        // Distinct 16-column lines per row: COO iterates (row, col) sorted,
+        // so a line change within a row is a new line.
+        let mut lines = 0u64;
+        let mut last: Option<(u32, u32)> = None;
+        for (r, c, _) in matrix.iter() {
+            let line = (r, c / 16);
+            if last != Some(line) {
+                lines += 1;
+                last = Some(line);
+            }
+        }
+        let lines_per_nnz = if nnz == 0 { 0.0 } else { lines as f64 / nnz as f64 };
+        MatrixProfile {
+            rows,
+            cols: matrix.cols(),
+            nnz,
+            mean_row_len,
+            max_row_len,
+            row_lengths,
+            lines_per_nnz,
+        }
+    }
+
+    /// Load imbalance (`max / mean`, ≥ 1) when rows are dealt round-robin
+    /// across `lanes` processing lanes — how both FPGA baselines
+    /// distribute work.
+    pub fn lane_imbalance(&self, lanes: u32) -> f64 {
+        assert!(lanes > 0, "need at least one lane");
+        if self.nnz == 0 {
+            return 1.0;
+        }
+        let mut loads = vec![0usize; lanes as usize];
+        for (r, &len) in self.row_lengths.iter().enumerate() {
+            loads[r % lanes as usize] += len;
+        }
+        let max = loads.iter().copied().max().unwrap_or(0) as f64;
+        let mean = self.nnz as f64 / lanes as f64;
+        (max / mean).max(1.0)
+    }
+
+    /// Per-row entry counts.
+    pub fn row_lengths(&self) -> &[usize] {
+        &self.row_lengths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let m = Coo::from_triplets(
+            4,
+            64,
+            vec![(0, 0, 1.0), (0, 1, 1.0), (0, 40, 1.0), (2, 5, 1.0)],
+        )
+        .unwrap();
+        let p = MatrixProfile::from_coo(&m);
+        assert_eq!(p.nnz, 4);
+        assert_eq!(p.max_row_len, 3);
+        assert!((p.mean_row_len - 2.0).abs() < 1e-12); // 4 nnz / 2 non-empty rows
+        // row 0 touches lines 0 and 2, row 2 touches line 0 => 3 lines / 4 nnz
+        assert!((p.lines_per_nnz - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_rows_reuse_lines() {
+        let t: Vec<_> = (0u32..64).map(|c| (0, c, 1.0)).collect();
+        let p = MatrixProfile::from_coo(&Coo::from_triplets(1, 64, t).unwrap());
+        assert!((p.lines_per_nnz - 4.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_imbalance_bounds() {
+        // All work in one row: terrible imbalance.
+        let t: Vec<_> = (0u32..100).map(|c| (0, c, 1.0)).collect();
+        let p = MatrixProfile::from_coo(&Coo::from_triplets(8, 100, t).unwrap());
+        assert!((p.lane_imbalance(8) - 8.0).abs() < 1e-12);
+        // Uniform diagonal: perfect balance.
+        let d: Vec<_> = (0u32..64).map(|i| (i, i, 1.0)).collect();
+        let pd = MatrixProfile::from_coo(&Coo::from_triplets(64, 64, d).unwrap());
+        assert!((pd.lane_imbalance(8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let p = MatrixProfile::from_coo(&Coo::new(4, 4));
+        assert_eq!(p.lane_imbalance(4), 1.0);
+        assert_eq!(p.lines_per_nnz, 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the preprocessing stages (the cost side of
+//! Table VIII): pattern analysis, template selection, decomposition-table
+//! construction, Listing 1 vs the DP, and schedule exploration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spasm_format::{SpasmMatrix, SubmatrixMap, TilingSummary};
+use spasm_hw::{perf, HwConfig};
+use spasm_patterns::selection::TopN;
+use spasm_patterns::{
+    find_best_decomp, select_template_set, DecompositionTable, GridSize,
+    PatternHistogram, TemplateSet,
+};
+use spasm_workloads::{Scale, Workload};
+
+fn bench_stages(c: &mut Criterion) {
+    let m = Workload::Chebyshev4.generate(Scale::Small);
+    let hist = PatternHistogram::analyze(&m, GridSize::S4);
+    let candidates = TemplateSet::table_v_candidates();
+    let map = SubmatrixMap::from_coo(&m);
+    let outcome = select_template_set(&hist, &candidates, TopN::Coverage(0.95));
+
+    let mut g = c.benchmark_group("preprocess");
+    g.bench_function("stage1_pattern_analysis", |b| {
+        b.iter(|| PatternHistogram::analyze(&m, GridSize::S4))
+    });
+    g.bench_function("stage1_submatrix_map", |b| b.iter(|| SubmatrixMap::from_coo(&m)));
+    g.bench_function("stage2_template_selection", |b| {
+        b.iter(|| select_template_set(&hist, &candidates, TopN::Coverage(0.95)))
+    });
+    g.bench_function("stage3_decomposition_table", |b| {
+        b.iter(|| DecompositionTable::build(&candidates[0]))
+    });
+    g.bench_function("stage45_schedule_sweep", |b| {
+        b.iter(|| {
+            let mut best = u64::MAX;
+            for tile in [256u32, 1024, 4096, 16384] {
+                let s = TilingSummary::analyze(&map, &outcome.table, tile).unwrap();
+                for cfg in HwConfig::shipped() {
+                    best = best.min(perf::estimate_cycles(&s, &cfg));
+                }
+            }
+            best
+        })
+    });
+    g.bench_function("encode_stream", |b| {
+        b.iter(|| SpasmMatrix::encode(&map, &outcome.table, 1024).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let set = TemplateSet::table_v_set(0);
+    let masks: Vec<u16> = set.masks().collect();
+    let table = DecompositionTable::build(&set);
+    let mut g = c.benchmark_group("decompose");
+    // The paper's Listing 1 exhaustive search vs the equivalent DP lookup.
+    g.bench_function("listing1_exhaustive_one_pattern", |b| {
+        b.iter(|| find_best_decomp(0xBEEF, &masks))
+    });
+    g.bench_function("dp_lookup_one_pattern", |b| b.iter(|| table.decompose(0xBEEF)));
+    g.bench_function("dp_all_65535_patterns", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let mut acc = 0u64;
+                for m in 1u16..=u16::MAX {
+                    acc += u64::from(table.instance_count(m).unwrap());
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_decomposition);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmarks of host-side SpMV across storage formats and of
+//! the simulated accelerator — the substrate behind the throughput
+//! figures.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spasm_format::{SpasmMatrix, SubmatrixMap};
+use spasm_hw::{Accelerator, HwConfig};
+use spasm_patterns::{DecompositionTable, TemplateSet};
+use spasm_sparse::{Bsr, Csc, Csr, Dia, Ell, SpMv};
+use spasm_workloads::{Scale, Workload};
+
+fn bench_formats(c: &mut Criterion) {
+    let m = Workload::Raefsky3.generate(Scale::Small);
+    let n = m.cols() as usize;
+    let x: Vec<f32> = (0..n).map(|i| (i % 13) as f32 * 0.25).collect();
+    let rows = m.rows() as usize;
+
+    let csr = Csr::from(&m);
+    let csc = Csc::from(&m);
+    let bsr = Bsr::from_coo(&m, 4).unwrap();
+    let dia = Dia::from_coo(&m);
+    let ell = Ell::from_coo(&m);
+    let table = DecompositionTable::build(&TemplateSet::table_v_set(0));
+    let spasm = SpasmMatrix::encode(&SubmatrixMap::from_coo(&m), &table, 1024).unwrap();
+
+    let mut g = c.benchmark_group("spmv_host");
+    g.throughput(Throughput::Elements(m.nnz() as u64));
+    macro_rules! bench {
+        ($name:literal, $m:expr) => {
+            g.bench_function($name, |b| {
+                b.iter(|| {
+                    let mut y = vec![0.0f32; rows];
+                    $m.spmv(&x, &mut y).unwrap();
+                    y
+                })
+            });
+        };
+    }
+    bench!("coo", m);
+    bench!("csr", csr);
+    bench!("csc", csc);
+    bench!("bsr4", bsr);
+    bench!("dia", dia);
+    bench!("ell", ell);
+    g.bench_function("spasm_stream", |b| {
+        b.iter(|| {
+            let mut y = vec![0.0f32; rows];
+            spasm.spmv(&x, &mut y).unwrap();
+            y
+        })
+    });
+    g.finish();
+
+    let mut g2 = c.benchmark_group("simulator");
+    g2.throughput(Throughput::Elements(m.nnz() as u64));
+    for cfg in HwConfig::shipped() {
+        let acc = Accelerator::new(cfg.clone());
+        g2.bench_function(&cfg.name, |b| {
+            b.iter(|| {
+                let mut y = vec![0.0f32; rows];
+                acc.run(&spasm, &x, &mut y).unwrap()
+            })
+        });
+    }
+    g2.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

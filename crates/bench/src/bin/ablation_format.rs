@@ -1,0 +1,126 @@
+//! Format ablation (extension): how much of SPASM's throughput comes from
+//! the template-pattern *format* versus the parallel architecture?
+//!
+//! We price a hypothetical "scalar mode" of the same accelerator: the same
+//! PE groups, channels and tiling, but streaming one 8-byte
+//! (value + packed index) element per operation with no templates — each
+//! PE retires at most one scalar MAC per cycle and the value channel feeds
+//! 4 PEs at 8 B per op. Comparing against the real pipeline isolates the
+//! vectorised-template benefit, including where padding erodes it.
+//!
+//! ```text
+//! cargo run --release -p spasm-bench --bin ablation_format [-- --scale paper]
+//! ```
+
+use std::collections::HashMap;
+
+use spasm::Pipeline;
+use spasm_bench::{geomean, rule, scale_from_args, scale_name};
+use spasm_format::SubmatrixMap;
+use spasm_hw::{timing, HwConfig};
+
+/// Scalar-mode issue rate per PE: one MAC per cycle, bounded by the
+/// shared value channel (4 PEs, 8 B per op → `bpc / 32` ops/PE/cycle).
+fn scalar_issue_rate(cfg: &HwConfig) -> f64 {
+    (cfg.channel_bytes_per_cycle() / 32.0).min(1.0)
+}
+
+/// Cycles for scalar mode over the same tiling: per tile, the critical
+/// lane's nnz at the scalar issue rate vs the x prefetch.
+fn scalar_cycles(map: &SubmatrixMap, tile_size: u32, cfg: &HwConfig) -> u64 {
+    let subs_per_tile = tile_size / 4;
+    struct Acc {
+        nnz: u64,
+        lanes: [u64; 16],
+    }
+    let mut tiles: HashMap<(u32, u32), Acc> = HashMap::new();
+    for b in map.blocks() {
+        let key = (b.sub_r / subs_per_tile, b.sub_c / subs_per_tile);
+        let lane = ((b.sub_r % subs_per_tile) as usize) % 16;
+        let acc = tiles.entry(key).or_insert(Acc { nnz: 0, lanes: [0; 16] });
+        let n = u64::from(b.mask.count_ones());
+        acc.nnz += n;
+        acc.lanes[lane] += n;
+    }
+    let mut jobs: Vec<(u32, u32, u64, u64)> = tiles
+        .into_iter()
+        .map(|((tr, tc), acc)| (tr, tc, acc.nnz, acc.lanes.iter().copied().max().unwrap_or(0)))
+        .collect();
+    jobs.sort_unstable();
+
+    let issue = scalar_issue_rate(cfg);
+    let x_load = timing::x_load_cycles(tile_size, cfg);
+    let cost = |max_lane: u64| -> u64 {
+        ((max_lane as f64 / issue).ceil() as u64).max(x_load) + timing::TILE_SWITCH_CYCLES
+    };
+    // LPT by cost across groups, mirroring the real scheduler.
+    jobs.sort_by_key(|&(tr, tc, _, lane)| (std::cmp::Reverse(cost(lane)), tr, tc));
+    let mut loads = vec![0u64; cfg.num_pe_groups as usize];
+    let mut heights: Vec<u32> = Vec::new();
+    let mut seen_rows = std::collections::HashSet::new();
+    for &(tr, _, _, lane) in &jobs {
+        let g = (0..loads.len()).min_by_key(|&i| (loads[i], i)).expect("groups > 0");
+        loads[g] += cost(lane);
+        if seen_rows.insert(tr) {
+            heights
+                .push((map.rows() - (tr * tile_size).min(map.rows())).min(tile_size));
+        }
+    }
+    // First-tile x load is exposed per busy group.
+    for l in &mut loads {
+        if *l > 0 {
+            *l += x_load;
+        }
+    }
+    timing::total_cycles(&loads, timing::y_bytes(heights), cfg)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "Format ablation — template stream vs scalar stream on the same hardware ({})",
+        scale_name(scale)
+    );
+    rule(84);
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "matrix", "scalar GF/s", "SPASM GF/s", "gain", "pad rate", "tile"
+    );
+    rule(84);
+    let pipeline = Pipeline::new();
+    let mut gains = Vec::new();
+    spasm_bench::for_each_workload(scale, |w, m| {
+        let prepared = pipeline.prepare(&m).expect("pipeline");
+        let x = vec![1.0f32; m.cols() as usize];
+        let mut y = vec![0.0f32; m.rows() as usize];
+        let exec = prepared.execute(&x, &mut y).expect("simulate");
+
+        let map = SubmatrixMap::from_coo(&m);
+        let cfg = &prepared.best.config;
+        let sc = scalar_cycles(&map, prepared.best.tile_size, cfg);
+        let scalar_gflops =
+            (2.0 * m.nnz() as f64 + m.rows() as f64) / cfg.cycles_to_seconds(sc) / 1e9;
+
+        let gain = exec.gflops / scalar_gflops;
+        gains.push(gain);
+        println!(
+            "{:<14} {:>12.2} {:>12.2} {:>9.2}x {:>11.1}% {:>10}",
+            w.to_string(),
+            scalar_gflops,
+            exec.gflops,
+            gain,
+            100.0 * prepared.encoded.padding_rate(),
+            prepared.best.tile_size
+        );
+    });
+    rule(84);
+    println!(
+        "geomean gain from the template-pattern format: {:.2}x \
+         (same groups, channels and schedule; only the stream differs)",
+        geomean(gains.iter().copied())
+    );
+    println!(
+        "(the format's 4-wide instances beat the scalar stream unless padding \
+         approaches ~72%, where the vector slots carry mostly zeros)"
+    );
+}

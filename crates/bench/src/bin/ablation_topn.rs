@@ -1,0 +1,64 @@
+//! Design-choice ablation: top-n restriction in template selection
+//! (Algorithm 3).
+//!
+//! The paper scores only the top-n local patterns during selection
+//! because they "account for the majority of patterns" (Section IV-B ②).
+//! This harness sweeps n and reports whether the restricted selection
+//! still picks a portfolio whose *full-histogram* paddings match scoring
+//! everything — i.e. how small n can be before selection quality
+//! degrades.
+//!
+//! ```text
+//! cargo run --release -p spasm-bench --bin ablation_topn [-- --scale paper]
+//! ```
+
+use spasm_bench::{rule, scale_from_args, scale_name};
+use spasm_patterns::selection::TopN;
+use spasm_patterns::{
+    select_template_set, DecompositionTable, GridSize, PatternHistogram, TemplateSet,
+};
+
+const NS: [usize; 5] = [1, 4, 16, 64, 256];
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Top-n selection ablation ({})", scale_name(scale));
+    rule(100);
+    print!("{:<14}", "matrix");
+    for n in NS {
+        print!(" {:>12}", format!("top-{n}"));
+    }
+    println!(" {:>12} {:>8}", "exhaustive", "min n*");
+    rule(100);
+    let candidates = TemplateSet::table_v_candidates();
+    spasm_bench::for_each_workload(scale, |w, m| {
+        let hist = PatternHistogram::analyze(&m, GridSize::S4);
+        // Full-histogram paddings of a portfolio chosen with budget n.
+        let full_paddings = |top_n: TopN| -> u64 {
+            let out = select_template_set(&hist, &candidates, top_n);
+            let table = DecompositionTable::build(&out.set);
+            table.weighted_paddings(hist.iter()).expect("candidates cover")
+        };
+        let exhaustive = full_paddings(TopN::All);
+        print!("{:<14}", w.to_string());
+        let mut min_n: Option<usize> = None;
+        for n in NS {
+            let p = full_paddings(TopN::Count(n));
+            print!(" {:>12}", p);
+            if p == exhaustive && min_n.is_none() {
+                min_n = Some(n);
+            }
+        }
+        println!(
+            " {:>12} {:>8}",
+            exhaustive,
+            min_n.map_or(">256".to_string(), |n| n.to_string())
+        );
+    });
+    rule(100);
+    println!(
+        "(min n* = smallest scored budget whose selected portfolio already achieves the \
+         exhaustive-selection paddings — the paper's claim that scoring only dominant \
+         patterns suffices)"
+    );
+}

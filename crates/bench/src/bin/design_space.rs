@@ -1,0 +1,82 @@
+//! Design-space exploration (Section IV-D3's parameterisation made
+//! exhaustive): every `(NUM_PE_GROUP, NUM_XVEC_CH)` combination that fits
+//! the U280's 32 HBM channels, priced on the whole suite.
+//!
+//! The paper pre-synthesises three bitstreams; this harness shows why
+//! those three are a sensible portfolio — which configurations win on
+//! which global compositions, and whether any un-shipped configuration
+//! would dominate.
+//!
+//! ```text
+//! cargo run --release -p spasm-bench --bin design_space [-- --scale paper]
+//! ```
+
+use std::collections::HashMap;
+
+use spasm::Pipeline;
+use spasm::PipelineOptions;
+use spasm_bench::{rule, scale_from_args, scale_name};
+use spasm_hw::HwConfig;
+
+/// Every configuration fitting 32 channels (`1 + g·(x+6) ≤ 32`), at the
+/// paper's conservative 250 MHz placement estimate for un-synthesised
+/// points (the three shipped bitstreams keep their measured clocks).
+fn all_configs() -> Vec<HwConfig> {
+    let mut out = Vec::new();
+    for g in 1..=4u32 {
+        for x in 1..=8u32 {
+            if 1 + g * (x + 6) > 32 {
+                continue;
+            }
+            let shipped = [(4, 1, 252.0), (3, 4, 265.0), (3, 2, 251.0)]
+                .into_iter()
+                .find(|&(sg, sx, _)| sg == g && sx == x);
+            let freq = shipped.map_or(250.0, |(_, _, f)| f);
+            out.push(HwConfig::new(g, x, freq));
+        }
+    }
+    out
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let configs = all_configs();
+    println!(
+        "Design-space exploration — {} feasible configurations ({})",
+        configs.len(),
+        scale_name(scale)
+    );
+    rule(64);
+    println!("{:<14} {:>14} {:>12} {:>10}", "matrix", "best config", "tile", "GFLOP/s");
+    rule(64);
+
+    let options = PipelineOptions { configs: configs.clone(), ..PipelineOptions::default() };
+    let pipeline = Pipeline::with_options(options);
+    let mut wins: HashMap<String, usize> = HashMap::new();
+    spasm_bench::for_each_workload(scale, |w, m| {
+        let prepared = pipeline.prepare(&m).expect("pipeline");
+        let x = vec![1.0f32; m.cols() as usize];
+        let mut y = vec![0.0f32; m.rows() as usize];
+        let exec = prepared.execute(&x, &mut y).expect("simulate");
+        println!(
+            "{:<14} {:>14} {:>12} {:>10.2}",
+            w.to_string(),
+            prepared.best.config.name,
+            prepared.best.tile_size,
+            exec.gflops
+        );
+        *wins.entry(prepared.best.config.name.clone()).or_insert(0) += 1;
+    });
+    rule(64);
+    let mut tally: Vec<(String, usize)> = wins.into_iter().collect();
+    tally.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    println!("wins per configuration across the suite:");
+    for (name, n) in tally {
+        let shipped = matches!(name.as_str(), "SPASM_4_1" | "SPASM_3_4" | "SPASM_3_2");
+        println!("  {name:<12} {n:>3} {}", if shipped { "(shipped bitstream)" } else { "" });
+    }
+    println!(
+        "(the paper ships SPASM_4_1 / SPASM_3_4 / SPASM_3_2 as its pre-synthesised \
+         portfolio; exploration confirms which global compositions each serves)"
+    );
+}

@@ -1,0 +1,79 @@
+//! Fig. 10 (Section V-C): storage cost of the decomposed matrices under
+//! each fixed Table V template portfolio (sets 0–9) versus dynamic
+//! per-matrix selection.
+//!
+//! ```text
+//! cargo run --release -p spasm-bench --bin fig10_template_selection [-- --scale paper]
+//! ```
+
+use spasm_bench::{geomean, rule, scale_from_args, scale_name};
+use spasm_patterns::selection::TopN;
+use spasm_patterns::{
+    select_template_set, DecompositionTable, GridSize, PatternHistogram, TemplateSet,
+};
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "Fig. 10 — storage cost per template portfolio ({})",
+        scale_name(scale)
+    );
+    let candidates = TemplateSet::table_v_candidates();
+    let tables: Vec<DecompositionTable> =
+        candidates.iter().map(DecompositionTable::build).collect();
+
+    let width = 14 + 11 * 8 + 12 + 10;
+    rule(width);
+    print!("{:<14}", "matrix");
+    for i in 0..candidates.len() {
+        print!(" {:>7}", format!("set-{i}"));
+    }
+    println!(" {:>10} {:>9}", "dynamic", "winner");
+    rule(width);
+
+    let mut per_set_improvement: Vec<Vec<f64>> = vec![Vec::new(); candidates.len() + 1];
+    spasm_bench::for_each_workload(scale, |w, m| {
+        let hist = PatternHistogram::analyze(&m, GridSize::S4);
+        let coo_bytes = 12.0 * m.nnz() as f64;
+        print!("{:<14}", w.to_string());
+        let mut bytes_per_set = Vec::new();
+        for (i, table) in tables.iter().enumerate() {
+            let mut instances = 0u64;
+            for (&mask, &freq) in hist.iter() {
+                instances +=
+                    u64::from(table.instance_count(mask).expect("sets cover")) * freq;
+            }
+            let bytes = (instances * 20) as f64;
+            bytes_per_set.push(bytes);
+            per_set_improvement[i].push(coo_bytes / bytes);
+            print!(" {:>7.2}", bytes / m.nnz() as f64);
+        }
+        // Dynamic = Algorithm 3 over all candidates (full histogram so the
+        // reported storage is exact).
+        let outcome = select_template_set(&hist, &candidates, TopN::All);
+        let winner_idx = candidates
+            .iter()
+            .position(|c| c.name() == outcome.set.name())
+            .expect("winner from candidates");
+        let dyn_bytes = bytes_per_set[winner_idx];
+        per_set_improvement[candidates.len()].push(coo_bytes / dyn_bytes);
+        println!(
+            " {:>10.2} {:>9}",
+            dyn_bytes / m.nnz() as f64,
+            outcome.set.name()
+        );
+    });
+    rule(width);
+    print!("{:<14}", "geomean vs COO");
+    for imps in &per_set_improvement[..candidates.len()] {
+        print!(" {:>6.2}x", geomean(imps.iter().copied()));
+    }
+    println!(
+        " {:>9.2}x",
+        geomean(per_set_improvement[candidates.len()].iter().copied())
+    );
+    println!(
+        "(paper: no one-fits-all portfolio — dynamic selection matches the best \
+         fixed set per matrix; columns are bytes per non-zero)"
+    );
+}

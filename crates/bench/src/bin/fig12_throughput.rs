@@ -1,0 +1,144 @@
+//! Fig. 12: SpMV throughput (GFLOP/s) and bandwidth efficiency
+//! ((GFLOP/s)/(GB/s)) of SPASM versus HiSparse, Serpens_a16, Serpens_a24
+//! and cuSPARSE on an RTX 3090, plus the speedup summaries of
+//! Section V-E1/2. Also prints the platform spec tables (Table III/IV).
+//!
+//! ```text
+//! cargo run --release -p spasm-bench --bin fig12_throughput [-- --scale paper]
+//! ```
+
+use spasm::{spasm_report, Pipeline};
+use spasm_baselines::{CusparseGpu, HiSparse, MatrixProfile, Platform, PlatformReport, Serpens};
+use spasm_bench::{geomean, rule, scale_from_args, scale_name};
+use spasm_hw::HwConfig;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Fig. 12 — throughput & bandwidth efficiency ({})", scale_name(scale));
+
+    println!("\nTable III — baseline platform specs:");
+    let hisparse = HiSparse::new();
+    let a16 = Serpens::a16();
+    let a24 = Serpens::a24();
+    let gpu = CusparseGpu::new();
+    for (name, s) in [
+        ("HiSparse", hisparse.spec()),
+        ("Serpens_a16", a16.spec()),
+        ("Serpens_a24", a24.spec()),
+        ("RTX 3090", gpu.spec()),
+    ] {
+        println!(
+            "  {name:<12} {:>6.0} MHz {:>7.1} GB/s {:>9.1} GFLOP/s peak",
+            s.frequency_mhz, s.bandwidth_gbs, s.peak_gflops
+        );
+    }
+    println!("\nTable IV — SPASM configurations:");
+    for c in HwConfig::shipped() {
+        println!(
+            "  {:<12} {:>6.0} MHz {:>7.1} GB/s {:>9.1} GFLOP/s peak",
+            c.name,
+            c.frequency_mhz,
+            c.bandwidth_gbs(),
+            c.peak_gflops()
+        );
+    }
+
+    println!("\nThroughput (GFLOP/s):");
+    rule(96);
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>12} {:>10} {:>12} {:>8}",
+        "matrix", "HiSparse", "Srp_a16", "Srp_a24", "RTX3090", "SPASM", "cfg", "tile"
+    );
+    rule(96);
+
+    let pipeline = Pipeline::new();
+    let mut spasm_reports: Vec<PlatformReport> = Vec::new();
+    let mut base_reports: Vec<[PlatformReport; 4]> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    spasm_bench::for_each_workload(scale, |w, m| {
+        let profile = MatrixProfile::from_coo(&m);
+        let r_h = hisparse.report(&profile);
+        let r_16 = a16.report(&profile);
+        let r_24 = a24.report(&profile);
+        let r_g = gpu.report(&profile);
+
+        let prepared = pipeline.prepare(&m).expect("pipeline");
+        let x = vec![1.0f32; m.cols() as usize];
+        let mut y = vec![0.0f32; m.rows() as usize];
+        let exec = prepared.execute(&x, &mut y).expect("simulate");
+        let r_s = spasm_report(&prepared, &exec);
+
+        println!(
+            "{:<14} {:>10.2} {:>10.2} {:>12.2} {:>12.2} {:>10.2} {:>12} {:>8}",
+            w.to_string(),
+            r_h.gflops,
+            r_16.gflops,
+            r_24.gflops,
+            r_g.gflops,
+            r_s.gflops,
+            prepared.best.config.name,
+            prepared.best.tile_size
+        );
+        names.push(w.to_string());
+        spasm_reports.push(r_s);
+        base_reports.push([r_h, r_16, r_24, r_g]);
+    });
+    rule(96);
+
+    // Speedup summaries (Section V-E1).
+    println!("\nSPASM speedup over each baseline:");
+    let labels = ["HiSparse", "Serpens_a16", "Serpens_a24", "RTX 3090 (cuSPARSE)"];
+    let paper = [6.74, 3.21, 2.81, 0.75];
+    for (b, label) in labels.iter().enumerate() {
+        let ratios: Vec<f64> = spasm_reports
+            .iter()
+            .zip(&base_reports)
+            .map(|(s, bs)| s.gflops / bs[b].gflops)
+            .collect();
+        let max = ratios.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "  vs {label:<22} geomean {:>5.2}x  max {:>6.2}x   (paper geomean {:.2}x)",
+            geomean(ratios.iter().copied()),
+            max,
+            paper[b]
+        );
+    }
+
+    // Bandwidth efficiency (Section V-E2).
+    println!("\nBandwidth efficiency ((GFLOP/s)/(GB/s)):");
+    rule(76);
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "matrix", "HiSparse", "Srp_a16", "Srp_a24", "RTX3090", "SPASM"
+    );
+    rule(76);
+    for (i, name) in names.iter().enumerate() {
+        let b = &base_reports[i];
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>12.3} {:>12.3} {:>10.3}",
+            name,
+            b[0].bandwidth_eff,
+            b[1].bandwidth_eff,
+            b[2].bandwidth_eff,
+            b[3].bandwidth_eff,
+            spasm_reports[i].bandwidth_eff
+        );
+    }
+    rule(76);
+    let paper_bw = [4.18, 2.21, 2.71, 1.68];
+    println!("\nSPASM bandwidth-efficiency improvement:");
+    for (b, label) in labels.iter().enumerate() {
+        let ratios: Vec<f64> = spasm_reports
+            .iter()
+            .zip(&base_reports)
+            .map(|(s, bs)| s.bandwidth_eff / bs[b].bandwidth_eff)
+            .collect();
+        let max = ratios.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "  vs {label:<22} geomean {:>5.2}x  max {:>6.2}x   (paper geomean {:.2}x)",
+            geomean(ratios.iter().copied()),
+            max,
+            paper_bw[b]
+        );
+    }
+}

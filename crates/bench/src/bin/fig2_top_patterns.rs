@@ -1,0 +1,44 @@
+//! Fig. 2: the top-8 occurring local patterns and their frequencies for
+//! the cfd2 and Chebyshev4 matrices, drawn as 4×4 grids (`#` = non-zero).
+//!
+//! ```text
+//! cargo run --release -p spasm-bench --bin fig2_top_patterns [-- --scale paper]
+//! ```
+
+use spasm_bench::{rule, scale_from_args, scale_name};
+use spasm_patterns::{render_mask, GridSize, PatternHistogram};
+use spasm_workloads::Workload;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Fig. 2 — top-8 local patterns ({})", scale_name(scale));
+    for w in [Workload::Cfd2, Workload::Chebyshev4] {
+        let m = w.generate(scale);
+        let hist = PatternHistogram::analyze(&m, GridSize::S4);
+        let total = hist.total_blocks().max(1);
+        println!("\n{w}:");
+        rule(70);
+        let top = hist.top_n(8);
+        let grids: Vec<Vec<String>> = top
+            .iter()
+            .map(|&(mask, _)| {
+                render_mask(GridSize::S4, mask).lines().map(String::from).collect()
+            })
+            .collect();
+        for row in 0..4 {
+            let cells: Vec<&str> = grids.iter().map(|g| g[row].as_str()).collect();
+            println!("  {}", cells.join("    "));
+        }
+        let shares: Vec<String> = top
+            .iter()
+            .map(|&(_, f)| format!("{:>4.1}%", 100.0 * f as f64 / total as f64))
+            .collect();
+        println!("  {}", shares.join("   "));
+        println!(
+            "  top-8 coverage: {:.2}% of {} occupied submatrices",
+            100.0 * hist.top_n_coverage(8),
+            hist.total_blocks()
+        );
+    }
+    println!("\n(paper: cfd2's top-8 account for 48.21% of all observed patterns)");
+}

@@ -1,0 +1,33 @@
+//! Fig. 3: CDF of the top-n occurring local patterns across the workload
+//! suite — the evidence that a handful of patterns dominates each matrix.
+//!
+//! ```text
+//! cargo run --release -p spasm-bench --bin fig3_pattern_cdf [-- --scale paper]
+//! ```
+
+use spasm_bench::{rule, scale_from_args, scale_name};
+use spasm_patterns::{GridSize, PatternHistogram};
+
+const POINTS: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Fig. 3 — CDF of top-n local patterns ({})", scale_name(scale));
+    rule(14 + 2 + POINTS.len() * 8 + 10);
+    print!("{:<14}", "matrix");
+    for p in POINTS {
+        print!(" {:>7}", format!("n={p}"));
+    }
+    println!(" {:>9}", "distinct");
+    rule(14 + 2 + POINTS.len() * 8 + 10);
+    spasm_bench::for_each_workload(scale, |w, m| {
+        let hist = PatternHistogram::analyze(&m, GridSize::S4);
+        print!("{:<14}", w.to_string());
+        for p in POINTS {
+            print!(" {:>6.1}%", 100.0 * hist.top_n_coverage(p));
+        }
+        println!(" {:>9}", hist.distinct_patterns());
+    });
+    rule(14 + 2 + POINTS.len() * 8 + 10);
+    println!("(series: coverage fraction after the n most frequent patterns)");
+}

@@ -1,0 +1,48 @@
+//! Table II: the workload suite — name, nnz, density, application domain
+//! and the top-8 occurring local patterns with their frequencies.
+//!
+//! ```text
+//! cargo run --release -p spasm-bench --bin table2_workloads [-- --scale paper]
+//! ```
+
+use spasm_bench::{rule, scale_from_args, scale_name};
+use spasm_patterns::{GridSize, PatternHistogram};
+use spasm_sparse::spy;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table II — workload characteristics ({})", scale_name(scale));
+    rule(118);
+    println!(
+        "{:<14} {:>10} {:>10} {:<26} {:<50}",
+        "Name", "nnz", "density", "Application domain", "Top-8 local pattern shares"
+    );
+    rule(118);
+    spasm_bench::for_each_workload(scale, |w, m| {
+        let spec = w.spec();
+        let hist = PatternHistogram::analyze(&m, GridSize::S4);
+        let total = hist.total_blocks().max(1);
+        let shares: Vec<String> = hist
+            .top_n(8)
+            .iter()
+            .map(|&(_, f)| format!("{:.1}%", 100.0 * f as f64 / total as f64))
+            .collect();
+        println!(
+            "{:<14} {:>10} {:>10.2e} {:<26} {:<50}",
+            spec.name,
+            m.nnz(),
+            m.density(),
+            spec.domain,
+            shares.join(" ")
+        );
+        // The Table II "GC" thumbnail, as a 3-line spy plot.
+        for line in spy::render(&m, 24, 3).lines() {
+            println!("{:<14} {line}", "");
+        }
+    });
+    rule(118);
+    println!(
+        "(paper-scale reference: nnz {:.2e}..{:.2e}, density {:.2e}..{:.2e})",
+        1.01e6, 5.27e7, 4.76e-6, 2.45e-2
+    );
+}

@@ -1,0 +1,68 @@
+//! Table VIII: preprocessing and execution time of selected workloads,
+//! broken down by workflow stage — ① analysis, ② selection, ③
+//! decomposition, ④⑤ schedule — plus the simulated execution time and the
+//! break-even iteration count of the paper's amortisation argument.
+//!
+//! The paper times a single Xeon E5-2650 core; absolute host timings here
+//! depend on the build machine, so the row *shape* (which stages dominate,
+//! preprocessing ≫ execution) is the reproduction target.
+//!
+//! ```text
+//! cargo run --release -p spasm-bench --bin table8_preprocessing [-- --scale paper]
+//! ```
+
+use spasm::Pipeline;
+use spasm_baselines::{MatrixProfile, Platform, Serpens};
+use spasm_bench::{rule, scale_from_args, scale_name};
+use spasm_workloads::Workload;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table VIII — preprocessing & execution time ({})", scale_name(scale));
+    rule(108);
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>14}",
+        "name", "①", "②", "③", "④⑤", "encode", "exe (sim)", "break-even it."
+    );
+    rule(108);
+    let pipeline = Pipeline::new();
+    for w in [
+        Workload::MlLaplace,
+        Workload::PFlow742,
+        Workload::Raefsky3,
+        Workload::Chebyshev4,
+    ] {
+        eprintln!("  [gen] {w} ...");
+        let m = w.generate(scale);
+        let prepared = pipeline.prepare(&m).expect("pipeline");
+        let x = vec![1.0f32; m.cols() as usize];
+        let mut y = vec![0.0f32; m.rows() as usize];
+        let exec = prepared.execute(&x, &mut y).expect("simulate");
+
+        // Break-even against Serpens_a24 (Section V-E4's example).
+        let serpens = Serpens::a24().report(&MatrixProfile::from_coo(&m));
+        let gain = serpens.seconds - exec.seconds;
+        let breakeven = if gain > 0.0 {
+            format!("{:.0}", prepared.timings.total().as_secs_f64() / gain)
+        } else {
+            "n/a".to_string()
+        };
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        println!(
+            "{:<12} {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>9.3}ms {:>14}",
+            w.to_string(),
+            ms(prepared.timings.analysis),
+            ms(prepared.timings.selection),
+            ms(prepared.timings.decomposition),
+            ms(prepared.timings.schedule),
+            ms(prepared.timings.encode),
+            exec.seconds * 1e3,
+            breakeven
+        );
+    }
+    rule(108);
+    println!(
+        "(paper at full scale, single Xeon core: e.g. Chebyshev4 ① 732ms ② 358ms \
+         ③ 361ms ④⑤ 421ms, exe 0.33ms, ≈298 iterations to amortise vs Serpens_a24)"
+    );
+}

@@ -1,0 +1,73 @@
+//! Shared plumbing for the figure/table harness binaries.
+//!
+//! Every binary accepts `--scale {small,medium,paper}` (default `medium`)
+//! and regenerates one table or figure of the paper, printing the same
+//! rows/series the paper reports. See DESIGN.md §5 for the experiment
+//! index.
+
+use spasm_workloads::{Scale, Workload};
+
+/// Parses `--scale {small,medium,paper}` from the process arguments
+/// (default: medium).
+///
+/// # Panics
+///
+/// Panics with a usage message on an unknown scale value.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--scale") {
+        None => Scale::Medium,
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("small") => Scale::Small,
+            Some("medium") => Scale::Medium,
+            Some("paper") => Scale::Paper,
+            other => panic!(
+                "usage: --scale {{small,medium,paper}} (got {:?})",
+                other.unwrap_or("<missing>")
+            ),
+        },
+    }
+}
+
+/// Human label for a scale.
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Small => "small (~1/32 edge)",
+        Scale::Medium => "medium (~1/8 edge)",
+        Scale::Paper => "paper (Table II sizes)",
+    }
+}
+
+/// Geometric mean (re-exported for harness summaries).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    spasm_sparse::storage::geometric_mean(values)
+}
+
+/// Iterates the full Table II suite with a progress note on stderr.
+pub fn for_each_workload(scale: Scale, mut f: impl FnMut(Workload, spasm_sparse::Coo)) {
+    for w in Workload::ALL {
+        eprintln!("  [gen] {w} ...");
+        let m = w.generate(scale);
+        f(w, m);
+    }
+}
+
+/// Prints a horizontal rule sized to a table width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_passthrough() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_names() {
+        assert!(scale_name(Scale::Paper).contains("paper"));
+    }
+}

@@ -1,0 +1,226 @@
+//! `spasm` — command-line front-end to the framework.
+//!
+//! ```text
+//! spasm analyze <matrix>                       pattern histogram, CDF, spy plot
+//! spasm select  <matrix> -o <portfolio.txt>    run Algorithm 3, save the portfolio
+//! spasm encode  <matrix> [-p <portfolio.txt>] -o <file>
+//!                                              encode to the binary SPASM stream
+//! spasm info    <file.spasm>                   inspect a binary stream's header
+//! spasm run     <matrix>                       full pipeline + simulated execution
+//! ```
+//!
+//! `<matrix>` is either a Table II workload name (synthetic generator,
+//! e.g. `cfd2`, optionally suffixed `@small` / `@medium` / `@paper`) or a
+//! path to a Matrix Market `.mtx` file.
+
+use std::process::ExitCode;
+
+use spasm::{spasm_report, Pipeline, PipelineOptions};
+use spasm_patterns::TemplateSet;
+use spasm_format::SpasmMatrix;
+use spasm_hw::ExecutionTrace;
+use spasm_patterns::{render_mask, GridSize, PatternHistogram};
+use spasm_sparse::{mm, spy, Coo, StorageCost};
+use spasm_workloads::{Scale, Workload};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  spasm analyze <matrix>\n  spasm select <matrix> -o <portfolio.txt>\n  \
+         spasm encode <matrix> [-p <portfolio.txt>] -o <file>\n  \
+         spasm info <file.spasm>\n  spasm run <matrix>\n\n\
+         <matrix> = Table II workload name (e.g. cfd2, raefsky3@small) or a .mtx path"
+    );
+    ExitCode::from(2)
+}
+
+fn load(arg: &str) -> Result<(String, Coo), Box<dyn std::error::Error>> {
+    let (name, scale) = match arg.split_once('@') {
+        Some((n, "small")) => (n, Scale::Small),
+        Some((n, "medium")) => (n, Scale::Medium),
+        Some((n, "paper")) => (n, Scale::Paper),
+        Some((_, other)) => return Err(format!("unknown scale `{other}`").into()),
+        None => (arg, Scale::Small),
+    };
+    if let Some(w) = Workload::from_name(name) {
+        eprintln!("generating synthetic {name} ({scale:?}) ...");
+        Ok((name.to_string(), w.generate(scale)))
+    } else {
+        Ok((arg.to_string(), mm::read_file(arg)?))
+    }
+}
+
+fn analyze(arg: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let (name, m) = load(arg)?;
+    println!(
+        "{name}: {} x {}, {} non-zeros, density {:.3e}",
+        m.rows(),
+        m.cols(),
+        m.nnz(),
+        m.density()
+    );
+    println!("\nglobal composition (spy plot):");
+    print!("{}", spy::render(&m, 48, 16));
+
+    let hist = PatternHistogram::analyze(&m, GridSize::S4);
+    println!(
+        "\nlocal patterns: {} occupied 4x4 submatrices, {} distinct",
+        hist.total_blocks(),
+        hist.distinct_patterns()
+    );
+    let top = hist.top_n(8);
+    let grids: Vec<Vec<String>> = top
+        .iter()
+        .map(|&(mask, _)| render_mask(GridSize::S4, mask).lines().map(String::from).collect())
+        .collect();
+    for row in 0..4 {
+        let cells: Vec<&str> = grids.iter().map(|g| g[row].as_str()).collect();
+        println!("  {}", cells.join("   "));
+    }
+    let total = hist.total_blocks().max(1);
+    let shares: Vec<String> = top
+        .iter()
+        .map(|&(_, f)| format!("{:>4.1}%", 100.0 * f as f64 / total as f64))
+        .collect();
+    println!("  {}", shares.join("  "));
+    for n in [1usize, 2, 4, 8, 16, 32] {
+        println!("  top-{n:<3} coverage: {:>6.2}%", 100.0 * hist.top_n_coverage(n));
+    }
+    Ok(())
+}
+
+fn select(arg: &str, out: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let (name, m) = load(arg)?;
+    let prepared = Pipeline::new().prepare(&m)?;
+    std::fs::write(out, prepared.selection.set.to_text())?;
+    println!(
+        "{name}: selected {} ({} templates, {} scored paddings) -> {out}",
+        prepared.selection.set.name(),
+        prepared.selection.set.len(),
+        prepared.selection.paddings
+    );
+    Ok(())
+}
+
+fn encode(arg: &str, portfolio: Option<&str>, out: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let (name, m) = load(arg)?;
+    let pipeline = match portfolio {
+        None => Pipeline::new(),
+        Some(path) => {
+            let set = TemplateSet::from_text(&std::fs::read_to_string(path)?)?;
+            println!("using pinned portfolio {} from {path}", set.name());
+            Pipeline::with_options(PipelineOptions::default().fixed_portfolio(set))
+        }
+    };
+    let prepared = pipeline.prepare(&m)?;
+    let bytes = prepared.encoded.to_bytes();
+    std::fs::write(out, &bytes)?;
+    println!(
+        "{name}: encoded {} instances with portfolio {} at tile {} -> {} ({} bytes, \
+         {:.2}x smaller than COO)",
+        prepared.encoded.n_instances(),
+        prepared.selection.set.name(),
+        prepared.best.tile_size,
+        out,
+        bytes.len(),
+        m.storage_bytes() as f64 / prepared.encoded.storage_bytes() as f64
+    );
+    Ok(())
+}
+
+fn info(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let data = std::fs::read(path)?;
+    let m = SpasmMatrix::from_bytes(&data)?;
+    println!("{path}:");
+    println!("  shape        {} x {}", m.rows(), m.cols());
+    println!("  tile size    {}", m.tile_size());
+    println!("  non-zeros    {}", m.nnz());
+    println!("  instances    {}", m.n_instances());
+    println!("  paddings     {} ({:.1}% of slots)", m.paddings(), 100.0 * m.padding_rate());
+    println!("  tiles        {}", m.tiles().len());
+    println!("  portfolio    {} templates", m.template_masks().len());
+    println!("  stream       {} bytes ({} with directory)", m.storage_bytes(), m.storage_bytes_full());
+    Ok(())
+}
+
+fn run(arg: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let (name, m) = load(arg)?;
+    let prepared = Pipeline::new().prepare(&m)?;
+    println!(
+        "{name}: portfolio {}, schedule {} @ tile {} (predicted {} cycles)",
+        prepared.selection.set.name(),
+        prepared.best.config.name,
+        prepared.best.tile_size,
+        prepared.best.predicted_cycles
+    );
+    let x = vec![1.0f32; m.cols() as usize];
+    let mut y = vec![0.0f32; m.rows() as usize];
+    let exec = prepared.execute(&x, &mut y)?;
+    let report = spasm_report(&prepared, &exec);
+    println!(
+        "executed: {:.3} ms, {:.1} GFLOP/s, {:.1}% of peak compute, {:.1}% of bandwidth",
+        exec.seconds * 1e3,
+        report.gflops,
+        100.0 * report.compute_utilization,
+        100.0 * report.bandwidth_utilization
+    );
+    println!(
+        "traffic: {} B matrix stream, {} B x, {} B y",
+        exec.traffic.matrix, exec.traffic.x, exec.traffic.y
+    );
+
+    // Timeline of the chosen schedule.
+    let map = spasm_format::SubmatrixMap::from_coo(&m);
+    let summary = spasm_format::TilingSummary::analyze(
+        &map,
+        &prepared.selection.table,
+        prepared.best.tile_size,
+    )?;
+    let trace = ExecutionTrace::capture(&summary, &prepared.best.config);
+    println!("\nexecution timeline ({} cycles):", trace.total_cycles());
+    print!("{}", trace.render_gantt(72));
+    println!("(# compute-bound, x x-load-bound, . tile switch, y y-channel drain)");
+
+    // HBM memory map of the selected configuration (Fig. 7).
+    use spasm_hw::ChannelRole;
+    let map = prepared.best.config.channel_map();
+    let count = |f: fn(&ChannelRole) -> bool| map.iter().filter(|r| f(r)).count();
+    println!(
+        "\nHBM map ({} channels): 1 y, {} matrix-value, {} position-encoding, \
+         {} merge, {} x-vector",
+        map.len(),
+        count(|r| matches!(r, ChannelRole::MatrixValues { .. })),
+        count(|r| matches!(r, ChannelRole::PositionEncodings { .. })),
+        count(|r| matches!(r, ChannelRole::PartialSumMerge { .. })),
+        count(|r| matches!(r, ChannelRole::XVector { .. })),
+    );
+    println!(
+        "estimated power {:.1} W, energy {:.2} uJ per SpMV",
+        exec.estimated_power_w,
+        exec.energy_j * 1e6
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [cmd, m] if cmd == "analyze" => analyze(m),
+        [cmd, m, flag, out] if cmd == "select" && flag == "-o" => select(m, out),
+        [cmd, m, flag, out] if cmd == "encode" && flag == "-o" => encode(m, None, out),
+        [cmd, m, pf, pfile, flag, out]
+            if cmd == "encode" && pf == "-p" && flag == "-o" =>
+        {
+            encode(m, Some(pfile), out)
+        }
+        [cmd, p] if cmd == "info" => info(p),
+        [cmd, m] if cmd == "run" => run(m),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,74 @@
+use std::fmt;
+
+use spasm_format::FormatError;
+use spasm_hw::OpcodeError;
+
+/// Errors from running the SPASM pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// The encoder rejected the matrix or tile size.
+    Format(FormatError),
+    /// The selected portfolio is not realisable on the VALU datapath.
+    Opcode(OpcodeError),
+    /// An operand has the wrong length.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+        /// Which operand.
+        operand: &'static str,
+    },
+    /// The schedule exploration had nothing to explore.
+    EmptySearchSpace(&'static str),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Format(e) => write!(f, "format error: {e}"),
+            PipelineError::Opcode(e) => write!(f, "opcode error: {e}"),
+            PipelineError::DimensionMismatch { expected, actual, operand } => {
+                write!(f, "vector `{operand}` has length {actual}, expected {expected}")
+            }
+            PipelineError::EmptySearchSpace(what) => {
+                write!(f, "schedule exploration requires at least one {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Format(e) => Some(e),
+            PipelineError::Opcode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FormatError> for PipelineError {
+    fn from(e: FormatError) -> Self {
+        PipelineError::Format(e)
+    }
+}
+
+impl From<OpcodeError> for PipelineError {
+    fn from(e: OpcodeError) -> Self {
+        PipelineError::Opcode(e)
+    }
+}
+
+impl From<spasm_hw::SimError> for PipelineError {
+    fn from(e: spasm_hw::SimError) -> Self {
+        match e {
+            spasm_hw::SimError::DimensionMismatch { expected, actual, operand } => {
+                PipelineError::DimensionMismatch { expected, actual, operand }
+            }
+            spasm_hw::SimError::Opcode(o) => PipelineError::Opcode(o),
+            _ => PipelineError::EmptySearchSpace("unknown simulator error"),
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! The end-to-end SPASM pipeline (workflow ①–⑥, Fig. 6).
+
+use std::time::{Duration, Instant};
+
+use spasm_format::{SpasmMatrix, SubmatrixMap};
+use spasm_hw::{Accelerator, ExecReport, HwConfig};
+use spasm_patterns::selection::{self, TopN};
+use spasm_patterns::{SelectionOutcome, TemplateSet};
+use spasm_sparse::Coo;
+
+use crate::error::PipelineError;
+use crate::schedule::{self, ScheduleCandidate, ScheduleChoice};
+
+/// Pipeline configuration: which portfolios, tile sizes and hardware
+/// configurations the framework may choose among.
+///
+/// The defaults reproduce the paper's full framework. The Fig. 14 ablation
+/// points are built by pinning parts of the search space
+/// ([`PipelineOptions::fixed_portfolio`], [`PipelineOptions::fixed_schedule`]).
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Candidate template portfolios for step ② (default: Table V sets
+    /// 0–9).
+    pub candidates: Vec<TemplateSet>,
+    /// How many top patterns Algorithm 3 scores (default: enough for 95 %
+    /// coverage).
+    pub top_n: TopN,
+    /// Tile sizes for step ⑤ (default: 256…32768 powers of two).
+    pub tile_sizes: Vec<u32>,
+    /// Hardware configurations for step ⑤ (default: the three shipped
+    /// bitstreams of Table IV).
+    pub configs: Vec<HwConfig>,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            candidates: TemplateSet::table_v_candidates(),
+            top_n: TopN::Coverage(0.95),
+            tile_sizes: schedule::default_tile_sizes(),
+            configs: HwConfig::shipped(),
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// Pins step ② to one portfolio (ablation: "fixed template pattern").
+    pub fn fixed_portfolio(mut self, set: TemplateSet) -> Self {
+        self.candidates = vec![set];
+        self
+    }
+
+    /// Pins step ⑤ to one tile size and configuration (ablation: "fixed
+    /// schedule").
+    pub fn fixed_schedule(mut self, tile_size: u32, config: HwConfig) -> Self {
+        self.tile_sizes = vec![tile_size];
+        self.configs = vec![config];
+        self
+    }
+}
+
+/// Wall-clock cost of each preprocessing stage — the rows of Table VIII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTimings {
+    /// ① local pattern analysis.
+    pub analysis: Duration,
+    /// ② template pattern selection.
+    pub selection: Duration,
+    /// ③ local pattern decomposition (all occurring patterns).
+    pub decomposition: Duration,
+    /// ④⑤ global composition analysis + workload schedule exploration.
+    pub schedule: Duration,
+    /// Final encode into the SPASM format (stream materialisation).
+    pub encode: Duration,
+}
+
+impl StageTimings {
+    /// Total preprocessing time.
+    pub fn total(&self) -> Duration {
+        self.analysis + self.selection + self.decomposition + self.schedule + self.encode
+    }
+}
+
+/// The SPASM framework front-end.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    options: PipelineOptions,
+}
+
+impl Pipeline {
+    /// A pipeline with the paper's default search space.
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// A pipeline with custom options.
+    pub fn with_options(options: PipelineOptions) -> Self {
+        Pipeline { options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &PipelineOptions {
+        &self.options
+    }
+
+    /// Runs preprocessing for a *set* of expected input matrices sharing
+    /// one portfolio — the abstract's deployment model: the portfolio (and
+    /// thus the opcode LUT) is optimised once over the whole set, then
+    /// each matrix still gets its own tile-size/configuration schedule.
+    ///
+    /// Matrices are weighted equally in selection regardless of size (see
+    /// [`selection::select_for_matrix_set`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-matrix pipeline errors; an empty slice is an
+    /// [`PipelineError::EmptySearchSpace`].
+    pub fn prepare_set(&self, matrices: &[Coo]) -> Result<Vec<Prepared>, PipelineError> {
+        if matrices.is_empty() {
+            return Err(PipelineError::EmptySearchSpace("input matrix"));
+        }
+        // ① analyse every matrix; ② select one shared portfolio.
+        let maps: Vec<SubmatrixMap> = matrices.iter().map(SubmatrixMap::from_coo).collect();
+        let histograms: Vec<_> = maps.iter().map(SubmatrixMap::histogram).collect();
+        let shared = selection::select_for_matrix_set(
+            &histograms,
+            &self.options.candidates,
+            self.options.top_n,
+        );
+        // ③–⑤ + encode per matrix, pinned to the shared portfolio.
+        let pinned = Pipeline::with_options(
+            self.options.clone().fixed_portfolio(shared.set.clone()),
+        );
+        matrices.iter().map(|m| pinned.prepare(m)).collect()
+    }
+
+    /// Runs preprocessing (steps ①–⑤) on a matrix and returns everything
+    /// needed for execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates format, opcode and search-space errors as
+    /// [`PipelineError`].
+    pub fn prepare(&self, matrix: &Coo) -> Result<Prepared, PipelineError> {
+        let mut timings = StageTimings::default();
+
+        // ① local pattern analysis.
+        let t0 = Instant::now();
+        let map = SubmatrixMap::from_coo(matrix);
+        let histogram = map.histogram();
+        timings.analysis = t0.elapsed();
+
+        // ② template pattern selection.
+        let t1 = Instant::now();
+        let selection =
+            selection::select_template_set(&histogram, &self.options.candidates, self.options.top_n);
+        timings.selection = t1.elapsed();
+
+        // ③ decompose all occurring patterns (the table is built during
+        // selection; walking every occurring pattern materialises the
+        // decomposition cache the encoder uses).
+        let t2 = Instant::now();
+        for (mask, _) in histogram.iter() {
+            selection
+                .table
+                .decompose(*mask)
+                .ok_or(spasm_format::FormatError::UncoverablePattern { mask: *mask })?;
+        }
+        timings.decomposition = t2.elapsed();
+
+        // ④⑤ global composition + schedule exploration.
+        let t3 = Instant::now();
+        let (best, explored) = schedule::explore_schedule(
+            &map,
+            &selection.table,
+            &self.options.tile_sizes,
+            &self.options.configs,
+        )?;
+        timings.schedule = t3.elapsed();
+
+        // Materialise the stream at the selected tile size.
+        let t4 = Instant::now();
+        let encoded = SpasmMatrix::encode(&map, &selection.table, best.tile_size)?;
+        timings.encode = t4.elapsed();
+
+        Ok(Prepared { selection, best, explored, encoded, timings })
+    }
+}
+
+/// The output of preprocessing: ready to execute and inspect.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Step ② outcome: the selected portfolio and its decomposition
+    /// table.
+    pub selection: SelectionOutcome,
+    /// Step ⑤ winner.
+    pub best: ScheduleChoice,
+    /// The full schedule search trace.
+    pub explored: Vec<ScheduleCandidate>,
+    /// The matrix encoded at the winning tile size.
+    pub encoded: SpasmMatrix,
+    /// Preprocessing stage timings (Table VIII).
+    pub timings: StageTimings,
+}
+
+impl Prepared {
+    /// Executes `y += A·x` on the selected hardware configuration
+    /// (step ⑥).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors as [`PipelineError`].
+    pub fn execute(&self, x: &[f32], y: &mut [f32]) -> Result<ExecReport, PipelineError> {
+        let acc = Accelerator::new(self.best.config.clone());
+        Ok(acc.run(&self.encoded, x, y)?)
+    }
+
+    /// The accelerator built for the winning configuration, for callers
+    /// that run many SpMVs (iterative solvers).
+    pub fn accelerator(&self) -> Accelerator {
+        Accelerator::new(self.best.config.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spasm_sparse::SpMv;
+
+    fn block_diag(n_blocks: u32) -> Coo {
+        let mut t = Vec::new();
+        for b in 0..n_blocks {
+            for r in 0..4 {
+                for c in 0..4 {
+                    t.push((b * 4 + r, b * 4 + c, (r + c + 1) as f32));
+                }
+            }
+        }
+        let n = n_blocks * 4;
+        Coo::from_triplets(n, n, t).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_matches_reference() {
+        let a = block_diag(64);
+        let prepared = Pipeline::new().prepare(&a).unwrap();
+        let n = a.rows() as usize;
+        let x: Vec<f32> = (0..n).map(|i| (i % 7) as f32 - 3.0).collect();
+
+        let mut want = vec![1.0f32; n];
+        a.spmv(&x, &mut want).unwrap();
+        let mut got = vec![1.0f32; n];
+        prepared.execute(&x, &mut got).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn block_diag_selects_zero_padding_portfolio() {
+        let a = block_diag(32);
+        let prepared = Pipeline::new().prepare(&a).unwrap();
+        assert_eq!(prepared.selection.paddings, 0);
+        assert_eq!(prepared.encoded.paddings(), 0);
+    }
+
+    #[test]
+    fn ablation_options_pin_the_space() {
+        let a = block_diag(32);
+        let opts = PipelineOptions::default()
+            .fixed_portfolio(TemplateSet::table_v_set(0))
+            .fixed_schedule(1024, HwConfig::spasm_4_1());
+        let prepared = Pipeline::with_options(opts).prepare(&a).unwrap();
+        assert_eq!(prepared.best.tile_size, 1024);
+        assert_eq!(prepared.best.config.name, "SPASM_4_1");
+        assert_eq!(prepared.explored.len(), 1);
+        assert_eq!(prepared.selection.set.name(), "set-0");
+    }
+
+    #[test]
+    fn full_pipeline_never_slower_than_fixed_baseline() {
+        let a = block_diag(256);
+        let fixed = Pipeline::with_options(
+            PipelineOptions::default()
+                .fixed_portfolio(TemplateSet::table_v_set(0))
+                .fixed_schedule(1024, HwConfig::spasm_4_1()),
+        )
+        .prepare(&a)
+        .unwrap();
+        let full = Pipeline::new().prepare(&a).unwrap();
+        let t_fixed = fixed.best.config.cycles_to_seconds(fixed.best.predicted_cycles);
+        let t_full = full.best.config.cycles_to_seconds(full.best.predicted_cycles);
+        assert!(t_full <= t_fixed + 1e-15, "{t_full} vs {t_fixed}");
+    }
+
+    #[test]
+    fn prepare_set_shares_one_portfolio() {
+        // A block-diagonal matrix and an anti-diagonal one: the shared
+        // portfolio must cover both and be identical across outputs.
+        let a = block_diag(16);
+        let mut t = Vec::new();
+        for i in 0..64u32 {
+            t.push((i, 63 - i, 1.0));
+        }
+        let b = Coo::from_triplets(64, 64, t).unwrap();
+        let prepared = Pipeline::new().prepare_set(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(prepared.len(), 2);
+        assert_eq!(
+            prepared[0].selection.set.name(),
+            prepared[1].selection.set.name()
+        );
+        // Both still execute correctly under the shared portfolio.
+        for (m, p) in [(&a, &prepared[0]), (&b, &prepared[1])] {
+            let x = vec![1.0f32; m.cols() as usize];
+            let mut want = vec![0.0f32; m.rows() as usize];
+            m.spmv(&x, &mut want).unwrap();
+            let mut got = vec![0.0f32; m.rows() as usize];
+            p.execute(&x, &mut got).unwrap();
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_set_rejects_empty() {
+        assert!(matches!(
+            Pipeline::new().prepare_set(&[]),
+            Err(PipelineError::EmptySearchSpace(_))
+        ));
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let a = block_diag(16);
+        let prepared = Pipeline::new().prepare(&a).unwrap();
+        assert!(prepared.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn execute_checks_dimensions() {
+        let a = block_diag(4);
+        let prepared = Pipeline::new().prepare(&a).unwrap();
+        let mut y = vec![0.0f32; 16];
+        assert!(matches!(
+            prepared.execute(&[1.0; 3], &mut y),
+            Err(PipelineError::DimensionMismatch { operand: "x", .. })
+        ));
+    }
+}

@@ -1,0 +1,72 @@
+//! # SPASM — Structured Pattern-Aware SpMV
+//!
+//! A reproduction of *"A Hardware-Software Design Framework for SpMV
+//! Acceleration with Flexible Access Pattern Portfolio"* (HPCA 2025): a
+//! hardware–software framework that accelerates `y = A·x + y` by
+//! decomposing a sparse matrix's recurring 4×4 *local patterns* into a
+//! customisable 16-entry *template pattern portfolio*, encoding the matrix
+//! into a hardware-friendly two-level format, and scheduling execution on
+//! a parameterised, HBM-attached accelerator (simulated here).
+//!
+//! This crate is the framework front-end tying together the workflow of
+//! the paper's Fig. 6:
+//!
+//! 1. **① Local pattern analysis** — [`spasm_patterns::PatternHistogram`];
+//! 2. **② Template pattern selection** — Algorithm 3 over the Table V
+//!    candidate portfolios;
+//! 3. **③ Local pattern decomposition** — memoised optimal set cover;
+//! 4. **④ Global composition analysis** — two-level tiling;
+//! 5. **⑤ Workload schedule exploration** — Algorithm 4: sweep tile sizes
+//!    × pre-synthesised hardware configurations with the performance
+//!    model;
+//! 6. **⑥ Hardware execution** — the cycle-approximate simulator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spasm::Pipeline;
+//! use spasm_sparse::Coo;
+//!
+//! # fn main() -> Result<(), spasm::PipelineError> {
+//! // A small block-diagonal matrix.
+//! let mut t = Vec::new();
+//! for b in 0..8u32 {
+//!     for r in 0..4 {
+//!         for c in 0..4 {
+//!             t.push((b * 4 + r, b * 4 + c, 1.0 + (r * 4 + c) as f32));
+//!         }
+//!     }
+//! }
+//! let a = Coo::from_triplets(32, 32, t).unwrap();
+//!
+//! // Preprocess: analyse, select templates, decompose, tile, schedule.
+//! let prepared = Pipeline::new().prepare(&a)?;
+//!
+//! // Execute on the selected hardware configuration.
+//! let x = vec![1.0f32; 32];
+//! let mut y = vec![0.0f32; 32];
+//! let exec = prepared.execute(&x, &mut y)?;
+//! assert!(exec.gflops > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod framework;
+mod report;
+mod schedule;
+
+pub use error::PipelineError;
+pub use framework::{Pipeline, PipelineOptions, Prepared, StageTimings};
+pub use report::spasm_report;
+pub use schedule::{explore_schedule, ScheduleCandidate, ScheduleChoice};
+
+// Re-export the component crates under one roof for downstream users.
+pub use spasm_baselines as baselines;
+pub use spasm_format as format;
+pub use spasm_hw as hw;
+pub use spasm_patterns as patterns;
+pub use spasm_sparse as sparse;

@@ -1,0 +1,53 @@
+//! Uniform reporting: wraps a simulated SPASM execution in the same
+//! [`PlatformReport`] shape the baseline models emit, so the figure
+//! harnesses can tabulate all platforms together.
+
+use spasm_baselines::{power, PlatformReport};
+use spasm_hw::ExecReport;
+
+use crate::framework::Prepared;
+
+/// Builds a [`PlatformReport`] for a SPASM execution.
+///
+/// Bandwidth efficiency is computed against the *selected* configuration's
+/// aggregate bandwidth (the paper computes it per selected hardware
+/// version); energy efficiency uses the measured 58 W of Table VII.
+pub fn spasm_report(prepared: &Prepared, exec: &ExecReport) -> PlatformReport {
+    let cfg = &prepared.best.config;
+    PlatformReport {
+        name: cfg.name.clone(),
+        seconds: exec.seconds,
+        gflops: exec.gflops,
+        bandwidth_eff: exec.gflops / cfg.bandwidth_gbs(),
+        energy_eff: exec.gflops / power::SPASM_W,
+        compute_utilization: exec.gflops / cfg.peak_gflops(),
+        bandwidth_utilization: exec.bandwidth_utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Pipeline;
+    use spasm_sparse::Coo;
+
+    #[test]
+    fn report_fields_consistent() {
+        let mut t = Vec::new();
+        for i in 0..128u32 {
+            t.push((i, i, 2.0));
+            t.push((i, (i + 3) % 128, 1.0));
+        }
+        let a = Coo::from_triplets(128, 128, t).unwrap();
+        let prepared = Pipeline::new().prepare(&a).unwrap();
+        let mut y = vec![0.0f32; 128];
+        let exec = prepared.execute(&vec![1.0; 128], &mut y).unwrap();
+        let report = super::spasm_report(&prepared, &exec);
+        assert_eq!(report.name, prepared.best.config.name);
+        assert!(report.gflops > 0.0);
+        assert!(
+            (report.energy_eff - report.gflops / 58.0).abs() < 1e-12,
+            "Table VII power constant"
+        );
+        assert!(report.compute_utilization <= 1.0);
+    }
+}

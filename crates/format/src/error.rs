@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors produced when encoding or operating on the SPASM format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FormatError {
+    /// Tile size must be a positive multiple of 4, at most
+    /// [`crate::MAX_TILE_SIZE`].
+    InvalidTileSize(u32),
+    /// The portfolio cannot cover an occurring local pattern, so the matrix
+    /// cannot be encoded losslessly.
+    UncoverablePattern {
+        /// The offending 16-bit occupancy mask.
+        mask: u16,
+    },
+    /// A vector operand has the wrong length.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+        /// Which operand (`"x"` or `"y"`).
+        operand: &'static str,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::InvalidTileSize(t) => write!(
+                f,
+                "tile size {t} must be a positive multiple of 4 and at most {}",
+                crate::MAX_TILE_SIZE
+            ),
+            FormatError::UncoverablePattern { mask } => {
+                write!(f, "portfolio cannot cover local pattern {mask:#06x}")
+            }
+            FormatError::DimensionMismatch { expected, actual, operand } => {
+                write!(f, "vector `{operand}` has length {actual}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}

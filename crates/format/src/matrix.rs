@@ -1,0 +1,521 @@
+//! The encoded SPASM matrix: global tile directory + per-tile instance
+//! streams.
+
+use spasm_patterns::DecompositionTable;
+
+use crate::encoding::{PositionEncoding, MAX_TILE_SIZE, PATTERN_EDGE};
+use crate::error::FormatError;
+use crate::submatrix::SubmatrixMap;
+
+/// One entry of the global composition: a non-empty tile in COO order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Tile row index (`matrix_row / tile_size`).
+    pub tile_row: u32,
+    /// Tile column index (`matrix_col / tile_size`).
+    pub tile_col: u32,
+    /// First instance of this tile in the stream.
+    pub first_instance: usize,
+    /// Number of instances belonging to this tile.
+    pub n_instances: usize,
+}
+
+/// A decoded view of one template-pattern instance: the position word plus
+/// its four value slots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemplateInstance {
+    /// The shared position-encoding word.
+    pub encoding: PositionEncoding,
+    /// Four value slots in template cell order (padding slots are 0.0).
+    pub values: [f32; 4],
+}
+
+/// A sparse matrix encoded in the SPASM data format.
+///
+/// Construction validates the tile size and requires a decomposition table
+/// whose portfolio covers every occurring local pattern; see
+/// [`SpasmMatrix::encode`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpasmMatrix {
+    rows: u32,
+    cols: u32,
+    tile_size: u32,
+    nnz: usize,
+    paddings: u64,
+    /// Portfolio template masks in `t_idx` order (the opcode LUT content).
+    templates: Vec<u16>,
+    tiles: Vec<Tile>,
+    encodings: Vec<PositionEncoding>,
+    /// Four values per encoding, concatenated.
+    values: Vec<f32>,
+}
+
+impl SpasmMatrix {
+    /// Encodes a matrix into the SPASM format: decomposes every occupied
+    /// submatrix with `table`, tiles the instances at `tile_size`, and
+    /// emits the COO tile directory plus the position-encoded stream.
+    ///
+    /// Instances within a tile are ordered by `(r_idx, c_idx)`; tiles are
+    /// ordered by `(tile_row, tile_col)`. The final instance of each tile
+    /// carries `CE = 1`, and additionally `RE = 1` when the tile is the
+    /// last of its tile row.
+    ///
+    /// # Errors
+    ///
+    /// * [`FormatError::InvalidTileSize`] unless `tile_size` is a positive
+    ///   multiple of 4 at most [`MAX_TILE_SIZE`];
+    /// * [`FormatError::UncoverablePattern`] if the portfolio cannot cover
+    ///   an occurring local pattern.
+    pub fn encode(
+        map: &SubmatrixMap,
+        table: &DecompositionTable,
+        tile_size: u32,
+    ) -> Result<Self, FormatError> {
+        if tile_size == 0 || !tile_size.is_multiple_of(PATTERN_EDGE) || tile_size > MAX_TILE_SIZE {
+            return Err(FormatError::InvalidTileSize(tile_size));
+        }
+        let subs_per_tile = tile_size / PATTERN_EDGE;
+        let templates: Vec<u16> = table.template_masks().to_vec();
+
+        // Group submatrices by tile. The map is sorted by (sub_r, sub_c),
+        // which sorts by tile_row but interleaves tile columns, so collect
+        // then sort tile keys.
+        let mut order: Vec<usize> = (0..map.blocks().len()).collect();
+        let tile_of = |i: usize| {
+            let b = &map.blocks()[i];
+            (b.sub_r / subs_per_tile, b.sub_c / subs_per_tile)
+        };
+        order.sort_by_key(|&i| {
+            let (tr, tc) = tile_of(i);
+            let b = &map.blocks()[i];
+            (tr, tc, b.sub_r, b.sub_c)
+        });
+
+        let mut tiles: Vec<Tile> = Vec::new();
+        let mut encodings: Vec<PositionEncoding> = Vec::new();
+        let mut values: Vec<f32> = Vec::new();
+        let mut paddings: u64 = 0;
+
+        let mut i = 0usize;
+        while i < order.len() {
+            let (tile_row, tile_col) = tile_of(order[i]);
+            let first_instance = encodings.len();
+            while i < order.len() && tile_of(order[i]) == (tile_row, tile_col) {
+                let b = &map.blocks()[order[i]];
+                let d = table
+                    .decompose(b.mask)
+                    .ok_or(FormatError::UncoverablePattern { mask: b.mask })?;
+                paddings += u64::from(d.paddings);
+                let r_idx = b.sub_r % subs_per_tile;
+                let c_idx = b.sub_c % subs_per_tile;
+                // First template instance covering a cell carries its
+                // value; later overlapping instances pad with zero.
+                let mut remaining = b.mask;
+                for &t_id in &d.template_ids {
+                    let tmask = templates[t_id as usize];
+                    let mut slot_values = [0.0f32; 4];
+                    let mut slot = 0usize;
+                    for bit in 0..16u16 {
+                        if tmask & (1 << bit) != 0 {
+                            if remaining & (1 << bit) != 0 {
+                                slot_values[slot] = b.values[bit as usize];
+                                remaining &= !(1 << bit);
+                            }
+                            slot += 1;
+                        }
+                    }
+                    debug_assert_eq!(slot, 4, "templates have exactly 4 cells");
+                    encodings.push(PositionEncoding::new(c_idx, r_idx, false, false, t_id));
+                    values.extend_from_slice(&slot_values);
+                }
+                i += 1;
+            }
+            tiles.push(Tile {
+                tile_row,
+                tile_col,
+                first_instance,
+                n_instances: encodings.len() - first_instance,
+            });
+        }
+
+        // Stamp CE on each tile's last instance and RE on the last tile of
+        // each tile row.
+        for (t, tile) in tiles.iter().enumerate() {
+            if tile.n_instances == 0 {
+                continue;
+            }
+            let last = tile.first_instance + tile.n_instances - 1;
+            let e = encodings[last];
+            let row_end =
+                t + 1 == tiles.len() || tiles[t + 1].tile_row != tile.tile_row;
+            encodings[last] =
+                PositionEncoding::new(e.c_idx(), e.r_idx(), true, row_end, e.t_idx());
+        }
+
+        Ok(SpasmMatrix {
+            rows: map.rows(),
+            cols: map.cols(),
+            tile_size,
+            nnz: map.nnz(),
+            paddings,
+            templates,
+            tiles,
+            encodings,
+            values,
+        })
+    }
+
+    /// Reassembles a matrix from pre-validated parts (wire
+    /// deserialisation).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw_parts(
+        rows: u32,
+        cols: u32,
+        tile_size: u32,
+        nnz: usize,
+        paddings: u64,
+        templates: Vec<u16>,
+        tiles: Vec<Tile>,
+        encodings: Vec<PositionEncoding>,
+        values: Vec<f32>,
+    ) -> Self {
+        debug_assert_eq!(values.len(), encodings.len() * 4);
+        SpasmMatrix {
+            rows,
+            cols,
+            tile_size,
+            nnz,
+            paddings,
+            templates,
+            tiles,
+            encodings,
+            values,
+        }
+    }
+
+    /// Number of matrix rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of matrix columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// The tile edge length used for the global composition.
+    pub fn tile_size(&self) -> u32 {
+        self.tile_size
+    }
+
+    /// Non-zero count of the source matrix.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Total padded (zero-filled) value slots in the stream.
+    pub fn paddings(&self) -> u64 {
+        self.paddings
+    }
+
+    /// Number of template-pattern instances in the stream.
+    pub fn n_instances(&self) -> usize {
+        self.encodings.len()
+    }
+
+    /// Fraction of value slots that are padding.
+    pub fn padding_rate(&self) -> f64 {
+        let slots = self.n_instances() * 4;
+        if slots == 0 {
+            return 0.0;
+        }
+        self.paddings as f64 / slots as f64
+    }
+
+    /// The portfolio's template masks in `t_idx` order (what the hardware
+    /// loads into the opcode LUT at initialisation).
+    pub fn template_masks(&self) -> &[u16] {
+        &self.templates
+    }
+
+    /// The global composition: non-empty tiles in COO order.
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// The raw position-encoding stream.
+    pub fn encodings(&self) -> &[PositionEncoding] {
+        &self.encodings
+    }
+
+    /// The raw value stream (four values per encoding).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterates the instances of one tile.
+    pub fn tile_instances(&self, tile: &Tile) -> impl Iterator<Item = TemplateInstance> + '_ {
+        let span = tile.first_instance..tile.first_instance + tile.n_instances;
+        span.map(move |i| TemplateInstance {
+            encoding: self.encodings[i],
+            values: [
+                self.values[i * 4],
+                self.values[i * 4 + 1],
+                self.values[i * 4 + 2],
+                self.values[i * 4 + 3],
+            ],
+        })
+    }
+
+    /// Storage cost in bytes under the paper's accounting: 20 bytes per
+    /// instance (one 32-bit position encoding + four `f32` values); the
+    /// first-level tile directory is ignored as negligible, as in
+    /// Section V-D.
+    pub fn storage_bytes(&self) -> usize {
+        20 * self.n_instances()
+    }
+
+    /// Storage cost including the tile directory (12 bytes per non-empty
+    /// tile: two 32-bit tile indices plus a 32-bit instance count) — the
+    /// honest full accounting.
+    pub fn storage_bytes_full(&self) -> usize {
+        self.storage_bytes() + 12 * self.tiles.len()
+    }
+
+    /// Functional SpMV `y += A·x` executed directly on the encoded stream.
+    ///
+    /// This is the software reference for the hardware simulator: the
+    /// per-slot arithmetic matches what each VALU lane performs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] on operand length
+    /// mismatches.
+    pub fn spmv(&self, x: &[f32], y: &mut [f32]) -> Result<(), FormatError> {
+        if x.len() != self.cols as usize {
+            return Err(FormatError::DimensionMismatch {
+                expected: self.cols as usize,
+                actual: x.len(),
+                operand: "x",
+            });
+        }
+        if y.len() != self.rows as usize {
+            return Err(FormatError::DimensionMismatch {
+                expected: self.rows as usize,
+                actual: y.len(),
+                operand: "y",
+            });
+        }
+        for tile in &self.tiles {
+            let row_base = tile.tile_row * self.tile_size;
+            let col_base = tile.tile_col * self.tile_size;
+            for inst in self.tile_instances(tile) {
+                let e = inst.encoding;
+                let tmask = self.templates[e.t_idx() as usize];
+                let r0 = row_base + e.r_idx() * PATTERN_EDGE;
+                let c0 = col_base + e.c_idx() * PATTERN_EDGE;
+                let mut slot = 0usize;
+                for bit in 0..16u32 {
+                    if tmask & (1 << bit) != 0 {
+                        let v = inst.values[slot];
+                        slot += 1;
+                        if v != 0.0 {
+                            let r = r0 + bit / PATTERN_EDGE;
+                            let c = c0 + bit % PATTERN_EDGE;
+                            y[r as usize] += v * x[c as usize];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper computing `A·x` into a fresh zero vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpasmMatrix::spmv`]'s dimension check.
+    pub fn spmv_alloc(&self, x: &[f32]) -> Result<Vec<f32>, FormatError> {
+        let mut y = vec![0.0; self.rows as usize];
+        self.spmv(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Decodes the matrix back to COO (padding slots and explicit zeros are
+    /// dropped).
+    pub fn to_coo(&self) -> spasm_sparse::Coo {
+        let mut triplets = Vec::with_capacity(self.nnz);
+        for tile in &self.tiles {
+            let row_base = tile.tile_row * self.tile_size;
+            let col_base = tile.tile_col * self.tile_size;
+            for inst in self.tile_instances(tile) {
+                let e = inst.encoding;
+                let tmask = self.templates[e.t_idx() as usize];
+                let r0 = row_base + e.r_idx() * PATTERN_EDGE;
+                let c0 = col_base + e.c_idx() * PATTERN_EDGE;
+                let mut slot = 0usize;
+                for bit in 0..16u32 {
+                    if tmask & (1 << bit) != 0 {
+                        let v = inst.values[slot];
+                        slot += 1;
+                        if v != 0.0 {
+                            triplets.push((
+                                r0 + bit / PATTERN_EDGE,
+                                c0 + bit % PATTERN_EDGE,
+                                v,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        spasm_sparse::Coo::from_triplets(self.rows, self.cols, triplets)
+            .expect("decoded entries are in bounds by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spasm_patterns::TemplateSet;
+    use spasm_sparse::{Coo, SpMv};
+
+    fn table() -> DecompositionTable {
+        DecompositionTable::build(&TemplateSet::table_v_set(0))
+    }
+
+    fn encode(coo: &Coo, tile: u32) -> SpasmMatrix {
+        SpasmMatrix::encode(&SubmatrixMap::from_coo(coo), &table(), tile).unwrap()
+    }
+
+    fn sample() -> Coo {
+        let mut t = vec![];
+        // dense 4x4 block at (0,0), diagonal at (8..12, 8..12), scattered
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                t.push((r, c, (r * 4 + c + 1) as f32));
+            }
+        }
+        for i in 0..4u32 {
+            t.push((8 + i, 8 + i, 1.5 * (i + 1) as f32));
+        }
+        t.push((14, 2, -3.0));
+        Coo::from_triplets(16, 16, t).unwrap()
+    }
+
+    #[test]
+    fn tile_size_validation() {
+        let map = SubmatrixMap::from_coo(&sample());
+        assert!(matches!(
+            SpasmMatrix::encode(&map, &table(), 0),
+            Err(FormatError::InvalidTileSize(0))
+        ));
+        assert!(matches!(
+            SpasmMatrix::encode(&map, &table(), 6),
+            Err(FormatError::InvalidTileSize(6))
+        ));
+        assert!(matches!(
+            SpasmMatrix::encode(&map, &table(), MAX_TILE_SIZE + 4),
+            Err(FormatError::InvalidTileSize(_))
+        ));
+        assert!(SpasmMatrix::encode(&map, &table(), MAX_TILE_SIZE).is_ok());
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let coo = sample();
+        for tile in [4, 8, 16] {
+            assert_eq!(encode(&coo, tile).to_coo(), coo, "tile {tile}");
+        }
+    }
+
+    #[test]
+    fn spmv_matches_reference() {
+        let coo = sample();
+        let x: Vec<f32> = (0..16).map(|i| (i as f32) * 0.5 - 3.0).collect();
+        let mut want = vec![1.0f32; 16];
+        coo.spmv(&x, &mut want).unwrap();
+        for tile in [4, 8, 16] {
+            let mut got = vec![1.0f32; 16];
+            encode(&coo, tile).spmv(&x, &mut got).unwrap();
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-4, "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn ce_re_flags() {
+        let coo = sample();
+        let m = encode(&coo, 8); // 16x16 with 8-tiles -> 2x2 tile grid
+        // Tiles present: (0,0) block, (1,1) diag, (1,0) scattered entry.
+        let coords: Vec<_> = m.tiles().iter().map(|t| (t.tile_row, t.tile_col)).collect();
+        assert_eq!(coords, vec![(0, 0), (1, 0), (1, 1)]);
+        for tile in m.tiles() {
+            let insts: Vec<_> = m.tile_instances(tile).collect();
+            // CE set exactly on the last instance
+            for (k, inst) in insts.iter().enumerate() {
+                assert_eq!(inst.encoding.ce(), k + 1 == insts.len());
+            }
+        }
+        // RE on last tile of each tile row
+        let last_of_rows: Vec<bool> = m
+            .tiles()
+            .iter()
+            .map(|t| {
+                m.tile_instances(t).last().unwrap().encoding.re()
+            })
+            .collect();
+        assert_eq!(last_of_rows, vec![true, false, true]);
+    }
+
+    #[test]
+    fn full_block_uses_four_instances_no_padding() {
+        let mut t = vec![];
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                t.push((r, c, 1.0));
+            }
+        }
+        let coo = Coo::from_triplets(4, 4, t).unwrap();
+        let m = encode(&coo, 4);
+        assert_eq!(m.n_instances(), 4);
+        assert_eq!(m.paddings(), 0);
+        assert_eq!(m.storage_bytes(), 80);
+        assert_eq!(m.padding_rate(), 0.0);
+    }
+
+    #[test]
+    fn lone_entry_pads_three_slots() {
+        let coo = Coo::from_triplets(4, 4, vec![(2, 1, 5.0)]).unwrap();
+        let m = encode(&coo, 4);
+        assert_eq!(m.n_instances(), 1);
+        assert_eq!(m.paddings(), 3);
+        assert!((m.padding_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let m = encode(&sample(), 8);
+        assert_eq!(m.storage_bytes(), 20 * m.n_instances());
+        assert_eq!(m.storage_bytes_full(), m.storage_bytes() + 12 * m.tiles().len());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let m = encode(&sample(), 8);
+        let mut y = [0.0; 16];
+        assert!(m.spmv(&[0.0; 3], &mut y).is_err());
+        let mut y_short = vec![0.0; 3];
+        assert!(m.spmv(&[0.0; 16], &mut y_short).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_encodes_empty() {
+        let m = encode(&Coo::new(8, 8), 8);
+        assert_eq!(m.n_instances(), 0);
+        assert_eq!(m.tiles().len(), 0);
+        assert_eq!(m.spmv_alloc(&[1.0; 8]).unwrap(), vec![0.0; 8]);
+    }
+}

@@ -1,0 +1,325 @@
+//! Binary (wire/HBM) layout of the SPASM format.
+//!
+//! This is the byte stream a host would DMA into the accelerator's HBM
+//! channels: a fixed header, the portfolio's template masks (the opcode
+//! LUT content), the COO tile directory, then per tile the interleaved
+//! position-encoding words and value quadruples, all little-endian.
+//!
+//! Layout:
+//!
+//! ```text
+//! header   : magic "SPSM" | version u32 | rows u32 | cols u32 |
+//!            tile_size u32 | nnz u64 | paddings u64 |
+//!            n_templates u32 | n_tiles u32 | n_instances u64
+//! templates: n_templates × u16 (padded to 4-byte alignment)
+//! tiles    : n_tiles × (tile_row u32 | tile_col u32 | n_instances u32)
+//! stream   : n_instances × (encoding u32 | 4 × f32)
+//! ```
+//!
+//! Deserialisation validates the header, directory consistency and field
+//! ranges, so a corrupted stream is rejected rather than mis-executed.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::encoding::PositionEncoding;
+use crate::matrix::{SpasmMatrix, Tile};
+
+/// Magic number opening every serialised SPASM stream.
+pub const MAGIC: [u8; 4] = *b"SPSM";
+
+/// Current wire-format version.
+pub const VERSION: u32 = 1;
+
+/// Size of the fixed header in bytes.
+pub const HEADER_BYTES: usize = 52;
+
+/// Errors when decoding a serialised stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The stream does not start with the SPASM magic.
+    BadMagic,
+    /// Unsupported wire-format version.
+    BadVersion(u32),
+    /// The stream ended before the declared payload.
+    Truncated {
+        /// What was being read.
+        reading: &'static str,
+    },
+    /// A header or directory field is inconsistent.
+    Inconsistent(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "stream does not start with the SPSM magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::Truncated { reading } => {
+                write!(f, "stream truncated while reading {reading}")
+            }
+            WireError::Inconsistent(what) => write!(f, "inconsistent stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl SpasmMatrix {
+    /// Serialises the matrix into its wire/HBM byte layout.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spasm_format::{SpasmMatrix, SubmatrixMap};
+    /// use spasm_patterns::{DecompositionTable, TemplateSet};
+    /// use spasm_sparse::Coo;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let coo = Coo::from_triplets(4, 4, vec![(1, 2, 3.0)])?;
+    /// let table = DecompositionTable::build(&TemplateSet::table_v_set(0));
+    /// let m = SpasmMatrix::encode(&SubmatrixMap::from_coo(&coo), &table, 4)?;
+    /// let bytes = m.to_bytes();
+    /// assert_eq!(SpasmMatrix::from_bytes(&bytes)?, m);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_bytes(&self) -> Bytes {
+        let n_instances = self.n_instances();
+        let mut buf = BytesMut::with_capacity(
+            HEADER_BYTES
+                + self.template_masks().len() * 2
+                + self.tiles().len() * 12
+                + n_instances * 20,
+        );
+        buf.put_slice(&MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.rows());
+        buf.put_u32_le(self.cols());
+        buf.put_u32_le(self.tile_size());
+        buf.put_u64_le(self.nnz() as u64);
+        buf.put_u64_le(self.paddings());
+        buf.put_u32_le(self.template_masks().len() as u32);
+        buf.put_u32_le(self.tiles().len() as u32);
+        buf.put_u64_le(n_instances as u64);
+        for &mask in self.template_masks() {
+            buf.put_u16_le(mask);
+        }
+        if self.template_masks().len() % 2 == 1 {
+            buf.put_u16_le(0); // alignment pad
+        }
+        for t in self.tiles() {
+            buf.put_u32_le(t.tile_row);
+            buf.put_u32_le(t.tile_col);
+            buf.put_u32_le(t.n_instances as u32);
+        }
+        let values = self.values();
+        for (i, e) in self.encodings().iter().enumerate() {
+            buf.put_u32_le(e.bits());
+            for k in 0..4 {
+                buf.put_f32_le(values[i * 4 + k]);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Reconstructs a matrix from its wire layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on bad magic/version, truncation, or any
+    /// internal inconsistency (directory sums, field ranges).
+    pub fn from_bytes(mut data: &[u8]) -> Result<SpasmMatrix, WireError> {
+        fn need(data: &[u8], n: usize, reading: &'static str) -> Result<(), WireError> {
+            if data.len() < n {
+                Err(WireError::Truncated { reading })
+            } else {
+                Ok(())
+            }
+        }
+        need(data, HEADER_BYTES, "header")?;
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if magic != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = data.get_u32_le();
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let rows = data.get_u32_le();
+        let cols = data.get_u32_le();
+        let tile_size = data.get_u32_le();
+        let nnz = data.get_u64_le() as usize;
+        let paddings = data.get_u64_le();
+        let n_templates = data.get_u32_le() as usize;
+        let n_tiles = data.get_u32_le() as usize;
+        let n_instances = data.get_u64_le() as usize;
+
+        if tile_size == 0 || !tile_size.is_multiple_of(4) || tile_size > crate::MAX_TILE_SIZE {
+            return Err(WireError::Inconsistent("tile size out of range"));
+        }
+        if n_templates == 0 || n_templates > 16 {
+            return Err(WireError::Inconsistent("template count out of range"));
+        }
+        if 4 * n_instances < nnz {
+            return Err(WireError::Inconsistent("fewer value slots than non-zeros"));
+        }
+
+        let padded_templates = n_templates + n_templates % 2;
+        need(data, padded_templates * 2, "template masks")?;
+        let mut templates = Vec::with_capacity(n_templates);
+        for i in 0..padded_templates {
+            let m = data.get_u16_le();
+            if i < n_templates {
+                templates.push(m);
+            }
+        }
+
+        need(data, n_tiles * 12, "tile directory")?;
+        let mut tiles = Vec::with_capacity(n_tiles);
+        let mut cursor = 0usize;
+        let mut last: Option<(u32, u32)> = None;
+        for _ in 0..n_tiles {
+            let tile_row = data.get_u32_le();
+            let tile_col = data.get_u32_le();
+            let count = data.get_u32_le() as usize;
+            if let Some(prev) = last {
+                if prev >= (tile_row, tile_col) {
+                    return Err(WireError::Inconsistent("tile directory not sorted"));
+                }
+            }
+            last = Some((tile_row, tile_col));
+            tiles.push(Tile {
+                tile_row,
+                tile_col,
+                first_instance: cursor,
+                n_instances: count,
+            });
+            cursor += count;
+        }
+        if cursor != n_instances {
+            return Err(WireError::Inconsistent("tile directory does not sum to stream"));
+        }
+
+        need(data, n_instances * 20, "instance stream")?;
+        let mut encodings = Vec::with_capacity(n_instances);
+        let mut values = Vec::with_capacity(n_instances * 4);
+        for _ in 0..n_instances {
+            let e = PositionEncoding::from_bits(data.get_u32_le());
+            if usize::from(e.t_idx()) >= n_templates {
+                return Err(WireError::Inconsistent("t_idx beyond portfolio"));
+            }
+            encodings.push(e);
+            for _ in 0..4 {
+                values.push(data.get_f32_le());
+            }
+        }
+
+        Ok(SpasmMatrix::from_raw_parts(
+            rows, cols, tile_size, nnz, paddings, templates, tiles, encodings, values,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::submatrix::SubmatrixMap;
+    use spasm_patterns::{DecompositionTable, TemplateSet};
+    use spasm_sparse::Coo;
+
+    fn sample() -> SpasmMatrix {
+        let mut t = vec![];
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                t.push((r, c, (r * 4 + c + 1) as f32));
+            }
+        }
+        t.push((10, 3, -2.5));
+        t.push((3, 12, 7.0));
+        let coo = Coo::from_triplets(16, 16, t).unwrap();
+        let table = DecompositionTable::build(&TemplateSet::table_v_set(0));
+        SpasmMatrix::encode(&SubmatrixMap::from_coo(&coo), &table, 8).unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = sample();
+        let bytes = m.to_bytes();
+        let back = SpasmMatrix::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn stream_size_matches_accounting() {
+        let m = sample();
+        let bytes = m.to_bytes();
+        let expected = HEADER_BYTES
+            + (m.template_masks().len() + m.template_masks().len() % 2) * 2
+            + m.tiles().len() * 12
+            + m.n_instances() * 20;
+        assert_eq!(bytes.len(), expected);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut b = sample().to_bytes().to_vec();
+        b[0] = b'X';
+        assert_eq!(SpasmMatrix::from_bytes(&b), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut b = sample().to_bytes().to_vec();
+        b[4] = 99;
+        assert!(matches!(SpasmMatrix::from_bytes(&b), Err(WireError::BadVersion(99))));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_boundary() {
+        let b = sample().to_bytes();
+        for cut in [3usize, 20, 47, 50, 70, b.len() - 1] {
+            let r = SpasmMatrix::from_bytes(&b[..cut.min(b.len() - 1)]);
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_directory_rejected() {
+        let m = sample();
+        let mut b = m.to_bytes().to_vec();
+        // The tile directory starts after header + padded templates;
+        // corrupt a tile's instance count.
+        let dir_off =
+            HEADER_BYTES + (m.template_masks().len() + m.template_masks().len() % 2) * 2;
+        b[dir_off + 8] = 0xFF;
+        assert!(matches!(
+            SpasmMatrix::from_bytes(&b),
+            Err(WireError::Inconsistent(_)) | Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_t_idx_rejected() {
+        let m = sample();
+        let mut b = m.to_bytes().to_vec();
+        // Declare a 15-template portfolio (the 16-slot padded layout is
+        // unchanged) and point the first instance at t_idx 15.
+        b[36] = 15; // n_templates, little-endian u32 at offset 36
+        let stream_off = HEADER_BYTES + 16 * 2 + m.tiles().len() * 12;
+        b[stream_off + 3] = 0xF0 | (b[stream_off + 3] & 0x0F);
+        assert_eq!(
+            SpasmMatrix::from_bytes(&b),
+            Err(WireError::Inconsistent("t_idx beyond portfolio"))
+        );
+    }
+
+    #[test]
+    fn decoded_stream_executes_identically() {
+        let m = sample();
+        let back = SpasmMatrix::from_bytes(&m.to_bytes()).unwrap();
+        let x: Vec<f32> = (0..16).map(|i| i as f32 * 0.5).collect();
+        assert_eq!(m.spmv_alloc(&x).unwrap(), back.spmv_alloc(&x).unwrap());
+    }
+}

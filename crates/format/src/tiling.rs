@@ -1,0 +1,276 @@
+//! Global composition analysis — workflow step ④ — without materialising
+//! the value stream.
+//!
+//! Algorithm 4 re-tiles the matrix for every candidate tile size; the
+//! expensive parts (submatrix masks and decomposition instance counts) are
+//! independent of the tile size, so [`TilingSummary`] only counts instances
+//! per tile and leaves value movement to the final encode.
+
+use std::collections::HashMap;
+
+use spasm_patterns::DecompositionTable;
+
+use crate::encoding::{MAX_TILE_SIZE, PATTERN_EDGE};
+use crate::error::FormatError;
+use crate::submatrix::SubmatrixMap;
+
+/// PE lanes a tile's instances spread across (`r_idx mod 16`), matching
+/// the 16 PEs of a group.
+pub const TILE_LANES: usize = 16;
+
+/// Instance statistics of one non-empty tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileStats {
+    /// Tile row index.
+    pub tile_row: u32,
+    /// Tile column index.
+    pub tile_col: u32,
+    /// Template instances this tile will emit.
+    pub n_instances: usize,
+    /// Occupied 4×4 submatrices inside the tile.
+    pub n_submatrices: usize,
+    /// Instances on the tile's most-loaded PE lane (`r_idx mod 16`) — the
+    /// tile's critical path when a 16-PE group processes it.
+    pub max_lane_instances: usize,
+}
+
+/// The global composition of a matrix at one tile size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilingSummary {
+    tile_size: u32,
+    matrix_rows: u32,
+    tile_rows: u32,
+    tile_cols: u32,
+    n_instances: usize,
+    tiles: Vec<TileStats>,
+}
+
+impl TilingSummary {
+    /// Computes the tile directory for `tile_size`, counting the instances
+    /// each tile will emit under `table`'s portfolio.
+    ///
+    /// # Errors
+    ///
+    /// * [`FormatError::InvalidTileSize`] for non-multiple-of-4, zero, or
+    ///   oversized tile sizes;
+    /// * [`FormatError::UncoverablePattern`] if some occurring pattern
+    ///   cannot be decomposed.
+    pub fn analyze(
+        map: &SubmatrixMap,
+        table: &DecompositionTable,
+        tile_size: u32,
+    ) -> Result<Self, FormatError> {
+        if tile_size == 0 || !tile_size.is_multiple_of(PATTERN_EDGE) || tile_size > MAX_TILE_SIZE {
+            return Err(FormatError::InvalidTileSize(tile_size));
+        }
+        let subs_per_tile = tile_size / PATTERN_EDGE;
+        struct Acc {
+            instances: usize,
+            submatrices: usize,
+            lanes: [usize; TILE_LANES],
+        }
+        let mut per_tile: HashMap<(u32, u32), Acc> = HashMap::new();
+        for b in map.blocks() {
+            let inst = table
+                .instance_count(b.mask)
+                .ok_or(FormatError::UncoverablePattern { mask: b.mask })? as usize;
+            let key = (b.sub_r / subs_per_tile, b.sub_c / subs_per_tile);
+            let lane = ((b.sub_r % subs_per_tile) as usize) % TILE_LANES;
+            let acc = per_tile.entry(key).or_insert(Acc {
+                instances: 0,
+                submatrices: 0,
+                lanes: [0; TILE_LANES],
+            });
+            acc.instances += inst;
+            acc.submatrices += 1;
+            acc.lanes[lane] += inst;
+        }
+        let mut tiles: Vec<TileStats> = per_tile
+            .into_iter()
+            .map(|((tile_row, tile_col), acc)| TileStats {
+                tile_row,
+                tile_col,
+                n_instances: acc.instances,
+                n_submatrices: acc.submatrices,
+                max_lane_instances: acc.lanes.iter().copied().max().unwrap_or(0),
+            })
+            .collect();
+        tiles.sort_unstable_by_key(|t| (t.tile_row, t.tile_col));
+        let n_instances = tiles.iter().map(|t| t.n_instances).sum();
+        Ok(TilingSummary {
+            tile_size,
+            matrix_rows: map.rows(),
+            tile_rows: map.rows().div_ceil(tile_size),
+            tile_cols: map.cols().div_ceil(tile_size),
+            n_instances,
+            tiles,
+        })
+    }
+
+    /// The tile edge length.
+    pub fn tile_size(&self) -> u32 {
+        self.tile_size
+    }
+
+    /// Row count of the underlying matrix.
+    pub fn matrix_rows(&self) -> u32 {
+        self.matrix_rows
+    }
+
+    /// Number of tile rows in the full grid.
+    pub fn tile_rows(&self) -> u32 {
+        self.tile_rows
+    }
+
+    /// Number of tile columns in the full grid.
+    pub fn tile_cols(&self) -> u32 {
+        self.tile_cols
+    }
+
+    /// Non-empty tiles in `(tile_row, tile_col)` order.
+    pub fn tiles(&self) -> &[TileStats] {
+        &self.tiles
+    }
+
+    /// Total template instances across all tiles.
+    pub fn n_instances(&self) -> usize {
+        self.n_instances
+    }
+
+    /// Heights (in matrix rows) of the distinct tile rows that have work —
+    /// the y-traffic driver.
+    pub fn worked_row_heights(&self) -> Vec<u32> {
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for t in &self.tiles {
+            if out.last().map(|&(r, _)| r) != Some(t.tile_row) {
+                let height = (self.matrix_rows - (t.tile_row * self.tile_size).min(self.matrix_rows))
+                    .min(self.tile_size);
+                out.push((t.tile_row, height));
+            }
+        }
+        out.into_iter().map(|(_, h)| h).collect()
+    }
+
+    /// Instance counts grouped by tile row.
+    pub fn instances_per_tile_row(&self) -> Vec<(u32, usize)> {
+        let mut out: Vec<(u32, usize)> = Vec::new();
+        for t in &self.tiles {
+            match out.last_mut() {
+                Some((row, acc)) if *row == t.tile_row => *acc += t.n_instances,
+                _ => out.push((t.tile_row, t.n_instances)),
+            }
+        }
+        out
+    }
+
+    /// Load-imbalance factor: `max / mean` of per-tile instance counts
+    /// (1.0 = perfectly balanced). Empty matrices report 1.0.
+    pub fn tile_imbalance(&self) -> f64 {
+        if self.tiles.is_empty() {
+            return 1.0;
+        }
+        let max = self.tiles.iter().map(|t| t.n_instances).max().unwrap_or(0) as f64;
+        let mean = self.n_instances as f64 / self.tiles.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spasm_patterns::TemplateSet;
+    use spasm_sparse::Coo;
+
+    use crate::matrix::SpasmMatrix;
+
+    fn table() -> DecompositionTable {
+        DecompositionTable::build(&TemplateSet::table_v_set(0))
+    }
+
+    fn sample() -> Coo {
+        let mut t = vec![];
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                t.push((r, c, 1.0));
+            }
+        }
+        for i in 0..4u32 {
+            t.push((8 + i, 8 + i, 2.0));
+        }
+        t.push((14, 2, -3.0));
+        Coo::from_triplets(16, 16, t).unwrap()
+    }
+
+    #[test]
+    fn summary_matches_full_encode() {
+        let map = SubmatrixMap::from_coo(&sample());
+        for tile in [4u32, 8, 16] {
+            let summary = TilingSummary::analyze(&map, &table(), tile).unwrap();
+            let full = SpasmMatrix::encode(&map, &table(), tile).unwrap();
+            assert_eq!(summary.n_instances(), full.n_instances(), "tile {tile}");
+            assert_eq!(summary.tiles().len(), full.tiles().len(), "tile {tile}");
+            for (s, f) in summary.tiles().iter().zip(full.tiles()) {
+                assert_eq!((s.tile_row, s.tile_col), (f.tile_row, f.tile_col));
+                assert_eq!(s.n_instances, f.n_instances);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_statistics() {
+        // Dense 4x4 block at submatrix (0,0): 4 instances, all on lane 0.
+        let map = SubmatrixMap::from_coo(&sample());
+        let s = TilingSummary::analyze(&map, &table(), 16).unwrap();
+        let t00 = &s.tiles()[0];
+        // The 16-tile holds the dense block (lane 0: 4 inst), the diagonal
+        // (lane 2: 1 inst) and the scattered entry (lane 3: 1 inst).
+        assert_eq!(t00.n_instances, 6);
+        assert_eq!(t00.max_lane_instances, 4);
+    }
+
+    #[test]
+    fn worked_row_heights() {
+        let map = SubmatrixMap::from_coo(&sample());
+        let s = TilingSummary::analyze(&map, &table(), 8).unwrap();
+        assert_eq!(s.worked_row_heights(), vec![8, 8]);
+        // A 10-row matrix with an entry in the second 8-tile row has a
+        // short last row.
+        let m = Coo::from_triplets(10, 10, vec![(9, 0, 1.0)]).unwrap();
+        let s2 =
+            TilingSummary::analyze(&SubmatrixMap::from_coo(&m), &table(), 8).unwrap();
+        assert_eq!(s2.worked_row_heights(), vec![2]);
+    }
+
+    #[test]
+    fn per_row_grouping() {
+        let map = SubmatrixMap::from_coo(&sample());
+        let summary = TilingSummary::analyze(&map, &table(), 8).unwrap();
+        let rows = summary.instances_per_tile_row();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.iter().map(|&(_, n)| n).sum::<usize>(), summary.n_instances());
+    }
+
+    #[test]
+    fn imbalance_is_at_least_one() {
+        let map = SubmatrixMap::from_coo(&sample());
+        let s = TilingSummary::analyze(&map, &table(), 8).unwrap();
+        assert!(s.tile_imbalance() >= 1.0);
+        let uniform =
+            Coo::from_triplets(8, 8, (0..8u32).map(|i| (i, i, 1.0)).collect()).unwrap();
+        let s2 = TilingSummary::analyze(&SubmatrixMap::from_coo(&uniform), &table(), 4)
+            .unwrap();
+        assert!((s2.tile_imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_tile_sizes_rejected() {
+        let map = SubmatrixMap::from_coo(&sample());
+        for bad in [0u32, 2, 5, MAX_TILE_SIZE + 4] {
+            assert!(TilingSummary::analyze(&map, &table(), bad).is_err());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests: the SPASM encoding is lossless and its SpMV agrees with
+//! the reference for arbitrary matrices, portfolios and tile sizes.
+
+use proptest::prelude::*;
+use spasm_format::{SpasmMatrix, SubmatrixMap, TilingSummary};
+use spasm_patterns::{DecompositionTable, TemplateSet};
+use spasm_sparse::{Coo, SpMv};
+
+fn arb_matrix() -> impl Strategy<Value = Coo> {
+    (4u32..64, 4u32..64).prop_flat_map(|(rows, cols)| {
+        let entry = (0..rows, 0..cols, (1i32..64).prop_map(|q| q as f32 * 0.25));
+        proptest::collection::vec(entry, 0..128)
+            .prop_map(move |t| Coo::from_triplets(rows, cols, t).unwrap())
+    })
+}
+
+fn arb_table() -> impl Strategy<Value = DecompositionTable> {
+    (0usize..10).prop_map(|i| DecompositionTable::build(&TemplateSet::table_v_set(i)))
+}
+
+fn arb_tile() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(4u32), Just(8), Just(16), Just(32), Just(64), Just(128)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity on matrices without explicit zeros.
+    #[test]
+    fn encode_decode_identity(
+        m in arb_matrix(), table in arb_table(), tile in arb_tile()
+    ) {
+        let spasm = SpasmMatrix::encode(&SubmatrixMap::from_coo(&m), &table, tile).unwrap();
+        prop_assert_eq!(spasm.to_coo(), m);
+    }
+
+    /// SpMV on the encoded stream equals CSR SpMV.
+    #[test]
+    fn spmv_equals_reference(
+        (m, x) in arb_matrix().prop_flat_map(|m| {
+            let cols = m.cols() as usize;
+            let x = proptest::collection::vec(
+                (-16i32..16).prop_map(|q| q as f32 * 0.5), cols..=cols);
+            (Just(m), x)
+        }),
+        table in arb_table(),
+        tile in arb_tile(),
+    ) {
+        let spasm = SpasmMatrix::encode(&SubmatrixMap::from_coo(&m), &table, tile).unwrap();
+        let mut want = vec![0.0f32; m.rows() as usize];
+        spasm_sparse::Csr::from(&m).spmv(&x, &mut want).unwrap();
+        let got = spasm.spmv_alloc(&x).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() <= 1e-3 * (1.0 + w.abs()), "{g} vs {w}");
+        }
+    }
+
+    /// Padding identity: slots = 4·instances = nnz + paddings (each nz is
+    /// carried exactly once).
+    #[test]
+    fn slot_accounting(m in arb_matrix(), table in arb_table(), tile in arb_tile()) {
+        let spasm = SpasmMatrix::encode(&SubmatrixMap::from_coo(&m), &table, tile).unwrap();
+        prop_assert_eq!(
+            4 * spasm.n_instances() as u64,
+            m.nnz() as u64 + spasm.paddings()
+        );
+    }
+
+    /// The instance stream is invariant in total size across tile sizes
+    /// (tiling regroups instances but never changes the decomposition).
+    #[test]
+    fn instance_count_tile_invariant(m in arb_matrix(), table in arb_table()) {
+        let map = SubmatrixMap::from_coo(&m);
+        let counts: Vec<usize> = [4u32, 16, 64]
+            .iter()
+            .map(|&t| SpasmMatrix::encode(&map, &table, t).unwrap().n_instances())
+            .collect();
+        prop_assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    /// TilingSummary agrees with the full encoder on every tile's counts.
+    #[test]
+    fn summary_matches_encode(m in arb_matrix(), table in arb_table(), tile in arb_tile()) {
+        let map = SubmatrixMap::from_coo(&m);
+        let s = TilingSummary::analyze(&map, &table, tile).unwrap();
+        let full = SpasmMatrix::encode(&map, &table, tile).unwrap();
+        prop_assert_eq!(s.n_instances(), full.n_instances());
+        let a: Vec<_> = s.tiles().iter().map(|t| (t.tile_row, t.tile_col, t.n_instances)).collect();
+        let b: Vec<_> = full.tiles().iter().map(|t| (t.tile_row, t.tile_col, t.n_instances)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Exactly one CE flag per tile; RE implies it is the last tile of its
+    /// row.
+    #[test]
+    fn flag_invariants(m in arb_matrix(), table in arb_table(), tile in arb_tile()) {
+        let spasm = SpasmMatrix::encode(&SubmatrixMap::from_coo(&m), &table, tile).unwrap();
+        for t in spasm.tiles() {
+            let insts: Vec<_> = spasm.tile_instances(t).collect();
+            let ces = insts.iter().filter(|i| i.encoding.ce()).count();
+            prop_assert_eq!(ces, 1, "one CE per non-empty tile");
+            prop_assert!(insts.last().unwrap().encoding.ce());
+        }
+        let re_tiles: Vec<u32> = spasm
+            .tiles()
+            .iter()
+            .filter(|t| spasm.tile_instances(t).last().unwrap().encoding.re())
+            .map(|t| t.tile_row)
+            .collect();
+        // one RE per distinct tile row
+        let mut rows: Vec<u32> = spasm.tiles().iter().map(|t| t.tile_row).collect();
+        rows.dedup();
+        prop_assert_eq!(re_tiles, rows);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Wire serialisation round-trips and preserves SpMV semantics.
+    #[test]
+    fn wire_round_trip(m in arb_matrix(), table in arb_table(), tile in arb_tile()) {
+        let spasm = SpasmMatrix::encode(&SubmatrixMap::from_coo(&m), &table, tile).unwrap();
+        let bytes = spasm.to_bytes();
+        let back = SpasmMatrix::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &spasm);
+        let x = vec![0.5f32; m.cols() as usize];
+        prop_assert_eq!(spasm.spmv_alloc(&x).unwrap(), back.spmv_alloc(&x).unwrap());
+    }
+
+    /// Any truncation of a valid stream is rejected, never mis-parsed.
+    #[test]
+    fn wire_truncation_rejected(
+        m in arb_matrix(), table in arb_table(), cut_frac in 0.0f64..1.0
+    ) {
+        let spasm = SpasmMatrix::encode(&SubmatrixMap::from_coo(&m), &table, 64).unwrap();
+        let bytes = spasm.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(SpasmMatrix::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Hardware configurations (Table IV).
+
+use std::fmt;
+
+/// Bandwidth of one HBM pseudo-channel on the Alveo U280:
+/// 460 GB/s total across 32 channels.
+pub const HBM_CHANNEL_GBS: f64 = 460.0 / 32.0;
+
+/// PEs per PE group (fixed by the architecture).
+pub const PES_PER_GROUP: u32 = 16;
+
+/// PEs sharing one HBM channel for the matrix value stream.
+pub const PES_PER_VALUE_CHANNEL: u32 = 4;
+
+/// FLOPs one PE retires per fully-fed cycle: 4 multiplies + up to 4 adds.
+pub const FLOPS_PER_PE_CYCLE: f64 = 8.0;
+
+/// Static board power: FPGA shell, HBM refresh, host link (watts).
+///
+/// Together with [`DYNAMIC_POWER_W`] this reproduces the paper's measured
+/// 58 W (Table VII) at the suite's typical ~50 % compute utilisation.
+pub const STATIC_POWER_W: f64 = 40.0;
+
+/// Dynamic power of the fully-active datapath (watts at 100 % compute
+/// utilisation).
+pub const DYNAMIC_POWER_W: f64 = 36.0;
+
+/// A SPASM hardware configuration, parameterised by `NUM_PE_GROUP` and
+/// `NUM_XVEC_CH` (Section IV-D3).
+///
+/// Channel budget: `1 + NUM_PE_GROUP × (NUM_XVEC_CH + 6)` HBM channels —
+/// per group, 4 value channels + 1 position-encoding channel + 1 merge
+/// channel + `NUM_XVEC_CH` x channels, plus one global y channel.
+///
+/// The three shipped bitstreams of Table IV are provided as constants;
+/// their frequency, bandwidth and peak-performance figures match the
+/// paper's table when run through [`HwConfig::bandwidth_gbs`] and
+/// [`HwConfig::peak_gflops`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwConfig {
+    /// Configuration name, `SPASM_{groups}_{xvec}` for the shipped ones.
+    pub name: String,
+    /// Number of PE groups (16 PEs each).
+    pub num_pe_groups: u32,
+    /// HBM channels per group dedicated to loading x.
+    pub num_xvec_ch: u32,
+    /// Post-route clock frequency in MHz.
+    pub frequency_mhz: f64,
+}
+
+impl HwConfig {
+    /// Builds a custom configuration with a synthesised name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pe_groups` or `num_xvec_ch` is zero, or the channel
+    /// budget exceeds the U280's 32 HBM channels.
+    pub fn new(num_pe_groups: u32, num_xvec_ch: u32, frequency_mhz: f64) -> Self {
+        assert!(num_pe_groups > 0 && num_xvec_ch > 0, "need at least one group and x channel");
+        let cfg = HwConfig {
+            name: format!("SPASM_{num_pe_groups}_{num_xvec_ch}"),
+            num_pe_groups,
+            num_xvec_ch,
+            frequency_mhz,
+        };
+        assert!(
+            cfg.hbm_channels() <= 32,
+            "{} needs {} HBM channels, U280 has 32",
+            cfg.name,
+            cfg.hbm_channels()
+        );
+        cfg
+    }
+
+    /// `SPASM_4_1` (Table IV): 252 MHz, 417 GB/s, 129 GFLOP/s.
+    pub fn spasm_4_1() -> Self {
+        HwConfig::new(4, 1, 252.0)
+    }
+
+    /// `SPASM_3_4` (Table IV): 265 MHz, 446 GB/s, 102 GFLOP/s.
+    pub fn spasm_3_4() -> Self {
+        HwConfig::new(3, 4, 265.0)
+    }
+
+    /// `SPASM_3_2` (Table IV): 251 MHz, 360 GB/s, 96.4 GFLOP/s.
+    pub fn spasm_3_2() -> Self {
+        HwConfig::new(3, 2, 251.0)
+    }
+
+    /// The three pre-synthesised bitstreams the paper's scheduler selects
+    /// among.
+    pub fn shipped() -> Vec<HwConfig> {
+        vec![Self::spasm_4_1(), Self::spasm_3_4(), Self::spasm_3_2()]
+    }
+
+    /// Total PEs (`16 × groups`).
+    pub fn num_pes(&self) -> u32 {
+        PES_PER_GROUP * self.num_pe_groups
+    }
+
+    /// HBM channels consumed: `1 + groups × (xvec + 6)`.
+    pub fn hbm_channels(&self) -> u32 {
+        1 + self.num_pe_groups * (self.num_xvec_ch + 6)
+    }
+
+    /// Aggregate bandwidth in GB/s.
+    pub fn bandwidth_gbs(&self) -> f64 {
+        self.hbm_channels() as f64 * HBM_CHANNEL_GBS
+    }
+
+    /// Peak arithmetic throughput in GFLOP/s.
+    pub fn peak_gflops(&self) -> f64 {
+        self.num_pes() as f64 * FLOPS_PER_PE_CYCLE * self.frequency_mhz / 1000.0
+    }
+
+    /// Bytes one HBM channel delivers per accelerator clock cycle.
+    pub fn channel_bytes_per_cycle(&self) -> f64 {
+        HBM_CHANNEL_GBS * 1e9 / (self.frequency_mhz * 1e6)
+    }
+
+    /// Steady-state template instances a fed PE issues per cycle.
+    ///
+    /// Both shared streams impose the same bound: a value channel feeds 4
+    /// PEs at 16 B/instance and the position-encoding channel feeds 16 PEs
+    /// at 4 B/instance, each allowing `channel_bytes_per_cycle / 64`
+    /// instances per PE per cycle; the VALU caps it at 1.
+    pub fn issue_rate(&self) -> f64 {
+        (self.channel_bytes_per_cycle() / 64.0).min(1.0)
+    }
+
+    /// Bytes per cycle of x-vector bandwidth available to one PE
+    /// (`NUM_XVEC_CH` channels shared by the group's 16 PEs).
+    pub fn xvec_bytes_per_cycle_per_pe(&self) -> f64 {
+        self.num_xvec_ch as f64 * self.channel_bytes_per_cycle() / PES_PER_GROUP as f64
+    }
+
+    /// Converts a cycle count to seconds at this configuration's clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.frequency_mhz * 1e6)
+    }
+
+    /// Activity-based power estimate: static board power plus dynamic
+    /// power scaled by compute utilisation. At the workload suite's
+    /// typical ~50 % utilisation this gives the paper's measured 58 W.
+    pub fn power_estimate_w(&self, compute_utilization: f64) -> f64 {
+        STATIC_POWER_W + DYNAMIC_POWER_W * compute_utilization.clamp(0.0, 1.0)
+    }
+
+    /// The HBM channel assignment of Fig. 7: per group, 4 value channels,
+    /// one position-encoding channel, one partial-sum merge channel and
+    /// `NUM_XVEC_CH` x channels; one global y channel at index 0.
+    pub fn channel_map(&self) -> Vec<ChannelRole> {
+        let mut map = vec![ChannelRole::YVector];
+        for group in 0..self.num_pe_groups {
+            for ch in 0..PES_PER_GROUP / PES_PER_VALUE_CHANNEL {
+                map.push(ChannelRole::MatrixValues { group, first_pe: ch * PES_PER_VALUE_CHANNEL });
+            }
+            map.push(ChannelRole::PositionEncodings { group });
+            map.push(ChannelRole::PartialSumMerge { group });
+            for ch in 0..self.num_xvec_ch {
+                map.push(ChannelRole::XVector { group, channel: ch });
+            }
+        }
+        debug_assert_eq!(map.len(), self.hbm_channels() as usize);
+        map
+    }
+}
+
+/// The role of one HBM channel in the accelerator's memory map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelRole {
+    /// The single channel loading and updating the y vector.
+    YVector,
+    /// Matrix value stream for 4 PEs of a group, starting at `first_pe`.
+    MatrixValues {
+        /// PE group index.
+        group: u32,
+        /// First of the 4 PEs this channel feeds.
+        first_pe: u32,
+    },
+    /// The group-shared position-encoding stream.
+    PositionEncodings {
+        /// PE group index.
+        group: u32,
+    },
+    /// The group's partial-sum merge traffic.
+    PartialSumMerge {
+        /// PE group index.
+        group: u32,
+    },
+    /// One of the group's x-vector load channels.
+    XVector {
+        /// PE group index.
+        group: u32,
+        /// Channel index within the group's x set.
+        channel: u32,
+    },
+}
+
+impl fmt::Display for HwConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} PEs, {:.0} GB/s, {:.1} GFLOP/s @ {:.0} MHz)",
+            self.name,
+            self.num_pes(),
+            self.bandwidth_gbs(),
+            self.peak_gflops(),
+            self.frequency_mhz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_figures_reproduce() {
+        let c41 = HwConfig::spasm_4_1();
+        assert_eq!(c41.hbm_channels(), 29);
+        assert!((c41.bandwidth_gbs() - 417.0).abs() < 1.0, "{}", c41.bandwidth_gbs());
+        assert!((c41.peak_gflops() - 129.0).abs() < 0.1, "{}", c41.peak_gflops());
+
+        let c34 = HwConfig::spasm_3_4();
+        assert_eq!(c34.hbm_channels(), 31);
+        assert!((c34.bandwidth_gbs() - 446.0).abs() < 1.0, "{}", c34.bandwidth_gbs());
+        assert!((c34.peak_gflops() - 102.0).abs() < 0.5, "{}", c34.peak_gflops());
+
+        let c32 = HwConfig::spasm_3_2();
+        assert_eq!(c32.hbm_channels(), 25);
+        assert!((c32.bandwidth_gbs() - 360.0).abs() < 1.0, "{}", c32.bandwidth_gbs());
+        assert!((c32.peak_gflops() - 96.4).abs() < 0.1, "{}", c32.peak_gflops());
+    }
+
+    #[test]
+    fn issue_rate_below_one_for_shipped_configs() {
+        for c in HwConfig::shipped() {
+            let r = c.issue_rate();
+            assert!(r > 0.8 && r < 1.0, "{}: {r}", c.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "32")]
+    fn channel_budget_enforced() {
+        HwConfig::new(4, 2, 250.0); // 1 + 4*8 = 33 channels
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_groups_rejected() {
+        HwConfig::new(0, 1, 250.0);
+    }
+
+    #[test]
+    fn cycles_to_seconds() {
+        let c = HwConfig::new(1, 1, 250.0);
+        assert!((c.cycles_to_seconds(250_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_model_hits_table_vii_at_half_utilisation() {
+        let c = HwConfig::spasm_4_1();
+        assert!((c.power_estimate_w(0.5) - 58.0).abs() < 1e-9);
+        assert_eq!(c.power_estimate_w(-1.0), STATIC_POWER_W);
+        assert_eq!(c.power_estimate_w(2.0), STATIC_POWER_W + DYNAMIC_POWER_W);
+    }
+
+    #[test]
+    fn channel_map_covers_budget_exactly() {
+        for c in HwConfig::shipped() {
+            let map = c.channel_map();
+            assert_eq!(map.len(), c.hbm_channels() as usize, "{}", c.name);
+            assert_eq!(
+                map.iter().filter(|r| matches!(r, ChannelRole::YVector)).count(),
+                1
+            );
+            let values = map
+                .iter()
+                .filter(|r| matches!(r, ChannelRole::MatrixValues { .. }))
+                .count();
+            assert_eq!(values as u32, 4 * c.num_pe_groups);
+            let xch = map
+                .iter()
+                .filter(|r| matches!(r, ChannelRole::XVector { .. }))
+                .count();
+            assert_eq!(xch as u32, c.num_xvec_ch * c.num_pe_groups);
+        }
+    }
+
+    #[test]
+    fn value_channels_partition_the_pes() {
+        let c = HwConfig::spasm_4_1();
+        let mut firsts: Vec<(u32, u32)> = c
+            .channel_map()
+            .into_iter()
+            .filter_map(|r| match r {
+                ChannelRole::MatrixValues { group, first_pe } => Some((group, first_pe)),
+                _ => None,
+            })
+            .collect();
+        firsts.sort_unstable();
+        let expect: Vec<(u32, u32)> =
+            (0..4).flat_map(|g| (0..4).map(move |k| (g, k * 4))).collect();
+        assert_eq!(firsts, expect);
+    }
+}

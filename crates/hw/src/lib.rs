@@ -1,0 +1,41 @@
+//! Cycle-approximate simulator of the SPASM hardware accelerator
+//! (Section IV-D of the paper).
+//!
+//! The paper's accelerator is an HBM-attached FPGA design:
+//!
+//! * a **VALU** per PE — 4 multipliers and 3 adders behind a mux network,
+//!   steered by a ≤30-bit opcode decoded from the 4-bit template id
+//!   ([`ValuOpcode`]);
+//! * a **PE** — double-buffered x-vector buffer, partial-sum y buffer and
+//!   the opcode look-up table ([`Pe`]);
+//! * **PE groups** of 16 PEs: every 4 PEs share one HBM channel for matrix
+//!   values, all 16 share one channel for position encodings, and the
+//!   group owns `NUM_XVEC_CH` channels for loading x ([`HwConfig`]);
+//! * one HBM channel for the y vector, shared by the whole accelerator.
+//!
+//! The FPGA itself is not available in this reproduction, so execution is
+//! simulated: [`Accelerator::run`] performs the *bit-faithful functional
+//! computation* (every MAC goes through the VALU model) and a
+//! *cycle-approximate timing model* whose terms are per-channel bandwidth,
+//! double-buffered x prefetch, pipeline issue rate, tile-switch overhead
+//! and per-PE load imbalance. The same timing code estimates cycles from a
+//! [`spasm_format::TilingSummary`] without touching values
+//! ([`perf::estimate_cycles`]) — that is the `PERF_MODEL` of Algorithm 4,
+//! and tests pin it to the full simulation exactly.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+pub mod perf;
+mod pe;
+mod sim;
+pub mod timing;
+pub mod trace;
+mod valu;
+
+pub use config::{ChannelRole, HwConfig, HBM_CHANNEL_GBS, PES_PER_GROUP, PES_PER_VALUE_CHANNEL};
+pub use pe::Pe;
+pub use sim::{Accelerator, ExecReport, SimError, Traffic};
+pub use trace::{EventKind, ExecutionTrace, TraceEvent};
+pub use valu::{OpcodeError, OutNode, ValuOpcode};

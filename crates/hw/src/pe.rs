@@ -1,0 +1,123 @@
+//! The SPASM processing element — Section IV-D2.
+//!
+//! A PE couples a double-buffered x-vector buffer, a partial-sum y buffer
+//! and a VALU. Its opcode decoder is a look-up table loaded at
+//! initialisation with the opcodes of the problem-specific template
+//! portfolio; changing the LUT content is what makes the PE support
+//! flexible pattern portfolios.
+
+use spasm_format::TemplateInstance;
+
+use crate::valu::{OpcodeError, ValuOpcode};
+
+/// A processing element: the opcode LUT plus the VALU datapath.
+///
+/// Buffer state (x segment, partial sums) lives with the caller — the
+/// simulator owns the full vectors and hands the PE 4-wide windows, which
+/// matches the `c_idx`/`r_idx` indexed accesses of the hardware.
+#[derive(Debug, Clone)]
+pub struct Pe {
+    lut: Vec<ValuOpcode>,
+}
+
+impl Pe {
+    /// Compiles a template portfolio into the PE's opcode LUT.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`OpcodeError`] if some template cannot be
+    /// realised on the VALU datapath.
+    pub fn new(template_masks: &[u16]) -> Result<Self, OpcodeError> {
+        let lut = template_masks
+            .iter()
+            .map(|&m| ValuOpcode::compile(m))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Pe { lut })
+    }
+
+    /// Number of loaded opcodes.
+    pub fn lut_len(&self) -> usize {
+        self.lut.len()
+    }
+
+    /// The opcode for template `t_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_idx` is outside the loaded portfolio — in hardware that
+    /// would be a malformed stream.
+    pub fn opcode(&self, t_idx: u8) -> ValuOpcode {
+        self.lut[t_idx as usize]
+    }
+
+    /// Processes one template instance: decodes its opcode, runs the VALU
+    /// on the packed x segment of the instance's submatrix column, and
+    /// accumulates the 4-row result into the partial-sum window
+    /// `y_seg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance's `t_idx` is outside the loaded portfolio.
+    pub fn process_instance(
+        &self,
+        inst: &TemplateInstance,
+        x_seg: [f32; 4],
+        y_seg: &mut [f32; 4],
+    ) {
+        let op = self.opcode(inst.encoding.t_idx());
+        let out = op.execute(inst.values, x_seg);
+        for r in 0..4 {
+            y_seg[r] += out[r];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spasm_format::PositionEncoding;
+    use spasm_patterns::TemplateSet;
+
+    fn pe() -> Pe {
+        let masks: Vec<u16> = TemplateSet::table_v_set(0).masks().collect();
+        Pe::new(&masks).unwrap()
+    }
+
+    #[test]
+    fn lut_loads_full_portfolio() {
+        assert_eq!(pe().lut_len(), 16);
+    }
+
+    #[test]
+    fn instance_accumulates_into_y() {
+        let pe = pe();
+        // t_idx 0 is row 0 in set 0.
+        let inst = TemplateInstance {
+            encoding: PositionEncoding::new(0, 0, false, false, 0),
+            values: [1.0, 2.0, 3.0, 4.0],
+        };
+        let mut y = [10.0, 0.0, 0.0, 0.0];
+        pe.process_instance(&inst, [1.0, 1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, [20.0, 0.0, 0.0, 0.0]);
+        // Accumulation, not overwrite:
+        pe.process_instance(&inst, [1.0, 1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, [30.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn rejects_unrealizable_portfolio() {
+        assert!(Pe::new(&[0b0111_0001]).is_err()); // 4 cells but 3 in one row
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_t_idx_panics() {
+        let pe = Pe::new(&[0b1111]).unwrap();
+        let inst = TemplateInstance {
+            encoding: PositionEncoding::new(0, 0, false, false, 5),
+            values: [0.0; 4],
+        };
+        let mut y = [0.0; 4];
+        pe.process_instance(&inst, [0.0; 4], &mut y);
+    }
+}

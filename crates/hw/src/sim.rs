@@ -1,0 +1,425 @@
+//! The full accelerator simulation: functional execution through the VALU
+//! datapath plus the shared cycle model.
+
+use std::fmt;
+
+use spasm_format::SpasmMatrix;
+
+use crate::config::HwConfig;
+use crate::pe::Pe;
+use crate::timing::{self, TileJob};
+use crate::valu::OpcodeError;
+
+/// Errors from running the simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An operand has the wrong length.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+        /// Which operand.
+        operand: &'static str,
+    },
+    /// The matrix's portfolio contains a template the VALU cannot realise.
+    Opcode(OpcodeError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DimensionMismatch { expected, actual, operand } => {
+                write!(f, "vector `{operand}` has length {actual}, expected {expected}")
+            }
+            SimError::Opcode(e) => write!(f, "portfolio not realisable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<OpcodeError> for SimError {
+    fn from(e: OpcodeError) -> Self {
+        SimError::Opcode(e)
+    }
+}
+
+/// Traffic moved over HBM during one SpMV, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Traffic {
+    /// Matrix stream: 20 bytes per template instance.
+    pub matrix: u64,
+    /// x-vector segments loaded (tile_size × 4 per processed tile).
+    pub x: u64,
+    /// y sums (read + write, 8 bytes per element of worked tile rows).
+    pub y: u64,
+}
+
+impl Traffic {
+    /// Total bytes.
+    pub fn total(self) -> u64 {
+        self.matrix + self.x + self.y
+    }
+}
+
+/// The outcome of one simulated SpMV execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecReport {
+    /// Total cycles, including initialisation and the y drain.
+    pub cycles: u64,
+    /// Wall-clock seconds at the configuration's clock.
+    pub seconds: f64,
+    /// Throughput by the paper's formula `(2·nnz + rows) / time`.
+    pub gflops: f64,
+    /// Achieved memory bandwidth (total traffic / time), GB/s.
+    pub achieved_bandwidth_gbs: f64,
+    /// Fraction of peak arithmetic throughput used.
+    pub compute_utilization: f64,
+    /// Fraction of the configuration's aggregate bandwidth used.
+    pub bandwidth_utilization: f64,
+    /// Busy cycles of each PE group (before init / y drain).
+    pub per_group_cycles: Vec<u64>,
+    /// HBM traffic breakdown.
+    pub traffic: Traffic,
+    /// Activity-based power estimate (watts); see
+    /// [`HwConfig::power_estimate_w`].
+    pub estimated_power_w: f64,
+    /// Energy of this execution: estimated power × time (joules).
+    pub energy_j: f64,
+}
+
+/// The simulated SPASM accelerator.
+///
+/// # Examples
+///
+/// ```
+/// use spasm_format::{SpasmMatrix, SubmatrixMap};
+/// use spasm_hw::{Accelerator, HwConfig};
+/// use spasm_patterns::{DecompositionTable, TemplateSet};
+/// use spasm_sparse::Coo;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let coo = Coo::from_triplets(4, 4, vec![(0, 0, 2.0), (3, 1, -1.0)])?;
+/// let table = DecompositionTable::build(&TemplateSet::table_v_set(0));
+/// let m = SpasmMatrix::encode(&SubmatrixMap::from_coo(&coo), &table, 4)?;
+///
+/// let acc = Accelerator::new(HwConfig::spasm_4_1());
+/// let mut y = vec![0.0f32; 4];
+/// let report = acc.run(&m, &[1.0, 2.0, 3.0, 4.0], &mut y)?;
+/// assert_eq!(y, vec![2.0, 0.0, 0.0, -2.0]);
+/// assert!(report.cycles > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Accelerator {
+    config: HwConfig,
+}
+
+impl Accelerator {
+    /// Builds an accelerator with the given configuration.
+    pub fn new(config: HwConfig) -> Self {
+        Accelerator { config }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &HwConfig {
+        &self.config
+    }
+
+    /// Executes `y += A·x` on the encoded matrix, returning the cycle count
+    /// and derived metrics.
+    ///
+    /// Functionally, every MAC goes through the VALU opcode datapath (the
+    /// PE model); the result is bit-identical to
+    /// [`SpasmMatrix::spmv`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::DimensionMismatch`] on operand length mismatches;
+    /// * [`SimError::Opcode`] if the matrix's portfolio is not realisable.
+    pub fn run(
+        &self,
+        matrix: &SpasmMatrix,
+        x: &[f32],
+        y: &mut [f32],
+    ) -> Result<ExecReport, SimError> {
+        if x.len() != matrix.cols() as usize {
+            return Err(SimError::DimensionMismatch {
+                expected: matrix.cols() as usize,
+                actual: x.len(),
+                operand: "x",
+            });
+        }
+        if y.len() != matrix.rows() as usize {
+            return Err(SimError::DimensionMismatch {
+                expected: matrix.rows() as usize,
+                actual: y.len(),
+                operand: "y",
+            });
+        }
+        let pe = Pe::new(matrix.template_masks())?;
+        let tile_size = matrix.tile_size();
+
+        // Pad x and y to multiples of 4 so submatrix windows at the matrix
+        // edge index cleanly, as the hardware's aligned buffers do.
+        let xp_len = (matrix.cols() as usize).div_ceil(4) * 4;
+        let yp_len = (matrix.rows() as usize).div_ceil(4) * 4;
+        let mut xp = vec![0.0f32; xp_len];
+        xp[..x.len()].copy_from_slice(x);
+        let mut yp = vec![0.0f32; yp_len];
+
+        // Functional pass + per-tile lane statistics (identical to what
+        // TilingSummary computes from submatrix coordinates). Tile rows
+        // own disjoint y ranges, so rows execute in parallel — mirroring
+        // the hardware, where different groups' partial sums only meet in
+        // the merge unit.
+        let mut row_spans: Vec<(u32, usize, usize)> = Vec::new(); // (row, first, last)
+        for (i, tile) in matrix.tiles().iter().enumerate() {
+            match row_spans.last_mut() {
+                Some((row, _, end)) if *row == tile.tile_row => *end = i + 1,
+                _ => row_spans.push((tile.tile_row, i, i + 1)),
+            }
+        }
+        let worked_row_heights: Vec<u32> = row_spans
+            .iter()
+            .map(|&(row, _, _)| {
+                (matrix.rows() - (row * tile_size).min(matrix.rows())).min(tile_size)
+            })
+            .collect();
+        let x_traffic = matrix.tiles().len() as u64 * u64::from(tile_size) * 4;
+
+        // Split yp into per-tile-row windows (disjoint by construction).
+        let mut y_windows: Vec<&mut [f32]> = Vec::with_capacity(row_spans.len());
+        let mut rest: &mut [f32] = &mut yp;
+        let mut offset = 0usize;
+        for &(row, _, _) in &row_spans {
+            let start = (row * tile_size) as usize;
+            let end = ((row + 1) * tile_size as u32) as usize;
+            let end = end.min(offset + rest.len());
+            let (skip, tail) = rest.split_at_mut(start - offset);
+            let (window, tail) = tail.split_at_mut(end - start);
+            let _ = skip;
+            y_windows.push(window);
+            rest = tail;
+            offset = end;
+        }
+
+        let xp_ref = &xp;
+        let pe_ref = &pe;
+        let jobs: Vec<TileJob> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = row_spans
+                .iter()
+                .zip(y_windows)
+                .map(|(&(_, first, last), y_window)| {
+                    let tiles = &matrix.tiles()[first..last];
+                    scope.spawn(move |_| {
+                        let mut row_jobs = Vec::with_capacity(tiles.len());
+                        for tile in tiles {
+                            let row_base = (tile.tile_row * tile_size) as usize;
+                            let col_base = tile.tile_col * tile_size;
+                            let mut lanes = [0usize; 16];
+                            for inst in matrix.tile_instances(tile) {
+                                let e = inst.encoding;
+                                lanes[(e.r_idx() as usize) % 16] += 1;
+                                let c0 = (col_base + e.c_idx() * 4) as usize;
+                                let r0 = (tile.tile_row * tile_size + e.r_idx() * 4)
+                                    as usize
+                                    - row_base;
+                                let x_seg =
+                                    [xp_ref[c0], xp_ref[c0 + 1], xp_ref[c0 + 2], xp_ref[c0 + 3]];
+                                let y_seg: &mut [f32; 4] = (&mut y_window[r0..r0 + 4])
+                                    .try_into()
+                                    .expect("padded window");
+                                pe_ref.process_instance(&inst, x_seg, y_seg);
+                            }
+                            row_jobs.push(TileJob {
+                                tile_row: tile.tile_row,
+                                tile_col: tile.tile_col,
+                                n_instances: tile.n_instances,
+                                max_lane_instances: timing::max_lane(&lanes),
+                            });
+                        }
+                        row_jobs
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("tile-row worker"))
+                .collect()
+        })
+        .expect("functional scope");
+        for (dst, src) in y.iter_mut().zip(&yp) {
+            *dst += src;
+        }
+
+        // Timing: the same LPT assignment and cycle pricing the perf model
+        // uses.
+        let y_traffic = timing::y_bytes(worked_row_heights);
+        let assignment =
+            timing::lpt_assign(jobs, self.config.num_pe_groups, tile_size, &self.config);
+        let per_group_cycles: Vec<u64> = assignment
+            .iter()
+            .map(|a| timing::group_cycles(a, tile_size, &self.config))
+            .collect();
+
+        let traffic = Traffic {
+            matrix: 20 * matrix.n_instances() as u64,
+            x: x_traffic,
+            y: y_traffic,
+        };
+        let cycles = timing::total_cycles(&per_group_cycles, y_traffic, &self.config);
+        let seconds = self.config.cycles_to_seconds(cycles);
+        let flops = 2.0 * matrix.nnz() as f64 + matrix.rows() as f64;
+        let gflops = flops / seconds / 1e9;
+        let achieved_bandwidth_gbs = traffic.total() as f64 / seconds / 1e9;
+        let compute_utilization = gflops / self.config.peak_gflops();
+        let estimated_power_w = self.config.power_estimate_w(compute_utilization);
+        Ok(ExecReport {
+            cycles,
+            seconds,
+            gflops,
+            achieved_bandwidth_gbs,
+            compute_utilization,
+            bandwidth_utilization: achieved_bandwidth_gbs / self.config.bandwidth_gbs(),
+            per_group_cycles,
+            traffic,
+            estimated_power_w,
+            energy_j: estimated_power_w * seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spasm_format::SubmatrixMap;
+    use spasm_patterns::{DecompositionTable, TemplateSet};
+    use spasm_sparse::{Coo, SpMv};
+
+    fn encode(coo: &Coo, tile: u32) -> SpasmMatrix {
+        let table = DecompositionTable::build(&TemplateSet::table_v_set(0));
+        SpasmMatrix::encode(&SubmatrixMap::from_coo(coo), &table, tile).unwrap()
+    }
+
+    fn sample(n: u32) -> Coo {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            t.push((i, (i * 7 + 3) % n, 0.5));
+            if i + 1 < n {
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        Coo::from_triplets(n, n, t).unwrap()
+    }
+
+    #[test]
+    fn functional_result_matches_reference() {
+        let coo = sample(100);
+        let x: Vec<f32> = (0..100).map(|i| (i as f32) * 0.25 - 10.0).collect();
+        let mut want = vec![0.5f32; 100];
+        coo.spmv(&x, &mut want).unwrap();
+
+        for tile in [16u32, 64, 256] {
+            let m = encode(&coo, tile);
+            let acc = Accelerator::new(HwConfig::spasm_4_1());
+            let mut got = vec![0.5f32; 100];
+            acc.run(&m, &x, &mut got).unwrap();
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_match_perf_model() {
+        let coo = sample(200);
+        let table = DecompositionTable::build(&TemplateSet::table_v_set(0));
+        let map = SubmatrixMap::from_coo(&coo);
+        for tile in [16u32, 64] {
+            for cfg in HwConfig::shipped() {
+                let m = SpasmMatrix::encode(&map, &table, tile).unwrap();
+                let summary =
+                    spasm_format::TilingSummary::analyze(&map, &table, tile).unwrap();
+                let est = crate::perf::estimate_cycles(&summary, &cfg);
+                let mut y = vec![0.0f32; 200];
+                let rep = Accelerator::new(cfg.clone())
+                    .run(&m, &vec![1.0; 200], &mut y)
+                    .unwrap();
+                assert_eq!(rep.cycles, est, "tile {tile} cfg {}", cfg.name);
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_are_sane() {
+        let coo = sample(256);
+        let m = encode(&coo, 64);
+        let cfg = HwConfig::spasm_4_1();
+        let mut y = vec![0.0f32; 256];
+        let rep = Accelerator::new(cfg.clone()).run(&m, &vec![1.0; 256], &mut y).unwrap();
+        assert!(rep.gflops > 0.0 && rep.gflops <= cfg.peak_gflops());
+        assert!(rep.compute_utilization > 0.0 && rep.compute_utilization <= 1.0);
+        assert!(rep.bandwidth_utilization > 0.0 && rep.bandwidth_utilization <= 1.0);
+        assert_eq!(rep.per_group_cycles.len(), cfg.num_pe_groups as usize);
+        assert_eq!(rep.traffic.matrix, 20 * m.n_instances() as u64);
+        assert!(rep.seconds > 0.0);
+        // Power sits between static and static + dynamic, and energy is
+        // consistent.
+        assert!(rep.estimated_power_w >= crate::config::STATIC_POWER_W);
+        assert!(
+            rep.estimated_power_w
+                <= crate::config::STATIC_POWER_W + crate::config::DYNAMIC_POWER_W
+        );
+        assert!((rep.energy_j - rep.estimated_power_w * rep.seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let m = encode(&sample(16), 16);
+        let acc = Accelerator::new(HwConfig::spasm_3_2());
+        let mut y = vec![0.0f32; 16];
+        assert!(matches!(
+            acc.run(&m, &[1.0; 4], &mut y),
+            Err(SimError::DimensionMismatch { operand: "x", .. })
+        ));
+        let mut y_bad = vec![0.0f32; 4];
+        assert!(matches!(
+            acc.run(&m, &[1.0; 16], &mut y_bad),
+            Err(SimError::DimensionMismatch { operand: "y", .. })
+        ));
+    }
+
+    #[test]
+    fn non_multiple_of_four_edges() {
+        // 10x10: padded windows must not read out of bounds or corrupt y.
+        let coo = Coo::from_triplets(
+            10,
+            10,
+            vec![(9, 9, 3.0), (0, 9, 1.0), (9, 0, 2.0)],
+        )
+        .unwrap();
+        let m = encode(&coo, 8);
+        let x: Vec<f32> = (1..=10).map(|i| i as f32).collect();
+        let mut want = vec![0.0f32; 10];
+        coo.spmv(&x, &mut want).unwrap();
+        let mut got = vec![0.0f32; 10];
+        Accelerator::new(HwConfig::spasm_4_1()).run(&m, &x, &mut got).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_matrix_runs() {
+        let m = encode(&Coo::new(8, 8), 8);
+        let mut y = vec![0.0f32; 8];
+        let rep = Accelerator::new(HwConfig::spasm_4_1())
+            .run(&m, &[1.0; 8], &mut y)
+            .unwrap();
+        assert_eq!(y, vec![0.0; 8]);
+        assert_eq!(rep.cycles, timing::INIT_CYCLES);
+    }
+}

@@ -1,0 +1,296 @@
+//! The VALU (Vector Arithmetic Logic Unit) — Section IV-D1.
+//!
+//! A VALU multiplies one template-pattern instance (4 values) by the packed
+//! x-vector segment of its submatrix column and routes the products into
+//! the 4-row output vector. Hardware resources: 4 multipliers whose second
+//! operand comes from a 4-to-1 mux over the x segment, 3 adders (two pair
+//! adders and one total adder), and four 8-to-1 output muxes selecting from
+//! the eight nodes {p0, p1, p2, p3, p0+p1, p2+p3, Σp, 0}.
+//!
+//! Not every 4-cell shape is realisable on this datapath: each output row
+//! must receive one of the eight nodes, so the products feeding one row
+//! must be `{}`, a single product, the pair {p0,p1}, the pair {p2,p3}, or
+//! all four. Rows, columns, diagonals, anti-diagonals and 2×2 blocks all
+//! satisfy this (verified in tests for every Table V portfolio); an
+//! arbitrary mask may not, and compilation reports it.
+
+use std::fmt;
+
+/// Node selected by an output mux.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutNode {
+    /// Constant zero (row receives no contribution).
+    Zero,
+    /// A single product `p[i]`.
+    Product(u8),
+    /// The pair sum `p0 + p1`.
+    Pair01,
+    /// The pair sum `p2 + p3`.
+    Pair23,
+    /// The total sum `p0 + p1 + p2 + p3`.
+    Total,
+}
+
+impl OutNode {
+    /// The node's 3-bit selector code.
+    fn code(self) -> u32 {
+        match self {
+            OutNode::Product(i) => i as u32,
+            OutNode::Pair01 => 4,
+            OutNode::Pair23 => 5,
+            OutNode::Total => 6,
+            OutNode::Zero => 7,
+        }
+    }
+}
+
+/// Error compiling a template mask to a VALU opcode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OpcodeError {
+    /// The mask does not have exactly 4 cells.
+    WrongCellCount {
+        /// The offending mask.
+        mask: u16,
+        /// Its population count.
+        cells: u32,
+    },
+    /// Some output row needs a product combination the adder/mux network
+    /// cannot produce.
+    Unrealizable {
+        /// The offending mask.
+        mask: u16,
+        /// The row whose product set has no matching node.
+        row: u32,
+    },
+}
+
+impl fmt::Display for OpcodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpcodeError::WrongCellCount { mask, cells } => {
+                write!(f, "template {mask:#06x} has {cells} cells, VALU needs exactly 4")
+            }
+            OpcodeError::Unrealizable { mask, row } => write!(
+                f,
+                "template {mask:#06x}: row {row} needs a product set outside the VALU mux nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OpcodeError {}
+
+/// A compiled VALU opcode: per-multiplier x selector plus per-row output
+/// node, packed into at most 30 bits (Section IV-D1's "30-bit long
+/// opcode").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValuOpcode {
+    /// x-mux selector of each multiplier: the submatrix column (0–3) of
+    /// value slot `i`.
+    col_sel: [u8; 4],
+    /// Output-mux selector of each submatrix row.
+    out_sel: [OutNode; 4],
+}
+
+impl ValuOpcode {
+    /// Compiles a 4-cell template mask (bit `r·4 + c`) into an opcode.
+    ///
+    /// Value slots are assigned in bit order (row-major cell order),
+    /// matching the encoder's slot layout.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spasm_hw::ValuOpcode;
+    ///
+    /// // Row 0 of the 4x4 grid: all four products sum into output row 0.
+    /// let op = ValuOpcode::compile(0b1111).unwrap();
+    /// let out = op.execute([1.0, 2.0, 3.0, 4.0], [1.0, 1.0, 1.0, 1.0]);
+    /// assert_eq!(out, [10.0, 0.0, 0.0, 0.0]);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// * [`OpcodeError::WrongCellCount`] unless the mask has 4 cells;
+    /// * [`OpcodeError::Unrealizable`] if a row's product set is not one of
+    ///   the eight mux nodes.
+    pub fn compile(mask: u16) -> Result<Self, OpcodeError> {
+        let cells = mask.count_ones();
+        if cells != 4 {
+            return Err(OpcodeError::WrongCellCount { mask, cells });
+        }
+        let mut col_sel = [0u8; 4];
+        let mut row_products: [u8; 4] = [0; 4]; // bitmask of slots per row
+        let mut slot = 0usize;
+        for bit in 0..16u32 {
+            if mask & (1 << bit) != 0 {
+                let (r, c) = (bit / 4, bit % 4);
+                col_sel[slot] = c as u8;
+                row_products[r as usize] |= 1 << slot;
+                slot += 1;
+            }
+        }
+        let mut out_sel = [OutNode::Zero; 4];
+        for r in 0..4usize {
+            out_sel[r] = match row_products[r] {
+                0b0000 => OutNode::Zero,
+                0b0001 => OutNode::Product(0),
+                0b0010 => OutNode::Product(1),
+                0b0100 => OutNode::Product(2),
+                0b1000 => OutNode::Product(3),
+                0b0011 => OutNode::Pair01,
+                0b1100 => OutNode::Pair23,
+                0b1111 => OutNode::Total,
+                _ => return Err(OpcodeError::Unrealizable { mask, row: r as u32 }),
+            };
+        }
+        Ok(ValuOpcode { col_sel, out_sel })
+    }
+
+    /// Packs the opcode into its hardware bit representation:
+    /// 4 × 2-bit column selectors + 4 × 3-bit output selectors = 20 bits
+    /// (the remaining bits of the paper's 30-bit budget carry the adder
+    /// operand selectors, which this fixed-topology model folds into the
+    /// output nodes).
+    pub fn bits(self) -> u32 {
+        let mut w = 0u32;
+        for (i, &c) in self.col_sel.iter().enumerate() {
+            w |= (c as u32) << (2 * i);
+        }
+        for (i, &o) in self.out_sel.iter().enumerate() {
+            w |= o.code() << (8 + 3 * i);
+        }
+        w
+    }
+
+    /// The x-mux selectors.
+    pub fn col_selectors(self) -> [u8; 4] {
+        self.col_sel
+    }
+
+    /// The output-mux selections.
+    pub fn out_selectors(self) -> [OutNode; 4] {
+        self.out_sel
+    }
+
+    /// Executes the datapath: multiplies the four value slots by their
+    /// selected x elements and routes sums to the 4-row output vector.
+    ///
+    /// `x` is the packed x segment for the submatrix's four columns.
+    pub fn execute(self, values: [f32; 4], x: [f32; 4]) -> [f32; 4] {
+        let p = [
+            values[0] * x[self.col_sel[0] as usize],
+            values[1] * x[self.col_sel[1] as usize],
+            values[2] * x[self.col_sel[2] as usize],
+            values[3] * x[self.col_sel[3] as usize],
+        ];
+        let pair01 = p[0] + p[1];
+        let pair23 = p[2] + p[3];
+        let total = pair01 + pair23;
+        let mut out = [0.0f32; 4];
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = match self.out_sel[r] {
+                OutNode::Zero => 0.0,
+                OutNode::Product(i) => p[i as usize],
+                OutNode::Pair01 => pair01,
+                OutNode::Pair23 => pair23,
+                OutNode::Total => total,
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spasm_patterns::{GridSize, Template, TemplateSet};
+
+    #[test]
+    fn row_template_sums_all_products() {
+        let mask = Template::row(GridSize::S4, 2).mask();
+        let op = ValuOpcode::compile(mask).unwrap();
+        let out = op.execute([1.0, 2.0, 3.0, 4.0], [1.0, 10.0, 100.0, 1000.0]);
+        assert_eq!(out, [0.0, 0.0, 1.0 + 20.0 + 300.0 + 4000.0, 0.0]);
+    }
+
+    #[test]
+    fn col_template_routes_single_products() {
+        let mask = Template::col(GridSize::S4, 1).mask();
+        let op = ValuOpcode::compile(mask).unwrap();
+        let out = op.execute([1.0, 2.0, 3.0, 4.0], [9.0, 5.0, 9.0, 9.0]);
+        assert_eq!(out, [5.0, 10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn diag_template() {
+        let mask = Template::diag(GridSize::S4, 0).mask();
+        let op = ValuOpcode::compile(mask).unwrap();
+        let out = op.execute([1.0, 1.0, 1.0, 1.0], [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(out, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn block_template_uses_pair_sums() {
+        let mask = Template::block2(0, 0).mask();
+        let op = ValuOpcode::compile(mask).unwrap();
+        assert_eq!(op.out_selectors()[0], OutNode::Pair01);
+        assert_eq!(op.out_selectors()[1], OutNode::Pair23);
+        let out = op.execute([1.0, 2.0, 3.0, 4.0], [10.0, 100.0, 0.0, 0.0]);
+        assert_eq!(out, [10.0 + 200.0, 30.0 + 400.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn every_table_v_template_compiles() {
+        for set in TemplateSet::table_v_candidates() {
+            for t in set.templates() {
+                ValuOpcode::compile(t.mask())
+                    .unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_cell_count_rejected() {
+        assert!(matches!(
+            ValuOpcode::compile(0b111),
+            Err(OpcodeError::WrongCellCount { cells: 3, .. })
+        ));
+        assert!(matches!(
+            ValuOpcode::compile(0xFFFF),
+            Err(OpcodeError::WrongCellCount { cells: 16, .. })
+        ));
+    }
+
+    #[test]
+    fn unrealizable_shape_rejected() {
+        // Three cells in row 0 (slots 0,1,2) + one in row 1: row 0 needs
+        // p0+p1+p2, which no mux node provides.
+        let mask = 0b0000_0000_0001_0111u16;
+        assert!(matches!(
+            ValuOpcode::compile(mask),
+            Err(OpcodeError::Unrealizable { row: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn opcode_fits_30_bits() {
+        for set in TemplateSet::table_v_candidates() {
+            for t in set.templates() {
+                let bits = ValuOpcode::compile(t.mask()).unwrap().bits();
+                assert!(bits < (1 << 30), "{bits:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn opcode_bits_distinguish_templates() {
+        let set = TemplateSet::table_v_set(0);
+        let mut seen: Vec<u32> =
+            set.templates().iter().map(|t| ValuOpcode::compile(t.mask()).unwrap().bits()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), set.len());
+    }
+}

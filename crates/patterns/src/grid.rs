@@ -1,0 +1,146 @@
+use std::fmt;
+
+/// A local-pattern occupancy bitmask.
+///
+/// Bit `r·p + c` is set when cell `(r, c)` of the `p × p` submatrix holds a
+/// stored entry. With `p ≤ 4` every mask fits a `u16` (the paper's "16-bit
+/// long bitmask").
+pub type Mask = u16;
+
+/// Edge length of the local-pattern grid.
+///
+/// The paper evaluates 2×2, 3×3 and 4×4 local patterns (Fig. 9) and settles
+/// on 4×4 "to maximize parallelism"; sizes beyond 4×4 are ruled out by the
+/// pattern-count explosion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GridSize {
+    /// 2×2 local patterns (4 cells, 2-element templates).
+    S2,
+    /// 3×3 local patterns (9 cells, 3-element templates).
+    S3,
+    /// 4×4 local patterns (16 cells, 4-element templates). The paper's
+    /// chosen configuration.
+    S4,
+}
+
+impl GridSize {
+    /// Edge length `p`.
+    pub const fn edge(self) -> u32 {
+        match self {
+            GridSize::S2 => 2,
+            GridSize::S3 => 3,
+            GridSize::S4 => 4,
+        }
+    }
+
+    /// Number of cells `p²` (also the number of bitmask bits in use).
+    pub const fn cells(self) -> u32 {
+        self.edge() * self.edge()
+    }
+
+    /// Number of distinct non-empty local patterns, `2^(p²) − 1`
+    /// (65 535 for 4×4, as in Section II-B).
+    pub const fn pattern_count(self) -> u32 {
+        (1u32 << self.cells()) - 1
+    }
+
+    /// Elements per template pattern. Templates have exactly `p` cells so a
+    /// `p`-wide vector unit consumes one template instance per issue.
+    pub const fn template_len(self) -> u32 {
+        self.edge()
+    }
+
+    /// Mask with every in-grid bit set.
+    pub const fn full_mask(self) -> Mask {
+        ((1u32 << self.cells()) - 1) as Mask
+    }
+
+    /// Bit index of cell `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `r` or `c` is outside the grid.
+    pub fn bit(self, r: u32, c: u32) -> u32 {
+        debug_assert!(r < self.edge() && c < self.edge(), "cell ({r},{c}) outside grid");
+        r * self.edge() + c
+    }
+
+    /// Builds a mask from an iterator of `(row, col)` cells.
+    pub fn mask_of(self, cells: impl IntoIterator<Item = (u32, u32)>) -> Mask {
+        let mut m: Mask = 0;
+        for (r, c) in cells {
+            m |= 1 << self.bit(r, c);
+        }
+        m
+    }
+
+    /// Iterates the `(row, col)` cells set in `mask`, row-major.
+    pub fn cells_of(self, mask: Mask) -> impl Iterator<Item = (u32, u32)> {
+        let p = self.edge();
+        (0..self.cells()).filter(move |b| mask & (1 << b) != 0).map(move |b| (b / p, b % p))
+    }
+
+    /// All grid sizes the paper evaluates, in Fig. 9 order.
+    pub const ALL: [GridSize; 3] = [GridSize::S2, GridSize::S3, GridSize::S4];
+}
+
+impl fmt::Display for GridSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.edge();
+        write!(f, "{p}x{p}")
+    }
+}
+
+/// Renders a mask as ASCII art (`#` = non-zero, `.` = empty), matching the
+/// dark/light grids of the paper's figures.
+pub fn render_mask(size: GridSize, mask: Mask) -> String {
+    let p = size.edge();
+    let mut out = String::with_capacity(((p + 1) * p) as usize);
+    for r in 0..p {
+        for c in 0..p {
+            out.push(if mask & (1 << size.bit(r, c)) != 0 { '#' } else { '.' });
+        }
+        if r + 1 < p {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(GridSize::S2.cells(), 4);
+        assert_eq!(GridSize::S3.cells(), 9);
+        assert_eq!(GridSize::S4.cells(), 16);
+        assert_eq!(GridSize::S4.pattern_count(), 65535);
+        assert_eq!(GridSize::S4.full_mask(), 0xFFFF);
+        assert_eq!(GridSize::S3.full_mask(), 0x1FF);
+    }
+
+    #[test]
+    fn bit_layout_is_row_major() {
+        assert_eq!(GridSize::S4.bit(0, 0), 0);
+        assert_eq!(GridSize::S4.bit(0, 3), 3);
+        assert_eq!(GridSize::S4.bit(1, 0), 4);
+        assert_eq!(GridSize::S3.bit(2, 2), 8);
+    }
+
+    #[test]
+    fn mask_round_trip() {
+        let size = GridSize::S4;
+        let cells = [(0, 1), (2, 3), (3, 0)];
+        let m = size.mask_of(cells);
+        let back: Vec<_> = size.cells_of(m).collect();
+        assert_eq!(back, vec![(0, 1), (2, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn render() {
+        let m = GridSize::S2.mask_of([(0, 0), (1, 1)]);
+        assert_eq!(render_mask(GridSize::S2, m), "#.\n.#");
+    }
+}

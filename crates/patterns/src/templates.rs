@@ -1,0 +1,569 @@
+//! Template patterns and the candidate portfolios of Table V.
+//!
+//! A template pattern is a `p`-cell shape inside the `p × p` local-pattern
+//! grid. The hardware decodes at most 16 of them (4-bit `t_idx`), each
+//! mapped to a 30-bit VALU opcode at initialisation.
+
+use std::fmt;
+
+use crate::grid::{GridSize, Mask};
+
+/// A single template pattern: a fixed-`p`-cell mask plus a human-readable
+/// shape tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Template {
+    mask: Mask,
+    kind: TemplateKind,
+}
+
+/// The shape families used to construct candidate templates (Section V-C:
+/// "row vectors, column vectors, diagonal vectors, anti-diagonal vectors,
+/// and blocks").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemplateKind {
+    /// `p` cells along row `r` (RW).
+    Row,
+    /// `p` cells along column `c` (CW).
+    Col,
+    /// Wrapped diagonal `(i, (i + k) mod p)`.
+    Diag,
+    /// Wrapped anti-diagonal `(i, (k − i) mod p)`.
+    AntiDiag,
+    /// 2×2 block (BW); only a template shape for `p = 4` where it has
+    /// exactly 4 cells.
+    Block,
+}
+
+impl Template {
+    /// The row-wise template along row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= p`.
+    pub fn row(size: GridSize, r: u32) -> Self {
+        assert!(r < size.edge(), "row {r} outside {size} grid");
+        let mask = size.mask_of((0..size.edge()).map(|c| (r, c)));
+        Template { mask, kind: TemplateKind::Row }
+    }
+
+    /// The column-wise template along column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= p`.
+    pub fn col(size: GridSize, c: u32) -> Self {
+        assert!(c < size.edge(), "col {c} outside {size} grid");
+        let mask = size.mask_of((0..size.edge()).map(|r| (r, c)));
+        Template { mask, kind: TemplateKind::Col }
+    }
+
+    /// The wrapped diagonal template with shift `k`: cells `(i, (i+k) mod p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= p`.
+    pub fn diag(size: GridSize, k: u32) -> Self {
+        assert!(k < size.edge(), "diag shift {k} outside {size} grid");
+        let p = size.edge();
+        let mask = size.mask_of((0..p).map(|i| (i, (i + k) % p)));
+        Template { mask, kind: TemplateKind::Diag }
+    }
+
+    /// The wrapped anti-diagonal template with shift `k`: cells
+    /// `(i, (k + p − i) mod p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= p`.
+    pub fn anti_diag(size: GridSize, k: u32) -> Self {
+        assert!(k < size.edge(), "anti-diag shift {k} outside {size} grid");
+        let p = size.edge();
+        let mask = size.mask_of((0..p).map(|i| (i, (k + p - i) % p)));
+        Template { mask, kind: TemplateKind::AntiDiag }
+    }
+
+    /// A 2×2 block template anchored at `(r, c)` with wrap-around, for the
+    /// 4×4 grid only ("16 BW patterns with different sampling window
+    /// placement", Table V set 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is `>= 4`.
+    pub fn block2(r: u32, c: u32) -> Self {
+        let size = GridSize::S4;
+        assert!(r < 4 && c < 4, "block anchor ({r},{c}) outside 4x4 grid");
+        let mask = size.mask_of(
+            [(0, 0), (0, 1), (1, 0), (1, 1)]
+                .into_iter()
+                .map(|(dr, dc)| ((r + dr) % 4, (c + dc) % 4)),
+        );
+        Template { mask, kind: TemplateKind::Block }
+    }
+
+    /// A column-pair block: cells `(r, c1)`, `(r, c2)`, `(r+1, c1)`,
+    /// `(r+1, c2)` on the 4×4 grid — the shape produced by 2:4
+    /// density-bound-block (DBB) pruning when two adjacent pruned rows
+    /// keep the same column pair (Section II-A's DBB local patterns).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `r ∈ {0, 2}` and `c1 < c2 < 4`.
+    pub fn dbb_pair(r: u32, c1: u32, c2: u32) -> Self {
+        assert!(r == 0 || r == 2, "DBB row pairs are (0,1) or (2,3), got r={r}");
+        assert!(c1 < c2 && c2 < 4, "need c1 < c2 < 4, got ({c1},{c2})");
+        let size = GridSize::S4;
+        let mask = size.mask_of([(r, c1), (r, c2), (r + 1, c1), (r + 1, c2)]);
+        Template { mask, kind: TemplateKind::Block }
+    }
+
+    /// The template's occupancy mask.
+    pub fn mask(self) -> Mask {
+        self.mask
+    }
+
+    /// The template's shape family.
+    pub fn kind(self) -> TemplateKind {
+        self.kind
+    }
+}
+
+/// An ordered portfolio of at most 16 templates; the position of a template
+/// in the portfolio is its hardware `t_idx`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateSet {
+    size: GridSize,
+    name: String,
+    templates: Vec<Template>,
+}
+
+impl TemplateSet {
+    /// Maximum number of templates a portfolio can hold (4-bit `t_idx`).
+    pub const MAX_TEMPLATES: usize = 16;
+
+    /// Builds a portfolio from explicit templates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`TemplateSet::MAX_TEMPLATES`] templates are
+    /// given, if the portfolio is empty, or if the union of templates does
+    /// not cover the whole grid (an uncoverable local pattern would make the
+    /// format lossy).
+    pub fn new(size: GridSize, name: impl Into<String>, templates: Vec<Template>) -> Self {
+        assert!(!templates.is_empty(), "portfolio must not be empty");
+        assert!(
+            templates.len() <= Self::MAX_TEMPLATES,
+            "portfolio exceeds the 4-bit t_idx capacity"
+        );
+        let union = templates.iter().fold(0 as Mask, |u, t| u | t.mask());
+        assert_eq!(
+            union,
+            size.full_mask(),
+            "portfolio must cover every grid cell so all local patterns decompose"
+        );
+        TemplateSet { size, name: name.into(), templates }
+    }
+
+    /// The grid size this portfolio targets.
+    pub fn size(&self) -> GridSize {
+        self.size
+    }
+
+    /// Portfolio label (e.g. `"set-0"` or `"dynamic"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The templates in `t_idx` order.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// The raw template masks in `t_idx` order.
+    pub fn masks(&self) -> impl Iterator<Item = Mask> + '_ {
+        self.templates.iter().map(|t| t.mask())
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether the portfolio is empty (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// The candidate portfolio `id` of Table V (0–9), on the 4×4 grid.
+    ///
+    /// | id | composition |
+    /// |----|-------------|
+    /// | 0  | 4 RW + 4 CW + 4 BW + 4 diagonal |
+    /// | 1  | 4 RW + 4 CW + 4 BW + 4 anti-diagonal |
+    /// | 2  | 16 BW (all sampling-window placements) |
+    /// | 3  | 4 RW + 4 CW + 8 BW |
+    /// | 4  | 4 RW + 4 CW + 4 diagonal + 4 anti-diagonal |
+    /// | 5  | 8 BW + 4 diagonal + 4 anti-diagonal |
+    /// | 6  | 4 RW + 8 BW + 4 diagonal |
+    /// | 7  | 4 CW + 8 BW + 4 diagonal |
+    /// | 8  | 4 RW + 8 BW + 4 anti-diagonal |
+    /// | 9  | 4 CW + 8 BW + 4 anti-diagonal |
+    ///
+    /// "4 BW" are the aligned quadrant blocks; "8 BW" adds the four
+    /// edge-centred placements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id > 9`.
+    pub fn table_v_set(id: usize) -> TemplateSet {
+        let s = GridSize::S4;
+        let rows: Vec<Template> = (0..4).map(|r| Template::row(s, r)).collect();
+        let cols: Vec<Template> = (0..4).map(|c| Template::col(s, c)).collect();
+        let diags: Vec<Template> = (0..4).map(|k| Template::diag(s, k)).collect();
+        let antis: Vec<Template> = (0..4).map(|k| Template::anti_diag(s, k)).collect();
+        // Aligned quadrants.
+        let bw4: Vec<Template> =
+            [(0, 0), (0, 2), (2, 0), (2, 2)].into_iter().map(|(r, c)| Template::block2(r, c)).collect();
+        // Quadrants + edge-centred placements.
+        let bw8: Vec<Template> = [(0, 0), (0, 2), (2, 0), (2, 2), (0, 1), (1, 0), (1, 2), (2, 1)]
+            .into_iter()
+            .map(|(r, c)| Template::block2(r, c))
+            .collect();
+        let bw16: Vec<Template> =
+            (0..4).flat_map(|r| (0..4).map(move |c| Template::block2(r, c))).collect();
+
+        let cat = |parts: Vec<Vec<Template>>| parts.into_iter().flatten().collect::<Vec<_>>();
+        let templates = match id {
+            0 => cat(vec![rows, cols, bw4, diags]),
+            1 => cat(vec![rows, cols, bw4, antis]),
+            2 => bw16,
+            3 => cat(vec![rows, cols, bw8]),
+            4 => cat(vec![rows, cols, diags, antis]),
+            5 => cat(vec![bw8, diags, antis]),
+            6 => cat(vec![rows, bw8, diags]),
+            7 => cat(vec![cols, bw8, diags]),
+            8 => cat(vec![rows, bw8, antis]),
+            9 => cat(vec![cols, bw8, antis]),
+            other => panic!("Table V defines candidate sets 0-9, got {other}"),
+        };
+        TemplateSet::new(s, format!("set-{id}"), templates)
+    }
+
+    /// All ten Table V candidate portfolios, in order.
+    pub fn table_v_candidates() -> Vec<TemplateSet> {
+        (0..10).map(TemplateSet::table_v_set).collect()
+    }
+
+    /// The DBB (density-bound block) portfolio: 4 row templates (for
+    /// coverage) plus all 12 column-pair blocks — tuned for 2:4-pruned
+    /// neural-network weight matrices, where every 4-column group of a
+    /// row keeps exactly two values. An extension beyond the paper's ten
+    /// Table V sets, built from the DBB local patterns its Section II-A
+    /// describes.
+    pub fn dbb() -> TemplateSet {
+        let s = GridSize::S4;
+        let mut t: Vec<Template> = (0..4).map(|r| Template::row(s, r)).collect();
+        for r in [0, 2] {
+            for c1 in 0..4u32 {
+                for c2 in (c1 + 1)..4 {
+                    t.push(Template::dbb_pair(r, c1, c2));
+                }
+            }
+        }
+        // 4 rows + 12 pairs = 16 templates.
+        TemplateSet::new(s, "dbb-2:4", t)
+    }
+
+    /// The default vector portfolio for a grid size: all rows, columns,
+    /// diagonals and anti-diagonals (`4p` templates — exactly 16 at `p = 4`,
+    /// where it coincides with Table V set 4).
+    ///
+    /// Used for the Fig. 9 pattern-size sweep, where block templates only
+    /// exist at `p = 4`.
+    pub fn vectors(size: GridSize) -> TemplateSet {
+        let p = size.edge();
+        let mut templates = Vec::with_capacity(4 * p as usize);
+        templates.extend((0..p).map(|r| Template::row(size, r)));
+        templates.extend((0..p).map(|c| Template::col(size, c)));
+        templates.extend((0..p).map(|k| Template::diag(size, k)));
+        templates.extend((0..p).map(|k| Template::anti_diag(size, k)));
+        TemplateSet::new(size, format!("vectors-{size}"), templates)
+    }
+}
+
+impl TemplateSet {
+    /// Serialises the portfolio to its text form — the artifact a
+    /// deployment stores next to the bitstream so the opcode LUT can be
+    /// reloaded without re-running selection:
+    ///
+    /// ```text
+    /// spasm-portfolio v1
+    /// size 4
+    /// name set-0
+    /// template 000f
+    /// ...
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("spasm-portfolio v1\n");
+        out.push_str(&format!("size {}\n", self.size.edge()));
+        out.push_str(&format!("name {}\n", self.name));
+        for t in &self.templates {
+            out.push_str(&format!("template {:04x}\n", t.mask()));
+        }
+        out
+    }
+
+    /// Parses a portfolio from [`TemplateSet::to_text`]'s format.
+    ///
+    /// Template kinds are inferred from the masks where they match a known
+    /// shape family and default to `Block` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed line, an unknown
+    /// size, a >16-template portfolio, or a non-covering template union.
+    pub fn from_text(text: &str) -> Result<TemplateSet, String> {
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        if lines.next() != Some("spasm-portfolio v1") {
+            return Err("missing `spasm-portfolio v1` header".into());
+        }
+        let size = match lines.next().and_then(|l| l.strip_prefix("size ")) {
+            Some("2") => GridSize::S2,
+            Some("3") => GridSize::S3,
+            Some("4") => GridSize::S4,
+            other => return Err(format!("bad size line: {other:?}")),
+        };
+        let name = lines
+            .next()
+            .and_then(|l| l.strip_prefix("name "))
+            .ok_or("missing name line")?
+            .to_string();
+        let mut templates = Vec::new();
+        for line in lines {
+            let hex = line
+                .strip_prefix("template ")
+                .ok_or_else(|| format!("unexpected line `{line}`"))?;
+            let mask = u16::from_str_radix(hex, 16)
+                .map_err(|e| format!("bad template mask `{hex}`: {e}"))?;
+            if mask & !size.full_mask() != 0 {
+                return Err(format!("mask {mask:#06x} has bits outside the {size} grid"));
+            }
+            if mask.count_ones() != size.template_len() {
+                return Err(format!(
+                    "mask {mask:#06x} has {} cells, expected {}",
+                    mask.count_ones(),
+                    size.template_len()
+                ));
+            }
+            templates.push(Template { mask, kind: Self::infer_kind(size, mask) });
+        }
+        if templates.is_empty() || templates.len() > Self::MAX_TEMPLATES {
+            return Err(format!("portfolio needs 1..=16 templates, got {}", templates.len()));
+        }
+        let union = templates.iter().fold(0 as Mask, |u, t| u | t.mask());
+        if union != size.full_mask() {
+            return Err("portfolio does not cover the grid".into());
+        }
+        Ok(TemplateSet { size, name, templates })
+    }
+
+    fn infer_kind(size: GridSize, mask: Mask) -> TemplateKind {
+        let p = size.edge();
+        for i in 0..p {
+            if mask == Template::row(size, i).mask() {
+                return TemplateKind::Row;
+            }
+            if mask == Template::col(size, i).mask() {
+                return TemplateKind::Col;
+            }
+            if mask == Template::diag(size, i).mask() {
+                return TemplateKind::Diag;
+            }
+            if mask == Template::anti_diag(size, i).mask() {
+                return TemplateKind::AntiDiag;
+            }
+        }
+        TemplateKind::Block
+    }
+}
+
+impl fmt::Display for TemplateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} templates, {})", self.name, self.templates.len(), self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_cell_counts() {
+        for s in GridSize::ALL {
+            let p = s.edge();
+            for i in 0..p {
+                assert_eq!(Template::row(s, i).mask().count_ones(), p);
+                assert_eq!(Template::col(s, i).mask().count_ones(), p);
+                assert_eq!(Template::diag(s, i).mask().count_ones(), p);
+                assert_eq!(Template::anti_diag(s, i).mask().count_ones(), p);
+            }
+        }
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(Template::block2(r, c).mask().count_ones(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn diag_masks_are_disjoint_and_cover() {
+        let s = GridSize::S4;
+        let union = (0..4).fold(0u16, |u, k| {
+            let m = Template::diag(s, k).mask();
+            assert_eq!(u & m, 0, "diagonals must be disjoint");
+            u | m
+        });
+        assert_eq!(union, s.full_mask());
+    }
+
+    #[test]
+    fn anti_diag_masks_are_disjoint_and_cover() {
+        let s = GridSize::S4;
+        let union = (0..4).fold(0u16, |u, k| {
+            let m = Template::anti_diag(s, k).mask();
+            assert_eq!(u & m, 0);
+            u | m
+        });
+        assert_eq!(union, s.full_mask());
+    }
+
+    #[test]
+    fn main_diagonal_is_identity_cells() {
+        let s = GridSize::S4;
+        assert_eq!(
+            Template::diag(s, 0).mask(),
+            s.mask_of([(0, 0), (1, 1), (2, 2), (3, 3)])
+        );
+        assert_eq!(
+            Template::anti_diag(s, 3).mask(),
+            s.mask_of([(0, 3), (1, 2), (2, 1), (3, 0)])
+        );
+    }
+
+    #[test]
+    fn all_table_v_sets_are_valid() {
+        for (i, set) in TemplateSet::table_v_candidates().into_iter().enumerate() {
+            assert_eq!(set.name(), format!("set-{i}"));
+            assert!(set.len() == 16, "set {i} has {} templates", set.len());
+        }
+    }
+
+    #[test]
+    fn set2_has_16_distinct_blocks() {
+        let set = TemplateSet::table_v_set(2);
+        let mut masks: Vec<_> = set.masks().collect();
+        masks.sort_unstable();
+        masks.dedup();
+        assert_eq!(masks.len(), 16);
+    }
+
+    #[test]
+    fn dbb_portfolio_is_valid_and_zero_pads_2_4_patterns() {
+        let set = TemplateSet::dbb();
+        assert_eq!(set.len(), 16);
+        // A 2:4-pruned submatrix where both rows of each pair keep the
+        // same columns decomposes with zero padding.
+        let s = GridSize::S4;
+        let pattern = s.mask_of([
+            (0, 1),
+            (0, 3),
+            (1, 1),
+            (1, 3),
+            (2, 0),
+            (2, 2),
+            (3, 0),
+            (3, 2),
+        ]);
+        let table = crate::decompose::DecompositionTable::build(&set);
+        let d = table.decompose(pattern).unwrap();
+        assert_eq!(d.paddings, 0, "two DBB pairs, no padding");
+        assert_eq!(d.instances(), 2);
+    }
+
+    #[test]
+    fn dbb_pair_cells() {
+        let t = Template::dbb_pair(2, 0, 3);
+        assert_eq!(
+            t.mask(),
+            GridSize::S4.mask_of([(2, 0), (2, 3), (3, 0), (3, 3)])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row pairs")]
+    fn dbb_pair_rejects_odd_row() {
+        Template::dbb_pair(1, 0, 1);
+    }
+
+    #[test]
+    fn vectors_portfolio_sizes() {
+        assert_eq!(TemplateSet::vectors(GridSize::S2).len(), 8);
+        assert_eq!(TemplateSet::vectors(GridSize::S3).len(), 12);
+        assert_eq!(TemplateSet::vectors(GridSize::S4).len(), 16);
+    }
+
+    #[test]
+    fn vectors_s4_equals_set4() {
+        let a: Vec<_> = TemplateSet::vectors(GridSize::S4).masks().collect();
+        let b: Vec<_> = TemplateSet::table_v_set(4).masks().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_masks_and_kinds() {
+        for set in
+            TemplateSet::table_v_candidates().into_iter().chain([TemplateSet::dbb()])
+        {
+            let text = set.to_text();
+            let back = TemplateSet::from_text(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+            assert_eq!(back.name(), set.name());
+            assert_eq!(
+                back.masks().collect::<Vec<_>>(),
+                set.masks().collect::<Vec<_>>()
+            );
+            let kinds_a: Vec<_> = set.templates().iter().map(|t| t.kind()).collect();
+            let kinds_b: Vec<_> = back.templates().iter().map(|t| t.kind()).collect();
+            assert_eq!(kinds_a, kinds_b, "{}", set.name());
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        assert!(TemplateSet::from_text("nope").is_err());
+        assert!(TemplateSet::from_text("spasm-portfolio v1\nsize 9\n").is_err());
+        let no_cover = "spasm-portfolio v1\nsize 4\nname x\ntemplate 000f\n";
+        assert!(TemplateSet::from_text(no_cover).unwrap_err().contains("cover"));
+        let bad_cells = "spasm-portfolio v1\nsize 4\nname x\ntemplate 0007\n";
+        assert!(TemplateSet::from_text(bad_cells).unwrap_err().contains("cells"));
+        let junk = "spasm-portfolio v1\nsize 4\nname x\nwat\n";
+        assert!(TemplateSet::from_text(junk).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover")]
+    fn non_covering_portfolio_rejected() {
+        let s = GridSize::S4;
+        TemplateSet::new(s, "bad", vec![Template::row(s, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_idx")]
+    fn oversized_portfolio_rejected() {
+        let s = GridSize::S4;
+        let mut t: Vec<Template> =
+            (0..4).flat_map(|r| (0..4).map(move |c| Template::block2(r, c))).collect();
+        t.push(Template::row(s, 0));
+        TemplateSet::new(s, "bad", t);
+    }
+}

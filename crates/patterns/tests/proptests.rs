@@ -1,0 +1,87 @@
+//! Property tests for decomposition and selection invariants.
+
+use proptest::prelude::*;
+use spasm_patterns::{
+    find_best_decomp, DecompositionTable, GridSize, PatternHistogram, TemplateSet,
+};
+
+fn any_set() -> impl Strategy<Value = TemplateSet> {
+    (0usize..10).prop_map(TemplateSet::table_v_set)
+}
+
+proptest! {
+    // Each case builds a 65536-state DP table (and Listing 1 walks 2^16
+    // subsets), so keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every non-empty 4x4 pattern decomposes under every Table V
+    /// portfolio, covers all its cells, and satisfies the padding identity
+    /// `paddings = 4·instances − popcount(pattern)`.
+    #[test]
+    fn decomposition_is_total_and_consistent(set in any_set(), pattern in 1u16..) {
+        let table = DecompositionTable::build(&set);
+        let d = table.decompose(pattern).expect("Table V portfolios cover the grid");
+        let masks: Vec<u16> = set.masks().collect();
+        let union = d.template_ids.iter().fold(0u16, |u, &t| u | masks[t as usize]);
+        prop_assert_eq!(union & pattern, pattern);
+        prop_assert_eq!(
+            d.paddings,
+            d.template_ids.len() as u32 * 4 - pattern.count_ones()
+        );
+        prop_assert_eq!(table.padding_count(pattern), Some(d.paddings));
+    }
+
+    /// The DP agrees with the paper's exhaustive Listing 1 on padding
+    /// counts for arbitrary patterns (small sample per case to keep the
+    /// exhaustive side affordable).
+    #[test]
+    fn dp_matches_listing1(set in any_set(), pattern in 1u16..) {
+        let masks: Vec<u16> = set.masks().collect();
+        let table = DecompositionTable::build(&set);
+        let slow = find_best_decomp(pattern, &masks).unwrap();
+        let fast = table.decompose(pattern).unwrap();
+        prop_assert_eq!(slow.paddings, fast.paddings);
+        prop_assert_eq!(slow.instances(), fast.instances());
+    }
+
+    /// A denser pattern never needs more instances than its superset
+    /// (monotonicity of set cover under subset ordering is false in
+    /// general, but padding ≥ 0 and ≤ 3·instances always hold).
+    #[test]
+    fn padding_bounds(set in any_set(), pattern in 1u16..) {
+        let table = DecompositionTable::build(&set);
+        let d = table.decompose(pattern).unwrap();
+        prop_assert!(d.paddings <= 3 * d.instances() as u32);
+        // An instance always covers at least one pattern cell.
+        prop_assert!(d.instances() as u32 <= pattern.count_ones());
+    }
+
+    /// Selection always returns the candidate with minimal weighted
+    /// paddings.
+    #[test]
+    fn selection_picks_the_minimum(
+        counts in proptest::collection::vec((1u16.., 1u64..1000), 1..20)
+    ) {
+        let h = PatternHistogram::from_counts(GridSize::S4, counts);
+        let cands = TemplateSet::table_v_candidates();
+        let out = spasm_patterns::select_template_set(
+            &h, &cands, spasm_patterns::selection::TopN::All);
+        let min = out.candidate_paddings.iter().flatten().min().copied().unwrap();
+        prop_assert_eq!(out.paddings, min);
+    }
+
+    /// Histogram totals are invariant under top-n restriction union tail.
+    #[test]
+    fn histogram_cdf_is_monotone(
+        counts in proptest::collection::vec((1u16.., 1u64..1000), 1..30)
+    ) {
+        let h = PatternHistogram::from_counts(GridSize::S4, counts);
+        let cdf = h.coverage_cdf();
+        for w in cdf.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+        if let Some(&last) = cdf.last() {
+            prop_assert!((last - 1.0).abs() < 1e-9);
+        }
+    }
+}

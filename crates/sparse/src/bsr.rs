@@ -1,0 +1,213 @@
+use crate::{Coo, Index, SparseError, Value};
+
+/// Block Sparse Row (BSR) matrix with square `b × b` blocks.
+///
+/// Rows and columns are padded up to a multiple of the block size; any block
+/// containing at least one stored entry is materialised densely. The paper's
+/// storage comparison uses `b = 2` and charges
+/// `4·(block_rows + 1) + nblocks·(4 + 4·b²)` bytes (one 32-bit column index
+/// plus `b²` `f32` values per block, CSR-style block row pointers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bsr {
+    rows: Index,
+    cols: Index,
+    block: u32,
+    block_row_ptr: Vec<usize>,
+    block_col_idx: Vec<Index>,
+    /// Dense block payloads, `block * block` values each, row-major.
+    block_values: Vec<Value>,
+}
+
+impl Bsr {
+    /// Converts a COO matrix to BSR with the given square block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidBlockSize`] if `block == 0`.
+    pub fn from_coo(coo: &Coo, block: u32) -> Result<Self, SparseError> {
+        if block == 0 {
+            return Err(SparseError::InvalidBlockSize(block));
+        }
+        let b = block as usize;
+        let block_rows = (coo.rows() as usize).div_ceil(b);
+
+        // Bucket entries by (block_row, block_col); COO order means block
+        // rows arrive sorted, but block columns within a block row do not
+        // (a later matrix row can introduce an earlier block column), so sort
+        // the per-block-row directory afterwards.
+        use std::collections::BTreeMap;
+        let mut blocks: BTreeMap<(Index, Index), Vec<Value>> = BTreeMap::new();
+        for (r, c, v) in coo.iter() {
+            let key = (r / block, c / block);
+            let payload = blocks.entry(key).or_insert_with(|| vec![0.0; b * b]);
+            payload[(r % block) as usize * b + (c % block) as usize] += v;
+        }
+
+        let mut block_row_ptr = vec![0usize; block_rows + 1];
+        let mut block_col_idx = Vec::with_capacity(blocks.len());
+        let mut block_values = Vec::with_capacity(blocks.len() * b * b);
+        for ((br, bc), payload) in blocks {
+            block_row_ptr[br as usize + 1] += 1;
+            block_col_idx.push(bc);
+            block_values.extend_from_slice(&payload);
+        }
+        for i in 0..block_rows {
+            block_row_ptr[i + 1] += block_row_ptr[i];
+        }
+        Ok(Bsr {
+            rows: coo.rows(),
+            cols: coo.cols(),
+            block,
+            block_row_ptr,
+            block_col_idx,
+            block_values,
+        })
+    }
+
+    /// Number of (unpadded) rows.
+    pub fn rows(&self) -> Index {
+        self.rows
+    }
+
+    /// Number of (unpadded) columns.
+    pub fn cols(&self) -> Index {
+        self.cols
+    }
+
+    /// Block edge length.
+    pub fn block_size(&self) -> u32 {
+        self.block
+    }
+
+    /// Number of stored blocks.
+    pub fn nblocks(&self) -> usize {
+        self.block_col_idx.len()
+    }
+
+    /// Number of rows of blocks.
+    pub fn block_rows(&self) -> usize {
+        self.block_row_ptr.len() - 1
+    }
+
+    /// Stored values including the zero fill inside partially-occupied
+    /// blocks; length is `nblocks · block²`.
+    pub fn values(&self) -> &[Value] {
+        &self.block_values
+    }
+
+    /// Fraction of stored block cells that are zero fill, given the number
+    /// of genuine non-zeros `nnz`.
+    pub fn fill_ratio(&self, nnz: usize) -> f64 {
+        let cells = self.nblocks() * (self.block as usize).pow(2);
+        if cells == 0 {
+            return 0.0;
+        }
+        1.0 - nnz as f64 / cells as f64
+    }
+
+    /// Reconstructs the COO form (zero fill inside blocks is dropped).
+    pub fn to_coo(&self) -> Coo {
+        let b = self.block;
+        let mut triplets = Vec::new();
+        for br in 0..self.block_rows() {
+            for slot in self.block_row_ptr[br]..self.block_row_ptr[br + 1] {
+                let bc = self.block_col_idx[slot];
+                let payload = &self.block_values
+                    [slot * (b as usize).pow(2)..(slot + 1) * (b as usize).pow(2)];
+                for i in 0..b {
+                    for j in 0..b {
+                        let v = payload[(i * b + j) as usize];
+                        let (r, c) = (br as Index * b + i, bc * b + j);
+                        if v != 0.0 && r < self.rows && c < self.cols {
+                            triplets.push((r, c, v));
+                        }
+                    }
+                }
+            }
+        }
+        Coo::from_triplets(self.rows, self.cols, triplets)
+            .expect("BSR entries are in bounds by construction")
+    }
+
+    /// Block-level SpMV `y += A·x` used by [`crate::SpMv`].
+    pub(crate) fn spmv_into(&self, x: &[Value], y: &mut [Value]) {
+        let b = self.block as usize;
+        for br in 0..self.block_rows() {
+            for slot in self.block_row_ptr[br]..self.block_row_ptr[br + 1] {
+                let bc = self.block_col_idx[slot] as usize;
+                let payload = &self.block_values[slot * b * b..(slot + 1) * b * b];
+                for i in 0..b {
+                    let r = br * b + i;
+                    if r >= self.rows as usize {
+                        break;
+                    }
+                    let mut acc = 0.0;
+                    for j in 0..b {
+                        let c = bc * b + j;
+                        if c < self.cols as usize {
+                            acc += payload[i * b + j] * x[c];
+                        }
+                    }
+                    y[r] += acc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo {
+        // 4x4 with a dense 2x2 block at (0,0) and a lone entry at (3,3).
+        Coo::from_triplets(
+            4,
+            4,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0), (3, 3, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn block_structure() {
+        let bsr = Bsr::from_coo(&sample(), 2).unwrap();
+        assert_eq!(bsr.nblocks(), 2);
+        assert_eq!(bsr.block_rows(), 2);
+        // lone entry block has 3 zero-filled cells out of 4
+        assert!((bsr.fill_ratio(5) - (1.0 - 5.0 / 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip() {
+        let coo = sample();
+        let bsr = Bsr::from_coo(&coo, 2).unwrap();
+        assert_eq!(bsr.to_coo(), coo);
+    }
+
+    #[test]
+    fn non_dividing_block_size() {
+        // 3x3 with block 2 pads to 4x4 logically; entries must survive.
+        let coo = Coo::from_triplets(3, 3, vec![(2, 2, 7.0), (0, 2, 1.0)]).unwrap();
+        let bsr = Bsr::from_coo(&coo, 2).unwrap();
+        assert_eq!(bsr.to_coo(), coo);
+    }
+
+    #[test]
+    fn zero_block_size_rejected() {
+        assert!(matches!(
+            Bsr::from_coo(&sample(), 0),
+            Err(SparseError::InvalidBlockSize(0))
+        ));
+    }
+
+    #[test]
+    fn block_columns_sorted_within_row() {
+        // Entries that arrive in an order where a later matrix row has an
+        // earlier block column.
+        let coo =
+            Coo::from_triplets(2, 6, vec![(0, 4, 1.0), (1, 0, 2.0), (1, 2, 3.0)]).unwrap();
+        let bsr = Bsr::from_coo(&coo, 2).unwrap();
+        assert_eq!(bsr.to_coo(), coo);
+    }
+}

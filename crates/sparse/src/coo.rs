@@ -1,0 +1,213 @@
+use crate::{Index, SparseError, Triplet, Value};
+
+/// Coordinate-list (COO) sparse matrix.
+///
+/// The simplest format: three parallel arrays of row indices, column indices
+/// and values. COO is the interchange format of this workspace — every other
+/// format converts through it — and the normalisation baseline of the
+/// paper's storage comparison (12 bytes per non-zero).
+///
+/// Invariants maintained by all constructors:
+/// * entries are sorted by `(row, col)`,
+/// * duplicate coordinates are summed into a single entry,
+/// * all indices are within the declared shape.
+///
+/// Explicit zeros are kept (they are legitimate stored entries in the
+/// SuiteSparse collection and affect storage-cost accounting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo {
+    rows: Index,
+    cols: Index,
+    row_idx: Vec<Index>,
+    col_idx: Vec<Index>,
+    values: Vec<Value>,
+}
+
+impl Coo {
+    /// Creates an empty matrix of the given shape.
+    pub fn new(rows: Index, cols: Index) -> Self {
+        Coo { rows, cols, row_idx: Vec::new(), col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Builds a COO matrix from `(row, col, value)` triplets.
+    ///
+    /// Triplets may arrive in any order; duplicates are summed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if any triplet lies outside
+    /// `rows × cols`.
+    pub fn from_triplets(
+        rows: Index,
+        cols: Index,
+        mut triplets: Vec<Triplet>,
+    ) -> Result<Self, SparseError> {
+        for &(r, c, _) in &triplets {
+            if r >= rows || c >= cols {
+                return Err(SparseError::IndexOutOfBounds { row: r, col: c, rows, cols });
+            }
+        }
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_idx = Vec::with_capacity(triplets.len());
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut values: Vec<Value> = Vec::with_capacity(triplets.len());
+        for (r, c, v) in triplets {
+            if let (Some(&lr), Some(&lc)) = (row_idx.last(), col_idx.last()) {
+                if lr == r && lc == c {
+                    *values.last_mut().expect("values parallel to indices") += v;
+                    continue;
+                }
+            }
+            row_idx.push(r);
+            col_idx.push(c);
+            values.push(v);
+        }
+        Ok(Coo { rows, cols, row_idx, col_idx, values })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> Index {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> Index {
+        self.cols
+    }
+
+    /// Number of stored entries (including explicit zeros).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Density: `nnz / (rows * cols)`.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+
+    /// Row indices, sorted by `(row, col)`.
+    pub fn row_indices(&self) -> &[Index] {
+        &self.row_idx
+    }
+
+    /// Column indices, parallel to [`Coo::row_indices`].
+    pub fn col_indices(&self) -> &[Index] {
+        &self.col_idx
+    }
+
+    /// Stored values, parallel to the index arrays.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Iterates over the stored entries in `(row, col)` order.
+    pub fn iter(&self) -> impl Iterator<Item = Triplet> + '_ {
+        self.row_idx
+            .iter()
+            .zip(&self.col_idx)
+            .zip(&self.values)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Consumes the matrix and returns its triplets in `(row, col)` order.
+    pub fn into_triplets(self) -> Vec<Triplet> {
+        self.row_idx
+            .into_iter()
+            .zip(self.col_idx)
+            .zip(self.values)
+            .map(|((r, c), v)| (r, c, v))
+            .collect()
+    }
+
+    /// Returns the transpose of this matrix.
+    pub fn transpose(&self) -> Coo {
+        let triplets = self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        Coo::from_triplets(self.cols, self.rows, triplets)
+            .expect("transposed entries stay in bounds")
+    }
+
+    /// Number of stored entries in each row.
+    pub fn row_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.rows as usize];
+        for &r in &self.row_idx {
+            counts[r as usize] += 1;
+        }
+        counts
+    }
+}
+
+impl FromIterator<Triplet> for Coo {
+    /// Collects triplets into a matrix whose shape is the tight bounding box
+    /// of the entries. Panics only on allocation failure; out-of-bounds is
+    /// impossible by construction.
+    fn from_iter<I: IntoIterator<Item = Triplet>>(iter: I) -> Self {
+        let triplets: Vec<Triplet> = iter.into_iter().collect();
+        let rows = triplets.iter().map(|&(r, _, _)| r + 1).max().unwrap_or(0);
+        let cols = triplets.iter().map(|&(_, c, _)| c + 1).max().unwrap_or(0);
+        Coo::from_triplets(rows, cols, triplets).expect("bounding-box shape fits all entries")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix() {
+        let m = Coo::new(4, 5);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 5);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.density(), 0.0);
+    }
+
+    #[test]
+    fn from_triplets_sorts_and_sums_duplicates() {
+        let m = Coo::from_triplets(
+            3,
+            3,
+            vec![(2, 2, 1.0), (0, 1, 2.0), (2, 2, 3.0), (0, 0, -1.0)],
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 3);
+        let t: Vec<_> = m.iter().collect();
+        assert_eq!(t, vec![(0, 0, -1.0), (0, 1, 2.0), (2, 2, 4.0)]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let err = Coo::from_triplets(2, 2, vec![(2, 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, SparseError::IndexOutOfBounds { row: 2, .. }));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Coo::from_triplets(2, 3, vec![(0, 2, 1.0), (1, 0, 2.0)]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn explicit_zeros_are_kept() {
+        let m = Coo::from_triplets(2, 2, vec![(0, 0, 0.0)]).unwrap();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn row_counts() {
+        let m = Coo::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 2, 1.0), (2, 1, 1.0)]).unwrap();
+        assert_eq!(m.row_counts(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn from_iterator_bounding_box() {
+        let m: Coo = vec![(1, 4, 1.0), (3, 0, 2.0)].into_iter().collect();
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 5);
+    }
+}

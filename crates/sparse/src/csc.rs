@@ -1,0 +1,174 @@
+use crate::{Coo, Index, SparseError, Value};
+
+/// Compressed Sparse Column (CSC) matrix.
+///
+/// The column-major dual of [`crate::Csr`]: a column-pointer array of length
+/// `cols + 1` plus row-index and value arrays of length `nnz`. Storage cost
+/// is symmetric to CSR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    rows: Index,
+    cols: Index,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<Index>,
+    values: Vec<Value>,
+}
+
+impl Csc {
+    /// Builds a CSC matrix directly from its raw arrays.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`crate::Csr::from_raw`]: pointer array must be consistent and
+    /// row indices within each column strictly increasing and in bounds.
+    pub fn from_raw(
+        rows: Index,
+        cols: Index,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<Index>,
+        values: Vec<Value>,
+    ) -> Result<Self, SparseError> {
+        let bad = |message: &str| SparseError::ParseError { line: 0, message: message.into() };
+        if col_ptr.len() != cols as usize + 1 {
+            return Err(bad("col_ptr length must be cols + 1"));
+        }
+        if row_idx.len() != values.len() {
+            return Err(bad("row_idx and values must have equal length"));
+        }
+        if col_ptr.first() != Some(&0) || col_ptr.last() != Some(&row_idx.len()) {
+            return Err(bad("col_ptr must start at 0 and end at nnz"));
+        }
+        for w in col_ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(bad("col_ptr must be non-decreasing"));
+            }
+            for pair in row_idx[w[0]..w[1]].windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(bad("row indices within a column must strictly increase"));
+                }
+            }
+        }
+        if let Some(&r) = row_idx.iter().max() {
+            if r >= rows {
+                return Err(SparseError::IndexOutOfBounds { row: r, col: 0, rows, cols });
+            }
+        }
+        Ok(Csc { rows, cols, col_ptr, row_idx, values })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> Index {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> Index {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The column-pointer array (`cols + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row indices, concatenated column by column.
+    pub fn row_indices(&self) -> &[Index] {
+        &self.row_idx
+    }
+
+    /// Stored values, parallel to [`Csc::row_indices`].
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The `(row, value)` pairs of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn col(&self, c: Index) -> impl Iterator<Item = (Index, Value)> + '_ {
+        let span = self.col_ptr[c as usize]..self.col_ptr[c as usize + 1];
+        self.row_idx[span.clone()].iter().zip(&self.values[span]).map(|(&r, &v)| (r, v))
+    }
+}
+
+impl From<&Coo> for Csc {
+    fn from(coo: &Coo) -> Self {
+        let cols = coo.cols();
+        let mut col_ptr = vec![0usize; cols as usize + 1];
+        for &c in coo.col_indices() {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..cols as usize {
+            col_ptr[i + 1] += col_ptr[i];
+        }
+        let mut cursor = col_ptr.clone();
+        let mut row_idx = vec![0 as Index; coo.nnz()];
+        let mut values = vec![0.0 as Value; coo.nnz()];
+        // COO iterates in (row, col) order, so rows arrive increasing within
+        // each column — the strictly-increasing invariant holds.
+        for (r, c, v) in coo.iter() {
+            let slot = cursor[c as usize];
+            row_idx[slot] = r;
+            values[slot] = v;
+            cursor[c as usize] += 1;
+        }
+        Csc { rows: coo.rows(), cols, col_ptr, row_idx, values }
+    }
+}
+
+impl From<&Csc> for Coo {
+    fn from(csc: &Csc) -> Self {
+        let mut triplets = Vec::with_capacity(csc.nnz());
+        for c in 0..csc.cols() {
+            for (r, v) in csc.col(c) {
+                triplets.push((r, c, v));
+            }
+        }
+        Coo::from_triplets(csc.rows(), csc.cols(), triplets)
+            .expect("CSC entries are in bounds by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo {
+        Coo::from_triplets(
+            3,
+            4,
+            vec![(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coo_round_trip() {
+        let coo = sample();
+        let csc = Csc::from(&coo);
+        assert_eq!(csc.nnz(), 5);
+        assert_eq!(csc.col_ptr(), &[0, 2, 3, 4, 5]);
+        assert_eq!(Coo::from(&csc), coo);
+    }
+
+    #[test]
+    fn col_iteration() {
+        let csc = Csc::from(&sample());
+        let col0: Vec<_> = csc.col(0).collect();
+        assert_eq!(col0, vec![(0, 1.0), (2, 4.0)]);
+        assert_eq!(csc.col(3).collect::<Vec<_>>(), vec![(0, 2.0)]);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(Csc::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        assert!(Csc::from_raw(2, 2, vec![0, 3], vec![0, 1], vec![1.0, 2.0]).is_err());
+        assert!(Csc::from_raw(2, 2, vec![0, 1, 2], vec![0, 9], vec![1.0, 2.0]).is_err());
+    }
+}

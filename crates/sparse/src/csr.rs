@@ -1,0 +1,213 @@
+use crate::{Coo, Index, SparseError, Value};
+
+/// Compressed Sparse Row (CSR) matrix.
+///
+/// Stores a row-pointer array of length `rows + 1`, plus column-index and
+/// value arrays of length `nnz`. In the paper's storage model this costs
+/// `4·(rows + 1) + 8·nnz` bytes (32-bit indices, `f32` values).
+///
+/// # Examples
+///
+/// ```
+/// use spasm_sparse::{Coo, Csr};
+///
+/// # fn main() -> Result<(), spasm_sparse::SparseError> {
+/// let coo = Coo::from_triplets(2, 3, vec![(0, 0, 1.0), (1, 2, 5.0)])?;
+/// let csr = Csr::from(&coo);
+/// assert_eq!(csr.row_ptr(), &[0, 1, 2]);
+/// assert_eq!(csr.row(1).collect::<Vec<_>>(), vec![(2, 5.0)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: Index,
+    cols: Index,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<Index>,
+    values: Vec<Value>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix directly from its raw arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the arrays are inconsistent: `row_ptr` must have
+    /// length `rows + 1`, start at 0, end at `col_idx.len()`, be
+    /// non-decreasing, and every column index must be `< cols`. Column
+    /// indices within each row must be strictly increasing.
+    pub fn from_raw(
+        rows: Index,
+        cols: Index,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<Index>,
+        values: Vec<Value>,
+    ) -> Result<Self, SparseError> {
+        let bad = |message: &str| SparseError::ParseError { line: 0, message: message.into() };
+        if row_ptr.len() != rows as usize + 1 {
+            return Err(bad("row_ptr length must be rows + 1"));
+        }
+        if col_idx.len() != values.len() {
+            return Err(bad("col_idx and values must have equal length"));
+        }
+        if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&col_idx.len()) {
+            return Err(bad("row_ptr must start at 0 and end at nnz"));
+        }
+        for w in row_ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(bad("row_ptr must be non-decreasing"));
+            }
+            for pair in col_idx[w[0]..w[1]].windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(bad("column indices within a row must strictly increase"));
+                }
+            }
+        }
+        if let Some(&c) = col_idx.iter().max() {
+            if c >= cols {
+                return Err(SparseError::IndexOutOfBounds { row: 0, col: c, rows, cols });
+            }
+        }
+        Ok(Csr { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> Index {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> Index {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row-pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices, concatenated row by row.
+    pub fn col_indices(&self) -> &[Index] {
+        &self.col_idx
+    }
+
+    /// Stored values, parallel to [`Csr::col_indices`].
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The `(column, value)` pairs of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: Index) -> impl Iterator<Item = (Index, Value)> + '_ {
+        let span = self.row_ptr[r as usize]..self.row_ptr[r as usize + 1];
+        self.col_idx[span.clone()].iter().zip(&self.values[span]).map(|(&c, &v)| (c, v))
+    }
+
+    /// Number of stored entries in each row (used by load-imbalance models).
+    pub fn row_lengths(&self) -> Vec<usize> {
+        self.row_ptr.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+}
+
+impl From<&Coo> for Csr {
+    fn from(coo: &Coo) -> Self {
+        let rows = coo.rows();
+        let mut row_ptr = vec![0usize; rows as usize + 1];
+        for &r in coo.row_indices() {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..rows as usize {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        // COO is already (row, col)-sorted, so a straight copy preserves the
+        // strictly-increasing column invariant within each row.
+        Csr {
+            rows,
+            cols: coo.cols(),
+            row_ptr,
+            col_idx: coo.col_indices().to_vec(),
+            values: coo.values().to_vec(),
+        }
+    }
+}
+
+impl From<&Csr> for Coo {
+    fn from(csr: &Csr) -> Self {
+        let mut triplets = Vec::with_capacity(csr.nnz());
+        for r in 0..csr.rows() {
+            for (c, v) in csr.row(r) {
+                triplets.push((r, c, v));
+            }
+        }
+        Coo::from_triplets(csr.rows(), csr.cols(), triplets)
+            .expect("CSR entries are in bounds by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo {
+        Coo::from_triplets(
+            3,
+            4,
+            vec![(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coo_round_trip() {
+        let coo = sample();
+        let csr = Csr::from(&coo);
+        assert_eq!(csr.nnz(), 5);
+        assert_eq!(csr.row_ptr(), &[0, 2, 3, 5]);
+        assert_eq!(Coo::from(&csr), coo);
+    }
+
+    #[test]
+    fn row_iteration() {
+        let csr = Csr::from(&sample());
+        let row0: Vec<_> = csr.row(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (3, 2.0)]);
+        let row1: Vec<_> = csr.row(1).collect();
+        assert_eq!(row1, vec![(1, 3.0)]);
+    }
+
+    #[test]
+    fn row_lengths() {
+        let csr = Csr::from(&sample());
+        assert_eq!(csr.row_lengths(), vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(Csr::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        // row_ptr wrong length
+        assert!(Csr::from_raw(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // decreasing row_ptr
+        assert!(Csr::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // column out of range
+        assert!(Csr::from_raw(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 2.0]).is_err());
+        // duplicate column within a row
+        assert!(Csr::from_raw(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let coo = Coo::from_triplets(4, 4, vec![(3, 3, 9.0)]).unwrap();
+        let csr = Csr::from(&coo);
+        assert_eq!(csr.row_ptr(), &[0, 0, 0, 0, 1]);
+        assert_eq!(csr.row(1).count(), 0);
+    }
+}

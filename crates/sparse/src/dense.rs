@@ -1,0 +1,93 @@
+use crate::{Coo, Index, Value};
+
+/// A dense row-major matrix.
+///
+/// Used as the ground truth for correctness tests and for rendering small
+/// pattern examples; not intended for large problems.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    rows: Index,
+    cols: Index,
+    data: Vec<Value>,
+}
+
+impl Dense {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: Index, cols: Index) -> Self {
+        Dense { rows, cols, data: vec![0.0; rows as usize * cols as usize] }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> Index {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> Index {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: Index, c: Index) -> Value {
+        assert!(r < self.rows && c < self.cols, "({r}, {c}) out of bounds");
+        self.data[r as usize * self.cols as usize + c as usize]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get_mut(&mut self, r: Index, c: Index) -> &mut Value {
+        assert!(r < self.rows && c < self.cols, "({r}, {c}) out of bounds");
+        &mut self.data[r as usize * self.cols as usize + c as usize]
+    }
+
+    /// Dense matrix-vector product `y += A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn spmv_into(&self, x: &[Value], y: &mut [Value]) {
+        assert_eq!(x.len(), self.cols as usize);
+        assert_eq!(y.len(), self.rows as usize);
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols as usize..(r + 1) * self.cols as usize];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *yr += acc;
+        }
+    }
+}
+
+impl From<&Coo> for Dense {
+    fn from(coo: &Coo) -> Self {
+        let mut d = Dense::zeros(coo.rows(), coo.cols());
+        for (r, c, v) in coo.iter() {
+            *d.get_mut(r, c) += v;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_coo_and_spmv() {
+        let coo = Coo::from_triplets(2, 2, vec![(0, 1, 3.0), (1, 0, 2.0)]).unwrap();
+        let d = Dense::from(&coo);
+        assert_eq!(d.get(0, 1), 3.0);
+        assert_eq!(d.get(1, 1), 0.0);
+        let mut y = vec![1.0, 1.0];
+        d.spmv_into(&[2.0, 4.0], &mut y);
+        assert_eq!(y, vec![13.0, 5.0]);
+    }
+}

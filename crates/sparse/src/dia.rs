@@ -1,0 +1,146 @@
+use crate::{Coo, Index, SparseError, Value};
+
+/// Diagonal (DIA) storage.
+///
+/// Stores every populated diagonal as a padded dense strip of length
+/// `rows`. Diagonals are identified by their offset `k = col − row`
+/// (`k = 0` is the main diagonal). Extremely efficient for banded matrices
+/// and pathological for anything else — exactly the trade-off Table I
+/// describes ("pattern-aware, padding required").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dia {
+    rows: Index,
+    cols: Index,
+    /// Sorted diagonal offsets.
+    offsets: Vec<i64>,
+    /// `offsets.len() × rows` values, one padded strip per diagonal; strip
+    /// slot `r` holds `A[r][r + k]` (0.0 where out of range or absent).
+    strips: Vec<Value>,
+    nnz: usize,
+}
+
+impl Dia {
+    /// Converts a COO matrix to DIA storage.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let mut offsets: Vec<i64> =
+            coo.iter().map(|(r, c, _)| c as i64 - r as i64).collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        let rows = coo.rows() as usize;
+        let mut strips = vec![0.0; offsets.len() * rows];
+        for (r, c, v) in coo.iter() {
+            let k = c as i64 - r as i64;
+            let d = offsets.binary_search(&k).expect("offset collected above");
+            strips[d * rows + r as usize] += v;
+        }
+        Dia { rows: coo.rows(), cols: coo.cols(), offsets, strips, nnz: coo.nnz() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> Index {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> Index {
+        self.cols
+    }
+
+    /// Number of genuine stored entries (pre-padding).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Number of populated diagonals.
+    pub fn ndiags(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// The sorted diagonal offsets (`col − row`).
+    pub fn offsets(&self) -> &[i64] {
+        &self.offsets
+    }
+
+    /// Total stored value slots including padding.
+    pub fn stored_slots(&self) -> usize {
+        self.strips.len()
+    }
+
+    /// Reconstructs the COO form (padding zeros are dropped).
+    pub fn to_coo(&self) -> Result<Coo, SparseError> {
+        let mut triplets = Vec::with_capacity(self.nnz);
+        let rows = self.rows as i64;
+        let cols = self.cols as i64;
+        for (d, &k) in self.offsets.iter().enumerate() {
+            for r in 0..rows {
+                let c = r + k;
+                if c < 0 || c >= cols {
+                    continue;
+                }
+                let v = self.strips[d * self.rows as usize + r as usize];
+                if v != 0.0 {
+                    triplets.push((r as Index, c as Index, v));
+                }
+            }
+        }
+        Coo::from_triplets(self.rows, self.cols, triplets)
+    }
+
+    /// SpMV `y += A·x` along diagonals, used by [`crate::SpMv`].
+    pub(crate) fn spmv_into(&self, x: &[Value], y: &mut [Value]) {
+        let rows = self.rows as i64;
+        let cols = self.cols as i64;
+        for (d, &k) in self.offsets.iter().enumerate() {
+            let strip = &self.strips[d * self.rows as usize..(d + 1) * self.rows as usize];
+            let r_lo = 0.max(-k);
+            let r_hi = rows.min(cols - k);
+            for r in r_lo..r_hi {
+                y[r as usize] += strip[r as usize] * x[(r + k) as usize];
+            }
+        }
+    }
+}
+
+impl From<&Coo> for Dia {
+    fn from(coo: &Coo) -> Self {
+        Dia::from_coo(coo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tridiagonal_round_trip() {
+        let mut t = Vec::new();
+        for i in 0u32..5 {
+            t.push((i, i, 2.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+                t.push((i - 1, i, -1.0));
+            }
+        }
+        let coo = Coo::from_triplets(5, 5, t).unwrap();
+        let dia = Dia::from_coo(&coo);
+        assert_eq!(dia.ndiags(), 3);
+        assert_eq!(dia.offsets(), &[-1, 0, 1]);
+        assert_eq!(dia.to_coo().unwrap(), coo);
+    }
+
+    #[test]
+    fn scattered_matrix_pads_heavily() {
+        let coo = Coo::from_triplets(4, 4, vec![(0, 3, 1.0), (3, 0, 2.0)]).unwrap();
+        let dia = Dia::from_coo(&coo);
+        assert_eq!(dia.ndiags(), 2);
+        assert_eq!(dia.stored_slots(), 8); // 2 diagonals x 4 rows
+        assert_eq!(dia.nnz(), 2);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let coo = Coo::from_triplets(2, 5, vec![(0, 4, 1.0), (1, 0, 2.0)]).unwrap();
+        let dia = Dia::from_coo(&coo);
+        assert_eq!(dia.to_coo().unwrap(), coo);
+    }
+}

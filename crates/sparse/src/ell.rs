@@ -1,0 +1,144 @@
+use crate::{Coo, Index, SparseError, Value};
+
+/// ELLPACK (ELL) storage.
+///
+/// Every row is padded to the length of the longest row; column indices and
+/// values are stored as dense `rows × width` arrays (row-major here).
+/// Great for matrices with uniform row lengths (banded/diagonal global
+/// composition), terrible when one row is much denser than the rest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ell {
+    rows: Index,
+    cols: Index,
+    width: usize,
+    /// `rows × width` column indices; padding slots hold the sentinel
+    /// `u32::MAX` and a 0.0 value.
+    col_idx: Vec<Index>,
+    values: Vec<Value>,
+    nnz: usize,
+}
+
+/// Sentinel column index marking an ELL padding slot.
+pub const ELL_PAD: Index = Index::MAX;
+
+impl Ell {
+    /// Converts a COO matrix to ELL storage.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let rows = coo.rows() as usize;
+        let mut lengths = vec![0usize; rows];
+        for &r in coo.row_indices() {
+            lengths[r as usize] += 1;
+        }
+        let width = lengths.iter().copied().max().unwrap_or(0);
+        let mut col_idx = vec![ELL_PAD; rows * width];
+        let mut values = vec![0.0; rows * width];
+        let mut cursor = vec![0usize; rows];
+        for (r, c, v) in coo.iter() {
+            let slot = r as usize * width + cursor[r as usize];
+            col_idx[slot] = c;
+            values[slot] = v;
+            cursor[r as usize] += 1;
+        }
+        Ell { rows: coo.rows(), cols: coo.cols(), width, col_idx, values, nnz: coo.nnz() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> Index {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> Index {
+        self.cols
+    }
+
+    /// Padded row width (longest row length).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of genuine stored entries (pre-padding).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Total slots including padding (`rows × width`).
+    pub fn stored_slots(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Reconstructs the COO form (padding slots are dropped).
+    pub fn to_coo(&self) -> Result<Coo, SparseError> {
+        let mut triplets = Vec::with_capacity(self.nnz);
+        for r in 0..self.rows as usize {
+            for s in 0..self.width {
+                let c = self.col_idx[r * self.width + s];
+                if c != ELL_PAD {
+                    triplets.push((r as Index, c, self.values[r * self.width + s]));
+                }
+            }
+        }
+        Coo::from_triplets(self.rows, self.cols, triplets)
+    }
+
+    /// SpMV `y += A·x`, used by [`crate::SpMv`].
+    pub(crate) fn spmv_into(&self, x: &[Value], y: &mut [Value]) {
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for s in 0..self.width {
+                let c = self.col_idx[r * self.width + s];
+                if c != ELL_PAD {
+                    acc += self.values[r * self.width + s] * x[c as usize];
+                }
+            }
+            *yr += acc;
+        }
+    }
+}
+
+impl From<&Coo> for Ell {
+    fn from(coo: &Coo) -> Self {
+        Ell::from_coo(coo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_rows_have_no_padding() {
+        let coo = Coo::from_triplets(
+            2,
+            4,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (1, 3, 4.0)],
+        )
+        .unwrap();
+        let ell = Ell::from_coo(&coo);
+        assert_eq!(ell.width(), 2);
+        assert_eq!(ell.stored_slots(), 4);
+        assert_eq!(ell.to_coo().unwrap(), coo);
+    }
+
+    #[test]
+    fn skewed_rows_pad() {
+        let coo = Coo::from_triplets(
+            3,
+            4,
+            vec![(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (2, 0, 1.0)],
+        )
+        .unwrap();
+        let ell = Ell::from_coo(&coo);
+        assert_eq!(ell.width(), 4);
+        assert_eq!(ell.stored_slots(), 12);
+        assert_eq!(ell.to_coo().unwrap(), coo);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let coo = Coo::new(3, 3);
+        let ell = Ell::from_coo(&coo);
+        assert_eq!(ell.width(), 0);
+        assert_eq!(ell.to_coo().unwrap(), coo);
+    }
+}

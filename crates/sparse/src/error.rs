@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Errors produced by the sparse-matrix substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// A triplet refers to a row or column outside the declared shape.
+    IndexOutOfBounds {
+        /// Row of the offending entry.
+        row: u32,
+        /// Column of the offending entry.
+        col: u32,
+        /// Declared number of rows.
+        rows: u32,
+        /// Declared number of columns.
+        cols: u32,
+    },
+    /// The input vector `x` has the wrong length for this matrix.
+    DimensionMismatch {
+        /// What the operation expected.
+        expected: usize,
+        /// What the caller supplied.
+        actual: usize,
+        /// Which operand was wrong (`"x"` or `"y"`).
+        operand: &'static str,
+    },
+    /// A block size of zero (or one that does not divide the shape when
+    /// required) was supplied to a blocked format.
+    InvalidBlockSize(u32),
+    /// The Matrix Market stream was malformed.
+    ParseError {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An I/O error, carried as a string because `io::Error` is not `Clone`.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {rows}x{cols} matrix shape"
+            ),
+            SparseError::DimensionMismatch { expected, actual, operand } => write!(
+                f,
+                "vector `{operand}` has length {actual}, expected {expected}"
+            ),
+            SparseError::InvalidBlockSize(b) => write!(f, "invalid block size {b}"),
+            SparseError::ParseError { line, message } => {
+                write!(f, "matrix market parse error at line {line}: {message}")
+            }
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(err: std::io::Error) -> Self {
+        SparseError::Io(err.to_string())
+    }
+}

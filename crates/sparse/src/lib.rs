@@ -1,0 +1,64 @@
+//! Sparse-matrix substrate for the SPASM reproduction.
+//!
+//! This crate provides the classic sparse storage formats that the SPASM
+//! paper compares against (COO, CSR, CSC, BSR, DIA, ELL), conversions
+//! between them, reference SpMV (`y = A·x + y`) implementations for each
+//! format, Matrix Market I/O, and per-format storage-cost models used by the
+//! paper's storage comparison (Fig. 11 / Table VI).
+//!
+//! # Example
+//!
+//! ```
+//! use spasm_sparse::{Coo, Csr, SpMv};
+//!
+//! # fn main() -> Result<(), spasm_sparse::SparseError> {
+//! let coo = Coo::from_triplets(3, 3, vec![(0, 0, 2.0), (1, 2, 1.0), (2, 1, -1.0)])?;
+//! let csr = Csr::from(&coo);
+//! let x = vec![1.0f32, 2.0, 3.0];
+//! let mut y = vec![0.0f32; 3];
+//! csr.spmv(&x, &mut y)?;
+//! assert_eq!(y, vec![2.0, 3.0, -2.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bsr;
+mod coo;
+mod csc;
+mod csr;
+mod dense;
+mod dia;
+mod ell;
+mod error;
+pub mod mm;
+pub mod reorder;
+mod spmv;
+pub mod spy;
+pub mod storage;
+
+pub use bsr::Bsr;
+pub use coo::Coo;
+pub use csc::Csc;
+pub use csr::Csr;
+pub use dense::Dense;
+pub use dia::Dia;
+pub use ell::Ell;
+pub use error::SparseError;
+pub use spmv::{Shaped, SpMv};
+pub use storage::StorageCost;
+
+/// The scalar type used throughout the reproduction.
+///
+/// The SPASM hardware operates on 32-bit floats (4-byte values in the
+/// position-encoded stream), so the whole stack is fixed to `f32`.
+pub type Value = f32;
+
+/// Row/column index type. 32-bit, matching the paper's storage model
+/// assumption that "indices in COO, CSR, and BSR are 32-bit int".
+pub type Index = u32;
+
+/// A `(row, col, value)` triplet, the interchange currency between formats.
+pub type Triplet = (Index, Index, Value);

@@ -1,0 +1,221 @@
+//! Matrix Market I/O.
+//!
+//! Supports the `matrix coordinate real/integer/pattern general/symmetric`
+//! subset of the format, which covers every matrix in the paper's Table II
+//! workload suite. `pattern` entries read as 1.0; `symmetric` matrices are
+//! expanded to their full (general) form on read, matching how SpMV
+//! accelerators consume them.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::{Coo, SparseError, Triplet};
+
+/// Value field declared in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// Symmetry declared in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+}
+
+/// Reads a Matrix Market stream into a [`Coo`] matrix.
+///
+/// A mutable reference may be passed for `reader` (see `std::io::Read`'s
+/// blanket impl for `&mut R`).
+///
+/// # Errors
+///
+/// Returns [`SparseError::ParseError`] on malformed headers or entries and
+/// [`SparseError::Io`] on read failures.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    let err = |line: usize, message: &str| SparseError::ParseError {
+        line: line + 1,
+        message: message.to_string(),
+    };
+
+    // Header line: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let (hline, header) = loop {
+        match lines.next() {
+            Some((n, Ok(l))) if !l.trim().is_empty() => break (n, l),
+            Some((_, Ok(_))) => continue,
+            Some((n, Err(e))) => return Err(err(n, &e.to_string())),
+            None => return Err(err(0, "empty stream")),
+        }
+    };
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    if tokens.len() != 5
+        || !tokens[0].eq_ignore_ascii_case("%%MatrixMarket")
+        || !tokens[1].eq_ignore_ascii_case("matrix")
+        || !tokens[2].eq_ignore_ascii_case("coordinate")
+    {
+        return Err(err(hline, "expected `%%MatrixMarket matrix coordinate ...` header"));
+    }
+    let field = match tokens[3].to_ascii_lowercase().as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(err(hline, &format!("unsupported field `{other}`"))),
+    };
+    let symmetry = match tokens[4].to_ascii_lowercase().as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        other => return Err(err(hline, &format!("unsupported symmetry `{other}`"))),
+    };
+
+    // Size line (after comments).
+    let (sline, size) = loop {
+        match lines.next() {
+            Some((_, Ok(l))) if l.trim_start().starts_with('%') || l.trim().is_empty() => {
+                continue
+            }
+            Some((n, Ok(l))) => break (n, l),
+            Some((n, Err(e))) => return Err(err(n, &e.to_string())),
+            None => return Err(err(hline, "missing size line")),
+        }
+    };
+    let dims: Vec<&str> = size.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(err(sline, "size line must be `rows cols nnz`"));
+    }
+    let rows: u32 = dims[0].parse().map_err(|_| err(sline, "bad row count"))?;
+    let cols: u32 = dims[1].parse().map_err(|_| err(sline, "bad col count"))?;
+    let declared_nnz: usize = dims[2].parse().map_err(|_| err(sline, "bad nnz count"))?;
+
+    let mut triplets: Vec<Triplet> = Vec::with_capacity(declared_nnz);
+    let mut seen = 0usize;
+    for (n, line) in lines {
+        let line = line.map_err(|e| err(n, &e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = trimmed.split_whitespace().collect();
+        let want = if field == Field::Pattern { 2 } else { 3 };
+        if parts.len() < want {
+            return Err(err(n, "entry line has too few fields"));
+        }
+        let r: u32 = parts[0].parse().map_err(|_| err(n, "bad row index"))?;
+        let c: u32 = parts[1].parse().map_err(|_| err(n, "bad col index"))?;
+        if r == 0 || c == 0 {
+            return Err(err(n, "matrix market indices are 1-based"));
+        }
+        let v: f32 = match field {
+            Field::Pattern => 1.0,
+            _ => parts[2].parse().map_err(|_| err(n, "bad value"))?,
+        };
+        triplets.push((r - 1, c - 1, v));
+        if symmetry == Symmetry::Symmetric && r != c {
+            triplets.push((c - 1, r - 1, v));
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(SparseError::ParseError {
+            line: 0,
+            message: format!("header declared {declared_nnz} entries, found {seen}"),
+        });
+    }
+    Coo::from_triplets(rows, cols, triplets)
+}
+
+/// Writes a [`Coo`] matrix as `matrix coordinate real general`.
+///
+/// A mutable reference may be passed for `writer`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Io`] on write failures.
+pub fn write_matrix_market<W: Write>(mut writer: W, matrix: &Coo) -> Result<(), SparseError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% generated by spasm-sparse")?;
+    writeln!(writer, "{} {} {}", matrix.rows(), matrix.cols(), matrix.nnz())?;
+    for (r, c, v) in matrix.iter() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+/// Reads a Matrix Market file from disk.
+///
+/// # Errors
+///
+/// See [`read_matrix_market`].
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<Coo, SparseError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Writes a Matrix Market file to disk.
+///
+/// # Errors
+///
+/// See [`write_matrix_market`].
+pub fn write_file<P: AsRef<Path>>(path: P, matrix: &Coo) -> Result<(), SparseError> {
+    write_matrix_market(std::fs::File::create(path)?, matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let coo =
+            Coo::from_triplets(3, 2, vec![(0, 0, 1.5), (2, 1, -2.0)]).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &coo).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn symmetric_expansion() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 5\n3 1 2\n";
+        let coo = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(coo.nnz(), 3); // diagonal entry not duplicated
+        let t: Vec<_> = coo.iter().collect();
+        assert_eq!(t, vec![(0, 0, 5.0), (0, 2, 2.0), (2, 0, 2.0)]);
+    }
+
+    #[test]
+    fn pattern_entries_read_as_one() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let coo = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(coo.values(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% a comment\n\n2 2 1\n% mid comment\n2 2 7\n";
+        let coo = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(coo.iter().collect::<Vec<_>>(), vec![(1, 1, 7.0)]);
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let bad = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 3\n";
+        let e = read_matrix_market(bad.as_bytes()).unwrap_err();
+        assert!(matches!(e, SparseError::ParseError { line: 3, .. }), "{e}");
+    }
+
+    #[test]
+    fn nnz_mismatch_detected() {
+        let bad = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3\n";
+        assert!(read_matrix_market(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn unsupported_header_rejected() {
+        let bad = "%%MatrixMarket matrix array real general\n2 2\n";
+        assert!(read_matrix_market(bad.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! ASCII spy plots: the occupancy thumbnails of the paper's Table II "GC"
+//! column, rendered as text.
+
+use crate::Coo;
+
+/// Density characters from empty to full.
+const SHADES: [char; 5] = [' ', '.', ':', '+', '#'];
+
+/// Renders the matrix's occupancy into a `width × height` character
+/// raster. Each cell aggregates the density of its sub-rectangle and maps
+/// it to a shade (` .:+#`), giving the global-composition thumbnail the
+/// paper prints for each workload.
+///
+/// # Examples
+///
+/// ```
+/// use spasm_sparse::{spy, Coo};
+///
+/// # fn main() -> Result<(), spasm_sparse::SparseError> {
+/// let diag = Coo::from_triplets(4, 4, (0..4).map(|i| (i, i, 1.0)).collect())?;
+/// let art = spy::render(&diag, 4, 4);
+/// assert!(art.lines().next().unwrap().starts_with("|#"));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero.
+pub fn render(matrix: &Coo, width: usize, height: usize) -> String {
+    assert!(width > 0 && height > 0, "spy raster must be non-empty");
+    let rows = matrix.rows().max(1) as f64;
+    let cols = matrix.cols().max(1) as f64;
+    let mut counts = vec![0u64; width * height];
+    for (r, c, _) in matrix.iter() {
+        let y = ((r as f64 / rows) * height as f64) as usize;
+        let x = ((c as f64 / cols) * width as f64) as usize;
+        counts[y.min(height - 1) * width + x.min(width - 1)] += 1;
+    }
+    // Shade by density relative to the densest cell so banded and blocked
+    // structures stay visible at any sparsity.
+    let max = counts.iter().copied().max().unwrap_or(0).max(1) as f64;
+    let mut out = String::with_capacity((width + 3) * height);
+    for y in 0..height {
+        out.push('|');
+        for x in 0..width {
+            let d = counts[y * width + x] as f64 / max;
+            let shade = if d == 0.0 {
+                SHADES[0]
+            } else {
+                // Map (0, 1] onto the non-empty shades with a sqrt curve
+                // so faint structure is not swallowed.
+                let idx = 1 + ((d.sqrt()) * (SHADES.len() - 2) as f64).round() as usize;
+                SHADES[idx.min(SHADES.len() - 1)]
+            };
+            out.push(shade);
+        }
+        out.push('|');
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_shows_a_diagonal() {
+        let t: Vec<_> = (0..64u32).map(|i| (i, i, 1.0)).collect();
+        let m = Coo::from_triplets(64, 64, t).unwrap();
+        let s = render(&m, 8, 8);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 8);
+        for (i, line) in lines.iter().enumerate() {
+            let cell = line.chars().nth(1 + i).unwrap();
+            assert_ne!(cell, ' ', "diagonal cell ({i},{i}) must be shaded");
+        }
+        // Off-diagonal corner stays empty.
+        assert_eq!(lines[0].chars().nth(8).unwrap(), ' ');
+    }
+
+    #[test]
+    fn empty_matrix_renders_blank() {
+        let s = render(&Coo::new(16, 16), 4, 2);
+        assert!(s.chars().filter(|c| *c != '|' && *c != '\n').all(|c| c == ' '));
+    }
+
+    #[test]
+    fn dense_block_saturates() {
+        let mut t = Vec::new();
+        for r in 0..8u32 {
+            for c in 0..8u32 {
+                t.push((r, c, 1.0));
+            }
+        }
+        let m = Coo::from_triplets(16, 16, t).unwrap();
+        let s = render(&m, 4, 4);
+        assert_eq!(s.lines().next().unwrap().chars().nth(1).unwrap(), '#');
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_raster_rejected() {
+        render(&Coo::new(4, 4), 0, 4);
+    }
+}

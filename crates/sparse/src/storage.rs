@@ -1,0 +1,162 @@
+//! Storage-cost models for the paper's format comparison (Fig. 11 /
+//! Table VI).
+//!
+//! The models follow Section V-D of the paper exactly: indices in COO, CSR
+//! and BSR are 32-bit integers, values are `f32`, and the first-level tile
+//! position encoding of the two-level formats (HiSparse, Serpens, SPASM) is
+//! ignored as negligible.
+
+use crate::{Bsr, Coo, Csc, Csr, Dia, Ell};
+
+/// Bytes of storage a format needs for a particular matrix.
+pub trait StorageCost {
+    /// Total storage in bytes.
+    fn storage_bytes(&self) -> usize;
+}
+
+impl StorageCost for Coo {
+    /// `12 · nnz`: a 32-bit row index, 32-bit column index and `f32` value
+    /// per entry. This is the normalisation baseline of Table VI.
+    fn storage_bytes(&self) -> usize {
+        12 * self.nnz()
+    }
+}
+
+impl StorageCost for Csr {
+    /// `4·(rows + 1) + 8·nnz`.
+    fn storage_bytes(&self) -> usize {
+        4 * (self.rows() as usize + 1) + 8 * self.nnz()
+    }
+}
+
+impl StorageCost for Csc {
+    /// `4·(cols + 1) + 8·nnz`.
+    fn storage_bytes(&self) -> usize {
+        4 * (self.cols() as usize + 1) + 8 * self.nnz()
+    }
+}
+
+impl StorageCost for Bsr {
+    /// `4·(block_rows + 1)` row pointers plus, per stored block, a 32-bit
+    /// block column index and `b²` `f32` values (zero fill included).
+    fn storage_bytes(&self) -> usize {
+        let b = self.block_size() as usize;
+        4 * (self.block_rows() + 1) + self.nblocks() * (4 + 4 * b * b)
+    }
+}
+
+impl StorageCost for Dia {
+    /// One `i64`-worth (8 bytes) per diagonal offset plus an `f32` per
+    /// stored strip slot (padding included).
+    fn storage_bytes(&self) -> usize {
+        8 * self.ndiags() + 4 * self.stored_slots()
+    }
+}
+
+impl StorageCost for Ell {
+    /// `rows × width` slots of (32-bit column index + `f32` value).
+    fn storage_bytes(&self) -> usize {
+        8 * self.stored_slots()
+    }
+}
+
+/// Storage of the HiSparse / Serpens stream formats.
+///
+/// Both use a two-level tiling scheme whose second level packs each non-zero
+/// as a 32-bit value plus a 32-bit packed row/column offset — 8 bytes per
+/// non-zero, a constant 1.50× improvement over COO (Table VI reports
+/// min = max = avg = 1.50×).
+pub fn hisparse_serpens_bytes(nnz: usize) -> usize {
+    8 * nnz
+}
+
+/// Improvement factor of a format versus the COO baseline for the same
+/// matrix (`> 1` means smaller than COO).
+pub fn improvement_vs_coo(coo_bytes: usize, format_bytes: usize) -> f64 {
+    if format_bytes == 0 {
+        return f64::INFINITY;
+    }
+    coo_bytes as f64 / format_bytes as f64
+}
+
+/// Geometric mean of a series of improvement factors, as used for the
+/// "Average" column of Table VI.
+///
+/// Returns 1.0 for an empty series.
+pub fn geometric_mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geometric mean requires positive values, got {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample() -> Coo {
+        Coo::from_triplets(
+            4,
+            4,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0), (3, 3, 5.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coo_is_12_bytes_per_nnz() {
+        assert_eq!(sample().storage_bytes(), 60);
+    }
+
+    #[test]
+    fn csr_cost() {
+        let csr = Csr::from(&sample());
+        assert_eq!(csr.storage_bytes(), 4 * 5 + 8 * 5);
+    }
+
+    #[test]
+    fn csr_beats_coo_for_wide_rows() {
+        // With many nnz per row, CSR approaches 8/12 = 1.5x improvement.
+        let t: Vec<_> = (0u32..100).map(|c| (0, c, 1.0)).collect();
+        let coo = Coo::from_triplets(1, 100, t).unwrap();
+        let csr = Csr::from(&coo);
+        let imp = improvement_vs_coo(coo.storage_bytes(), csr.storage_bytes());
+        assert!(imp > 1.4 && imp <= 1.5, "improvement {imp}");
+    }
+
+    #[test]
+    fn bsr_cost_counts_fill() {
+        let bsr = Bsr::from_coo(&sample(), 2).unwrap();
+        // 2 block rows + 1 pointers, 2 blocks x (4 + 16) bytes
+        assert_eq!(bsr.storage_bytes(), 4 * 3 + 2 * 20);
+    }
+
+    #[test]
+    fn hisparse_serpens_is_exactly_1_5x() {
+        let coo = sample();
+        let imp =
+            improvement_vs_coo(coo.storage_bytes(), hisparse_serpens_bytes(coo.nnz()));
+        assert!((imp - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(std::iter::empty()), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_nonpositive() {
+        geometric_mean([0.0]);
+    }
+}

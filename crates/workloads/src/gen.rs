@@ -1,0 +1,530 @@
+//! Generator primitives: each produces triplets with a particular local
+//! pattern character, to be composed by the suite definitions.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use spasm_sparse::{Coo, Index, Triplet};
+
+fn value(rng: &mut SmallRng) -> f32 {
+    // Non-zero values in [-1, 1); avoid exact zero so nnz accounting stays
+    // exact after deduplication.
+    loop {
+        let v: f32 = rng.gen_range(-1.0..1.0);
+        if v != 0.0 {
+            return v;
+        }
+    }
+}
+
+fn build(rows: Index, cols: Index, triplets: Vec<Triplet>) -> Coo {
+    Coo::from_triplets(rows, cols, triplets).expect("generators emit in-bounds entries")
+}
+
+/// FEM-style matrix: dense `block × block` tiles scattered in a band around
+/// the diagonal. With `block = 4` and aligned anchors this reproduces the
+/// raefsky3 character (a single dominant full-block local pattern); with
+/// unaligned anchors or `block = 2` the pattern mix spreads like the other
+/// CFD matrices.
+///
+/// `band` is the half-width (in columns) of the block band; `aligned`
+/// forces anchors onto the 4×4 grid.
+pub fn fem_blocks(
+    rng: &mut SmallRng,
+    n: Index,
+    target_nnz: usize,
+    block: Index,
+    band: Index,
+    aligned: bool,
+) -> Coo {
+    assert!(block >= 1 && n >= block);
+    let per_block = (block * block) as usize;
+    let nblocks = target_nnz.div_ceil(per_block);
+    let mut triplets = Vec::with_capacity(nblocks * per_block);
+    // Walk block rows round-robin so every part of the matrix is populated
+    // and blocks rarely collide.
+    let block_rows = n / block;
+    let blocks_per_row = (nblocks as u64).div_ceil(block_rows as u64).max(1) as u32;
+    'outer: for br in 0..block_rows {
+        let r0 = br * block;
+        for _ in 0..blocks_per_row {
+            if triplets.len() >= target_nnz {
+                break 'outer;
+            }
+            let lo = r0.saturating_sub(band);
+            let hi = (r0 + band).min(n - block);
+            let mut c0 = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+            if aligned {
+                c0 -= c0 % block;
+            }
+            for dr in 0..block {
+                for dc in 0..block {
+                    triplets.push((r0 + dr, c0 + dc, value(rng)));
+                }
+            }
+        }
+    }
+    build(n, n, triplets)
+}
+
+/// Banded stencil: one entry on every listed diagonal offset for each row
+/// where it stays in bounds. Electromagnetics matrices (tmt_sym, t2em)
+/// look like this; their 4×4 local patterns are diagonal segments.
+pub fn stencil(rng: &mut SmallRng, n: Index, offsets: &[i64]) -> Coo {
+    let mut triplets = Vec::with_capacity(n as usize * offsets.len());
+    for r in 0..n as i64 {
+        for &k in offsets {
+            let c = r + k;
+            if c >= 0 && c < n as i64 {
+                triplets.push((r as Index, c as Index, value(rng)));
+            }
+        }
+    }
+    build(n, n, triplets)
+}
+
+/// Anti-diagonal stencil: entries along lines `r + c = const`, producing
+/// the anti-diagonal-dominated local patterns the paper attributes to c-73.
+pub fn anti_diag_stencil(rng: &mut SmallRng, n: Index, lines: usize, extra_nnz: usize) -> Coo {
+    let mut triplets = Vec::new();
+    let stride = (n as usize * 2 / lines.max(1)).max(1);
+    for line in 0..lines {
+        let s = (line * stride) as i64; // r + c = s
+        for r in 0..n as i64 {
+            let c = s - r;
+            if c >= 0 && c < n as i64 {
+                triplets.push((r as Index, c as Index, value(rng)));
+            }
+        }
+    }
+    // Sparse scattered fill so the histogram has a tail, like the real
+    // matrix.
+    for _ in 0..extra_nnz {
+        triplets.push((rng.gen_range(0..n), rng.gen_range(0..n), value(rng)));
+    }
+    build(n, n, triplets)
+}
+
+/// Uniform random matrix (Erdős–Rényi style), the stand-in for graph
+/// matrices such as mycielskian14 whose local patterns are scattered
+/// single cells and pairs.
+pub fn random_uniform(rng: &mut SmallRng, n: Index, target_nnz: usize) -> Coo {
+    let mut triplets = Vec::with_capacity(target_nnz + target_nnz / 8);
+    // Oversample slightly: duplicates collapse during dedup.
+    for _ in 0..target_nnz + target_nnz / 16 {
+        triplets.push((rng.gen_range(0..n), rng.gen_range(0..n), value(rng)));
+    }
+    build(n, n, triplets)
+}
+
+/// Staircase linear-program structure (stormG2_1000): square scenario
+/// blocks along the diagonal, each a short dense column strip, plus a set
+/// of linking rows across the top. Local patterns are column fragments.
+pub fn staircase(
+    rng: &mut SmallRng,
+    n: Index,
+    target_nnz: usize,
+    scenario: Index,
+    link_rows: Index,
+) -> Coo {
+    assert!(scenario >= 1);
+    let mut triplets = Vec::with_capacity(target_nnz);
+    let nscen = n / scenario;
+    let per_scen = (target_nnz / nscen.max(1) as usize).max(1);
+    for s in 0..nscen {
+        let base = s * scenario;
+        for _ in 0..per_scen {
+            if triplets.len() >= target_nnz {
+                break;
+            }
+            // A vertical strip of 4 cells inside the scenario block.
+            let c = base + rng.gen_range(0..scenario);
+            let r0 = base + rng.gen_range(0..scenario.saturating_sub(4).max(1));
+            for dr in 0..4.min(scenario) {
+                triplets.push(((r0 + dr).min(n - 1), c, value(rng)));
+            }
+        }
+        // Linking entries against the first rows.
+        for lr in 0..link_rows.min(scenario) {
+            triplets.push((lr, base + rng.gen_range(0..scenario), value(rng)));
+        }
+    }
+    build(n, n, triplets)
+}
+
+/// N:M-pruned weight matrix, as produced by structured DNN pruning
+/// (Section II-A's DBB patterns; 2:4 is the NVIDIA sparse-tensor-core
+/// constraint): within every group of `m` consecutive columns, each row
+/// keeps exactly `n` non-zeros.
+///
+/// With `pair_rows = true`, adjacent row pairs keep the *same* column
+/// choices — the layout DBB-aware kernels exploit and the
+/// `TemplateSet::dbb` portfolio decomposes without padding.
+///
+/// # Panics
+///
+/// Panics unless `0 < n <= m`.
+pub fn nm_pruned(
+    rng: &mut SmallRng,
+    rows: Index,
+    cols: Index,
+    n: u32,
+    m: u32,
+    pair_rows: bool,
+) -> Coo {
+    assert!(n > 0 && n <= m, "need 0 < n <= m, got {n}:{m}");
+    let mut triplets = Vec::with_capacity((rows as usize * cols as usize) * n as usize / m as usize);
+    let keep_of_group = |rng: &mut SmallRng, g0: Index| -> Vec<Index> {
+        let width = m.min(cols - g0);
+        let mut cands: Vec<Index> = (0..width).map(|k| g0 + k).collect();
+        // Partial Fisher-Yates: pick n of the group's columns.
+        for i in 0..(n.min(width) as usize) {
+            let j = rng.gen_range(i..cands.len());
+            cands.swap(i, j);
+        }
+        cands.truncate(n.min(width) as usize);
+        cands
+    };
+    let mut r = 0;
+    while r < rows {
+        let span = if pair_rows && r + 1 < rows { 2 } else { 1 };
+        let mut g0 = 0;
+        while g0 < cols {
+            let keep = keep_of_group(rng, g0);
+            for dr in 0..span {
+                for &c in &keep {
+                    triplets.push((r + dr, c, value(rng)));
+                }
+            }
+            g0 += m;
+        }
+        r += span;
+    }
+    build(rows, cols, triplets)
+}
+
+/// Planted-pattern matrix: places whole 4×4 submatrices whose occupancy
+/// masks follow a prescribed share distribution — the generator behind the
+/// Table II pattern columns.
+///
+/// `shares` lists `(mask, fraction)` pairs for the dominant local
+/// patterns (fractions of all *occupied submatrices*, as Table II
+/// reports); the remainder is filled with a random-mask tail so the
+/// histogram keeps the long tail real matrices show. Submatrices are
+/// placed at aligned positions inside a diagonal band of half-width
+/// `band` (in submatrices); collisions merge, slightly smoothing the
+/// shares.
+///
+/// # Panics
+///
+/// Panics if shares are not in `(0, 1]`, sum above 1, or a mask is zero.
+pub fn planted_patterns(
+    rng: &mut SmallRng,
+    n: Index,
+    target_nnz: usize,
+    shares: &[(u16, f64)],
+    band: Index,
+) -> Coo {
+    let mut total_share = 0.0;
+    for &(mask, share) in shares {
+        assert!(mask != 0, "planted masks must be non-empty");
+        assert!(share > 0.0 && share <= 1.0, "share {share} out of range");
+        total_share += share;
+    }
+    assert!(total_share <= 1.0 + 1e-9, "shares sum to {total_share} > 1");
+
+    // Expected non-zeros per placed submatrix under the share mix (tail
+    // masks average ~6 bits for the truncated-geometric sampler below).
+    let planted_bits: f64 =
+        shares.iter().map(|&(m, s)| s * f64::from(m.count_ones())).sum();
+    let tail_bits = (1.0 - total_share) * 6.0;
+    let blocks = (target_nnz as f64 / (planted_bits + tail_bits).max(1.0)) as usize;
+
+    let sub_n = n / 4;
+    let mut triplets = Vec::with_capacity(target_nnz + 16);
+    for b in 0..blocks.max(1) {
+        // Pick the mask: walk the share table, else sample a tail mask.
+        let mut pick: f64 = rng.gen_range(0.0..1.0);
+        let mut mask = 0u16;
+        for &(m, s) in shares {
+            if pick < s {
+                mask = m;
+                break;
+            }
+            pick -= s;
+        }
+        if mask == 0 {
+            // Tail: a random mask biased toward few cells (real tails are
+            // sparse fragments).
+            let bits = 1 + (rng.gen_range(0.0f64..1.0).powi(2) * 11.0) as u32;
+            while mask.count_ones() < bits {
+                mask |= 1 << rng.gen_range(0..16);
+            }
+        }
+        // Banded placement: spread rows round-robin so tiles fill evenly.
+        let sub_r = (b as u32) % sub_n.max(1);
+        let lo = sub_r.saturating_sub(band);
+        let hi = (sub_r + band).min(sub_n.saturating_sub(1));
+        let sub_c = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+        for bit in 0..16u32 {
+            if mask & (1 << bit) != 0 {
+                let r = sub_r * 4 + bit / 4;
+                let c = sub_c * 4 + bit % 4;
+                if r < n && c < n {
+                    triplets.push((r, c, value(rng)));
+                }
+            }
+        }
+    }
+    build(n, n, triplets)
+}
+
+/// Relative weights of the fragment shapes emitted by
+/// [`mixed_fragments`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragmentMix {
+    /// Horizontal runs of 2–4 cells.
+    pub row_runs: f64,
+    /// Vertical runs of 2–4 cells.
+    pub col_runs: f64,
+    /// Dense 2×2 blocks.
+    pub blocks2: f64,
+    /// Dense 4×4 blocks.
+    pub blocks4: f64,
+    /// Diagonal runs of 2–4 cells.
+    pub diag_runs: f64,
+    /// Isolated single entries.
+    pub singles: f64,
+}
+
+impl FragmentMix {
+    /// A balanced mix, suitable for optimisation matrices like mip1 whose
+    /// top-8 patterns are all equally frequent.
+    pub const BALANCED: FragmentMix = FragmentMix {
+        row_runs: 1.0,
+        col_runs: 1.0,
+        blocks2: 1.0,
+        blocks4: 1.0,
+        diag_runs: 1.0,
+        singles: 1.0,
+    };
+
+    /// Block-heavy mix for CFD matrices (bbmat, x104, ML_Laplace).
+    pub const BLOCK_HEAVY: FragmentMix = FragmentMix {
+        row_runs: 0.5,
+        col_runs: 0.5,
+        blocks2: 2.0,
+        blocks4: 3.0,
+        diag_runs: 0.3,
+        singles: 0.4,
+    };
+
+    /// Scattered mix with many singles (cfd2-like low-density CFD).
+    pub const SCATTERED: FragmentMix = FragmentMix {
+        row_runs: 1.0,
+        col_runs: 1.0,
+        blocks2: 0.8,
+        blocks4: 0.2,
+        diag_runs: 0.8,
+        singles: 2.0,
+    };
+
+    fn cumulative(&self) -> [f64; 6] {
+        let w = [
+            self.row_runs,
+            self.col_runs,
+            self.blocks2,
+            self.blocks4,
+            self.diag_runs,
+            self.singles,
+        ];
+        let mut acc = 0.0;
+        let mut out = [0.0; 6];
+        for (i, x) in w.iter().enumerate() {
+            acc += x.max(0.0);
+            out[i] = acc;
+        }
+        assert!(acc > 0.0, "fragment mix must have positive total weight");
+        out
+    }
+}
+
+/// Mixed-fragment matrix: emits small structured fragments (row runs,
+/// column runs, blocks, diagonal runs, singles) at anchors concentrated in
+/// a diagonal band. Reproduces the "several dominant patterns plus a long
+/// tail" histograms of the general CFD/optimisation matrices.
+pub fn mixed_fragments(
+    rng: &mut SmallRng,
+    n: Index,
+    target_nnz: usize,
+    band: Index,
+    mix: FragmentMix,
+) -> Coo {
+    let cum = mix.cumulative();
+    let total = cum[5];
+    let mut triplets: Vec<Triplet> = Vec::with_capacity(target_nnz + 16);
+    let anchor = |rng: &mut SmallRng| -> (Index, Index) {
+        let r = rng.gen_range(0..n);
+        let lo = r.saturating_sub(band);
+        let hi = (r + band).min(n - 1);
+        (r, rng.gen_range(lo..=hi))
+    };
+    // Oversample ~6% to compensate for duplicate coordinates collapsing
+    // during COO deduplication.
+    while triplets.len() < target_nnz + target_nnz / 16 {
+        let (r, c) = anchor(rng);
+        let pick = rng.gen_range(0.0..total);
+        let kind = cum.iter().position(|&x| pick < x).unwrap_or(5);
+        match kind {
+            0 => {
+                let len = rng.gen_range(2..=4);
+                for d in 0..len {
+                    if c + d < n {
+                        triplets.push((r, c + d, value(rng)));
+                    }
+                }
+            }
+            1 => {
+                let len = rng.gen_range(2..=4);
+                for d in 0..len {
+                    if r + d < n {
+                        triplets.push((r + d, c, value(rng)));
+                    }
+                }
+            }
+            2 => {
+                for dr in 0..2 {
+                    for dc in 0..2 {
+                        if r + dr < n && c + dc < n {
+                            triplets.push((r + dr, c + dc, value(rng)));
+                        }
+                    }
+                }
+            }
+            3 => {
+                for dr in 0..4 {
+                    for dc in 0..4 {
+                        if r + dr < n && c + dc < n {
+                            triplets.push((r + dr, c + dc, value(rng)));
+                        }
+                    }
+                }
+            }
+            4 => {
+                let len = rng.gen_range(2..=4);
+                for d in 0..len {
+                    if r + d < n && c + d < n {
+                        triplets.push((r + d, c + d, value(rng)));
+                    }
+                }
+            }
+            _ => triplets.push((r, c, value(rng))),
+        }
+    }
+    build(n, n, triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn fem_blocks_hits_target_roughly() {
+        let m = fem_blocks(&mut rng(), 256, 4096, 4, 32, true);
+        assert!(m.nnz() >= 3500 && m.nnz() <= 4608, "nnz = {}", m.nnz());
+        assert_eq!(m.rows(), 256);
+    }
+
+    #[test]
+    fn aligned_fem_blocks_are_full_4x4_patterns() {
+        let m = fem_blocks(&mut rng(), 256, 4096, 4, 32, true);
+        // Every entry's block is fully dense: entries come in multiples of 16.
+        assert_eq!(m.nnz() % 16, 0);
+    }
+
+    #[test]
+    fn stencil_lands_on_offsets() {
+        let m = stencil(&mut rng(), 64, &[-5, 0, 5]);
+        for (r, c, _) in m.iter() {
+            let k = c as i64 - r as i64;
+            assert!(k == -5 || k == 0 || k == 5);
+        }
+        assert_eq!(m.nnz(), 64 + 59 + 59);
+    }
+
+    #[test]
+    fn anti_diag_stencil_has_anti_lines() {
+        let m = anti_diag_stencil(&mut rng(), 64, 8, 0);
+        // all entries satisfy r + c = const for one of 8 constants
+        let mut sums: Vec<i64> = m.iter().map(|(r, c, _)| r as i64 + c as i64).collect();
+        sums.sort_unstable();
+        sums.dedup();
+        assert!(sums.len() <= 8, "sums: {sums:?}");
+    }
+
+    #[test]
+    fn random_uniform_is_deterministic() {
+        let a = random_uniform(&mut rng(), 128, 1000);
+        let b = random_uniform(&mut rng(), 128, 1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn staircase_shape() {
+        let m = staircase(&mut rng(), 256, 2000, 32, 2);
+        assert!(m.nnz() > 1000);
+        assert_eq!(m.rows(), 256);
+    }
+
+    #[test]
+    fn nm_pruned_keeps_exactly_n_per_group() {
+        let m = nm_pruned(&mut rng(), 32, 64, 2, 4, false);
+        assert_eq!(m.nnz(), 32 * 64 / 4 * 2);
+        let mut per_group = std::collections::HashMap::new();
+        for (r, c, _) in m.iter() {
+            *per_group.entry((r, c / 4)).or_insert(0u32) += 1;
+        }
+        assert!(per_group.values().all(|&k| k == 2));
+    }
+
+    #[test]
+    fn nm_pruned_pair_rows_share_columns() {
+        let m = nm_pruned(&mut rng(), 16, 16, 2, 4, true);
+        // Row 0 and row 1 touch the same column set.
+        let cols_of = |row: u32| -> Vec<u32> {
+            m.iter().filter(|&(r, _, _)| r == row).map(|(_, c, _)| c).collect()
+        };
+        assert_eq!(cols_of(0), cols_of(1));
+        assert_eq!(cols_of(2), cols_of(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < n <= m")]
+    fn nm_pruned_validates_ratio() {
+        nm_pruned(&mut rng(), 8, 8, 5, 4, false);
+    }
+
+    #[test]
+    fn mixed_fragments_reaches_target() {
+        let m = mixed_fragments(&mut rng(), 256, 3000, 32, FragmentMix::BALANCED);
+        assert!(m.nnz() >= 2800, "nnz = {}", m.nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn zero_mix_rejected() {
+        let zero = FragmentMix {
+            row_runs: 0.0,
+            col_runs: 0.0,
+            blocks2: 0.0,
+            blocks4: 0.0,
+            diag_runs: 0.0,
+            singles: 0.0,
+        };
+        mixed_fragments(&mut rng(), 64, 100, 8, zero);
+    }
+}

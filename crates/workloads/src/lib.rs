@@ -1,0 +1,37 @@
+//! Synthetic workload suite for the SPASM reproduction.
+//!
+//! The paper evaluates on 20 SuiteSparse matrices (Table II). Those files
+//! are not redistributable inside this repository, so this crate generates
+//! *structural stand-ins*: seeded synthetic matrices that match each
+//! original's dimensions, non-zero count, density and — most importantly
+//! for SPASM — its dominant class of local patterns and global composition
+//! (FEM block structure, banded stencils, anti-diagonal stencils, random
+//! graphs, staircase LPs, …).
+//!
+//! Every generator is deterministic given the workload's fixed seed, and
+//! supports three [`Scale`]s so tests, benches and the full paper-sized
+//! runs can share one code path.
+//!
+//! # Example
+//!
+//! ```
+//! use spasm_workloads::{Scale, Workload};
+//!
+//! let m = Workload::Raefsky3.generate(Scale::Small);
+//! // raefsky3 is the fully 4x4-block-structured CFD matrix.
+//! assert!(m.nnz() > 0);
+//! assert_eq!(m.rows(), m.cols());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod gen;
+mod suite;
+
+pub use gen::{
+    nm_pruned,
+    anti_diag_stencil, fem_blocks, mixed_fragments, random_uniform, staircase, stencil,
+    FragmentMix,
+};
+pub use suite::{Scale, Workload, WorkloadSpec};

@@ -1,0 +1,519 @@
+//! The 20-matrix workload suite of Table II, as seeded synthetic
+//! generators.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use spasm_sparse::Coo;
+
+use crate::gen::{
+    anti_diag_stencil, fem_blocks, mixed_fragments, planted_patterns, random_uniform,
+    staircase, stencil, FragmentMix,
+};
+
+/// Common 4×4 occupancy masks used to express Table II's top-8 pattern
+/// shares (bit `r·4 + c`).
+mod masks {
+    /// Full 4×4 block.
+    pub const FULL: u16 = 0xFFFF;
+    /// 2×2 quadrant blocks.
+    pub const B00: u16 = 0x0033;
+    pub const B02: u16 = 0x00CC;
+    pub const B20: u16 = 0x3300;
+    pub const B22: u16 = 0xCC00;
+    /// Full rows / columns.
+    pub const ROW0: u16 = 0x000F;
+    pub const ROW1: u16 = 0x00F0;
+    pub const COL0: u16 = 0x1111;
+    pub const COL1: u16 = 0x2222;
+    /// Diagonal and anti-diagonal, full and halves.
+    pub const DIAG: u16 = 0x8421;
+    pub const DIAG_LO: u16 = 0x0021; // (0,0),(1,1)
+    pub const DIAG_HI: u16 = 0x8400; // (2,2),(3,3)
+    pub const ANTI: u16 = 0x1248;
+    pub const ANTI_LO: u16 = 0x0048; // (0,3),(1,2)
+    pub const ANTI_HI: u16 = 0x1200; // (2,1),(3,0)
+    /// Small fragments.
+    pub const PAIR_H: u16 = 0x0003;
+    pub const PAIR_V: u16 = 0x0011;
+    pub const SINGLE: u16 = 0x0001;
+    /// Upper/lower triangles (inclusive) of the 4×4 block — FEM
+    /// half-stencils.
+    pub const TRI_U: u16 = 0x8CEF; // cells with c >= r
+    pub const TRI_L: u16 = 0xF731; // cells with c <= r
+}
+
+/// Generation scale.
+///
+/// Scaling preserves the *mean row degree* (`nnz / rows`) of the original —
+/// the structural invariant of FEM stencils and graph matrices — so
+/// local-pattern statistics stay representative while tests run in
+/// milliseconds. (Scaling density instead would starve the stencil
+/// generators, which need at least one entry per row per diagonal.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// ~1/1024 of the paper's non-zeros. For unit/integration tests.
+    Small,
+    /// ~1/64 of the paper's non-zeros. Default for benches.
+    #[default]
+    Medium,
+    /// Full Table II dimensions. Minutes of generation for the largest
+    /// matrices; used for the paper-scale runs.
+    Paper,
+}
+
+impl Scale {
+    /// Divisor applied to the matrix edge length.
+    pub fn edge_divisor(self) -> u32 {
+        match self {
+            Scale::Small => 32,
+            Scale::Medium => 8,
+            Scale::Paper => 1,
+        }
+    }
+}
+
+/// One workload of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names are the matrix names
+pub enum Workload {
+    Mycielskian14,
+    Ex11,
+    Raefsky3,
+    Mip1,
+    Rim,
+    ThreeDTube,
+    Bbmat,
+    Chebyshev4,
+    Goodwin054,
+    X104,
+    Cfd2,
+    MlLaplace,
+    Af0K101,
+    PFlow742,
+    C73,
+    AfShell10,
+    TmtSym,
+    TmtUnsym,
+    T2em,
+    StormG21000,
+}
+
+/// The structural family a workload's generator belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructureClass {
+    /// Uniform random (graph matrices).
+    RandomGraph,
+    /// Aligned dense 4×4 FEM blocks (one dominant full-block pattern).
+    AlignedFemBlocks,
+    /// Unaligned FEM blocks in a band.
+    FemBlocks,
+    /// Banded stencil along fixed diagonals.
+    Stencil,
+    /// Anti-diagonal stencil.
+    AntiDiagStencil,
+    /// Staircase LP structure.
+    Staircase,
+    /// Mixed structured fragments.
+    Mixed,
+}
+
+/// Static description of one workload: paper-reported statistics plus the
+/// generator recipe.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// SuiteSparse matrix name.
+    pub name: &'static str,
+    /// Square edge length at paper scale.
+    pub n: u32,
+    /// Table II non-zero count.
+    pub nnz: usize,
+    /// Table II density.
+    pub density: f64,
+    /// Table II application domain.
+    pub domain: &'static str,
+    /// Generator family.
+    pub class: StructureClass,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// The top-8 local-pattern shares Table II reports for this workload,
+    /// expressed over plausible domain masks, or `None` for the workloads
+    /// whose global structure (stencil diagonals, aligned FEM blocks,
+    /// staircase, random graph) already induces the right histogram.
+    ///
+    /// Shares are fractions of occupied 4×4 submatrices, matching the
+    /// paper's percentage rows; mask pairs with equal shares use
+    /// transposed shapes, as symmetric matrices produce.
+    fn table_ii_shares(self) -> Option<&'static [(u16, f64)]> {
+        use masks::*;
+        match self {
+            Workload::Ex11 => Some(&[
+                (FULL, 0.141),
+                (TRI_U, 0.032),
+                (TRI_L, 0.032),
+                (B00, 0.024),
+                (B22, 0.024),
+                (ROW0, 0.022),
+                (COL0, 0.022),
+                (DIAG, 0.022),
+            ]),
+            Workload::Mip1 => Some(&[
+                (B00, 0.041),
+                (B22, 0.041),
+                (ROW0, 0.041),
+                (COL0, 0.041),
+                (ROW1, 0.041),
+                (COL1, 0.041),
+                (PAIR_H, 0.041),
+                (PAIR_V, 0.041),
+            ]),
+            Workload::Rim => Some(&[
+                (FULL, 0.055),
+                (ROW0, 0.038),
+                (COL0, 0.037),
+                (B00, 0.032),
+                (B22, 0.030),
+                (PAIR_H, 0.029),
+                (PAIR_V, 0.028),
+                (DIAG_LO, 0.026),
+            ]),
+            Workload::ThreeDTube => Some(&[
+                (TRI_U, 0.052),
+                (TRI_L, 0.052),
+                (B00, 0.024),
+                (B22, 0.024),
+                (B02, 0.024),
+                (B20, 0.024),
+                (ROW0, 0.021),
+                (COL0, 0.021),
+            ]),
+            Workload::Bbmat => Some(&[
+                (FULL, 0.309),
+                (TRI_U, 0.184),
+                (TRI_L, 0.159),
+                (B00, 0.094),
+                (B22, 0.071),
+                (ROW0, 0.029),
+                (COL0, 0.023),
+                (SINGLE, 0.017),
+            ]),
+            Workload::Chebyshev4 => Some(&[
+                (FULL, 0.205),
+                (ROW0, 0.083),
+                (ROW1, 0.081),
+                (B00, 0.062),
+                (B22, 0.061),
+                (COL0, 0.047),
+                (COL1, 0.047),
+                (PAIR_H, 0.047),
+            ]),
+            Workload::Goodwin054 => Some(&[
+                (B00, 0.043),
+                (TRI_U, 0.041),
+                (TRI_L, 0.041),
+                (ROW0, 0.032),
+                (COL0, 0.031),
+                (DIAG, 0.031),
+                (PAIR_H, 0.027),
+                (PAIR_V, 0.025),
+            ]),
+            Workload::X104 => Some(&[
+                (FULL, 0.487),
+                (TRI_U, 0.111),
+                (TRI_L, 0.111),
+                (B00, 0.099),
+                (B22, 0.099),
+                (ROW0, 0.017),
+                (COL0, 0.017),
+                (DIAG, 0.017),
+            ]),
+            Workload::Cfd2 => Some(&[
+                (DIAG, 0.091),
+                (TRI_U, 0.090),
+                (TRI_L, 0.090),
+                (B00, 0.064),
+                (B22, 0.064),
+                (PAIR_H, 0.037),
+                (PAIR_V, 0.037),
+                (SINGLE, 0.031),
+            ]),
+            Workload::MlLaplace => Some(&[
+                (FULL, 0.293),
+                (TRI_U, 0.131),
+                (TRI_L, 0.131),
+                (B00, 0.123),
+                (B22, 0.123),
+                (ROW0, 0.041),
+                (COL0, 0.040),
+                (DIAG, 0.025),
+            ]),
+            Workload::Af0K101 => Some(&[
+                (FULL, 0.313),
+                (B00, 0.045),
+                (B22, 0.045),
+                (B02, 0.045),
+                (TRI_U, 0.030),
+                (TRI_L, 0.030),
+                (DIAG, 0.030),
+            ]),
+            Workload::PFlow742 => Some(&[
+                (DIAG, 0.028),
+                (TRI_U, 0.022),
+                (TRI_L, 0.022),
+                (PAIR_H, 0.019),
+                (PAIR_V, 0.019),
+                (DIAG_LO, 0.018),
+                (DIAG_HI, 0.018),
+                (SINGLE, 0.017),
+            ]),
+            Workload::C73 => Some(&[
+                (ANTI, 0.105),
+                (ANTI_LO, 0.057),
+                (ANTI_HI, 0.057),
+                (SINGLE, 0.052),
+                (PAIR_H, 0.043),
+                (PAIR_V, 0.043),
+                (DIAG_LO, 0.041),
+            ]),
+            Workload::AfShell10 => Some(&[
+                (FULL, 0.313),
+                (B00, 0.045),
+                (B22, 0.045),
+                (B02, 0.045),
+                (TRI_U, 0.037),
+                (TRI_L, 0.037),
+                (DIAG, 0.037),
+            ]),
+            _ => None,
+        }
+    }
+
+    /// All 20 workloads in Table II order (descending density).
+    pub const ALL: [Workload; 20] = [
+        Workload::Mycielskian14,
+        Workload::Ex11,
+        Workload::Raefsky3,
+        Workload::Mip1,
+        Workload::Rim,
+        Workload::ThreeDTube,
+        Workload::Bbmat,
+        Workload::Chebyshev4,
+        Workload::Goodwin054,
+        Workload::X104,
+        Workload::Cfd2,
+        Workload::MlLaplace,
+        Workload::Af0K101,
+        Workload::PFlow742,
+        Workload::C73,
+        Workload::AfShell10,
+        Workload::TmtSym,
+        Workload::TmtUnsym,
+        Workload::T2em,
+        Workload::StormG21000,
+    ];
+
+    /// The workload's static description.
+    pub fn spec(self) -> WorkloadSpec {
+        use StructureClass::*;
+        let (name, n, nnz, density, domain, class) = match self {
+            Workload::Mycielskian14 => {
+                ("mycielskian14", 12_287, 3_700_000, 2.45e-2, "Graph problem", RandomGraph)
+            }
+            Workload::Ex11 => ("ex11", 16_614, 1_100_000, 3.97e-3, "CFD", FemBlocks),
+            Workload::Raefsky3 => {
+                ("raefsky3", 21_200, 1_488_768, 3.31e-3, "CFD", AlignedFemBlocks)
+            }
+            Workload::Mip1 => {
+                ("mip1", 66_463, 10_400_000, 2.35e-3, "optimization problem", Mixed)
+            }
+            Workload::Rim => ("rim", 22_560, 1_010_000, 1.99e-3, "CFD", Mixed),
+            Workload::ThreeDTube => ("3dtube", 45_330, 3_240_000, 1.58e-3, "CFD", FemBlocks),
+            Workload::Bbmat => ("bbmat", 38_744, 1_770_000, 1.18e-3, "CFD", Mixed),
+            Workload::Chebyshev4 => {
+                ("Chebyshev4", 68_121, 5_380_000, 1.16e-3, "structural problem", Mixed)
+            }
+            Workload::Goodwin054 => {
+                ("Goodwin_054", 32_510, 1_030_000, 9.75e-4, "CFD", Mixed)
+            }
+            Workload::X104 => {
+                ("x104", 108_384, 10_200_000, 8.66e-4, "structural problem", FemBlocks)
+            }
+            Workload::Cfd2 => ("cfd2", 123_440, 3_090_000, 2.03e-4, "CFD", Mixed),
+            Workload::MlLaplace => {
+                ("ML_Laplace", 377_002, 27_700_000, 1.95e-4, "structural problem", FemBlocks)
+            }
+            Workload::Af0K101 => {
+                ("af_0_k101", 503_625, 17_600_000, 6.92e-5, "structural problem", FemBlocks)
+            }
+            Workload::PFlow742 => {
+                ("PFlow_742", 742_793, 37_100_000, 6.73e-5, "2D/3D problem", Mixed)
+            }
+            Workload::C73 => {
+                ("c-73", 169_422, 1_280_000, 4.46e-5, "optimization problem", AntiDiagStencil)
+            }
+            Workload::AfShell10 => {
+                ("af_shell10", 1_508_065, 52_700_000, 2.32e-5, "structural problem", FemBlocks)
+            }
+            Workload::TmtSym => {
+                ("tmt_sym", 726_713, 5_080_000, 9.62e-6, "electromagnetics problem", Stencil)
+            }
+            Workload::TmtUnsym => {
+                ("tmt_unsym", 917_825, 4_580_000, 5.44e-6, "electromagnetics problem", Stencil)
+            }
+            Workload::T2em => {
+                ("t2em", 921_632, 4_590_000, 5.40e-6, "electromagnetics problem", Stencil)
+            }
+            Workload::StormG21000 => (
+                "stormG2_1000",
+                852_847,
+                3_460_000,
+                4.76e-6,
+                "optimization problem",
+                Staircase,
+            ),
+        };
+        // Seeds are arbitrary but fixed, one per workload.
+        let seed = 0x5A53_4D00 + self as u64;
+        WorkloadSpec { name, n, nnz, density, domain, class, seed }
+    }
+
+    /// Looks a workload up by its SuiteSparse name.
+    pub fn from_name(name: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.spec().name == name)
+    }
+
+    /// Generates the synthetic matrix at the given scale.
+    pub fn generate(self, scale: Scale) -> Coo {
+        let spec = self.spec();
+        let div = scale.edge_divisor();
+        let n = (spec.n / div).max(64);
+        // Preserve the paper's mean row degree at the scaled edge length.
+        let nnz = ((spec.nnz as f64 * n as f64 / spec.n as f64) as usize).max(64);
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        // Workloads with a Table II pattern row plant it directly; the
+        // structural classes below induce their histograms organically.
+        if let Some(shares) = self.table_ii_shares() {
+            let sub_n = (n / 4).max(1);
+            // Keep the band wide enough that placements rarely collide
+            // (collisions merge masks and dilute the planted shares) —
+            // at least 8 free slots per placed submatrix.
+            let est_blocks = (nnz / 6).max(1) as u32;
+            let band = (sub_n / 8).max(2).max(est_blocks * 4 / sub_n);
+            return planted_patterns(&mut rng, n, nnz, shares, band);
+        }
+        match spec.class {
+            StructureClass::RandomGraph => random_uniform(&mut rng, n, nnz),
+            StructureClass::AlignedFemBlocks => {
+                fem_blocks(&mut rng, n, nnz, 4, (n / 16).max(8), true)
+            }
+            StructureClass::FemBlocks => {
+                fem_blocks(&mut rng, n, nnz, 4, (n / 8).max(8), false)
+            }
+            StructureClass::Stencil => {
+                // Enough diagonals to hit the target density; offsets avoid
+                // multiples of 4 so local patterns are genuine diagonal
+                // segments across submatrix boundaries.
+                let d = (nnz / n as usize).max(3) | 1;
+                let mut offsets: Vec<i64> = vec![0];
+                let mut k = 1i64;
+                while offsets.len() < d {
+                    offsets.push(k * 5 + 1);
+                    offsets.push(-(k * 5 + 1));
+                    k += 1;
+                }
+                offsets.truncate(d);
+                stencil(&mut rng, n, &offsets)
+            }
+            StructureClass::AntiDiagStencil => {
+                let lines = (nnz / n as usize).max(4);
+                anti_diag_stencil(&mut rng, n, lines, nnz / 10)
+            }
+            StructureClass::Staircase => {
+                staircase(&mut rng, n, nnz, (n / 64).max(16), 2)
+            }
+            StructureClass::Mixed => {
+                let mix = match self {
+                    Workload::Mip1 => FragmentMix::BALANCED,
+                    Workload::Cfd2 | Workload::PFlow742 => FragmentMix::SCATTERED,
+                    _ => FragmentMix::BLOCK_HEAVY,
+                };
+                mixed_fragments(&mut rng, n, nnz, (n / 8).max(8), mix)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.spec().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_workloads() {
+        assert_eq!(Workload::ALL.len(), 20);
+        let mut names: Vec<_> = Workload::ALL.iter().map(|w| w.spec().name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20, "names must be unique");
+    }
+
+    #[test]
+    fn specs_match_paper_statistics() {
+        for w in Workload::ALL {
+            let s = w.spec();
+            // density ~= nnz / n² within generator rounding
+            let implied = s.nnz as f64 / (s.n as f64 * s.n as f64);
+            let ratio = implied / s.density;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "{}: implied density {implied:.2e} vs paper {:.2e}",
+                s.name,
+                s.density
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Workload::Cfd2.generate(Scale::Small);
+        let b = Workload::Cfd2.generate(Scale::Small);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_scale_preserves_row_degree_roughly() {
+        for w in [Workload::Raefsky3, Workload::TmtSym, Workload::Mycielskian14] {
+            let s = w.spec();
+            let m = w.generate(Scale::Small);
+            let paper_degree = s.nnz as f64 / s.n as f64;
+            let degree = m.nnz() as f64 / m.rows() as f64;
+            let ratio = degree / paper_degree;
+            assert!(
+                (0.5..2.5).contains(&ratio),
+                "{}: generated row degree {degree:.1} vs paper {paper_degree:.1}",
+                s.name,
+            );
+        }
+    }
+
+    #[test]
+    fn from_name_round_trips() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::from_name(w.spec().name), Some(w));
+        }
+        assert_eq!(Workload::from_name("nope"), None);
+    }
+
+    #[test]
+    fn raefsky3_is_fully_block_structured() {
+        let m = Workload::Raefsky3.generate(Scale::Small);
+        assert_eq!(m.nnz() % 16, 0, "aligned 4x4 blocks only");
+    }
+}

@@ -1,0 +1,94 @@
+//! Format explorer: analyse a matrix's local patterns and compare storage
+//! formats, reproducing the per-matrix view behind Table II / Fig. 11.
+//!
+//! ```text
+//! # a workload from the synthetic suite
+//! cargo run --release -p spasm --example format_explorer -- cfd2
+//! # or any Matrix Market file
+//! cargo run --release -p spasm --example format_explorer -- path/to/matrix.mtx
+//! ```
+
+use spasm::Pipeline;
+use spasm_patterns::{render_mask, GridSize, PatternHistogram};
+use spasm_sparse::{mm, storage, Bsr, Coo, Csr, StorageCost};
+use spasm_workloads::{Scale, Workload};
+
+fn load(arg: &str) -> Result<(String, Coo), Box<dyn std::error::Error>> {
+    if let Some(w) = Workload::from_name(arg) {
+        Ok((arg.to_string(), w.generate(Scale::Small)))
+    } else {
+        Ok((arg.to_string(), mm::read_file(arg)?))
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "cfd2".to_string());
+    let (name, a) = load(&arg)?;
+    println!(
+        "{name}: {}x{}, {} nnz, density {:.2e}",
+        a.rows(),
+        a.cols(),
+        a.nnz(),
+        a.density()
+    );
+
+    // Top-8 local patterns (the Table II column).
+    let hist = PatternHistogram::analyze(&a, GridSize::S4);
+    println!(
+        "\n{} occupied 4x4 submatrices, {} distinct local patterns",
+        hist.total_blocks(),
+        hist.distinct_patterns()
+    );
+    println!("top-8 local patterns:");
+    let top = hist.top_n(8);
+    let grids: Vec<Vec<String>> = top
+        .iter()
+        .map(|&(m, _)| render_mask(GridSize::S4, m).lines().map(String::from).collect())
+        .collect();
+    for row in 0..4 {
+        let line: Vec<&str> = grids.iter().map(|g| g[row].as_str()).collect();
+        println!("  {}", line.join("   "));
+    }
+    let shares: Vec<String> = top
+        .iter()
+        .map(|&(_, f)| format!("{:>4.1}%", 100.0 * f as f64 / hist.total_blocks() as f64))
+        .collect();
+    println!("  {}", shares.join("  "));
+    println!(
+        "top-8 coverage: {:.1}% of all occupied submatrices",
+        100.0 * hist.top_n_coverage(8)
+    );
+
+    // Run the framework to pick a portfolio and tile size.
+    let prepared = Pipeline::new().prepare(&a)?;
+    println!(
+        "\nselected portfolio: {} (paddings {}, padding rate {:.1}%)",
+        prepared.selection.set.name(),
+        prepared.encoded.paddings(),
+        prepared.encoded.padding_rate() * 100.0
+    );
+    println!(
+        "selected schedule: {} @ tile {}",
+        prepared.best.config.name, prepared.best.tile_size
+    );
+
+    // Storage comparison, normalised to COO (Fig. 11's bars for this
+    // matrix).
+    let coo_bytes = a.storage_bytes();
+    let rows: Vec<(&str, usize)> = vec![
+        ("COO", coo_bytes),
+        ("CSR", Csr::from(&a).storage_bytes()),
+        ("BSR(2x2)", Bsr::from_coo(&a, 2)?.storage_bytes()),
+        ("HiSparse/Serpens", storage::hisparse_serpens_bytes(a.nnz())),
+        ("SPASM", prepared.encoded.storage_bytes()),
+    ];
+    println!("\nstorage comparison (improvement vs COO):");
+    for (fmt, bytes) in rows {
+        println!(
+            "  {fmt:<18} {:>12} bytes   {:>5.2}x",
+            bytes,
+            storage::improvement_vs_coo(coo_bytes, bytes)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Quickstart: encode a structured sparse matrix with SPASM and run one
+//! accelerated SpMV.
+//!
+//! ```text
+//! cargo run --release -p spasm --example quickstart
+//! ```
+
+use spasm::{spasm_report, Pipeline};
+use spasm_sparse::{Coo, Csr, SpMv};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build a block-tridiagonal matrix (a classic FEM shape): dense 4x4
+    // blocks on the diagonal and its neighbours.
+    let nb = 256u32; // block rows
+    let n = nb * 4;
+    let mut triplets = Vec::new();
+    for b in 0..nb {
+        for (db, scale) in [(-1i64, -1.0f32), (0, 4.0), (1, -1.0)] {
+            let bc = b as i64 + db;
+            if bc < 0 || bc >= nb as i64 {
+                continue;
+            }
+            for r in 0..4u32 {
+                for c in 0..4u32 {
+                    triplets.push((b * 4 + r, bc as u32 * 4 + c, scale * 0.25 * (1 + r + c) as f32));
+                }
+            }
+        }
+    }
+    let a = Coo::from_triplets(n, n, triplets)?;
+    println!("matrix: {}x{}, {} non-zeros", a.rows(), a.cols(), a.nnz());
+
+    // Preprocess: pattern analysis, template selection, decomposition,
+    // tiling and schedule exploration (workflow steps 1-5).
+    let prepared = Pipeline::new().prepare(&a)?;
+    println!(
+        "selected portfolio: {} ({} templates), paddings: {}",
+        prepared.selection.set.name(),
+        prepared.selection.set.len(),
+        prepared.encoded.paddings()
+    );
+    println!(
+        "selected schedule: {} with tile size {}",
+        prepared.best.config, prepared.best.tile_size
+    );
+    println!(
+        "preprocessing: analysis {:?}, selection {:?}, decomposition {:?}, schedule {:?}",
+        prepared.timings.analysis,
+        prepared.timings.selection,
+        prepared.timings.decomposition,
+        prepared.timings.schedule,
+    );
+
+    // Execute y = A*x + y on the simulated accelerator (step 6).
+    let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).sin()).collect();
+    let mut y = vec![0.0f32; n as usize];
+    let exec = prepared.execute(&x, &mut y)?;
+
+    // Check against the CSR reference.
+    let mut want = vec![0.0f32; n as usize];
+    Csr::from(&a).spmv(&x, &mut want)?;
+    let max_err = y
+        .iter()
+        .zip(&want)
+        .map(|(g, w)| (g - w).abs())
+        .fold(0.0f32, f32::max);
+    println!("max |y_spasm - y_csr| = {max_err:.2e}");
+
+    let report = spasm_report(&prepared, &exec);
+    println!(
+        "simulated execution: {:.3} ms, {:.1} GFLOP/s, {:.2} (GFLOP/s)/(GB/s), {:.2} (GFLOP/s)/W",
+        exec.seconds * 1e3,
+        report.gflops,
+        report.bandwidth_eff,
+        report.energy_eff
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Property tests over the whole pipeline: correctness and schedule
+//! optimality for arbitrary matrices.
+
+use proptest::prelude::*;
+use spasm::{Pipeline, PipelineOptions};
+use spasm_hw::HwConfig;
+use spasm_patterns::TemplateSet;
+use spasm_sparse::{Coo, Csr, SpMv};
+
+fn arb_matrix() -> impl Strategy<Value = Coo> {
+    (16u32..128, 16u32..128).prop_flat_map(|(rows, cols)| {
+        let entry = (0..rows, 0..cols, (1i32..32).prop_map(|q| q as f32 * 0.25));
+        proptest::collection::vec(entry, 1..256)
+            .prop_map(move |t| Coo::from_triplets(rows, cols, t).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// End-to-end: prepare + execute equals CSR SpMV.
+    #[test]
+    fn pipeline_is_correct(m in arb_matrix()) {
+        let prepared = Pipeline::new().prepare(&m).unwrap();
+        let x: Vec<f32> = (0..m.cols()).map(|i| ((i % 11) as f32) * 0.5 - 2.0).collect();
+        let mut want = vec![0.0f32; m.rows() as usize];
+        Csr::from(&m).spmv(&x, &mut want).unwrap();
+        let mut got = vec![0.0f32; m.rows() as usize];
+        prepared.execute(&x, &mut got).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() <= 2e-3 * (1.0 + w.abs()), "{g} vs {w}");
+        }
+    }
+
+    /// The encoded stream is lossless and its padding accounting balances.
+    #[test]
+    fn pipeline_encoding_invariants(m in arb_matrix()) {
+        let prepared = Pipeline::new().prepare(&m).unwrap();
+        prop_assert_eq!(prepared.encoded.to_coo(), m.clone());
+        prop_assert_eq!(
+            4 * prepared.encoded.n_instances() as u64,
+            m.nnz() as u64 + prepared.encoded.paddings()
+        );
+    }
+
+    /// The explored winner is never beaten by any other explored point.
+    #[test]
+    fn schedule_winner_is_optimal(m in arb_matrix()) {
+        let prepared = Pipeline::new().prepare(&m).unwrap();
+        let winner = prepared.best.config.cycles_to_seconds(prepared.best.predicted_cycles);
+        for c in &prepared.explored {
+            prop_assert!(winner <= c.predicted_seconds + 1e-15);
+        }
+    }
+
+    /// The dynamic portfolio minimises scored paddings across the
+    /// candidates (Algorithm 3's contract), and a pinned single-candidate
+    /// pipeline respects its pin.
+    #[test]
+    fn dynamic_selection_minimises_scored_paddings(m in arb_matrix()) {
+        let full = Pipeline::new().prepare(&m).unwrap();
+        let min = full
+            .selection
+            .candidate_paddings
+            .iter()
+            .flatten()
+            .min()
+            .copied()
+            .unwrap();
+        prop_assert_eq!(full.selection.paddings, min);
+
+        let fixed = Pipeline::with_options(
+            PipelineOptions::default()
+                .fixed_portfolio(TemplateSet::table_v_set(0))
+                .fixed_schedule(1024, HwConfig::spasm_4_1()),
+        )
+        .prepare(&m)
+        .unwrap();
+        prop_assert_eq!(fixed.selection.set.name(), "set-0");
+        prop_assert_eq!(fixed.best.tile_size, 1024);
+    }
+}
