@@ -24,9 +24,7 @@ pub mod calib;
 mod platform;
 mod profile;
 
-pub use platform::{
-    CusparseGpu, HiSparse, Platform, PlatformReport, Serpens,
-};
+pub use platform::{CusparseGpu, HiSparse, Platform, PlatformReport, Serpens};
 pub use profile::MatrixProfile;
 
 /// Average power draw of each platform (Table VII), in watts.

@@ -193,7 +193,9 @@ impl Platform for HiSparse {
         let hazard = 1.0 + calib::HISPARSE_HAZARD_K / p.mean_row_len.max(1.0);
         let imbalance = p.lane_imbalance(calib::HISPARSE_LANES);
         // Matrices wider than the x buffer run in column-block passes.
-        let passes = (p.cols as f64 / calib::HISPARSE_XBUF_ELEMS as f64).ceil().max(1.0);
+        let passes = (p.cols as f64 / calib::HISPARSE_XBUF_ELEMS as f64)
+            .ceil()
+            .max(1.0);
         let pass_overhead = (passes - 1.0) * calib::HISPARSE_PASS_OVERHEAD_S;
         stream_s * hazard * imbalance + pass_overhead + calib::HISPARSE_OVERHEAD_S
     }
@@ -228,13 +230,10 @@ impl Platform for CusparseGpu {
         let bw = self.spec().bandwidth_gbs * 1e9 * calib::GPU_STREAM_EFF;
         // CSR streaming traffic: 8 B/nnz (value + column) + row pointers +
         // y read/write.
-        let stream_bytes =
-            8.0 * p.nnz as f64 + 4.0 * (p.rows as f64 + 1.0) + 8.0 * p.rows as f64;
+        let stream_bytes = 8.0 * p.nnz as f64 + 4.0 * (p.rows as f64 + 1.0) + 8.0 * p.rows as f64;
         // x gathers: every distinct touched cache line that misses L2.
-        let gather_bytes = p.lines_per_nnz
-            * p.nnz as f64
-            * calib::GPU_CACHE_LINE_B
-            * (1.0 - calib::GPU_L2_HIT);
+        let gather_bytes =
+            p.lines_per_nnz * p.nnz as f64 * calib::GPU_CACHE_LINE_B * (1.0 - calib::GPU_L2_HIT);
         (stream_bytes + gather_bytes) / bw + calib::GPU_LAUNCH_OVERHEAD_S
     }
 
@@ -242,10 +241,7 @@ impl Platform for CusparseGpu {
         8.0 * p.nnz as f64
             + 4.0 * (p.rows as f64 + 1.0)
             + 8.0 * p.rows as f64
-            + p.lines_per_nnz
-                * p.nnz as f64
-                * calib::GPU_CACHE_LINE_B
-                * (1.0 - calib::GPU_L2_HIT)
+            + p.lines_per_nnz * p.nnz as f64 * calib::GPU_CACHE_LINE_B * (1.0 - calib::GPU_L2_HIT)
     }
 }
 
@@ -309,8 +305,7 @@ mod tests {
         let banded = banded_profile(4096, 8);
         // Scattered columns: every access a new line.
         let t: Vec<_> = (0..4096u32).map(|i| (i, (i * 997) % 4096, 1.0)).collect();
-        let scattered =
-            MatrixProfile::from_coo(&Coo::from_triplets(4096, 4096, t).unwrap());
+        let scattered = MatrixProfile::from_coo(&Coo::from_triplets(4096, 4096, t).unwrap());
         let g = CusparseGpu::new();
         assert!(
             g.estimate_seconds(&scattered) / scattered.nnz as f64
@@ -344,7 +339,12 @@ mod tests {
                 _ => 273.0,
             };
             let roofline = 2.0 * spec_bw / 8.0;
-            assert!(r.gflops <= roofline, "{}: {} vs {roofline}", r.name, r.gflops);
+            assert!(
+                r.gflops <= roofline,
+                "{}: {} vs {roofline}",
+                r.name,
+                r.gflops
+            );
         }
     }
 }

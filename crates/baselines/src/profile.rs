@@ -48,7 +48,11 @@ impl MatrixProfile {
                 last = Some(line);
             }
         }
-        let lines_per_nnz = if nnz == 0 { 0.0 } else { lines as f64 / nnz as f64 };
+        let lines_per_nnz = if nnz == 0 {
+            0.0
+        } else {
+            lines as f64 / nnz as f64
+        };
         MatrixProfile {
             rows,
             cols: matrix.cols(),
@@ -99,7 +103,7 @@ mod tests {
         assert_eq!(p.nnz, 4);
         assert_eq!(p.max_row_len, 3);
         assert!((p.mean_row_len - 2.0).abs() < 1e-12); // 4 nnz / 2 non-empty rows
-        // row 0 touches lines 0 and 2, row 2 touches line 0 => 3 lines / 4 nnz
+                                                       // row 0 touches lines 0 and 2, row 2 touches line 0 => 3 lines / 4 nnz
         assert!((p.lines_per_nnz - 0.75).abs() < 1e-12);
     }
 

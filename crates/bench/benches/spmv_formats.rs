@@ -1,15 +1,24 @@
-//! Criterion benchmarks of host-side SpMV across storage formats and of
-//! the simulated accelerator — the substrate behind the throughput
-//! figures.
+//! Benchmarks of host-side SpMV across storage formats and of the
+//! simulated accelerator — the substrate behind the throughput figures.
+//! Includes the row-partitioned parallel CSR kernel next to its serial
+//! counterpart (bit-identical output; see `tests/determinism.rs`).
+//!
+//! Run with `cargo bench -p spasm-bench --bench spmv_formats`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spasm_bench::timing::{bench, report_speedup};
 use spasm_format::{SpasmMatrix, SubmatrixMap};
 use spasm_hw::{Accelerator, HwConfig};
 use spasm_patterns::{DecompositionTable, TemplateSet};
 use spasm_sparse::{Bsr, Csc, Csr, Dia, Ell, SpMv};
 use spasm_workloads::{Scale, Workload};
 
-fn bench_formats(c: &mut Criterion) {
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    println!(
+        "host threads: {threads} | parallel feature: {}",
+        cfg!(feature = "parallel")
+    );
+
     let m = Workload::Raefsky3.generate(Scale::Small);
     let n = m.cols() as usize;
     let x: Vec<f32> = (0..n).map(|i| (i % 13) as f32 * 0.25).collect();
@@ -23,47 +32,41 @@ fn bench_formats(c: &mut Criterion) {
     let table = DecompositionTable::build(&TemplateSet::table_v_set(0));
     let spasm = SpasmMatrix::encode(&SubmatrixMap::from_coo(&m), &table, 1024).unwrap();
 
-    let mut g = c.benchmark_group("spmv_host");
-    g.throughput(Throughput::Elements(m.nnz() as u64));
-    macro_rules! bench {
+    println!("== host SpMV, {} nnz ==", m.nnz());
+    macro_rules! row {
         ($name:literal, $m:expr) => {
-            g.bench_function($name, |b| {
-                b.iter(|| {
-                    let mut y = vec![0.0f32; rows];
-                    $m.spmv(&x, &mut y).unwrap();
-                    y
-                })
-            });
+            bench($name, || {
+                let mut y = vec![0.0f32; rows];
+                $m.spmv(&x, &mut y).unwrap();
+                y
+            })
         };
     }
-    bench!("coo", m);
-    bench!("csr", csr);
-    bench!("csc", csc);
-    bench!("bsr4", bsr);
-    bench!("dia", dia);
-    bench!("ell", ell);
-    g.bench_function("spasm_stream", |b| {
-        b.iter(|| {
-            let mut y = vec![0.0f32; rows];
-            spasm.spmv(&x, &mut y).unwrap();
-            y
-        })
+    row!("coo", m);
+    let csr_serial = row!("csr", csr);
+    row!("csc", csc);
+    row!("bsr4", bsr);
+    row!("dia", dia);
+    row!("ell", ell);
+    bench("spasm_stream", || {
+        let mut y = vec![0.0f32; rows];
+        spasm.spmv(&x, &mut y).unwrap();
+        y
     });
-    g.finish();
 
-    let mut g2 = c.benchmark_group("simulator");
-    g2.throughput(Throughput::Elements(m.nnz() as u64));
+    let csr_parallel = bench("csr_parallel", || {
+        let mut y = vec![0.0f32; rows];
+        csr.spmv_parallel(&x, &mut y).unwrap();
+        y
+    });
+    report_speedup("csr parallel kernel", &csr_serial, &csr_parallel);
+
+    println!("\n== simulator, {} nnz ==", m.nnz());
     for cfg in HwConfig::shipped() {
         let acc = Accelerator::new(cfg.clone());
-        g2.bench_function(&cfg.name, |b| {
-            b.iter(|| {
-                let mut y = vec![0.0f32; rows];
-                acc.run(&spasm, &x, &mut y).unwrap()
-            })
+        bench(&cfg.name, || {
+            let mut y = vec![0.0f32; rows];
+            acc.run(&spasm, &x, &mut y).unwrap()
         });
     }
-    g2.finish();
 }
-
-criterion_group!(benches, bench_formats);
-criterion_main!(benches);

@@ -37,14 +37,24 @@ fn scalar_cycles(map: &SubmatrixMap, tile_size: u32, cfg: &HwConfig) -> u64 {
     for b in map.blocks() {
         let key = (b.sub_r / subs_per_tile, b.sub_c / subs_per_tile);
         let lane = ((b.sub_r % subs_per_tile) as usize) % 16;
-        let acc = tiles.entry(key).or_insert(Acc { nnz: 0, lanes: [0; 16] });
+        let acc = tiles.entry(key).or_insert(Acc {
+            nnz: 0,
+            lanes: [0; 16],
+        });
         let n = u64::from(b.mask.count_ones());
         acc.nnz += n;
         acc.lanes[lane] += n;
     }
     let mut jobs: Vec<(u32, u32, u64, u64)> = tiles
         .into_iter()
-        .map(|((tr, tc), acc)| (tr, tc, acc.nnz, acc.lanes.iter().copied().max().unwrap_or(0)))
+        .map(|((tr, tc), acc)| {
+            (
+                tr,
+                tc,
+                acc.nnz,
+                acc.lanes.iter().copied().max().unwrap_or(0),
+            )
+        })
         .collect();
     jobs.sort_unstable();
 
@@ -59,11 +69,12 @@ fn scalar_cycles(map: &SubmatrixMap, tile_size: u32, cfg: &HwConfig) -> u64 {
     let mut heights: Vec<u32> = Vec::new();
     let mut seen_rows = std::collections::HashSet::new();
     for &(tr, _, _, lane) in &jobs {
-        let g = (0..loads.len()).min_by_key(|&i| (loads[i], i)).expect("groups > 0");
+        let g = (0..loads.len())
+            .min_by_key(|&i| (loads[i], i))
+            .expect("groups > 0");
         loads[g] += cost(lane);
         if seen_rows.insert(tr) {
-            heights
-                .push((map.rows() - (tr * tile_size).min(map.rows())).min(tile_size));
+            heights.push((map.rows() - (tr * tile_size).min(map.rows())).min(tile_size));
         }
     }
     // First-tile x load is exposed per busy group.

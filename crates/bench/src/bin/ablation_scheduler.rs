@@ -14,11 +14,7 @@ use spasm_format::{SubmatrixMap, TilingSummary};
 use spasm_hw::{perf, timing, HwConfig};
 use spasm_patterns::{DecompositionTable, TemplateSet};
 
-fn cycles_with(
-    summary: &TilingSummary,
-    cfg: &HwConfig,
-    lpt: bool,
-) -> u64 {
+fn cycles_with(summary: &TilingSummary, cfg: &HwConfig, lpt: bool) -> u64 {
     let jobs = perf::jobs_from_summary(summary);
     let y = timing::y_bytes(summary.worked_row_heights());
     let assignment = if lpt {
@@ -35,7 +31,10 @@ fn cycles_with(
 
 fn main() {
     let scale = scale_from_args();
-    println!("Scheduler ablation — LPT vs round-robin tile assignment ({})", scale_name(scale));
+    println!(
+        "Scheduler ablation — LPT vs round-robin tile assignment ({})",
+        scale_name(scale)
+    );
     rule(72);
     println!(
         "{:<14} {:>12} {:>12} {:>10} {:>10}",

@@ -37,7 +37,9 @@ fn main() {
         let full_paddings = |top_n: TopN| -> u64 {
             let out = select_template_set(&hist, &candidates, top_n);
             let table = DecompositionTable::build(&out.set);
-            table.weighted_paddings(hist.iter()).expect("candidates cover")
+            table
+                .weighted_paddings(hist.iter())
+                .expect("candidates cover")
         };
         let exhaustive = full_paddings(TopN::All);
         print!("{:<14}", w.to_string());

@@ -47,10 +47,16 @@ fn main() {
         scale_name(scale)
     );
     rule(64);
-    println!("{:<14} {:>14} {:>12} {:>10}", "matrix", "best config", "tile", "GFLOP/s");
+    println!(
+        "{:<14} {:>14} {:>12} {:>10}",
+        "matrix", "best config", "tile", "GFLOP/s"
+    );
     rule(64);
 
-    let options = PipelineOptions { configs: configs.clone(), ..PipelineOptions::default() };
+    let options = PipelineOptions {
+        configs: configs.clone(),
+        ..PipelineOptions::default()
+    };
     let pipeline = Pipeline::with_options(options);
     let mut wins: HashMap<String, usize> = HashMap::new();
     spasm_bench::for_each_workload(scale, |w, m| {
@@ -73,7 +79,10 @@ fn main() {
     println!("wins per configuration across the suite:");
     for (name, n) in tally {
         let shipped = matches!(name.as_str(), "SPASM_4_1" | "SPASM_3_4" | "SPASM_3_2");
-        println!("  {name:<12} {n:>3} {}", if shipped { "(shipped bitstream)" } else { "" });
+        println!(
+            "  {name:<12} {n:>3} {}",
+            if shipped { "(shipped bitstream)" } else { "" }
+        );
     }
     println!(
         "(the paper ships SPASM_4_1 / SPASM_3_4 / SPASM_3_2 as its pre-synthesised \

@@ -40,8 +40,7 @@ fn main() {
         for (i, table) in tables.iter().enumerate() {
             let mut instances = 0u64;
             for (&mask, &freq) in hist.iter() {
-                instances +=
-                    u64::from(table.instance_count(mask).expect("sets cover")) * freq;
+                instances += u64::from(table.instance_count(mask).expect("sets cover")) * freq;
             }
             let bytes = (instances * 20) as f64;
             bytes_per_set.push(bytes);

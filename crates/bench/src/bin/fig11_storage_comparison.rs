@@ -65,9 +65,12 @@ fn main() {
         )
     };
     println!("Table VI — overall improvement (min / max / geomean):");
-    for (name, v) in
-        [("CSR", &cols[0]), ("BSR", &cols[1]), ("HiSparse & Serpens", &cols[2]), ("SPASM", &cols[3])]
-    {
+    for (name, v) in [
+        ("CSR", &cols[0]),
+        ("BSR", &cols[1]),
+        ("HiSparse & Serpens", &cols[2]),
+        ("SPASM", &cols[3]),
+    ] {
         let (min, max, geo) = summary(v);
         println!("  {name:<20} {min:>5.2}x / {max:>5.2}x / {geo:>5.2}x");
     }

@@ -14,7 +14,10 @@ use spasm_hw::HwConfig;
 
 fn main() {
     let scale = scale_from_args();
-    println!("Fig. 12 — throughput & bandwidth efficiency ({})", scale_name(scale));
+    println!(
+        "Fig. 12 — throughput & bandwidth efficiency ({})",
+        scale_name(scale)
+    );
 
     println!("\nTable III — baseline platform specs:");
     let hisparse = HiSparse::new();
@@ -87,7 +90,12 @@ fn main() {
 
     // Speedup summaries (Section V-E1).
     println!("\nSPASM speedup over each baseline:");
-    let labels = ["HiSparse", "Serpens_a16", "Serpens_a24", "RTX 3090 (cuSPARSE)"];
+    let labels = [
+        "HiSparse",
+        "Serpens_a16",
+        "Serpens_a24",
+        "RTX 3090 (cuSPARSE)",
+    ];
     let paper = [6.74, 3.21, 2.81, 0.75];
     for (b, label) in labels.iter().enumerate() {
         let ratios: Vec<f64> = spasm_reports

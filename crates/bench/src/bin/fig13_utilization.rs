@@ -11,7 +11,10 @@ use spasm_bench::{geomean, rule, scale_from_args, scale_name};
 
 fn main() {
     let scale = scale_from_args();
-    println!("Fig. 13 — peak bandwidth / compute utilisation ({})", scale_name(scale));
+    println!(
+        "Fig. 13 — peak bandwidth / compute utilisation ({})",
+        scale_name(scale)
+    );
     rule(112);
     println!(
         "{:<14} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
@@ -23,8 +26,12 @@ fn main() {
     );
     rule(112);
 
-    let platforms: [&dyn Platform; 4] =
-        [&HiSparse::new(), &Serpens::a16(), &Serpens::a24(), &CusparseGpu::new()];
+    let platforms: [&dyn Platform; 4] = [
+        &HiSparse::new(),
+        &Serpens::a16(),
+        &Serpens::a24(),
+        &CusparseGpu::new(),
+    ];
     let pipeline = Pipeline::new();
     let mut acc: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); 5];
     spasm_bench::for_each_workload(scale, |w, m| {

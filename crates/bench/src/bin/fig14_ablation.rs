@@ -13,7 +13,10 @@ use spasm_patterns::TemplateSet;
 
 fn main() {
     let scale = scale_from_args();
-    println!("Fig. 14 — ablation: gains from ⑤ and ② ({})", scale_name(scale));
+    println!(
+        "Fig. 14 — ablation: gains from ⑤ and ② ({})",
+        scale_name(scale)
+    );
     rule(86);
     println!(
         "{:<14} {:>10} {:>10} {:>10} {:>9} {:>9} {:>14}",

@@ -22,7 +22,10 @@ fn main() {
         let grids: Vec<Vec<String>> = top
             .iter()
             .map(|&(mask, _)| {
-                render_mask(GridSize::S4, mask).lines().map(String::from).collect()
+                render_mask(GridSize::S4, mask)
+                    .lines()
+                    .map(String::from)
+                    .collect()
             })
             .collect();
         for row in 0..4 {

@@ -12,7 +12,10 @@ const POINTS: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
 
 fn main() {
     let scale = scale_from_args();
-    println!("Fig. 3 — CDF of top-n local patterns ({})", scale_name(scale));
+    println!(
+        "Fig. 3 — CDF of top-n local patterns ({})",
+        scale_name(scale)
+    );
     rule(14 + 2 + POINTS.len() * 8 + 10);
     print!("{:<14}", "matrix");
     for p in POINTS {

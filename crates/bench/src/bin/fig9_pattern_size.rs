@@ -16,7 +16,10 @@ use spasm_patterns::{DecompositionTable, GridSize, PatternHistogram, TemplateSet
 
 fn main() {
     let scale = scale_from_args();
-    println!("Fig. 9 — storage cost vs local pattern size ({})", scale_name(scale));
+    println!(
+        "Fig. 9 — storage cost vs local pattern size ({})",
+        scale_name(scale)
+    );
     rule(74);
     println!(
         "{:<14} {:>12} | {:>8} {:>8} {:>8}  (bytes per non-zero)",
@@ -32,9 +35,8 @@ fn main() {
             let p = size.template_len() as u64;
             let mut instances = 0u64;
             for (&mask, &freq) in hist.iter() {
-                instances += u64::from(
-                    table.instance_count(mask).expect("vector portfolios cover"),
-                ) * freq;
+                instances +=
+                    u64::from(table.instance_count(mask).expect("vector portfolios cover")) * freq;
             }
             let bytes = instances * (p + 1) * 4;
             let per_nnz = bytes as f64 / m.nnz() as f64;

@@ -22,10 +22,10 @@ use spasm_workloads::Workload;
 
 /// One donor per structural class keeps the matrix readable.
 const DONORS: [Workload; 5] = [
-    Workload::Raefsky3,   // aligned FEM blocks
-    Workload::TmtSym,     // diagonal stencil
-    Workload::C73,        // anti-diagonal stencil
-    Workload::Mip1,       // balanced mixed
+    Workload::Raefsky3,      // aligned FEM blocks
+    Workload::TmtSym,        // diagonal stencil
+    Workload::C73,           // anti-diagonal stencil
+    Workload::Mip1,          // balanced mixed
     Workload::Mycielskian14, // scattered graph
 ];
 
@@ -62,7 +62,10 @@ fn main() {
     rule(width);
     print!("{:<16}", "recipient \\ donor");
     for (d, set) in &donor_sets {
-        print!(" {:>11}", format!("{d}:{}", set.name().trim_start_matches("set-")));
+        print!(
+            " {:>11}",
+            format!("{d}:{}", set.name().trim_start_matches("set-"))
+        );
     }
     println!(" {:>11}", "own (GF/s)");
     rule(width);
@@ -82,9 +85,8 @@ fn main() {
         let own_bytes = own.encoded.storage_bytes() as f64;
         let mut srow = Vec::new();
         for (donor_name, set) in &donor_sets {
-            let pinned = Pipeline::with_options(
-                PipelineOptions::default().fixed_portfolio(set.clone()),
-            );
+            let pinned =
+                Pipeline::with_options(PipelineOptions::default().fixed_portfolio(set.clone()));
             let prepared = pinned.prepare(&m).expect("pipeline");
             let mut y2 = vec![0.0f32; m.rows() as usize];
             let g = prepared.execute(&x, &mut y2).expect("simulate").gflops;
@@ -106,12 +108,17 @@ fn main() {
 
     // Storage blow-up under a mismatched portfolio (the format pays for
     // the mismatch even when execution is bound elsewhere).
-    println!("
-encoded stream size under donor portfolio (relative to own portfolio):");
+    println!(
+        "
+encoded stream size under donor portfolio (relative to own portfolio):"
+    );
     rule(width);
     print!("{:<16}", "recipient \\ donor");
     for (d, set) in &donor_sets {
-        print!(" {:>11}", format!("{d}:{}", set.name().trim_start_matches("set-")));
+        print!(
+            " {:>11}",
+            format!("{d}:{}", set.name().trim_start_matches("set-"))
+        );
     }
     println!(" {:>11}", "own B/nnz");
     rule(width);

@@ -30,7 +30,10 @@ fn scramble(m: &Coo, seed: u64) -> Coo {
 
 fn main() {
     let scale = scale_from_args();
-    println!("Reordering study — RCM vs scrambled ordering ({})", scale_name(scale));
+    println!(
+        "Reordering study — RCM vs scrambled ordering ({})",
+        scale_name(scale)
+    );
     rule(108);
     println!(
         "{:<14} {:>11} {:>11} | {:>9} {:>9} | {:>9} {:>9} | {:>9}",
@@ -58,7 +61,11 @@ fn main() {
             let x = vec![1.0f32; mat.cols() as usize];
             let mut y = vec![0.0f32; mat.rows() as usize];
             let exec = prepared.execute(&x, &mut y).expect("simulate");
-            (prepared.encoded.padding_rate(), exec.gflops, prepared.encoded.storage_bytes())
+            (
+                prepared.encoded.padding_rate(),
+                exec.gflops,
+                prepared.encoded.storage_bytes(),
+            )
         };
         let (pad_s, gf_s, _) = run(&scrambled);
         let (pad_r, gf_r, bytes_r) = run(&restored);

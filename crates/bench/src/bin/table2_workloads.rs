@@ -11,7 +11,10 @@ use spasm_sparse::spy;
 
 fn main() {
     let scale = scale_from_args();
-    println!("Table II — workload characteristics ({})", scale_name(scale));
+    println!(
+        "Table II — workload characteristics ({})",
+        scale_name(scale)
+    );
     rule(118);
     println!(
         "{:<14} {:>10} {:>10} {:<26} {:<50}",

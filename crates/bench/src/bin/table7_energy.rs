@@ -15,7 +15,10 @@ use spasm_bench::{rule, scale_from_args, scale_name};
 
 fn main() {
     let scale = scale_from_args();
-    println!("Table VII — power & energy efficiency ({})", scale_name(scale));
+    println!(
+        "Table VII — power & energy efficiency ({})",
+        scale_name(scale)
+    );
 
     let hisparse = HiSparse::new();
     let a16 = Serpens::a16();
@@ -40,7 +43,10 @@ fn main() {
     });
 
     rule(64);
-    println!("{:<12} {:>8} {:>22} {:>16}", "platform", "power", "energy efficiency", "paper");
+    println!(
+        "{:<12} {:>8} {:>22} {:>16}",
+        "platform", "power", "energy efficiency", "paper"
+    );
     rule(64);
     let rows = [
         ("RTX 3090", power::RTX_3090_W, &gflops[0], 0.23),

@@ -18,7 +18,10 @@ use spasm_workloads::Workload;
 
 fn main() {
     let scale = scale_from_args();
-    println!("Table VIII — preprocessing & execution time ({})", scale_name(scale));
+    println!(
+        "Table VIII — preprocessing & execution time ({})",
+        scale_name(scale)
+    );
     rule(108);
     println!(
         "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>14}",

@@ -57,6 +57,81 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
+/// A tiny self-contained timing harness for the `harness = false` benches.
+///
+/// The environment cannot fetch `criterion`, so the benches measure with
+/// `std::time::Instant` directly: one warm-up call calibrates an iteration
+/// count that fills a ~200 ms window, then mean and minimum wall-clock are
+/// reported. Minimums are the robust statistic to compare across runs.
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// One benchmark result.
+    #[derive(Debug, Clone)]
+    pub struct Measurement {
+        /// Benchmark label.
+        pub label: String,
+        /// Iterations measured (after one warm-up call).
+        pub iters: u32,
+        /// Mean wall-clock per iteration.
+        pub mean: Duration,
+        /// Minimum wall-clock over all iterations.
+        pub min: Duration,
+    }
+
+    impl Measurement {
+        /// `other`'s minimum divided by this one's — how many times faster
+        /// `self` is.
+        pub fn speedup_over(&self, other: &Measurement) -> f64 {
+            other.min.as_secs_f64() / self.min.as_secs_f64().max(1e-12)
+        }
+    }
+
+    /// Times `f`, prints one table row, and returns the measurement.
+    pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) -> Measurement {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed();
+        let target = Duration::from_millis(200);
+        let iters = (target.as_secs_f64() / once.as_secs_f64().max(1e-9)).clamp(1.0, 1000.0) as u32;
+
+        let mut min = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            let d = t.elapsed();
+            total += d;
+            if d < min {
+                min = d;
+            }
+        }
+        let m = Measurement {
+            label: label.to_string(),
+            iters,
+            mean: total / iters,
+            min,
+        };
+        println!(
+            "{:<44} {:>12.3?} mean {:>12.3?} min  ({:>4} iters)",
+            m.label, m.mean, m.min, m.iters
+        );
+        m
+    }
+
+    /// Prints a `serial vs parallel` comparison line. On single-core
+    /// machines (or serial builds) the ratio hovers around 1.0 — the
+    /// benches report, they do not assert.
+    pub fn report_speedup(what: &str, serial: &Measurement, parallel: &Measurement) {
+        println!(
+            "  -> {what}: parallel is {:.2}x vs serial (min {:?} vs {:?})",
+            parallel.speedup_over(serial),
+            parallel.min,
+            serial.min
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,9 +16,9 @@
 use std::process::ExitCode;
 
 use spasm::{spasm_report, Pipeline, PipelineOptions};
-use spasm_patterns::TemplateSet;
 use spasm_format::SpasmMatrix;
 use spasm_hw::ExecutionTrace;
+use spasm_patterns::TemplateSet;
 use spasm_patterns::{render_mask, GridSize, PatternHistogram};
 use spasm_sparse::{mm, spy, Coo, StorageCost};
 use spasm_workloads::{Scale, Workload};
@@ -70,7 +70,12 @@ fn analyze(arg: &str) -> Result<(), Box<dyn std::error::Error>> {
     let top = hist.top_n(8);
     let grids: Vec<Vec<String>> = top
         .iter()
-        .map(|&(mask, _)| render_mask(GridSize::S4, mask).lines().map(String::from).collect())
+        .map(|&(mask, _)| {
+            render_mask(GridSize::S4, mask)
+                .lines()
+                .map(String::from)
+                .collect()
+        })
         .collect();
     for row in 0..4 {
         let cells: Vec<&str> = grids.iter().map(|g| g[row].as_str()).collect();
@@ -83,7 +88,10 @@ fn analyze(arg: &str) -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     println!("  {}", shares.join("  "));
     for n in [1usize, 2, 4, 8, 16, 32] {
-        println!("  top-{n:<3} coverage: {:>6.2}%", 100.0 * hist.top_n_coverage(n));
+        println!(
+            "  top-{n:<3} coverage: {:>6.2}%",
+            100.0 * hist.top_n_coverage(n)
+        );
     }
     Ok(())
 }
@@ -135,10 +143,18 @@ fn info(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     println!("  tile size    {}", m.tile_size());
     println!("  non-zeros    {}", m.nnz());
     println!("  instances    {}", m.n_instances());
-    println!("  paddings     {} ({:.1}% of slots)", m.paddings(), 100.0 * m.padding_rate());
+    println!(
+        "  paddings     {} ({:.1}% of slots)",
+        m.paddings(),
+        100.0 * m.padding_rate()
+    );
     println!("  tiles        {}", m.tiles().len());
     println!("  portfolio    {} templates", m.template_masks().len());
-    println!("  stream       {} bytes ({} with directory)", m.storage_bytes(), m.storage_bytes_full());
+    println!(
+        "  stream       {} bytes ({} with directory)",
+        m.storage_bytes(),
+        m.storage_bytes_full()
+    );
     Ok(())
 }
 
@@ -207,9 +223,7 @@ fn main() -> ExitCode {
         [cmd, m] if cmd == "analyze" => analyze(m),
         [cmd, m, flag, out] if cmd == "select" && flag == "-o" => select(m, out),
         [cmd, m, flag, out] if cmd == "encode" && flag == "-o" => encode(m, None, out),
-        [cmd, m, pf, pfile, flag, out]
-            if cmd == "encode" && pf == "-p" && flag == "-o" =>
-        {
+        [cmd, m, pf, pfile, flag, out] if cmd == "encode" && pf == "-p" && flag == "-o" => {
             encode(m, Some(pfile), out)
         }
         [cmd, p] if cmd == "info" => info(p),

@@ -29,8 +29,15 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Format(e) => write!(f, "format error: {e}"),
             PipelineError::Opcode(e) => write!(f, "opcode error: {e}"),
-            PipelineError::DimensionMismatch { expected, actual, operand } => {
-                write!(f, "vector `{operand}` has length {actual}, expected {expected}")
+            PipelineError::DimensionMismatch {
+                expected,
+                actual,
+                operand,
+            } => {
+                write!(
+                    f,
+                    "vector `{operand}` has length {actual}, expected {expected}"
+                )
             }
             PipelineError::EmptySearchSpace(what) => {
                 write!(f, "schedule exploration requires at least one {what}")
@@ -64,9 +71,15 @@ impl From<OpcodeError> for PipelineError {
 impl From<spasm_hw::SimError> for PipelineError {
     fn from(e: spasm_hw::SimError) -> Self {
         match e {
-            spasm_hw::SimError::DimensionMismatch { expected, actual, operand } => {
-                PipelineError::DimensionMismatch { expected, actual, operand }
-            }
+            spasm_hw::SimError::DimensionMismatch {
+                expected,
+                actual,
+                operand,
+            } => PipelineError::DimensionMismatch {
+                expected,
+                actual,
+                operand,
+            },
             spasm_hw::SimError::Opcode(o) => PipelineError::Opcode(o),
             _ => PipelineError::EmptySearchSpace("unknown simulator error"),
         }

@@ -30,6 +30,11 @@ pub struct PipelineOptions {
     /// Hardware configurations for step ⑤ (default: the three shipped
     /// bitstreams of Table IV).
     pub configs: Vec<HwConfig>,
+    /// Preprocessing thread budget (default: [`Parallelism::Auto`]). All
+    /// pipeline outputs are identical for every setting; the knob only
+    /// trades wall-clock for cores. Serial mode is kept for debugging and
+    /// as the oracle side of the determinism tests.
+    pub parallelism: Parallelism,
 }
 
 impl Default for PipelineOptions {
@@ -39,6 +44,7 @@ impl Default for PipelineOptions {
             top_n: TopN::Coverage(0.95),
             tile_sizes: schedule::default_tile_sizes(),
             configs: HwConfig::shipped(),
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -57,9 +63,79 @@ impl PipelineOptions {
         self.configs = vec![config];
         self
     }
+
+    /// Sets the preprocessing thread budget.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+}
+
+/// Thread budget for preprocessing.
+///
+/// Preprocessing output is bit-identical for every variant (enforced by
+/// `tests/determinism.rs`); only wall-clock changes. Without the `parallel`
+/// cargo feature every variant executes serially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Use every available core.
+    #[default]
+    Auto,
+    /// Single-threaded execution.
+    Serial,
+    /// At most this many worker threads (`Threads(0)` ≡ `Auto`,
+    /// `Threads(1)` ≡ `Serial`).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The concrete worker-thread cap this variant resolves to.
+    pub fn resolved_threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto | Parallelism::Threads(0) => {
+                std::thread::available_parallelism().map_or(1, usize::from)
+            }
+            Parallelism::Threads(n) => n,
+        }
+    }
+}
+
+/// Runs `f` under the pipeline's thread budget. With the `parallel` feature
+/// disabled this is the identity: everything already runs serially.
+#[cfg(feature = "parallel")]
+fn with_parallelism<R>(parallelism: Parallelism, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(parallelism.resolved_threads())
+        .build()
+        .expect("vendored rayon pool builder is infallible")
+        .install(f)
+}
+
+#[cfg(not(feature = "parallel"))]
+fn with_parallelism<R>(_parallelism: Parallelism, f: impl FnOnce() -> R) -> R {
+    f()
+}
+
+/// The worker budget in effect on the current thread (1 in serial builds).
+#[cfg(feature = "parallel")]
+fn current_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+#[cfg(not(feature = "parallel"))]
+fn current_threads() -> usize {
+    1
 }
 
 /// Wall-clock cost of each preprocessing stage — the rows of Table VIII.
+///
+/// Each field is the *wall-clock* span of its stage as observed by the
+/// thread driving the pipeline, so the numbers stay meaningful under
+/// parallel execution: a stage that fans out over `threads` workers reports
+/// the elapsed time of the whole fan-out, not the summed CPU time.
+/// [`StageTimings::threads`] records the budget the stages ran under so a
+/// report can distinguish a serial 40 ms from a 4-thread 40 ms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StageTimings {
     /// ① local pattern analysis.
@@ -72,12 +148,19 @@ pub struct StageTimings {
     pub schedule: Duration,
     /// Final encode into the SPASM format (stream materialisation).
     pub encode: Duration,
+    /// Worker-thread budget the stages ran under (1 = serial).
+    pub threads: usize,
 }
 
 impl StageTimings {
-    /// Total preprocessing time.
+    /// Total preprocessing wall-clock time.
     pub fn total(&self) -> Duration {
         self.analysis + self.selection + self.decomposition + self.schedule + self.encode
+    }
+
+    /// Whether any stage may have used more than one worker thread.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
     }
 }
 
@@ -119,19 +202,52 @@ impl Pipeline {
         if matrices.is_empty() {
             return Err(PipelineError::EmptySearchSpace("input matrix"));
         }
-        // ① analyse every matrix; ② select one shared portfolio.
-        let maps: Vec<SubmatrixMap> = matrices.iter().map(SubmatrixMap::from_coo).collect();
-        let histograms: Vec<_> = maps.iter().map(SubmatrixMap::histogram).collect();
-        let shared = selection::select_for_matrix_set(
-            &histograms,
-            &self.options.candidates,
-            self.options.top_n,
-        );
-        // ③–⑤ + encode per matrix, pinned to the shared portfolio.
-        let pinned = Pipeline::with_options(
-            self.options.clone().fixed_portfolio(shared.set.clone()),
-        );
-        matrices.iter().map(|m| pinned.prepare(m)).collect()
+        with_parallelism(self.options.parallelism, || {
+            // ① analyse every matrix (in parallel — matrices are
+            // independent); ② select one shared portfolio.
+            let maps = Pipeline::analyze_set(matrices);
+            let histograms: Vec<_> = maps.iter().map(SubmatrixMap::histogram).collect();
+            let shared = selection::select_for_matrix_set(
+                &histograms,
+                &self.options.candidates,
+                self.options.top_n,
+            );
+            // ③–⑤ + encode per matrix, pinned to the shared portfolio.
+            // Matrices again run in parallel; each per-matrix `prepare`
+            // then runs serially on its worker (the vendored rayon shim
+            // grants workers a nested budget of 1), which keeps the
+            // fan-out flat instead of quadratic.
+            let pinned =
+                Pipeline::with_options(self.options.clone().fixed_portfolio(shared.set.clone()));
+            Pipeline::prepare_each(&pinned, matrices)
+        })
+    }
+
+    #[cfg(feature = "parallel")]
+    fn analyze_set(matrices: &[Coo]) -> Vec<SubmatrixMap> {
+        use rayon::prelude::*;
+        matrices.par_iter().map(SubmatrixMap::from_coo).collect()
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn analyze_set(matrices: &[Coo]) -> Vec<SubmatrixMap> {
+        matrices.iter().map(SubmatrixMap::from_coo).collect()
+    }
+
+    #[cfg(feature = "parallel")]
+    fn prepare_each(pinned: &Pipeline, matrices: &[Coo]) -> Result<Vec<Prepared>, PipelineError> {
+        use rayon::prelude::*;
+        matrices
+            .par_iter()
+            .map(|m| pinned.prepare_inner(m))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn prepare_each(pinned: &Pipeline, matrices: &[Coo]) -> Result<Vec<Prepared>, PipelineError> {
+        matrices.iter().map(|m| pinned.prepare_inner(m)).collect()
     }
 
     /// Runs preprocessing (steps ①–⑤) on a matrix and returns everything
@@ -142,7 +258,16 @@ impl Pipeline {
     /// Propagates format, opcode and search-space errors as
     /// [`PipelineError`].
     pub fn prepare(&self, matrix: &Coo) -> Result<Prepared, PipelineError> {
-        let mut timings = StageTimings::default();
+        with_parallelism(self.options.parallelism, || self.prepare_inner(matrix))
+    }
+
+    /// `prepare` body, run under an already-installed thread budget (so
+    /// `prepare_set` workers do not stack budgets).
+    fn prepare_inner(&self, matrix: &Coo) -> Result<Prepared, PipelineError> {
+        let mut timings = StageTimings {
+            threads: current_threads(),
+            ..StageTimings::default()
+        };
 
         // ① local pattern analysis.
         let t0 = Instant::now();
@@ -152,8 +277,11 @@ impl Pipeline {
 
         // ② template pattern selection.
         let t1 = Instant::now();
-        let selection =
-            selection::select_template_set(&histogram, &self.options.candidates, self.options.top_n);
+        let selection = selection::select_template_set(
+            &histogram,
+            &self.options.candidates,
+            self.options.top_n,
+        );
         timings.selection = t1.elapsed();
 
         // ③ decompose all occurring patterns (the table is built during
@@ -183,7 +311,13 @@ impl Pipeline {
         let encoded = SpasmMatrix::encode(&map, &selection.table, best.tile_size)?;
         timings.encode = t4.elapsed();
 
-        Ok(Prepared { selection, best, explored, encoded, timings })
+        Ok(Prepared {
+            selection,
+            best,
+            explored,
+            encoded,
+            timings,
+        })
     }
 }
 
@@ -288,8 +422,14 @@ mod tests {
         .prepare(&a)
         .unwrap();
         let full = Pipeline::new().prepare(&a).unwrap();
-        let t_fixed = fixed.best.config.cycles_to_seconds(fixed.best.predicted_cycles);
-        let t_full = full.best.config.cycles_to_seconds(full.best.predicted_cycles);
+        let t_fixed = fixed
+            .best
+            .config
+            .cycles_to_seconds(fixed.best.predicted_cycles);
+        let t_full = full
+            .best
+            .config
+            .cycles_to_seconds(full.best.predicted_cycles);
         assert!(t_full <= t_fixed + 1e-15, "{t_full} vs {t_fixed}");
     }
 
@@ -303,7 +443,9 @@ mod tests {
             t.push((i, 63 - i, 1.0));
         }
         let b = Coo::from_triplets(64, 64, t).unwrap();
-        let prepared = Pipeline::new().prepare_set(&[a.clone(), b.clone()]).unwrap();
+        let prepared = Pipeline::new()
+            .prepare_set(&[a.clone(), b.clone()])
+            .unwrap();
         assert_eq!(prepared.len(), 2);
         assert_eq!(
             prepared[0].selection.set.name(),

@@ -60,9 +60,9 @@ mod report;
 mod schedule;
 
 pub use error::PipelineError;
-pub use framework::{Pipeline, PipelineOptions, Prepared, StageTimings};
+pub use framework::{Parallelism, Pipeline, PipelineOptions, Prepared, StageTimings};
 pub use report::spasm_report;
-pub use schedule::{explore_schedule, ScheduleCandidate, ScheduleChoice};
+pub use schedule::{default_tile_sizes, explore_schedule, ScheduleCandidate, ScheduleChoice};
 
 // Re-export the component crates under one roof for downstream users.
 pub use spasm_baselines as baselines;

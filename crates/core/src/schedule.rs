@@ -60,64 +60,107 @@ pub fn explore_schedule(
     if configs.is_empty() {
         return Err(PipelineError::EmptySearchSpace("hardware configuration"));
     }
-    // Tile sizes are independent: ④'s re-tiling dominates the sweep, so
-    // evaluate each tile size on its own thread and reduce sequentially
-    // (deterministic tie-breaking on sweep order).
-    let per_tile: Vec<Result<Vec<ScheduleCandidate>, FormatError>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = tile_sizes
-                .iter()
-                .map(|&tile_size| {
-                    scope.spawn(move |_| {
-                        // ④ regenerate the global composition.
-                        let summary: TilingSummary =
-                            TilingSummary::analyze(map, table, tile_size)?;
-                        // ⑤ price it with the performance model.
-                        Ok(configs
-                            .iter()
-                            .map(|config| {
-                                let cycles = perf::estimate_cycles(&summary, config);
-                                ScheduleCandidate {
-                                    config_name: config.name.clone(),
-                                    tile_size,
-                                    predicted_cycles: cycles,
-                                    predicted_seconds: config.cycles_to_seconds(cycles),
-                                }
-                            })
-                            .collect())
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
-        })
-        .expect("schedule sweep scope");
+    // Tile sizes are independent: ④'s re-tiling dominates the sweep, so the
+    // `tile_sizes × configs` grid is evaluated in parallel (one task per
+    // tile size; each task prices every configuration on the shared
+    // summary). Results come back in sweep order regardless of thread
+    // count, and the argmin below is a deterministic reduction over that
+    // order, so the winner is independent of parallelism.
+    let per_tile = sweep_tiles(map, table, tile_sizes, configs);
 
     let mut explored = Vec::with_capacity(tile_sizes.len() * configs.len());
-    let mut best: Option<(f64, ScheduleChoice)> = None;
-    for (chunk, config_reports) in per_tile.into_iter().enumerate() {
+    let mut best: Option<(usize, usize)> = None;
+    for (ti, config_reports) in per_tile.into_iter().enumerate() {
         let config_reports = config_reports.map_err(PipelineError::Format)?;
         for (ci, candidate) in config_reports.into_iter().enumerate() {
-            // Compare across configurations in *time*, not cycles — the
-            // configurations clock differently.
-            let better = match &best {
+            let better = match best {
                 None => true,
-                Some((bs, _)) => candidate.predicted_seconds < *bs,
+                Some((bt, bc)) => {
+                    candidate_key(&candidate, ci)
+                        < candidate_key(&explored[bt * configs.len() + bc], bc)
+                }
             };
             if better {
-                best = Some((
-                    candidate.predicted_seconds,
-                    ScheduleChoice {
-                        config: configs[ci].clone(),
-                        tile_size: tile_sizes[chunk],
-                        predicted_cycles: candidate.predicted_cycles,
-                    },
-                ));
+                best = Some((ti, ci));
             }
             explored.push(candidate);
         }
     }
-    let (_, choice) = best.expect("non-empty search space explored");
+    let (bt, bc) = best.expect("non-empty search space explored");
+    let winner = &explored[bt * configs.len() + bc];
+    let choice = ScheduleChoice {
+        config: configs[bc].clone(),
+        tile_size: tile_sizes[bt],
+        predicted_cycles: winner.predicted_cycles,
+    };
     Ok((choice, explored))
+}
+
+/// The total order minimised by the schedule argmin.
+///
+/// Primary key: predicted wall-clock time (the configurations clock
+/// differently, so cycles are not comparable across them). Ties break on
+/// `(cycles, tile size, config index)` so the winner is unique and
+/// independent of evaluation order — and therefore of thread count.
+fn candidate_key(c: &ScheduleCandidate, config_index: usize) -> (f64, u64, u32, usize) {
+    (
+        c.predicted_seconds,
+        c.predicted_cycles,
+        c.tile_size,
+        config_index,
+    )
+}
+
+type TileReport = Result<Vec<ScheduleCandidate>, FormatError>;
+
+/// Evaluates one tile size: ④ regenerate the global composition, ⑤ price it
+/// on every configuration.
+fn eval_tile(
+    map: &SubmatrixMap,
+    table: &DecompositionTable,
+    tile_size: u32,
+    configs: &[HwConfig],
+) -> TileReport {
+    let summary: TilingSummary = TilingSummary::analyze(map, table, tile_size)?;
+    Ok(configs
+        .iter()
+        .map(|config| {
+            let cycles = perf::estimate_cycles(&summary, config);
+            ScheduleCandidate {
+                config_name: config.name.clone(),
+                tile_size,
+                predicted_cycles: cycles,
+                predicted_seconds: config.cycles_to_seconds(cycles),
+            }
+        })
+        .collect())
+}
+
+#[cfg(feature = "parallel")]
+fn sweep_tiles(
+    map: &SubmatrixMap,
+    table: &DecompositionTable,
+    tile_sizes: &[u32],
+    configs: &[HwConfig],
+) -> Vec<TileReport> {
+    use rayon::prelude::*;
+    tile_sizes
+        .par_iter()
+        .map(|&tile_size| eval_tile(map, table, tile_size, configs))
+        .collect()
+}
+
+#[cfg(not(feature = "parallel"))]
+fn sweep_tiles(
+    map: &SubmatrixMap,
+    table: &DecompositionTable,
+    tile_sizes: &[u32],
+    configs: &[HwConfig],
+) -> Vec<TileReport> {
+    tile_sizes
+        .iter()
+        .map(|&tile_size| eval_tile(map, table, tile_size, configs))
+        .collect()
 }
 
 /// The default tile-size sweep: powers of two from 256 to the format's

@@ -157,4 +157,64 @@ mod tests {
     fn max_tile_size_matches_paper() {
         assert_eq!(MAX_TILE_SIZE, 32_768);
     }
+
+    #[test]
+    #[should_panic(expected = "13 bits")]
+    fn r_idx_overflow() {
+        PositionEncoding::new(0, 8192, false, false, 0);
+    }
+
+    #[test]
+    fn fields_occupy_disjoint_bit_ranges() {
+        // Each field at its maximum, alone, must produce exactly its own
+        // bits — any overlap would corrupt a neighbouring field.
+        assert_eq!(
+            PositionEncoding::new(8191, 0, false, false, 0).bits(),
+            0x0000_1FFF
+        );
+        assert_eq!(
+            PositionEncoding::new(0, 8191, false, false, 0).bits(),
+            0x03FF_E000
+        );
+        assert_eq!(PositionEncoding::new(0, 0, true, false, 0).bits(), 1 << 26);
+        assert_eq!(PositionEncoding::new(0, 0, false, true, 0).bits(), 1 << 27);
+        assert_eq!(
+            PositionEncoding::new(0, 0, false, false, 15).bits(),
+            0xF000_0000
+        );
+    }
+
+    #[test]
+    fn round_trip_boundary_grid() {
+        // Cross product of per-field boundary values: every combination
+        // must survive a pack → unpack → repack cycle unchanged.
+        for &c in &[0u32, 1, 8190, 8191] {
+            for &r in &[0u32, 1, 8190, 8191] {
+                for ce in [false, true] {
+                    for re in [false, true] {
+                        for &t in &[0u8, 1, 14, 15] {
+                            let pe = PositionEncoding::new(c, r, ce, re, t);
+                            assert_eq!(
+                                (pe.c_idx(), pe.r_idx(), pe.ce(), pe.re(), pe.t_idx()),
+                                (c, r, ce, re, t)
+                            );
+                            assert_eq!(PositionEncoding::from_bits(pe.bits()), pe);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_bits_is_total_and_lossless() {
+        // Every 32-bit word is a valid encoding; re-packing the decoded
+        // fields reproduces the word bit for bit.
+        for word in (0..=u32::MAX).step_by(16_777_259) {
+            let pe = PositionEncoding::from_bits(word);
+            let repacked =
+                PositionEncoding::new(pe.c_idx(), pe.r_idx(), pe.ce(), pe.re(), pe.t_idx());
+            assert_eq!(repacked.bits(), word);
+        }
+    }
 }

@@ -35,8 +35,15 @@ impl fmt::Display for FormatError {
             FormatError::UncoverablePattern { mask } => {
                 write!(f, "portfolio cannot cover local pattern {mask:#06x}")
             }
-            FormatError::DimensionMismatch { expected, actual, operand } => {
-                write!(f, "vector `{operand}` has length {actual}, expected {expected}")
+            FormatError::DimensionMismatch {
+                expected,
+                actual,
+                operand,
+            } => {
+                write!(
+                    f,
+                    "vector `{operand}` has length {actual}, expected {expected}"
+                )
             }
         }
     }

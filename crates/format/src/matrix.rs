@@ -146,10 +146,8 @@ impl SpasmMatrix {
             }
             let last = tile.first_instance + tile.n_instances - 1;
             let e = encodings[last];
-            let row_end =
-                t + 1 == tiles.len() || tiles[t + 1].tile_row != tile.tile_row;
-            encodings[last] =
-                PositionEncoding::new(e.c_idx(), e.r_idx(), true, row_end, e.t_idx());
+            let row_end = t + 1 == tiles.len() || tiles[t + 1].tile_row != tile.tile_row;
+            encodings[last] = PositionEncoding::new(e.c_idx(), e.r_idx(), true, row_end, e.t_idx());
         }
 
         Ok(SpasmMatrix {
@@ -360,11 +358,7 @@ impl SpasmMatrix {
                         let v = inst.values[slot];
                         slot += 1;
                         if v != 0.0 {
-                            triplets.push((
-                                r0 + bit / PATTERN_EDGE,
-                                c0 + bit % PATTERN_EDGE,
-                                v,
-                            ));
+                            triplets.push((r0 + bit / PATTERN_EDGE, c0 + bit % PATTERN_EDGE, v));
                         }
                     }
                 }
@@ -449,7 +443,7 @@ mod tests {
     fn ce_re_flags() {
         let coo = sample();
         let m = encode(&coo, 8); // 16x16 with 8-tiles -> 2x2 tile grid
-        // Tiles present: (0,0) block, (1,1) diag, (1,0) scattered entry.
+                                 // Tiles present: (0,0) block, (1,1) diag, (1,0) scattered entry.
         let coords: Vec<_> = m.tiles().iter().map(|t| (t.tile_row, t.tile_col)).collect();
         assert_eq!(coords, vec![(0, 0), (1, 0), (1, 1)]);
         for tile in m.tiles() {
@@ -463,9 +457,7 @@ mod tests {
         let last_of_rows: Vec<bool> = m
             .tiles()
             .iter()
-            .map(|t| {
-                m.tile_instances(t).last().unwrap().encoding.re()
-            })
+            .map(|t| m.tile_instances(t).last().unwrap().encoding.re())
             .collect();
         assert_eq!(last_of_rows, vec![true, false, true]);
     }
@@ -499,7 +491,10 @@ mod tests {
     fn storage_accounting() {
         let m = encode(&sample(), 8);
         assert_eq!(m.storage_bytes(), 20 * m.n_instances());
-        assert_eq!(m.storage_bytes_full(), m.storage_bytes() + 12 * m.tiles().len());
+        assert_eq!(
+            m.storage_bytes_full(),
+            m.storage_bytes() + 12 * m.tiles().len()
+        );
     }
 
     #[test]

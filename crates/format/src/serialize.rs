@@ -199,7 +199,9 @@ impl SpasmMatrix {
             cursor += count;
         }
         if cursor != n_instances {
-            return Err(WireError::Inconsistent("tile directory does not sum to stream"));
+            return Err(WireError::Inconsistent(
+                "tile directory does not sum to stream",
+            ));
         }
 
         need(data, n_instances * 20, "instance stream")?;
@@ -273,7 +275,10 @@ mod tests {
     fn bad_version_rejected() {
         let mut b = sample().to_bytes().to_vec();
         b[4] = 99;
-        assert!(matches!(SpasmMatrix::from_bytes(&b), Err(WireError::BadVersion(99))));
+        assert!(matches!(
+            SpasmMatrix::from_bytes(&b),
+            Err(WireError::BadVersion(99))
+        ));
     }
 
     #[test]
@@ -291,8 +296,7 @@ mod tests {
         let mut b = m.to_bytes().to_vec();
         // The tile directory starts after header + padded templates;
         // corrupt a tile's instance count.
-        let dir_off =
-            HEADER_BYTES + (m.template_masks().len() + m.template_masks().len() % 2) * 2;
+        let dir_off = HEADER_BYTES + (m.template_masks().len() + m.template_masks().len() % 2) * 2;
         b[dir_off + 8] = 0xFF;
         assert!(matches!(
             SpasmMatrix::from_bytes(&b),

@@ -54,7 +54,12 @@ impl SubmatrixMap {
         }
         let mut subs: Vec<SubBlock> = blocks.into_values().collect();
         subs.sort_unstable_by_key(|b| (b.sub_r, b.sub_c));
-        SubmatrixMap { rows: matrix.rows(), cols: matrix.cols(), nnz: matrix.nnz(), subs }
+        SubmatrixMap {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            nnz: matrix.nnz(),
+            subs,
+        }
     }
 
     /// Original matrix row count.

@@ -73,7 +73,8 @@ impl TilingSummary {
         for b in map.blocks() {
             let inst = table
                 .instance_count(b.mask)
-                .ok_or(FormatError::UncoverablePattern { mask: b.mask })? as usize;
+                .ok_or(FormatError::UncoverablePattern { mask: b.mask })?
+                as usize;
             let key = (b.sub_r / subs_per_tile, b.sub_c / subs_per_tile);
             let lane = ((b.sub_r % subs_per_tile) as usize) % TILE_LANES;
             let acc = per_tile.entry(key).or_insert(Acc {
@@ -143,8 +144,9 @@ impl TilingSummary {
         let mut out: Vec<(u32, u32)> = Vec::new();
         for t in &self.tiles {
             if out.last().map(|&(r, _)| r) != Some(t.tile_row) {
-                let height = (self.matrix_rows - (t.tile_row * self.tile_size).min(self.matrix_rows))
-                    .min(self.tile_size);
+                let height = (self.matrix_rows
+                    - (t.tile_row * self.tile_size).min(self.matrix_rows))
+                .min(self.tile_size);
                 out.push((t.tile_row, height));
             }
         }
@@ -240,8 +242,7 @@ mod tests {
         // A 10-row matrix with an entry in the second 8-tile row has a
         // short last row.
         let m = Coo::from_triplets(10, 10, vec![(9, 0, 1.0)]).unwrap();
-        let s2 =
-            TilingSummary::analyze(&SubmatrixMap::from_coo(&m), &table(), 8).unwrap();
+        let s2 = TilingSummary::analyze(&SubmatrixMap::from_coo(&m), &table(), 8).unwrap();
         assert_eq!(s2.worked_row_heights(), vec![2]);
     }
 
@@ -251,7 +252,10 @@ mod tests {
         let summary = TilingSummary::analyze(&map, &table(), 8).unwrap();
         let rows = summary.instances_per_tile_row();
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows.iter().map(|&(_, n)| n).sum::<usize>(), summary.n_instances());
+        assert_eq!(
+            rows.iter().map(|&(_, n)| n).sum::<usize>(),
+            summary.n_instances()
+        );
     }
 
     #[test]
@@ -259,10 +263,8 @@ mod tests {
         let map = SubmatrixMap::from_coo(&sample());
         let s = TilingSummary::analyze(&map, &table(), 8).unwrap();
         assert!(s.tile_imbalance() >= 1.0);
-        let uniform =
-            Coo::from_triplets(8, 8, (0..8u32).map(|i| (i, i, 1.0)).collect()).unwrap();
-        let s2 = TilingSummary::analyze(&SubmatrixMap::from_coo(&uniform), &table(), 4)
-            .unwrap();
+        let uniform = Coo::from_triplets(8, 8, (0..8u32).map(|i| (i, i, 1.0)).collect()).unwrap();
+        let s2 = TilingSummary::analyze(&SubmatrixMap::from_coo(&uniform), &table(), 4).unwrap();
         assert!((s2.tile_imbalance() - 1.0).abs() < 1e-12);
     }
 

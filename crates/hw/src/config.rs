@@ -56,7 +56,10 @@ impl HwConfig {
     /// Panics if `num_pe_groups` or `num_xvec_ch` is zero, or the channel
     /// budget exceeds the U280's 32 HBM channels.
     pub fn new(num_pe_groups: u32, num_xvec_ch: u32, frequency_mhz: f64) -> Self {
-        assert!(num_pe_groups > 0 && num_xvec_ch > 0, "need at least one group and x channel");
+        assert!(
+            num_pe_groups > 0 && num_xvec_ch > 0,
+            "need at least one group and x channel"
+        );
         let cfg = HwConfig {
             name: format!("SPASM_{num_pe_groups}_{num_xvec_ch}"),
             num_pe_groups,
@@ -153,7 +156,10 @@ impl HwConfig {
         let mut map = vec![ChannelRole::YVector];
         for group in 0..self.num_pe_groups {
             for ch in 0..PES_PER_GROUP / PES_PER_VALUE_CHANNEL {
-                map.push(ChannelRole::MatrixValues { group, first_pe: ch * PES_PER_VALUE_CHANNEL });
+                map.push(ChannelRole::MatrixValues {
+                    group,
+                    first_pe: ch * PES_PER_VALUE_CHANNEL,
+                });
             }
             map.push(ChannelRole::PositionEncodings { group });
             map.push(ChannelRole::PartialSumMerge { group });
@@ -219,18 +225,42 @@ mod tests {
     fn table_iv_figures_reproduce() {
         let c41 = HwConfig::spasm_4_1();
         assert_eq!(c41.hbm_channels(), 29);
-        assert!((c41.bandwidth_gbs() - 417.0).abs() < 1.0, "{}", c41.bandwidth_gbs());
-        assert!((c41.peak_gflops() - 129.0).abs() < 0.1, "{}", c41.peak_gflops());
+        assert!(
+            (c41.bandwidth_gbs() - 417.0).abs() < 1.0,
+            "{}",
+            c41.bandwidth_gbs()
+        );
+        assert!(
+            (c41.peak_gflops() - 129.0).abs() < 0.1,
+            "{}",
+            c41.peak_gflops()
+        );
 
         let c34 = HwConfig::spasm_3_4();
         assert_eq!(c34.hbm_channels(), 31);
-        assert!((c34.bandwidth_gbs() - 446.0).abs() < 1.0, "{}", c34.bandwidth_gbs());
-        assert!((c34.peak_gflops() - 102.0).abs() < 0.5, "{}", c34.peak_gflops());
+        assert!(
+            (c34.bandwidth_gbs() - 446.0).abs() < 1.0,
+            "{}",
+            c34.bandwidth_gbs()
+        );
+        assert!(
+            (c34.peak_gflops() - 102.0).abs() < 0.5,
+            "{}",
+            c34.peak_gflops()
+        );
 
         let c32 = HwConfig::spasm_3_2();
         assert_eq!(c32.hbm_channels(), 25);
-        assert!((c32.bandwidth_gbs() - 360.0).abs() < 1.0, "{}", c32.bandwidth_gbs());
-        assert!((c32.peak_gflops() - 96.4).abs() < 0.1, "{}", c32.peak_gflops());
+        assert!(
+            (c32.bandwidth_gbs() - 360.0).abs() < 1.0,
+            "{}",
+            c32.bandwidth_gbs()
+        );
+        assert!(
+            (c32.peak_gflops() - 96.4).abs() < 0.1,
+            "{}",
+            c32.peak_gflops()
+        );
     }
 
     #[test]
@@ -273,7 +303,9 @@ mod tests {
             let map = c.channel_map();
             assert_eq!(map.len(), c.hbm_channels() as usize, "{}", c.name);
             assert_eq!(
-                map.iter().filter(|r| matches!(r, ChannelRole::YVector)).count(),
+                map.iter()
+                    .filter(|r| matches!(r, ChannelRole::YVector))
+                    .count(),
                 1
             );
             let values = map
@@ -301,8 +333,9 @@ mod tests {
             })
             .collect();
         firsts.sort_unstable();
-        let expect: Vec<(u32, u32)> =
-            (0..4).flat_map(|g| (0..4).map(move |k| (g, k * 4))).collect();
+        let expect: Vec<(u32, u32)> = (0..4)
+            .flat_map(|g| (0..4).map(move |k| (g, k * 4)))
+            .collect();
         assert_eq!(firsts, expect);
     }
 }

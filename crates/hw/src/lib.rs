@@ -27,8 +27,8 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
-pub mod perf;
 mod pe;
+pub mod perf;
 mod sim;
 pub mod timing;
 pub mod trace;

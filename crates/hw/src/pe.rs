@@ -58,12 +58,7 @@ impl Pe {
     /// # Panics
     ///
     /// Panics if the instance's `t_idx` is outside the loaded portfolio.
-    pub fn process_instance(
-        &self,
-        inst: &TemplateInstance,
-        x_seg: [f32; 4],
-        y_seg: &mut [f32; 4],
-    ) {
+    pub fn process_instance(&self, inst: &TemplateInstance, x_seg: [f32; 4], y_seg: &mut [f32; 4]) {
         let op = self.opcode(inst.encoding.t_idx());
         let out = op.execute(inst.values, x_seg);
         for r in 0..4 {

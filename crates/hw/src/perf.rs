@@ -55,7 +55,11 @@ pub fn estimate(summary: &TilingSummary, nnz: usize, cfg: &HwConfig) -> PerfEsti
     let cycles = estimate_cycles(summary, cfg);
     let seconds = cfg.cycles_to_seconds(cycles);
     let flops = 2.0 * nnz as f64 + summary.matrix_rows() as f64;
-    PerfEstimate { cycles, seconds, gflops: flops / seconds / 1e9 }
+    PerfEstimate {
+        cycles,
+        seconds,
+        gflops: flops / seconds / 1e9,
+    }
 }
 
 #[cfg(test)]

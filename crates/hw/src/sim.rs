@@ -30,8 +30,15 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::DimensionMismatch { expected, actual, operand } => {
-                write!(f, "vector `{operand}` has length {actual}, expected {expected}")
+            SimError::DimensionMismatch {
+                expected,
+                actual,
+                operand,
+            } => {
+                write!(
+                    f,
+                    "vector `{operand}` has length {actual}, expected {expected}"
+                )
             }
             SimError::Opcode(e) => write!(f, "portfolio not realisable: {e}"),
         }
@@ -197,7 +204,7 @@ impl Accelerator {
         let mut offset = 0usize;
         for &(row, _, _) in &row_spans {
             let start = (row * tile_size) as usize;
-            let end = ((row + 1) * tile_size as u32) as usize;
+            let end = ((row + 1) * tile_size) as usize;
             let end = end.min(offset + rest.len());
             let (skip, tail) = rest.split_at_mut(start - offset);
             let (window, tail) = tail.split_at_mut(end - start);
@@ -209,13 +216,13 @@ impl Accelerator {
 
         let xp_ref = &xp;
         let pe_ref = &pe;
-        let jobs: Vec<TileJob> = crossbeam::thread::scope(|scope| {
+        let jobs: Vec<TileJob> = std::thread::scope(|scope| {
             let handles: Vec<_> = row_spans
                 .iter()
                 .zip(y_windows)
                 .map(|(&(_, first, last), y_window)| {
                     let tiles = &matrix.tiles()[first..last];
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut row_jobs = Vec::with_capacity(tiles.len());
                         for tile in tiles {
                             let row_base = (tile.tile_row * tile_size) as usize;
@@ -225,9 +232,8 @@ impl Accelerator {
                                 let e = inst.encoding;
                                 lanes[(e.r_idx() as usize) % 16] += 1;
                                 let c0 = (col_base + e.c_idx() * 4) as usize;
-                                let r0 = (tile.tile_row * tile_size + e.r_idx() * 4)
-                                    as usize
-                                    - row_base;
+                                let r0 =
+                                    (tile.tile_row * tile_size + e.r_idx() * 4) as usize - row_base;
                                 let x_seg =
                                     [xp_ref[c0], xp_ref[c0 + 1], xp_ref[c0 + 2], xp_ref[c0 + 3]];
                                 let y_seg: &mut [f32; 4] = (&mut y_window[r0..r0 + 4])
@@ -250,8 +256,7 @@ impl Accelerator {
                 .into_iter()
                 .flat_map(|h| h.join().expect("tile-row worker"))
                 .collect()
-        })
-        .expect("functional scope");
+        });
         for (dst, src) in y.iter_mut().zip(&yp) {
             *dst += src;
         }
@@ -343,8 +348,7 @@ mod tests {
         for tile in [16u32, 64] {
             for cfg in HwConfig::shipped() {
                 let m = SpasmMatrix::encode(&map, &table, tile).unwrap();
-                let summary =
-                    spasm_format::TilingSummary::analyze(&map, &table, tile).unwrap();
+                let summary = spasm_format::TilingSummary::analyze(&map, &table, tile).unwrap();
                 let est = crate::perf::estimate_cycles(&summary, &cfg);
                 let mut y = vec![0.0f32; 200];
                 let rep = Accelerator::new(cfg.clone())
@@ -361,7 +365,9 @@ mod tests {
         let m = encode(&coo, 64);
         let cfg = HwConfig::spasm_4_1();
         let mut y = vec![0.0f32; 256];
-        let rep = Accelerator::new(cfg.clone()).run(&m, &vec![1.0; 256], &mut y).unwrap();
+        let rep = Accelerator::new(cfg.clone())
+            .run(&m, &vec![1.0; 256], &mut y)
+            .unwrap();
         assert!(rep.gflops > 0.0 && rep.gflops <= cfg.peak_gflops());
         assert!(rep.compute_utilization > 0.0 && rep.compute_utilization <= 1.0);
         assert!(rep.bandwidth_utilization > 0.0 && rep.bandwidth_utilization <= 1.0);
@@ -372,8 +378,7 @@ mod tests {
         // consistent.
         assert!(rep.estimated_power_w >= crate::config::STATIC_POWER_W);
         assert!(
-            rep.estimated_power_w
-                <= crate::config::STATIC_POWER_W + crate::config::DYNAMIC_POWER_W
+            rep.estimated_power_w <= crate::config::STATIC_POWER_W + crate::config::DYNAMIC_POWER_W
         );
         assert!((rep.energy_j - rep.estimated_power_w * rep.seconds).abs() < 1e-12);
     }
@@ -397,18 +402,15 @@ mod tests {
     #[test]
     fn non_multiple_of_four_edges() {
         // 10x10: padded windows must not read out of bounds or corrupt y.
-        let coo = Coo::from_triplets(
-            10,
-            10,
-            vec![(9, 9, 3.0), (0, 9, 1.0), (9, 0, 2.0)],
-        )
-        .unwrap();
+        let coo = Coo::from_triplets(10, 10, vec![(9, 9, 3.0), (0, 9, 1.0), (9, 0, 2.0)]).unwrap();
         let m = encode(&coo, 8);
         let x: Vec<f32> = (1..=10).map(|i| i as f32).collect();
         let mut want = vec![0.0f32; 10];
         coo.spmv(&x, &mut want).unwrap();
         let mut got = vec![0.0f32; 10];
-        Accelerator::new(HwConfig::spasm_4_1()).run(&m, &x, &mut got).unwrap();
+        Accelerator::new(HwConfig::spasm_4_1())
+            .run(&m, &x, &mut got)
+            .unwrap();
         assert_eq!(got, want);
     }
 

@@ -131,7 +131,10 @@ pub fn group_cycles(assigned: &[TileJob], tile_size: u32, cfg: &HwConfig) -> u64
         return 0;
     }
     x_load_cycles(tile_size, cfg)
-        + assigned.iter().map(|job| tile_cost(job, tile_size, cfg)).sum::<u64>()
+        + assigned
+            .iter()
+            .map(|job| tile_cost(job, tile_size, cfg))
+            .sum::<u64>()
 }
 
 /// Combines per-group cycles with the shared y-channel drain and fixed
@@ -168,7 +171,12 @@ mod tests {
     }
 
     fn job(tile_row: u32, tile_col: u32, n: usize, lane: usize) -> TileJob {
-        TileJob { tile_row, tile_col, n_instances: n, max_lane_instances: lane }
+        TileJob {
+            tile_row,
+            tile_col,
+            n_instances: n,
+            max_lane_instances: lane,
+        }
     }
 
     #[test]

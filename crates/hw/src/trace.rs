@@ -241,8 +241,7 @@ impl ExecutionTrace {
     pub fn render_gantt(&self, width: usize) -> String {
         assert!(width >= 10, "gantt needs at least 10 columns");
         let scale = self.total_cycles.max(1) as f64 / width as f64;
-        let mut rows: Vec<Vec<char>> =
-            vec![vec![' '; width]; self.num_groups as usize + 1];
+        let mut rows: Vec<Vec<char>> = vec![vec![' '; width]; self.num_groups as usize + 1];
         for e in &self.events {
             let row = match e.group {
                 Some(g) => g as usize,
@@ -302,16 +301,16 @@ pub fn trace_jobs(
     let mut last = None;
     for j in &jobs {
         if last != Some(j.tile_row) {
-            heights.push(
-                (matrix_rows - (j.tile_row * tile_size).min(matrix_rows)).min(tile_size),
-            );
+            heights.push((matrix_rows - (j.tile_row * tile_size).min(matrix_rows)).min(tile_size));
             last = Some(j.tile_row);
         }
     }
     let y = timing::y_bytes(heights);
     let assignment = timing::lpt_assign(jobs, cfg.num_pe_groups, tile_size, cfg);
-    let per_group: Vec<u64> =
-        assignment.iter().map(|a| timing::group_cycles(a, tile_size, cfg)).collect();
+    let per_group: Vec<u64> = assignment
+        .iter()
+        .map(|a| timing::group_cycles(a, tile_size, cfg))
+        .collect();
     let total = timing::total_cycles(&per_group, y, cfg);
     (per_group, total)
 }
@@ -358,8 +357,11 @@ mod tests {
         let cfg = HwConfig::spasm_4_1();
         let trace = ExecutionTrace::capture(&s, &cfg);
         for g in 0..cfg.num_pe_groups {
-            let evs: Vec<_> =
-                trace.events().iter().filter(|e| e.group == Some(g)).collect();
+            let evs: Vec<_> = trace
+                .events()
+                .iter()
+                .filter(|e| e.group == Some(g))
+                .collect();
             for w in evs.windows(2) {
                 assert_eq!(w[0].end, w[1].start, "group {g} timeline has gaps");
             }

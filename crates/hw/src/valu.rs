@@ -69,7 +69,10 @@ impl fmt::Display for OpcodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OpcodeError::WrongCellCount { mask, cells } => {
-                write!(f, "template {mask:#06x} has {cells} cells, VALU needs exactly 4")
+                write!(
+                    f,
+                    "template {mask:#06x} has {cells} cells, VALU needs exactly 4"
+                )
             }
             OpcodeError::Unrealizable { mask, row } => write!(
                 f,
@@ -142,7 +145,12 @@ impl ValuOpcode {
                 0b0011 => OutNode::Pair01,
                 0b1100 => OutNode::Pair23,
                 0b1111 => OutNode::Total,
-                _ => return Err(OpcodeError::Unrealizable { mask, row: r as u32 }),
+                _ => {
+                    return Err(OpcodeError::Unrealizable {
+                        mask,
+                        row: r as u32,
+                    })
+                }
             };
         }
         Ok(ValuOpcode { col_sel, out_sel })
@@ -245,8 +253,7 @@ mod tests {
     fn every_table_v_template_compiles() {
         for set in TemplateSet::table_v_candidates() {
             for t in set.templates() {
-                ValuOpcode::compile(t.mask())
-                    .unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+                ValuOpcode::compile(t.mask()).unwrap_or_else(|e| panic!("{}: {e}", set.name()));
             }
         }
     }
@@ -287,8 +294,11 @@ mod tests {
     #[test]
     fn opcode_bits_distinguish_templates() {
         let set = TemplateSet::table_v_set(0);
-        let mut seen: Vec<u32> =
-            set.templates().iter().map(|t| ValuOpcode::compile(t.mask()).unwrap().bits()).collect();
+        let mut seen: Vec<u32> = set
+            .templates()
+            .iter()
+            .map(|t| ValuOpcode::compile(t.mask()).unwrap().bits())
+            .collect();
         seen.sort_unstable();
         seen.dedup();
         assert_eq!(seen.len(), set.len());

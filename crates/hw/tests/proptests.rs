@@ -21,7 +21,12 @@ fn arb_case() -> impl Strategy<Value = (Coo, Vec<f32>, usize, u32)> {
             (m, x)
         })
         .prop_flat_map(|(m, x)| {
-            (Just(m), Just(x), 0usize..10, prop_oneof![Just(8u32), Just(16), Just(64)])
+            (
+                Just(m),
+                Just(x),
+                0usize..10,
+                prop_oneof![Just(8u32), Just(16), Just(64)],
+            )
         })
 }
 

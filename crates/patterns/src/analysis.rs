@@ -10,6 +10,64 @@ use spasm_sparse::Coo;
 
 use crate::grid::{GridSize, Mask};
 
+/// Accumulates the per-submatrix occupancy masks of one contiguous triplet
+/// range. Entries arrive in `(row, col)` order; within a submatrix-row band
+/// they interleave across submatrix columns, so accumulate per `(block row,
+/// block col)` in a map keyed by packed coordinates.
+fn block_map_range(
+    matrix: &Coo,
+    size: GridSize,
+    lo: usize,
+    hi: usize,
+) -> HashMap<(u32, u32), Mask> {
+    let p = size.edge();
+    let rows = &matrix.row_indices()[lo..hi];
+    let cols = &matrix.col_indices()[lo..hi];
+    let mut blocks: HashMap<(u32, u32), Mask> = HashMap::new();
+    for (&r, &c) in rows.iter().zip(cols) {
+        let key = (r / p, c / p);
+        *blocks.entry(key).or_insert(0) |= 1 << size.bit(r % p, c % p);
+    }
+    blocks
+}
+
+/// Triplet count below which sharding costs more than it saves.
+#[cfg(feature = "parallel")]
+const PARALLEL_ANALYZE_THRESHOLD: usize = 1 << 14;
+
+#[cfg(feature = "parallel")]
+fn block_map(matrix: &Coo, size: GridSize) -> HashMap<(u32, u32), Mask> {
+    use rayon::prelude::*;
+
+    let nnz = matrix.nnz();
+    let threads = rayon::current_num_threads();
+    if threads < 2 || nnz < PARALLEL_ANALYZE_THRESHOLD {
+        return block_map_range(matrix, size, 0, nnz);
+    }
+    // Contiguous shards; a submatrix straddling a shard boundary shows up
+    // in two partial maps and its mask bits are OR-merged below.
+    let shard_len = nnz.div_ceil(threads);
+    let shards: Vec<HashMap<(u32, u32), Mask>> = (0..threads)
+        .map(|i| (i * shard_len, ((i + 1) * shard_len).min(nnz)))
+        .filter(|&(lo, hi)| lo < hi)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(lo, hi)| block_map_range(matrix, size, lo, hi))
+        .collect();
+    let mut merged: HashMap<(u32, u32), Mask> = HashMap::new();
+    for shard in shards {
+        for (key, mask) in shard {
+            *merged.entry(key).or_insert(0) |= mask;
+        }
+    }
+    merged
+}
+
+#[cfg(not(feature = "parallel"))]
+fn block_map(matrix: &Coo, size: GridSize) -> HashMap<(u32, u32), Mask> {
+    block_map_range(matrix, size, 0, matrix.nnz())
+}
+
 /// Frequency histogram of the local patterns occurring in a matrix.
 ///
 /// # Examples
@@ -42,16 +100,14 @@ impl PatternHistogram {
     /// Runs Algorithm 2 (`LP_ANALYSIS`): tiles `matrix` into `p × p`
     /// submatrices and histograms their occupancy bitmasks. Empty
     /// submatrices are skipped (the paper excludes the empty block).
+    ///
+    /// With the `parallel` feature (and more than one worker available)
+    /// the triplet stream is sharded into contiguous ranges, each worker
+    /// accumulates a private block map, and the shards are OR-merged by
+    /// mask — bitwise OR is associative and commutative, so the histogram
+    /// is identical to the serial one for every thread count.
     pub fn analyze(matrix: &Coo, size: GridSize) -> Self {
-        let p = size.edge();
-        // Entries arrive in (row, col) order; within a submatrix-row band
-        // they interleave across submatrix columns, so accumulate per
-        // (block row, block col) in a map keyed by packed coordinates.
-        let mut blocks: HashMap<(u32, u32), Mask> = HashMap::new();
-        for (r, c, _) in matrix.iter() {
-            let key = (r / p, c / p);
-            *blocks.entry(key).or_insert(0) |= 1 << size.bit(r % p, c % p);
-        }
+        let blocks = block_map(matrix, size);
         let mut freq: HashMap<Mask, u64> = HashMap::new();
         for mask in blocks.into_values() {
             *freq.entry(mask).or_insert(0) += 1;
@@ -66,10 +122,7 @@ impl PatternHistogram {
     /// # Panics
     ///
     /// Panics if a mask has bits outside the grid or is zero.
-    pub fn from_counts(
-        size: GridSize,
-        counts: impl IntoIterator<Item = (Mask, u64)>,
-    ) -> Self {
+    pub fn from_counts(size: GridSize, counts: impl IntoIterator<Item = (Mask, u64)>) -> Self {
         let mut freq = HashMap::new();
         for (mask, f) in counts {
             assert_ne!(mask, 0, "empty block excluded from the histogram");
@@ -133,7 +186,11 @@ impl PatternHistogram {
         all.iter()
             .map(|f| {
                 acc += f;
-                if self.total == 0 { 0.0 } else { acc as f64 / self.total as f64 }
+                if self.total == 0 {
+                    0.0
+                } else {
+                    acc as f64 / self.total as f64
+                }
             })
             .collect()
     }
@@ -143,7 +200,9 @@ impl PatternHistogram {
     /// count up a certain portion", Section II-B).
     pub fn n_for_coverage(&self, fraction: f64) -> usize {
         let cdf = self.coverage_cdf();
-        cdf.iter().position(|&c| c >= fraction).map_or(cdf.len(), |i| i + 1)
+        cdf.iter()
+            .position(|&c| c >= fraction)
+            .map_or(cdf.len(), |i| i + 1)
     }
 
     /// Restricts the histogram to its top-n patterns (the
@@ -188,10 +247,8 @@ mod tests {
 
     #[test]
     fn top_n_and_cdf() {
-        let h = PatternHistogram::from_counts(
-            GridSize::S4,
-            [(0xFFFF, 50), (0x000F, 30), (0x0001, 20)],
-        );
+        let h =
+            PatternHistogram::from_counts(GridSize::S4, [(0xFFFF, 50), (0x000F, 30), (0x0001, 20)]);
         assert_eq!(h.top_n(2), vec![(0xFFFF, 50), (0x000F, 30)]);
         assert!((h.top_n_coverage(1) - 0.5).abs() < 1e-12);
         assert!((h.top_n_coverage(2) - 0.8).abs() < 1e-12);
@@ -204,10 +261,8 @@ mod tests {
 
     #[test]
     fn top_n_histogram_restricts() {
-        let h = PatternHistogram::from_counts(
-            GridSize::S4,
-            [(0xFFFF, 50), (0x000F, 30), (0x0001, 20)],
-        );
+        let h =
+            PatternHistogram::from_counts(GridSize::S4, [(0xFFFF, 50), (0x000F, 30), (0x0001, 20)]);
         let top = h.top_n_histogram(2);
         assert_eq!(top.total_blocks(), 80);
         assert_eq!(top.distinct_patterns(), 2);

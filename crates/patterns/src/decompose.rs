@@ -64,7 +64,10 @@ pub fn find_best_decomp(pattern: Mask, templates: &[Mask]) -> Option<Decompositi
     let n = templates.len();
     assert!(n <= 16, "at most 16 templates (4-bit t_idx)");
     if pattern == 0 {
-        return Some(Decomposition { template_ids: Vec::new(), paddings: 0 });
+        return Some(Decomposition {
+            template_ids: Vec::new(),
+            paddings: 0,
+        });
     }
     let mut best: Option<(u32, u32)> = None; // (paddings, subset bits)
     for subset in 1u32..(1 << n) {
@@ -88,8 +91,7 @@ pub fn find_best_decomp(pattern: Mask, templates: &[Mask]) -> Option<Decompositi
             None => true,
             Some((bp, bs)) => {
                 paddings < bp
-                    || (paddings == bp
-                        && (subset.count_ones(), subset) < (bs.count_ones(), bs))
+                    || (paddings == bp && (subset.count_ones(), subset) < (bs.count_ones(), bs))
             }
         };
         if better {
@@ -124,7 +126,11 @@ impl DecompositionTable {
     /// Builds the table for a portfolio.
     pub fn build(portfolio: &TemplateSet) -> Self {
         let masks: Vec<Mask> = portfolio.masks().collect();
-        Self::build_raw(portfolio.size().template_len(), portfolio.size().cells(), &masks)
+        Self::build_raw(
+            portfolio.size().template_len(),
+            portfolio.size().cells(),
+            &masks,
+        )
     }
 
     /// Builds the table from raw template masks over a grid with
@@ -157,7 +163,12 @@ impl DecompositionTable {
             dp[m] = best;
             choice[m] = pick;
         }
-        DecompositionTable { template_len, masks: templates.to_vec(), dp, choice }
+        DecompositionTable {
+            template_len,
+            masks: templates.to_vec(),
+            dp,
+            choice,
+        }
     }
 
     /// The portfolio's template masks, in `t_idx` order.
@@ -199,7 +210,10 @@ impl DecompositionTable {
             m &= !self.masks[t as usize];
         }
         let paddings = ids.len() as u32 * self.template_len - pattern.count_ones();
-        Some(Decomposition { template_ids: ids, paddings })
+        Some(Decomposition {
+            template_ids: ids,
+            paddings,
+        })
     }
 
     /// Total paddings over a weighted pattern histogram — the inner loop of
@@ -260,7 +274,15 @@ mod tests {
         // patterns including adversarial ones.
         let probes: Vec<Mask> = (0..=16)
             .flat_map(|k| {
-                [(1u32 << k) as u16, 0x8421, 0x1248, 0x9669, 0xF00F, 0x0FF0, 0x5A5A]
+                [
+                    (1u32 << k) as u16,
+                    0x8421,
+                    0x1248,
+                    0x9669,
+                    0xF00F,
+                    0x0FF0,
+                    0x5A5A,
+                ]
             })
             .chain((1..200).map(|i| (i * 331) as Mask))
             .filter(|&m| m != 0)
@@ -320,8 +342,15 @@ mod tests {
         let anti = Template::anti_diag(GridSize::S4, 3).mask();
         let t0 = DecompositionTable::build(&TemplateSet::table_v_set(0));
         let t1 = DecompositionTable::build(&TemplateSet::table_v_set(1));
-        assert!(t0.padding_count(anti).unwrap() > 0, "set 0 lacks anti-diagonals");
-        assert_eq!(t1.padding_count(anti).unwrap(), 0, "set 1 has anti-diagonals");
+        assert!(
+            t0.padding_count(anti).unwrap() > 0,
+            "set 0 lacks anti-diagonals"
+        );
+        assert_eq!(
+            t1.padding_count(anti).unwrap(),
+            0,
+            "set 1 has anti-diagonals"
+        );
     }
 
     #[test]

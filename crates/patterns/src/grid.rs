@@ -61,7 +61,10 @@ impl GridSize {
     ///
     /// Panics (debug) if `r` or `c` is outside the grid.
     pub fn bit(self, r: u32, c: u32) -> u32 {
-        debug_assert!(r < self.edge() && c < self.edge(), "cell ({r},{c}) outside grid");
+        debug_assert!(
+            r < self.edge() && c < self.edge(),
+            "cell ({r},{c}) outside grid"
+        );
         r * self.edge() + c
     }
 
@@ -77,7 +80,9 @@ impl GridSize {
     /// Iterates the `(row, col)` cells set in `mask`, row-major.
     pub fn cells_of(self, mask: Mask) -> impl Iterator<Item = (u32, u32)> {
         let p = self.edge();
-        (0..self.cells()).filter(move |b| mask & (1 << b) != 0).map(move |b| (b / p, b % p))
+        (0..self.cells())
+            .filter(move |b| mask & (1 << b) != 0)
+            .map(move |b| (b / p, b % p))
     }
 
     /// All grid sizes the paper evaluates, in Fig. 9 order.
@@ -98,7 +103,11 @@ pub fn render_mask(size: GridSize, mask: Mask) -> String {
     let mut out = String::with_capacity(((p + 1) * p) as usize);
     for r in 0..p {
         for c in 0..p {
-            out.push(if mask & (1 << size.bit(r, c)) != 0 { '#' } else { '.' });
+            out.push(if mask & (1 << size.bit(r, c)) != 0 {
+                '#'
+            } else {
+                '.'
+            });
         }
         if r + 1 < p {
             out.push('\n');

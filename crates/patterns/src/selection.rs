@@ -76,7 +76,10 @@ pub fn select_template_set(
     candidates: &[TemplateSet],
     top_n: TopN,
 ) -> SelectionOutcome {
-    assert!(!candidates.is_empty(), "need at least one candidate portfolio");
+    assert!(
+        !candidates.is_empty(),
+        "need at least one candidate portfolio"
+    );
     let n = top_n.resolve(histogram);
     let subset = histogram.top_n_histogram(n);
 
@@ -90,22 +93,9 @@ pub fn select_template_set(
     }
     // Candidates are independent: build and score their decomposition
     // tables in parallel (each table is a ~65k-state dynamic program).
-    let subset_ref = &subset;
-    let scored: Vec<(Option<u64>, DecompositionTable)> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .iter()
-                .map(|set| {
-                    scope.spawn(move |_| {
-                        let table = DecompositionTable::build(set);
-                        let paddings = table.weighted_paddings(subset_ref.iter());
-                        (paddings, table)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("scorer thread")).collect()
-        })
-        .expect("candidate scoring scope");
+    // Scores come back in candidate order for every thread count, so the
+    // argmin below (first strict minimum wins) is deterministic.
+    let scored = score_candidates(candidates, &subset);
 
     let mut best: Option<(usize, u64, DecompositionTable)> = None;
     let mut candidate_paddings = Vec::with_capacity(candidates.len());
@@ -123,7 +113,43 @@ pub fn select_template_set(
     }
     let (idx, paddings, table) =
         best.expect("at least one candidate must cover the scored patterns");
-    SelectionOutcome { set: candidates[idx].clone(), table, paddings, candidate_paddings }
+    SelectionOutcome {
+        set: candidates[idx].clone(),
+        table,
+        paddings,
+        candidate_paddings,
+    }
+}
+
+/// Builds and scores every candidate's decomposition table, preserving
+/// candidate order.
+fn score_one(set: &TemplateSet, subset: &PatternHistogram) -> (Option<u64>, DecompositionTable) {
+    let table = DecompositionTable::build(set);
+    let paddings = table.weighted_paddings(subset.iter());
+    (paddings, table)
+}
+
+#[cfg(feature = "parallel")]
+fn score_candidates(
+    candidates: &[TemplateSet],
+    subset: &PatternHistogram,
+) -> Vec<(Option<u64>, DecompositionTable)> {
+    use rayon::prelude::*;
+    candidates
+        .par_iter()
+        .map(|set| score_one(set, subset))
+        .collect()
+}
+
+#[cfg(not(feature = "parallel"))]
+fn score_candidates(
+    candidates: &[TemplateSet],
+    subset: &PatternHistogram,
+) -> Vec<(Option<u64>, DecompositionTable)> {
+    candidates
+        .iter()
+        .map(|set| score_one(set, subset))
+        .collect()
 }
 
 /// Selects one portfolio for a *set* of expected input matrices — the
@@ -221,7 +247,12 @@ pub fn greedy_custom_set(histogram: &PatternHistogram, top_n: TopN) -> Selection
     }
     let set = TemplateSet::new(s, "greedy-custom", chosen);
     let table = DecompositionTable::build(&set);
-    SelectionOutcome { set, table, paddings: current, candidate_paddings: Vec::new() }
+    SelectionOutcome {
+        set,
+        table,
+        paddings: current,
+        candidate_paddings: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -238,10 +269,7 @@ mod tests {
     fn anti_diagonal_matrix_selects_an_anti_diagonal_set() {
         // Histogram dominated by anti-diagonal patterns, like c-73 in the
         // paper's ablation discussion.
-        let h = PatternHistogram::from_counts(
-            GridSize::S4,
-            (0..4).map(|k| (anti_mask(k), 100)),
-        );
+        let h = PatternHistogram::from_counts(GridSize::S4, (0..4).map(|k| (anti_mask(k), 100)));
         let out = select_template_set(&h, &TemplateSet::table_v_candidates(), TopN::All);
         assert_eq!(out.paddings, 0);
         let has_anti = out
@@ -249,7 +277,11 @@ mod tests {
             .templates()
             .iter()
             .any(|t| matches!(t.kind(), crate::templates::TemplateKind::AntiDiag));
-        assert!(has_anti, "winner {} should contain anti-diagonals", out.set.name());
+        assert!(
+            has_anti,
+            "winner {} should contain anti-diagonals",
+            out.set.name()
+        );
     }
 
     #[test]
@@ -279,16 +311,19 @@ mod tests {
             [(anti_mask(0), 50), (0xFFFF, 5), (0x8001, 3)],
         );
         let out = select_template_set(&h, &TemplateSet::table_v_candidates(), TopN::All);
-        let min = out.candidate_paddings.iter().flatten().min().copied().unwrap();
+        let min = out
+            .candidate_paddings
+            .iter()
+            .flatten()
+            .min()
+            .copied()
+            .unwrap();
         assert_eq!(out.paddings, min);
     }
 
     #[test]
     fn top_n_modes() {
-        let h = PatternHistogram::from_counts(
-            GridSize::S4,
-            [(0xFFFF, 90), (0x1, 5), (0x2, 5)],
-        );
+        let h = PatternHistogram::from_counts(GridSize::S4, [(0xFFFF, 90), (0x1, 5), (0x2, 5)]);
         assert_eq!(TopN::Count(2).resolve(&h), 2);
         assert_eq!(TopN::Coverage(0.9).resolve(&h), 1);
         assert_eq!(TopN::All.resolve(&h), 3);
@@ -302,15 +337,9 @@ mod tests {
         // the minority member.
         let diag = Template::diag(GridSize::S4, 0).mask();
         let big = PatternHistogram::from_counts(GridSize::S4, [(diag, 1_000_000)]);
-        let small = PatternHistogram::from_counts(
-            GridSize::S4,
-            (0..4).map(|k| (anti_mask(k), 10)),
-        );
-        let out = select_for_matrix_set(
-            &[big, small],
-            &TemplateSet::table_v_candidates(),
-            TopN::All,
-        );
+        let small = PatternHistogram::from_counts(GridSize::S4, (0..4).map(|k| (anti_mask(k), 10)));
+        let out =
+            select_for_matrix_set(&[big, small], &TemplateSet::table_v_candidates(), TopN::All);
         // Set 4 (RW+CW+diag+anti) covers both with zero padding; any
         // winner must achieve zero.
         assert_eq!(out.paddings, 0, "winner {}", out.set.name());
@@ -324,10 +353,7 @@ mod tests {
 
     #[test]
     fn greedy_custom_beats_or_matches_rows_only() {
-        let h = PatternHistogram::from_counts(
-            GridSize::S4,
-            (0..4).map(|k| (anti_mask(k), 100)),
-        );
+        let h = PatternHistogram::from_counts(GridSize::S4, (0..4).map(|k| (anti_mask(k), 100)));
         let out = greedy_custom_set(&h, TopN::All);
         assert_eq!(out.paddings, 0, "greedy should discover the anti-diagonals");
     }

@@ -43,7 +43,10 @@ impl Template {
     pub fn row(size: GridSize, r: u32) -> Self {
         assert!(r < size.edge(), "row {r} outside {size} grid");
         let mask = size.mask_of((0..size.edge()).map(|c| (r, c)));
-        Template { mask, kind: TemplateKind::Row }
+        Template {
+            mask,
+            kind: TemplateKind::Row,
+        }
     }
 
     /// The column-wise template along column `c`.
@@ -54,7 +57,10 @@ impl Template {
     pub fn col(size: GridSize, c: u32) -> Self {
         assert!(c < size.edge(), "col {c} outside {size} grid");
         let mask = size.mask_of((0..size.edge()).map(|r| (r, c)));
-        Template { mask, kind: TemplateKind::Col }
+        Template {
+            mask,
+            kind: TemplateKind::Col,
+        }
     }
 
     /// The wrapped diagonal template with shift `k`: cells `(i, (i+k) mod p)`.
@@ -66,7 +72,10 @@ impl Template {
         assert!(k < size.edge(), "diag shift {k} outside {size} grid");
         let p = size.edge();
         let mask = size.mask_of((0..p).map(|i| (i, (i + k) % p)));
-        Template { mask, kind: TemplateKind::Diag }
+        Template {
+            mask,
+            kind: TemplateKind::Diag,
+        }
     }
 
     /// The wrapped anti-diagonal template with shift `k`: cells
@@ -79,7 +88,10 @@ impl Template {
         assert!(k < size.edge(), "anti-diag shift {k} outside {size} grid");
         let p = size.edge();
         let mask = size.mask_of((0..p).map(|i| (i, (k + p - i) % p)));
-        Template { mask, kind: TemplateKind::AntiDiag }
+        Template {
+            mask,
+            kind: TemplateKind::AntiDiag,
+        }
     }
 
     /// A 2×2 block template anchored at `(r, c)` with wrap-around, for the
@@ -97,7 +109,10 @@ impl Template {
                 .into_iter()
                 .map(|(dr, dc)| ((r + dr) % 4, (c + dc) % 4)),
         );
-        Template { mask, kind: TemplateKind::Block }
+        Template {
+            mask,
+            kind: TemplateKind::Block,
+        }
     }
 
     /// A column-pair block: cells `(r, c1)`, `(r, c2)`, `(r+1, c1)`,
@@ -109,11 +124,17 @@ impl Template {
     ///
     /// Panics unless `r ∈ {0, 2}` and `c1 < c2 < 4`.
     pub fn dbb_pair(r: u32, c1: u32, c2: u32) -> Self {
-        assert!(r == 0 || r == 2, "DBB row pairs are (0,1) or (2,3), got r={r}");
+        assert!(
+            r == 0 || r == 2,
+            "DBB row pairs are (0,1) or (2,3), got r={r}"
+        );
         assert!(c1 < c2 && c2 < 4, "need c1 < c2 < 4, got ({c1},{c2})");
         let size = GridSize::S4;
         let mask = size.mask_of([(r, c1), (r, c2), (r + 1, c1), (r + 1, c2)]);
-        Template { mask, kind: TemplateKind::Block }
+        Template {
+            mask,
+            kind: TemplateKind::Block,
+        }
     }
 
     /// The template's occupancy mask.
@@ -160,7 +181,11 @@ impl TemplateSet {
             size.full_mask(),
             "portfolio must cover every grid cell so all local patterns decompose"
         );
-        TemplateSet { size, name: name.into(), templates }
+        TemplateSet {
+            size,
+            name: name.into(),
+            templates,
+        }
     }
 
     /// The grid size this portfolio targets.
@@ -221,15 +246,27 @@ impl TemplateSet {
         let diags: Vec<Template> = (0..4).map(|k| Template::diag(s, k)).collect();
         let antis: Vec<Template> = (0..4).map(|k| Template::anti_diag(s, k)).collect();
         // Aligned quadrants.
-        let bw4: Vec<Template> =
-            [(0, 0), (0, 2), (2, 0), (2, 2)].into_iter().map(|(r, c)| Template::block2(r, c)).collect();
-        // Quadrants + edge-centred placements.
-        let bw8: Vec<Template> = [(0, 0), (0, 2), (2, 0), (2, 2), (0, 1), (1, 0), (1, 2), (2, 1)]
+        let bw4: Vec<Template> = [(0, 0), (0, 2), (2, 0), (2, 2)]
             .into_iter()
             .map(|(r, c)| Template::block2(r, c))
             .collect();
-        let bw16: Vec<Template> =
-            (0..4).flat_map(|r| (0..4).map(move |c| Template::block2(r, c))).collect();
+        // Quadrants + edge-centred placements.
+        let bw8: Vec<Template> = [
+            (0, 0),
+            (0, 2),
+            (2, 0),
+            (2, 2),
+            (0, 1),
+            (1, 0),
+            (1, 2),
+            (2, 1),
+        ]
+        .into_iter()
+        .map(|(r, c)| Template::block2(r, c))
+        .collect();
+        let bw16: Vec<Template> = (0..4)
+            .flat_map(|r| (0..4).map(move |c| Template::block2(r, c)))
+            .collect();
 
         let cat = |parts: Vec<Vec<Template>>| parts.into_iter().flatten().collect::<Vec<_>>();
         let templates = match id {
@@ -355,16 +392,26 @@ impl TemplateSet {
                     size.template_len()
                 ));
             }
-            templates.push(Template { mask, kind: Self::infer_kind(size, mask) });
+            templates.push(Template {
+                mask,
+                kind: Self::infer_kind(size, mask),
+            });
         }
         if templates.is_empty() || templates.len() > Self::MAX_TEMPLATES {
-            return Err(format!("portfolio needs 1..=16 templates, got {}", templates.len()));
+            return Err(format!(
+                "portfolio needs 1..=16 templates, got {}",
+                templates.len()
+            ));
         }
         let union = templates.iter().fold(0 as Mask, |u, t| u | t.mask());
         if union != size.full_mask() {
             return Err("portfolio does not cover the grid".into());
         }
-        Ok(TemplateSet { size, name, templates })
+        Ok(TemplateSet {
+            size,
+            name,
+            templates,
+        })
     }
 
     fn infer_kind(size: GridSize, mask: Mask) -> TemplateKind {
@@ -389,7 +436,13 @@ impl TemplateSet {
 
 impl fmt::Display for TemplateSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} templates, {})", self.name, self.templates.len(), self.size)
+        write!(
+            f,
+            "{} ({} templates, {})",
+            self.name,
+            self.templates.len(),
+            self.size
+        )
     }
 }
 
@@ -521,12 +574,13 @@ mod tests {
 
     #[test]
     fn text_round_trip_preserves_masks_and_kinds() {
-        for set in
-            TemplateSet::table_v_candidates().into_iter().chain([TemplateSet::dbb()])
+        for set in TemplateSet::table_v_candidates()
+            .into_iter()
+            .chain([TemplateSet::dbb()])
         {
             let text = set.to_text();
-            let back = TemplateSet::from_text(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}", set.name()));
+            let back =
+                TemplateSet::from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", set.name()));
             assert_eq!(back.name(), set.name());
             assert_eq!(
                 back.masks().collect::<Vec<_>>(),
@@ -543,9 +597,13 @@ mod tests {
         assert!(TemplateSet::from_text("nope").is_err());
         assert!(TemplateSet::from_text("spasm-portfolio v1\nsize 9\n").is_err());
         let no_cover = "spasm-portfolio v1\nsize 4\nname x\ntemplate 000f\n";
-        assert!(TemplateSet::from_text(no_cover).unwrap_err().contains("cover"));
+        assert!(TemplateSet::from_text(no_cover)
+            .unwrap_err()
+            .contains("cover"));
         let bad_cells = "spasm-portfolio v1\nsize 4\nname x\ntemplate 0007\n";
-        assert!(TemplateSet::from_text(bad_cells).unwrap_err().contains("cells"));
+        assert!(TemplateSet::from_text(bad_cells)
+            .unwrap_err()
+            .contains("cells"));
         let junk = "spasm-portfolio v1\nsize 4\nname x\nwat\n";
         assert!(TemplateSet::from_text(junk).is_err());
     }
@@ -561,8 +619,9 @@ mod tests {
     #[should_panic(expected = "t_idx")]
     fn oversized_portfolio_rejected() {
         let s = GridSize::S4;
-        let mut t: Vec<Template> =
-            (0..4).flat_map(|r| (0..4).map(move |c| Template::block2(r, c))).collect();
+        let mut t: Vec<Template> = (0..4)
+            .flat_map(|r| (0..4).map(move |c| Template::block2(r, c)))
+            .collect();
         t.push(Template::row(s, 0));
         TemplateSet::new(s, "bad", t);
     }

@@ -164,7 +164,13 @@ mod tests {
         Coo::from_triplets(
             4,
             4,
-            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0), (3, 3, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 2.0),
+                (1, 0, 3.0),
+                (1, 1, 4.0),
+                (3, 3, 5.0),
+            ],
         )
         .unwrap()
     }
@@ -205,8 +211,7 @@ mod tests {
     fn block_columns_sorted_within_row() {
         // Entries that arrive in an order where a later matrix row has an
         // earlier block column.
-        let coo =
-            Coo::from_triplets(2, 6, vec![(0, 4, 1.0), (1, 0, 2.0), (1, 2, 3.0)]).unwrap();
+        let coo = Coo::from_triplets(2, 6, vec![(0, 4, 1.0), (1, 0, 2.0), (1, 2, 3.0)]).unwrap();
         let bsr = Bsr::from_coo(&coo, 2).unwrap();
         assert_eq!(bsr.to_coo(), coo);
     }

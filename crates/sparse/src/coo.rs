@@ -26,7 +26,13 @@ pub struct Coo {
 impl Coo {
     /// Creates an empty matrix of the given shape.
     pub fn new(rows: Index, cols: Index) -> Self {
-        Coo { rows, cols, row_idx: Vec::new(), col_idx: Vec::new(), values: Vec::new() }
+        Coo {
+            rows,
+            cols,
+            row_idx: Vec::new(),
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Builds a COO matrix from `(row, col, value)` triplets.
@@ -44,7 +50,12 @@ impl Coo {
     ) -> Result<Self, SparseError> {
         for &(r, c, _) in &triplets {
             if r >= rows || c >= cols {
-                return Err(SparseError::IndexOutOfBounds { row: r, col: c, rows, cols });
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    rows,
+                    cols,
+                });
             }
         }
         triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
@@ -62,7 +73,13 @@ impl Coo {
             col_idx.push(c);
             values.push(v);
         }
-        Ok(Coo { rows, cols, row_idx, col_idx, values })
+        Ok(Coo {
+            rows,
+            cols,
+            row_idx,
+            col_idx,
+            values,
+        })
     }
 
     /// Number of rows.

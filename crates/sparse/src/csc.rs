@@ -28,7 +28,10 @@ impl Csc {
         row_idx: Vec<Index>,
         values: Vec<Value>,
     ) -> Result<Self, SparseError> {
-        let bad = |message: &str| SparseError::ParseError { line: 0, message: message.into() };
+        let bad = |message: &str| SparseError::ParseError {
+            line: 0,
+            message: message.into(),
+        };
         if col_ptr.len() != cols as usize + 1 {
             return Err(bad("col_ptr length must be cols + 1"));
         }
@@ -50,10 +53,21 @@ impl Csc {
         }
         if let Some(&r) = row_idx.iter().max() {
             if r >= rows {
-                return Err(SparseError::IndexOutOfBounds { row: r, col: 0, rows, cols });
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r,
+                    col: 0,
+                    rows,
+                    cols,
+                });
             }
         }
-        Ok(Csc { rows, cols, col_ptr, row_idx, values })
+        Ok(Csc {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -93,7 +107,10 @@ impl Csc {
     /// Panics if `c >= cols`.
     pub fn col(&self, c: Index) -> impl Iterator<Item = (Index, Value)> + '_ {
         let span = self.col_ptr[c as usize]..self.col_ptr[c as usize + 1];
-        self.row_idx[span.clone()].iter().zip(&self.values[span]).map(|(&r, &v)| (r, v))
+        self.row_idx[span.clone()]
+            .iter()
+            .zip(&self.values[span])
+            .map(|(&r, &v)| (r, v))
     }
 }
 
@@ -118,7 +135,13 @@ impl From<&Coo> for Csc {
             values[slot] = v;
             cursor[c as usize] += 1;
         }
-        Csc { rows: coo.rows(), cols, col_ptr, row_idx, values }
+        Csc {
+            rows: coo.rows(),
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 }
 
@@ -143,7 +166,13 @@ mod tests {
         Coo::from_triplets(
             3,
             4,
-            vec![(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap()
     }

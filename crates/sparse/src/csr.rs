@@ -44,7 +44,10 @@ impl Csr {
         col_idx: Vec<Index>,
         values: Vec<Value>,
     ) -> Result<Self, SparseError> {
-        let bad = |message: &str| SparseError::ParseError { line: 0, message: message.into() };
+        let bad = |message: &str| SparseError::ParseError {
+            line: 0,
+            message: message.into(),
+        };
         if row_ptr.len() != rows as usize + 1 {
             return Err(bad("row_ptr length must be rows + 1"));
         }
@@ -66,10 +69,21 @@ impl Csr {
         }
         if let Some(&c) = col_idx.iter().max() {
             if c >= cols {
-                return Err(SparseError::IndexOutOfBounds { row: 0, col: c, rows, cols });
+                return Err(SparseError::IndexOutOfBounds {
+                    row: 0,
+                    col: c,
+                    rows,
+                    cols,
+                });
             }
         }
-        Ok(Csr { rows, cols, row_ptr, col_idx, values })
+        Ok(Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -109,7 +123,10 @@ impl Csr {
     /// Panics if `r >= rows`.
     pub fn row(&self, r: Index) -> impl Iterator<Item = (Index, Value)> + '_ {
         let span = self.row_ptr[r as usize]..self.row_ptr[r as usize + 1];
-        self.col_idx[span.clone()].iter().zip(&self.values[span]).map(|(&c, &v)| (c, v))
+        self.col_idx[span.clone()]
+            .iter()
+            .zip(&self.values[span])
+            .map(|(&c, &v)| (c, v))
     }
 
     /// Number of stored entries in each row (used by load-imbalance models).
@@ -161,7 +178,13 @@ mod tests {
         Coo::from_triplets(
             3,
             4,
-            vec![(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
         .unwrap()
     }

@@ -14,7 +14,11 @@ pub struct Dense {
 impl Dense {
     /// Creates a zero-filled matrix.
     pub fn zeros(rows: Index, cols: Index) -> Self {
-        Dense { rows, cols, data: vec![0.0; rows as usize * cols as usize] }
+        Dense {
+            rows,
+            cols,
+            data: vec![0.0; rows as usize * cols as usize],
+        }
     }
 
     /// Number of rows.

@@ -22,8 +22,7 @@ pub struct Dia {
 impl Dia {
     /// Converts a COO matrix to DIA storage.
     pub fn from_coo(coo: &Coo) -> Self {
-        let mut offsets: Vec<i64> =
-            coo.iter().map(|(r, c, _)| c as i64 - r as i64).collect();
+        let mut offsets: Vec<i64> = coo.iter().map(|(r, c, _)| c as i64 - r as i64).collect();
         offsets.sort_unstable();
         offsets.dedup();
         let rows = coo.rows() as usize;
@@ -33,7 +32,13 @@ impl Dia {
             let d = offsets.binary_search(&k).expect("offset collected above");
             strips[d * rows + r as usize] += v;
         }
-        Dia { rows: coo.rows(), cols: coo.cols(), offsets, strips, nnz: coo.nnz() }
+        Dia {
+            rows: coo.rows(),
+            cols: coo.cols(),
+            offsets,
+            strips,
+            nnz: coo.nnz(),
+        }
     }
 
     /// Number of rows.

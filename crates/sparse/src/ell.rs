@@ -39,7 +39,14 @@ impl Ell {
             values[slot] = v;
             cursor[r as usize] += 1;
         }
-        Ell { rows: coo.rows(), cols: coo.cols(), width, col_idx, values, nnz: coo.nnz() }
+        Ell {
+            rows: coo.rows(),
+            cols: coo.cols(),
+            width,
+            col_idx,
+            values,
+            nnz: coo.nnz(),
+        }
     }
 
     /// Number of rows.
@@ -125,7 +132,13 @@ mod tests {
         let coo = Coo::from_triplets(
             3,
             4,
-            vec![(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (2, 0, 1.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (0, 3, 1.0),
+                (2, 0, 1.0),
+            ],
         )
         .unwrap();
         let ell = Ell::from_coo(&coo);

@@ -41,11 +41,20 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) is outside the {rows}x{cols} matrix shape"
             ),
-            SparseError::DimensionMismatch { expected, actual, operand } => write!(
+            SparseError::DimensionMismatch {
+                expected,
+                actual,
+                operand,
+            } => write!(
                 f,
                 "vector `{operand}` has length {actual}, expected {expected}"
             ),

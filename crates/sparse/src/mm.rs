@@ -58,7 +58,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
         || !tokens[1].eq_ignore_ascii_case("matrix")
         || !tokens[2].eq_ignore_ascii_case("coordinate")
     {
-        return Err(err(hline, "expected `%%MatrixMarket matrix coordinate ...` header"));
+        return Err(err(
+            hline,
+            "expected `%%MatrixMarket matrix coordinate ...` header",
+        ));
     }
     let field = match tokens[3].to_ascii_lowercase().as_str() {
         "real" => Field::Real,
@@ -75,9 +78,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
     // Size line (after comments).
     let (sline, size) = loop {
         match lines.next() {
-            Some((_, Ok(l))) if l.trim_start().starts_with('%') || l.trim().is_empty() => {
-                continue
-            }
+            Some((_, Ok(l))) if l.trim_start().starts_with('%') || l.trim().is_empty() => continue,
             Some((n, Ok(l))) => break (n, l),
             Some((n, Err(e))) => return Err(err(n, &e.to_string())),
             None => return Err(err(hline, "missing size line")),
@@ -138,7 +139,13 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
 pub fn write_matrix_market<W: Write>(mut writer: W, matrix: &Coo) -> Result<(), SparseError> {
     writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
     writeln!(writer, "% generated by spasm-sparse")?;
-    writeln!(writer, "{} {} {}", matrix.rows(), matrix.cols(), matrix.nnz())?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        matrix.rows(),
+        matrix.cols(),
+        matrix.nnz()
+    )?;
     for (r, c, v) in matrix.iter() {
         writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
     }
@@ -169,8 +176,7 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let coo =
-            Coo::from_triplets(3, 2, vec![(0, 0, 1.5), (2, 1, -2.0)]).unwrap();
+        let coo = Coo::from_triplets(3, 2, vec![(0, 0, 1.5), (2, 1, -2.0)]).unwrap();
         let mut buf = Vec::new();
         write_matrix_market(&mut buf, &coo).unwrap();
         let back = read_matrix_market(buf.as_slice()).unwrap();

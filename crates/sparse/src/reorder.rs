@@ -20,7 +20,9 @@ pub struct Permutation {
 impl Permutation {
     /// The identity permutation of length `n`.
     pub fn identity(n: Index) -> Self {
-        Permutation { forward: (0..n).collect() }
+        Permutation {
+            forward: (0..n).collect(),
+        }
     }
 
     /// Builds a permutation from the `new_index[old_index]` mapping.
@@ -108,7 +110,10 @@ pub fn permute_symmetric(matrix: &Coo, p: &Permutation) -> Result<Coo, SparseErr
             operand: "x",
         });
     }
-    let triplets = matrix.iter().map(|(r, c, v)| (p.apply(r), p.apply(c), v)).collect();
+    let triplets = matrix
+        .iter()
+        .map(|(r, c, v)| (p.apply(r), p.apply(c), v))
+        .collect();
     Coo::from_triplets(matrix.rows(), matrix.cols(), triplets)
 }
 
@@ -259,7 +264,10 @@ mod tests {
         let m = banded(256, 2);
         let original_bw = bandwidth(&m);
         let (scrambled, _) = shuffled(&m, 9);
-        assert!(bandwidth(&scrambled) > 10 * original_bw, "shuffle must destroy the band");
+        assert!(
+            bandwidth(&scrambled) > 10 * original_bw,
+            "shuffle must destroy the band"
+        );
         let p = rcm(&scrambled).unwrap();
         let restored = permute_symmetric(&scrambled, &p).unwrap();
         assert!(

@@ -38,12 +38,7 @@ pub trait Shaped {
     fn shape_cols(&self) -> u32;
 }
 
-fn check_dims(
-    rows: u32,
-    cols: u32,
-    x: &[Value],
-    y: &[Value],
-) -> Result<(), SparseError> {
+fn check_dims(rows: u32, cols: u32, x: &[Value], y: &[Value]) -> Result<(), SparseError> {
     if x.len() != cols as usize {
         return Err(SparseError::DimensionMismatch {
             expected: cols as usize,
@@ -81,20 +76,71 @@ impl SpMv for Coo {
     }
 }
 
+/// The scalar CSR kernel over one contiguous row range: accumulates rows
+/// `[first, first + out.len())` of `A·x` into `out`. Both the serial and the
+/// parallel drivers funnel through here, so a row's accumulation order — and
+/// therefore its rounding — is identical in both.
+fn csr_row_range(csr: &Csr, x: &[Value], out: &mut [Value], first: usize) {
+    let ptr = csr.row_ptr();
+    let cols = csr.col_indices();
+    let vals = csr.values();
+    for (k, slot) in out.iter_mut().enumerate() {
+        let r = first + k;
+        let mut acc = 0.0;
+        for i in ptr[r]..ptr[r + 1] {
+            acc += vals[i] * x[cols[i] as usize];
+        }
+        *slot += acc;
+    }
+}
+
 impl SpMv for Csr {
     fn spmv(&self, x: &[Value], y: &mut [Value]) -> Result<(), SparseError> {
         check_dims(self.rows(), self.cols(), x, y)?;
-        let ptr = self.row_ptr();
-        let cols = self.col_indices();
-        let vals = self.values();
-        for r in 0..self.rows() as usize {
-            let mut acc = 0.0;
-            for i in ptr[r]..ptr[r + 1] {
-                acc += vals[i] * x[cols[i] as usize];
-            }
-            y[r] += acc;
-        }
+        csr_row_range(self, x, y, 0);
         Ok(())
+    }
+}
+
+impl Csr {
+    /// `y += A·x` with the rows partitioned into contiguous chunks that run
+    /// on separate threads. Each chunk owns a disjoint `y` range, so no
+    /// locks are needed, and each row is accumulated by the same scalar
+    /// kernel as [`SpMv::spmv`] — the result is bit-for-bit identical to the
+    /// serial product for any thread count.
+    ///
+    /// Without the `parallel` feature (or with a single worker) this is the
+    /// serial kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] exactly as [`SpMv::spmv`]
+    /// does.
+    pub fn spmv_parallel(&self, x: &[Value], y: &mut [Value]) -> Result<(), SparseError> {
+        check_dims(self.rows(), self.cols(), x, y)?;
+        self.spmv_parallel_inner(x, y);
+        Ok(())
+    }
+
+    #[cfg(feature = "parallel")]
+    fn spmv_parallel_inner(&self, x: &[Value], y: &mut [Value]) {
+        use rayon::prelude::*;
+
+        let rows = y.len();
+        let threads = rayon::current_num_threads();
+        if threads < 2 || rows < 2 {
+            csr_row_range(self, x, y, 0);
+            return;
+        }
+        let chunk = rows.div_ceil(threads);
+        y.par_chunks_mut(chunk).enumerate().for_each(|(ci, out)| {
+            csr_row_range(self, x, out, ci * chunk);
+        });
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn spmv_parallel_inner(&self, x: &[Value], y: &mut [Value]) {
+        csr_row_range(self, x, y, 0);
     }
 }
 

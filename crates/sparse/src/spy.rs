@@ -83,7 +83,10 @@ mod tests {
     #[test]
     fn empty_matrix_renders_blank() {
         let s = render(&Coo::new(16, 16), 4, 2);
-        assert!(s.chars().filter(|c| *c != '|' && *c != '\n').all(|c| c == ' '));
+        assert!(s
+            .chars()
+            .filter(|c| *c != '|' && *c != '\n')
+            .all(|c| c == ' '));
     }
 
     #[test]

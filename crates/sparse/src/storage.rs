@@ -107,7 +107,13 @@ mod tests {
         Coo::from_triplets(
             4,
             4,
-            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0), (3, 3, 5.0)],
+            vec![
+                (0, 0, 1.0),
+                (0, 1, 2.0),
+                (1, 0, 3.0),
+                (1, 1, 4.0),
+                (3, 3, 5.0),
+            ],
         )
         .unwrap()
     }
@@ -143,8 +149,7 @@ mod tests {
     #[test]
     fn hisparse_serpens_is_exactly_1_5x() {
         let coo = sample();
-        let imp =
-            improvement_vs_coo(coo.storage_bytes(), hisparse_serpens_bytes(coo.nnz()));
+        let imp = improvement_vs_coo(coo.storage_bytes(), hisparse_serpens_bytes(coo.nnz()));
         assert!((imp - 1.5).abs() < 1e-12);
     }
 

@@ -2,9 +2,7 @@
 //! and SpMV agreement across every storage format.
 
 use proptest::prelude::*;
-use spasm_sparse::{
-    mm, Bsr, Coo, Csc, Csr, Dense, Dia, Ell, SpMv, StorageCost,
-};
+use spasm_sparse::{mm, Bsr, Coo, Csc, Csr, Dense, Dia, Ell, SpMv, StorageCost};
 
 /// Strategy producing an arbitrary small sparse matrix. Values are non-zero
 /// multiples of 0.25 so accumulation is exact in f32 and explicit zeros do

@@ -172,7 +172,8 @@ pub fn nm_pruned(
     pair_rows: bool,
 ) -> Coo {
     assert!(n > 0 && n <= m, "need 0 < n <= m, got {n}:{m}");
-    let mut triplets = Vec::with_capacity((rows as usize * cols as usize) * n as usize / m as usize);
+    let mut triplets =
+        Vec::with_capacity((rows as usize * cols as usize) * n as usize / m as usize);
     let keep_of_group = |rng: &mut SmallRng, g0: Index| -> Vec<Index> {
         let width = m.min(cols - g0);
         let mut cands: Vec<Index> = (0..width).map(|k| g0 + k).collect();
@@ -234,8 +235,10 @@ pub fn planted_patterns(
 
     // Expected non-zeros per placed submatrix under the share mix (tail
     // masks average ~6 bits for the truncated-geometric sampler below).
-    let planted_bits: f64 =
-        shares.iter().map(|&(m, s)| s * f64::from(m.count_ones())).sum();
+    let planted_bits: f64 = shares
+        .iter()
+        .map(|&(m, s)| s * f64::from(m.count_ones()))
+        .sum();
     let tail_bits = (1.0 - total_share) * 6.0;
     let blocks = (target_nnz as f64 / (planted_bits + tail_bits).max(1.0)) as usize;
 
@@ -496,7 +499,10 @@ mod tests {
         let m = nm_pruned(&mut rng(), 16, 16, 2, 4, true);
         // Row 0 and row 1 touch the same column set.
         let cols_of = |row: u32| -> Vec<u32> {
-            m.iter().filter(|&(r, _, _)| r == row).map(|(_, c, _)| c).collect()
+            m.iter()
+                .filter(|&(r, _, _)| r == row)
+                .map(|(_, c, _)| c)
+                .collect()
         };
         assert_eq!(cols_of(0), cols_of(1));
         assert_eq!(cols_of(2), cols_of(3));

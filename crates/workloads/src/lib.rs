@@ -30,8 +30,7 @@ mod gen;
 mod suite;
 
 pub use gen::{
-    nm_pruned,
-    anti_diag_stencil, fem_blocks, mixed_fragments, random_uniform, staircase, stencil,
+    anti_diag_stencil, fem_blocks, mixed_fragments, nm_pruned, random_uniform, staircase, stencil,
     FragmentMix,
 };
 pub use suite::{Scale, Workload, WorkloadSpec};

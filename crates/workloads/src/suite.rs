@@ -6,8 +6,8 @@ use rand::SeedableRng;
 use spasm_sparse::Coo;
 
 use crate::gen::{
-    anti_diag_stencil, fem_blocks, mixed_fragments, planted_patterns, random_uniform,
-    staircase, stencil, FragmentMix,
+    anti_diag_stencil, fem_blocks, mixed_fragments, planted_patterns, random_uniform, staircase,
+    stencil, FragmentMix,
 };
 
 /// Common 4×4 occupancy masks used to express Table II's top-8 pattern
@@ -318,53 +318,116 @@ impl Workload {
     pub fn spec(self) -> WorkloadSpec {
         use StructureClass::*;
         let (name, n, nnz, density, domain, class) = match self {
-            Workload::Mycielskian14 => {
-                ("mycielskian14", 12_287, 3_700_000, 2.45e-2, "Graph problem", RandomGraph)
-            }
+            Workload::Mycielskian14 => (
+                "mycielskian14",
+                12_287,
+                3_700_000,
+                2.45e-2,
+                "Graph problem",
+                RandomGraph,
+            ),
             Workload::Ex11 => ("ex11", 16_614, 1_100_000, 3.97e-3, "CFD", FemBlocks),
-            Workload::Raefsky3 => {
-                ("raefsky3", 21_200, 1_488_768, 3.31e-3, "CFD", AlignedFemBlocks)
-            }
-            Workload::Mip1 => {
-                ("mip1", 66_463, 10_400_000, 2.35e-3, "optimization problem", Mixed)
-            }
+            Workload::Raefsky3 => (
+                "raefsky3",
+                21_200,
+                1_488_768,
+                3.31e-3,
+                "CFD",
+                AlignedFemBlocks,
+            ),
+            Workload::Mip1 => (
+                "mip1",
+                66_463,
+                10_400_000,
+                2.35e-3,
+                "optimization problem",
+                Mixed,
+            ),
             Workload::Rim => ("rim", 22_560, 1_010_000, 1.99e-3, "CFD", Mixed),
             Workload::ThreeDTube => ("3dtube", 45_330, 3_240_000, 1.58e-3, "CFD", FemBlocks),
             Workload::Bbmat => ("bbmat", 38_744, 1_770_000, 1.18e-3, "CFD", Mixed),
-            Workload::Chebyshev4 => {
-                ("Chebyshev4", 68_121, 5_380_000, 1.16e-3, "structural problem", Mixed)
-            }
-            Workload::Goodwin054 => {
-                ("Goodwin_054", 32_510, 1_030_000, 9.75e-4, "CFD", Mixed)
-            }
-            Workload::X104 => {
-                ("x104", 108_384, 10_200_000, 8.66e-4, "structural problem", FemBlocks)
-            }
+            Workload::Chebyshev4 => (
+                "Chebyshev4",
+                68_121,
+                5_380_000,
+                1.16e-3,
+                "structural problem",
+                Mixed,
+            ),
+            Workload::Goodwin054 => ("Goodwin_054", 32_510, 1_030_000, 9.75e-4, "CFD", Mixed),
+            Workload::X104 => (
+                "x104",
+                108_384,
+                10_200_000,
+                8.66e-4,
+                "structural problem",
+                FemBlocks,
+            ),
             Workload::Cfd2 => ("cfd2", 123_440, 3_090_000, 2.03e-4, "CFD", Mixed),
-            Workload::MlLaplace => {
-                ("ML_Laplace", 377_002, 27_700_000, 1.95e-4, "structural problem", FemBlocks)
-            }
-            Workload::Af0K101 => {
-                ("af_0_k101", 503_625, 17_600_000, 6.92e-5, "structural problem", FemBlocks)
-            }
-            Workload::PFlow742 => {
-                ("PFlow_742", 742_793, 37_100_000, 6.73e-5, "2D/3D problem", Mixed)
-            }
-            Workload::C73 => {
-                ("c-73", 169_422, 1_280_000, 4.46e-5, "optimization problem", AntiDiagStencil)
-            }
-            Workload::AfShell10 => {
-                ("af_shell10", 1_508_065, 52_700_000, 2.32e-5, "structural problem", FemBlocks)
-            }
-            Workload::TmtSym => {
-                ("tmt_sym", 726_713, 5_080_000, 9.62e-6, "electromagnetics problem", Stencil)
-            }
-            Workload::TmtUnsym => {
-                ("tmt_unsym", 917_825, 4_580_000, 5.44e-6, "electromagnetics problem", Stencil)
-            }
-            Workload::T2em => {
-                ("t2em", 921_632, 4_590_000, 5.40e-6, "electromagnetics problem", Stencil)
-            }
+            Workload::MlLaplace => (
+                "ML_Laplace",
+                377_002,
+                27_700_000,
+                1.95e-4,
+                "structural problem",
+                FemBlocks,
+            ),
+            Workload::Af0K101 => (
+                "af_0_k101",
+                503_625,
+                17_600_000,
+                6.92e-5,
+                "structural problem",
+                FemBlocks,
+            ),
+            Workload::PFlow742 => (
+                "PFlow_742",
+                742_793,
+                37_100_000,
+                6.73e-5,
+                "2D/3D problem",
+                Mixed,
+            ),
+            Workload::C73 => (
+                "c-73",
+                169_422,
+                1_280_000,
+                4.46e-5,
+                "optimization problem",
+                AntiDiagStencil,
+            ),
+            Workload::AfShell10 => (
+                "af_shell10",
+                1_508_065,
+                52_700_000,
+                2.32e-5,
+                "structural problem",
+                FemBlocks,
+            ),
+            Workload::TmtSym => (
+                "tmt_sym",
+                726_713,
+                5_080_000,
+                9.62e-6,
+                "electromagnetics problem",
+                Stencil,
+            ),
+            Workload::TmtUnsym => (
+                "tmt_unsym",
+                917_825,
+                4_580_000,
+                5.44e-6,
+                "electromagnetics problem",
+                Stencil,
+            ),
+            Workload::T2em => (
+                "t2em",
+                921_632,
+                4_590_000,
+                5.40e-6,
+                "electromagnetics problem",
+                Stencil,
+            ),
             Workload::StormG21000 => (
                 "stormG2_1000",
                 852_847,
@@ -376,7 +439,15 @@ impl Workload {
         };
         // Seeds are arbitrary but fixed, one per workload.
         let seed = 0x5A53_4D00 + self as u64;
-        WorkloadSpec { name, n, nnz, density, domain, class, seed }
+        WorkloadSpec {
+            name,
+            n,
+            nnz,
+            density,
+            domain,
+            class,
+            seed,
+        }
     }
 
     /// Looks a workload up by its SuiteSparse name.
@@ -408,9 +479,7 @@ impl Workload {
             StructureClass::AlignedFemBlocks => {
                 fem_blocks(&mut rng, n, nnz, 4, (n / 16).max(8), true)
             }
-            StructureClass::FemBlocks => {
-                fem_blocks(&mut rng, n, nnz, 4, (n / 8).max(8), false)
-            }
+            StructureClass::FemBlocks => fem_blocks(&mut rng, n, nnz, 4, (n / 8).max(8), false),
             StructureClass::Stencil => {
                 // Enough diagonals to hit the target density; offsets avoid
                 // multiples of 4 so local patterns are genuine diagonal
@@ -430,9 +499,7 @@ impl Workload {
                 let lines = (nnz / n as usize).max(4);
                 anti_diag_stencil(&mut rng, n, lines, nnz / 10)
             }
-            StructureClass::Staircase => {
-                staircase(&mut rng, n, nnz, (n / 64).max(16), 2)
-            }
+            StructureClass::Staircase => staircase(&mut rng, n, nnz, (n / 64).max(16), 2),
             StructureClass::Mixed => {
                 let mix = match self {
                     Workload::Mip1 => FragmentMix::BALANCED,
@@ -489,7 +556,11 @@ mod tests {
 
     #[test]
     fn small_scale_preserves_row_degree_roughly() {
-        for w in [Workload::Raefsky3, Workload::TmtSym, Workload::Mycielskian14] {
+        for w in [
+            Workload::Raefsky3,
+            Workload::TmtSym,
+            Workload::Mycielskian14,
+        ] {
             let s = w.spec();
             let m = w.generate(Scale::Small);
             let paper_degree = s.nnz as f64 / s.n as f64;

@@ -22,7 +22,9 @@ fn load(arg: &str) -> Result<(String, Coo), Box<dyn std::error::Error>> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "cfd2".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cfd2".to_string());
     let (name, a) = load(&arg)?;
     println!(
         "{name}: {}x{}, {} nnz, density {:.2e}",
@@ -43,7 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let top = hist.top_n(8);
     let grids: Vec<Vec<String>> = top
         .iter()
-        .map(|&(m, _)| render_mask(GridSize::S4, m).lines().map(String::from).collect())
+        .map(|&(m, _)| {
+            render_mask(GridSize::S4, m)
+                .lines()
+                .map(String::from)
+                .collect()
+        })
         .collect();
     for row in 0..4 {
         let line: Vec<&str> = grids.iter().map(|g| g[row].as_str()).collect();

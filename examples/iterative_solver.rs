@@ -42,7 +42,12 @@ fn dot(a: &[f32], b: &[f32]) -> f64 {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = spd_block_tridiagonal(512);
     let n = a.rows() as usize;
-    println!("SPD system: {}x{}, {} non-zeros", a.rows(), a.cols(), a.nnz());
+    println!(
+        "SPD system: {}x{}, {} non-zeros",
+        a.rows(),
+        a.cols(),
+        a.nnz()
+    );
 
     let prep_start = std::time::Instant::now();
     let prepared = Pipeline::new().prepare(&a)?;
@@ -85,12 +90,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("CG converged in {iterations} iterations");
 
-    // Verify the solution residual with an independent host-side SpMV.
+    // Verify the solution residual with an independent host-side SpMV —
+    // the row-partitioned parallel CSR kernel (bit-identical to the serial
+    // one; serial fallback without the `parallel` feature).
     let mut ax = vec![0.0f32; n];
-    use spasm_sparse::SpMv;
-    spasm_sparse::Csr::from(&a).spmv(&x, &mut ax)?;
-    let resid =
-        (ax.iter().zip(&b).map(|(u, v)| ((u - v) as f64).powi(2)).sum::<f64>()).sqrt();
+    spasm_sparse::Csr::from(&a).spmv_parallel(&x, &mut ax)?;
+    let resid = (ax
+        .iter()
+        .zip(&b)
+        .map(|(u, v)| ((u - v) as f64).powi(2))
+        .sum::<f64>())
+    .sqrt();
     println!("final residual |Ax - b| = {resid:.3e}");
 
     println!(

@@ -88,6 +88,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    // Cross-check the final propagation on the host with the
+    // row-partitioned parallel CSR kernel (serial fallback without the
+    // `parallel` feature).
+    let csr = spasm_sparse::Csr::from(&a);
+    let mut host = vec![0.0f32; n as usize];
+    csr.spmv_parallel(&rank, &mut host)?;
+    let mut accel = vec![0.0f32; n as usize];
+    acc.run(&prepared.encoded, &rank, &mut accel)?;
+    let max_err = host
+        .iter()
+        .zip(&accel)
+        .map(|(h, s)| (h - s).abs())
+        .fold(0.0f32, f32::max);
+    println!("max |host - accelerator| on final ranks: {max_err:.2e}");
+
     let mut top: Vec<(usize, f32)> = rank.iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("converged in {iters} iterations; top-5 nodes:");

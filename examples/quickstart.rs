@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             for r in 0..4u32 {
                 for c in 0..4u32 {
-                    triplets.push((b * 4 + r, bc as u32 * 4 + c, scale * 0.25 * (1 + r + c) as f32));
+                    triplets.push((
+                        b * 4 + r,
+                        bc as u32 * 4 + c,
+                        scale * 0.25 * (1 + r + c) as f32,
+                    ));
                 }
             }
         }

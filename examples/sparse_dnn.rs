@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // extension.
     let mut candidates = TemplateSet::table_v_candidates();
     candidates.push(TemplateSet::dbb());
-    let options = PipelineOptions { candidates, ..PipelineOptions::default() };
+    let options = PipelineOptions {
+        candidates,
+        ..PipelineOptions::default()
+    };
     let pipeline = Pipeline::with_options(options);
 
     println!("layer  shape          nnz      portfolio   paddings  tile   config");
@@ -62,7 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Inference on a batch of one input vector, accelerator vs host CSR.
-    let x0: Vec<f32> = (0..dims[0]).map(|i| ((i % 17) as f32 - 8.0) * 0.1).collect();
+    let x0: Vec<f32> = (0..dims[0])
+        .map(|i| ((i % 17) as f32 - 8.0) * 0.1)
+        .collect();
 
     let mut acc_act = x0.clone();
     let mut sim_seconds = 0.0;

@@ -1,0 +1,212 @@
+//! Differential tests: the SPASM pipeline and every storage format are
+//! checked against the CSR reference kernel on randomized and adversarial
+//! matrices.
+//!
+//! Two tolerance regimes:
+//!
+//! * **Pipeline vs CSR** — the simulator accumulates through 4-wide
+//!   template FMAs in a different order than CSR, so results agree within
+//!   `1e-3` (relative), the bound the paper's functional validation uses.
+//! * **Format vs format** — every value is a small multiple of `0.25` and
+//!   every `x` entry a small multiple of `0.5`, so all partial sums are
+//!   exactly representable in `f32` and every format must agree with CSR
+//!   *bit for bit*, regardless of accumulation order.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spasm::Pipeline;
+use spasm_sparse::{Bsr, Coo, Csc, Csr, Dia, Ell, SpMv};
+
+/// Random triplets with exactly-representable values (multiples of 0.25).
+fn random_coo(rng: &mut SmallRng, rows: u32, cols: u32, n_entries: usize) -> Coo {
+    let t: Vec<(u32, u32, f32)> = (0..n_entries)
+        .map(|_| {
+            (
+                rng.gen_range(0..rows),
+                rng.gen_range(0..cols),
+                rng.gen_range(1..=32) as f32 * 0.25,
+            )
+        })
+        .collect();
+    Coo::from_triplets(rows, cols, t).unwrap()
+}
+
+/// A deterministic x with entries that are small multiples of 0.5.
+fn probe_x(cols: u32) -> Vec<f32> {
+    (0..cols).map(|i| ((i % 9) as f32) * 0.5 - 2.0).collect()
+}
+
+/// Asserts `prepare().execute()` matches the CSR oracle within 1e-3.
+fn assert_pipeline_matches_csr(m: &Coo) {
+    let x = probe_x(m.cols());
+    let mut want = vec![0.0f32; m.rows() as usize];
+    Csr::from(m).spmv(&x, &mut want).unwrap();
+
+    let prepared = Pipeline::new().prepare(m).unwrap();
+    let mut got = vec![0.0f32; m.rows() as usize];
+    prepared.execute(&x, &mut got).unwrap();
+    for (r, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert!(
+            (g - w).abs() <= 1e-3 * (1.0 + w.abs()),
+            "row {r}: pipeline {g} vs CSR {w} ({}x{}, nnz {})",
+            m.rows(),
+            m.cols(),
+            m.nnz()
+        );
+    }
+}
+
+/// Asserts every format's SpMv output is bit-identical to CSR's.
+fn assert_formats_match_csr_exactly(m: &Coo) {
+    let x = probe_x(m.cols());
+    let mut want = vec![0.0f32; m.rows() as usize];
+    Csr::from(m).spmv(&x, &mut want).unwrap();
+    let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+
+    macro_rules! check {
+        ($name:literal, $fmt:expr) => {{
+            let mut y = vec![0.0f32; m.rows() as usize];
+            $fmt.spmv(&x, &mut y).unwrap();
+            let got_bits: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                got_bits,
+                want_bits,
+                "{} disagrees with CSR on {}x{} nnz {}",
+                $name,
+                m.rows(),
+                m.cols(),
+                m.nnz()
+            );
+        }};
+    }
+    check!("coo", m);
+    check!("csc", Csc::from(m));
+    check!("bsr2", Bsr::from_coo(m, 2).unwrap());
+    check!("bsr4", Bsr::from_coo(m, 4).unwrap());
+    check!("dia", Dia::from_coo(m));
+    check!("ell", Ell::from_coo(m));
+}
+
+#[test]
+fn random_rectangular_pipeline_matches_csr() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0001);
+    for (rows, cols) in [(24, 96), (96, 24), (60, 60), (132, 40)] {
+        let m = random_coo(&mut rng, rows, cols, 220);
+        assert_pipeline_matches_csr(&m);
+    }
+}
+
+#[test]
+fn random_rectangular_formats_match_csr_exactly() {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0002);
+    for (rows, cols) in [(24, 96), (96, 24), (61, 47), (128, 128)] {
+        let m = random_coo(&mut rng, rows, cols, 300);
+        assert_formats_match_csr_exactly(&m);
+    }
+}
+
+#[test]
+fn empty_rows_and_columns() {
+    // Entries confined to even rows and to a middle column band: odd rows
+    // and the outer column bands are entirely empty.
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0003);
+    let (rows, cols) = (64u32, 80u32);
+    let t: Vec<(u32, u32, f32)> = (0..240)
+        .map(|_| {
+            (
+                rng.gen_range(0..rows / 2) * 2,
+                rng.gen_range(cols / 4..cols / 2),
+                rng.gen_range(1..=16) as f32 * 0.25,
+            )
+        })
+        .collect();
+    let m = Coo::from_triplets(rows, cols, t).unwrap();
+    assert_pipeline_matches_csr(&m);
+    assert_formats_match_csr_exactly(&m);
+}
+
+#[test]
+fn single_element_matrices() {
+    // A lone nonzero in each corner of a rectangular matrix.
+    for (r, c) in [(0, 0), (0, 50), (37, 0), (37, 50)] {
+        let m = Coo::from_triplets(38, 51, vec![(r, c, 2.75)]).unwrap();
+        assert_pipeline_matches_csr(&m);
+        assert_formats_match_csr_exactly(&m);
+    }
+}
+
+#[test]
+fn dense_block_matrices() {
+    // Dense 4x4 blocks scattered on a coarse grid: the pipeline's best
+    // case (the dense template covers each block with zero padding).
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0004);
+    let blocks = 24u32;
+    let grid = 12u32; // 12x12 grid of 4x4 block slots
+    let mut t = Vec::new();
+    for _ in 0..blocks {
+        let (br, bc) = (rng.gen_range(0..grid), rng.gen_range(0..grid));
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                t.push((br * 4 + r, bc * 4 + c, rng.gen_range(1..=8) as f32 * 0.25));
+            }
+        }
+    }
+    let n = grid * 4;
+    let m = Coo::from_triplets(n, n, t).unwrap();
+    assert_pipeline_matches_csr(&m);
+    assert_formats_match_csr_exactly(&m);
+}
+
+#[test]
+fn anti_diagonal_matrices() {
+    // The worst case for row-major blocking: every 4x4 submatrix on the
+    // anti-diagonal holds a single scattered entry.
+    for n in [16u32, 61, 96] {
+        let t: Vec<(u32, u32, f32)> = (0..n)
+            .map(|i| (i, n - 1 - i, ((i % 12) + 1) as f32 * 0.25))
+            .collect();
+        let m = Coo::from_triplets(n, n, t).unwrap();
+        assert_pipeline_matches_csr(&m);
+        assert_formats_match_csr_exactly(&m);
+    }
+}
+
+#[test]
+fn tall_and_wide_extremes() {
+    // Single-row and single-column matrices exercise the degenerate tiling
+    // edges of every format.
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0005);
+    let wide = random_coo(&mut rng, 1, 200, 40);
+    assert_pipeline_matches_csr(&wide);
+    assert_formats_match_csr_exactly(&wide);
+
+    let tall = random_coo(&mut rng, 200, 1, 40);
+    assert_pipeline_matches_csr(&tall);
+    assert_formats_match_csr_exactly(&tall);
+}
+
+#[test]
+fn accumulation_into_nonzero_y() {
+    // `y = A·x + y` semantics: a pre-seeded y must be accumulated into,
+    // identically by the pipeline (within tolerance) and all formats.
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0006);
+    let m = random_coo(&mut rng, 48, 48, 160);
+    let x = probe_x(48);
+
+    let mut want = vec![1.5f32; 48];
+    Csr::from(&m).spmv(&x, &mut want).unwrap();
+
+    let prepared = Pipeline::new().prepare(&m).unwrap();
+    let mut got = vec![1.5f32; 48];
+    prepared.execute(&x, &mut got).unwrap();
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g - w).abs() <= 1e-3 * (1.0 + w.abs()), "{g} vs {w}");
+    }
+
+    let mut via_coo = vec![1.5f32; 48];
+    m.spmv(&x, &mut via_coo).unwrap();
+    assert_eq!(
+        via_coo.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+}

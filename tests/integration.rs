@@ -29,7 +29,9 @@ fn pipeline_correct_on_all_workload_classes() {
             panic!("{w}: prepare failed: {e}");
         });
         let n = a.cols() as usize;
-        let x: Vec<f32> = (0..n).map(|i| ((i * 31 + 7) % 13) as f32 * 0.25 - 1.5).collect();
+        let x: Vec<f32> = (0..n)
+            .map(|i| ((i * 31 + 7) % 13) as f32 * 0.25 - 1.5)
+            .collect();
         let mut want = vec![0.0f32; a.rows() as usize];
         Csr::from(&a).spmv(&x, &mut want).unwrap();
         let mut got = vec![0.0f32; a.rows() as usize];
@@ -73,11 +75,15 @@ fn ablation_ordering_holds() {
         .unwrap();
         let full = Pipeline::new().prepare(&a).unwrap();
 
-        let secs = |p: &spasm::Prepared| {
-            p.best.config.cycles_to_seconds(p.best.predicted_cycles)
-        };
-        assert!(secs(&sched_only) <= secs(&fixed) + 1e-15, "{w}: ⑤ must not hurt");
-        assert!(secs(&full) <= secs(&sched_only) + 1e-15, "{w}: ② must not hurt");
+        let secs = |p: &spasm::Prepared| p.best.config.cycles_to_seconds(p.best.predicted_cycles);
+        assert!(
+            secs(&sched_only) <= secs(&fixed) + 1e-15,
+            "{w}: ⑤ must not hurt"
+        );
+        assert!(
+            secs(&full) <= secs(&sched_only) + 1e-15,
+            "{w}: ② must not hurt"
+        );
     }
 }
 
@@ -95,7 +101,10 @@ fn storage_improvement_on_structured_matrices() {
         improvements.push(coo_bytes as f64 / spasm_bytes as f64);
     }
     let geomean = spasm_sparse::storage::geometric_mean(improvements.iter().copied());
-    assert!(geomean > 1.2, "suite geomean improvement {geomean:.2} too small");
+    assert!(
+        geomean > 1.2,
+        "suite geomean improvement {geomean:.2} too small"
+    );
     // The fully-blocked FEM matrix must approach the format's best case
     // (2.4x = 48 COO bytes per 20-byte instance of 4 nz).
     let raefsky = Workload::Raefsky3.generate(Scale::Small);
@@ -116,7 +125,9 @@ fn spasm_beats_fpga_baselines_on_patterned_matrices() {
         let profile = MatrixProfile::from_coo(&a);
         let prepared = Pipeline::new().prepare(&a).unwrap();
         let mut y = vec![0.0f32; a.rows() as usize];
-        let exec = prepared.execute(&vec![1.0; a.cols() as usize], &mut y).unwrap();
+        let exec = prepared
+            .execute(&vec![1.0; a.cols() as usize], &mut y)
+            .unwrap();
 
         let serpens = Serpens::a24().report(&profile);
         let hisparse = HiSparse::new().report(&profile);
@@ -143,7 +154,11 @@ fn gpu_baseline_sane_on_suite() {
         let profile = MatrixProfile::from_coo(&a);
         let r = CusparseGpu::new().report(&profile);
         assert!(r.seconds > 0.0 && r.gflops > 0.0, "{w}");
-        assert!(r.gflops < 300.0, "{w}: GPU estimate {:.1} beyond roofline", r.gflops);
+        assert!(
+            r.gflops < 300.0,
+            "{w}: GPU estimate {:.1} beyond roofline",
+            r.gflops
+        );
     }
 }
 
@@ -161,7 +176,12 @@ fn preprocessing_bookkeeping() {
 /// The binary wire format round-trips for every workload.
 #[test]
 fn wire_serialisation_on_suite() {
-    for w in [Workload::Raefsky3, Workload::Cfd2, Workload::C73, Workload::TmtSym] {
+    for w in [
+        Workload::Raefsky3,
+        Workload::Cfd2,
+        Workload::C73,
+        Workload::TmtSym,
+    ] {
         let a = w.generate(Scale::Small);
         let prepared = Pipeline::new().prepare(&a).unwrap();
         let bytes = prepared.encoded.to_bytes();
@@ -180,7 +200,10 @@ fn shared_portfolio_across_workload_set() {
         .collect();
     let prepared = Pipeline::new().prepare_set(&set).unwrap();
     let names: Vec<_> = prepared.iter().map(|p| p.selection.set.name()).collect();
-    assert!(names.windows(2).all(|w| w[0] == w[1]), "one portfolio: {names:?}");
+    assert!(
+        names.windows(2).all(|w| w[0] == w[1]),
+        "one portfolio: {names:?}"
+    );
     for (m, p) in set.iter().zip(&prepared) {
         let x = vec![1.0f32; m.cols() as usize];
         let mut want = vec![0.0f32; m.rows() as usize];
@@ -201,7 +224,10 @@ fn dbb_portfolio_on_pruned_weights() {
     let w = spasm_workloads::nm_pruned(&mut rng, 128, 256, 2, 4, true);
     let mut candidates = TemplateSet::table_v_candidates();
     candidates.push(TemplateSet::dbb());
-    let options = spasm::PipelineOptions { candidates, ..Default::default() };
+    let options = spasm::PipelineOptions {
+        candidates,
+        ..Default::default()
+    };
     let prepared = Pipeline::with_options(options).prepare(&w).unwrap();
     assert_eq!(prepared.selection.set.name(), "dbb-2:4");
     assert_eq!(prepared.encoded.paddings(), 0);
@@ -214,7 +240,9 @@ fn trace_matches_pipeline_execution() {
     let a = Workload::Chebyshev4.generate(Scale::Small);
     let prepared = Pipeline::new().prepare(&a).unwrap();
     let mut y = vec![0.0f32; a.rows() as usize];
-    let exec = prepared.execute(&vec![1.0; a.cols() as usize], &mut y).unwrap();
+    let exec = prepared
+        .execute(&vec![1.0; a.cols() as usize], &mut y)
+        .unwrap();
     let map = spasm_format::SubmatrixMap::from_coo(&a);
     let summary = spasm_format::TilingSummary::analyze(
         &map,
@@ -222,8 +250,7 @@ fn trace_matches_pipeline_execution() {
         prepared.best.tile_size,
     )
     .unwrap();
-    let trace =
-        spasm_hw::ExecutionTrace::capture(&summary, &prepared.best.config);
+    let trace = spasm_hw::ExecutionTrace::capture(&summary, &prepared.best.config);
     assert_eq!(trace.total_cycles(), exec.cycles);
     assert_eq!(exec.cycles, prepared.best.predicted_cycles);
 }

@@ -1,0 +1,351 @@
+//! Order-preserving parallel iterators (subset of `rayon::iter`).
+//!
+//! The model is deliberately simple: every parallel iterator knows its exact
+//! length, can be split at an index into two contiguous halves, and can be
+//! lowered to a sequential `Iterator`. Terminals split the input into at
+//! most [`crate::current_num_threads`] contiguous parts, run each part
+//! sequentially on a scoped thread, and recombine results in input order —
+//! so all outputs are independent of thread count and scheduling.
+
+use std::ops::Range;
+
+/// A splittable, exactly-sized, order-preserving parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+    /// The sequential lowering of this iterator.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Exact number of remaining elements.
+    fn par_len(&self) -> usize;
+
+    /// Splits into `[0, index)` and `[index, len)` parts.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Lowers to a sequential iterator.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Maps every element through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Clone + Send,
+        R: Send,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Pairs every element with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            inner: self,
+            base: 0,
+        }
+    }
+
+    /// Runs `f` on every element, in parallel across contiguous parts.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let parts = split_for_budget(self);
+        let f = &f;
+        crate::drive(parts, move |part| part.into_seq().for_each(f));
+    }
+
+    /// Collects into `C`, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Marker mirroring `rayon::iter::IndexedParallelIterator`; every iterator
+/// in this shim is indexed.
+pub trait IndexedParallelIterator: ParallelIterator {}
+
+impl<I: ParallelIterator> IndexedParallelIterator for I {}
+
+/// Splits `iter` into at most [`crate::current_num_threads`] contiguous
+/// parts of near-equal size.
+pub(crate) fn split_for_budget<I: ParallelIterator>(mut iter: I) -> Vec<I> {
+    let spans = crate::partition(iter.par_len(), crate::current_num_threads());
+    if spans.len() <= 1 {
+        return vec![iter];
+    }
+    let mut parts = Vec::with_capacity(spans.len());
+    for &(start, end) in &spans[..spans.len() - 1] {
+        let (head, tail) = iter.split_at(end - start);
+        parts.push(head);
+        iter = tail;
+    }
+    parts.push(iter);
+    parts
+}
+
+/// Conversion into a parallel iterator (stub of
+/// `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on borrowed collections (stub of
+/// `rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send + 'a;
+
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+    type Item = <&'a C as IntoParallelIterator>::Item;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Collection types buildable from a parallel iterator (stub of
+/// `rayon::iter::FromParallelIterator`).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection, preserving input order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Vec<T> {
+        let parts = split_for_budget(iter);
+        let chunks = crate::drive(parts, |part| part.into_seq().collect::<Vec<_>>());
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Clone + Send,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<I::Seq, F>;
+
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(index);
+        (
+            Map {
+                inner: a,
+                f: self.f.clone(),
+            },
+            Map {
+                inner: b,
+                f: self.f,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.inner.into_seq().map(self.f)
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+    base: usize,
+}
+
+/// Sequential lowering of [`Enumerate`].
+pub struct EnumerateSeq<S> {
+    inner: S,
+    next: usize,
+}
+
+impl<S: Iterator> Iterator for EnumerateSeq<S> {
+    type Item = (usize, S::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, item))
+    }
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Seq = EnumerateSeq<I::Seq>;
+
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.inner.split_at(index);
+        (
+            Enumerate {
+                inner: a,
+                base: self.base,
+            },
+            Enumerate {
+                inner: b,
+                base: self.base + index,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        EnumerateSeq {
+            inner: self.inner.into_seq(),
+            next: self.base,
+        }
+    }
+}
+
+/// Parallel iterator over a borrowed slice.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T> SliceIter<'a, T> {
+    pub(crate) fn new(slice: &'a [T]) -> Self {
+        SliceIter { slice }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index);
+        (SliceIter { slice: a }, SliceIter { slice: b })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter::new(self)
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter::new(self)
+    }
+}
+
+/// Parallel iterator owning a `Vec`.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.items.split_off(index);
+        (self, VecIter { items: tail })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.items.into_iter()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_range_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type Seq = Range<$t>;
+
+            fn par_len(&self) -> usize {
+                (self.range.end.saturating_sub(self.range.start)) as usize
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    RangeIter { range: self.range.start..mid },
+                    RangeIter { range: mid..self.range.end },
+                )
+            }
+
+            fn into_seq(self) -> Self::Seq {
+                self.range
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { range: self }
+            }
+        }
+    )*};
+}
+
+impl_range_iter!(u32, u64, usize);

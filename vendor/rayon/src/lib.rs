@@ -1,0 +1,282 @@
+//! Vendored, dependency-free stand-in for the subset of the `rayon` API this
+//! workspace uses. The build environment has no registry access, so the real
+//! crate cannot be fetched; this shim keeps call sites rayon-idiomatic while
+//! running on `std::thread::scope`.
+//!
+//! Semantics this shim guarantees (and the workspace's determinism tests
+//! rely on):
+//!
+//! * **Order preservation.** Every combinator and terminal is
+//!   index-stable: `collect` returns results in input order regardless of
+//!   thread count or scheduling.
+//! * **Static contiguous partitioning.** An input of length `n` is split
+//!   into at most [`current_num_threads`] contiguous parts; each part runs
+//!   sequentially on one worker. There is no work stealing, so a given
+//!   `(input, thread count)` pair always produces the same partition.
+//! * **No nested oversubscription.** Worker threads see a thread budget of
+//!   1, so nested parallel calls degrade to sequential execution instead of
+//!   spawning `n²` threads.
+//!
+//! Thread budgets come from [`ThreadPool::install`] (a thread-local
+//! override, mirroring how the workspace uses real rayon pools) and default
+//! to [`std::thread::available_parallelism`].
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::fmt;
+
+pub mod iter;
+pub mod slice;
+
+/// The glob-import module mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    /// 0 = no override (use available parallelism).
+    static THREAD_BUDGET: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads parallel terminals may use on this thread.
+pub fn current_num_threads() -> usize {
+    let budget = THREAD_BUDGET.with(Cell::get);
+    if budget > 0 {
+        budget
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+}
+
+/// Runs `f` with the thread budget set to `n` (restored afterwards).
+/// `n == 0` restores the default budget. Used by [`ThreadPool::install`].
+fn with_thread_budget<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = THREAD_BUDGET.with(|b| b.replace(n));
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_BUDGET.with(|b| b.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Builder for a [`ThreadPool`] (stub of `rayon::ThreadPoolBuilder`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Caps the pool at `num_threads` workers (0 = all available cores).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool. Infallible in this shim; the `Result` mirrors the
+    /// upstream signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type mirroring the upstream builder signature; never produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error (unreachable in the vendored shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A thread budget under which parallel terminals run (stub of
+/// `rayon::ThreadPool`; threads are spawned per terminal, not kept alive).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread budget active.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        with_thread_budget(self.num_threads, f)
+    }
+
+    /// The budget this pool grants.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        }
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() < 2 {
+        (a(), b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(|| with_thread_budget(1, b));
+            let ra = with_thread_budget(1, a);
+            (ra, hb.join().expect("rayon shim: join closure panicked"))
+        })
+    }
+}
+
+/// Splits `len` items into at most `parts` contiguous spans, returned as
+/// `(start, end)` pairs covering `0..len` in order. Deterministic.
+pub(crate) fn partition(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.clamp(1, len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut spans = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        if size == 0 {
+            break;
+        }
+        spans.push((start, start + size));
+        start += size;
+    }
+    spans
+}
+
+/// Runs `run` over each split of `parts`, on worker threads when the budget
+/// allows, and returns the results in input order.
+pub(crate) fn drive<P, R>(parts: Vec<P>, run: impl Fn(P) -> R + Sync) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+{
+    if parts.len() <= 1 || current_num_threads() < 2 {
+        return parts.into_iter().map(run).collect();
+    }
+    let run = &run;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|p| s.spawn(move || with_thread_budget(1, || run(p))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim: worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn partition_covers_exactly() {
+        for len in [0usize, 1, 2, 5, 16, 17, 1000] {
+            for parts in [1usize, 2, 3, 7, 64] {
+                let spans = partition(len, parts);
+                let mut cursor = 0;
+                for &(a, b) in &spans {
+                    assert_eq!(a, cursor);
+                    assert!(b > a);
+                    cursor = b;
+                }
+                assert_eq!(cursor, len);
+                assert!(spans.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        for budget in [1usize, 2, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(budget)
+                .build()
+                .unwrap();
+            let out: Vec<u64> = pool.install(|| input.par_iter().map(|&v| v * v).collect());
+            let want: Vec<u64> = input.iter().map(|&v| v * v).collect();
+            assert_eq!(out, want);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint() {
+        let mut data = vec![0u32; 1003];
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            data.par_chunks_mut(100).enumerate().for_each(|(i, chunk)| {
+                for v in chunk.iter_mut() {
+                    *v = i as u32 + 1;
+                }
+            });
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[1002], 11);
+    }
+
+    #[test]
+    fn into_par_iter_on_vec_and_range() {
+        let v: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let out: Vec<String> = v.into_par_iter().map(|s| format!("{s}!")).collect();
+        assert_eq!(out, ["a!", "b!", "c!"]);
+        let sq: Vec<usize> = (0..6usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(sq, [0, 1, 4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn nested_calls_do_not_oversubscribe() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let budgets: Vec<usize> = pool.install(|| {
+            (0..4usize)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        // Inside workers the budget is 1 (when the outer ran parallel) or
+        // inherited (when it collapsed to sequential on a 1-core host).
+        for b in budgets {
+            assert!(b == 1 || b == 4);
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn install_restores_budget() {
+        let outside = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+        assert_eq!(current_num_threads(), outside);
+    }
+}

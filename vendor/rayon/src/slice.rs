@@ -1,0 +1,113 @@
+//! Parallel slice extensions (subset of `rayon::slice`).
+
+use crate::iter::{ParallelIterator, SliceIter};
+
+/// `par_chunks` on shared slices (stub of `rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous chunks of `chunk_size` elements
+    /// (the last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
+
+    /// Parallel iterator over the elements.
+    fn par_iter_slice(&self) -> SliceIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Chunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+
+    fn par_iter_slice(&self) -> SliceIter<'_, T> {
+        SliceIter::new(self)
+    }
+}
+
+/// `par_chunks_mut` on mutable slices (stub of
+/// `rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable chunks of `chunk_size`
+    /// elements (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// See [`ParallelSlice::par_chunks`].
+pub struct Chunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.chunk_size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(mid);
+        (
+            Chunks {
+                slice: a,
+                chunk_size: self.chunk_size,
+            },
+            Chunks {
+                slice: b,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.chunk_size)
+    }
+}
+
+/// See [`ParallelSliceMut::par_chunks_mut`].
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.chunk_size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (
+            ChunksMut {
+                slice: a,
+                chunk_size: self.chunk_size,
+            },
+            ChunksMut {
+                slice: b,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.chunk_size)
+    }
+}
