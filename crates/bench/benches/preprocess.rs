@@ -132,6 +132,7 @@ fn bench_explore_schedule() {
 }
 
 fn main() {
+    spasm_bench::smoke_from_args();
     println!(
         "host threads: {} | parallel feature: {}",
         std::thread::available_parallelism().map_or(1, usize::from),

@@ -13,6 +13,7 @@ use spasm_sparse::{Bsr, Csc, Csr, Dia, Ell, SpMv};
 use spasm_workloads::{Scale, Workload};
 
 fn main() {
+    spasm_bench::smoke_from_args();
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
     println!(
         "host threads: {threads} | parallel feature: {}",

@@ -101,7 +101,7 @@ fn main() {
     let pipeline = Pipeline::new();
     let mut gains = Vec::new();
     spasm_bench::for_each_workload(scale, |w, m| {
-        let prepared = pipeline.prepare(&m).expect("pipeline");
+        let mut prepared = pipeline.prepare(&m).expect("pipeline");
         let x = vec![1.0f32; m.cols() as usize];
         let mut y = vec![0.0f32; m.rows() as usize];
         let exec = prepared.execute(&x, &mut y).expect("simulate");

@@ -60,7 +60,7 @@ fn main() {
     let pipeline = Pipeline::with_options(options);
     let mut wins: HashMap<String, usize> = HashMap::new();
     spasm_bench::for_each_workload(scale, |w, m| {
-        let prepared = pipeline.prepare(&m).expect("pipeline");
+        let mut prepared = pipeline.prepare(&m).expect("pipeline");
         let x = vec![1.0f32; m.cols() as usize];
         let mut y = vec![0.0f32; m.rows() as usize];
         let exec = prepared.execute(&x, &mut y).expect("simulate");

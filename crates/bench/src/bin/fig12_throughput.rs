@@ -65,7 +65,7 @@ fn main() {
         let r_24 = a24.report(&profile);
         let r_g = gpu.report(&profile);
 
-        let prepared = pipeline.prepare(&m).expect("pipeline");
+        let mut prepared = pipeline.prepare(&m).expect("pipeline");
         let x = vec![1.0f32; m.cols() as usize];
         let mut y = vec![0.0f32; m.rows() as usize];
         let exec = prepared.execute(&x, &mut y).expect("simulate");

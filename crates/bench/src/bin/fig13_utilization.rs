@@ -47,7 +47,7 @@ fn main() {
             acc[i].0.push(r.bandwidth_utilization);
             acc[i].1.push(r.compute_utilization);
         }
-        let prepared = pipeline.prepare(&m).expect("pipeline");
+        let mut prepared = pipeline.prepare(&m).expect("pipeline");
         let x = vec![1.0f32; m.cols() as usize];
         let mut y = vec![0.0f32; m.rows() as usize];
         let exec = prepared.execute(&x, &mut y).expect("simulate");

@@ -42,7 +42,7 @@ fn main() {
     let mut select_gains = Vec::new();
     spasm_bench::for_each_workload(scale, |w, m| {
         let run = |pipe: &Pipeline| {
-            let prepared = pipe.prepare(&m).expect("pipeline");
+            let mut prepared = pipe.prepare(&m).expect("pipeline");
             let x = vec![1.0f32; m.cols() as usize];
             let mut y = vec![0.0f32; m.rows() as usize];
             let exec = prepared.execute(&x, &mut y).expect("simulate");

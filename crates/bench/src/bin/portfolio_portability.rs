@@ -76,7 +76,7 @@ fn main() {
         eprintln!("  [run] {r} ...");
         let m = r.generate(scale);
         // Own, dynamically selected portfolio.
-        let own = Pipeline::new().prepare(&m).expect("pipeline");
+        let mut own = Pipeline::new().prepare(&m).expect("pipeline");
         let x = vec![1.0f32; m.cols() as usize];
         let mut y = vec![0.0f32; m.rows() as usize];
         let own_gflops = own.execute(&x, &mut y).expect("simulate").gflops;
@@ -87,7 +87,7 @@ fn main() {
         for (donor_name, set) in &donor_sets {
             let pinned =
                 Pipeline::with_options(PipelineOptions::default().fixed_portfolio(set.clone()));
-            let prepared = pinned.prepare(&m).expect("pipeline");
+            let mut prepared = pinned.prepare(&m).expect("pipeline");
             let mut y2 = vec![0.0f32; m.rows() as usize];
             let g = prepared.execute(&x, &mut y2).expect("simulate").gflops;
             let rel = g / own_gflops;

@@ -57,7 +57,7 @@ fn main() {
         let restored = permute_symmetric(&scrambled, &p).expect("square");
 
         let run = |mat: &Coo| {
-            let prepared = pipeline.prepare(mat).expect("pipeline");
+            let mut prepared = pipeline.prepare(mat).expect("pipeline");
             let x = vec![1.0f32; mat.cols() as usize];
             let mut y = vec![0.0f32; mat.rows() as usize];
             let exec = prepared.execute(&x, &mut y).expect("simulate");

@@ -34,7 +34,7 @@ fn main() {
         gflops[1].push(hisparse.report(&profile).gflops);
         // Paper's Serpens row pools both variants; use the faster a24.
         gflops[2].push(a24.report(&profile).gflops.max(a16.report(&profile).gflops));
-        let prepared = pipeline.prepare(&m).expect("pipeline");
+        let mut prepared = pipeline.prepare(&m).expect("pipeline");
         let x = vec![1.0f32; m.cols() as usize];
         let mut y = vec![0.0f32; m.rows() as usize];
         let exec = prepared.execute(&x, &mut y).expect("simulate");

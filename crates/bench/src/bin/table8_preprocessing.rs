@@ -37,7 +37,7 @@ fn main() {
     ] {
         eprintln!("  [gen] {w} ...");
         let m = w.generate(scale);
-        let prepared = pipeline.prepare(&m).expect("pipeline");
+        let mut prepared = pipeline.prepare(&m).expect("pipeline");
         let x = vec![1.0f32; m.cols() as usize];
         let mut y = vec![0.0f32; m.rows() as usize];
         let exec = prepared.execute(&x, &mut y).expect("simulate");

@@ -29,6 +29,19 @@ pub fn scale_from_args() -> Scale {
     }
 }
 
+/// Parses `--smoke` from the process arguments and, when present, switches
+/// the timing harness to single-iteration mode (see [`timing::set_smoke`]).
+/// Returns whether smoke mode is active. CI runs every bench binary with
+/// `--smoke` so they cannot bit-rot without paying a full measurement run.
+pub fn smoke_from_args() -> bool {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    timing::set_smoke(smoke);
+    if smoke {
+        eprintln!("  [smoke] single-iteration mode: timings are not meaningful");
+    }
+    smoke
+}
+
 /// Human label for a scale.
 pub fn scale_name(scale: Scale) -> &'static str {
     match scale {
@@ -64,7 +77,22 @@ pub fn rule(width: usize) {
 /// count that fills a ~200 ms window, then mean and minimum wall-clock are
 /// reported. Minimums are the robust statistic to compare across runs.
 pub mod timing {
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::time::{Duration, Instant};
+
+    static SMOKE: AtomicBool = AtomicBool::new(false);
+
+    /// Switches the harness to smoke mode: every [`bench`] runs exactly one
+    /// measured iteration (after the warm-up call) instead of calibrating a
+    /// ~200 ms window. For CI liveness checks, not for measurement.
+    pub fn set_smoke(smoke: bool) {
+        SMOKE.store(smoke, Ordering::SeqCst);
+    }
+
+    /// Whether smoke mode is active.
+    pub fn is_smoke() -> bool {
+        SMOKE.load(Ordering::SeqCst)
+    }
 
     /// One benchmark result.
     #[derive(Debug, Clone)]
@@ -93,7 +121,11 @@ pub mod timing {
         std::hint::black_box(f());
         let once = t0.elapsed();
         let target = Duration::from_millis(200);
-        let iters = (target.as_secs_f64() / once.as_secs_f64().max(1e-9)).clamp(1.0, 1000.0) as u32;
+        let iters = if is_smoke() {
+            1
+        } else {
+            (target.as_secs_f64() / once.as_secs_f64().max(1e-9)).clamp(1.0, 1000.0) as u32
+        };
 
         let mut min = Duration::MAX;
         let mut total = Duration::ZERO;

@@ -160,7 +160,7 @@ fn info(path: &str) -> Result<(), Box<dyn std::error::Error>> {
 
 fn run(arg: &str) -> Result<(), Box<dyn std::error::Error>> {
     let (name, m) = load(arg)?;
-    let prepared = Pipeline::new().prepare(&m)?;
+    let mut prepared = Pipeline::new().prepare(&m)?;
     println!(
         "{name}: portfolio {}, schedule {} @ tile {} (predicted {} cycles)",
         prepared.selection.set.name(),

@@ -3,7 +3,7 @@
 use std::time::{Duration, Instant};
 
 use spasm_format::{SpasmMatrix, SubmatrixMap};
-use spasm_hw::{Accelerator, ExecReport, HwConfig};
+use spasm_hw::{Accelerator, ExecReport, ExecutionPlan, HwConfig};
 use spasm_patterns::selection::{self, TopN};
 use spasm_patterns::{SelectionOutcome, TemplateSet};
 use spasm_sparse::Coo;
@@ -148,6 +148,9 @@ pub struct StageTimings {
     pub schedule: Duration,
     /// Final encode into the SPASM format (stream materialisation).
     pub encode: Duration,
+    /// Execution-plan build: instance-stream decode, LPT schedule, report
+    /// skeleton and scratch allocation (amortised over every `execute`).
+    pub plan: Duration,
     /// Worker-thread budget the stages ran under (1 = serial).
     pub threads: usize,
 }
@@ -155,7 +158,12 @@ pub struct StageTimings {
 impl StageTimings {
     /// Total preprocessing wall-clock time.
     pub fn total(&self) -> Duration {
-        self.analysis + self.selection + self.decomposition + self.schedule + self.encode
+        self.analysis
+            + self.selection
+            + self.decomposition
+            + self.schedule
+            + self.encode
+            + self.plan
     }
 
     /// Whether any stage may have used more than one worker thread.
@@ -311,12 +319,21 @@ impl Pipeline {
         let encoded = SpasmMatrix::encode(&map, &selection.table, best.tile_size)?;
         timings.encode = t4.elapsed();
 
+        // Build the execution plan for the winning schedule once; every
+        // subsequent `execute` reuses it (decode, LPT assignment, cycle
+        // pricing and scratch buffers are all amortised here).
+        let t5 = Instant::now();
+        let plan = Accelerator::new(best.config.clone()).prepare(&encoded)?;
+        timings.plan = t5.elapsed();
+
         Ok(Prepared {
             selection,
             best,
             explored,
             encoded,
             timings,
+            plan,
+            parallelism: self.options.parallelism,
         })
     }
 }
@@ -335,22 +352,37 @@ pub struct Prepared {
     pub encoded: SpasmMatrix,
     /// Preprocessing stage timings (Table VIII).
     pub timings: StageTimings,
+    /// The prepared execution plan for the winning schedule: pre-decoded
+    /// instance stream, LPT assignment, cycle pricing and reusable scratch.
+    /// Built once in `prepare`; [`Prepared::execute`] reuses it on every
+    /// call.
+    pub plan: ExecutionPlan,
+    /// The thread budget `execute` runs the plan under (inherited from the
+    /// pipeline options at prepare time).
+    parallelism: Parallelism,
 }
 
 impl Prepared {
     /// Executes `y += A·x` on the selected hardware configuration
-    /// (step ⑥).
+    /// (step ⑥), reusing the prepared [`ExecutionPlan`] — no per-call
+    /// decode, scheduling or scratch allocation.
+    ///
+    /// Results are bit-identical to [`Accelerator::run`] for every thread
+    /// budget (see `tests/determinism.rs`).
     ///
     /// # Errors
     ///
     /// Propagates simulator errors as [`PipelineError`].
-    pub fn execute(&self, x: &[f32], y: &mut [f32]) -> Result<ExecReport, PipelineError> {
-        let acc = Accelerator::new(self.best.config.clone());
-        Ok(acc.run(&self.encoded, x, y)?)
+    pub fn execute(&mut self, x: &[f32], y: &mut [f32]) -> Result<ExecReport, PipelineError> {
+        let parallelism = self.parallelism;
+        let plan = &mut self.plan;
+        let report = with_parallelism(parallelism, || plan.run(x, y).cloned())?;
+        Ok(report)
     }
 
     /// The accelerator built for the winning configuration, for callers
-    /// that run many SpMVs (iterative solvers).
+    /// that want one-shot [`Accelerator::run`] semantics or their own
+    /// [`ExecutionPlan`]s.
     pub fn accelerator(&self) -> Accelerator {
         Accelerator::new(self.best.config.clone())
     }
@@ -377,7 +409,7 @@ mod tests {
     #[test]
     fn end_to_end_matches_reference() {
         let a = block_diag(64);
-        let prepared = Pipeline::new().prepare(&a).unwrap();
+        let mut prepared = Pipeline::new().prepare(&a).unwrap();
         let n = a.rows() as usize;
         let x: Vec<f32> = (0..n).map(|i| (i % 7) as f32 - 3.0).collect();
 
@@ -443,7 +475,7 @@ mod tests {
             t.push((i, 63 - i, 1.0));
         }
         let b = Coo::from_triplets(64, 64, t).unwrap();
-        let prepared = Pipeline::new()
+        let mut prepared = Pipeline::new()
             .prepare_set(&[a.clone(), b.clone()])
             .unwrap();
         assert_eq!(prepared.len(), 2);
@@ -452,7 +484,7 @@ mod tests {
             prepared[1].selection.set.name()
         );
         // Both still execute correctly under the shared portfolio.
-        for (m, p) in [(&a, &prepared[0]), (&b, &prepared[1])] {
+        for (m, p) in [&a, &b].into_iter().zip(prepared.iter_mut()) {
             let x = vec![1.0f32; m.cols() as usize];
             let mut want = vec![0.0f32; m.rows() as usize];
             m.spmv(&x, &mut want).unwrap();
@@ -480,9 +512,24 @@ mod tests {
     }
 
     #[test]
+    fn prepared_plan_matches_schedule_prediction() {
+        // The plan is priced with the same cycle model the schedule sweep
+        // used, so its cached report must agree with the winner's
+        // prediction.
+        let a = block_diag(32);
+        let prepared = Pipeline::new().prepare(&a).unwrap();
+        assert_eq!(
+            prepared.plan.report().cycles,
+            prepared.best.predicted_cycles
+        );
+        assert_eq!(prepared.plan.n_instances(), prepared.encoded.n_instances());
+        assert!(prepared.timings.plan > Duration::ZERO);
+    }
+
+    #[test]
     fn execute_checks_dimensions() {
         let a = block_diag(4);
-        let prepared = Pipeline::new().prepare(&a).unwrap();
+        let mut prepared = Pipeline::new().prepare(&a).unwrap();
         let mut y = vec![0.0f32; 16];
         assert!(matches!(
             prepared.execute(&[1.0; 3], &mut y),

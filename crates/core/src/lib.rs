@@ -39,10 +39,12 @@
 //! }
 //! let a = Coo::from_triplets(32, 32, t).unwrap();
 //!
-//! // Preprocess: analyse, select templates, decompose, tile, schedule.
-//! let prepared = Pipeline::new().prepare(&a)?;
+//! // Preprocess: analyse, select templates, decompose, tile, schedule —
+//! // and build the reusable execution plan for the winning schedule.
+//! let mut prepared = Pipeline::new().prepare(&a)?;
 //!
-//! // Execute on the selected hardware configuration.
+//! // Execute on the selected hardware configuration (repeated calls
+//! // reuse the prepared plan: no per-call decode or allocation).
 //! let x = vec![1.0f32; 32];
 //! let mut y = vec![0.0f32; 32];
 //! let exec = prepared.execute(&x, &mut y)?;

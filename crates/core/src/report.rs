@@ -38,7 +38,7 @@ mod tests {
             t.push((i, (i + 3) % 128, 1.0));
         }
         let a = Coo::from_triplets(128, 128, t).unwrap();
-        let prepared = Pipeline::new().prepare(&a).unwrap();
+        let mut prepared = Pipeline::new().prepare(&a).unwrap();
         let mut y = vec![0.0f32; 128];
         let exec = prepared.execute(&vec![1.0; 128], &mut y).unwrap();
         let report = super::spasm_report(&prepared, &exec);

@@ -22,6 +22,13 @@
 //! [`spasm_format::TilingSummary`] without touching values
 //! ([`perf::estimate_cycles`]) — that is the `PERF_MODEL` of Algorithm 4,
 //! and tests pin it to the full simulation exactly.
+//!
+//! For repeated-SpMV workloads (iterative solvers, serving), use
+//! [`Accelerator::prepare`] to build an [`ExecutionPlan`] once per
+//! `(matrix, config)` pair: the plan caches the decoded instance stream,
+//! tile-row layout, LPT schedule and the full [`ExecReport`], and its
+//! [`ExecutionPlan::run`] is allocation-free at steady state while staying
+//! bit-identical to [`Accelerator::run`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -29,6 +36,7 @@
 mod config;
 mod pe;
 pub mod perf;
+mod plan;
 mod sim;
 pub mod timing;
 pub mod trace;
@@ -36,6 +44,7 @@ mod valu;
 
 pub use config::{ChannelRole, HwConfig, HBM_CHANNEL_GBS, PES_PER_GROUP, PES_PER_VALUE_CHANNEL};
 pub use pe::Pe;
+pub use plan::ExecutionPlan;
 pub use sim::{Accelerator, ExecReport, SimError, Traffic};
 pub use trace::{EventKind, ExecutionTrace, TraceEvent};
 pub use valu::{OpcodeError, OutNode, ValuOpcode};

@@ -1,0 +1,547 @@
+//! Prepared execution plans: amortise per-run setup for repeated SpMV.
+//!
+//! [`crate::Accelerator::run`] rebuilds everything that depends only on
+//! `(matrix, config)` on every call: the opcode LUT, the tile-row layout,
+//! the LPT assignment, cycle pricing and fresh scratch vectors. Iterative
+//! solvers and serving workloads run thousands of SpMVs against one
+//! prepared matrix, so [`crate::Accelerator::prepare`] hoists all of that
+//! into an [`ExecutionPlan`] built once:
+//!
+//! * the instance stream is pre-decoded into flat structure-of-arrays
+//!   form — per instance, the padded-x segment base, the y offset within
+//!   the owning tile row's window, the compiled VALU opcode and the four
+//!   value slots — so the hot loop never re-parses 32-bit position
+//!   encodings or re-derives tile bases;
+//! * the tile-row layout (instance spans, disjoint y windows), per-tile
+//!   lane statistics, [`TileJob`]s, the LPT assignment, per-group cycles,
+//!   traffic and the full [`ExecReport`] are computed once — the report is
+//!   a pure function of `(matrix, config)`, so [`ExecutionPlan::run`]
+//!   returns a reference to the cached value;
+//! * padded `x`/`y` scratch buffers are owned by the plan and reused, so
+//!   a steady-state [`ExecutionPlan::run`] performs no heap allocation
+//!   (asserted by the workspace's counting-allocator test).
+//!
+//! Thread fan-out across tile rows is gated on the `parallel` cargo
+//! feature and the ambient worker budget (`rayon::current_num_threads`
+//! from the vendored shim — the same budget `Parallelism` installs), with
+//! tile rows chunked contiguously and balanced by instance count. Tile
+//! rows own disjoint y windows and each row is processed in stream order,
+//! so the result is bit-identical for every thread count.
+
+use spasm_format::SpasmMatrix;
+
+use crate::config::HwConfig;
+use crate::pe::Pe;
+use crate::sim::{ExecReport, SimError, Traffic};
+use crate::timing::{self, TileJob};
+use crate::valu::ValuOpcode;
+
+/// Everything derivable from `(matrix, config)` alone, plus reusable
+/// scratch — see the [module docs](self) for the full inventory.
+///
+/// Build one with [`crate::Accelerator::prepare`], then call
+/// [`ExecutionPlan::run`] per SpMV. The output is bit-identical to
+/// [`crate::Accelerator::run`] on the same matrix.
+///
+/// # Examples
+///
+/// ```
+/// use spasm_format::{SpasmMatrix, SubmatrixMap};
+/// use spasm_hw::{Accelerator, HwConfig};
+/// use spasm_patterns::{DecompositionTable, TemplateSet};
+/// use spasm_sparse::Coo;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let coo = Coo::from_triplets(4, 4, vec![(0, 0, 2.0), (3, 1, -1.0)])?;
+/// let table = DecompositionTable::build(&TemplateSet::table_v_set(0));
+/// let m = SpasmMatrix::encode(&SubmatrixMap::from_coo(&coo), &table, 4)?;
+///
+/// let acc = Accelerator::new(HwConfig::spasm_4_1());
+/// let mut plan = acc.prepare(&m)?;
+/// for _ in 0..3 {
+///     let mut y = vec![0.0f32; 4];
+///     let report = plan.run(&[1.0, 2.0, 3.0, 4.0], &mut y)?;
+///     assert_eq!(y, vec![2.0, 0.0, 0.0, -2.0]);
+///     assert!(report.cycles > 0);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    config: HwConfig,
+    rows: u32,
+    cols: u32,
+    tile_size: u32,
+    // Pre-decoded SoA instance stream, in stream (tile) order. `x_base[i]`
+    // indexes the padded x scratch; `y_base[i]` is relative to the owning
+    // tile row's y window; `values` holds four slots per instance.
+    x_base: Vec<u32>,
+    y_base: Vec<u32>,
+    opcodes: Vec<ValuOpcode>,
+    values: Vec<f32>,
+    // Per worked tile row: instance span in the stream, y window in `yp`,
+    // and a prefix sum of instance counts for balanced chunking.
+    inst_ranges: Vec<(usize, usize)>,
+    window_spans: Vec<(usize, usize)>,
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+    cum_instances: Vec<usize>,
+    // Scheduling state, for introspection and the cached report.
+    assignment: Vec<Vec<TileJob>>,
+    report: ExecReport,
+    // Reusable padded scratch: `xp` for the operand, `yp` for the disjoint
+    // tile-row windows, `chunks` for the fan-out's row boundaries.
+    xp: Vec<f32>,
+    yp: Vec<f32>,
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+    chunks: Vec<usize>,
+}
+
+impl ExecutionPlan {
+    /// Builds the plan: pre-decodes the stream, lays out tile rows, runs
+    /// the LPT assignment and prices the execution once.
+    pub(crate) fn build(config: HwConfig, matrix: &SpasmMatrix) -> Result<Self, SimError> {
+        let pe = Pe::new(matrix.template_masks())?;
+        let tile_size = matrix.tile_size();
+        let xp_len = (matrix.cols() as usize).div_ceil(4) * 4;
+        let yp_len = (matrix.rows() as usize).div_ceil(4) * 4;
+
+        // Contiguous spans of same-tile-row tiles, in stream order.
+        let mut row_spans: Vec<(u32, usize, usize)> = Vec::new(); // (row, first, last)
+        for (i, tile) in matrix.tiles().iter().enumerate() {
+            match row_spans.last_mut() {
+                Some((row, _, end)) if *row == tile.tile_row => *end = i + 1,
+                _ => row_spans.push((tile.tile_row, i, i + 1)),
+            }
+        }
+
+        // Pre-decode every instance into SoA form and gather per-tile lane
+        // statistics (identical to what the simulator derived per run).
+        let n = matrix.n_instances();
+        let mut x_base = Vec::with_capacity(n);
+        let mut y_base = Vec::with_capacity(n);
+        let mut opcodes = Vec::with_capacity(n);
+        let mut jobs = Vec::with_capacity(matrix.tiles().len());
+        let encodings = matrix.encodings();
+        for tile in matrix.tiles() {
+            let col_base = tile.tile_col * tile_size;
+            let mut lanes = [0usize; 16];
+            for e in &encodings[tile.first_instance..tile.first_instance + tile.n_instances] {
+                lanes[(e.r_idx() as usize) % 16] += 1;
+                x_base.push(col_base + e.c_idx() * 4);
+                y_base.push(e.r_idx() * 4);
+                opcodes.push(pe.opcode(e.t_idx()));
+            }
+            jobs.push(TileJob {
+                tile_row: tile.tile_row,
+                tile_col: tile.tile_col,
+                n_instances: tile.n_instances,
+                max_lane_instances: timing::max_lane(&lanes),
+            });
+        }
+
+        // Tile-row layout: instance spans (tiles of a row are contiguous
+        // in the stream) and disjoint y windows over the padded scratch.
+        let mut inst_ranges = Vec::with_capacity(row_spans.len());
+        let mut window_spans = Vec::with_capacity(row_spans.len());
+        let mut cum_instances = Vec::with_capacity(row_spans.len() + 1);
+        cum_instances.push(0usize);
+        for &(row, first, last) in &row_spans {
+            let i0 = matrix.tiles()[first].first_instance;
+            let t = &matrix.tiles()[last - 1];
+            let i1 = t.first_instance + t.n_instances;
+            inst_ranges.push((i0, i1));
+            cum_instances.push(cum_instances.last().unwrap() + (i1 - i0));
+            let start = (row * tile_size) as usize;
+            let end = (((row + 1) * tile_size) as usize).min(yp_len);
+            window_spans.push((start, end));
+        }
+
+        // Timing: the same LPT assignment and cycle pricing the per-run
+        // simulator used, computed once.
+        let worked_row_heights = row_spans.iter().map(|&(row, _, _)| {
+            (matrix.rows() - (row * tile_size).min(matrix.rows())).min(tile_size)
+        });
+        let y_traffic = timing::y_bytes(worked_row_heights);
+        let x_traffic = matrix.tiles().len() as u64 * u64::from(tile_size) * 4;
+        let assignment = timing::lpt_assign(jobs, config.num_pe_groups, tile_size, &config);
+        let per_group_cycles: Vec<u64> = assignment
+            .iter()
+            .map(|a| timing::group_cycles(a, tile_size, &config))
+            .collect();
+
+        let traffic = Traffic {
+            matrix: 20 * n as u64,
+            x: x_traffic,
+            y: y_traffic,
+        };
+        let cycles = timing::total_cycles(&per_group_cycles, y_traffic, &config);
+        let seconds = config.cycles_to_seconds(cycles);
+        let flops = 2.0 * matrix.nnz() as f64 + matrix.rows() as f64;
+        let gflops = flops / seconds / 1e9;
+        let achieved_bandwidth_gbs = traffic.total() as f64 / seconds / 1e9;
+        let compute_utilization = gflops / config.peak_gflops();
+        let estimated_power_w = config.power_estimate_w(compute_utilization);
+        let report = ExecReport {
+            cycles,
+            seconds,
+            gflops,
+            achieved_bandwidth_gbs,
+            compute_utilization,
+            bandwidth_utilization: achieved_bandwidth_gbs / config.bandwidth_gbs(),
+            per_group_cycles,
+            traffic,
+            estimated_power_w,
+            energy_j: estimated_power_w * seconds,
+        };
+
+        Ok(ExecutionPlan {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            tile_size,
+            x_base,
+            y_base,
+            opcodes,
+            values: matrix.values().to_vec(),
+            inst_ranges,
+            window_spans,
+            cum_instances,
+            assignment,
+            report,
+            xp: vec![0.0; xp_len],
+            yp: vec![0.0; yp_len],
+            chunks: Vec::with_capacity(worker_budget().max(1) + 1),
+            config,
+        })
+    }
+
+    /// The hardware configuration this plan was priced on.
+    pub fn config(&self) -> &HwConfig {
+        &self.config
+    }
+
+    /// Matrix rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Matrix columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// The tile edge length of the encoded matrix.
+    pub fn tile_size(&self) -> u32 {
+        self.tile_size
+    }
+
+    /// Template instances in the pre-decoded stream.
+    pub fn n_instances(&self) -> usize {
+        self.opcodes.len()
+    }
+
+    /// Worked tile rows (each owns a disjoint y window).
+    pub fn n_tile_rows(&self) -> usize {
+        self.inst_ranges.len()
+    }
+
+    /// The LPT tile-to-group assignment computed at prepare time.
+    pub fn assignment(&self) -> &[Vec<TileJob>] {
+        &self.assignment
+    }
+
+    /// The cached execution report — a pure function of `(matrix,
+    /// config)`, identical to what every [`ExecutionPlan::run`] returns.
+    pub fn report(&self) -> &ExecReport {
+        &self.report
+    }
+
+    /// Executes `y += A·x` against the prepared matrix, returning the
+    /// cached report.
+    ///
+    /// Bit-identical to [`crate::Accelerator::run`] on the same matrix and
+    /// configuration, for every thread budget. Performs no heap allocation
+    /// at steady state when running serially (the parallel fan-out spawns
+    /// scoped threads, which allocate their stacks).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DimensionMismatch`] on operand length mismatches.
+    pub fn run(&mut self, x: &[f32], y: &mut [f32]) -> Result<&ExecReport, SimError> {
+        if x.len() != self.cols as usize {
+            return Err(SimError::DimensionMismatch {
+                expected: self.cols as usize,
+                actual: x.len(),
+                operand: "x",
+            });
+        }
+        if y.len() != self.rows as usize {
+            return Err(SimError::DimensionMismatch {
+                expected: self.rows as usize,
+                actual: y.len(),
+                operand: "y",
+            });
+        }
+        // The scratch tails beyond `x.len()` / the worked windows stay
+        // zero from construction, as the hardware's aligned buffers do.
+        self.xp[..x.len()].copy_from_slice(x);
+        self.yp.fill(0.0);
+        self.execute_tile_rows();
+        for (dst, src) in y.iter_mut().zip(&self.yp) {
+            *dst += *src;
+        }
+        Ok(&self.report)
+    }
+
+    /// Dispatches the functional pass over tile rows, fanning out only
+    /// when the `parallel` feature is on and the ambient budget allows.
+    fn execute_tile_rows(&mut self) {
+        #[cfg(feature = "parallel")]
+        {
+            let budget = worker_budget();
+            if budget >= 2 && self.inst_ranges.len() >= 2 {
+                self.execute_parallel(budget);
+                return;
+            }
+        }
+        for r in 0..self.inst_ranges.len() {
+            let (w0, w1) = self.window_spans[r];
+            let (i0, i1) = self.inst_ranges[r];
+            process_span(
+                &self.x_base,
+                &self.y_base,
+                &self.opcodes,
+                &self.values,
+                &self.xp,
+                &mut self.yp[w0..w1],
+                i0,
+                i1,
+            );
+        }
+    }
+
+    /// Parallel fan-out: tile rows are chunked contiguously, balanced by
+    /// instance count, one scoped worker per chunk. Chunks own disjoint
+    /// ascending spans of `yp`, and each worker processes its rows in
+    /// stream order, so the accumulation order per y element is identical
+    /// to the serial pass.
+    #[cfg(feature = "parallel")]
+    fn execute_parallel(&mut self, budget: usize) {
+        let n_rows = self.inst_ranges.len();
+        let parts = budget.min(n_rows);
+        let total = *self.cum_instances.last().expect("non-empty prefix");
+        self.chunks.clear();
+        self.chunks.push(0);
+        for t in 1..parts {
+            // First row boundary at or past this worker's share of the
+            // instance stream; clamped to stay strictly increasing.
+            let target = total * t / parts;
+            let b = self
+                .cum_instances
+                .partition_point(|&c| c < target)
+                .min(n_rows);
+            if b > *self.chunks.last().expect("seeded with 0") && b < n_rows {
+                self.chunks.push(b);
+            }
+        }
+        self.chunks.push(n_rows);
+
+        let ExecutionPlan {
+            x_base,
+            y_base,
+            opcodes,
+            values,
+            inst_ranges,
+            window_spans,
+            xp,
+            yp,
+            chunks,
+            ..
+        } = self;
+        let (x_base, y_base, opcodes, values, xp) = (&*x_base, &*y_base, &*opcodes, &*values, &*xp);
+        // Reborrow as shared slices so the spawn closures can Copy them.
+        let inst_ranges = inst_ranges.as_slice();
+        let window_spans = window_spans.as_slice();
+        std::thread::scope(|scope| {
+            let mut rest: &mut [f32] = yp;
+            let mut consumed = 0usize;
+            for w in chunks.windows(2) {
+                let (b0, b1) = (w[0], w[1]);
+                let start = window_spans[b0].0;
+                let end = window_spans[b1 - 1].1;
+                let (_skip, tail) = rest.split_at_mut(start - consumed);
+                let (chunk_y, tail) = tail.split_at_mut(end - start);
+                rest = tail;
+                consumed = end;
+                scope.spawn(move || {
+                    for r in b0..b1 {
+                        let (i0, i1) = inst_ranges[r];
+                        let (w0, w1) = window_spans[r];
+                        process_span(
+                            x_base,
+                            y_base,
+                            opcodes,
+                            values,
+                            xp,
+                            &mut chunk_y[w0 - start..w1 - start],
+                            i0,
+                            i1,
+                        );
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The worker budget the fan-out may use (always 1 in serial builds).
+#[cfg(feature = "parallel")]
+fn worker_budget() -> usize {
+    rayon::current_num_threads()
+}
+
+#[cfg(not(feature = "parallel"))]
+fn worker_budget() -> usize {
+    1
+}
+
+/// The hot loop: instances `[i0, i1)` of one tile row, accumulated into
+/// the row's y window. Pure SoA reads — no encoding parsing, no base
+/// derivation, no bounds re-computation beyond the slice indexing.
+#[allow(clippy::too_many_arguments)]
+fn process_span(
+    x_base: &[u32],
+    y_base: &[u32],
+    opcodes: &[ValuOpcode],
+    values: &[f32],
+    xp: &[f32],
+    window: &mut [f32],
+    i0: usize,
+    i1: usize,
+) {
+    for i in i0..i1 {
+        let c0 = x_base[i] as usize;
+        let x_seg = [xp[c0], xp[c0 + 1], xp[c0 + 2], xp[c0 + 3]];
+        let v = [
+            values[4 * i],
+            values[4 * i + 1],
+            values[4 * i + 2],
+            values[4 * i + 3],
+        ];
+        let out = opcodes[i].execute(v, x_seg);
+        let r0 = y_base[i] as usize;
+        // Same accumulation order as `Pe::process_instance`.
+        window[r0] += out[0];
+        window[r0 + 1] += out[1];
+        window[r0 + 2] += out[2];
+        window[r0 + 3] += out[3];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Accelerator, HwConfig, SimError};
+    use spasm_format::{SpasmMatrix, SubmatrixMap};
+    use spasm_patterns::{DecompositionTable, TemplateSet};
+    use spasm_sparse::Coo;
+
+    fn encode(coo: &Coo, tile: u32) -> SpasmMatrix {
+        let table = DecompositionTable::build(&TemplateSet::table_v_set(0));
+        SpasmMatrix::encode(&SubmatrixMap::from_coo(coo), &table, tile).unwrap()
+    }
+
+    fn sample(n: u32) -> Coo {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            t.push((i, (i * 7 + 3) % n, 0.5));
+            if i + 1 < n {
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        Coo::from_triplets(n, n, t).unwrap()
+    }
+
+    #[test]
+    fn plan_matches_run_bit_for_bit() {
+        let coo = sample(100);
+        let x: Vec<f32> = (0..100).map(|i| (i as f32) * 0.25 - 10.0).collect();
+        for tile in [16u32, 64, 256] {
+            let m = encode(&coo, tile);
+            let acc = Accelerator::new(HwConfig::spasm_4_1());
+            let mut want = vec![0.5f32; 100];
+            let want_rep = acc.run(&m, &x, &mut want).unwrap();
+
+            let mut plan = acc.prepare(&m).unwrap();
+            let mut got = vec![0.5f32; 100];
+            let got_rep = plan.run(&x, &mut got).unwrap();
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "tile {tile}"
+            );
+            assert_eq!(*got_rep, want_rep, "tile {tile}");
+            assert_eq!(*plan.report(), want_rep);
+        }
+    }
+
+    #[test]
+    fn plan_reuse_does_not_drift() {
+        let coo = sample(64);
+        let m = encode(&coo, 32);
+        let acc = Accelerator::new(HwConfig::spasm_3_2());
+        let mut plan = acc.prepare(&m).unwrap();
+        let x: Vec<f32> = (0..64).map(|i| ((i % 9) as f32) * 0.5 - 2.0).collect();
+        let mut first = vec![0.25f32; 64];
+        plan.run(&x, &mut first).unwrap();
+        for _ in 0..10 {
+            let mut y = vec![0.25f32; 64];
+            plan.run(&x, &mut y).unwrap();
+            assert_eq!(
+                y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                first.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn plan_checks_dimensions() {
+        let m = encode(&sample(16), 16);
+        let mut plan = Accelerator::new(HwConfig::spasm_3_2()).prepare(&m).unwrap();
+        let mut y = vec![0.0f32; 16];
+        assert!(matches!(
+            plan.run(&[1.0; 4], &mut y),
+            Err(SimError::DimensionMismatch { operand: "x", .. })
+        ));
+        let mut y_bad = vec![0.0f32; 4];
+        assert!(matches!(
+            plan.run(&[1.0; 16], &mut y_bad),
+            Err(SimError::DimensionMismatch { operand: "y", .. })
+        ));
+    }
+
+    #[test]
+    fn plan_exposes_prepared_state() {
+        let m = encode(&sample(64), 16);
+        let cfg = HwConfig::spasm_4_1();
+        let plan = Accelerator::new(cfg.clone()).prepare(&m).unwrap();
+        assert_eq!(plan.config(), &cfg);
+        assert_eq!(plan.rows(), 64);
+        assert_eq!(plan.cols(), 64);
+        assert_eq!(plan.tile_size(), 16);
+        assert_eq!(plan.n_instances(), m.n_instances());
+        assert_eq!(plan.assignment().len(), cfg.num_pe_groups as usize);
+        assert!(plan.n_tile_rows() > 0);
+    }
+
+    #[test]
+    fn empty_matrix_plan_runs() {
+        let m = encode(&Coo::new(8, 8), 8);
+        let mut plan = Accelerator::new(HwConfig::spasm_4_1()).prepare(&m).unwrap();
+        let mut y = vec![0.0f32; 8];
+        let rep = plan.run(&[1.0; 8], &mut y).unwrap().clone();
+        assert_eq!(y, vec![0.0; 8]);
+        assert_eq!(rep.cycles, crate::timing::INIT_CYCLES);
+        assert_eq!(plan.n_tile_rows(), 0);
+    }
+}

@@ -6,8 +6,7 @@ use std::fmt;
 use spasm_format::SpasmMatrix;
 
 use crate::config::HwConfig;
-use crate::pe::Pe;
-use crate::timing::{self, TileJob};
+use crate::plan::ExecutionPlan;
 use crate::valu::OpcodeError;
 
 /// Errors from running the simulator.
@@ -136,12 +135,29 @@ impl Accelerator {
         &self.config
     }
 
+    /// Builds a prepared [`ExecutionPlan`] for `matrix`: everything that
+    /// depends only on `(matrix, config)` — pre-decoded instance stream,
+    /// tile-row layout, LPT assignment, cycle pricing, scratch buffers —
+    /// is computed once, so repeated [`ExecutionPlan::run`] calls only do
+    /// the functional pass.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Opcode`] if the matrix's portfolio is not realisable.
+    pub fn prepare(&self, matrix: &SpasmMatrix) -> Result<ExecutionPlan, SimError> {
+        ExecutionPlan::build(self.config.clone(), matrix)
+    }
+
     /// Executes `y += A·x` on the encoded matrix, returning the cycle count
     /// and derived metrics.
     ///
     /// Functionally, every MAC goes through the VALU opcode datapath (the
     /// PE model); the result is bit-identical to
     /// [`SpasmMatrix::spmv`].
+    ///
+    /// This is a thin wrapper over [`Accelerator::prepare`] +
+    /// [`ExecutionPlan::run`]; callers executing many SpMVs on one matrix
+    /// should prepare once and reuse the plan.
     ///
     /// # Errors
     ///
@@ -167,140 +183,16 @@ impl Accelerator {
                 operand: "y",
             });
         }
-        let pe = Pe::new(matrix.template_masks())?;
-        let tile_size = matrix.tile_size();
-
-        // Pad x and y to multiples of 4 so submatrix windows at the matrix
-        // edge index cleanly, as the hardware's aligned buffers do.
-        let xp_len = (matrix.cols() as usize).div_ceil(4) * 4;
-        let yp_len = (matrix.rows() as usize).div_ceil(4) * 4;
-        let mut xp = vec![0.0f32; xp_len];
-        xp[..x.len()].copy_from_slice(x);
-        let mut yp = vec![0.0f32; yp_len];
-
-        // Functional pass + per-tile lane statistics (identical to what
-        // TilingSummary computes from submatrix coordinates). Tile rows
-        // own disjoint y ranges, so rows execute in parallel — mirroring
-        // the hardware, where different groups' partial sums only meet in
-        // the merge unit.
-        let mut row_spans: Vec<(u32, usize, usize)> = Vec::new(); // (row, first, last)
-        for (i, tile) in matrix.tiles().iter().enumerate() {
-            match row_spans.last_mut() {
-                Some((row, _, end)) if *row == tile.tile_row => *end = i + 1,
-                _ => row_spans.push((tile.tile_row, i, i + 1)),
-            }
-        }
-        let worked_row_heights: Vec<u32> = row_spans
-            .iter()
-            .map(|&(row, _, _)| {
-                (matrix.rows() - (row * tile_size).min(matrix.rows())).min(tile_size)
-            })
-            .collect();
-        let x_traffic = matrix.tiles().len() as u64 * u64::from(tile_size) * 4;
-
-        // Split yp into per-tile-row windows (disjoint by construction).
-        let mut y_windows: Vec<&mut [f32]> = Vec::with_capacity(row_spans.len());
-        let mut rest: &mut [f32] = &mut yp;
-        let mut offset = 0usize;
-        for &(row, _, _) in &row_spans {
-            let start = (row * tile_size) as usize;
-            let end = ((row + 1) * tile_size) as usize;
-            let end = end.min(offset + rest.len());
-            let (skip, tail) = rest.split_at_mut(start - offset);
-            let (window, tail) = tail.split_at_mut(end - start);
-            let _ = skip;
-            y_windows.push(window);
-            rest = tail;
-            offset = end;
-        }
-
-        let xp_ref = &xp;
-        let pe_ref = &pe;
-        let jobs: Vec<TileJob> = std::thread::scope(|scope| {
-            let handles: Vec<_> = row_spans
-                .iter()
-                .zip(y_windows)
-                .map(|(&(_, first, last), y_window)| {
-                    let tiles = &matrix.tiles()[first..last];
-                    scope.spawn(move || {
-                        let mut row_jobs = Vec::with_capacity(tiles.len());
-                        for tile in tiles {
-                            let row_base = (tile.tile_row * tile_size) as usize;
-                            let col_base = tile.tile_col * tile_size;
-                            let mut lanes = [0usize; 16];
-                            for inst in matrix.tile_instances(tile) {
-                                let e = inst.encoding;
-                                lanes[(e.r_idx() as usize) % 16] += 1;
-                                let c0 = (col_base + e.c_idx() * 4) as usize;
-                                let r0 =
-                                    (tile.tile_row * tile_size + e.r_idx() * 4) as usize - row_base;
-                                let x_seg =
-                                    [xp_ref[c0], xp_ref[c0 + 1], xp_ref[c0 + 2], xp_ref[c0 + 3]];
-                                let y_seg: &mut [f32; 4] = (&mut y_window[r0..r0 + 4])
-                                    .try_into()
-                                    .expect("padded window");
-                                pe_ref.process_instance(&inst, x_seg, y_seg);
-                            }
-                            row_jobs.push(TileJob {
-                                tile_row: tile.tile_row,
-                                tile_col: tile.tile_col,
-                                n_instances: tile.n_instances,
-                                max_lane_instances: timing::max_lane(&lanes),
-                            });
-                        }
-                        row_jobs
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("tile-row worker"))
-                .collect()
-        });
-        for (dst, src) in y.iter_mut().zip(&yp) {
-            *dst += src;
-        }
-
-        // Timing: the same LPT assignment and cycle pricing the perf model
-        // uses.
-        let y_traffic = timing::y_bytes(worked_row_heights);
-        let assignment =
-            timing::lpt_assign(jobs, self.config.num_pe_groups, tile_size, &self.config);
-        let per_group_cycles: Vec<u64> = assignment
-            .iter()
-            .map(|a| timing::group_cycles(a, tile_size, &self.config))
-            .collect();
-
-        let traffic = Traffic {
-            matrix: 20 * matrix.n_instances() as u64,
-            x: x_traffic,
-            y: y_traffic,
-        };
-        let cycles = timing::total_cycles(&per_group_cycles, y_traffic, &self.config);
-        let seconds = self.config.cycles_to_seconds(cycles);
-        let flops = 2.0 * matrix.nnz() as f64 + matrix.rows() as f64;
-        let gflops = flops / seconds / 1e9;
-        let achieved_bandwidth_gbs = traffic.total() as f64 / seconds / 1e9;
-        let compute_utilization = gflops / self.config.peak_gflops();
-        let estimated_power_w = self.config.power_estimate_w(compute_utilization);
-        Ok(ExecReport {
-            cycles,
-            seconds,
-            gflops,
-            achieved_bandwidth_gbs,
-            compute_utilization,
-            bandwidth_utilization: achieved_bandwidth_gbs / self.config.bandwidth_gbs(),
-            per_group_cycles,
-            traffic,
-            estimated_power_w,
-            energy_j: estimated_power_w * seconds,
-        })
+        let mut plan = self.prepare(matrix)?;
+        let report = plan.run(x, y)?;
+        Ok(report.clone())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::timing;
     use spasm_format::SubmatrixMap;
     use spasm_patterns::{DecompositionTable, TemplateSet};
     use spasm_sparse::{Coo, SpMv};

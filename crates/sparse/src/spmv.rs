@@ -103,11 +103,15 @@ impl SpMv for Csr {
 }
 
 impl Csr {
-    /// `y += A·x` with the rows partitioned into contiguous chunks that run
-    /// on separate threads. Each chunk owns a disjoint `y` range, so no
-    /// locks are needed, and each row is accumulated by the same scalar
-    /// kernel as [`SpMv::spmv`] — the result is bit-for-bit identical to the
-    /// serial product for any thread count.
+    /// `y += A·x` with the rows partitioned into contiguous,
+    /// **nnz-balanced** chunks that run on separate threads: chunk
+    /// boundaries are found by binary search on `row_ptr` so each worker
+    /// owns roughly `nnz / threads` non-zeros, which keeps power-law
+    /// matrices (a few dense rows, many near-empty ones) from serialising
+    /// behind one overloaded worker. Each chunk owns a disjoint `y` range,
+    /// so no locks are needed, and each row is accumulated by the same
+    /// scalar kernel as [`SpMv::spmv`] — the result is bit-for-bit
+    /// identical to the serial product for any thread count.
     ///
     /// Without the `parallel` feature (or with a single worker) this is the
     /// serial kernel.
@@ -124,17 +128,43 @@ impl Csr {
 
     #[cfg(feature = "parallel")]
     fn spmv_parallel_inner(&self, x: &[Value], y: &mut [Value]) {
-        use rayon::prelude::*;
-
         let rows = y.len();
         let threads = rayon::current_num_threads();
         if threads < 2 || rows < 2 {
             csr_row_range(self, x, y, 0);
             return;
         }
-        let chunk = rows.div_ceil(threads);
-        y.par_chunks_mut(chunk).enumerate().for_each(|(ci, out)| {
-            csr_row_range(self, x, out, ci * chunk);
+        // Row boundaries where the cumulative non-zero count crosses each
+        // worker's share; strictly increasing, so every chunk is non-empty
+        // and runs of empty rows attach to one worker.
+        let ptr = self.row_ptr();
+        let nnz = ptr[rows];
+        let parts = threads.min(rows);
+        let mut bounds = Vec::with_capacity(parts + 1);
+        bounds.push(0usize);
+        for t in 1..parts {
+            let target = nnz * t / parts;
+            let b = ptr.partition_point(|&c| c < target).min(rows);
+            if b > *bounds.last().expect("seeded with 0") && b < rows {
+                bounds.push(b);
+            }
+        }
+        bounds.push(rows);
+        if bounds.len() < 3 {
+            csr_row_range(self, x, y, 0);
+            return;
+        }
+        let mut chunks: Vec<(usize, &mut [Value])> = Vec::with_capacity(bounds.len() - 1);
+        let mut rest = y;
+        for w in bounds.windows(2) {
+            let (chunk, tail) = rest.split_at_mut(w[1] - w[0]);
+            chunks.push((w[0], chunk));
+            rest = tail;
+        }
+        std::thread::scope(|scope| {
+            for (first, out) in chunks {
+                scope.spawn(move || csr_row_range(self, x, out, first));
+            }
         });
     }
 

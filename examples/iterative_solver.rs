@@ -64,12 +64,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut p = r.clone();
     let mut rs_old = dot(&r, &r);
 
-    let acc = prepared.accelerator();
+    // The pipeline built an execution plan at prepare time; every CG
+    // iteration reuses it — no per-SpMV decode, scheduling or allocation.
+    let mut plan = prepared.plan;
     let mut simulated_seconds = 0.0f64;
     let mut iterations = 0usize;
+    let mut ap = vec![0.0f32; n];
     for iter in 0..500 {
-        let mut ap = vec![0.0f32; n];
-        let exec = acc.run(&prepared.encoded, &p, &mut ap)?;
+        ap.fill(0.0);
+        let exec = plan.run(&p, &mut ap)?;
         simulated_seconds += exec.seconds;
 
         let alpha = rs_old / dot(&p, &ap);

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Preprocess: pattern analysis, template selection, decomposition,
     // tiling and schedule exploration (workflow steps 1-5).
-    let prepared = Pipeline::new().prepare(&a)?;
+    let mut prepared = Pipeline::new().prepare(&a)?;
     println!(
         "selected portfolio: {} ({} templates), paddings: {}",
         prepared.selection.set.name(),

@@ -1,0 +1,106 @@
+//! Asserts the prepared-plan steady-state contract: once built (and the
+//! pipeline warmed), `ExecutionPlan::run` performs **zero** heap
+//! allocations per call — the scratch buffers, report and schedule are all
+//! owned by the plan.
+//!
+//! A counting global allocator is armed only around the measured window,
+//! so the (allocation-heavy) build phase does not pollute the count. The
+//! window runs under a serial worker budget: spawning OS threads
+//! inherently allocates, and the contract is about per-call *work*, not
+//! about the fan-out machinery.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use spasm::{Parallelism, Pipeline, PipelineOptions};
+use spasm_sparse::SpMv;
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Counts heap allocations performed while `f` runs.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn plan_run_is_allocation_free_at_steady_state() {
+    let mut t = Vec::new();
+    for i in 0..256u32 {
+        t.push((i, i, 2.0));
+        t.push((i, (i * 5 + 2) % 256, 0.5));
+        if i + 1 < 256 {
+            t.push((i + 1, i, -0.25));
+        }
+    }
+    let a = spasm_sparse::Coo::from_triplets(256, 256, t).unwrap();
+    let prepared =
+        Pipeline::with_options(PipelineOptions::default().parallelism(Parallelism::Serial))
+            .prepare(&a)
+            .unwrap();
+    let mut plan = prepared.accelerator().prepare(&prepared.encoded).unwrap();
+
+    let x: Vec<f32> = (0..256).map(|i| ((i % 9) as f32) * 0.5 - 2.0).collect();
+    let mut y = vec![0.0f32; 256];
+
+    // Pin the plan to a serial budget for the measured window, and warm it
+    // up (the very first run is already allocation-free, but the warm-up
+    // keeps the test about steady state, not first-call behaviour).
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        for _ in 0..3 {
+            plan.run(&x, &mut y).unwrap();
+        }
+        let allocs = count_allocs(|| {
+            for _ in 0..50 {
+                plan.run(&x, &mut y).unwrap();
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "ExecutionPlan::run allocated {allocs} times over 50 steady-state calls"
+        );
+    });
+
+    // The outputs stay correct after the counted window (sanity check that
+    // the runs above actually did work).
+    y.fill(0.0);
+    plan.run(&x, &mut y).unwrap();
+    let mut want = vec![0.0f32; 256];
+    spasm_sparse::Csr::from(&a).spmv(&x, &mut want).unwrap();
+    for (g, w) in y.iter().zip(&want) {
+        assert!((g - w).abs() <= 1e-3 * (1.0 + w.abs()), "{g} vs {w}");
+    }
+}

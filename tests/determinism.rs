@@ -156,6 +156,114 @@ fn parallel_csr_spmv_is_bit_exact() {
 }
 
 #[test]
+fn skewed_csr_spmv_parallel_is_bit_exact() {
+    // Power-law shape: row 0 is dense, a few heavy rows, a long tail of
+    // empty rows — the case nnz-balanced partitioning exists for. Results
+    // must still be bit-identical for every budget.
+    let mut t: Vec<(u32, u32, f32)> = (0..400u32)
+        .map(|c| (0, c, 0.25 * ((c % 7) as f32)))
+        .collect();
+    for r in 1..5u32 {
+        for c in 0..60u32 {
+            t.push((r, c * 6 % 400, 0.5));
+        }
+    }
+    t.push((299, 399, 1.75)); // lone entry after a run of empty rows
+    let m = Coo::from_triplets(300, 400, t).unwrap();
+    let csr = Csr::from(&m);
+    let x: Vec<f32> = (0..400).map(|i| ((i % 11) as f32) * 0.5 - 2.0).collect();
+
+    let mut serial = vec![0.25f32; 300];
+    csr.spmv(&x, &mut serial).unwrap();
+    for budget in [1usize, 2, 7, 16, 300] {
+        let mut par = vec![0.25f32; 300];
+        with_budget(budget, || csr.spmv_parallel(&x, &mut par)).unwrap();
+        assert_eq!(
+            par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "skewed parallel CSR SpMV drifted at {budget} threads"
+        );
+    }
+}
+
+#[test]
+fn plan_run_is_thread_count_invariant() {
+    // The prepared plan's tile-row fan-out must be invisible: y bits and
+    // the ExecReport must match the one-shot simulator for every budget.
+    let m = random_coo(0xDE7_0008, 220, 160, 1_800);
+    let prepared = pipeline(Parallelism::Serial).prepare(&m).unwrap();
+    let acc = prepared.accelerator();
+    let x: Vec<f32> = (0..160).map(|i| ((i % 9) as f32) * 0.5 - 2.0).collect();
+
+    let mut want = vec![0.5f32; 220];
+    let want_report = with_budget(1, || acc.run(&prepared.encoded, &x, &mut want)).unwrap();
+    let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+
+    for budget in [1usize, 2, 7, 16] {
+        let mut plan = acc.prepare(&prepared.encoded).unwrap();
+        let mut y = vec![0.5f32; 220];
+        let report = with_budget(budget, || plan.run(&x, &mut y).cloned()).unwrap();
+        assert_eq!(
+            y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want_bits,
+            "plan.run y drifted at {budget} threads"
+        );
+        assert_eq!(
+            report, want_report,
+            "ExecReport drifted at {budget} threads"
+        );
+    }
+}
+
+#[test]
+fn plan_reuse_has_no_drift() {
+    // One plan, 100 runs: identical bits every time (the scratch buffers
+    // must be fully re-initialised per call).
+    let m = random_coo(0xDE7_0009, 130, 130, 900);
+    let prepared = pipeline(Parallelism::Serial).prepare(&m).unwrap();
+    let mut plan = prepared.accelerator().prepare(&prepared.encoded).unwrap();
+    let x: Vec<f32> = (0..130).map(|i| ((i % 5) as f32) * 0.25 - 0.5).collect();
+
+    let mut first = vec![1.5f32; 130];
+    let first_report = plan.run(&x, &mut first).unwrap().clone();
+    let first_bits: Vec<u32> = first.iter().map(|v| v.to_bits()).collect();
+    for i in 1..100 {
+        let mut y = vec![1.5f32; 130];
+        let report = plan.run(&x, &mut y).unwrap().clone();
+        assert_eq!(
+            y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            first_bits,
+            "plan output drifted on reuse {i}"
+        );
+        assert_eq!(report, first_report, "report drifted on reuse {i}");
+    }
+}
+
+#[test]
+fn pipeline_execute_is_thread_count_invariant() {
+    // Prepared::execute runs the plan under the pipeline's own budget;
+    // every budget must produce the serial bits.
+    let m = random_coo(0xDE7_000A, 150, 150, 1_200);
+    let x: Vec<f32> = (0..150).map(|i| ((i % 7) as f32) * 0.5 - 1.0).collect();
+
+    let mut serial_prepared = pipeline(Parallelism::Serial).prepare(&m).unwrap();
+    let mut want = vec![0.0f32; 150];
+    serial_prepared.execute(&x, &mut want).unwrap();
+    let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+
+    for budget in [2usize, 7, 16] {
+        let mut prepared = pipeline(Parallelism::Threads(budget)).prepare(&m).unwrap();
+        let mut y = vec![0.0f32; 150];
+        prepared.execute(&x, &mut y).unwrap();
+        assert_eq!(
+            y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want_bits,
+            "Prepared::execute drifted at {budget} threads"
+        );
+    }
+}
+
+#[test]
 fn timings_record_the_budget() {
     let m = random_coo(0xDE7_0007, 64, 64, 200);
     let serial = pipeline(Parallelism::Serial).prepare(&m).unwrap();

@@ -15,7 +15,34 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use spasm::Pipeline;
+use spasm_format::SpasmMatrix;
+use spasm_hw::Accelerator;
 use spasm_sparse::{Bsr, Coo, Csc, Csr, Dia, Ell, SpMv};
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Asserts the prepared-plan path is *bit-identical* to the one-shot
+/// simulator: same y bits (even though both differ from CSR within
+/// tolerance) and an identical `ExecReport`.
+fn assert_plan_matches_run(acc: &Accelerator, m: &SpasmMatrix, x: &[f32]) {
+    let mut y_run = vec![0.25f32; m.rows() as usize];
+    let run_report = acc.run(m, x, &mut y_run).unwrap();
+
+    let mut plan = acc.prepare(m).unwrap();
+    let mut y_plan = vec![0.25f32; m.rows() as usize];
+    let plan_report = plan.run(x, &mut y_plan).unwrap().clone();
+
+    assert_eq!(
+        bits(&y_plan),
+        bits(&y_run),
+        "plan.run vs Accelerator::run on {}x{}",
+        m.rows(),
+        m.cols()
+    );
+    assert_eq!(plan_report, run_report, "ExecReport mismatch");
+}
 
 /// Random triplets with exactly-representable values (multiples of 0.25).
 fn random_coo(rng: &mut SmallRng, rows: u32, cols: u32, n_entries: usize) -> Coo {
@@ -42,7 +69,7 @@ fn assert_pipeline_matches_csr(m: &Coo) {
     let mut want = vec![0.0f32; m.rows() as usize];
     Csr::from(m).spmv(&x, &mut want).unwrap();
 
-    let prepared = Pipeline::new().prepare(m).unwrap();
+    let mut prepared = Pipeline::new().prepare(m).unwrap();
     let mut got = vec![0.0f32; m.rows() as usize];
     prepared.execute(&x, &mut got).unwrap();
     for (r, (g, w)) in got.iter().zip(&want).enumerate() {
@@ -54,6 +81,10 @@ fn assert_pipeline_matches_csr(m: &Coo) {
             m.nnz()
         );
     }
+
+    // The prepared plan must also be bit-identical to the one-shot
+    // simulator on this matrix.
+    assert_plan_matches_run(&prepared.accelerator(), &prepared.encoded, &x);
 }
 
 /// Asserts every format's SpMv output is bit-identical to CSR's.
@@ -196,7 +227,7 @@ fn accumulation_into_nonzero_y() {
     let mut want = vec![1.5f32; 48];
     Csr::from(&m).spmv(&x, &mut want).unwrap();
 
-    let prepared = Pipeline::new().prepare(&m).unwrap();
+    let mut prepared = Pipeline::new().prepare(&m).unwrap();
     let mut got = vec![1.5f32; 48];
     prepared.execute(&x, &mut got).unwrap();
     for (g, w) in got.iter().zip(&want) {

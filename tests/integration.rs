@@ -25,7 +25,7 @@ fn pipeline_correct_on_all_workload_classes() {
     ];
     for w in picks {
         let a = w.generate(Scale::Small);
-        let prepared = Pipeline::new().prepare(&a).unwrap_or_else(|e| {
+        let mut prepared = Pipeline::new().prepare(&a).unwrap_or_else(|e| {
             panic!("{w}: prepare failed: {e}");
         });
         let n = a.cols() as usize;
@@ -123,7 +123,7 @@ fn spasm_beats_fpga_baselines_on_patterned_matrices() {
     for w in [Workload::Raefsky3, Workload::X104, Workload::MlLaplace] {
         let a = w.generate(Scale::Small);
         let profile = MatrixProfile::from_coo(&a);
-        let prepared = Pipeline::new().prepare(&a).unwrap();
+        let mut prepared = Pipeline::new().prepare(&a).unwrap();
         let mut y = vec![0.0f32; a.rows() as usize];
         let exec = prepared
             .execute(&vec![1.0; a.cols() as usize], &mut y)
@@ -198,13 +198,13 @@ fn shared_portfolio_across_workload_set() {
         .iter()
         .map(|w| w.generate(Scale::Small))
         .collect();
-    let prepared = Pipeline::new().prepare_set(&set).unwrap();
+    let mut prepared = Pipeline::new().prepare_set(&set).unwrap();
     let names: Vec<_> = prepared.iter().map(|p| p.selection.set.name()).collect();
     assert!(
         names.windows(2).all(|w| w[0] == w[1]),
         "one portfolio: {names:?}"
     );
-    for (m, p) in set.iter().zip(&prepared) {
+    for (m, p) in set.iter().zip(&mut prepared) {
         let x = vec![1.0f32; m.cols() as usize];
         let mut want = vec![0.0f32; m.rows() as usize];
         Csr::from(m).spmv(&x, &mut want).unwrap();
@@ -238,7 +238,7 @@ fn dbb_portfolio_on_pruned_weights() {
 #[test]
 fn trace_matches_pipeline_execution() {
     let a = Workload::Chebyshev4.generate(Scale::Small);
-    let prepared = Pipeline::new().prepare(&a).unwrap();
+    let mut prepared = Pipeline::new().prepare(&a).unwrap();
     let mut y = vec![0.0f32; a.rows() as usize];
     let exec = prepared
         .execute(&vec![1.0; a.cols() as usize], &mut y)

@@ -21,7 +21,7 @@ proptest! {
     /// End-to-end: prepare + execute equals CSR SpMV.
     #[test]
     fn pipeline_is_correct(m in arb_matrix()) {
-        let prepared = Pipeline::new().prepare(&m).unwrap();
+        let mut prepared = Pipeline::new().prepare(&m).unwrap();
         let x: Vec<f32> = (0..m.cols()).map(|i| ((i % 11) as f32) * 0.5 - 2.0).collect();
         let mut want = vec![0.0f32; m.rows() as usize];
         Csr::from(&m).spmv(&x, &mut want).unwrap();
