@@ -1,7 +1,7 @@
 use std::fmt;
 
 use spasm_format::FormatError;
-use spasm_hw::OpcodeError;
+use spasm_hw::{IntegrityCheck, OpcodeError};
 
 /// Errors from running the SPASM pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +22,14 @@ pub enum PipelineError {
     },
     /// The schedule exploration had nothing to explore.
     EmptySearchSpace(&'static str),
+    /// An integrity check failed and the policy forbade (or repair plus
+    /// fallback could not restore) a correct result.
+    Integrity {
+        /// The tile row that first failed verification.
+        tile_row: u32,
+        /// Which check detected the corruption.
+        check: IntegrityCheck,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -41,6 +49,9 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::EmptySearchSpace(what) => {
                 write!(f, "schedule exploration requires at least one {what}")
+            }
+            PipelineError::Integrity { tile_row, check } => {
+                write!(f, "integrity failure in tile row {tile_row}: {check}")
             }
         }
     }
@@ -81,6 +92,9 @@ impl From<spasm_hw::SimError> for PipelineError {
                 operand,
             },
             spasm_hw::SimError::Opcode(o) => PipelineError::Opcode(o),
+            spasm_hw::SimError::Integrity { tile_row, check } => {
+                PipelineError::Integrity { tile_row, check }
+            }
             _ => PipelineError::EmptySearchSpace("unknown simulator error"),
         }
     }

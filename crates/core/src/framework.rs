@@ -3,12 +3,15 @@
 use std::time::{Duration, Instant};
 
 use spasm_format::{SpasmMatrix, SubmatrixMap};
-use spasm_hw::{Accelerator, ExecReport, ExecutionPlan, HwConfig};
+use spasm_hw::{
+    Accelerator, ExecReport, ExecutionPlan, HealthReport, HwConfig, IntegrityCheck, VerifyScope,
+};
 use spasm_patterns::selection::{self, TopN};
 use spasm_patterns::{SelectionOutcome, TemplateSet};
-use spasm_sparse::Coo;
+use spasm_sparse::{Coo, Csr, SpMv};
 
 use crate::error::PipelineError;
+use crate::integrity::{IntegrityMode, IntegrityPolicy};
 use crate::schedule::{self, ScheduleCandidate, ScheduleChoice};
 
 /// Pipeline configuration: which portfolios, tile sizes and hardware
@@ -35,6 +38,10 @@ pub struct PipelineOptions {
     /// trades wall-clock for cores. Serial mode is kept for debugging and
     /// as the oracle side of the determinism tests.
     pub parallelism: Parallelism,
+    /// How much of each execution is verified, and whether unrepairable
+    /// corruption falls back to the golden CSR path (default:
+    /// [`IntegrityPolicy::off`]).
+    pub integrity: IntegrityPolicy,
 }
 
 impl Default for PipelineOptions {
@@ -45,6 +52,7 @@ impl Default for PipelineOptions {
             tile_sizes: schedule::default_tile_sizes(),
             configs: HwConfig::shipped(),
             parallelism: Parallelism::Auto,
+            integrity: IntegrityPolicy::off(),
         }
     }
 }
@@ -67,6 +75,12 @@ impl PipelineOptions {
     /// Sets the preprocessing thread budget.
     pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the execution integrity policy.
+    pub fn integrity(mut self, integrity: IntegrityPolicy) -> Self {
+        self.integrity = integrity;
         self
     }
 }
@@ -105,11 +119,15 @@ impl Parallelism {
 /// disabled this is the identity: everything already runs serially.
 #[cfg(feature = "parallel")]
 fn with_parallelism<R>(parallelism: Parallelism, f: impl FnOnce() -> R) -> R {
-    rayon::ThreadPoolBuilder::new()
+    match rayon::ThreadPoolBuilder::new()
         .num_threads(parallelism.resolved_threads())
         .build()
-        .expect("vendored rayon pool builder is infallible")
-        .install(f)
+    {
+        Ok(pool) => pool.install(f),
+        // The vendored pool builder is infallible in practice; if it ever
+        // fails, run under the ambient budget rather than aborting.
+        Err(_) => f(),
+    }
 }
 
 #[cfg(not(feature = "parallel"))]
@@ -334,6 +352,10 @@ impl Pipeline {
             timings,
             plan,
             parallelism: self.options.parallelism,
+            golden: Csr::from(matrix),
+            integrity: self.options.integrity,
+            sample_rows: Vec::new(),
+            scope: Vec::new(),
         })
     }
 }
@@ -360,6 +382,17 @@ pub struct Prepared {
     /// The thread budget `execute` runs the plan under (inherited from the
     /// pipeline options at prepare time).
     parallelism: Parallelism,
+    /// The bit-exact CSR reference of the input matrix: the oracle for the
+    /// sampled residual cross-check and the last rung of the degradation
+    /// ladder.
+    golden: Csr,
+    /// The integrity policy in effect (inherited from the pipeline options
+    /// at prepare time; see [`Prepared::set_integrity`]).
+    integrity: IntegrityPolicy,
+    /// Scratch: output rows drawn for the sampled cross-check.
+    sample_rows: Vec<usize>,
+    /// Scratch: worked tile-row indices covering the sampled rows.
+    scope: Vec<usize>,
 }
 
 impl Prepared {
@@ -370,14 +403,154 @@ impl Prepared {
     /// Results are bit-identical to [`Accelerator::run`] for every thread
     /// budget (see `tests/determinism.rs`).
     ///
+    /// This clones the cached report; hot loops should prefer
+    /// [`Prepared::execute_into`], which hands back a borrow instead.
+    ///
     /// # Errors
     ///
     /// Propagates simulator errors as [`PipelineError`].
     pub fn execute(&mut self, x: &[f32], y: &mut [f32]) -> Result<ExecReport, PipelineError> {
+        self.execute_into(x, y).cloned()
+    }
+
+    /// [`Prepared::execute`] without the report clone: returns a borrow of
+    /// the plan's cached [`ExecReport`]. This is the allocation-free entry
+    /// point for iterative solvers that execute the same plan thousands of
+    /// times (with the default [`IntegrityPolicy::off`] the steady state
+    /// performs no heap allocation at all — see `tests/alloc_free.rs`).
+    ///
+    /// Under a verifying [`IntegrityPolicy`] the execution runs the
+    /// degradation ladder: verify → quarantine and re-execute failing tile
+    /// rows from the pristine stream → cross-check sampled residuals
+    /// against the golden CSR reference → on unrepairable corruption,
+    /// either recompute `y` wholesale on the golden path (the default) or
+    /// return [`PipelineError::Integrity`]. The outcome is recorded in
+    /// [`ExecReport::health`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors as [`PipelineError`];
+    /// [`PipelineError::Integrity`] when corruption is detected and the
+    /// policy's fallback is disabled.
+    pub fn execute_into(&mut self, x: &[f32], y: &mut [f32]) -> Result<&ExecReport, PipelineError> {
+        match self.integrity.mode {
+            IntegrityMode::Off => {
+                let parallelism = self.parallelism;
+                let plan = &mut self.plan;
+                with_parallelism(parallelism, || plan.run(x, y).map(|_| ()))?;
+                Ok(self.plan.report())
+            }
+            IntegrityMode::Sampled(_) | IntegrityMode::Full => self.execute_guarded(x, y),
+        }
+    }
+
+    /// The verifying execute path: deferred run + verification ladder, then
+    /// either commit, golden fallback, or error.
+    fn execute_guarded(&mut self, x: &[f32], y: &mut [f32]) -> Result<&ExecReport, PipelineError> {
+        let rows = self.golden.rows() as usize;
+        if y.len() != rows {
+            return Err(PipelineError::DimensionMismatch {
+                expected: rows,
+                actual: y.len(),
+                operand: "y",
+            });
+        }
+
+        // Resolve the verification scope. Sampling is deterministic in the
+        // policy seed so a given policy checks the same rows every call.
+        self.sample_rows.clear();
+        self.scope.clear();
+        let scope = match self.integrity.mode {
+            IntegrityMode::Full => VerifyScope::All,
+            IntegrityMode::Sampled(k) => {
+                let mut state = self.integrity.seed;
+                for _ in 0..k.min(rows) {
+                    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    self.sample_rows
+                        .push((splitmix64(state) % rows as u64) as usize);
+                }
+                self.sample_rows.sort_unstable();
+                self.sample_rows.dedup();
+                for &r in &self.sample_rows {
+                    if let Some(t) = self.plan.tile_row_index_containing(r) {
+                        self.scope.push(t);
+                    }
+                }
+                self.scope.sort_unstable();
+                self.scope.dedup();
+                VerifyScope::TileRows(&self.scope)
+            }
+            IntegrityMode::Off => VerifyScope::None,
+        };
+
         let parallelism = self.parallelism;
         let plan = &mut self.plan;
-        let report = with_parallelism(parallelism, || plan.run(x, y).cloned())?;
-        Ok(report)
+        let mut health = with_parallelism(parallelism, || plan.run_deferred(x, scope))?;
+
+        // Residual cross-check: the sampled rows' SPASM contributions must
+        // agree with the golden CSR dot products to within the policy
+        // tolerance (the two datapaths accumulate in different orders).
+        if matches!(self.integrity.mode, IntegrityMode::Sampled(_)) {
+            for &r in &self.sample_rows {
+                let want = golden_row_dot(&self.golden, r, x);
+                let got = self.plan.contribution(r);
+                health.rows_cross_checked += 1;
+                if (got - want).abs() > self.integrity.tolerance * (1.0 + want.abs()) {
+                    health.rows_failed_cross_check += 1;
+                    if health.first_failed_tile_row.is_none() {
+                        health.first_failed_tile_row = self
+                            .plan
+                            .tile_row_index_containing(r)
+                            .and_then(|t| self.plan.tile_row_id(t));
+                    }
+                }
+            }
+        }
+
+        if health.needs_fallback() {
+            if !self.integrity.fallback {
+                self.plan.annotate_health(health);
+                return Err(PipelineError::Integrity {
+                    tile_row: health.first_failed_tile_row.unwrap_or(0),
+                    check: IntegrityCheck::Residual,
+                });
+            }
+            // Last rung: the accelerator result is unrecoverable, so the
+            // whole product is recomputed on the bit-exact golden path.
+            health.fallback = true;
+            self.golden.spmv(x, y).map_err(map_sparse)?;
+        } else {
+            self.plan.commit(y)?;
+        }
+        self.plan.annotate_health(health);
+        Ok(self.plan.report())
+    }
+
+    /// The cached report of the most recent execution (cycle/stall model,
+    /// health). Identical to what [`Prepared::execute_into`] returned.
+    pub fn report(&self) -> &ExecReport {
+        self.plan.report()
+    }
+
+    /// The health of the most recent execution (all-zeros before the first
+    /// one, or when verification is off and no faults are armed).
+    pub fn health(&self) -> HealthReport {
+        self.plan.report().health
+    }
+
+    /// The integrity policy in effect.
+    pub fn integrity(&self) -> IntegrityPolicy {
+        self.integrity
+    }
+
+    /// Replaces the integrity policy for subsequent executions.
+    pub fn set_integrity(&mut self, policy: IntegrityPolicy) {
+        self.integrity = policy;
+    }
+
+    /// The bit-exact golden CSR reference kept for the degradation ladder.
+    pub fn golden(&self) -> &Csr {
+        &self.golden
     }
 
     /// The accelerator built for the winning configuration, for callers
@@ -385,6 +558,43 @@ impl Prepared {
     /// [`ExecutionPlan`]s.
     pub fn accelerator(&self) -> Accelerator {
         Accelerator::new(self.best.config.clone())
+    }
+}
+
+/// One golden-reference output row: the CSR dot product of row `r` with
+/// `x`, accumulated in exactly the order `Csr::spmv` uses so the comparison
+/// is against the same rounding.
+fn golden_row_dot(csr: &Csr, r: usize, x: &[f32]) -> f32 {
+    let ptr = csr.row_ptr();
+    let cols = csr.col_indices();
+    let vals = csr.values();
+    let mut acc = 0.0;
+    for i in ptr[r]..ptr[r + 1] {
+        acc += vals[i] * x[cols[i] as usize];
+    }
+    acc
+}
+
+/// SplitMix64 finaliser: a tiny, dependency-free bijective mixer for the
+/// deterministic sample-row draw.
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn map_sparse(e: spasm_sparse::SparseError) -> PipelineError {
+    match e {
+        spasm_sparse::SparseError::DimensionMismatch {
+            expected,
+            actual,
+            operand,
+        } => PipelineError::DimensionMismatch {
+            expected,
+            actual,
+            operand,
+        },
+        _ => PipelineError::EmptySearchSpace("golden reference path"),
     }
 }
 
@@ -524,6 +734,82 @@ mod tests {
         );
         assert_eq!(prepared.plan.n_instances(), prepared.encoded.n_instances());
         assert!(prepared.timings.plan > Duration::ZERO);
+    }
+
+    #[test]
+    fn sampled_integrity_clean_run_cross_checks() {
+        let a = block_diag(16);
+        let opts = PipelineOptions::default().integrity(IntegrityPolicy::sampled(8, 42));
+        let mut prepared = Pipeline::with_options(opts).prepare(&a).unwrap();
+        let n = a.rows() as usize;
+        let x: Vec<f32> = (0..n).map(|i| (i % 5) as f32 - 2.0).collect();
+        let mut want = vec![0.0f32; n];
+        a.spmv(&x, &mut want).unwrap();
+        let mut got = vec![0.0f32; n];
+        let report = prepared.execute_into(&x, &mut got).unwrap();
+        assert!(report.health.is_clean());
+        assert!(report.health.rows_cross_checked > 0);
+        assert!(!report.health.fallback);
+        assert_eq!(prepared.health().rows_failed_cross_check, 0);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn full_integrity_matches_unverified_output_bit_for_bit() {
+        let a = block_diag(32);
+        let n = a.rows() as usize;
+        let x: Vec<f32> = (0..n).map(|i| (i % 11) as f32 * 0.25 - 1.0).collect();
+
+        let mut plain = Pipeline::new().prepare(&a).unwrap();
+        let mut y_plain = vec![0.0f32; n];
+        plain.execute_into(&x, &mut y_plain).unwrap();
+
+        let mut guarded =
+            Pipeline::with_options(PipelineOptions::default().integrity(IntegrityPolicy::full()))
+                .prepare(&a)
+                .unwrap();
+        let mut y_guarded = vec![0.0f32; n];
+        let report = guarded.execute_into(&x, &mut y_guarded).unwrap();
+        assert!(report.health.is_clean());
+        assert!(report.health.tile_rows_verified > 0);
+        assert_eq!(report.health.tile_rows_quarantined, 0);
+        for (p, g) in y_plain.iter().zip(&y_guarded) {
+            assert_eq!(p.to_bits(), g.to_bits());
+        }
+    }
+
+    #[test]
+    fn set_integrity_retargets_later_executions() {
+        let a = block_diag(8);
+        let n = a.rows() as usize;
+        let mut prepared = Pipeline::new().prepare(&a).unwrap();
+        assert_eq!(prepared.integrity().mode, IntegrityMode::Off);
+        let x = vec![1.0f32; n];
+        let mut y = vec![0.0f32; n];
+        prepared.execute_into(&x, &mut y).unwrap();
+        assert_eq!(prepared.health().tile_rows_verified, 0);
+
+        prepared.set_integrity(IntegrityPolicy::full());
+        y.fill(0.0);
+        prepared.execute_into(&x, &mut y).unwrap();
+        assert!(prepared.health().tile_rows_verified > 0);
+        assert!(prepared.report().health.is_clean());
+    }
+
+    #[test]
+    fn guarded_execute_checks_y_dimension() {
+        let a = block_diag(4);
+        let mut prepared =
+            Pipeline::with_options(PipelineOptions::default().integrity(IntegrityPolicy::full()))
+                .prepare(&a)
+                .unwrap();
+        let mut y_bad = vec![0.0f32; 3];
+        assert!(matches!(
+            prepared.execute_into(&[1.0; 16], &mut y_bad),
+            Err(PipelineError::DimensionMismatch { operand: "y", .. })
+        ));
     }
 
     #[test]

@@ -55,14 +55,17 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
 mod framework;
+mod integrity;
 mod report;
 mod schedule;
 
 pub use error::PipelineError;
 pub use framework::{Parallelism, Pipeline, PipelineOptions, Prepared, StageTimings};
+pub use integrity::{IntegrityMode, IntegrityPolicy};
 pub use report::spasm_report;
 pub use schedule::{default_tile_sizes, explore_schedule, ScheduleCandidate, ScheduleChoice};
 

@@ -86,7 +86,11 @@ pub fn explore_schedule(
             explored.push(candidate);
         }
     }
-    let (bt, bc) = best.expect("non-empty search space explored");
+    // Both axes were checked non-empty above, so at least one candidate
+    // was scored; the guard keeps this branch panic-free regardless.
+    let Some((bt, bc)) = best else {
+        return Err(PipelineError::EmptySearchSpace("schedule candidate"));
+    };
     let winner = &explored[bt * configs.len() + bc];
     let choice = ScheduleChoice {
         config: configs[bc].clone(),

@@ -1,0 +1,74 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) for wire-format
+//! integrity.
+//!
+//! Version-2 SPASM streams carry a trailing CRC-32 over the header,
+//! template, tile-directory and instance-stream sections, so in-flight or
+//! at-rest corruption is detected before any structural parsing trusts the
+//! bytes. The implementation is a straightforward table-driven one; the
+//! table is built in a `const` context so there is no runtime init.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC-32 (IEEE) of `data`.
+///
+/// # Examples
+///
+/// ```
+/// // The standard check vector.
+/// assert_eq!(spasm_format::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_sensitivity() {
+        let base = vec![0u8; 64];
+        let reference = crc32(&base);
+        for byte in 0..64 {
+            for bit in 0..8 {
+                let mut mutated = base.clone();
+                mutated[byte] ^= 1 << bit;
+                assert_ne!(crc32(&mutated), reference, "flip {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod crc;
 mod encoding;
 mod error;
 mod matrix;
@@ -42,9 +43,10 @@ mod serialize;
 mod submatrix;
 mod tiling;
 
+pub use crc::crc32;
 pub use encoding::{PositionEncoding, MAX_TILE_SIZE, PATTERN_EDGE};
 pub use error::FormatError;
 pub use matrix::{SpasmMatrix, TemplateInstance, Tile};
-pub use serialize::{WireError, MAGIC, VERSION};
+pub use serialize::{WireError, CHECKSUM_BYTES, HEADER_BYTES, MAGIC, MIN_VERSION, VERSION};
 pub use submatrix::{SubBlock, SubmatrixMap};
 pub use tiling::{TileStats, TilingSummary, TILE_LANES};

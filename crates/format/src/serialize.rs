@@ -14,24 +14,36 @@
 //! templates: n_templates × u16 (padded to 4-byte alignment)
 //! tiles    : n_tiles × (tile_row u32 | tile_col u32 | n_instances u32)
 //! stream   : n_instances × (encoding u32 | 4 × f32)
+//! checksum : crc32 u32 over all preceding bytes   (version ≥ 2 only)
 //! ```
 //!
-//! Deserialisation validates the header, directory consistency and field
-//! ranges, so a corrupted stream is rejected rather than mis-executed.
+//! Version 2 (the current writer) appends a CRC-32 over the header,
+//! template, tile and stream sections, so corruption is detected before
+//! any structural parsing trusts the bytes; version-1 streams (no
+//! checksum) still decode. Deserialisation additionally validates the
+//! header, directory consistency and field ranges, so a corrupted stream
+//! is rejected rather than mis-executed.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::crc::crc32;
 use crate::encoding::PositionEncoding;
 use crate::matrix::{SpasmMatrix, Tile};
 
 /// Magic number opening every serialised SPASM stream.
 pub const MAGIC: [u8; 4] = *b"SPSM";
 
-/// Current wire-format version.
-pub const VERSION: u32 = 1;
+/// Current wire-format version (written by [`SpasmMatrix::to_bytes`]).
+pub const VERSION: u32 = 2;
+
+/// Oldest wire-format version [`SpasmMatrix::from_bytes`] still decodes.
+pub const MIN_VERSION: u32 = 1;
 
 /// Size of the fixed header in bytes.
 pub const HEADER_BYTES: usize = 52;
+
+/// Size of the trailing checksum in bytes (version ≥ 2).
+pub const CHECKSUM_BYTES: usize = 4;
 
 /// Errors when decoding a serialised stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +60,14 @@ pub enum WireError {
     },
     /// A header or directory field is inconsistent.
     Inconsistent(&'static str),
+    /// The stream's trailing CRC-32 does not match its contents
+    /// (version ≥ 2): the bytes were corrupted in flight or at rest.
+    ChecksumMismatch {
+        /// The checksum stored in the stream.
+        stored: u32,
+        /// The checksum computed over the received bytes.
+        computed: u32,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -59,6 +79,10 @@ impl std::fmt::Display for WireError {
                 write!(f, "stream truncated while reading {reading}")
             }
             WireError::Inconsistent(what) => write!(f, "inconsistent stream: {what}"),
+            WireError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "stream checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
         }
     }
 }
@@ -66,7 +90,8 @@ impl std::fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 impl SpasmMatrix {
-    /// Serialises the matrix into its wire/HBM byte layout.
+    /// Serialises the matrix into its wire/HBM byte layout (version 2,
+    /// with a trailing CRC-32).
     ///
     /// # Examples
     ///
@@ -85,15 +110,32 @@ impl SpasmMatrix {
     /// # }
     /// ```
     pub fn to_bytes(&self) -> Bytes {
+        let mut buf = self.serialize_sections(VERSION);
+        let crc = crc32(&buf);
+        buf.put_u32_le(crc);
+        buf.freeze()
+    }
+
+    /// Serialises the matrix in the legacy version-1 layout (no trailing
+    /// checksum). Kept for compatibility testing and for peers that have
+    /// not upgraded; new streams should use [`SpasmMatrix::to_bytes`].
+    pub fn to_bytes_v1(&self) -> Bytes {
+        self.serialize_sections(1).freeze()
+    }
+
+    /// The header, template, tile and stream sections, with `version`
+    /// stamped in the header.
+    fn serialize_sections(&self, version: u32) -> BytesMut {
         let n_instances = self.n_instances();
         let mut buf = BytesMut::with_capacity(
             HEADER_BYTES
                 + self.template_masks().len() * 2
                 + self.tiles().len() * 12
-                + n_instances * 20,
+                + n_instances * 20
+                + CHECKSUM_BYTES,
         );
         buf.put_slice(&MAGIC);
-        buf.put_u32_le(VERSION);
+        buf.put_u32_le(version);
         buf.put_u32_le(self.rows());
         buf.put_u32_le(self.cols());
         buf.put_u32_le(self.tile_size());
@@ -120,16 +162,21 @@ impl SpasmMatrix {
                 buf.put_f32_le(values[i * 4 + k]);
             }
         }
-        buf.freeze()
+        buf
     }
 
-    /// Reconstructs a matrix from its wire layout.
+    /// Reconstructs a matrix from its wire layout (versions 1 and 2).
+    ///
+    /// For version-2 streams the trailing CRC-32 is verified over the
+    /// declared payload before the template, tile and stream sections are
+    /// parsed.
     ///
     /// # Errors
     ///
-    /// Returns a [`WireError`] on bad magic/version, truncation, or any
-    /// internal inconsistency (directory sums, field ranges).
-    pub fn from_bytes(mut data: &[u8]) -> Result<SpasmMatrix, WireError> {
+    /// Returns a [`WireError`] on bad magic/version, truncation, checksum
+    /// mismatch, or any internal inconsistency (directory sums, field
+    /// ranges).
+    pub fn from_bytes(data: &[u8]) -> Result<SpasmMatrix, WireError> {
         fn need(data: &[u8], n: usize, reading: &'static str) -> Result<(), WireError> {
             if data.len() < n {
                 Err(WireError::Truncated { reading })
@@ -137,6 +184,8 @@ impl SpasmMatrix {
                 Ok(())
             }
         }
+        let full = data;
+        let mut data = data;
         need(data, HEADER_BYTES, "header")?;
         let mut magic = [0u8; 4];
         data.copy_to_slice(&mut magic);
@@ -144,7 +193,7 @@ impl SpasmMatrix {
             return Err(WireError::BadMagic);
         }
         let version = data.get_u32_le();
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(WireError::BadVersion(version));
         }
         let rows = data.get_u32_le();
@@ -154,7 +203,7 @@ impl SpasmMatrix {
         let paddings = data.get_u64_le();
         let n_templates = data.get_u32_le() as usize;
         let n_tiles = data.get_u32_le() as usize;
-        let n_instances = data.get_u64_le() as usize;
+        let n_instances64 = data.get_u64_le();
 
         if tile_size == 0 || !tile_size.is_multiple_of(4) || tile_size > crate::MAX_TILE_SIZE {
             return Err(WireError::Inconsistent("tile size out of range"));
@@ -162,11 +211,37 @@ impl SpasmMatrix {
         if n_templates == 0 || n_templates > 16 {
             return Err(WireError::Inconsistent("template count out of range"));
         }
-        if 4 * n_instances < nnz {
+        if u128::from(n_instances64) * 4 < nnz as u128 {
             return Err(WireError::Inconsistent("fewer value slots than non-zeros"));
         }
 
+        // Sizes in u128 so hostile counts cannot overflow the arithmetic;
+        // anything bigger than the buffer is simply truncated.
         let padded_templates = n_templates + n_templates % 2;
+        let payload_len = HEADER_BYTES as u128
+            + padded_templates as u128 * 2
+            + n_tiles as u128 * 12
+            + u128::from(n_instances64) * 20;
+        if payload_len > full.len() as u128 {
+            return Err(WireError::Truncated { reading: "payload" });
+        }
+        let payload_len = payload_len as usize;
+        let n_instances = n_instances64 as usize;
+
+        if version >= 2 {
+            need(full, payload_len + CHECKSUM_BYTES, "checksum")?;
+            let stored = u32::from_le_bytes([
+                full[payload_len],
+                full[payload_len + 1],
+                full[payload_len + 2],
+                full[payload_len + 3],
+            ]);
+            let computed = crc32(&full[..payload_len]);
+            if stored != computed {
+                return Err(WireError::ChecksumMismatch { stored, computed });
+            }
+        }
+
         need(data, padded_templates * 2, "template masks")?;
         let mut templates = Vec::with_capacity(n_templates);
         for i in 0..padded_templates {
@@ -196,7 +271,9 @@ impl SpasmMatrix {
                 first_instance: cursor,
                 n_instances: count,
             });
-            cursor += count;
+            cursor = cursor
+                .checked_add(count)
+                .ok_or(WireError::Inconsistent("tile directory overflows"))?;
         }
         if cursor != n_instances {
             return Err(WireError::Inconsistent(
@@ -245,11 +322,37 @@ mod tests {
         SpasmMatrix::encode(&SubmatrixMap::from_coo(&coo), &table, 8).unwrap()
     }
 
+    /// Recomputes and restamps the trailing CRC of a mutated v2 buffer,
+    /// so tests can exercise the structural validators behind it.
+    fn restamp(b: &mut [u8]) {
+        let payload = b.len() - CHECKSUM_BYTES;
+        let crc = crc32(&b[..payload]).to_le_bytes();
+        b[payload..].copy_from_slice(&crc);
+    }
+
     #[test]
     fn round_trip() {
         let m = sample();
         let bytes = m.to_bytes();
         let back = SpasmMatrix::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn writes_current_version() {
+        let b = sample().to_bytes();
+        assert_eq!(u32::from_le_bytes([b[4], b[5], b[6], b[7]]), VERSION);
+        assert_eq!(VERSION, 2);
+    }
+
+    #[test]
+    fn version_1_streams_still_decode() {
+        let m = sample();
+        let v1 = m.to_bytes_v1();
+        assert_eq!(u32::from_le_bytes([v1[4], v1[5], v1[6], v1[7]]), 1);
+        // No checksum trailer in v1.
+        assert_eq!(v1.len() + CHECKSUM_BYTES, m.to_bytes().len());
+        let back = SpasmMatrix::from_bytes(&v1).unwrap();
         assert_eq!(back, m);
     }
 
@@ -260,7 +363,8 @@ mod tests {
         let expected = HEADER_BYTES
             + (m.template_masks().len() + m.template_masks().len() % 2) * 2
             + m.tiles().len() * 12
-            + m.n_instances() * 20;
+            + m.n_instances() * 20
+            + CHECKSUM_BYTES;
         assert_eq!(bytes.len(), expected);
     }
 
@@ -279,6 +383,12 @@ mod tests {
             SpasmMatrix::from_bytes(&b),
             Err(WireError::BadVersion(99))
         ));
+        let mut b0 = sample().to_bytes().to_vec();
+        b0[4] = 0;
+        assert!(matches!(
+            SpasmMatrix::from_bytes(&b0),
+            Err(WireError::BadVersion(0))
+        ));
     }
 
     #[test]
@@ -291,13 +401,61 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_directory_rejected() {
+    fn missing_checksum_is_truncation() {
+        let m = sample();
+        let b = m.to_bytes();
+        let r = SpasmMatrix::from_bytes(&b[..b.len() - CHECKSUM_BYTES]);
+        assert_eq!(
+            r,
+            Err(WireError::Truncated {
+                reading: "checksum"
+            })
+        );
+    }
+
+    #[test]
+    fn checksum_detects_stream_corruption() {
+        let m = sample();
+        let b = m.to_bytes().to_vec();
+        // Flip one bit in each section past the magic/version and check
+        // the CRC (or a header-derived truncation) catches it.
+        for byte in [8usize, 40, HEADER_BYTES + 1, b.len() - CHECKSUM_BYTES - 3] {
+            let mut c = b.clone();
+            c[byte] ^= 0x10;
+            let r = SpasmMatrix::from_bytes(&c);
+            assert!(
+                matches!(
+                    r,
+                    Err(WireError::ChecksumMismatch { .. })
+                        | Err(WireError::Truncated { .. })
+                        | Err(WireError::Inconsistent(_))
+                ),
+                "flip at {byte} gave {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_directory_rejected_by_checksum() {
         let m = sample();
         let mut b = m.to_bytes().to_vec();
-        // The tile directory starts after header + padded templates;
-        // corrupt a tile's instance count.
         let dir_off = HEADER_BYTES + (m.template_masks().len() + m.template_masks().len() % 2) * 2;
         b[dir_off + 8] = 0xFF;
+        assert!(matches!(
+            SpasmMatrix::from_bytes(&b),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_directory_rejected_structurally() {
+        // Restamp the CRC after corrupting the count, so the structural
+        // validator (directory sums) is what rejects the stream.
+        let m = sample();
+        let mut b = m.to_bytes().to_vec();
+        let dir_off = HEADER_BYTES + (m.template_masks().len() + m.template_masks().len() % 2) * 2;
+        b[dir_off + 8] = 0xFF;
+        restamp(&mut b);
         assert!(matches!(
             SpasmMatrix::from_bytes(&b),
             Err(WireError::Inconsistent(_)) | Err(WireError::Truncated { .. })
@@ -313,9 +471,24 @@ mod tests {
         b[36] = 15; // n_templates, little-endian u32 at offset 36
         let stream_off = HEADER_BYTES + 16 * 2 + m.tiles().len() * 12;
         b[stream_off + 3] = 0xF0 | (b[stream_off + 3] & 0x0F);
+        restamp(&mut b);
         assert_eq!(
             SpasmMatrix::from_bytes(&b),
             Err(WireError::Inconsistent("t_idx beyond portfolio"))
+        );
+    }
+
+    #[test]
+    fn hostile_instance_count_is_rejected_without_allocating() {
+        // A header declaring ~10^18 instances must fail fast on
+        // truncation, not overflow size arithmetic or try to allocate.
+        let m = sample();
+        let mut b = m.to_bytes().to_vec();
+        b[44..52].copy_from_slice(&u64::MAX.to_le_bytes());
+        restamp(&mut b);
+        assert_eq!(
+            SpasmMatrix::from_bytes(&b),
+            Err(WireError::Truncated { reading: "payload" })
         );
     }
 

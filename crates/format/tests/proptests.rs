@@ -140,4 +140,49 @@ proptest! {
             prop_assert!(SpasmMatrix::from_bytes(&bytes[..cut]).is_err());
         }
     }
+
+    /// Flipping any bit anywhere in a valid stream never panics the
+    /// decoder: it returns an error (normally the checksum catching the
+    /// flip) or a matrix that re-serialises and round-trips.
+    #[test]
+    fn wire_bit_flips_never_panic(
+        m in arb_matrix(), table in arb_table(),
+        pos_frac in 0.0f64..1.0, bit in 0u8..8
+    ) {
+        let spasm = SpasmMatrix::encode(&SubmatrixMap::from_coo(&m), &table, 64).unwrap();
+        let mut bytes = spasm.to_bytes().to_vec();
+        let pos = (((bytes.len() - 1) as f64) * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        if let Ok(back) = SpasmMatrix::from_bytes(&bytes) {
+            let again = SpasmMatrix::from_bytes(&back.to_bytes()).unwrap();
+            prop_assert_eq!(again, back);
+        }
+    }
+
+    /// Corruption behind a *valid* checksum (the adversarial case: the
+    /// payload is mutated and the CRC restamped — covering the tile
+    /// directory's count fields among everything else) still never
+    /// panics: the structural validators reject it or the decoded matrix
+    /// round-trips.
+    #[test]
+    fn wire_restamped_mutations_never_panic(
+        m in arb_matrix(), table in arb_table(),
+        pos_frac in 0.0f64..1.0, xor in 1u8..=255
+    ) {
+        use spasm_format::{crc32, CHECKSUM_BYTES};
+        let spasm = SpasmMatrix::encode(&SubmatrixMap::from_coo(&m), &table, 64).unwrap();
+        let mut bytes = spasm.to_bytes().to_vec();
+        let payload = bytes.len() - CHECKSUM_BYTES;
+        // Mutate past the magic/version words so the corruption lands in
+        // the size fields, template table, tile directory or stream.
+        let lo = 8.min(payload - 1);
+        let pos = lo + (((payload - 1 - lo) as f64) * pos_frac) as usize;
+        bytes[pos] ^= xor;
+        let crc = crc32(&bytes[..payload]).to_le_bytes();
+        bytes[payload..].copy_from_slice(&crc);
+        if let Ok(back) = SpasmMatrix::from_bytes(&bytes) {
+            let again = SpasmMatrix::from_bytes(&back.to_bytes()).unwrap();
+            prop_assert_eq!(again, back);
+        }
+    }
 }

@@ -1,0 +1,238 @@
+//! Deterministic fault injection for the simulated accelerator.
+//!
+//! Only compiled under the `fault-injection` cargo feature; production
+//! builds pay zero cost (the plan carries no fault state and the hot loop
+//! is unchanged). A [`FaultPlan`] is a seeded, reproducible list of
+//! [`Fault`]s drawn from a [`FaultSpec`]; arm it on a plan with
+//! [`crate::ExecutionPlan::arm_faults`] and the next executions decode the
+//! stream *as if* the faults had struck the hardware:
+//!
+//! * [`Fault::EncodingFlip`] — one bit of an instance's 32-bit position
+//!   encoding word flips in flight, corrupting `c_idx`/`r_idx`/`t_idx`
+//!   (transient: a re-read of the stream is pristine);
+//! * [`Fault::ValueFlip`] — one bit of one f32 value slot flips in flight
+//!   (transient);
+//! * [`Fault::LaneStuckZero`] — one of the four VALU output lanes is stuck
+//!   at zero (persistent: re-execution goes through the same lane);
+//! * [`Fault::ChannelStall`] — an HBM channel stalls for some cycles
+//!   (timing-only: data is unaffected, the stall is charged to
+//!   [`crate::HealthReport::stall_cycles`]).
+//!
+//! Determinism: the same `(seed, spec, n_instances)` always yields the
+//! same plan, so fault campaigns are exactly reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How many faults of each kind a seeded [`FaultPlan`] should draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSpec {
+    /// Single-bit flips in position-encoding words (transient).
+    pub encoding_flips: u32,
+    /// Single-bit flips in f32 value slots (transient).
+    pub value_flips: u32,
+    /// VALU output lanes stuck at zero (persistent).
+    pub lane_faults: u32,
+    /// HBM channel stalls (timing-only).
+    pub channel_stalls: u32,
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// Flip bit `bit` of instance `instance`'s position-encoding word.
+    EncodingFlip {
+        /// Stream index of the struck instance.
+        instance: usize,
+        /// Bit position within the 32-bit encoding word.
+        bit: u8,
+    },
+    /// Flip bit `bit` of value slot `slot` of instance `instance`.
+    ValueFlip {
+        /// Stream index of the struck instance.
+        instance: usize,
+        /// Which of the four value slots (0..4).
+        slot: u8,
+        /// Bit position within the f32's 32-bit pattern.
+        bit: u8,
+    },
+    /// VALU output lane `lane` (0..4) produces zero instead of its result.
+    LaneStuckZero {
+        /// The stuck lane (0..4).
+        lane: u8,
+    },
+    /// HBM channel `channel` stalls for `cycles` cycles.
+    ChannelStall {
+        /// The stalled channel index.
+        channel: u8,
+        /// Stall length in cycles.
+        cycles: u32,
+    },
+}
+
+/// A seeded, deterministic list of faults to inject into executions.
+///
+/// # Examples
+///
+/// ```
+/// use spasm_hw::fault::{FaultPlan, FaultSpec};
+///
+/// let spec = FaultSpec { encoding_flips: 2, ..FaultSpec::default() };
+/// let a = FaultPlan::seeded(7, &spec, 100);
+/// let b = FaultPlan::seeded(7, &spec, 100);
+/// assert_eq!(a, b); // same seed, same plan
+/// assert_eq!(a.faults().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Draws a fault plan from `spec` for a stream of `n_instances`
+    /// template instances, deterministically from `seed`.
+    ///
+    /// Stream-targeting faults (encoding and value flips) are dropped when
+    /// `n_instances == 0` — there is nothing to strike.
+    pub fn seeded(seed: u64, spec: &FaultSpec, n_instances: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut faults = Vec::with_capacity(
+            (spec.encoding_flips + spec.value_flips + spec.lane_faults + spec.channel_stalls)
+                as usize,
+        );
+        if n_instances > 0 {
+            for _ in 0..spec.encoding_flips {
+                faults.push(Fault::EncodingFlip {
+                    instance: rng.gen_range(0..n_instances),
+                    bit: rng.gen_range(0..32u8),
+                });
+            }
+            for _ in 0..spec.value_flips {
+                faults.push(Fault::ValueFlip {
+                    instance: rng.gen_range(0..n_instances),
+                    slot: rng.gen_range(0..4u8),
+                    bit: rng.gen_range(0..32u8),
+                });
+            }
+        }
+        for _ in 0..spec.lane_faults {
+            faults.push(Fault::LaneStuckZero {
+                lane: rng.gen_range(0..4u8),
+            });
+        }
+        for _ in 0..spec.channel_stalls {
+            faults.push(Fault::ChannelStall {
+                channel: rng.gen_range(0..32u8),
+                cycles: rng.gen_range(1..=4096u32),
+            });
+        }
+        FaultPlan { seed, faults }
+    }
+
+    /// The seed this plan was drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The drawn faults, in draw order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let spec = FaultSpec {
+            encoding_flips: 3,
+            value_flips: 2,
+            lane_faults: 1,
+            channel_stalls: 1,
+        };
+        for seed in 0..16u64 {
+            assert_eq!(
+                FaultPlan::seeded(seed, &spec, 500),
+                FaultPlan::seeded(seed, &spec, 500)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = FaultSpec {
+            encoding_flips: 4,
+            ..FaultSpec::default()
+        };
+        let plans: Vec<_> = (0..8u64)
+            .map(|s| FaultPlan::seeded(s, &spec, 1000))
+            .collect();
+        assert!(plans.windows(2).any(|w| w[0].faults() != w[1].faults()));
+    }
+
+    #[test]
+    fn counts_match_spec() {
+        let spec = FaultSpec {
+            encoding_flips: 5,
+            value_flips: 4,
+            lane_faults: 2,
+            channel_stalls: 3,
+        };
+        let plan = FaultPlan::seeded(42, &spec, 100);
+        assert_eq!(plan.faults().len(), 14);
+        assert_eq!(plan.seed(), 42);
+        let stream_faults = plan
+            .faults()
+            .iter()
+            .filter(|f| matches!(f, Fault::EncodingFlip { .. } | Fault::ValueFlip { .. }))
+            .count();
+        assert_eq!(stream_faults, 9);
+    }
+
+    #[test]
+    fn empty_stream_drops_stream_faults() {
+        let spec = FaultSpec {
+            encoding_flips: 5,
+            value_flips: 5,
+            lane_faults: 1,
+            channel_stalls: 0,
+        };
+        let plan = FaultPlan::seeded(1, &spec, 0);
+        assert_eq!(plan.faults().len(), 1);
+        assert!(matches!(plan.faults()[0], Fault::LaneStuckZero { .. }));
+    }
+
+    #[test]
+    fn faults_target_valid_ranges() {
+        let spec = FaultSpec {
+            encoding_flips: 50,
+            value_flips: 50,
+            lane_faults: 10,
+            channel_stalls: 10,
+        };
+        for seed in 0..8u64 {
+            for f in FaultPlan::seeded(seed, &spec, 77).faults() {
+                match *f {
+                    Fault::EncodingFlip { instance, bit } => {
+                        assert!(instance < 77 && bit < 32);
+                    }
+                    Fault::ValueFlip {
+                        instance,
+                        slot,
+                        bit,
+                    } => {
+                        assert!(instance < 77 && slot < 4 && bit < 32);
+                    }
+                    Fault::LaneStuckZero { lane } => assert!(lane < 4),
+                    Fault::ChannelStall { channel, cycles } => {
+                        assert!(channel < 32 && (1..=4096).contains(&cycles));
+                    }
+                }
+            }
+        }
+    }
+}

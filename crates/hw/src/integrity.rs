@@ -1,0 +1,153 @@
+//! Stream-integrity verification: the detection half of the fault-tolerant
+//! execution story.
+//!
+//! The accelerator streams position encodings and value quadruples out of
+//! HBM with no end-to-end parity, so a flipped bit in the stream or a
+//! faulted VALU lane would silently corrupt `y`. This module defines the
+//! *detection* vocabulary shared by the plan and the framework front-end:
+//!
+//! * [`IntegrityCheck`] names each invariant the subsystem can report as
+//!   violated — directory consistency and encoding ranges are checked once
+//!   at prepare time ([`crate::Accelerator::prepare`]), residual checks run
+//!   per execution;
+//! * [`VerifyScope`] selects which tile rows a deferred run re-verifies
+//!   against the pristine stream ([`crate::ExecutionPlan::run_deferred`]);
+//! * [`HealthReport`] records what one execution observed: faults injected
+//!   (only ever non-zero under the `fault-injection` feature), tile rows
+//!   verified / quarantined / corrected, and whether the caller fell back
+//!   to the golden CSR path.
+//!
+//! The repair ladder itself (quarantine → re-execute from the pristine
+//! stream → golden fallback) lives in [`crate::ExecutionPlan`] and the
+//! `spasm` front-end; this module only carries the bookkeeping types.
+
+use std::fmt;
+
+/// Which integrity invariant a check found violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum IntegrityCheck {
+    /// The tile directory's instance counts do not tile the stream: a
+    /// tile's `first_instance` disagrees with the running sum, or the sum
+    /// does not cover the stream exactly.
+    InstanceCount,
+    /// A position encoding addresses outside its tile (or outside the
+    /// padded operand buffers), or names a template beyond the portfolio.
+    EncodingRange,
+    /// Executed output disagrees with the pristine stream (or the golden
+    /// reference) even after the quarantine re-execution.
+    Residual,
+}
+
+impl fmt::Display for IntegrityCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrityCheck::InstanceCount => write!(f, "tile-directory instance count"),
+            IntegrityCheck::EncodingRange => write!(f, "position-encoding range"),
+            IntegrityCheck::Residual => write!(f, "execution residual"),
+        }
+    }
+}
+
+/// Which tile rows [`crate::ExecutionPlan::run_deferred`] verifies against
+/// a pristine re-computation before the result may be committed.
+#[derive(Debug, Clone, Copy)]
+pub enum VerifyScope<'a> {
+    /// Verify nothing (the production fast path).
+    None,
+    /// Verify the worked tile rows with these indices (as reported by
+    /// [`crate::ExecutionPlan::tile_row_index_containing`]); out-of-range
+    /// indices are ignored.
+    TileRows(&'a [usize]),
+    /// Verify every worked tile row.
+    All,
+}
+
+/// What one guarded execution observed: injected faults, detection and
+/// repair counts, and the degradation level that was ultimately taken.
+///
+/// A clean run (no faults, no quarantines, no fallback) is all zeros —
+/// the `Default`. The report is attached to [`crate::ExecReport::health`]
+/// by the framework front-end and also returned by
+/// [`crate::ExecutionPlan::run_deferred`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// Faults armed on the plan that applied to this execution (always 0
+    /// without the `fault-injection` cargo feature).
+    pub faults_injected: u32,
+    /// Cycles lost to injected HBM channel stalls (timing-only faults;
+    /// they never corrupt data).
+    pub stall_cycles: u64,
+    /// Worked tile rows re-verified against the pristine stream.
+    pub tile_rows_verified: u32,
+    /// Tile rows whose output disagreed with the pristine re-computation
+    /// (every detected corruption is counted here).
+    pub tile_rows_quarantined: u32,
+    /// Quarantined tile rows whose one-shot re-execution from the pristine
+    /// stream matched the reference (transient stream faults).
+    pub tile_rows_corrected: u32,
+    /// Quarantined tile rows still wrong after re-execution (persistent
+    /// hardware faults) — these force the golden fallback or an error.
+    pub tile_rows_uncorrected: u32,
+    /// Output rows cross-checked against the golden CSR reference by the
+    /// sampled residual policy.
+    pub rows_cross_checked: u32,
+    /// Sampled rows whose residual against the golden CSR reference
+    /// exceeded the policy tolerance.
+    pub rows_failed_cross_check: u32,
+    /// Whether the whole product was recomputed on the golden CSR path.
+    pub fallback: bool,
+    /// The first tile row that failed verification beyond repair, if any.
+    pub first_failed_tile_row: Option<u32>,
+}
+
+impl HealthReport {
+    /// `true` when nothing was detected and no degradation was taken —
+    /// the output is the plan's normal bit-exact result.
+    pub fn is_clean(&self) -> bool {
+        self.tile_rows_quarantined == 0 && self.rows_failed_cross_check == 0 && !self.fallback
+    }
+
+    /// `true` when a detected corruption could not be repaired in place
+    /// (the caller must fall back or surface an error).
+    pub fn needs_fallback(&self) -> bool {
+        self.tile_rows_uncorrected > 0 || self.rows_failed_cross_check > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_report_is_clean() {
+        let h = HealthReport::default();
+        assert!(h.is_clean());
+        assert!(!h.needs_fallback());
+        assert_eq!(h.first_failed_tile_row, None);
+    }
+
+    #[test]
+    fn uncorrected_rows_force_fallback() {
+        let h = HealthReport {
+            tile_rows_quarantined: 1,
+            tile_rows_uncorrected: 1,
+            ..HealthReport::default()
+        };
+        assert!(!h.is_clean());
+        assert!(h.needs_fallback());
+    }
+
+    #[test]
+    fn check_names_render() {
+        assert_eq!(
+            IntegrityCheck::EncodingRange.to_string(),
+            "position-encoding range"
+        );
+        assert_eq!(
+            IntegrityCheck::InstanceCount.to_string(),
+            "tile-directory instance count"
+        );
+        assert_eq!(IntegrityCheck::Residual.to_string(), "execution residual");
+    }
+}

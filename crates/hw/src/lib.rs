@@ -32,8 +32,12 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod config;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
+mod integrity;
 mod pe;
 pub mod perf;
 mod plan;
@@ -43,6 +47,7 @@ pub mod trace;
 mod valu;
 
 pub use config::{ChannelRole, HwConfig, HBM_CHANNEL_GBS, PES_PER_GROUP, PES_PER_VALUE_CHANNEL};
+pub use integrity::{HealthReport, IntegrityCheck, VerifyScope};
 pub use pe::Pe;
 pub use plan::ExecutionPlan;
 pub use sim::{Accelerator, ExecReport, SimError, Traffic};

@@ -15,8 +15,9 @@
 //! * the tile-row layout (instance spans, disjoint y windows), per-tile
 //!   lane statistics, [`TileJob`]s, the LPT assignment, per-group cycles,
 //!   traffic and the full [`ExecReport`] are computed once — the report is
-//!   a pure function of `(matrix, config)`, so [`ExecutionPlan::run`]
-//!   returns a reference to the cached value;
+//!   a pure function of `(matrix, config)` (plus the health of the most
+//!   recent execution), so [`ExecutionPlan::run`] returns a reference to
+//!   the cached value;
 //! * padded `x`/`y` scratch buffers are owned by the plan and reused, so
 //!   a steady-state [`ExecutionPlan::run`] performs no heap allocation
 //!   (asserted by the workspace's counting-allocator test).
@@ -27,14 +28,39 @@
 //! tile rows chunked contiguously and balanced by instance count. Tile
 //! rows own disjoint y windows and each row is processed in stream order,
 //! so the result is bit-identical for every thread count.
+//!
+//! # Integrity and fault tolerance
+//!
+//! Building a plan re-validates the stream beyond what the wire decoder
+//! checks: the tile directory must tile the instance stream exactly
+//! ([`IntegrityCheck::InstanceCount`]) and every position encoding must
+//! address inside its tile, inside the padded operand buffers, and name a
+//! template in the portfolio ([`IntegrityCheck::EncodingRange`]) — hostile
+//! streams fail `prepare` with [`SimError::Integrity`] instead of
+//! mis-executing.
+//!
+//! At run time, [`ExecutionPlan::run_deferred`] executes without touching
+//! `y`, re-verifies selected tile rows against a pristine re-computation
+//! of the stream, quarantines and re-executes rows that disagree, and
+//! returns a [`HealthReport`]; [`ExecutionPlan::commit`] then folds the
+//! (healed) result into `y`. Under the `fault-injection` cargo feature a
+//! seeded [`crate::fault::FaultPlan`] can be armed on the plan to strike
+//! the decode path deterministically; production builds carry none of
+//! that state.
 
 use spasm_format::SpasmMatrix;
 
 use crate::config::HwConfig;
+use crate::integrity::{HealthReport, IntegrityCheck, VerifyScope};
 use crate::pe::Pe;
 use crate::sim::{ExecReport, SimError, Traffic};
 use crate::timing::{self, TileJob};
 use crate::valu::ValuOpcode;
+
+#[cfg(feature = "fault-injection")]
+use crate::fault::{Fault, FaultPlan};
+#[cfg(feature = "fault-injection")]
+use spasm_format::PositionEncoding;
 
 /// Everything derivable from `(matrix, config)` alone, plus reusable
 /// scratch — see the [module docs](self) for the full inventory.
@@ -81,30 +107,50 @@ pub struct ExecutionPlan {
     opcodes: Vec<ValuOpcode>,
     values: Vec<f32>,
     // Per worked tile row: instance span in the stream, y window in `yp`,
-    // and a prefix sum of instance counts for balanced chunking.
+    // the tile-row id, and a prefix sum of instance counts for balanced
+    // chunking.
     inst_ranges: Vec<(usize, usize)>,
     window_spans: Vec<(usize, usize)>,
+    tile_row_ids: Vec<u32>,
     #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
     cum_instances: Vec<usize>,
     // Scheduling state, for introspection and the cached report.
     assignment: Vec<Vec<TileJob>>,
     report: ExecReport,
     // Reusable padded scratch: `xp` for the operand, `yp` for the disjoint
-    // tile-row windows, `chunks` for the fan-out's row boundaries.
+    // tile-row windows, `chunks` for the fan-out's row boundaries, and
+    // `vp`/`vq` (sized to the largest tile-row window) for the pristine
+    // verification oracle and the quarantine re-execution.
     xp: Vec<f32>,
     yp: Vec<f32>,
     #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
     chunks: Vec<usize>,
+    vp: Vec<f32>,
+    vq: Vec<f32>,
+    // Fault-injection state: the raw encoding words, per-instance tile
+    // column bases and the opcode LUT let the faulted executor re-decode
+    // the stream as the hardware would after a bit flip.
+    #[cfg(feature = "fault-injection")]
+    enc_bits: Vec<u32>,
+    #[cfg(feature = "fault-injection")]
+    col_base: Vec<u32>,
+    #[cfg(feature = "fault-injection")]
+    lut: Vec<ValuOpcode>,
+    #[cfg(feature = "fault-injection")]
+    armed: Option<ArmedFaults>,
 }
 
 impl ExecutionPlan {
-    /// Builds the plan: pre-decodes the stream, lays out tile rows, runs
-    /// the LPT assignment and prices the execution once.
+    /// Builds the plan: validates the stream's structural invariants,
+    /// pre-decodes it, lays out tile rows, runs the LPT assignment and
+    /// prices the execution once.
     pub(crate) fn build(config: HwConfig, matrix: &SpasmMatrix) -> Result<Self, SimError> {
         let pe = Pe::new(matrix.template_masks())?;
         let tile_size = matrix.tile_size();
         let xp_len = (matrix.cols() as usize).div_ceil(4) * 4;
         let yp_len = (matrix.rows() as usize).div_ceil(4) * 4;
+
+        validate_stream(matrix, &pe, xp_len as u64, yp_len as u64)?;
 
         // Contiguous spans of same-tile-row tiles, in stream order.
         let mut row_spans: Vec<(u32, usize, usize)> = Vec::new(); // (row, first, last)
@@ -122,6 +168,10 @@ impl ExecutionPlan {
         let mut y_base = Vec::with_capacity(n);
         let mut opcodes = Vec::with_capacity(n);
         let mut jobs = Vec::with_capacity(matrix.tiles().len());
+        #[cfg(feature = "fault-injection")]
+        let mut enc_bits = Vec::with_capacity(n);
+        #[cfg(feature = "fault-injection")]
+        let mut col_bases = Vec::with_capacity(n);
         let encodings = matrix.encodings();
         for tile in matrix.tiles() {
             let col_base = tile.tile_col * tile_size;
@@ -131,6 +181,11 @@ impl ExecutionPlan {
                 x_base.push(col_base + e.c_idx() * 4);
                 y_base.push(e.r_idx() * 4);
                 opcodes.push(pe.opcode(e.t_idx()));
+                #[cfg(feature = "fault-injection")]
+                {
+                    enc_bits.push(e.bits());
+                    col_bases.push(col_base);
+                }
             }
             jobs.push(TileJob {
                 tile_row: tile.tile_row,
@@ -144,18 +199,27 @@ impl ExecutionPlan {
         // in the stream) and disjoint y windows over the padded scratch.
         let mut inst_ranges = Vec::with_capacity(row_spans.len());
         let mut window_spans = Vec::with_capacity(row_spans.len());
+        let mut tile_row_ids = Vec::with_capacity(row_spans.len());
         let mut cum_instances = Vec::with_capacity(row_spans.len() + 1);
-        cum_instances.push(0usize);
+        let mut running = 0usize;
+        cum_instances.push(running);
         for &(row, first, last) in &row_spans {
             let i0 = matrix.tiles()[first].first_instance;
             let t = &matrix.tiles()[last - 1];
             let i1 = t.first_instance + t.n_instances;
             inst_ranges.push((i0, i1));
-            cum_instances.push(cum_instances.last().unwrap() + (i1 - i0));
+            running += i1 - i0;
+            cum_instances.push(running);
             let start = (row * tile_size) as usize;
             let end = (((row + 1) * tile_size) as usize).min(yp_len);
             window_spans.push((start, end));
+            tile_row_ids.push(row);
         }
+        let max_window = window_spans
+            .iter()
+            .map(|&(start, end)| end - start)
+            .max()
+            .unwrap_or(0);
 
         // Timing: the same LPT assignment and cycle pricing the per-run
         // simulator used, computed once.
@@ -193,6 +257,7 @@ impl ExecutionPlan {
             traffic,
             estimated_power_w,
             energy_j: estimated_power_w * seconds,
+            health: HealthReport::default(),
         };
 
         Ok(ExecutionPlan {
@@ -205,12 +270,27 @@ impl ExecutionPlan {
             values: matrix.values().to_vec(),
             inst_ranges,
             window_spans,
+            tile_row_ids,
             cum_instances,
             assignment,
             report,
             xp: vec![0.0; xp_len],
             yp: vec![0.0; yp_len],
             chunks: Vec::with_capacity(worker_budget().max(1) + 1),
+            vp: vec![0.0; max_window],
+            vq: vec![0.0; max_window],
+            #[cfg(feature = "fault-injection")]
+            enc_bits,
+            #[cfg(feature = "fault-injection")]
+            col_base: col_bases,
+            #[cfg(feature = "fault-injection")]
+            lut: matrix
+                .template_masks()
+                .iter()
+                .map(|&m| crate::valu::ValuOpcode::compile(m))
+                .collect::<Result<Vec<_>, _>>()?,
+            #[cfg(feature = "fault-injection")]
+            armed: None,
             config,
         })
     }
@@ -251,7 +331,8 @@ impl ExecutionPlan {
     }
 
     /// The cached execution report — a pure function of `(matrix,
-    /// config)`, identical to what every [`ExecutionPlan::run`] returns.
+    /// config)` except for [`ExecReport::health`], which reflects the most
+    /// recent execution (all-clean until a run observes otherwise).
     pub fn report(&self) -> &ExecReport {
         &self.report
     }
@@ -264,10 +345,94 @@ impl ExecutionPlan {
     /// at steady state when running serially (the parallel fan-out spawns
     /// scoped threads, which allocate their stacks).
     ///
+    /// This is the unguarded path: armed faults (under the
+    /// `fault-injection` feature) strike the execution and are *not*
+    /// detected — use [`ExecutionPlan::run_deferred`] +
+    /// [`ExecutionPlan::commit`] for verified execution.
+    ///
     /// # Errors
     ///
     /// [`SimError::DimensionMismatch`] on operand length mismatches.
     pub fn run(&mut self, x: &[f32], y: &mut [f32]) -> Result<&ExecReport, SimError> {
+        self.check_x(x)?;
+        self.check_y(y)?;
+        self.load_and_execute(x);
+        self.report.health = self.armed_health();
+        self.add_into(y);
+        Ok(&self.report)
+    }
+
+    /// Executes `A·x` into the plan's internal window buffer *without*
+    /// touching `y`, then re-verifies the tile rows selected by `scope`
+    /// against a pristine re-computation of the stream.
+    ///
+    /// Rows whose output disagrees are quarantined and re-executed once
+    /// from the pristine stream (persistent lane faults remain in effect);
+    /// the outcome is recorded in the returned [`HealthReport`]. Call
+    /// [`ExecutionPlan::commit`] afterwards to fold the (healed) result
+    /// into `y`, or discard it — e.g. to fall back to a golden path —
+    /// by simply not committing.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DimensionMismatch`] if `x` has the wrong length.
+    pub fn run_deferred(
+        &mut self,
+        x: &[f32],
+        scope: VerifyScope<'_>,
+    ) -> Result<HealthReport, SimError> {
+        self.check_x(x)?;
+        self.load_and_execute(x);
+        let health = self.verify_and_heal(scope);
+        self.report.health = health;
+        Ok(health)
+    }
+
+    /// Folds the result of the last [`ExecutionPlan::run_deferred`] into
+    /// `y` (`y += A·x`) and returns the cached report.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DimensionMismatch`] if `y` has the wrong length.
+    pub fn commit(&mut self, y: &mut [f32]) -> Result<&ExecReport, SimError> {
+        self.check_y(y)?;
+        self.add_into(y);
+        Ok(&self.report)
+    }
+
+    /// The contribution `(A·x)[row]` computed by the last execution
+    /// (zero for rows outside the matrix or in unworked tile rows).
+    ///
+    /// Meaningful between [`ExecutionPlan::run_deferred`] and the next
+    /// execution; used for sampled residual cross-checks against a golden
+    /// reference before committing.
+    pub fn contribution(&self, row: usize) -> f32 {
+        self.yp.get(row).copied().unwrap_or(0.0)
+    }
+
+    /// The index (into the plan's worked tile rows, as accepted by
+    /// [`VerifyScope::TileRows`]) of the tile row whose y window contains
+    /// output row `y_row`, if that row is worked.
+    pub fn tile_row_index_containing(&self, y_row: usize) -> Option<usize> {
+        let idx = self.window_spans.partition_point(|&(_, end)| end <= y_row);
+        (idx < self.window_spans.len() && self.window_spans[idx].0 <= y_row).then_some(idx)
+    }
+
+    /// The matrix-level tile-row id of the worked tile row at `index`
+    /// (as returned by [`ExecutionPlan::tile_row_index_containing`]).
+    pub fn tile_row_id(&self, index: usize) -> Option<u32> {
+        self.tile_row_ids.get(index).copied()
+    }
+
+    /// Overwrites the cached report's [`ExecReport::health`]. For
+    /// front-ends that extend verification beyond the plan (e.g. residual
+    /// cross-checks against a golden reference, or a fallback taken on the
+    /// plan's behalf) so the report they hand out reflects the full story.
+    pub fn annotate_health(&mut self, health: HealthReport) {
+        self.report.health = health;
+    }
+
+    fn check_x(&self, x: &[f32]) -> Result<(), SimError> {
         if x.len() != self.cols as usize {
             return Err(SimError::DimensionMismatch {
                 expected: self.cols as usize,
@@ -275,6 +440,10 @@ impl ExecutionPlan {
                 operand: "x",
             });
         }
+        Ok(())
+    }
+
+    fn check_y(&self, y: &[f32]) -> Result<(), SimError> {
         if y.len() != self.rows as usize {
             return Err(SimError::DimensionMismatch {
                 expected: self.rows as usize,
@@ -282,20 +451,160 @@ impl ExecutionPlan {
                 operand: "y",
             });
         }
+        Ok(())
+    }
+
+    /// Loads `x` into the padded scratch and executes all tile rows into
+    /// the (zeroed) window buffer.
+    fn load_and_execute(&mut self, x: &[f32]) {
         // The scratch tails beyond `x.len()` / the worked windows stay
         // zero from construction, as the hardware's aligned buffers do.
         self.xp[..x.len()].copy_from_slice(x);
         self.yp.fill(0.0);
         self.execute_tile_rows();
+    }
+
+    fn add_into(&mut self, y: &mut [f32]) {
         for (dst, src) in y.iter_mut().zip(&self.yp) {
             *dst += *src;
         }
-        Ok(&self.report)
+    }
+
+    /// Injection-level health: what is armed on the plan, before any
+    /// verification has looked at the output.
+    fn armed_health(&self) -> HealthReport {
+        #[cfg(feature = "fault-injection")]
+        if let Some(af) = &self.armed {
+            return HealthReport {
+                faults_injected: af.applied,
+                stall_cycles: af.stall_cycles,
+                ..HealthReport::default()
+            };
+        }
+        HealthReport::default()
+    }
+
+    /// Re-verifies the selected tile rows against a pristine
+    /// re-computation, quarantining and re-executing rows that disagree.
+    fn verify_and_heal(&mut self, scope: VerifyScope<'_>) -> HealthReport {
+        let mut health = self.armed_health();
+        match scope {
+            VerifyScope::None => {}
+            VerifyScope::All => {
+                for r in 0..self.inst_ranges.len() {
+                    self.verify_row(r, &mut health);
+                }
+            }
+            VerifyScope::TileRows(rows) => {
+                for &r in rows {
+                    if r < self.inst_ranges.len() {
+                        self.verify_row(r, &mut health);
+                    }
+                }
+            }
+        }
+        health
+    }
+
+    /// Verifies one tile row's window bit-for-bit against the pristine
+    /// oracle; on mismatch, quarantines it and re-executes it once from
+    /// the pristine stream (transient stream faults heal, persistent lane
+    /// faults do not).
+    fn verify_row(&mut self, r: usize, health: &mut HealthReport) {
+        let (w0, w1) = self.window_spans[r];
+        let (i0, i1) = self.inst_ranges[r];
+        let wlen = w1 - w0;
+        health.tile_rows_verified += 1;
+
+        let oracle = &mut self.vp[..wlen];
+        oracle.fill(0.0);
+        process_span(
+            &self.x_base,
+            &self.y_base,
+            &self.opcodes,
+            &self.values,
+            &self.xp,
+            oracle,
+            i0,
+            i1,
+        );
+        if bits_equal(&self.yp[w0..w1], &self.vp[..wlen]) {
+            return;
+        }
+        health.tile_rows_quarantined += 1;
+
+        // One-shot re-execution from the pristine stream. Transient faults
+        // (in-flight bit flips) do not recur; persistent faults (a stuck
+        // VALU lane) strike the retry too and stay uncorrected.
+        let retry = &mut self.vq[..wlen];
+        retry.fill(0.0);
+        self.reexecute_span(i0, i1, wlen);
+        self.yp[w0..w1].copy_from_slice(&self.vq[..wlen]);
+        if bits_equal(&self.yp[w0..w1], &self.vp[..wlen]) {
+            health.tile_rows_corrected += 1;
+        } else {
+            health.tile_rows_uncorrected += 1;
+            if health.first_failed_tile_row.is_none() {
+                health.first_failed_tile_row = Some(self.tile_row_ids[r]);
+            }
+        }
+    }
+
+    /// Re-executes instances `[i0, i1)` from the pristine stream into
+    /// `vq[..wlen]`, keeping persistent (lane) faults in effect.
+    #[cfg(feature = "fault-injection")]
+    fn reexecute_span(&mut self, i0: usize, i1: usize, wlen: usize) {
+        match &self.armed {
+            Some(af) => process_span_faulted(
+                af,
+                false,
+                &self.enc_bits,
+                &self.col_base,
+                &self.lut,
+                &self.values,
+                &self.xp,
+                &mut self.vq[..wlen],
+                i0,
+                i1,
+            ),
+            None => process_span(
+                &self.x_base,
+                &self.y_base,
+                &self.opcodes,
+                &self.values,
+                &self.xp,
+                &mut self.vq[..wlen],
+                i0,
+                i1,
+            ),
+        }
+    }
+
+    /// Re-executes instances `[i0, i1)` from the pristine stream into
+    /// `vq[..wlen]` (without fault injection compiled in, the pristine
+    /// stream is the only stream).
+    #[cfg(not(feature = "fault-injection"))]
+    fn reexecute_span(&mut self, i0: usize, i1: usize, wlen: usize) {
+        process_span(
+            &self.x_base,
+            &self.y_base,
+            &self.opcodes,
+            &self.values,
+            &self.xp,
+            &mut self.vq[..wlen],
+            i0,
+            i1,
+        );
     }
 
     /// Dispatches the functional pass over tile rows, fanning out only
     /// when the `parallel` feature is on and the ambient budget allows.
     fn execute_tile_rows(&mut self) {
+        #[cfg(feature = "fault-injection")]
+        if self.armed.is_some() {
+            self.execute_tile_rows_faulted();
+            return;
+        }
         #[cfg(feature = "parallel")]
         {
             let budget = worker_budget();
@@ -320,6 +629,30 @@ impl ExecutionPlan {
         }
     }
 
+    /// The faulted functional pass: always serial (fault application is
+    /// deterministic in stream order), re-decoding each instance from its
+    /// raw — possibly struck — encoding word the way the hardware would.
+    #[cfg(feature = "fault-injection")]
+    fn execute_tile_rows_faulted(&mut self) {
+        let Some(af) = &self.armed else { return };
+        for r in 0..self.inst_ranges.len() {
+            let (w0, w1) = self.window_spans[r];
+            let (i0, i1) = self.inst_ranges[r];
+            process_span_faulted(
+                af,
+                true,
+                &self.enc_bits,
+                &self.col_base,
+                &self.lut,
+                &self.values,
+                &self.xp,
+                &mut self.yp[w0..w1],
+                i0,
+                i1,
+            );
+        }
+    }
+
     /// Parallel fan-out: tile rows are chunked contiguously, balanced by
     /// instance count, one scoped worker per chunk. Chunks own disjoint
     /// ascending spans of `yp`, and each worker processes its rows in
@@ -329,9 +662,10 @@ impl ExecutionPlan {
     fn execute_parallel(&mut self, budget: usize) {
         let n_rows = self.inst_ranges.len();
         let parts = budget.min(n_rows);
-        let total = *self.cum_instances.last().expect("non-empty prefix");
+        let total = self.cum_instances.last().copied().unwrap_or(0);
         self.chunks.clear();
         self.chunks.push(0);
+        let mut last_boundary = 0usize;
         for t in 1..parts {
             // First row boundary at or past this worker's share of the
             // instance stream; clamped to stay strictly increasing.
@@ -340,8 +674,9 @@ impl ExecutionPlan {
                 .cum_instances
                 .partition_point(|&c| c < target)
                 .min(n_rows);
-            if b > *self.chunks.last().expect("seeded with 0") && b < n_rows {
+            if b > last_boundary && b < n_rows {
                 self.chunks.push(b);
+                last_boundary = b;
             }
         }
         self.chunks.push(n_rows);
@@ -394,6 +729,104 @@ impl ExecutionPlan {
     }
 }
 
+#[cfg(feature = "fault-injection")]
+impl ExecutionPlan {
+    /// Arms a seeded fault plan: subsequent executions strike the decode
+    /// path with its faults (serially, deterministically). Replaces any
+    /// previously armed plan. Only available under the `fault-injection`
+    /// cargo feature.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.armed = Some(ArmedFaults::from_plan(plan));
+    }
+
+    /// Disarms fault injection; subsequent executions are pristine.
+    pub fn disarm_faults(&mut self) {
+        self.armed = None;
+    }
+
+    /// The currently armed fault plan, if any.
+    pub fn armed_faults(&self) -> Option<&FaultPlan> {
+        self.armed.as_ref().map(|af| &af.plan)
+    }
+}
+
+/// A [`FaultPlan`] preprocessed for the executor: encoding xors merged per
+/// instance and sorted, value flips sorted, lane masks and stall totals
+/// folded.
+#[cfg(feature = "fault-injection")]
+#[derive(Debug, Clone)]
+struct ArmedFaults {
+    plan: FaultPlan,
+    /// Merged per-instance encoding xor masks, sorted by instance.
+    enc: Vec<(usize, u32)>,
+    /// Value-slot bit flips `(instance, slot, bit)`, sorted.
+    val: Vec<(usize, u8, u8)>,
+    lane_zero: [bool; 4],
+    stall_cycles: u64,
+    applied: u32,
+}
+
+#[cfg(feature = "fault-injection")]
+impl ArmedFaults {
+    fn from_plan(plan: FaultPlan) -> Self {
+        let mut enc: Vec<(usize, u32)> = Vec::new();
+        let mut val: Vec<(usize, u8, u8)> = Vec::new();
+        let mut lane_zero = [false; 4];
+        let mut stall_cycles = 0u64;
+        for f in plan.faults() {
+            match *f {
+                Fault::EncodingFlip { instance, bit } => enc.push((instance, 1u32 << (bit % 32))),
+                Fault::ValueFlip {
+                    instance,
+                    slot,
+                    bit,
+                } => val.push((instance, slot % 4, bit % 32)),
+                Fault::LaneStuckZero { lane } => lane_zero[(lane as usize) % 4] = true,
+                Fault::ChannelStall { cycles, .. } => stall_cycles += u64::from(cycles),
+            }
+        }
+        enc.sort_unstable_by_key(|&(i, _)| i);
+        let mut merged: Vec<(usize, u32)> = Vec::with_capacity(enc.len());
+        for (i, mask) in enc {
+            match merged.last_mut() {
+                Some((j, acc)) if *j == i => *acc ^= mask,
+                _ => merged.push((i, mask)),
+            }
+        }
+        val.sort_unstable();
+        let applied = plan.faults().len() as u32;
+        ArmedFaults {
+            plan,
+            enc: merged,
+            val,
+            lane_zero,
+            stall_cycles,
+            applied,
+        }
+    }
+
+    /// The xor mask to apply to instance `i`'s encoding word (0 if the
+    /// instance is not struck).
+    fn enc_xor(&self, i: usize) -> u32 {
+        match self.enc.binary_search_by_key(&i, |&(j, _)| j) {
+            Ok(k) => self.enc[k].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Applies value-slot bit flips targeting instance `i`.
+    fn apply_value_faults(&self, i: usize, v: &mut [f32; 4]) {
+        let start = self.val.partition_point(|&(j, _, _)| j < i);
+        for &(j, slot, bit) in &self.val[start..] {
+            if j != i {
+                break;
+            }
+            let s = slot as usize;
+            v[s] = f32::from_bits(v[s].to_bits() ^ (1u32 << bit));
+        }
+    }
+}
+
 /// The worker budget the fan-out may use (always 1 in serial builds).
 #[cfg(feature = "parallel")]
 fn worker_budget() -> usize {
@@ -403,6 +836,78 @@ fn worker_budget() -> usize {
 #[cfg(not(feature = "parallel"))]
 fn worker_budget() -> usize {
     1
+}
+
+/// `true` when the two slices are bit-for-bit identical (NaN-safe, unlike
+/// `==` on floats).
+fn bits_equal(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Validates the structural invariants the wire decoder cannot check
+/// cheaply: the directory must tile the stream exactly and every encoding
+/// must stay inside its tile, the padded operand buffers and the
+/// portfolio.
+fn validate_stream(
+    matrix: &SpasmMatrix,
+    pe: &Pe,
+    xp_len: u64,
+    yp_len: u64,
+) -> Result<(), SimError> {
+    let tile_size = u64::from(matrix.tile_size());
+    let encodings = matrix.encodings();
+
+    // Directory consistency: tiles partition the stream contiguously.
+    let mut cursor = 0usize;
+    let mut last_row = 0u32;
+    for tile in matrix.tiles() {
+        last_row = tile.tile_row;
+        if tile.first_instance != cursor || tile.n_instances > encodings.len() - cursor {
+            return Err(SimError::Integrity {
+                tile_row: tile.tile_row,
+                check: IntegrityCheck::InstanceCount,
+            });
+        }
+        cursor += tile.n_instances;
+    }
+    if cursor != encodings.len() {
+        return Err(SimError::Integrity {
+            tile_row: last_row,
+            check: IntegrityCheck::InstanceCount,
+        });
+    }
+
+    // Encoding ranges, in u64 so hostile tile coordinates cannot wrap.
+    let mut idx = 0usize;
+    for tile in matrix.tiles() {
+        let row_base = u64::from(tile.tile_row) * tile_size;
+        let col_base = u64::from(tile.tile_col) * tile_size;
+        let in_matrix = tile.n_instances == 0
+            || (row_base < u64::from(matrix.rows()) && col_base < u64::from(matrix.cols()));
+        if !in_matrix {
+            return Err(SimError::Integrity {
+                tile_row: tile.tile_row,
+                check: IntegrityCheck::EncodingRange,
+            });
+        }
+        for e in &encodings[idx..idx + tile.n_instances] {
+            let c_end = u64::from(e.c_idx()) * 4 + 4;
+            let r_end = u64::from(e.r_idx()) * 4 + 4;
+            let ok = c_end <= tile_size
+                && r_end <= tile_size
+                && col_base + c_end <= xp_len
+                && row_base + r_end <= yp_len
+                && (e.t_idx() as usize) < pe.lut_len();
+            if !ok {
+                return Err(SimError::Integrity {
+                    tile_row: tile.tile_row,
+                    check: IntegrityCheck::EncodingRange,
+                });
+            }
+        }
+        idx += tile.n_instances;
+    }
+    Ok(())
 }
 
 /// The hot loop: instances `[i0, i1)` of one tile row, accumulated into
@@ -438,9 +943,66 @@ fn process_span(
     }
 }
 
+/// The faulted hot loop: re-decodes each instance from its raw encoding
+/// word (xor-struck when `stream_faults` is set), clamps all accesses the
+/// way the hardware's address decoders would — out-of-range x reads load
+/// zero, out-of-window y writes are dropped, out-of-portfolio template
+/// ids wrap the LUT — applies value-slot flips and stuck-at-zero lanes.
+#[cfg(feature = "fault-injection")]
+#[allow(clippy::too_many_arguments)]
+fn process_span_faulted(
+    af: &ArmedFaults,
+    stream_faults: bool,
+    enc_bits: &[u32],
+    col_base: &[u32],
+    lut: &[ValuOpcode],
+    values: &[f32],
+    xp: &[f32],
+    window: &mut [f32],
+    i0: usize,
+    i1: usize,
+) {
+    if lut.is_empty() {
+        return;
+    }
+    for i in i0..i1 {
+        let bits = if stream_faults {
+            enc_bits[i] ^ af.enc_xor(i)
+        } else {
+            enc_bits[i]
+        };
+        let e = PositionEncoding::from_bits(bits);
+        let c0 = col_base[i] as usize + e.c_idx() as usize * 4;
+        let x_at = |k: usize| xp.get(k).copied().unwrap_or(0.0);
+        let x_seg = [x_at(c0), x_at(c0 + 1), x_at(c0 + 2), x_at(c0 + 3)];
+        let mut v = [
+            values[4 * i],
+            values[4 * i + 1],
+            values[4 * i + 2],
+            values[4 * i + 3],
+        ];
+        if stream_faults {
+            af.apply_value_faults(i, &mut v);
+        }
+        let op = lut[e.t_idx() as usize % lut.len()];
+        let mut out = op.execute(v, x_seg);
+        for (lane, stuck) in af.lane_zero.iter().enumerate() {
+            if *stuck {
+                out[lane] = 0.0;
+            }
+        }
+        let r0 = e.r_idx() as usize * 4;
+        for (lane, contrib) in out.iter().enumerate() {
+            if let Some(slot) = window.get_mut(r0 + lane) {
+                *slot += *contrib;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use crate::{Accelerator, HwConfig, SimError};
+    use crate::{Accelerator, HwConfig, SimError, VerifyScope};
     use spasm_format::{SpasmMatrix, SubmatrixMap};
     use spasm_patterns::{DecompositionTable, TemplateSet};
     use spasm_sparse::Coo;
@@ -543,5 +1105,158 @@ mod tests {
         assert_eq!(y, vec![0.0; 8]);
         assert_eq!(rep.cycles, crate::timing::INIT_CYCLES);
         assert_eq!(plan.n_tile_rows(), 0);
+    }
+
+    #[test]
+    fn deferred_run_and_commit_match_run() {
+        let coo = sample(100);
+        let m = encode(&coo, 32);
+        let acc = Accelerator::new(HwConfig::spasm_4_1());
+        let x: Vec<f32> = (0..100).map(|i| (i as f32) * 0.25 - 10.0).collect();
+
+        let mut plan = acc.prepare(&m).unwrap();
+        let mut want = vec![0.5f32; 100];
+        plan.run(&x, &mut want).unwrap();
+
+        for scope in [VerifyScope::None, VerifyScope::All] {
+            let mut got = vec![0.5f32; 100];
+            let health = plan.run_deferred(&x, scope).unwrap();
+            assert!(health.is_clean());
+            assert_eq!(health.tile_rows_quarantined, 0);
+            plan.commit(&mut got).unwrap();
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        // Pristine executions verify all rows, quarantine none.
+        let h = plan.run_deferred(&x, VerifyScope::All).unwrap();
+        assert_eq!(h.tile_rows_verified as usize, plan.n_tile_rows());
+        assert_eq!(plan.report().health, h);
+    }
+
+    #[test]
+    fn contribution_reads_last_deferred_result() {
+        let coo = sample(64);
+        let m = encode(&coo, 16);
+        let mut plan = Accelerator::new(HwConfig::spasm_4_1()).prepare(&m).unwrap();
+        let x = vec![1.0f32; 64];
+        let mut want = vec![0.0f32; 64];
+        plan.run(&x, &mut want).unwrap();
+        plan.run_deferred(&x, VerifyScope::None).unwrap();
+        for (r, w) in want.iter().enumerate() {
+            assert_eq!(plan.contribution(r).to_bits(), w.to_bits());
+        }
+        assert_eq!(plan.contribution(10_000), 0.0);
+    }
+
+    #[test]
+    fn tile_row_lookup_covers_windows() {
+        let coo = sample(100);
+        let m = encode(&coo, 32);
+        let plan = Accelerator::new(HwConfig::spasm_4_1()).prepare(&m).unwrap();
+        // Every matrix row with work maps to a tile-row index, and the
+        // sample matrix works every tile row.
+        for y_row in 0..100usize {
+            let idx = plan.tile_row_index_containing(y_row).unwrap();
+            assert!(idx < plan.n_tile_rows());
+            assert_eq!(idx, y_row / 32);
+        }
+        assert_eq!(plan.tile_row_index_containing(10_000), None);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn transient_stream_faults_are_detected_and_corrected() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let coo = sample(128);
+        let m = encode(&coo, 32);
+        let acc = Accelerator::new(HwConfig::spasm_4_1());
+        let x: Vec<f32> = (0..128).map(|i| (i as f32) * 0.125 - 4.0).collect();
+
+        let mut plan = acc.prepare(&m).unwrap();
+        let mut clean = vec![0.0f32; 128];
+        plan.run(&x, &mut clean).unwrap();
+
+        let spec = FaultSpec {
+            encoding_flips: 3,
+            value_flips: 3,
+            ..FaultSpec::default()
+        };
+        for seed in 0..16u64 {
+            plan.arm_faults(FaultPlan::seeded(seed, &spec, plan.n_instances()));
+            let h = plan.run_deferred(&x, VerifyScope::All).unwrap();
+            assert_eq!(h.faults_injected, 6, "seed {seed}");
+            // Transient faults always heal: the retry reads the pristine
+            // stream. (A fault may have no observable effect — e.g. a
+            // CE/RE-bit flip — in which case nothing is quarantined.)
+            assert_eq!(h.tile_rows_uncorrected, 0, "seed {seed}");
+            assert_eq!(h.tile_rows_corrected, h.tile_rows_quarantined);
+            let mut y = vec![0.0f32; 128];
+            plan.commit(&mut y).unwrap();
+            assert_eq!(
+                y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                clean.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "seed {seed}: healed output must be bit-identical to clean"
+            );
+        }
+        plan.disarm_faults();
+        assert!(plan.armed_faults().is_none());
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn persistent_lane_faults_stay_uncorrected() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let coo = sample(64);
+        let m = encode(&coo, 16);
+        let mut plan = Accelerator::new(HwConfig::spasm_4_1()).prepare(&m).unwrap();
+        let x = vec![1.0f32; 64];
+        let spec = FaultSpec {
+            lane_faults: 4, // all four lanes stuck: corruption is certain
+            ..FaultSpec::default()
+        };
+        plan.arm_faults(FaultPlan::seeded(9, &spec, plan.n_instances()));
+        let h = plan.run_deferred(&x, VerifyScope::All).unwrap();
+        assert!(h.tile_rows_quarantined > 0);
+        assert_eq!(h.tile_rows_corrected, 0);
+        assert_eq!(h.tile_rows_uncorrected, h.tile_rows_quarantined);
+        assert!(h.needs_fallback());
+        assert!(h.first_failed_tile_row.is_some());
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn unverified_run_reports_injection_but_not_detection() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let coo = sample(64);
+        let m = encode(&coo, 64);
+        let mut plan = Accelerator::new(HwConfig::spasm_4_1()).prepare(&m).unwrap();
+        let spec = FaultSpec {
+            channel_stalls: 2,
+            ..FaultSpec::default()
+        };
+        plan.arm_faults(FaultPlan::seeded(3, &spec, plan.n_instances()));
+        let x = vec![1.0f32; 64];
+        let mut y = vec![0.0f32; 64];
+        let rep = plan.run(&x, &mut y).unwrap();
+        assert_eq!(rep.health.faults_injected, 2);
+        assert!(rep.health.stall_cycles > 0);
+        // Stalls are timing-only: the data is untouched.
+        assert_eq!(rep.health.tile_rows_quarantined, 0);
+    }
+
+    #[test]
+    fn verify_scope_rows_subset() {
+        let coo = sample(100);
+        let m = encode(&coo, 32);
+        let mut plan = Accelerator::new(HwConfig::spasm_4_1()).prepare(&m).unwrap();
+        let x = vec![1.0f32; 100];
+        let h = plan
+            .run_deferred(&x, VerifyScope::TileRows(&[0, 2, 99]))
+            .unwrap();
+        // Row 99 is out of range and ignored; 0 and 2 verify clean.
+        assert_eq!(h.tile_rows_verified, 2);
+        assert!(h.is_clean());
     }
 }

@@ -6,6 +6,7 @@ use std::fmt;
 use spasm_format::SpasmMatrix;
 
 use crate::config::HwConfig;
+use crate::integrity::{HealthReport, IntegrityCheck};
 use crate::plan::ExecutionPlan;
 use crate::valu::OpcodeError;
 
@@ -24,6 +25,15 @@ pub enum SimError {
     },
     /// The matrix's portfolio contains a template the VALU cannot realise.
     Opcode(OpcodeError),
+    /// The encoded stream violates a structural integrity invariant —
+    /// see [`IntegrityCheck`] for which one. Raised at prepare time for
+    /// streams that decoded but cannot be executed safely.
+    Integrity {
+        /// The tile row where the violation was detected.
+        tile_row: u32,
+        /// The violated invariant.
+        check: IntegrityCheck,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -40,6 +50,9 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Opcode(e) => write!(f, "portfolio not realisable: {e}"),
+            SimError::Integrity { tile_row, check } => {
+                write!(f, "integrity check failed in tile row {tile_row}: {check}")
+            }
         }
     }
 }
@@ -94,6 +107,10 @@ pub struct ExecReport {
     pub estimated_power_w: f64,
     /// Energy of this execution: estimated power × time (joules).
     pub energy_j: f64,
+    /// Fault-tolerance bookkeeping for the most recent execution: faults
+    /// injected, corruptions detected/corrected, fallbacks taken. All
+    /// zeros (the default) for a clean run.
+    pub health: HealthReport,
 }
 
 /// The simulated SPASM accelerator.

@@ -89,11 +89,11 @@ pub fn lpt_assign(
     let mut groups: Vec<Vec<TileJob>> = vec![Vec::new(); num_groups as usize];
     let mut loads = vec![0u64; num_groups as usize];
     for job in jobs {
-        let (g, _) = loads
-            .iter()
-            .enumerate()
-            .min_by_key(|&(i, &l)| (l, i))
-            .expect("num_groups > 0");
+        // min_by_key is None only for zero groups, which cannot schedule
+        // anything anyway.
+        let Some((g, _)) = loads.iter().enumerate().min_by_key(|&(i, &l)| (l, i)) else {
+            break;
+        };
         loads[g] += tile_cost(&job, tile_size, cfg);
         groups[g].push(job);
     }

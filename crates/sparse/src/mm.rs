@@ -26,16 +26,43 @@ enum Symmetry {
     Symmetric,
 }
 
+/// Default entry-count ceiling for [`read_matrix_market`]: far above every
+/// matrix in the paper's workload suite, far below anything that could
+/// exhaust memory from a hostile header.
+pub const DEFAULT_NNZ_LIMIT: usize = 1 << 31;
+
+/// Upper bound on the triplet capacity reserved up front. Headers are
+/// untrusted: a declared count beyond this grows the vector incrementally
+/// instead of pre-allocating terabytes on the header's say-so.
+const PREALLOC_CAP: usize = 1 << 20;
+
 /// Reads a Matrix Market stream into a [`Coo`] matrix.
 ///
 /// A mutable reference may be passed for `reader` (see `std::io::Read`'s
 /// blanket impl for `&mut R`).
+///
+/// The stream is treated as untrusted: entry counts beyond
+/// [`DEFAULT_NNZ_LIMIT`] (or beyond what the declared shape can hold) are
+/// rejected up front, and pre-allocation is capped so a hostile header
+/// cannot trigger an out-of-memory abort. Use
+/// [`read_matrix_market_limited`] to pick a different ceiling.
 ///
 /// # Errors
 ///
 /// Returns [`SparseError::ParseError`] on malformed headers or entries and
 /// [`SparseError::Io`] on read failures.
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
+    read_matrix_market_limited(reader, DEFAULT_NNZ_LIMIT)
+}
+
+/// [`read_matrix_market`] with a caller-chosen ceiling on the declared
+/// entry count, for ingestion pipelines with their own memory budget.
+///
+/// # Errors
+///
+/// As [`read_matrix_market`]; a header declaring more than `max_nnz`
+/// entries is a [`SparseError::ParseError`].
+pub fn read_matrix_market_limited<R: Read>(reader: R, max_nnz: usize) -> Result<Coo, SparseError> {
     let mut lines = BufReader::new(reader).lines().enumerate();
 
     let err = |line: usize, message: &str| SparseError::ParseError {
@@ -90,15 +117,36 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Coo, SparseError> {
     }
     let rows: u32 = dims[0].parse().map_err(|_| err(sline, "bad row count"))?;
     let cols: u32 = dims[1].parse().map_err(|_| err(sline, "bad col count"))?;
-    let declared_nnz: usize = dims[2].parse().map_err(|_| err(sline, "bad nnz count"))?;
+    let declared_nnz: u64 = dims[2].parse().map_err(|_| err(sline, "bad nnz count"))?;
 
-    let mut triplets: Vec<Triplet> = Vec::with_capacity(declared_nnz);
+    // The header is untrusted input: reject counts the declared shape
+    // cannot hold or that exceed the caller's memory budget *before*
+    // reserving anything, so a hostile `1000000 1000000 1000000000000`
+    // size line is a parse error, not an allocation attempt.
+    if u128::from(declared_nnz) > u128::from(rows) * u128::from(cols) {
+        return Err(err(
+            sline,
+            &format!("{declared_nnz} entries cannot fit in a {rows}x{cols} matrix"),
+        ));
+    }
+    if declared_nnz > max_nnz as u64 {
+        return Err(err(
+            sline,
+            &format!("{declared_nnz} entries exceed the limit of {max_nnz}"),
+        ));
+    }
+    let declared_nnz = declared_nnz as usize;
+
+    let mut triplets: Vec<Triplet> = Vec::with_capacity(declared_nnz.min(PREALLOC_CAP));
     let mut seen = 0usize;
     for (n, line) in lines {
         let line = line.map_err(|e| err(n, &e.to_string()))?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
+        }
+        if seen == declared_nnz {
+            return Err(err(n, "more entries than the header declared"));
         }
         let parts: Vec<&str> = trimmed.split_whitespace().collect();
         let want = if field == Field::Pattern { 2 } else { 3 };
@@ -217,6 +265,39 @@ mod tests {
     fn nnz_mismatch_detected() {
         let bad = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3\n";
         assert!(read_matrix_market(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn hostile_entry_count_is_a_parse_error_not_an_allocation() {
+        // 10^12 declared entries fit the declared 10^6 x 10^6 shape, so
+        // only the nnz ceiling stands between the header and a ~12 TB
+        // reservation.
+        let hostile =
+            "%%MatrixMarket matrix coordinate real general\n1000000 1000000 1000000000000\n";
+        let e = read_matrix_market(hostile.as_bytes()).unwrap_err();
+        assert!(matches!(e, SparseError::ParseError { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn entry_count_beyond_shape_rejected() {
+        let bad = "%%MatrixMarket matrix coordinate real general\n10 10 101\n";
+        let e = read_matrix_market(bad.as_bytes()).unwrap_err();
+        assert!(matches!(e, SparseError::ParseError { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn caller_limit_is_enforced() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3\n2 2 4\n";
+        assert!(read_matrix_market_limited(text.as_bytes(), 1).is_err());
+        let coo = read_matrix_market_limited(text.as_bytes(), 2).unwrap();
+        assert_eq!(coo.nnz(), 2);
+    }
+
+    #[test]
+    fn extra_entries_beyond_declared_rejected_early() {
+        let bad = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3\n2 2 4\n";
+        let e = read_matrix_market(bad.as_bytes()).unwrap_err();
+        assert!(matches!(e, SparseError::ParseError { line: 4, .. }), "{e}");
     }
 
     #[test]

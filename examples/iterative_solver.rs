@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let prep_start = std::time::Instant::now();
-    let prepared = Pipeline::new().prepare(&a)?;
+    let mut prepared = Pipeline::new().prepare(&a)?;
     let prep_wall = prep_start.elapsed();
     println!(
         "preprocessing: {:?} host time; selected {} @ tile {}",
@@ -65,14 +65,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rs_old = dot(&r, &r);
 
     // The pipeline built an execution plan at prepare time; every CG
-    // iteration reuses it — no per-SpMV decode, scheduling or allocation.
-    let mut plan = prepared.plan;
+    // iteration reuses it through `execute_into`, which returns the cached
+    // report by reference — no per-SpMV decode, scheduling or allocation,
+    // and no per-call report clone either.
     let mut simulated_seconds = 0.0f64;
     let mut iterations = 0usize;
     let mut ap = vec![0.0f32; n];
     for iter in 0..500 {
         ap.fill(0.0);
-        let exec = plan.run(&p, &mut ap)?;
+        let exec = prepared.execute_into(&p, &mut ap)?;
         simulated_seconds += exec.seconds;
 
         let alpha = rs_old / dot(&p, &ap);
