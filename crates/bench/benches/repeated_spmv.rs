@@ -148,6 +148,9 @@ fn main() {
 
     let geomean = spasm_bench::geomean(rows.iter().map(Row::amortization));
     println!("geomean amortization: {geomean:.2}x over {iters} iterations/workload");
+    // Opt-in floor (SPASM_BENCH_ASSERT=1): preparing once must make the
+    // serving loop meaningfully cheaper than re-running the full setup.
+    spasm_bench::maybe_assert_speedup("repeated_spmv geomean amortization", geomean, 1.2);
 
     // Hand-rolled JSON (no serde in the build environment).
     let mut json = String::from("{\n  \"bench\": \"repeated_spmv\",\n");

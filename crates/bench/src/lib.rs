@@ -42,6 +42,42 @@ pub fn smoke_from_args() -> bool {
     smoke
 }
 
+/// Whether the opt-in performance floors are armed (`SPASM_BENCH_ASSERT=1`
+/// in the environment). Off by default so ordinary bench runs only report.
+pub fn assertions_requested() -> bool {
+    std::env::var("SPASM_BENCH_ASSERT").is_ok_and(|v| v == "1")
+}
+
+/// Opt-in speedup floor: when `SPASM_BENCH_ASSERT=1`, asserts the measured
+/// `speedup` clears `floor`. Skipped (with a note on stderr) when the
+/// assertions are not requested, when the harness runs in `--smoke` mode
+/// (single-iteration timings are noise), or when the host has fewer than 4
+/// cores — laptop-class CI runners produce unstable ratios that would make
+/// the floor flaky.
+///
+/// # Panics
+///
+/// Panics when assertions are armed and the floor is not met.
+pub fn maybe_assert_speedup(label: &str, speedup: f64, floor: f64) {
+    if !assertions_requested() {
+        return;
+    }
+    if timing::is_smoke() {
+        eprintln!("  [assert] {label}: skipped in --smoke mode");
+        return;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    if cores < 4 {
+        eprintln!("  [assert] {label}: skipped on {cores}-core host (need >= 4)");
+        return;
+    }
+    assert!(
+        speedup >= floor,
+        "{label}: measured speedup {speedup:.3}x below the {floor:.2}x floor"
+    );
+    eprintln!("  [assert] {label}: {speedup:.3}x >= {floor:.2}x floor — ok");
+}
+
 /// Human label for a scale.
 pub fn scale_name(scale: Scale) -> &'static str {
     match scale {

@@ -356,6 +356,7 @@ impl Pipeline {
             integrity: self.options.integrity,
             sample_rows: Vec::new(),
             scope: Vec::new(),
+            batch_health: Vec::new(),
         })
     }
 }
@@ -393,6 +394,9 @@ pub struct Prepared {
     sample_rows: Vec<usize>,
     /// Scratch: worked tile-row indices covering the sampled rows.
     scope: Vec<usize>,
+    /// Per-vector health of the most recent batched execution (reused
+    /// across batches; empty before the first one).
+    batch_health: Vec<HealthReport>,
 }
 
 impl Prepared {
@@ -440,13 +444,153 @@ impl Prepared {
                 with_parallelism(parallelism, || plan.run(x, y).map(|_| ()))?;
                 Ok(self.plan.report())
             }
-            IntegrityMode::Sampled(_) | IntegrityMode::Full => self.execute_guarded(x, y),
+            IntegrityMode::Sampled(_) | IntegrityMode::Full => {
+                let health = self.guarded_vector(x, y)?;
+                self.plan.annotate_health(health);
+                Ok(self.plan.report())
+            }
         }
     }
 
-    /// The verifying execute path: deferred run + verification ladder, then
-    /// either commit, golden fallback, or error.
-    fn execute_guarded(&mut self, x: &[f32], y: &mut [f32]) -> Result<&ExecReport, PipelineError> {
+    /// Executes `ys[j] += A·xs[j]` for every vector of the batch in one
+    /// call, cloning the report — see [`Prepared::execute_batch_into`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Prepared::execute_batch_into`].
+    pub fn execute_batch<X, Y>(
+        &mut self,
+        xs: &[X],
+        ys: &mut [Y],
+    ) -> Result<ExecReport, PipelineError>
+    where
+        X: AsRef<[f32]>,
+        Y: AsMut<[f32]>,
+    {
+        self.execute_batch_into(xs, ys).cloned()
+    }
+
+    /// Executes `ys[j] += A·xs[j]` for every vector of the batch against
+    /// the prepared plan — the serving entry point for multi-RHS solvers
+    /// and SpMM-as-batched-SpMV workloads.
+    ///
+    /// With the default [`IntegrityPolicy::off`] the whole batch runs
+    /// through [`ExecutionPlan::run_batch`]: the x vectors are padded once,
+    /// the pre-decoded instance stream is walked once per tile row across
+    /// the batch, and the parallel fan-out spans (vector × tile-row) pairs.
+    /// Each output is bit-identical to looped [`Prepared::execute_into`]
+    /// calls, for every batch size and thread count.
+    ///
+    /// Under a verifying [`IntegrityPolicy`] every vector runs the full
+    /// degradation ladder independently, and the golden CSR fallback is
+    /// taken *only for the vectors that fail* — one corrupted vector does
+    /// not degrade its batch siblings. Per-vector outcomes are available
+    /// from [`Prepared::batch_health`]; the report's health aggregates
+    /// them, and [`ExecReport::batch`] carries the amortised batch pricing.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::DimensionMismatch`] when `xs` and `ys` disagree in
+    /// length (operand `"batch"`) or any vector has the wrong length —
+    /// shapes are validated up front, so on these errors no output has
+    /// been touched. [`PipelineError::Integrity`] when a vector's
+    /// corruption is unrepairable and the policy's fallback is disabled;
+    /// vectors before the failing one have already been committed.
+    pub fn execute_batch_into<X, Y>(
+        &mut self,
+        xs: &[X],
+        ys: &mut [Y],
+    ) -> Result<&ExecReport, PipelineError>
+    where
+        X: AsRef<[f32]>,
+        Y: AsMut<[f32]>,
+    {
+        if xs.len() != ys.len() {
+            return Err(PipelineError::DimensionMismatch {
+                expected: xs.len(),
+                actual: ys.len(),
+                operand: "batch",
+            });
+        }
+        let (rows, cols) = (self.plan.rows() as usize, self.plan.cols() as usize);
+        for x in xs {
+            if x.as_ref().len() != cols {
+                return Err(PipelineError::DimensionMismatch {
+                    expected: cols,
+                    actual: x.as_ref().len(),
+                    operand: "x",
+                });
+            }
+        }
+        for y in ys.iter_mut() {
+            if y.as_mut().len() != rows {
+                return Err(PipelineError::DimensionMismatch {
+                    expected: rows,
+                    actual: y.as_mut().len(),
+                    operand: "y",
+                });
+            }
+        }
+        match self.integrity.mode {
+            IntegrityMode::Off => {
+                let parallelism = self.parallelism;
+                let plan = &mut self.plan;
+                with_parallelism(parallelism, || plan.run_batch(xs, ys).map(|_| ()))?;
+                // Unverified batches have nothing per-vector to report.
+                self.batch_health.clear();
+                self.batch_health.resize(xs.len(), HealthReport::default());
+                Ok(self.plan.report())
+            }
+            IntegrityMode::Sampled(_) | IntegrityMode::Full => self.execute_batch_guarded(xs, ys),
+        }
+    }
+
+    /// The verifying batch path: every vector runs the per-vector ladder,
+    /// outcomes are aggregated into the report's health.
+    fn execute_batch_guarded<X, Y>(
+        &mut self,
+        xs: &[X],
+        ys: &mut [Y],
+    ) -> Result<&ExecReport, PipelineError>
+    where
+        X: AsRef<[f32]>,
+        Y: AsMut<[f32]>,
+    {
+        self.batch_health.clear();
+        let mut aggregate = HealthReport::default();
+        // `_j` targets the active fault lane; unused in production builds.
+        #[cfg_attr(
+            not(feature = "fault-injection"),
+            allow(clippy::unused_enumerate_index)
+        )]
+        for (_j, (x, y)) in xs.iter().zip(ys.iter_mut()).enumerate() {
+            #[cfg(feature = "fault-injection")]
+            self.plan.set_active_lane(_j);
+            let result = self.guarded_vector(x.as_ref(), y.as_mut());
+            #[cfg(feature = "fault-injection")]
+            self.plan.set_active_lane(0);
+            let health = result?;
+            self.batch_health.push(health);
+            aggregate = merge_health(aggregate, health);
+        }
+        self.plan.annotate_health(aggregate);
+        self.plan.stamp_batch(xs.len());
+        Ok(self.plan.report())
+    }
+
+    /// Per-vector health of the most recent batched execution, in batch
+    /// order. Empty before the first batch; all-zero entries when the
+    /// batch ran unverified ([`IntegrityMode::Off`]). `health[j].fallback`
+    /// says vector `j` was recomputed on the golden CSR path.
+    pub fn batch_health(&self) -> &[HealthReport] {
+        &self.batch_health
+    }
+
+    /// The verification ladder for one vector: deferred run + verify →
+    /// sampled cross-check → commit, per-vector golden fallback, or error.
+    /// Returns the vector's health; the caller decides how to fold it into
+    /// the report.
+    fn guarded_vector(&mut self, x: &[f32], y: &mut [f32]) -> Result<HealthReport, PipelineError> {
         let rows = self.golden.rows() as usize;
         if y.len() != rows {
             return Err(PipelineError::DimensionMismatch {
@@ -522,8 +666,7 @@ impl Prepared {
         } else {
             self.plan.commit(y)?;
         }
-        self.plan.annotate_health(health);
-        Ok(self.plan.report())
+        Ok(health)
     }
 
     /// The cached report of the most recent execution (cycle/stall model,
@@ -558,6 +701,24 @@ impl Prepared {
     /// [`ExecutionPlan`]s.
     pub fn accelerator(&self) -> Accelerator {
         Accelerator::new(self.best.config.clone())
+    }
+}
+
+/// Folds one vector's health into the batch aggregate: counters sum,
+/// `fallback` ORs (any vector on the golden path marks the batch), and the
+/// first failing tile row across the batch wins.
+fn merge_health(a: HealthReport, b: HealthReport) -> HealthReport {
+    HealthReport {
+        faults_injected: a.faults_injected + b.faults_injected,
+        stall_cycles: a.stall_cycles + b.stall_cycles,
+        tile_rows_verified: a.tile_rows_verified + b.tile_rows_verified,
+        tile_rows_quarantined: a.tile_rows_quarantined + b.tile_rows_quarantined,
+        tile_rows_corrected: a.tile_rows_corrected + b.tile_rows_corrected,
+        tile_rows_uncorrected: a.tile_rows_uncorrected + b.tile_rows_uncorrected,
+        rows_cross_checked: a.rows_cross_checked + b.rows_cross_checked,
+        rows_failed_cross_check: a.rows_failed_cross_check + b.rows_failed_cross_check,
+        fallback: a.fallback || b.fallback,
+        first_failed_tile_row: a.first_failed_tile_row.or(b.first_failed_tile_row),
     }
 }
 
@@ -821,5 +982,109 @@ mod tests {
             prepared.execute(&[1.0; 3], &mut y),
             Err(PipelineError::DimensionMismatch { operand: "x", .. })
         ));
+    }
+
+    fn batch_inputs(n: usize, batch: usize) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let xs: Vec<Vec<f32>> = (0..batch)
+            .map(|j| {
+                (0..n)
+                    .map(|i| ((i * 7 + j * 13) % 9) as f32 * 0.375 - 1.5)
+                    .collect()
+            })
+            .collect();
+        let ys = vec![vec![0.25f32; n]; batch];
+        (xs, ys)
+    }
+
+    #[test]
+    fn execute_batch_matches_looped_execute_bit_for_bit() {
+        let a = block_diag(48);
+        let n = a.rows() as usize;
+        for policy in [IntegrityPolicy::off(), IntegrityPolicy::full()] {
+            let mut prepared = Pipeline::with_options(PipelineOptions::default().integrity(policy))
+                .prepare(&a)
+                .unwrap();
+            for batch in [1usize, 2, 3, 8] {
+                let (xs, mut ys) = batch_inputs(n, batch);
+                let mut want = ys.clone();
+                for (x, y) in xs.iter().zip(want.iter_mut()) {
+                    prepared.execute_into(x, y).unwrap();
+                }
+                let report = prepared.execute_batch(&xs, &mut ys).unwrap();
+                for (got, want) in ys.iter().zip(&want) {
+                    for (g, w) in got.iter().zip(want) {
+                        assert_eq!(g.to_bits(), w.to_bits());
+                    }
+                }
+                assert_eq!(prepared.batch_health().len(), batch);
+                assert!(prepared.batch_health().iter().all(|h| !h.fallback));
+                let b = report.batch.expect("batched run must stamp pricing");
+                assert_eq!(b.vectors, batch);
+            }
+        }
+    }
+
+    #[test]
+    fn execute_batch_validates_shapes_without_partial_writes() {
+        let a = block_diag(8);
+        let n = a.rows() as usize;
+        let mut prepared = Pipeline::new().prepare(&a).unwrap();
+        let xs = vec![vec![1.0f32; n]; 3];
+
+        let mut ys_short = vec![vec![0.5f32; n]; 2];
+        assert!(matches!(
+            prepared.execute_batch_into(&xs, &mut ys_short),
+            Err(PipelineError::DimensionMismatch {
+                operand: "batch",
+                ..
+            })
+        ));
+
+        let mut ys_bad = vec![vec![0.5f32; n], vec![0.5f32; n - 1], vec![0.5f32; n]];
+        assert!(matches!(
+            prepared.execute_batch_into(&xs, &mut ys_bad),
+            Err(PipelineError::DimensionMismatch { operand: "y", .. })
+        ));
+        // Shape errors are detected up front: nothing was written, not
+        // even to the well-shaped vectors of the batch.
+        assert!(ys_bad.iter().flatten().all(|&v| v == 0.5));
+
+        let xs_bad = vec![vec![1.0f32; n], vec![1.0f32; n + 1], vec![1.0f32; n]];
+        let mut ys = vec![vec![0.5f32; n]; 3];
+        assert!(matches!(
+            prepared.execute_batch_into(&xs_bad, &mut ys),
+            Err(PipelineError::DimensionMismatch { operand: "x", .. })
+        ));
+        assert!(ys.iter().flatten().all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn batch_health_tracks_verified_vectors() {
+        let a = block_diag(16);
+        let n = a.rows() as usize;
+        let mut prepared =
+            Pipeline::with_options(PipelineOptions::default().integrity(IntegrityPolicy::full()))
+                .prepare(&a)
+                .unwrap();
+        let (xs, mut ys) = batch_inputs(n, 4);
+        let report = prepared.execute_batch_into(&xs, &mut ys).unwrap().clone();
+        assert!(report.health.tile_rows_verified > 0);
+        assert_eq!(prepared.batch_health().len(), 4);
+        for h in prepared.batch_health() {
+            assert!(h.tile_rows_verified > 0);
+            assert!(h.is_clean());
+        }
+        // The report's aggregate equals the sum of per-vector counters.
+        let sum: u32 = prepared
+            .batch_health()
+            .iter()
+            .map(|h| h.tile_rows_verified)
+            .sum();
+        assert_eq!(report.health.tile_rows_verified, sum);
+
+        // A subsequent single-vector execute clears the batch stamp.
+        let mut y = vec![0.0f32; n];
+        let single = prepared.execute_into(&xs[0], &mut y).unwrap();
+        assert!(single.batch.is_none());
     }
 }

@@ -49,6 +49,14 @@
 //! let mut y = vec![0.0f32; 32];
 //! let exec = prepared.execute(&x, &mut y)?;
 //! assert!(exec.gflops > 0.0);
+//!
+//! // Serve a batch of right-hand sides in one call: initialisation and
+//! // the decoded instance stream are amortised across the whole batch,
+//! // and each output is bit-identical to a looped `execute`.
+//! let xs = vec![vec![1.0f32; 32]; 4];
+//! let mut ys = vec![vec![0.0f32; 32]; 4];
+//! let batched = prepared.execute_batch(&xs, &mut ys)?;
+//! assert_eq!(batched.batch.unwrap().vectors, 4);
 //! # Ok(())
 //! # }
 //! ```
@@ -66,7 +74,7 @@ mod schedule;
 pub use error::PipelineError;
 pub use framework::{Parallelism, Pipeline, PipelineOptions, Prepared, StageTimings};
 pub use integrity::{IntegrityMode, IntegrityPolicy};
-pub use report::spasm_report;
+pub use report::{spasm_batch_report, spasm_report};
 pub use schedule::{default_tile_sizes, explore_schedule, ScheduleCandidate, ScheduleChoice};
 
 // Re-export the component crates under one roof for downstream users.

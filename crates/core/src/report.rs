@@ -25,6 +25,39 @@ pub fn spasm_report(prepared: &Prepared, exec: &ExecReport) -> PlatformReport {
     }
 }
 
+/// Builds the *amortised per-vector* [`PlatformReport`] for a batched
+/// SPASM execution: timings come from [`spasm_hw::BatchReport`]'s
+/// amortised-per-vector figures, so throughput metrics (gflops, both
+/// efficiencies, utilisation) reflect what each right-hand side costs
+/// inside the batch rather than what a standalone run would cost.
+///
+/// Returns `None` when `exec` does not carry batch pricing (the most
+/// recent execution was single-vector).
+pub fn spasm_batch_report(prepared: &Prepared, exec: &ExecReport) -> Option<PlatformReport> {
+    let batch = exec.batch?;
+    let cfg = &prepared.best.config;
+    // Same flop count per vector; only the amortised time changes.
+    let gflops = if batch.amortised_seconds_per_vector > 0.0 {
+        exec.gflops * exec.seconds / batch.amortised_seconds_per_vector
+    } else {
+        0.0
+    };
+    let scale = if exec.gflops > 0.0 {
+        gflops / exec.gflops
+    } else {
+        1.0
+    };
+    Some(PlatformReport {
+        name: cfg.name.clone(),
+        seconds: batch.amortised_seconds_per_vector,
+        gflops,
+        bandwidth_eff: gflops / cfg.bandwidth_gbs(),
+        energy_eff: gflops / power::SPASM_W,
+        compute_utilization: gflops / cfg.peak_gflops(),
+        bandwidth_utilization: exec.bandwidth_utilization * scale,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use crate::Pipeline;
@@ -49,5 +82,34 @@ mod tests {
             "Table VII power constant"
         );
         assert!(report.compute_utilization <= 1.0);
+    }
+
+    #[test]
+    fn batch_report_amortises_per_vector() {
+        let mut t = Vec::new();
+        for i in 0..128u32 {
+            t.push((i, i, 2.0));
+            t.push((i, (i + 5) % 128, 1.0));
+        }
+        let a = Coo::from_triplets(128, 128, t).unwrap();
+        let mut prepared = Pipeline::new().prepare(&a).unwrap();
+
+        let mut y = vec![0.0f32; 128];
+        let single = prepared.execute(&vec![1.0; 128], &mut y).unwrap();
+        assert!(
+            super::spasm_batch_report(&prepared, &single).is_none(),
+            "single runs carry no batch pricing"
+        );
+
+        let xs = vec![vec![1.0f32; 128]; 8];
+        let mut ys = vec![vec![0.0f32; 128]; 8];
+        let exec = prepared.execute_batch(&xs, &mut ys).unwrap();
+        let report = super::spasm_batch_report(&prepared, &exec).unwrap();
+        let solo = super::spasm_report(&prepared, &single);
+        // Amortising initialisation over 8 vectors makes each one cheaper
+        // and faster than a standalone run.
+        assert!(report.seconds < solo.seconds);
+        assert!(report.gflops > solo.gflops);
+        assert_eq!(report.name, solo.name);
     }
 }

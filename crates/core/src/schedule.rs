@@ -35,6 +35,16 @@ pub struct ScheduleChoice {
     pub predicted_cycles: u64,
 }
 
+impl ScheduleChoice {
+    /// Predicted cycles for serving a batch of `vectors` right-hand sides
+    /// through this schedule: initialisation is paid once, the per-vector
+    /// body repeats ([`spasm_hw::timing::batch_cycles`]). The same model
+    /// prices [`spasm_hw::ExecReport::batch`] after a real batched run.
+    pub fn predicted_batch_cycles(&self, vectors: usize) -> u64 {
+        spasm_hw::timing::batch_cycles(self.predicted_cycles, vectors)
+    }
+}
+
 /// Runs Algorithm 4 and returns the winner plus the full trace of explored
 /// points (for the Fig. 14 ablation and for inspection).
 ///
@@ -235,6 +245,20 @@ mod tests {
             explore_schedule(&m, &table(), &[6], &HwConfig::shipped()),
             Err(PipelineError::Format(FormatError::InvalidTileSize(6)))
         ));
+    }
+
+    #[test]
+    fn predicted_batch_cycles_amortise_init() {
+        let m = map(512);
+        let (choice, _) =
+            explore_schedule(&m, &table(), &[1024], &[HwConfig::spasm_4_1()]).unwrap();
+        let single = choice.predicted_cycles;
+        assert_eq!(choice.predicted_batch_cycles(1), single);
+        let batch8 = choice.predicted_batch_cycles(8);
+        // Eight vectors cost strictly less than eight independent runs —
+        // the gap is exactly the seven amortised initialisations.
+        assert_eq!(batch8, 8 * single - 7 * spasm_hw::timing::INIT_CYCLES);
+        assert!(batch8 < 8 * single);
     }
 
     #[test]

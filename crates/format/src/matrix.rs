@@ -1,6 +1,8 @@
 //! The encoded SPASM matrix: global tile directory + per-tile instance
 //! streams.
 
+use std::sync::Arc;
+
 use spasm_patterns::DecompositionTable;
 
 use crate::encoding::{PositionEncoding, MAX_TILE_SIZE, PATTERN_EDGE};
@@ -46,8 +48,11 @@ pub struct SpasmMatrix {
     templates: Vec<u16>,
     tiles: Vec<Tile>,
     encodings: Vec<PositionEncoding>,
-    /// Four values per encoding, concatenated.
-    values: Vec<f32>,
+    /// Four values per encoding, concatenated. Reference-counted so
+    /// execution plans (and their clones) can share the buffer instead of
+    /// copying `4 × n_instances` floats per plan; the stream is immutable
+    /// after encoding, so sharing is free.
+    values: Arc<[f32]>,
 }
 
 impl SpasmMatrix {
@@ -159,7 +164,7 @@ impl SpasmMatrix {
             templates,
             tiles,
             encodings,
-            values,
+            values: values.into(),
         })
     }
 
@@ -187,7 +192,7 @@ impl SpasmMatrix {
             templates,
             tiles,
             encodings,
-            values,
+            values: values.into(),
         }
     }
 
@@ -248,6 +253,13 @@ impl SpasmMatrix {
 
     /// The raw value stream (four values per encoding).
     pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The value stream's shared buffer. Cloning the returned `Arc` (as
+    /// `spasm_hw`'s execution plans do) shares the allocation instead of
+    /// copying it — see `tests/alloc_free.rs` for the proof.
+    pub fn shared_values(&self) -> &Arc<[f32]> {
         &self.values
     }
 

@@ -50,6 +50,6 @@ pub use config::{ChannelRole, HwConfig, HBM_CHANNEL_GBS, PES_PER_GROUP, PES_PER_
 pub use integrity::{HealthReport, IntegrityCheck, VerifyScope};
 pub use pe::Pe;
 pub use plan::ExecutionPlan;
-pub use sim::{Accelerator, ExecReport, SimError, Traffic};
+pub use sim::{Accelerator, BatchReport, ExecReport, SimError, Traffic};
 pub use trace::{EventKind, ExecutionTrace, TraceEvent};
 pub use valu::{OpcodeError, OutNode, ValuOpcode};

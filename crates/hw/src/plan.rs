@@ -29,6 +29,23 @@
 //! rows own disjoint y windows and each row is processed in stream order,
 //! so the result is bit-identical for every thread count.
 //!
+//! # Batched serving
+//!
+//! [`ExecutionPlan::run_batch`] executes one prepared matrix against many
+//! x-vectors in a single call — the serving shape of iterative solvers
+//! with multiple right-hand sides and of SpMM-as-batched-SpMV inference.
+//! All vectors are padded once into a strided scratch, the pre-decoded SoA
+//! stream is walked once per tile row and applied to every vector while
+//! its instances are hot in cache, and the parallel fan-out chunks
+//! (vector × tile-row) *pairs* balanced by instance count — so small
+//! matrices with large batches still saturate threads. The per-vector
+//! output is bit-identical to looped [`ExecutionPlan::run`] calls for
+//! every batch size and thread count, and the cached report gains an
+//! amortised [`BatchReport`] (initialisation and the matrix stream are
+//! paid once per batch). The value stream itself is an `Arc<[f32]>` shared
+//! with the owning [`SpasmMatrix`], so preparing several plans — or
+//! cloning one per batch worker — does not duplicate the multi-GB buffer.
+//!
 //! # Integrity and fault tolerance
 //!
 //! Building a plan re-validates the stream beyond what the wire decoder
@@ -48,12 +65,14 @@
 //! the decode path deterministically; production builds carry none of
 //! that state.
 
+use std::sync::Arc;
+
 use spasm_format::SpasmMatrix;
 
 use crate::config::HwConfig;
 use crate::integrity::{HealthReport, IntegrityCheck, VerifyScope};
 use crate::pe::Pe;
-use crate::sim::{ExecReport, SimError, Traffic};
+use crate::sim::{BatchReport, ExecReport, SimError, Traffic};
 use crate::timing::{self, TileJob};
 use crate::valu::ValuOpcode;
 
@@ -105,15 +124,20 @@ pub struct ExecutionPlan {
     x_base: Vec<u32>,
     y_base: Vec<u32>,
     opcodes: Vec<ValuOpcode>,
-    values: Vec<f32>,
+    // Shared with the owning `SpasmMatrix` (and any sibling plans): the
+    // stream is immutable after encoding, so plans clone the `Arc`, not
+    // the buffer.
+    values: Arc<[f32]>,
     // Per worked tile row: instance span in the stream, y window in `yp`,
-    // the tile-row id, and a prefix sum of instance counts for balanced
-    // chunking.
+    // the tile-row id, a prefix sum of instance counts for balanced
+    // chunking, and a prefix sum of window lengths addressing the packed
+    // batch output scratch `yb`.
     inst_ranges: Vec<(usize, usize)>,
     window_spans: Vec<(usize, usize)>,
     tile_row_ids: Vec<u32>,
     #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
     cum_instances: Vec<usize>,
+    window_prefix: Vec<usize>,
     // Scheduling state, for introspection and the cached report.
     assignment: Vec<Vec<TileJob>>,
     report: ExecReport,
@@ -127,6 +151,13 @@ pub struct ExecutionPlan {
     chunks: Vec<usize>,
     vp: Vec<f32>,
     vq: Vec<f32>,
+    // Batched-run scratch, grown on first use and reused: `xb` holds every
+    // padded x vector at stride `xp.len()`; `yb` packs each (tile-row,
+    // vector) window contiguously in pair order (`window_prefix[r] * batch
+    // + j * window_len(r)`), so parallel chunks of pairs own contiguous
+    // ascending spans.
+    xb: Vec<f32>,
+    yb: Vec<f32>,
     // Fault-injection state: the raw encoding words, per-instance tile
     // column bases and the opcode LUT let the faulted executor re-decode
     // the stream as the hardware would after a bit flip.
@@ -138,6 +169,10 @@ pub struct ExecutionPlan {
     lut: Vec<ValuOpcode>,
     #[cfg(feature = "fault-injection")]
     armed: Option<ArmedFaults>,
+    // Which batch lane single-vector executions act on behalf of, so a
+    // fault plan armed for one vector of a batch strikes only that vector.
+    #[cfg(feature = "fault-injection")]
+    active_lane: usize,
 }
 
 impl ExecutionPlan {
@@ -220,6 +255,13 @@ impl ExecutionPlan {
             .map(|&(start, end)| end - start)
             .max()
             .unwrap_or(0);
+        let mut window_prefix = Vec::with_capacity(window_spans.len() + 1);
+        window_prefix.push(0usize);
+        let mut wsum = 0usize;
+        for &(start, end) in &window_spans {
+            wsum += end - start;
+            window_prefix.push(wsum);
+        }
 
         // Timing: the same LPT assignment and cycle pricing the per-run
         // simulator used, computed once.
@@ -258,6 +300,7 @@ impl ExecutionPlan {
             estimated_power_w,
             energy_j: estimated_power_w * seconds,
             health: HealthReport::default(),
+            batch: None,
         };
 
         Ok(ExecutionPlan {
@@ -267,11 +310,12 @@ impl ExecutionPlan {
             x_base,
             y_base,
             opcodes,
-            values: matrix.values().to_vec(),
+            values: matrix.shared_values().clone(),
             inst_ranges,
             window_spans,
             tile_row_ids,
             cum_instances,
+            window_prefix,
             assignment,
             report,
             xp: vec![0.0; xp_len],
@@ -279,6 +323,8 @@ impl ExecutionPlan {
             chunks: Vec::with_capacity(worker_budget().max(1) + 1),
             vp: vec![0.0; max_window],
             vq: vec![0.0; max_window],
+            xb: Vec::new(),
+            yb: Vec::new(),
             #[cfg(feature = "fault-injection")]
             enc_bits,
             #[cfg(feature = "fault-injection")]
@@ -291,6 +337,8 @@ impl ExecutionPlan {
                 .collect::<Result<Vec<_>, _>>()?,
             #[cfg(feature = "fault-injection")]
             armed: None,
+            #[cfg(feature = "fault-injection")]
+            active_lane: 0,
             config,
         })
     }
@@ -330,6 +378,13 @@ impl ExecutionPlan {
         &self.assignment
     }
 
+    /// The plan's flattened value stream — the same `Arc` as
+    /// [`SpasmMatrix::shared_values`] of the matrix it was prepared from
+    /// (shared, never copied; `tests/alloc_free.rs` asserts this).
+    pub fn shared_values(&self) -> &Arc<[f32]> {
+        &self.values
+    }
+
     /// The cached execution report — a pure function of `(matrix,
     /// config)` except for [`ExecReport::health`], which reflects the most
     /// recent execution (all-clean until a run observes otherwise).
@@ -358,8 +413,97 @@ impl ExecutionPlan {
         self.check_y(y)?;
         self.load_and_execute(x);
         self.report.health = self.armed_health();
+        self.report.batch = None;
         self.add_into(y);
         Ok(&self.report)
+    }
+
+    /// Executes `ys[j] += A·xs[j]` for every vector of the batch in one
+    /// call — the serving shape of multi-RHS solvers and
+    /// SpMM-as-batched-SpMV inference.
+    ///
+    /// All x-vectors are padded once into a strided scratch; the
+    /// pre-decoded instance stream is then walked once per tile row and
+    /// applied to every vector while it is hot in cache, instead of being
+    /// re-streamed per vector. Under the `parallel` feature the fan-out
+    /// chunks (vector × tile-row) pairs balanced by instance count, so a
+    /// small matrix with a large batch still saturates threads. Each
+    /// output is bit-identical to a looped [`ExecutionPlan::run`] over the
+    /// same vectors, for every batch size and thread count, and the scratch
+    /// is reused: after the first call at a given batch size the steady
+    /// state performs no heap allocation (when running serially).
+    ///
+    /// On success the cached report carries a [`BatchReport`] with the
+    /// amortised batch pricing (initialisation and the matrix stream are
+    /// paid once per batch).
+    ///
+    /// Armed faults (under the `fault-injection` feature) strike batched
+    /// execution too: the batch degrades to a deterministic vector-serial
+    /// pass so fault application order matches looped [`ExecutionPlan::run`]
+    /// calls, with plans armed via `arm_faults_for_vector` striking only
+    /// their target vector.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DimensionMismatch`] when `xs` and `ys` disagree in
+    /// length (operand `"batch"`) or any vector has the wrong length. All
+    /// shapes are validated up front: on error no output vector has been
+    /// touched.
+    pub fn run_batch<X, Y>(&mut self, xs: &[X], ys: &mut [Y]) -> Result<&ExecReport, SimError>
+    where
+        X: AsRef<[f32]>,
+        Y: AsMut<[f32]>,
+    {
+        if xs.len() != ys.len() {
+            return Err(SimError::DimensionMismatch {
+                expected: xs.len(),
+                actual: ys.len(),
+                operand: "batch",
+            });
+        }
+        for x in xs {
+            self.check_x(x.as_ref())?;
+        }
+        for y in ys.iter_mut() {
+            self.check_y(y.as_mut())?;
+        }
+
+        #[cfg(feature = "fault-injection")]
+        if self.armed.is_some() {
+            return self.run_batch_faulted(xs, ys);
+        }
+
+        let batch = xs.len();
+        self.load_batch(xs);
+        self.execute_batch_rows(batch);
+        self.add_into_batch(ys);
+        self.report.health = HealthReport::default();
+        self.stamp_batch(batch);
+        Ok(&self.report)
+    }
+
+    /// Stamps the cached report with amortised pricing for a
+    /// `vectors`-sized batch. [`ExecutionPlan::run_batch`] does this
+    /// itself; front-ends that drive a batch through the per-vector
+    /// verified ladder call it once at the end so the report they hand out
+    /// reflects the batch.
+    pub fn stamp_batch(&mut self, vectors: usize) {
+        let cycles = timing::batch_cycles(self.report.cycles, vectors);
+        let seconds = self.config.cycles_to_seconds(cycles);
+        let t = self.report.traffic;
+        let div = vectors.max(1) as f64;
+        self.report.batch = Some(BatchReport {
+            vectors,
+            cycles,
+            seconds,
+            amortised_cycles_per_vector: cycles as f64 / div,
+            amortised_seconds_per_vector: seconds / div,
+            traffic: Traffic {
+                matrix: t.matrix,
+                x: t.x * vectors as u64,
+                y: t.y * vectors as u64,
+            },
+        });
     }
 
     /// Executes `A·x` into the plan's internal window buffer *without*
@@ -385,6 +529,7 @@ impl ExecutionPlan {
         self.load_and_execute(x);
         let health = self.verify_and_heal(scope);
         self.report.health = health;
+        self.report.batch = None;
         Ok(health)
     }
 
@@ -470,16 +615,242 @@ impl ExecutionPlan {
         }
     }
 
-    /// Injection-level health: what is armed on the plan, before any
-    /// verification has looked at the output.
+    /// Pads every x vector into the strided batch scratch and zeroes the
+    /// active region of the packed window scratch. Both buffers grow on
+    /// first use and are reused afterwards; the pad lanes beyond each
+    /// vector's `cols` entries are written zero at growth and never
+    /// touched again (every accepted x has exactly `cols` entries).
+    fn load_batch<X: AsRef<[f32]>>(&mut self, xs: &[X]) {
+        let xstride = self.xp.len();
+        let need_x = xstride * xs.len();
+        if self.xb.len() < need_x {
+            self.xb.resize(need_x, 0.0);
+        }
+        for (j, x) in xs.iter().enumerate() {
+            let x = x.as_ref();
+            self.xb[j * xstride..j * xstride + x.len()].copy_from_slice(x);
+        }
+        let need_y = self.window_prefix.last().copied().unwrap_or(0) * xs.len();
+        if self.yb.len() < need_y {
+            self.yb.resize(need_y, 0.0);
+        }
+        self.yb[..need_y].fill(0.0);
+    }
+
+    /// The batched functional pass: tile rows outermost, vectors innermost,
+    /// so each tile row's span of the SoA stream is applied to every
+    /// vector while it is hot in cache. Per vector, the accumulation order
+    /// within each window is exactly the single-run order, so the packed
+    /// windows are bitwise what `run` would have produced.
+    fn execute_batch_rows(&mut self, batch: usize) {
+        let n_rows = self.inst_ranges.len();
+        if n_rows == 0 || batch == 0 {
+            return;
+        }
+        #[cfg(feature = "parallel")]
+        {
+            let budget = worker_budget();
+            if budget >= 2 && n_rows * batch >= 2 {
+                self.execute_batch_parallel(batch, budget);
+                return;
+            }
+        }
+        let xstride = self.xp.len();
+        for r in 0..n_rows {
+            let (i0, i1) = self.inst_ranges[r];
+            let (w0, w1) = self.window_spans[r];
+            let wlen = w1 - w0;
+            let base = self.window_prefix[r] * batch;
+            for j in 0..batch {
+                process_span(
+                    &self.x_base,
+                    &self.y_base,
+                    &self.opcodes,
+                    &self.values,
+                    &self.xb[j * xstride..(j + 1) * xstride],
+                    &mut self.yb[base + j * wlen..base + (j + 1) * wlen],
+                    i0,
+                    i1,
+                );
+            }
+        }
+    }
+
+    /// Parallel batched fan-out over (tile-row × vector) pairs, in pair
+    /// order `p = r·batch + j`: chunk boundaries are binary-searched on the
+    /// pairs' cumulative instance weight, and each chunk's packed windows
+    /// form one contiguous ascending span of `yb` (that is what the pair
+    /// ordering of `yb`'s layout buys), handed out with `split_at_mut`.
+    /// Workers process their pairs in order, so every window's accumulation
+    /// sequence is identical to the serial pass.
+    #[cfg(feature = "parallel")]
+    fn execute_batch_parallel(&mut self, batch: usize, budget: usize) {
+        let n_rows = self.inst_ranges.len();
+        let n_pairs = n_rows * batch;
+        let parts = budget.min(n_pairs);
+        let total = self.cum_instances.last().copied().unwrap_or(0) * batch;
+        self.chunks.clear();
+        self.chunks.push(0);
+        let mut last_boundary = 0usize;
+        for t in 1..parts {
+            let target = total * t / parts;
+            // Smallest pair whose cumulative weight reaches this worker's
+            // share of the instance stream; clamped strictly increasing.
+            let (mut lo, mut hi) = (0usize, n_pairs);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let (r, j) = (mid / batch, mid % batch);
+                let w = batch * self.cum_instances[r]
+                    + j * (self.cum_instances[r + 1] - self.cum_instances[r]);
+                if w < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            if lo > last_boundary && lo < n_pairs {
+                self.chunks.push(lo);
+                last_boundary = lo;
+            }
+        }
+        self.chunks.push(n_pairs);
+
+        let ExecutionPlan {
+            x_base,
+            y_base,
+            opcodes,
+            values,
+            inst_ranges,
+            window_spans,
+            window_prefix,
+            xp,
+            xb,
+            yb,
+            chunks,
+            ..
+        } = self;
+        let xstride = xp.len();
+        let (x_base, y_base, opcodes) = (&*x_base, &*y_base, &*opcodes);
+        let values: &[f32] = values;
+        let xb: &[f32] = xb;
+        let inst_ranges = inst_ranges.as_slice();
+        let window_spans = window_spans.as_slice();
+        let window_prefix = window_prefix.as_slice();
+        // Packed offset of pair `p`'s window; `p == n_pairs` is the end of
+        // the active region.
+        let offset = |p: usize| {
+            if p == n_pairs {
+                return window_prefix[n_rows] * batch;
+            }
+            let (r, j) = (p / batch, p % batch);
+            let (w0, w1) = window_spans[r];
+            window_prefix[r] * batch + j * (w1 - w0)
+        };
+        std::thread::scope(|scope| {
+            let mut rest: &mut [f32] = &mut yb[..window_prefix[n_rows] * batch];
+            let mut consumed = 0usize;
+            for w in chunks.windows(2) {
+                let (p0, p1) = (w[0], w[1]);
+                let (start, end) = (offset(p0), offset(p1));
+                let (chunk_y, tail) = rest.split_at_mut(end - start);
+                rest = tail;
+                debug_assert_eq!(start, consumed);
+                consumed = end;
+                scope.spawn(move || {
+                    for p in p0..p1 {
+                        let (r, j) = (p / batch, p % batch);
+                        let (i0, i1) = inst_ranges[r];
+                        let (w0, w1) = window_spans[r];
+                        let wlen = w1 - w0;
+                        let off = window_prefix[r] * batch + j * wlen - start;
+                        process_span(
+                            x_base,
+                            y_base,
+                            opcodes,
+                            values,
+                            &xb[j * xstride..(j + 1) * xstride],
+                            &mut chunk_y[off..off + wlen],
+                            i0,
+                            i1,
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    /// Folds the packed batch windows into the output vectors,
+    /// reproducing single-run [`ExecutionPlan::add_into`] bit-for-bit —
+    /// including the `+= 0.0` it performs on rows outside every worked
+    /// window (which normalises a caller's `-0.0` to `+0.0`), so batched
+    /// and looped execution cannot be told apart even on signed zeros.
+    fn add_into_batch<Y: AsMut<[f32]>>(&mut self, ys: &mut [Y]) {
+        let batch = ys.len();
+        let rows = self.rows as usize;
+        for y in ys.iter_mut() {
+            let y = y.as_mut();
+            let mut cursor = 0usize;
+            for &(w0, w1) in &self.window_spans {
+                for dst in &mut y[cursor..w0.min(rows)] {
+                    *dst += 0.0;
+                }
+                cursor = cursor.max(w1.min(rows));
+            }
+            for dst in &mut y[cursor..] {
+                *dst += 0.0;
+            }
+        }
+        for (r, &(w0, w1)) in self.window_spans.iter().enumerate() {
+            let wlen = w1 - w0;
+            let base = self.window_prefix[r] * batch;
+            let hi = w1.min(rows);
+            for (j, y) in ys.iter_mut().enumerate() {
+                let y = y.as_mut();
+                let src = &self.yb[base + j * wlen..base + j * wlen + (hi - w0)];
+                for (dst, s) in y[w0..hi].iter_mut().zip(src) {
+                    *dst += *s;
+                }
+            }
+        }
+    }
+
+    /// The faulted batch path: vector-serial through the single-vector
+    /// machinery, so fault application order is identical to looped
+    /// [`ExecutionPlan::run`] calls with the matching active lane.
+    #[cfg(feature = "fault-injection")]
+    fn run_batch_faulted<X, Y>(&mut self, xs: &[X], ys: &mut [Y]) -> Result<&ExecReport, SimError>
+    where
+        X: AsRef<[f32]>,
+        Y: AsMut<[f32]>,
+    {
+        let prev = self.active_lane;
+        let mut health = HealthReport::default();
+        for (j, (x, y)) in xs.iter().zip(ys.iter_mut()).enumerate() {
+            self.active_lane = j;
+            self.load_and_execute(x.as_ref());
+            let h = self.armed_health();
+            health.faults_injected += h.faults_injected;
+            health.stall_cycles += h.stall_cycles;
+            self.add_into(y.as_mut());
+        }
+        self.active_lane = prev;
+        self.report.health = health;
+        self.stamp_batch(xs.len());
+        Ok(&self.report)
+    }
+
+    /// Injection-level health: what is armed on the plan *and striking the
+    /// active lane*, before any verification has looked at the output.
     fn armed_health(&self) -> HealthReport {
         #[cfg(feature = "fault-injection")]
         if let Some(af) = &self.armed {
-            return HealthReport {
-                faults_injected: af.applied,
-                stall_cycles: af.stall_cycles,
-                ..HealthReport::default()
-            };
+            if af.strikes_lane(self.active_lane) {
+                return HealthReport {
+                    faults_injected: af.applied,
+                    stall_cycles: af.stall_cycles,
+                    ..HealthReport::default()
+                };
+            }
         }
         HealthReport::default()
     }
@@ -555,7 +926,7 @@ impl ExecutionPlan {
     #[cfg(feature = "fault-injection")]
     fn reexecute_span(&mut self, i0: usize, i1: usize, wlen: usize) {
         match &self.armed {
-            Some(af) => process_span_faulted(
+            Some(af) if af.strikes_lane(self.active_lane) => process_span_faulted(
                 af,
                 false,
                 &self.enc_bits,
@@ -567,7 +938,7 @@ impl ExecutionPlan {
                 i0,
                 i1,
             ),
-            None => process_span(
+            _ => process_span(
                 &self.x_base,
                 &self.y_base,
                 &self.opcodes,
@@ -601,7 +972,11 @@ impl ExecutionPlan {
     /// when the `parallel` feature is on and the ambient budget allows.
     fn execute_tile_rows(&mut self) {
         #[cfg(feature = "fault-injection")]
-        if self.armed.is_some() {
+        if self
+            .armed
+            .as_ref()
+            .is_some_and(|af| af.strikes_lane(self.active_lane))
+        {
             self.execute_tile_rows_faulted();
             return;
         }
@@ -693,7 +1068,8 @@ impl ExecutionPlan {
             chunks,
             ..
         } = self;
-        let (x_base, y_base, opcodes, values, xp) = (&*x_base, &*y_base, &*opcodes, &*values, &*xp);
+        let (x_base, y_base, opcodes, xp) = (&*x_base, &*y_base, &*opcodes, &*xp);
+        let values: &[f32] = values;
         // Reborrow as shared slices so the spawn closures can Copy them.
         let inst_ranges = inst_ranges.as_slice();
         let window_spans = window_spans.as_slice();
@@ -739,6 +1115,31 @@ impl ExecutionPlan {
         self.armed = Some(ArmedFaults::from_plan(plan));
     }
 
+    /// Arms a seeded fault plan that strikes only executions on behalf of
+    /// batch vector `vector`: in [`ExecutionPlan::run_batch`] exactly that
+    /// vector of the batch is struck, the rest execute pristine. Front-ends
+    /// driving a batch through the per-vector verified ladder select the
+    /// vector with [`ExecutionPlan::set_active_lane`]. Replaces any
+    /// previously armed plan.
+    pub fn arm_faults_for_vector(&mut self, plan: FaultPlan, vector: usize) {
+        let mut af = ArmedFaults::from_plan(plan);
+        af.target = Some(vector);
+        self.armed = Some(af);
+    }
+
+    /// Selects which batch lane subsequent single-vector executions act on
+    /// behalf of, so faults armed with
+    /// [`ExecutionPlan::arm_faults_for_vector`] strike only their vector.
+    /// Lane 0 outside batched execution.
+    pub fn set_active_lane(&mut self, lane: usize) {
+        self.active_lane = lane;
+    }
+
+    /// The active batch lane (see [`ExecutionPlan::set_active_lane`]).
+    pub fn active_lane(&self) -> usize {
+        self.active_lane
+    }
+
     /// Disarms fault injection; subsequent executions are pristine.
     pub fn disarm_faults(&mut self) {
         self.armed = None;
@@ -764,6 +1165,9 @@ struct ArmedFaults {
     lane_zero: [bool; 4],
     stall_cycles: u64,
     applied: u32,
+    /// `Some(v)`: strike only executions on behalf of batch vector `v`;
+    /// `None`: strike every execution.
+    target: Option<usize>,
 }
 
 #[cfg(feature = "fault-injection")]
@@ -802,7 +1206,13 @@ impl ArmedFaults {
             lane_zero,
             stall_cycles,
             applied,
+            target: None,
         }
+    }
+
+    /// Whether this plan strikes executions on behalf of `lane`.
+    fn strikes_lane(&self, lane: usize) -> bool {
+        self.target.is_none_or(|t| t == lane)
     }
 
     /// The xor mask to apply to instance `i`'s encoding word (0 if the
@@ -1064,6 +1474,167 @@ mod tests {
                 first.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
             );
         }
+    }
+
+    fn bits(y: &[f32]) -> Vec<u32> {
+        y.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn run_batch_matches_looped_run_bit_for_bit() {
+        let coo = sample(100);
+        for tile in [16u32, 64] {
+            let m = encode(&coo, tile);
+            let acc = Accelerator::new(HwConfig::spasm_4_1());
+            for batch in [1usize, 2, 3, 8] {
+                let xs: Vec<Vec<f32>> = (0..batch)
+                    .map(|j| {
+                        (0..100)
+                            .map(|i| (i as f32) * 0.25 - 2.0 * j as f32)
+                            .collect()
+                    })
+                    .collect();
+                let mut plan = acc.prepare(&m).unwrap();
+                let mut want: Vec<Vec<f32>> =
+                    (0..batch).map(|j| vec![0.25 * j as f32; 100]).collect();
+                for (x, y) in xs.iter().zip(want.iter_mut()) {
+                    plan.run(x, y).unwrap();
+                }
+                let mut got: Vec<Vec<f32>> =
+                    (0..batch).map(|j| vec![0.25 * j as f32; 100]).collect();
+                let rep = plan.run_batch(&xs, &mut got).unwrap();
+                let b = rep.batch.expect("batched run must stamp a BatchReport");
+                assert_eq!(b.vectors, batch);
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(bits(g), bits(w), "tile {tile} batch {batch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_validates_shapes_up_front() {
+        let m = encode(&sample(16), 16);
+        let mut plan = Accelerator::new(HwConfig::spasm_4_1()).prepare(&m).unwrap();
+        let xs = vec![vec![1.0f32; 16], vec![2.0f32; 16]];
+        // Batch length mismatch.
+        let mut ys = vec![vec![0.0f32; 16]];
+        assert!(matches!(
+            plan.run_batch(&xs, &mut ys),
+            Err(SimError::DimensionMismatch {
+                operand: "batch",
+                ..
+            })
+        ));
+        // A bad vector in the middle: nothing may be written.
+        let xs_bad = vec![vec![1.0f32; 16], vec![2.0f32; 3]];
+        let mut ys = vec![vec![0.5f32; 16], vec![0.5f32; 16]];
+        assert!(matches!(
+            plan.run_batch(&xs_bad, &mut ys),
+            Err(SimError::DimensionMismatch { operand: "x", .. })
+        ));
+        let mut ys_bad = vec![vec![0.5f32; 16], vec![0.5f32; 3]];
+        assert!(matches!(
+            plan.run_batch(&xs, &mut ys_bad),
+            Err(SimError::DimensionMismatch { operand: "y", .. })
+        ));
+        for y in ys.iter().chain(&ys_bad) {
+            assert!(y.iter().all(|&v| v == 0.5), "partial write on error");
+        }
+    }
+
+    #[test]
+    fn run_batch_handles_empty_batch_and_empty_matrix() {
+        let m = encode(&sample(16), 16);
+        let mut plan = Accelerator::new(HwConfig::spasm_4_1()).prepare(&m).unwrap();
+        let xs: Vec<Vec<f32>> = Vec::new();
+        let mut ys: Vec<Vec<f32>> = Vec::new();
+        let rep = plan.run_batch(&xs, &mut ys).unwrap();
+        let b = rep.batch.unwrap();
+        assert_eq!(b.vectors, 0);
+        assert_eq!(b.cycles, crate::timing::INIT_CYCLES);
+
+        let empty = encode(&Coo::new(8, 8), 8);
+        let mut plan = Accelerator::new(HwConfig::spasm_4_1())
+            .prepare(&empty)
+            .unwrap();
+        let xs = vec![vec![1.0f32; 8]; 3];
+        let mut ys = vec![vec![0.0f32; 8]; 3];
+        plan.run_batch(&xs, &mut ys).unwrap();
+        assert!(ys.iter().all(|y| y.iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn batch_report_amortises_init_and_matrix_traffic() {
+        let m = encode(&sample(64), 32);
+        let mut plan = Accelerator::new(HwConfig::spasm_4_1()).prepare(&m).unwrap();
+        let single = plan.report().clone();
+        let xs = vec![vec![1.0f32; 64]; 8];
+        let mut ys = vec![vec![0.0f32; 64]; 8];
+        let rep = plan.run_batch(&xs, &mut ys).unwrap().clone();
+        let b = rep.batch.unwrap();
+        assert_eq!(
+            b.cycles,
+            crate::timing::batch_cycles(single.cycles, 8),
+            "batch pricing"
+        );
+        assert!(b.amortised_cycles_per_vector < single.cycles as f64);
+        assert_eq!(b.traffic.matrix, single.traffic.matrix);
+        assert_eq!(b.traffic.x, single.traffic.x * 8);
+        assert_eq!(b.traffic.y, single.traffic.y * 8);
+        // A subsequent single run clears the batch stamp.
+        let mut y = vec![0.0f32; 64];
+        let rep = plan.run(&vec![1.0f32; 64], &mut y).unwrap();
+        assert!(rep.batch.is_none());
+    }
+
+    #[test]
+    fn plan_shares_matrix_value_stream() {
+        let m = encode(&sample(64), 32);
+        let acc = Accelerator::new(HwConfig::spasm_4_1());
+        let plan = acc.prepare(&m).unwrap();
+        assert!(std::sync::Arc::ptr_eq(
+            plan.shared_values(),
+            m.shared_values()
+        ));
+        let clone = plan.clone();
+        assert!(std::sync::Arc::ptr_eq(
+            clone.shared_values(),
+            plan.shared_values()
+        ));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn targeted_faults_strike_exactly_one_batch_vector() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let coo = sample(64);
+        let m = encode(&coo, 16);
+        let acc = Accelerator::new(HwConfig::spasm_4_1());
+        let xs: Vec<Vec<f32>> = (0..3)
+            .map(|j| (0..64).map(|i| (i + j) as f32 * 0.5).collect())
+            .collect();
+
+        let mut clean_plan = acc.prepare(&m).unwrap();
+        let mut clean = vec![vec![0.0f32; 64]; 3];
+        clean_plan.run_batch(&xs, &mut clean).unwrap();
+
+        let mut plan = acc.prepare(&m).unwrap();
+        let spec = FaultSpec {
+            lane_faults: 4,
+            ..FaultSpec::default()
+        };
+        plan.arm_faults_for_vector(FaultPlan::seeded(9, &spec, plan.n_instances()), 1);
+        let mut ys = vec![vec![0.0f32; 64]; 3];
+        plan.run_batch(&xs, &mut ys).unwrap();
+        assert_eq!(bits(&ys[0]), bits(&clean[0]), "lane 0 must stay pristine");
+        assert_eq!(bits(&ys[2]), bits(&clean[2]), "lane 2 must stay pristine");
+        assert_ne!(
+            bits(&ys[1]),
+            bits(&clean[1]),
+            "all-lane fault on the target must corrupt it"
+        );
+        assert_eq!(plan.active_lane(), 0, "lane restored after the batch");
     }
 
     #[test]

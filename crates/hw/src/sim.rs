@@ -83,6 +83,26 @@ impl Traffic {
     }
 }
 
+/// The amortised cycle model of one batched execution
+/// ([`ExecutionPlan::run_batch`]): initialisation and the matrix stream are
+/// paid once, the per-vector body repeats for every vector of the batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchReport {
+    /// Vectors in the batch.
+    pub vectors: usize,
+    /// Whole-batch cycles: `INIT_CYCLES + vectors × (cycles − INIT_CYCLES)`.
+    pub cycles: u64,
+    /// Whole-batch wall-clock seconds at the configuration's clock.
+    pub seconds: f64,
+    /// `cycles / max(vectors, 1)` — the per-vector amortised cost.
+    pub amortised_cycles_per_vector: f64,
+    /// `seconds / max(vectors, 1)`.
+    pub amortised_seconds_per_vector: f64,
+    /// Whole-batch HBM traffic: the matrix stream moves once, the x and y
+    /// traffic scale with the batch.
+    pub traffic: Traffic,
+}
+
 /// The outcome of one simulated SpMV execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecReport {
@@ -111,6 +131,10 @@ pub struct ExecReport {
     /// injected, corruptions detected/corrected, fallbacks taken. All
     /// zeros (the default) for a clean run.
     pub health: HealthReport,
+    /// Amortised batch pricing of the most recent execution, when it was a
+    /// batch ([`ExecutionPlan::run_batch`] /
+    /// `Prepared::execute_batch_into`); `None` after single-vector runs.
+    pub batch: Option<BatchReport>,
 }
 
 /// The simulated SPASM accelerator.

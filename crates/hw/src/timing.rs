@@ -148,6 +148,15 @@ pub fn total_cycles(per_group: &[u64], y_bytes: u64, cfg: &HwConfig) -> u64 {
     INIT_CYCLES + slowest.max(y_drain)
 }
 
+/// Amortised batch pricing: initialisation (opcode LUT load, descriptor
+/// fetch) is paid once, the per-vector body — everything past
+/// [`INIT_CYCLES`] of `single_cycles` — repeats for each vector of the
+/// batch. An empty batch costs only initialisation.
+pub fn batch_cycles(single_cycles: u64, vectors: usize) -> u64 {
+    let body = single_cycles.saturating_sub(INIT_CYCLES);
+    INIT_CYCLES + vectors as u64 * body
+}
+
 /// y traffic: 8 bytes per matrix row of every distinct worked tile row.
 ///
 /// `row_heights` holds one entry per distinct tile row with work.
@@ -238,6 +247,16 @@ mod tests {
         assert_eq!(total_cycles(&[1000], 0, &c), INIT_CYCLES + 1000);
         let t2 = total_cycles(&[10], 1_000_000, &c);
         assert!(t2 > INIT_CYCLES + 10_000);
+    }
+
+    #[test]
+    fn batch_cycles_amortises_init() {
+        assert_eq!(batch_cycles(INIT_CYCLES + 100, 1), INIT_CYCLES + 100);
+        assert_eq!(batch_cycles(INIT_CYCLES + 100, 8), INIT_CYCLES + 800);
+        assert_eq!(batch_cycles(INIT_CYCLES + 100, 0), INIT_CYCLES);
+        // An empty matrix's run costs exactly INIT_CYCLES; batches of it
+        // must not underflow.
+        assert_eq!(batch_cycles(INIT_CYCLES, 8), INIT_CYCLES);
     }
 
     #[test]

@@ -19,11 +19,13 @@ struct CountingAlloc;
 
 static ARMED: AtomicBool = AtomicBool::new(false);
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         }
         System.alloc(layout)
     }
@@ -31,6 +33,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
         }
         System.realloc(ptr, layout, new_size)
     }
@@ -45,11 +48,17 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 /// Counts heap allocations performed while `f` runs.
 fn count_allocs(f: impl FnOnce()) -> u64 {
+    count_allocs_and_bytes(f).0
+}
+
+/// Counts heap allocations and the total bytes requested while `f` runs.
+fn count_allocs_and_bytes(f: impl FnOnce()) -> (u64, u64) {
     ALLOCS.store(0, Ordering::SeqCst);
+    BYTES.store(0, Ordering::SeqCst);
     ARMED.store(true, Ordering::SeqCst);
     f();
     ARMED.store(false, Ordering::SeqCst);
-    ALLOCS.load(Ordering::SeqCst)
+    (ALLOCS.load(Ordering::SeqCst), BYTES.load(Ordering::SeqCst))
 }
 
 #[test]
@@ -103,4 +112,115 @@ fn plan_run_is_allocation_free_at_steady_state() {
     for (g, w) in y.iter().zip(&want) {
         assert!((g - w).abs() <= 1e-3 * (1.0 + w.abs()), "{g} vs {w}");
     }
+}
+
+#[test]
+fn run_batch_is_allocation_free_at_steady_state() {
+    // The batched scratch (strided x, packed window-major y) grows on the
+    // first call for a given batch size and is reused afterwards: once
+    // warm, `run_batch` performs zero heap allocations per call.
+    let mut t = Vec::new();
+    for i in 0..192u32 {
+        t.push((i, i, 1.5));
+        t.push((i, (i * 7 + 3) % 192, 0.25));
+    }
+    let a = spasm_sparse::Coo::from_triplets(192, 192, t).unwrap();
+    let prepared =
+        Pipeline::with_options(PipelineOptions::default().parallelism(Parallelism::Serial))
+            .prepare(&a)
+            .unwrap();
+    let mut plan = prepared.accelerator().prepare(&prepared.encoded).unwrap();
+
+    let batch = 8usize;
+    let xs: Vec<Vec<f32>> = (0..batch)
+        .map(|j| {
+            (0..192)
+                .map(|i| (((i + 3 * j) % 9) as f32) * 0.5 - 2.0)
+                .collect()
+        })
+        .collect();
+    let mut ys = vec![vec![0.0f32; 192]; batch];
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        // First call grows xb/yb; from then on the batch path must be
+        // allocation-free.
+        for _ in 0..3 {
+            plan.run_batch(&xs, &mut ys).unwrap();
+        }
+        let allocs = count_allocs(|| {
+            for _ in 0..50 {
+                plan.run_batch(&xs, &mut ys).unwrap();
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "ExecutionPlan::run_batch allocated {allocs} times over 50 steady-state calls"
+        );
+
+        // Smaller batches reuse the already-grown scratch: still zero.
+        let xs_small = &xs[..3];
+        let mut ys_small = vec![vec![0.0f32; 192]; 3];
+        plan.run_batch(xs_small, &mut ys_small).unwrap();
+        let allocs = count_allocs(|| {
+            for _ in 0..20 {
+                plan.run_batch(xs_small, &mut ys_small).unwrap();
+            }
+        });
+        assert_eq!(allocs, 0, "shrunk-batch run_batch allocated {allocs} times");
+    });
+}
+
+#[test]
+fn prepared_plans_share_the_value_stream_without_copying() {
+    // The flattened value stream is `Arc<[f32]>`-shared between the
+    // encoded matrix and every plan prepared from it: preparing another
+    // plan must not copy the values.
+    let mut t = Vec::new();
+    for i in 0..128u32 {
+        for c in 0..8u32 {
+            t.push((i, (i + c * 17) % 128, 1.0 + (c as f32) * 0.25));
+        }
+    }
+    let a = spasm_sparse::Coo::from_triplets(128, 128, t).unwrap();
+    let prepared =
+        Pipeline::with_options(PipelineOptions::default().parallelism(Parallelism::Serial))
+            .prepare(&a)
+            .unwrap();
+    let m = &prepared.encoded;
+    let acc = prepared.accelerator();
+
+    // Same allocation, not equal copies.
+    let plan = acc.prepare(m).unwrap();
+    assert!(
+        std::sync::Arc::ptr_eq(plan.shared_values(), m.shared_values()),
+        "plan must share the matrix's value-stream allocation"
+    );
+
+    // Each additional plan adds exactly one strong reference.
+    let before = std::sync::Arc::strong_count(m.shared_values());
+    let plan2 = acc.prepare(m).unwrap();
+    assert_eq!(std::sync::Arc::strong_count(m.shared_values()), before + 1);
+    drop(plan2);
+    assert_eq!(std::sync::Arc::strong_count(m.shared_values()), before);
+
+    // Preparing a plan allocates scratch and decoded streams, but never a
+    // second copy of the 4-slot value stream: cloning the matrix (which
+    // shares values by refcount) must cost far less than the value bytes.
+    let value_bytes = (m.n_instances() * 4 * std::mem::size_of::<f32>()) as u64;
+    let (_, clone_bytes) = count_allocs_and_bytes(|| {
+        let cloned = m.clone();
+        assert!(std::sync::Arc::ptr_eq(
+            cloned.shared_values(),
+            m.shared_values()
+        ));
+    });
+    assert!(
+        clone_bytes < value_bytes,
+        "matrix clone moved {clone_bytes} bytes — value stream ({value_bytes} bytes) was copied"
+    );
+    drop(plan);
 }

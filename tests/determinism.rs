@@ -264,6 +264,87 @@ fn pipeline_execute_is_thread_count_invariant() {
 }
 
 #[test]
+fn plan_run_batch_is_thread_count_invariant() {
+    // The batched fan-out spans (vector × tile-row) pairs; the chunk
+    // boundaries move with the budget but the bits must not. Serial looped
+    // plan.run is the oracle.
+    let m = random_coo(0xDE7_000B, 180, 140, 1_500);
+    let prepared = pipeline(Parallelism::Serial).prepare(&m).unwrap();
+    let acc = prepared.accelerator();
+
+    for batch in [1usize, 2, 3, 8] {
+        let xs: Vec<Vec<f32>> = (0..batch)
+            .map(|j| {
+                (0..140)
+                    .map(|i| (((i + 5 * j) % 9) as f32) * 0.5 - 2.0)
+                    .collect()
+            })
+            .collect();
+        let mut want = vec![vec![0.75f32; 180]; batch];
+        let mut oracle = acc.prepare(&prepared.encoded).unwrap();
+        for (xj, yj) in xs.iter().zip(want.iter_mut()) {
+            with_budget(1, || oracle.run(xj, yj).map(|_| ())).unwrap();
+        }
+        let want_bits: Vec<Vec<u32>> = want
+            .iter()
+            .map(|y| y.iter().map(|v| v.to_bits()).collect())
+            .collect();
+
+        for budget in [1usize, 2, 7] {
+            let mut plan = acc.prepare(&prepared.encoded).unwrap();
+            let mut ys = vec![vec![0.75f32; 180]; batch];
+            with_budget(budget, || plan.run_batch(&xs, &mut ys).map(|_| ())).unwrap();
+            for (j, y) in ys.iter().enumerate() {
+                assert_eq!(
+                    y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want_bits[j],
+                    "run_batch vector {j} of {batch} drifted at {budget} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn execute_batch_is_thread_count_invariant() {
+    // The front-end batched path under the pipeline's own budget: serial
+    // looped execute is the oracle for every budget and batch size.
+    let m = random_coo(0xDE7_000C, 120, 120, 900);
+    let mut serial_prepared = pipeline(Parallelism::Serial).prepare(&m).unwrap();
+
+    for batch in [1usize, 3, 8] {
+        let xs: Vec<Vec<f32>> = (0..batch)
+            .map(|j| {
+                (0..120)
+                    .map(|i| (((i + 7 * j) % 11) as f32) * 0.25 - 1.25)
+                    .collect()
+            })
+            .collect();
+        let mut want = vec![vec![0.0f32; 120]; batch];
+        for (xj, yj) in xs.iter().zip(want.iter_mut()) {
+            serial_prepared.execute_into(xj, yj).unwrap();
+        }
+        let want_bits: Vec<Vec<u32>> = want
+            .iter()
+            .map(|y| y.iter().map(|v| v.to_bits()).collect())
+            .collect();
+
+        for budget in [1usize, 2, 7] {
+            let mut prepared = pipeline(Parallelism::Threads(budget)).prepare(&m).unwrap();
+            let mut ys = vec![vec![0.0f32; 120]; batch];
+            prepared.execute_batch_into(&xs, &mut ys).unwrap();
+            for (j, y) in ys.iter().enumerate() {
+                assert_eq!(
+                    y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want_bits[j],
+                    "execute_batch vector {j} of {batch} drifted at {budget} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn timings_record_the_budget() {
     let m = random_coo(0xDE7_0007, 64, 64, 200);
     let serial = pipeline(Parallelism::Serial).prepare(&m).unwrap();

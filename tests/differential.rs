@@ -14,10 +14,25 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use spasm::Pipeline;
+use spasm::{IntegrityPolicy, Pipeline, PipelineOptions};
 use spasm_format::SpasmMatrix;
 use spasm_hw::Accelerator;
 use spasm_sparse::{Bsr, Coo, Csc, Csr, Dia, Ell, SpMv};
+
+/// Batch sizes every batched-equivalence assertion sweeps.
+const BATCH_SIZES: [usize; 4] = [1, 2, 3, 8];
+
+/// A family of distinct x vectors derived from the probe (multiples of
+/// 0.25, so partial sums stay exactly representable).
+fn probe_batch(cols: u32, batch: usize) -> Vec<Vec<f32>> {
+    (0..batch)
+        .map(|j| {
+            (0..cols)
+                .map(|i| (((i as usize + 3 * j) % 9) as f32) * 0.5 - 2.0 + j as f32 * 0.25)
+                .collect()
+        })
+        .collect()
+}
 
 fn bits(v: &[f32]) -> Vec<u32> {
     v.iter().map(|x| x.to_bits()).collect()
@@ -42,6 +57,32 @@ fn assert_plan_matches_run(acc: &Accelerator, m: &SpasmMatrix, x: &[f32]) {
         m.cols()
     );
     assert_eq!(plan_report, run_report, "ExecReport mismatch");
+
+    // The batched entry point must be bit-identical to looping the
+    // single-vector plan, for every batch size.
+    for batch in BATCH_SIZES {
+        let xs = probe_batch(m.cols(), batch);
+        let mut want = vec![vec![0.25f32; m.rows() as usize]; batch];
+        for (xj, yj) in xs.iter().zip(want.iter_mut()) {
+            plan.run(xj, yj).unwrap();
+        }
+        let mut got = vec![vec![0.25f32; m.rows() as usize]; batch];
+        let batch_report = plan.run_batch(&xs, &mut got).unwrap();
+        assert_eq!(
+            batch_report.batch.map(|b| b.vectors),
+            Some(batch),
+            "run_batch must stamp its batch size"
+        );
+        for (j, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(
+                bits(g),
+                bits(w),
+                "run_batch vector {j}/{batch} vs looped plan.run on {}x{}",
+                m.rows(),
+                m.cols()
+            );
+        }
+    }
 }
 
 /// Random triplets with exactly-representable values (multiples of 0.25).
@@ -239,5 +280,105 @@ fn accumulation_into_nonzero_y() {
     assert_eq!(
         via_coo.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn execute_batch_matches_looped_execute_under_every_policy() {
+    // The framework's batched entry point must agree bit for bit with
+    // looping execute_into — unverified and under the full verification
+    // ladder alike.
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0007);
+    for policy in [
+        IntegrityPolicy::off(),
+        IntegrityPolicy::sampled(8, 7),
+        IntegrityPolicy::full(),
+    ] {
+        let m = random_coo(&mut rng, 72, 72, 260);
+        let opts = PipelineOptions::default().integrity(policy);
+        let mut prepared = Pipeline::with_options(opts).prepare(&m).unwrap();
+        for batch in BATCH_SIZES {
+            let xs = probe_batch(m.cols(), batch);
+            let mut want = vec![vec![0.5f32; 72]; batch];
+            for (xj, yj) in xs.iter().zip(want.iter_mut()) {
+                prepared.execute_into(xj, yj).unwrap();
+            }
+            let mut got = vec![vec![0.5f32; 72]; batch];
+            prepared.execute_batch_into(&xs, &mut got).unwrap();
+            for (j, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(bits(g), bits(w), "vector {j} of batch {batch}");
+            }
+            assert_eq!(prepared.batch_health().len(), batch);
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+#[test]
+fn batched_fault_degrades_exactly_one_vector_to_csr() {
+    use spasm_hw::fault::{FaultPlan, FaultSpec};
+
+    // Faults targeted at batch vector 1: under a verifying policy with
+    // fallback enabled, vector 1 must come back on the golden CSR path
+    // while its siblings stay bit-identical to pristine plan output.
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0008);
+    let m = random_coo(&mut rng, 96, 96, 420);
+    let opts = PipelineOptions::default().integrity(IntegrityPolicy::full());
+    let mut prepared = Pipeline::with_options(opts).prepare(&m).unwrap();
+
+    let batch = 3usize;
+    let xs = probe_batch(m.cols(), batch);
+
+    // Pristine reference: looped guarded execution without faults.
+    let mut pristine = vec![vec![0.0f32; 96]; batch];
+    for (xj, yj) in xs.iter().zip(pristine.iter_mut()) {
+        prepared.execute_into(xj, yj).unwrap();
+    }
+
+    // The golden CSR products, which the degraded vector must match.
+    let mut golden = vec![vec![0.0f32; 96]; batch];
+    for (xj, yj) in xs.iter().zip(golden.iter_mut()) {
+        prepared.golden().spmv(xj, yj).unwrap();
+    }
+
+    let spec = FaultSpec {
+        encoding_flips: 3,
+        value_flips: 3,
+        ..FaultSpec::default()
+    };
+    let n_inst = prepared.plan.n_instances();
+    prepared
+        .plan
+        .arm_faults_for_vector(FaultPlan::seeded(0xBAD_CAFE, &spec, n_inst), 1);
+
+    let mut ys = vec![vec![0.0f32; 96]; batch];
+    prepared.execute_batch_into(&xs, &mut ys).unwrap();
+
+    let health = prepared.batch_health().to_vec();
+    assert_eq!(health.len(), batch);
+    assert!(
+        health[1].faults_injected > 0,
+        "the targeted vector must have been struck"
+    );
+    for (j, h) in health.iter().enumerate() {
+        if j == 1 {
+            continue;
+        }
+        assert_eq!(h.faults_injected, 0, "vector {j} must run pristine");
+        assert!(!h.fallback, "vector {j} must not fall back");
+        assert_eq!(bits(&ys[j]), bits(&pristine[j]), "vector {j} bits");
+    }
+    if health[1].fallback {
+        // Unrepairable corruption: vector 1 was recomputed on the golden
+        // CSR path, bit-identical to Csr::spmv.
+        assert_eq!(bits(&ys[1]), bits(&golden[1]), "fallback vector bits");
+    } else {
+        // The ladder repaired every strike from the pristine stream.
+        assert!(health[1].tile_rows_quarantined > 0);
+        assert_eq!(bits(&ys[1]), bits(&pristine[1]), "repaired vector bits");
+    }
+    assert!(
+        prepared.report().health.faults_injected > 0,
+        "aggregate health must record the strikes"
     );
 }

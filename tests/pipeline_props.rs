@@ -2,7 +2,7 @@
 //! optimality for arbitrary matrices.
 
 use proptest::prelude::*;
-use spasm::{Pipeline, PipelineOptions};
+use spasm::{Pipeline, PipelineError, PipelineOptions};
 use spasm_hw::HwConfig;
 use spasm_patterns::TemplateSet;
 use spasm_sparse::{Coo, Csr, SpMv};
@@ -78,5 +78,76 @@ proptest! {
         .unwrap();
         prop_assert_eq!(fixed.selection.set.name(), "set-0");
         prop_assert_eq!(fixed.best.tile_size, 1024);
+    }
+
+    /// Batched execution over arbitrary batch shapes: any well-formed
+    /// batch (including empty and singleton) equals looped execution bit
+    /// for bit; malformed shapes error without touching any output.
+    #[test]
+    fn batched_execution_handles_arbitrary_shapes(
+        m in arb_matrix(),
+        batch in 0usize..6,
+        defect in 0usize..4,
+    ) {
+        let mut prepared = Pipeline::new().prepare(&m).unwrap();
+        let (rows, cols) = (m.rows() as usize, m.cols() as usize);
+        let xs: Vec<Vec<f32>> = (0..batch)
+            .map(|j| (0..cols).map(|i| (((i + j) % 7) as f32) * 0.5 - 1.5).collect())
+            .collect();
+
+        // Well-formed batch: bit-identical to the looped single path.
+        let mut want = vec![vec![0.25f32; rows]; batch];
+        for (xj, yj) in xs.iter().zip(want.iter_mut()) {
+            prepared.execute_into(xj, yj).unwrap();
+        }
+        let mut got = vec![vec![0.25f32; rows]; batch];
+        prepared.execute_batch_into(&xs, &mut got).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            let gb: Vec<u32> = g.iter().map(|v| v.to_bits()).collect();
+            let wb: Vec<u32> = w.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(gb, wb);
+        }
+        prop_assert_eq!(prepared.batch_health().len(), batch);
+
+        // Malformed shapes: an error, never a panic, and never a partial
+        // write — every output still holds its sentinel afterwards.
+        let mut bad_xs = xs.clone();
+        let mut bad_ys = vec![vec![0.125f32; rows]; batch];
+        let expected_operand = match defect {
+            // One x too short.
+            0 if batch > 0 => {
+                bad_xs[batch - 1] = vec![0.0; cols.saturating_sub(1)];
+                Some("x")
+            }
+            // One y too long.
+            1 if batch > 0 => {
+                bad_ys[0] = vec![0.125f32; rows + 1];
+                Some("y")
+            }
+            // ys shorter than xs.
+            2 if batch > 0 => {
+                bad_ys.pop();
+                Some("batch")
+            }
+            // ys longer than xs.
+            3 => {
+                bad_ys.push(vec![0.125f32; rows]);
+                Some("batch")
+            }
+            _ => None,
+        };
+        if let Some(operand) = expected_operand {
+            let err = prepared.execute_batch_into(&bad_xs, &mut bad_ys);
+            match err {
+                Err(PipelineError::DimensionMismatch { operand: o, .. }) => {
+                    prop_assert_eq!(o, operand);
+                }
+                other => prop_assert!(false, "expected DimensionMismatch, got {:?}", other),
+            }
+            prop_assert!(
+                bad_ys.iter().flatten().all(|&v| v == 0.125),
+                "a malformed batch wrote partial results"
+            );
+        }
     }
 }
