@@ -20,6 +20,19 @@ pub enum PipelineError {
         /// Which operand.
         operand: &'static str,
     },
+    /// One vector inside a batched call has the wrong length. Carries the
+    /// batch index so a front-end coalescing independent requests can
+    /// reject just the offending request instead of the whole batch.
+    BatchDimensionMismatch {
+        /// Index of the offending vector within the batch.
+        vector: usize,
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+        /// Which operand (`"x"` or `"y"`).
+        operand: &'static str,
+    },
     /// The schedule exploration had nothing to explore.
     EmptySearchSpace(&'static str),
     /// An integrity check failed and the policy forbade (or repair plus
@@ -45,6 +58,17 @@ impl fmt::Display for PipelineError {
                 write!(
                     f,
                     "vector `{operand}` has length {actual}, expected {expected}"
+                )
+            }
+            PipelineError::BatchDimensionMismatch {
+                vector,
+                expected,
+                actual,
+                operand,
+            } => {
+                write!(
+                    f,
+                    "batch vector {vector}: `{operand}` has length {actual}, expected {expected}"
                 )
             }
             PipelineError::EmptySearchSpace(what) => {
@@ -87,6 +111,17 @@ impl From<spasm_hw::SimError> for PipelineError {
                 actual,
                 operand,
             } => PipelineError::DimensionMismatch {
+                expected,
+                actual,
+                operand,
+            },
+            spasm_hw::SimError::BatchDimensionMismatch {
+                vector,
+                expected,
+                actual,
+                operand,
+            } => PipelineError::BatchDimensionMismatch {
+                vector,
                 expected,
                 actual,
                 operand,

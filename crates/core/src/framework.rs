@@ -4,7 +4,8 @@ use std::time::{Duration, Instant};
 
 use spasm_format::{SpasmMatrix, SubmatrixMap};
 use spasm_hw::{
-    Accelerator, ExecReport, ExecutionPlan, HealthReport, HwConfig, IntegrityCheck, VerifyScope,
+    merge_health, Accelerator, ExecReport, ExecutionPlan, HealthReport, HwConfig, IntegrityCheck,
+    VerifyScope,
 };
 use spasm_patterns::selection::{self, TopN};
 use spasm_patterns::{SelectionOutcome, TemplateSet};
@@ -491,9 +492,12 @@ impl Prepared {
     /// # Errors
     ///
     /// [`PipelineError::DimensionMismatch`] when `xs` and `ys` disagree in
-    /// length (operand `"batch"`) or any vector has the wrong length —
-    /// shapes are validated up front, so on these errors no output has
-    /// been touched. [`PipelineError::Integrity`] when a vector's
+    /// length (operand `"batch"`), or
+    /// [`PipelineError::BatchDimensionMismatch`] naming the offending
+    /// vector index when any individual vector has the wrong length — a
+    /// server coalescing independent requests can evict just that request
+    /// and retry. Shapes are validated up front, so on these errors no
+    /// output has been touched. [`PipelineError::Integrity`] when a vector's
     /// corruption is unrepairable and the policy's fallback is disabled;
     /// vectors before the failing one have already been committed.
     pub fn execute_batch_into<X, Y>(
@@ -513,18 +517,20 @@ impl Prepared {
             });
         }
         let (rows, cols) = (self.plan.rows() as usize, self.plan.cols() as usize);
-        for x in xs {
+        for (j, x) in xs.iter().enumerate() {
             if x.as_ref().len() != cols {
-                return Err(PipelineError::DimensionMismatch {
+                return Err(PipelineError::BatchDimensionMismatch {
+                    vector: j,
                     expected: cols,
                     actual: x.as_ref().len(),
                     operand: "x",
                 });
             }
         }
-        for y in ys.iter_mut() {
+        for (j, y) in ys.iter_mut().enumerate() {
             if y.as_mut().len() != rows {
-                return Err(PipelineError::DimensionMismatch {
+                return Err(PipelineError::BatchDimensionMismatch {
+                    vector: j,
                     expected: rows,
                     actual: y.as_mut().len(),
                     operand: "y",
@@ -701,24 +707,6 @@ impl Prepared {
     /// [`ExecutionPlan`]s.
     pub fn accelerator(&self) -> Accelerator {
         Accelerator::new(self.best.config.clone())
-    }
-}
-
-/// Folds one vector's health into the batch aggregate: counters sum,
-/// `fallback` ORs (any vector on the golden path marks the batch), and the
-/// first failing tile row across the batch wins.
-fn merge_health(a: HealthReport, b: HealthReport) -> HealthReport {
-    HealthReport {
-        faults_injected: a.faults_injected + b.faults_injected,
-        stall_cycles: a.stall_cycles + b.stall_cycles,
-        tile_rows_verified: a.tile_rows_verified + b.tile_rows_verified,
-        tile_rows_quarantined: a.tile_rows_quarantined + b.tile_rows_quarantined,
-        tile_rows_corrected: a.tile_rows_corrected + b.tile_rows_corrected,
-        tile_rows_uncorrected: a.tile_rows_uncorrected + b.tile_rows_uncorrected,
-        rows_cross_checked: a.rows_cross_checked + b.rows_cross_checked,
-        rows_failed_cross_check: a.rows_failed_cross_check + b.rows_failed_cross_check,
-        fallback: a.fallback || b.fallback,
-        first_failed_tile_row: a.first_failed_tile_row.or(b.first_failed_tile_row),
     }
 }
 
@@ -1043,7 +1031,11 @@ mod tests {
         let mut ys_bad = vec![vec![0.5f32; n], vec![0.5f32; n - 1], vec![0.5f32; n]];
         assert!(matches!(
             prepared.execute_batch_into(&xs, &mut ys_bad),
-            Err(PipelineError::DimensionMismatch { operand: "y", .. })
+            Err(PipelineError::BatchDimensionMismatch {
+                vector: 1,
+                operand: "y",
+                ..
+            })
         ));
         // Shape errors are detected up front: nothing was written, not
         // even to the well-shaped vectors of the batch.
@@ -1051,10 +1043,21 @@ mod tests {
 
         let xs_bad = vec![vec![1.0f32; n], vec![1.0f32; n + 1], vec![1.0f32; n]];
         let mut ys = vec![vec![0.5f32; n]; 3];
-        assert!(matches!(
-            prepared.execute_batch_into(&xs_bad, &mut ys),
-            Err(PipelineError::DimensionMismatch { operand: "x", .. })
-        ));
+        // Regression (PR 6): the error names the offending vector so a
+        // server can evict exactly that request from a coalesced batch.
+        match prepared.execute_batch_into(&xs_bad, &mut ys) {
+            Err(PipelineError::BatchDimensionMismatch {
+                vector,
+                expected,
+                actual,
+                operand: "x",
+            }) => {
+                assert_eq!(vector, 1);
+                assert_eq!(expected, n);
+                assert_eq!(actual, n + 1);
+            }
+            other => panic!("expected an indexed batch error, got {other:?}"),
+        }
         assert!(ys.iter().flatten().all(|&v| v == 0.5));
     }
 

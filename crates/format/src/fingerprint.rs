@@ -1,0 +1,197 @@
+//! Content fingerprints over the canonical v2 wire stream.
+//!
+//! A [`MatrixFingerprint`] identifies a matrix by *content*, not by
+//! identity: it combines the CRC-32 of the full canonical byte stream
+//! (the same [`crate::crc32`] that guards the wire checksum) with the
+//! stream length and the shape fields a serving front-end routes on
+//! (rows, cols, tile size, instance count). Two matrices share a
+//! fingerprint exactly when their canonical v2 serialisations are
+//! byte-for-byte equal — matrices that differ only in their values
+//! produce different streams and therefore different fingerprints.
+//!
+//! The extra length/shape fields make accidental collisions require a
+//! simultaneous CRC-32 collision *and* identical length and shape, so
+//! false sharing between distinct catalog entries is negligible in
+//! practice (and impossible between matrices of different sizes).
+
+use crate::crc::crc32;
+use crate::matrix::SpasmMatrix;
+use crate::serialize::{WireError, CHECKSUM_BYTES, HEADER_BYTES, MAGIC, VERSION};
+
+/// A content fingerprint of a matrix's canonical v2 wire stream.
+///
+/// Cheap to copy, hash and order — suitable as a catalog key. Construct
+/// one with [`SpasmMatrix::fingerprint`] (canonicalises through
+/// [`SpasmMatrix::to_bytes`]) or [`MatrixFingerprint::of_wire_bytes`]
+/// when the v2 stream is already in hand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MatrixFingerprint {
+    /// CRC-32 (IEEE) over the canonical stream's payload — everything up
+    /// to the trailing wire checksum. The checksum itself is excluded
+    /// because a CRC computed over a message followed by its own CRC
+    /// collapses to a content-independent residue.
+    crc: u32,
+    /// Length of the canonical stream in bytes.
+    len: u64,
+    /// Dense row count.
+    rows: u32,
+    /// Dense column count.
+    cols: u32,
+    /// Tile edge length.
+    tile_size: u32,
+    /// Template-pattern instances in the stream.
+    n_instances: u64,
+}
+
+impl MatrixFingerprint {
+    /// Fingerprints an in-memory v2 wire stream without decoding it.
+    ///
+    /// Only the fixed-size header is parsed (magic, version and the shape
+    /// fields); the CRC runs over the whole buffer. The stream must be a
+    /// version-2 stream — the canonical serialisation — because the
+    /// fingerprint is defined over canonical bytes; decode legacy v1
+    /// streams first and fingerprint via [`SpasmMatrix::fingerprint`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when shorter than a header,
+    /// [`WireError::BadMagic`] / [`WireError::BadVersion`] when the
+    /// stream is not a v2 SPASM stream.
+    pub fn of_wire_bytes(data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < HEADER_BYTES {
+            return Err(WireError::Truncated { reading: "header" });
+        }
+        let word =
+            |at: usize| u32::from_le_bytes([data[at], data[at + 1], data[at + 2], data[at + 3]]);
+        if data[0..4] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = word(4);
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let mut wide = [0u8; 8];
+        wide.copy_from_slice(&data[44..52]);
+        let payload = data.len().saturating_sub(CHECKSUM_BYTES);
+        Ok(MatrixFingerprint {
+            crc: crc32(&data[..payload]),
+            len: data.len() as u64,
+            rows: word(8),
+            cols: word(12),
+            tile_size: word(16),
+            n_instances: u64::from_le_bytes(wide),
+        })
+    }
+
+    /// Dense row count recorded in the fingerprint.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Dense column count recorded in the fingerprint.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Canonical stream length in bytes.
+    pub fn stream_len(&self) -> u64 {
+        self.len
+    }
+
+    /// CRC-32 of the canonical stream — handy for log lines.
+    pub fn crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// A compact `crc:len` display token for logs and reports.
+    pub fn token(&self) -> String {
+        format!("{:08x}:{}", self.crc, self.len)
+    }
+}
+
+impl SpasmMatrix {
+    /// Computes the content fingerprint of this matrix's canonical v2
+    /// serialisation (see [`MatrixFingerprint`]).
+    ///
+    /// Equivalent to `MatrixFingerprint::of_wire_bytes(&self.to_bytes())`
+    /// but infallible: the shape fields come straight from the matrix.
+    pub fn fingerprint(&self) -> MatrixFingerprint {
+        let bytes = self.to_bytes();
+        let payload = bytes.len().saturating_sub(CHECKSUM_BYTES);
+        MatrixFingerprint {
+            crc: crc32(&bytes[..payload]),
+            len: bytes.len() as u64,
+            rows: self.rows(),
+            cols: self.cols(),
+            tile_size: self.tile_size(),
+            n_instances: self.n_instances() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::submatrix::SubmatrixMap;
+    use spasm_patterns::{DecompositionTable, TemplateSet};
+    use spasm_sparse::Coo;
+
+    fn encode(triplets: Vec<(u32, u32, f32)>) -> SpasmMatrix {
+        let coo = Coo::from_triplets(16, 16, triplets).unwrap();
+        let table = DecompositionTable::build(&TemplateSet::table_v_set(0));
+        SpasmMatrix::encode(&SubmatrixMap::from_coo(&coo), &table, 16).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_matches_wire_bytes() {
+        let m = encode(vec![(0, 0, 1.0), (3, 7, 2.0), (15, 15, -0.5)]);
+        let direct = m.fingerprint();
+        let from_wire = MatrixFingerprint::of_wire_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(direct, from_wire);
+        assert_eq!(direct.rows(), 16);
+        assert_eq!(direct.cols(), 16);
+        assert_eq!(direct.stream_len(), m.to_bytes().len() as u64);
+    }
+
+    #[test]
+    fn value_only_differences_change_the_fingerprint() {
+        let a = encode(vec![(0, 0, 1.0), (3, 7, 2.0)]);
+        let b = encode(vec![(0, 0, 1.0), (3, 7, 2.5)]);
+        assert_ne!(a.to_bytes(), b.to_bytes());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn identical_content_shares_a_fingerprint() {
+        let a = encode(vec![(1, 2, 3.0), (9, 4, -1.0)]);
+        let b = encode(vec![(1, 2, 3.0), (9, 4, -1.0)]);
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn rejects_foreign_and_legacy_streams() {
+        let m = encode(vec![(0, 0, 1.0)]);
+        assert_eq!(
+            MatrixFingerprint::of_wire_bytes(&[0u8; 8]),
+            Err(WireError::Truncated { reading: "header" })
+        );
+        let mut bad = m.to_bytes().to_vec();
+        bad[0] = b'X';
+        assert_eq!(
+            MatrixFingerprint::of_wire_bytes(&bad),
+            Err(WireError::BadMagic)
+        );
+        assert_eq!(
+            MatrixFingerprint::of_wire_bytes(&m.to_bytes_v1()),
+            Err(WireError::BadVersion(1))
+        );
+    }
+
+    #[test]
+    fn token_is_stable_per_content() {
+        let m = encode(vec![(2, 2, 4.0)]);
+        assert_eq!(m.fingerprint().token(), m.fingerprint().token());
+        assert!(m.fingerprint().token().contains(':'));
+    }
+}

@@ -38,6 +38,7 @@
 mod crc;
 mod encoding;
 mod error;
+mod fingerprint;
 mod matrix;
 mod serialize;
 mod submatrix;
@@ -46,6 +47,7 @@ mod tiling;
 pub use crc::crc32;
 pub use encoding::{PositionEncoding, MAX_TILE_SIZE, PATTERN_EDGE};
 pub use error::FormatError;
+pub use fingerprint::MatrixFingerprint;
 pub use matrix::{SpasmMatrix, TemplateInstance, Tile};
 pub use serialize::{WireError, CHECKSUM_BYTES, HEADER_BYTES, MAGIC, MIN_VERSION, VERSION};
 pub use submatrix::{SubBlock, SubmatrixMap};

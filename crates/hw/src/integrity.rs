@@ -115,6 +115,27 @@ impl HealthReport {
     }
 }
 
+/// Merges per-vector [`HealthReport`]s into a batch aggregate: counters
+/// sum, `fallback` ORs (any vector on the golden path marks the batch),
+/// and the first failing tile row across the batch (in merge order) wins.
+///
+/// The merge is associative with [`HealthReport::default`] as identity,
+/// so a fold over any number of vectors is well-defined.
+pub fn merge_health(a: HealthReport, b: HealthReport) -> HealthReport {
+    HealthReport {
+        faults_injected: a.faults_injected + b.faults_injected,
+        stall_cycles: a.stall_cycles + b.stall_cycles,
+        tile_rows_verified: a.tile_rows_verified + b.tile_rows_verified,
+        tile_rows_quarantined: a.tile_rows_quarantined + b.tile_rows_quarantined,
+        tile_rows_corrected: a.tile_rows_corrected + b.tile_rows_corrected,
+        tile_rows_uncorrected: a.tile_rows_uncorrected + b.tile_rows_uncorrected,
+        rows_cross_checked: a.rows_cross_checked + b.rows_cross_checked,
+        rows_failed_cross_check: a.rows_failed_cross_check + b.rows_failed_cross_check,
+        fallback: a.fallback || b.fallback,
+        first_failed_tile_row: a.first_failed_tile_row.or(b.first_failed_tile_row),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +157,79 @@ mod tests {
         };
         assert!(!h.is_clean());
         assert!(h.needs_fallback());
+    }
+
+    #[test]
+    fn merge_health_sums_counters_and_ors_fallback() {
+        let a = HealthReport {
+            faults_injected: 2,
+            stall_cycles: 100,
+            tile_rows_verified: 4,
+            tile_rows_quarantined: 1,
+            tile_rows_corrected: 1,
+            rows_cross_checked: 8,
+            ..HealthReport::default()
+        };
+        let b = HealthReport {
+            faults_injected: 1,
+            stall_cycles: 7,
+            tile_rows_verified: 3,
+            tile_rows_quarantined: 2,
+            tile_rows_uncorrected: 2,
+            rows_failed_cross_check: 1,
+            fallback: true,
+            first_failed_tile_row: Some(5),
+            ..HealthReport::default()
+        };
+        let m = merge_health(a, b);
+        assert_eq!(m.faults_injected, 3);
+        assert_eq!(m.stall_cycles, 107);
+        assert_eq!(m.tile_rows_verified, 7);
+        assert_eq!(m.tile_rows_quarantined, 3);
+        assert_eq!(m.tile_rows_corrected, 1);
+        assert_eq!(m.tile_rows_uncorrected, 2);
+        assert_eq!(m.rows_cross_checked, 8);
+        assert_eq!(m.rows_failed_cross_check, 1);
+        assert!(m.fallback);
+        assert_eq!(m.first_failed_tile_row, Some(5));
+        assert!(!m.is_clean());
+        assert!(m.needs_fallback());
+    }
+
+    #[test]
+    fn merge_health_first_failure_wins_in_merge_order() {
+        let early = HealthReport {
+            first_failed_tile_row: Some(2),
+            ..HealthReport::default()
+        };
+        let late = HealthReport {
+            first_failed_tile_row: Some(9),
+            ..HealthReport::default()
+        };
+        assert_eq!(
+            merge_health(early, late).first_failed_tile_row,
+            Some(2),
+            "the earlier vector's failure is reported"
+        );
+        assert_eq!(merge_health(late, early).first_failed_tile_row, Some(9));
+        assert_eq!(
+            merge_health(HealthReport::default(), late).first_failed_tile_row,
+            Some(9),
+            "a clean report does not mask a later failure"
+        );
+    }
+
+    #[test]
+    fn merge_health_default_is_identity() {
+        let h = HealthReport {
+            faults_injected: 3,
+            tile_rows_quarantined: 1,
+            fallback: true,
+            first_failed_tile_row: Some(1),
+            ..HealthReport::default()
+        };
+        assert_eq!(merge_health(h, HealthReport::default()), h);
+        assert_eq!(merge_health(HealthReport::default(), h), h);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod trace;
 mod valu;
 
 pub use config::{ChannelRole, HwConfig, HBM_CHANNEL_GBS, PES_PER_GROUP, PES_PER_VALUE_CHANNEL};
-pub use integrity::{HealthReport, IntegrityCheck, VerifyScope};
+pub use integrity::{merge_health, HealthReport, IntegrityCheck, VerifyScope};
 pub use pe::Pe;
 pub use plan::ExecutionPlan;
 pub use sim::{Accelerator, BatchReport, ExecReport, SimError, Traffic};

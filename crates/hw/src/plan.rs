@@ -446,9 +446,10 @@ impl ExecutionPlan {
     /// # Errors
     ///
     /// [`SimError::DimensionMismatch`] when `xs` and `ys` disagree in
-    /// length (operand `"batch"`) or any vector has the wrong length. All
-    /// shapes are validated up front: on error no output vector has been
-    /// touched.
+    /// length (operand `"batch"`), or [`SimError::BatchDimensionMismatch`]
+    /// naming the offending vector index when any individual vector has
+    /// the wrong length. All shapes are validated up front: on error no
+    /// output vector has been touched.
     pub fn run_batch<X, Y>(&mut self, xs: &[X], ys: &mut [Y]) -> Result<&ExecReport, SimError>
     where
         X: AsRef<[f32]>,
@@ -461,11 +462,25 @@ impl ExecutionPlan {
                 operand: "batch",
             });
         }
-        for x in xs {
-            self.check_x(x.as_ref())?;
+        for (j, x) in xs.iter().enumerate() {
+            if x.as_ref().len() != self.cols as usize {
+                return Err(SimError::BatchDimensionMismatch {
+                    vector: j,
+                    expected: self.cols as usize,
+                    actual: x.as_ref().len(),
+                    operand: "x",
+                });
+            }
         }
-        for y in ys.iter_mut() {
-            self.check_y(y.as_mut())?;
+        for (j, y) in ys.iter_mut().enumerate() {
+            if y.as_mut().len() != self.rows as usize {
+                return Err(SimError::BatchDimensionMismatch {
+                    vector: j,
+                    expected: self.rows as usize,
+                    actual: y.as_mut().len(),
+                    operand: "y",
+                });
+            }
         }
 
         #[cfg(feature = "fault-injection")]
@@ -575,6 +590,50 @@ impl ExecutionPlan {
     /// plan's behalf) so the report they hand out reflects the full story.
     pub fn annotate_health(&mut self, health: HealthReport) {
         self.report.health = health;
+    }
+
+    /// The resident size of this plan in bytes: the pre-decoded SoA
+    /// stream, tile-row layout, scheduling state and reusable scratch,
+    /// plus the value stream.
+    ///
+    /// The value stream is `Arc`-shared with the owning matrix and any
+    /// sibling plans, but it is counted here in full so the figure is a
+    /// safe upper bound for cache budgeting — evicting the plan may or
+    /// may not actually free those bytes depending on other holders.
+    /// Buffer lengths (not capacities) are counted, and the batch scratch
+    /// `xb`/`yb` grows with the largest batch seen, so the figure can
+    /// grow across calls.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let f32s = self.values.len()
+            + self.xp.len()
+            + self.yp.len()
+            + self.vp.len()
+            + self.vq.len()
+            + self.xb.len()
+            + self.yb.len();
+        let bytes = size_of::<Self>()
+            + f32s * size_of::<f32>()
+            + self.x_base.len() * size_of::<u32>()
+            + self.y_base.len() * size_of::<u32>()
+            + self.opcodes.len() * size_of::<ValuOpcode>()
+            + self.inst_ranges.len() * size_of::<(usize, usize)>()
+            + self.window_spans.len() * size_of::<(usize, usize)>()
+            + self.tile_row_ids.len() * size_of::<u32>()
+            + self.cum_instances.len() * size_of::<usize>()
+            + self.window_prefix.len() * size_of::<usize>()
+            + self.chunks.len() * size_of::<usize>()
+            + self
+                .assignment
+                .iter()
+                .map(|jobs| size_of::<Vec<TileJob>>() + jobs.len() * size_of::<TileJob>())
+                .sum::<usize>();
+        #[cfg(feature = "fault-injection")]
+        let bytes = bytes
+            + self.enc_bits.len() * size_of::<u32>()
+            + self.col_base.len() * size_of::<u32>()
+            + self.lut.len() * size_of::<ValuOpcode>();
+        bytes
     }
 
     fn check_x(&self, x: &[f32]) -> Result<(), SimError> {
@@ -1526,21 +1585,46 @@ mod tests {
                 ..
             })
         ));
-        // A bad vector in the middle: nothing may be written.
+        // A bad vector in the middle: the error names it, nothing is
+        // written.
         let xs_bad = vec![vec![1.0f32; 16], vec![2.0f32; 3]];
         let mut ys = vec![vec![0.5f32; 16], vec![0.5f32; 16]];
         assert!(matches!(
             plan.run_batch(&xs_bad, &mut ys),
-            Err(SimError::DimensionMismatch { operand: "x", .. })
+            Err(SimError::BatchDimensionMismatch {
+                vector: 1,
+                expected: 16,
+                actual: 3,
+                operand: "x",
+            })
         ));
         let mut ys_bad = vec![vec![0.5f32; 16], vec![0.5f32; 3]];
         assert!(matches!(
             plan.run_batch(&xs, &mut ys_bad),
-            Err(SimError::DimensionMismatch { operand: "y", .. })
+            Err(SimError::BatchDimensionMismatch {
+                vector: 1,
+                operand: "y",
+                ..
+            })
         ));
         for y in ys.iter().chain(&ys_bad) {
             assert!(y.iter().all(|&v| v == 0.5), "partial write on error");
         }
+    }
+
+    #[test]
+    fn memory_bytes_accounts_for_stream_and_scratch() {
+        let m = encode(&sample(64), 32);
+        let mut plan = Accelerator::new(HwConfig::spasm_4_1()).prepare(&m).unwrap();
+        let base = plan.memory_bytes();
+        // At minimum the shared value stream and the padded scratch are in
+        // the figure.
+        assert!(base >= m.values().len() * 4 + 2 * 64 * 4, "base = {base}");
+        // Batched scratch grows on first use and is then accounted for.
+        let xs = vec![vec![1.0f32; 64]; 4];
+        let mut ys = vec![vec![0.0f32; 64]; 4];
+        plan.run_batch(&xs, &mut ys).unwrap();
+        assert!(plan.memory_bytes() > base);
     }
 
     #[test]

@@ -23,6 +23,19 @@ pub enum SimError {
         /// Which operand.
         operand: &'static str,
     },
+    /// One vector inside a batched call has the wrong length. Carries the
+    /// batch index so a server coalescing independent requests can reject
+    /// just the offending request instead of failing the whole batch.
+    BatchDimensionMismatch {
+        /// Index of the offending vector within the batch.
+        vector: usize,
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+        /// Which operand (`"x"` or `"y"`).
+        operand: &'static str,
+    },
     /// The matrix's portfolio contains a template the VALU cannot realise.
     Opcode(OpcodeError),
     /// The encoded stream violates a structural integrity invariant —
@@ -47,6 +60,17 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "vector `{operand}` has length {actual}, expected {expected}"
+                )
+            }
+            SimError::BatchDimensionMismatch {
+                vector,
+                expected,
+                actual,
+                operand,
+            } => {
+                write!(
+                    f,
+                    "batch vector {vector}: `{operand}` has length {actual}, expected {expected}"
                 )
             }
             SimError::Opcode(e) => write!(f, "portfolio not realisable: {e}"),

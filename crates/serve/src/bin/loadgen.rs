@@ -1,0 +1,217 @@
+//! Seeded load generator for the SPASM serving front-end.
+//!
+//! Replays deterministic request streams (Zipf-skewed matrix popularity,
+//! seeded vectors, virtual-clock pacing) against two server configs —
+//! coalescing and batch-1 baseline — in open- and closed-loop modes, and
+//! writes p50/p99 latency plus throughput per corpus matrix to
+//! `BENCH_serving.json` at the workspace root.
+//!
+//! ```text
+//! cargo run -p spasm-serve --release --bin loadgen -- [--smoke]
+//!     [--seed N] [--requests N] [--zipf S] [--clients N] [--mode open|closed|both]
+//! ```
+//!
+//! `--smoke` bounds the run for CI (few requests, small corpus scale);
+//! everything is virtual-clock driven, so even full runs never sleep.
+
+use spasm::IntegrityPolicy;
+use spasm_format::MatrixFingerprint;
+use spasm_serve::loadgen::{drive_closed, drive_open, RunStats, TraceGen, TICKS_PER_SECOND};
+use spasm_serve::{QueueConfig, ServerConfig, SpmvServer};
+use spasm_workloads::{Scale, Workload};
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    requests: usize,
+    zipf: f64,
+    clients: usize,
+    mode: String,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let value = |flag: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    Args {
+        smoke,
+        seed: value("--seed").and_then(|v| v.parse().ok()).unwrap_or(42),
+        requests: value("--requests")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if smoke { 64 } else { 2000 }),
+        zipf: value("--zipf").and_then(|v| v.parse().ok()).unwrap_or(1.1),
+        clients: value("--clients")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(16),
+        mode: value("--mode").unwrap_or_else(|| "both".to_string()),
+    }
+}
+
+const CORPUS: [Workload; 4] = [
+    Workload::Raefsky3,
+    Workload::C73,
+    Workload::TmtSym,
+    Workload::Cfd2,
+];
+
+/// Mean open-loop interarrival gap and closed-loop think time, in ticks.
+const MEAN_GAP: u64 = 50;
+const THINK_MEAN: u64 = 100;
+
+fn build_server(
+    coalesced: bool,
+    corpus_coos: &[spasm_sparse::Coo],
+) -> (SpmvServer, Vec<(MatrixFingerprint, usize)>) {
+    let queue = if coalesced {
+        QueueConfig {
+            max_batch: 8,
+            max_delay: 200,
+        }
+    } else {
+        QueueConfig {
+            max_batch: 1,
+            max_delay: 0,
+        }
+    };
+    let server = SpmvServer::new(ServerConfig {
+        queue,
+        workers: if coalesced { 2 } else { 1 },
+        ..ServerConfig::default()
+    });
+    let corpus: Vec<(MatrixFingerprint, usize)> = corpus_coos
+        .iter()
+        .map(|coo| {
+            let fp = server.ingest_coo(coo).expect("corpus matrix must prepare");
+            (fp, coo.cols() as usize)
+        })
+        .collect();
+    (server, corpus)
+}
+
+fn stats_json(stats: &RunStats, names: &[&str]) -> String {
+    let per_matrix: Vec<String> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let lat = stats.per_matrix.get(i).map(Vec::as_slice).unwrap_or(&[]);
+            format!(
+                "\"{}\": {{\"requests\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
+                name,
+                lat.len(),
+                spasm_serve::loadgen::percentile(lat, 50.0),
+                spasm_serve::loadgen::percentile(lat, 99.0)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"completed\": {}, \"errors\": {}, \"throughput_rps\": {:.1}, \
+         \"p50_us\": {}, \"p99_us\": {}, \"mean_batch\": {:.3}, \"batches\": {}, \
+         \"virtual_seconds\": {:.6}, \"per_matrix\": {{{}}}}}",
+        stats.completed,
+        stats.errors,
+        stats.throughput_rps(),
+        stats.percentile(50.0),
+        stats.percentile(99.0),
+        stats.mean_batch(),
+        stats.batches,
+        stats.end_tick as f64 / TICKS_PER_SECOND,
+        per_matrix.join(", ")
+    )
+}
+
+fn print_stats(label: &str, stats: &RunStats) {
+    println!(
+        "  {label:<22} {:>7} reqs  p50 {:>6} µs  p99 {:>6} µs  {:>10.1} req/s  mean batch {:.2}",
+        stats.completed,
+        stats.percentile(50.0),
+        stats.percentile(99.0),
+        stats.throughput_rps(),
+        stats.mean_batch()
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = Scale::Small;
+    let names: Vec<&str> = CORPUS.iter().map(|w| w.spec().name).collect();
+    println!(
+        "serving loadgen: seed={} requests={} zipf={} corpus={:?} ({scale:?}){}",
+        args.seed,
+        args.requests,
+        args.zipf,
+        names,
+        if args.smoke { " [smoke]" } else { "" }
+    );
+    let coos: Vec<spasm_sparse::Coo> = CORPUS.iter().map(|w| w.generate(scale)).collect();
+
+    let policy = IntegrityPolicy::off();
+    let mut sections: Vec<String> = Vec::new();
+
+    for mode in ["open", "closed"] {
+        if args.mode != "both" && args.mode != mode {
+            continue;
+        }
+        println!("mode: {mode}");
+        let mut mode_parts: Vec<String> = Vec::new();
+        let mut p50 = [0u64; 2];
+        for (slot, coalesced) in [true, false].into_iter().enumerate() {
+            let (server, corpus) = build_server(coalesced, &coos);
+            let stats = if mode == "open" {
+                let trace = TraceGen::new(args.seed, corpus.len(), args.zipf, MEAN_GAP);
+                drive_open(&server, &corpus, trace, args.requests, policy)
+            } else {
+                drive_closed(
+                    &server,
+                    &corpus,
+                    args.seed,
+                    args.zipf,
+                    args.clients,
+                    THINK_MEAN,
+                    args.requests,
+                    policy,
+                )
+            };
+            let label = if coalesced { "coalesced" } else { "batch1" };
+            assert_eq!(
+                stats.completed + stats.errors,
+                args.requests,
+                "every request must complete"
+            );
+            assert_eq!(stats.errors, 0, "no request may error in a clean run");
+            print_stats(label, &stats);
+            p50[slot] = stats.percentile(50.0).max(1);
+            mode_parts.push(format!("\"{}\": {}", label, stats_json(&stats, &names)));
+        }
+        println!(
+            "  p50 coalesced/batch1 = {:.2}x",
+            p50[0] as f64 / p50[1] as f64
+        );
+        sections.push(format!("\"{}\": {{{}}}", mode, mode_parts.join(", ")));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"smoke\": {},\n  \"seed\": {},\n  \"requests\": {},\n  \
+         \"zipf_s\": {},\n  \"clients\": {},\n  \"ticks_per_second\": {},\n  \
+         \"corpus\": [{}],\n  \"coalesced_config\": {{\"max_batch\": 8, \"max_delay_us\": 200}},\n  \
+         \"modes\": {{{}}}\n}}\n",
+        args.smoke,
+        args.seed,
+        args.requests,
+        args.zipf,
+        args.clients,
+        TICKS_PER_SECOND as u64,
+        names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        sections.join(", ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    std::fs::write(path, &json).expect("write BENCH_serving.json");
+    println!("wrote {path}");
+}

@@ -1,0 +1,382 @@
+//! The multi-tenant plan catalog: content-addressed prepared plans under
+//! a byte budget.
+//!
+//! Entries are keyed by [`MatrixFingerprint`] — the CRC-32 + length +
+//! shape of the matrix's canonical v2 wire stream — so two tenants
+//! uploading the same matrix share one [`spasm::Prepared`] (and, through
+//! it, the `Arc`-shared value stream). Eviction is LRU under a
+//! configurable byte budget, where an entry's size is its plan's
+//! resident footprint ([`spasm_hw::ExecutionPlan::memory_bytes`]) plus
+//! the encoded matrix and the golden CSR reference. Plans that are
+//! *leased* (queued or executing requests hold a [`PlanLease`]) are
+//! pinned and never evicted; inserting a plan that cannot fit alongside
+//! the pinned set fails loudly instead of evicting in-flight work.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use spasm::{Pipeline, PipelineError, Prepared};
+use spasm_format::{MatrixFingerprint, SpasmMatrix, WireError};
+
+/// Configuration for a [`PlanCatalog`].
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogConfig {
+    /// Total resident-byte budget across all cached plans.
+    pub byte_budget: usize,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            byte_budget: 512 << 20,
+        }
+    }
+}
+
+/// Errors from catalog ingest and lookup.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CatalogError {
+    /// The wire stream did not decode.
+    Wire(WireError),
+    /// The pipeline could not prepare the matrix.
+    Pipeline(PipelineError),
+    /// The plan alone exceeds the whole budget; it can never be cached.
+    PlanTooLarge {
+        /// Resident bytes the plan needs.
+        bytes: usize,
+        /// The catalog's budget.
+        budget: usize,
+    },
+    /// The plan fits the budget, but not alongside the currently pinned
+    /// (in-flight) plans — nothing evictable is large enough.
+    BudgetPinned {
+        /// Resident bytes the plan needs.
+        bytes: usize,
+        /// Bytes held by pinned entries after evicting everything else.
+        pinned: usize,
+        /// The catalog's budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::Wire(e) => write!(f, "wire decode failed: {e}"),
+            CatalogError::Pipeline(e) => write!(f, "prepare failed: {e}"),
+            CatalogError::PlanTooLarge { bytes, budget } => {
+                write!(f, "plan needs {bytes} bytes, catalog budget is {budget}")
+            }
+            CatalogError::BudgetPinned {
+                bytes,
+                pinned,
+                budget,
+            } => write!(
+                f,
+                "plan needs {bytes} bytes but {pinned} of the {budget}-byte \
+                 budget is pinned by in-flight plans"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<WireError> for CatalogError {
+    fn from(e: WireError) -> Self {
+        CatalogError::Wire(e)
+    }
+}
+
+impl From<PipelineError> for CatalogError {
+    fn from(e: PipelineError) -> Self {
+        CatalogError::Pipeline(e)
+    }
+}
+
+/// The resident footprint of a prepared plan for budgeting purposes: the
+/// execution plan (stream, layout, scratch, shared values), the encoded
+/// matrix's storage, and the golden CSR reference kept for the
+/// degradation ladder.
+pub fn prepared_bytes(p: &Prepared) -> usize {
+    let golden = p.golden();
+    p.plan.memory_bytes()
+        + p.encoded.storage_bytes_full()
+        + std::mem::size_of_val(golden.row_ptr())
+        + std::mem::size_of_val(golden.col_indices())
+        + std::mem::size_of_val(golden.values())
+}
+
+/// One cached plan. Accessed through a [`PlanLease`].
+#[derive(Debug)]
+pub struct CatalogEntry {
+    fingerprint: MatrixFingerprint,
+    prepared: Mutex<Prepared>,
+    bytes: usize,
+    rows: u32,
+    cols: u32,
+    pins: AtomicUsize,
+    last_used: AtomicU64,
+}
+
+impl CatalogEntry {
+    /// Locks the prepared plan for execution. Batches against the same
+    /// matrix serialise here; the plan's own scratch is reused across
+    /// them.
+    pub fn prepared(&self) -> MutexGuard<'_, Prepared> {
+        self.prepared.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The entry's content fingerprint.
+    pub fn fingerprint(&self) -> MatrixFingerprint {
+        self.fingerprint
+    }
+
+    /// Resident bytes charged against the catalog budget.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Dense row count of the cached matrix.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Dense column count of the cached matrix (the request-vector
+    /// length the server validates against).
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+}
+
+/// An RAII pin on a catalog entry: while any lease is alive the entry is
+/// in flight and will not be evicted. Cloning a lease re-pins.
+#[derive(Debug)]
+pub struct PlanLease {
+    entry: Arc<CatalogEntry>,
+}
+
+impl PlanLease {
+    fn new(entry: Arc<CatalogEntry>) -> Self {
+        entry.pins.fetch_add(1, Ordering::SeqCst);
+        PlanLease { entry }
+    }
+
+    /// The leased entry.
+    pub fn entry(&self) -> &CatalogEntry {
+        &self.entry
+    }
+}
+
+impl Clone for PlanLease {
+    fn clone(&self) -> Self {
+        PlanLease::new(Arc::clone(&self.entry))
+    }
+}
+
+impl Drop for PlanLease {
+    fn drop(&mut self) {
+        self.entry.pins.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl std::ops::Deref for PlanLease {
+    type Target = CatalogEntry;
+
+    fn deref(&self) -> &CatalogEntry {
+        &self.entry
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: BTreeMap<MatrixFingerprint, Arc<CatalogEntry>>,
+    resident: usize,
+    use_counter: u64,
+}
+
+/// The content-addressed plan cache. See the module docs for semantics.
+#[derive(Debug)]
+pub struct PlanCatalog {
+    budget: usize,
+    inner: Mutex<Inner>,
+}
+
+impl PlanCatalog {
+    /// An empty catalog with the given budget.
+    pub fn new(config: CatalogConfig) -> Self {
+        PlanCatalog {
+            budget: config.byte_budget,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently resident across all entries.
+    pub fn resident_bytes(&self) -> usize {
+        self.lock().resident
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.lock().entries.is_empty()
+    }
+
+    /// `true` when `fingerprint` is resident.
+    pub fn contains(&self, fingerprint: &MatrixFingerprint) -> bool {
+        self.lock().entries.contains_key(fingerprint)
+    }
+
+    /// The resident fingerprints, in key order.
+    pub fn fingerprints(&self) -> Vec<MatrixFingerprint> {
+        self.lock().entries.keys().copied().collect()
+    }
+
+    /// Leases the plan for `fingerprint`, bumping its recency and pinning
+    /// it against eviction for the lease's lifetime.
+    pub fn get(&self, fingerprint: &MatrixFingerprint) -> Option<PlanLease> {
+        let mut inner = self.lock();
+        inner.use_counter += 1;
+        let stamp = inner.use_counter;
+        let entry = inner.entries.get(fingerprint)?;
+        entry.last_used.store(stamp, Ordering::SeqCst);
+        Some(PlanLease::new(Arc::clone(entry)))
+    }
+
+    /// Caches `prepared` under the fingerprint of its own encoded matrix
+    /// (the canonical content the pipeline produced). Returns the key.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::PlanTooLarge`] / [`CatalogError::BudgetPinned`]
+    /// when the plan cannot fit (see the module docs).
+    pub fn insert_prepared(&self, prepared: Prepared) -> Result<MatrixFingerprint, CatalogError> {
+        let key = prepared.encoded.fingerprint();
+        self.insert_keyed(key, prepared)?;
+        Ok(key)
+    }
+
+    /// Decodes a wire stream, prepares it through `pipeline`, and caches
+    /// the result keyed by the *ingested stream's* canonical fingerprint
+    /// (which is what remote clients can compute), not the re-encoded
+    /// one. If the key is already resident this is a cheap no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::Wire`] on undecodable bytes,
+    /// [`CatalogError::Pipeline`] when prepare fails, and the budget
+    /// errors of [`PlanCatalog::insert_prepared`].
+    pub fn insert_wire(
+        &self,
+        bytes: &[u8],
+        pipeline: &Pipeline,
+    ) -> Result<MatrixFingerprint, CatalogError> {
+        let decoded = SpasmMatrix::from_bytes(bytes)?;
+        let key = decoded.fingerprint();
+        if self.contains(&key) {
+            return Ok(key);
+        }
+        // Re-prepare from COO: the pipeline re-runs selection and
+        // scheduling for this corpus member. ROADMAP item 2 (mmap'd v3
+        // streams with embedded schedule hints) removes this cost; the
+        // catalog's key is already the stable content address that work
+        // needs.
+        let prepared = pipeline.prepare(&decoded.to_coo())?;
+        self.insert_keyed(key, prepared)?;
+        Ok(key)
+    }
+
+    /// Inserts under an explicit key. No-op when the key is resident
+    /// (entries are content-addressed: same key, same content).
+    pub(crate) fn insert_keyed(
+        &self,
+        key: MatrixFingerprint,
+        prepared: Prepared,
+    ) -> Result<(), CatalogError> {
+        let bytes = prepared_bytes(&prepared);
+        if bytes > self.budget {
+            return Err(CatalogError::PlanTooLarge {
+                bytes,
+                budget: self.budget,
+            });
+        }
+        let mut inner = self.lock();
+        if inner.entries.contains_key(&key) {
+            return Ok(());
+        }
+        Self::evict_to_fit(&mut inner, self.budget, bytes)?;
+        inner.use_counter += 1;
+        let stamp = inner.use_counter;
+        let entry = Arc::new(CatalogEntry {
+            fingerprint: key,
+            rows: prepared.plan.rows(),
+            cols: prepared.plan.cols(),
+            prepared: Mutex::new(prepared),
+            bytes,
+            pins: AtomicUsize::new(0),
+            last_used: AtomicU64::new(stamp),
+        });
+        inner.resident += bytes;
+        inner.entries.insert(key, entry);
+        Ok(())
+    }
+
+    /// Evicts least-recently-used unpinned entries until `incoming` fits.
+    fn evict_to_fit(inner: &mut Inner, budget: usize, incoming: usize) -> Result<(), CatalogError> {
+        while inner.resident + incoming > budget {
+            let victim = inner
+                .entries
+                .values()
+                .filter(|e| e.pins.load(Ordering::SeqCst) == 0)
+                .min_by_key(|e| e.last_used.load(Ordering::SeqCst))
+                .map(|e| e.fingerprint);
+            match victim {
+                Some(fp) => {
+                    if let Some(e) = inner.entries.remove(&fp) {
+                        inner.resident -= e.bytes;
+                    }
+                }
+                None => {
+                    return Err(CatalogError::BudgetPinned {
+                        bytes: incoming,
+                        pinned: inner.resident,
+                        budget,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Explicitly removes an entry. Returns `false` when the key is
+    /// absent or the entry is pinned by a live lease.
+    pub fn remove(&self, fingerprint: &MatrixFingerprint) -> bool {
+        let mut inner = self.lock();
+        let Some(entry) = inner.entries.get(fingerprint) else {
+            return false;
+        };
+        if entry.pins.load(Ordering::SeqCst) > 0 {
+            return false;
+        }
+        if let Some(e) = inner.entries.remove(fingerprint) {
+            inner.resident -= e.bytes;
+        }
+        true
+    }
+}

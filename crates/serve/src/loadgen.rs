@@ -1,0 +1,436 @@
+//! Seeded load generation against an [`SpmvServer`].
+//!
+//! Everything here is driven by the server's virtual clock and the
+//! vendored `rand` shim, so a load run is a pure function of its seed:
+//! the same seed produces the same arrivals, the same request vectors,
+//! the same batch compositions and the same latency distribution, on
+//! any machine. Two drive modes mirror classic load-testing practice:
+//!
+//! * **open loop** ([`drive_open`]) — arrivals follow the trace's
+//!   interarrival gaps regardless of completion times (models external
+//!   traffic; exposes queueing delay honestly);
+//! * **closed loop** ([`drive_closed`]) — a fixed pool of clients each
+//!   submit, wait for their completion, think, and submit again (models
+//!   a bounded user population).
+//!
+//! Matrix popularity is Zipf-skewed ([`Zipf`]), as serving corpora
+//! usually are: a few hot matrices absorb most requests and coalesce
+//! well, the long tail mostly rides deadline flushes.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spasm::IntegrityPolicy;
+use spasm_format::MatrixFingerprint;
+
+use crate::clock::Tick;
+use crate::server::{Completion, SpmvServer};
+
+/// Virtual ticks per simulated second: one tick is one microsecond.
+pub const TICKS_PER_SECOND: f64 = 1_000_000.0;
+
+/// A Zipf-distributed index sampler over `n` items with exponent `s`
+/// (larger `s` = more skew; `s = 0` is uniform). Item 0 is the hottest.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` items (`n >= 1`).
+    pub fn new(n: usize, s: f64) -> Self {
+        let n = n.max(1);
+        let weights: Vec<f64> = (1..=n).map(|rank| (rank as f64).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cumulative }
+    }
+
+    /// Draws an index in `0..n`.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+/// One arrival in a request trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Absolute virtual arrival tick.
+    pub at: Tick,
+    /// Index of the target matrix in the corpus.
+    pub matrix: usize,
+    /// Seed for the request's input vector.
+    pub x_seed: u64,
+}
+
+/// An infinite, seeded request stream: uniform interarrival gaps with
+/// mean `mean_gap` ticks and Zipf-skewed matrix popularity.
+#[derive(Debug, Clone)]
+pub struct TraceGen {
+    rng: SmallRng,
+    zipf: Zipf,
+    mean_gap: Tick,
+    now: Tick,
+}
+
+impl TraceGen {
+    /// A trace over `matrices` corpus entries.
+    pub fn new(seed: u64, matrices: usize, zipf_s: f64, mean_gap: Tick) -> Self {
+        TraceGen {
+            rng: SmallRng::seed_from_u64(seed),
+            zipf: Zipf::new(matrices, zipf_s),
+            mean_gap,
+            now: 0,
+        }
+    }
+}
+
+impl Iterator for TraceGen {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        let gap = self.rng.gen_range(0..=self.mean_gap.saturating_mul(2));
+        self.now = self.now.saturating_add(gap);
+        let matrix = self.zipf.sample(&mut self.rng);
+        let x_seed = self.rng.gen_range(0..u64::MAX);
+        Some(TraceEvent {
+            at: self.now,
+            matrix,
+            x_seed,
+        })
+    }
+}
+
+/// A deterministic request vector of length `cols` for `seed`.
+pub fn seeded_x(cols: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Aggregate statistics of one load run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Per-request end-to-end latency (queue wait + simulated batch
+    /// execution), in ticks, in completion order.
+    pub latencies: Vec<Tick>,
+    /// Latencies grouped by corpus matrix index.
+    pub per_matrix: Vec<Vec<Tick>>,
+    /// Requests that completed with an output.
+    pub completed: usize,
+    /// Requests that completed with an error.
+    pub errors: usize,
+    /// The largest virtual completion tick (flush + execution).
+    pub end_tick: Tick,
+    /// Executed batches, from the server's batch log.
+    pub batches: usize,
+}
+
+impl RunStats {
+    /// The `p`-th percentile latency in ticks (`p` in 0..=100) over a
+    /// run; 0 for an empty run.
+    pub fn percentile(&self, p: f64) -> Tick {
+        percentile(&self.latencies, p)
+    }
+
+    /// Served requests per simulated second of virtual time.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.end_tick == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.end_tick as f64 / TICKS_PER_SECOND)
+    }
+
+    /// Mean coalesced batch size.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.batches as f64
+    }
+}
+
+/// The `p`-th percentile (nearest-rank) of `samples`; 0 when empty.
+pub fn percentile(samples: &[Tick], p: f64) -> Tick {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted: Vec<Tick> = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Ticks a completed request spent end to end: queue wait plus the
+/// simulated batch execution time (shared by the whole batch).
+fn completion_ticks(c: &Completion) -> Option<(Tick, Tick)> {
+    let out = c.result.as_ref().ok()?;
+    let exec = (out.exec_seconds * TICKS_PER_SECOND).ceil() as Tick;
+    let latency = out.queued_ticks + exec;
+    let done_at = out.flushed_at + exec;
+    Some((latency, done_at))
+}
+
+fn record(stats: &mut RunStats, owners: &HashMap<u64, usize>, c: &Completion) {
+    match completion_ticks(c) {
+        Some((latency, done_at)) => {
+            stats.completed += 1;
+            stats.latencies.push(latency);
+            stats.end_tick = stats.end_tick.max(done_at);
+            if let Some(&m) = owners.get(&c.id) {
+                if m < stats.per_matrix.len() {
+                    stats.per_matrix[m].push(latency);
+                }
+            }
+        }
+        None => stats.errors += 1,
+    }
+}
+
+/// Replays `requests` arrivals from `trace` open-loop against `server`,
+/// submitting each corpus request at its trace tick and letting
+/// deadlines fire in between. The queue is fully flushed before
+/// returning.
+pub fn drive_open(
+    server: &SpmvServer,
+    corpus: &[(MatrixFingerprint, usize)],
+    trace: impl Iterator<Item = TraceEvent>,
+    requests: usize,
+    policy: IntegrityPolicy,
+) -> RunStats {
+    let mut stats = RunStats {
+        per_matrix: vec![Vec::new(); corpus.len()],
+        ..RunStats::default()
+    };
+    let mut owners: HashMap<u64, usize> = HashMap::new();
+    let log_base = server.batch_log().len();
+    for event in trace.take(requests) {
+        // Fire any deadlines that pass before this arrival.
+        while let Some(d) = server.next_deadline().filter(|&d| d <= event.at) {
+            for c in server.advance_to(d) {
+                record(&mut stats, &owners, &c);
+            }
+        }
+        server.clock().advance_to(event.at);
+        let m = event.matrix.min(corpus.len().saturating_sub(1));
+        let (fp, cols) = corpus[m];
+        let x = seeded_x(cols, event.x_seed);
+        match server.submit(fp, x, policy) {
+            Ok((id, completions)) => {
+                owners.insert(id, m);
+                for c in completions {
+                    record(&mut stats, &owners, &c);
+                }
+            }
+            Err(_) => stats.errors += 1,
+        }
+    }
+    // Let the remaining deadlines fire, then drain any stragglers.
+    while let Some(d) = server.next_deadline() {
+        for c in server.advance_to(d) {
+            record(&mut stats, &owners, &c);
+        }
+    }
+    for c in server.drain() {
+        record(&mut stats, &owners, &c);
+    }
+    stats.batches = server.batch_log().len() - log_base;
+    stats
+}
+
+/// Drives `requests` total requests closed-loop: `clients` concurrent
+/// clients each submit, await their completion, think for a seeded gap,
+/// then submit again.
+#[allow(clippy::too_many_arguments)] // mirrors drive_open plus the client-loop knobs
+pub fn drive_closed(
+    server: &SpmvServer,
+    corpus: &[(MatrixFingerprint, usize)],
+    seed: u64,
+    zipf_s: f64,
+    clients: usize,
+    think_mean: Tick,
+    requests: usize,
+    policy: IntegrityPolicy,
+) -> RunStats {
+    let mut stats = RunStats {
+        per_matrix: vec![Vec::new(); corpus.len()],
+        ..RunStats::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let zipf = Zipf::new(corpus.len(), zipf_s);
+    let mut owners: HashMap<u64, usize> = HashMap::new();
+    let mut client_of: HashMap<u64, usize> = HashMap::new();
+    let log_base = server.batch_log().len();
+
+    // Min-heap of (tick, client) submit events; stagger the initial
+    // arrivals like think time.
+    let mut submits: BinaryHeap<std::cmp::Reverse<(Tick, usize)>> = (0..clients.max(1))
+        .map(|cl| std::cmp::Reverse((rng.gen_range(0..=think_mean.saturating_mul(2)), cl)))
+        .collect();
+    let mut issued = 0usize;
+    let mut outstanding = 0usize;
+
+    let finish = |stats: &mut RunStats,
+                  owners: &HashMap<u64, usize>,
+                  client_of: &HashMap<u64, usize>,
+                  rng: &mut SmallRng,
+                  submits: &mut BinaryHeap<std::cmp::Reverse<(Tick, usize)>>,
+                  outstanding: &mut usize,
+                  c: Completion| {
+        let done_at = completion_ticks(&c).map(|(_, d)| d).unwrap_or(0);
+        record(stats, owners, &c);
+        *outstanding -= 1;
+        if let Some(&cl) = client_of.get(&c.id) {
+            let think = rng.gen_range(0..=think_mean.saturating_mul(2));
+            submits.push(std::cmp::Reverse((
+                done_at.max(server.now()).saturating_add(think),
+                cl,
+            )));
+        }
+    };
+
+    while issued < requests || outstanding > 0 {
+        let next_submit = if issued < requests {
+            submits.peek().map(|r| r.0)
+        } else {
+            None
+        };
+        let next_deadline = if outstanding > 0 {
+            server.next_deadline()
+        } else {
+            None
+        };
+        match (next_submit, next_deadline) {
+            (Some((t, _)), d) if d.is_none_or(|d| t <= d) => {
+                // The next event is a client submit.
+                for c in server.advance_to(t) {
+                    finish(
+                        &mut stats,
+                        &owners,
+                        &client_of,
+                        &mut rng,
+                        &mut submits,
+                        &mut outstanding,
+                        c,
+                    );
+                }
+                let Some(std::cmp::Reverse((_, cl))) = submits.pop() else {
+                    break;
+                };
+                let m = zipf.sample(&mut rng);
+                let (fp, cols) = corpus[m];
+                let x_seed = rng.gen_range(0..u64::MAX);
+                match server.submit(fp, seeded_x(cols, x_seed), policy) {
+                    Ok((id, completions)) => {
+                        issued += 1;
+                        outstanding += 1;
+                        owners.insert(id, m);
+                        client_of.insert(id, cl);
+                        for c in completions {
+                            finish(
+                                &mut stats,
+                                &owners,
+                                &client_of,
+                                &mut rng,
+                                &mut submits,
+                                &mut outstanding,
+                                c,
+                            );
+                        }
+                    }
+                    Err(_) => {
+                        stats.errors += 1;
+                        issued += 1;
+                    }
+                }
+            }
+            (_, Some(d)) => {
+                for c in server.advance_to(d) {
+                    finish(
+                        &mut stats,
+                        &owners,
+                        &client_of,
+                        &mut rng,
+                        &mut submits,
+                        &mut outstanding,
+                        c,
+                    );
+                }
+            }
+            // (Some, None) with a false guard is unreachable: the guard
+            // always passes when there is no deadline.
+            _ => break,
+        }
+    }
+    for c in server.drain() {
+        record(&mut stats, &owners, &c);
+    }
+    stats.batches = server.batch_log().len() - log_base;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(8, 1.1);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 8];
+        for _ in 0..4000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[7], "rank 0 must be hottest: {counts:?}");
+        assert!(counts.iter().all(|&c| c < 4000));
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_roughly_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "uniform-ish: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn traces_are_seed_deterministic() {
+        let a: Vec<TraceEvent> = TraceGen::new(42, 4, 1.0, 50).take(64).collect();
+        let b: Vec<TraceEvent> = TraceGen::new(42, 4, 1.0, 50).take(64).collect();
+        let c: Vec<TraceEvent> = TraceGen::new(43, 4, 1.0, 50).take(64).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn seeded_vectors_are_stable() {
+        assert_eq!(seeded_x(32, 9), seeded_x(32, 9));
+        assert_ne!(seeded_x(32, 9), seeded_x(32, 10));
+        assert!(seeded_x(32, 9).iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [10, 20, 30, 40, 50];
+        assert_eq!(percentile(&s, 0.0), 10);
+        assert_eq!(percentile(&s, 50.0), 30);
+        assert_eq!(percentile(&s, 100.0), 50);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+}

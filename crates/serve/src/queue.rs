@@ -1,0 +1,270 @@
+//! The admission queue: coalesces concurrent single-vector requests
+//! against the same matrix into batches for `Prepared::execute_batch`.
+//!
+//! Requests are grouped by *batch key* — the matrix fingerprint plus the
+//! request's [`IntegrityPolicy`] equivalence class — because one batched
+//! execution runs under one policy; requests with different policies
+//! against the same matrix form separate batches. A group flushes when
+//! it reaches [`QueueConfig::max_batch`] requests (size trigger) or when
+//! the *oldest* request in the group has waited
+//! [`QueueConfig::max_delay`] ticks (deadline trigger, evaluated against
+//! the shared [`crate::VirtualClock`]). All bookkeeping is deterministic:
+//! groups live in a [`BTreeMap`], due batches are ordered by (deadline,
+//! oldest request id), so a fixed arrival trace yields the exact same
+//! batch compositions on every run.
+
+use std::collections::BTreeMap;
+
+use spasm::IntegrityPolicy;
+use spasm_format::MatrixFingerprint;
+
+use crate::catalog::PlanLease;
+use crate::clock::{Deadline, Tick};
+
+/// Configuration for an [`AdmissionQueue`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueueConfig {
+    /// Flush a group as soon as it holds this many requests. `1` disables
+    /// coalescing (every request is its own batch); values are clamped to
+    /// at least 1.
+    pub max_batch: usize,
+    /// Flush a group once its oldest request has waited this many ticks.
+    /// `0` makes every request due immediately on the next clock check.
+    pub max_delay: Tick,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            max_batch: 8,
+            max_delay: 200,
+        }
+    }
+}
+
+/// The integrity-policy equivalence class used in batch keys.
+///
+/// [`IntegrityPolicy`] itself is not `Eq`/`Ord` (its tolerance is an
+/// `f32`); the class compares the tolerance by bit pattern, which is
+/// exactly the "same policy" notion a batch needs — two requests whose
+/// policies differ only in NaN payload would still verify identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PolicyClass {
+    mode: u8,
+    sample: u64,
+    seed: u64,
+    fallback: bool,
+    tolerance_bits: u32,
+}
+
+impl From<IntegrityPolicy> for PolicyClass {
+    fn from(p: IntegrityPolicy) -> Self {
+        use spasm::IntegrityMode;
+        let (mode, sample) = match p.mode {
+            IntegrityMode::Off => (0u8, 0u64),
+            IntegrityMode::Sampled(k) => (1, k as u64),
+            IntegrityMode::Full => (2, 0),
+            // `IntegrityMode` is non-exhaustive; any future mode lands in
+            // its own class so it still never coalesces with the others.
+            _ => (u8::MAX, 0),
+        };
+        PolicyClass {
+            mode,
+            sample,
+            seed: p.seed,
+            fallback: p.fallback,
+            tolerance_bits: p.tolerance.to_bits(),
+        }
+    }
+}
+
+/// The coalescing key: one batch serves one matrix under one policy.
+pub type BatchKey = (MatrixFingerprint, PolicyClass);
+
+/// One admitted request, waiting in (or flushed from) the queue.
+///
+/// Holds a [`PlanLease`] so the plan it targets cannot be evicted while
+/// the request is queued or executing.
+#[derive(Debug)]
+pub struct QueuedRequest {
+    /// The server-assigned request id (monotonic per server).
+    pub id: u64,
+    /// The integrity policy the request asked for.
+    pub policy: IntegrityPolicy,
+    /// The input vector.
+    pub x: Vec<f32>,
+    /// The tick at which the request was admitted.
+    pub arrival: Tick,
+    /// The pin on the catalog entry this request executes against.
+    pub lease: PlanLease,
+}
+
+impl QueuedRequest {
+    /// The fingerprint of the matrix this request targets.
+    pub fn fingerprint(&self) -> MatrixFingerprint {
+        self.lease.fingerprint()
+    }
+}
+
+/// Why a batch left the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushTrigger {
+    /// The group reached [`QueueConfig::max_batch`].
+    Size,
+    /// The group's oldest request reached [`QueueConfig::max_delay`].
+    Deadline,
+    /// The queue was drained explicitly (shutdown / end of trace).
+    Drain,
+}
+
+impl std::fmt::Display for FlushTrigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlushTrigger::Size => f.write_str("size"),
+            FlushTrigger::Deadline => f.write_str("deadline"),
+            FlushTrigger::Drain => f.write_str("drain"),
+        }
+    }
+}
+
+/// A flushed batch, ready for execution.
+#[derive(Debug)]
+pub struct BatchSpec {
+    /// The matrix all requests target.
+    pub fingerprint: MatrixFingerprint,
+    /// The policy the batch executes under (shared by every member).
+    pub policy: IntegrityPolicy,
+    /// The member requests, in admission order.
+    pub requests: Vec<QueuedRequest>,
+    /// The tick at which the batch left the queue. For deadline flushes
+    /// this is the deadline itself (not the tick the driver happened to
+    /// check), so latency accounting is independent of how coarsely the
+    /// clock is advanced.
+    pub flushed_at: Tick,
+    /// Why the batch flushed.
+    pub trigger: FlushTrigger,
+}
+
+/// The coalescing admission queue. Not internally synchronised — the
+/// server wraps it in a mutex and decides compositions under that lock,
+/// which is what makes them independent of execution concurrency.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    config: QueueConfig,
+    pending: BTreeMap<BatchKey, Vec<QueuedRequest>>,
+}
+
+impl AdmissionQueue {
+    /// An empty queue.
+    pub fn new(config: QueueConfig) -> Self {
+        AdmissionQueue {
+            config: QueueConfig {
+                max_batch: config.max_batch.max(1),
+                max_delay: config.max_delay,
+            },
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> QueueConfig {
+        self.config
+    }
+
+    /// Queued requests across all groups.
+    pub fn len(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
+    /// `true` when no request is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Admits a request at `now`. Returns the flushed batch when this
+    /// admission filled its group to `max_batch` (the size trigger).
+    pub fn push(&mut self, request: QueuedRequest, now: Tick) -> Option<BatchSpec> {
+        let key = (request.fingerprint(), PolicyClass::from(request.policy));
+        let group = self.pending.entry(key).or_default();
+        group.push(request);
+        if group.len() >= self.config.max_batch {
+            let requests = self.pending.remove(&key).unwrap_or_default();
+            return Some(Self::spec(key.0, requests, now, FlushTrigger::Size));
+        }
+        None
+    }
+
+    /// The earliest deadline across all groups, if any request waits.
+    pub fn next_deadline(&self) -> Option<Tick> {
+        self.pending
+            .values()
+            .filter_map(|g| g.first())
+            .map(|oldest| Deadline::after(oldest.arrival, self.config.max_delay).at)
+            .min()
+    }
+
+    /// Flushes every group whose deadline has passed at `now`, ordered by
+    /// (deadline, oldest request id). Each flushed batch's `flushed_at`
+    /// is its deadline, not `now`.
+    pub fn due(&mut self, now: Tick) -> Vec<BatchSpec> {
+        let mut due: Vec<(Tick, u64, BatchKey)> = self
+            .pending
+            .iter()
+            .filter_map(|(key, group)| {
+                let oldest = group.first()?;
+                let deadline = Deadline::after(oldest.arrival, self.config.max_delay);
+                deadline.due(now).then_some((deadline.at, oldest.id, *key))
+            })
+            .collect();
+        due.sort_unstable();
+        due.into_iter()
+            .map(|(at, _, key)| {
+                let requests = self.pending.remove(&key).unwrap_or_default();
+                Self::spec(key.0, requests, at, FlushTrigger::Deadline)
+            })
+            .collect()
+    }
+
+    /// Flushes everything still queued, in (oldest arrival, oldest id)
+    /// order, splitting oversized groups into `max_batch` chunks.
+    pub fn drain(&mut self, now: Tick) -> Vec<BatchSpec> {
+        let mut groups: Vec<(Tick, u64, BatchKey)> = self
+            .pending
+            .iter()
+            .filter_map(|(key, group)| {
+                let oldest = group.first()?;
+                Some((oldest.arrival, oldest.id, *key))
+            })
+            .collect();
+        groups.sort_unstable();
+        let mut out = Vec::new();
+        for (_, _, key) in groups {
+            let mut requests = self.pending.remove(&key).unwrap_or_default();
+            while !requests.is_empty() {
+                let take = requests.len().min(self.config.max_batch);
+                let chunk: Vec<QueuedRequest> = requests.drain(..take).collect();
+                out.push(Self::spec(key.0, chunk, now, FlushTrigger::Drain));
+            }
+        }
+        out
+    }
+
+    fn spec(
+        fingerprint: MatrixFingerprint,
+        requests: Vec<QueuedRequest>,
+        flushed_at: Tick,
+        trigger: FlushTrigger,
+    ) -> BatchSpec {
+        let policy = requests
+            .first()
+            .map(|r| r.policy)
+            .unwrap_or_else(IntegrityPolicy::off);
+        BatchSpec {
+            fingerprint,
+            policy,
+            requests,
+            flushed_at,
+            trigger,
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! The serving front-end: catalog + admission queue + batch execution.
+//!
+//! [`SpmvServer`] ties the pieces together. Ingest routes a matrix
+//! through the pipeline into the [`PlanCatalog`]; [`SpmvServer::submit`]
+//! admits one request against a cached plan; the shared
+//! [`VirtualClock`] drives deadline flushes. Batch *composition* is
+//! decided inside the queue lock before any execution starts, so the
+//! number of worker threads executing flushed batches can never change
+//! which requests batch together — and since
+//! `Prepared::execute_batch` is itself bit-identical to looped
+//! single-vector execution for any thread count, every served result is
+//! bit-identical to a batch-1 serve of the same trace.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use spasm::{IntegrityPolicy, Pipeline, PipelineError, Prepared};
+use spasm_format::MatrixFingerprint;
+use spasm_hw::HealthReport;
+use spasm_sparse::Coo;
+
+use crate::catalog::{CatalogConfig, CatalogError, PlanCatalog};
+use crate::clock::{Tick, VirtualClock};
+use crate::queue::{AdmissionQueue, BatchSpec, FlushTrigger, QueueConfig, QueuedRequest};
+
+/// Configuration for an [`SpmvServer`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerConfig {
+    /// Admission-queue coalescing parameters.
+    pub queue: QueueConfig,
+    /// Plan-catalog byte budget.
+    pub catalog: CatalogConfig,
+    /// Worker threads executing flushed batches concurrently. `0` and
+    /// `1` both mean "execute on the calling thread". Only throughput
+    /// depends on this — never batch composition or results.
+    pub workers: usize,
+}
+
+/// Errors surfaced to a single request.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The fingerprint is not resident in the catalog.
+    UnknownMatrix(MatrixFingerprint),
+    /// The request vector's length does not match the matrix.
+    Shape {
+        /// The matrix's column count.
+        expected: usize,
+        /// The supplied vector length.
+        actual: usize,
+    },
+    /// Catalog ingest failed.
+    Catalog(CatalogError),
+    /// The underlying execution failed.
+    Pipeline(PipelineError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownMatrix(fp) => {
+                write!(f, "matrix {} is not in the catalog", fp.token())
+            }
+            ServeError::Shape { expected, actual } => {
+                write!(f, "request vector has length {actual}, expected {expected}")
+            }
+            ServeError::Catalog(e) => write!(f, "catalog: {e}"),
+            ServeError::Pipeline(e) => write!(f, "execution: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CatalogError> for ServeError {
+    fn from(e: CatalogError) -> Self {
+        ServeError::Catalog(e)
+    }
+}
+
+impl From<PipelineError> for ServeError {
+    fn from(e: PipelineError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}
+
+/// A successfully served request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Output {
+    /// The product `A·x`.
+    pub y: Vec<f32>,
+    /// This vector's health under the request's integrity policy.
+    pub health: HealthReport,
+    /// How many requests were coalesced into the executing batch.
+    pub batch_size: usize,
+    /// Ticks spent queued (flush tick − arrival tick).
+    pub queued_ticks: Tick,
+    /// Simulated seconds of the whole batch execution on the modelled
+    /// accelerator (shared by all members of the batch).
+    pub exec_seconds: f64,
+    /// The tick at which the batch left the queue.
+    pub flushed_at: Tick,
+    /// Why the batch flushed.
+    pub trigger: FlushTrigger,
+}
+
+/// The outcome of one admitted request.
+#[derive(Debug)]
+pub struct Completion {
+    /// The id [`SpmvServer::submit`] returned for the request.
+    pub id: u64,
+    /// The served output, or a per-request error.
+    pub result: Result<Output, ServeError>,
+}
+
+/// One line of the batch log: which requests executed together and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// The matrix the batch ran against.
+    pub fingerprint: MatrixFingerprint,
+    /// Member request ids, in admission order.
+    pub request_ids: Vec<u64>,
+    /// The tick the batch left the queue.
+    pub flushed_at: Tick,
+    /// Why it flushed.
+    pub trigger: FlushTrigger,
+}
+
+/// The SpMV serving front-end. See the module docs.
+#[derive(Debug)]
+pub struct SpmvServer {
+    catalog: PlanCatalog,
+    queue: Mutex<AdmissionQueue>,
+    clock: VirtualClock,
+    pipeline: Pipeline,
+    next_id: AtomicU64,
+    workers: usize,
+    log: Mutex<Vec<BatchRecord>>,
+}
+
+impl SpmvServer {
+    /// A server with the default ingest pipeline.
+    pub fn new(config: ServerConfig) -> Self {
+        Self::with_pipeline(config, Pipeline::new())
+    }
+
+    /// A server whose ingest runs a custom-configured pipeline (pinned
+    /// portfolio, integrity defaults, thread budget, …).
+    pub fn with_pipeline(config: ServerConfig, pipeline: Pipeline) -> Self {
+        SpmvServer {
+            catalog: PlanCatalog::new(config.catalog),
+            queue: Mutex::new(AdmissionQueue::new(config.queue)),
+            clock: VirtualClock::new(),
+            pipeline,
+            next_id: AtomicU64::new(0),
+            workers: config.workers.max(1),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Tick {
+        self.clock.now()
+    }
+
+    /// The plan catalog (for inspection and direct management).
+    pub fn catalog(&self) -> &PlanCatalog {
+        &self.catalog
+    }
+
+    /// Prepares a COO matrix through the server's pipeline and caches
+    /// the plan. Returns the catalog key.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Pipeline`] when prepare fails, [`ServeError::Catalog`]
+    /// when the plan cannot fit the cache budget.
+    pub fn ingest_coo(&self, matrix: &Coo) -> Result<MatrixFingerprint, ServeError> {
+        let prepared = self.pipeline.prepare(matrix)?;
+        Ok(self.catalog.insert_prepared(prepared)?)
+    }
+
+    /// Ingests a v2 wire stream: decode, prepare, cache — keyed by the
+    /// *ingested stream's* canonical fingerprint, which remote clients
+    /// can compute locally. Cheap no-op when already resident.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Catalog`] wrapping decode, prepare or budget
+    /// failures.
+    pub fn ingest_wire(&self, bytes: &[u8]) -> Result<MatrixFingerprint, ServeError> {
+        Ok(self.catalog.insert_wire(bytes, &self.pipeline)?)
+    }
+
+    /// Admits one request against the cached plan for `fingerprint`.
+    ///
+    /// Returns the request id plus any completions produced *right now*
+    /// (the admission filled a batch to the size trigger). Otherwise the
+    /// request waits for its group's deadline: drive the clock with
+    /// [`SpmvServer::advance_to`] / [`SpmvServer::advance`], or flush
+    /// unconditionally with [`SpmvServer::drain`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownMatrix`] and [`ServeError::Shape`] reject the
+    /// request up front; nothing is queued on error.
+    pub fn submit(
+        &self,
+        fingerprint: MatrixFingerprint,
+        x: Vec<f32>,
+        policy: IntegrityPolicy,
+    ) -> Result<(u64, Vec<Completion>), ServeError> {
+        let lease = self
+            .catalog
+            .get(&fingerprint)
+            .ok_or(ServeError::UnknownMatrix(fingerprint))?;
+        if x.len() != lease.cols() as usize {
+            return Err(ServeError::Shape {
+                expected: lease.cols() as usize,
+                actual: x.len(),
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let flushed = {
+            let mut queue = self.lock_queue();
+            let now = self.clock.now();
+            queue.push(
+                QueuedRequest {
+                    id,
+                    policy,
+                    x,
+                    arrival: now,
+                    lease,
+                },
+                now,
+            )
+        };
+        let completions = match flushed {
+            Some(batch) => self.execute_batches(vec![batch]),
+            None => Vec::new(),
+        };
+        Ok((id, completions))
+    }
+
+    /// Advances the clock to `t` and executes every batch whose deadline
+    /// has passed. Completions are returned in (deadline, admission)
+    /// order regardless of worker count.
+    pub fn advance_to(&self, t: Tick) -> Vec<Completion> {
+        let now = self.clock.advance_to(t);
+        let due = self.lock_queue().due(now);
+        self.execute_batches(due)
+    }
+
+    /// Advances the clock by `ticks`; see [`SpmvServer::advance_to`].
+    pub fn advance(&self, ticks: Tick) -> Vec<Completion> {
+        let now = self.clock.advance(ticks);
+        let due = self.lock_queue().due(now);
+        self.execute_batches(due)
+    }
+
+    /// Flushes and executes everything still queued, without waiting for
+    /// deadlines.
+    pub fn drain(&self) -> Vec<Completion> {
+        let now = self.clock.now();
+        let batches = self.lock_queue().drain(now);
+        self.execute_batches(batches)
+    }
+
+    /// The earliest pending deadline, if any request is queued.
+    pub fn next_deadline(&self) -> Option<Tick> {
+        self.lock_queue().next_deadline()
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.lock_queue().len()
+    }
+
+    /// A copy of the batch log: every executed batch, in execution-issue
+    /// order, with membership and flush metadata. Deterministic for a
+    /// fixed trace and clock schedule.
+    pub fn batch_log(&self) -> Vec<BatchRecord> {
+        self.lock_log().clone()
+    }
+
+    /// Clears the batch log (e.g. between measurement phases).
+    pub fn clear_batch_log(&self) {
+        self.lock_log().clear();
+    }
+
+    /// Runs `f` against the cached plan for `fingerprint`, serialised
+    /// with batch execution. Intended for maintenance and tests (e.g.
+    /// arming fault campaigns on a served plan).
+    pub fn with_prepared<R>(
+        &self,
+        fingerprint: MatrixFingerprint,
+        f: impl FnOnce(&mut Prepared) -> R,
+    ) -> Option<R> {
+        let lease = self.catalog.get(&fingerprint)?;
+        let mut prepared = lease.prepared();
+        Some(f(&mut prepared))
+    }
+
+    fn lock_queue(&self) -> MutexGuard<'_, AdmissionQueue> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_log(&self) -> MutexGuard<'_, Vec<BatchRecord>> {
+        self.log.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Executes flushed batches, fanning out across up to
+    /// `self.workers` scoped threads. Compositions were already fixed by
+    /// the queue; this only affects wall-clock concurrency. Completions
+    /// come back grouped per batch in flush order, ids ascending within
+    /// a batch.
+    fn execute_batches(&self, batches: Vec<BatchSpec>) -> Vec<Completion> {
+        if batches.is_empty() {
+            return Vec::new();
+        }
+        {
+            let mut log = self.lock_log();
+            for b in &batches {
+                log.push(BatchRecord {
+                    fingerprint: b.fingerprint,
+                    request_ids: b.requests.iter().map(|r| r.id).collect(),
+                    flushed_at: b.flushed_at,
+                    trigger: b.trigger,
+                });
+            }
+        }
+        let workers = self.workers.min(batches.len());
+        if workers <= 1 {
+            return batches
+                .into_iter()
+                .flat_map(|b| self.execute_one(b))
+                .collect();
+        }
+        // Round-robin the batches over `workers` scoped threads, then
+        // reassemble in flush order so the caller-visible order is
+        // independent of scheduling.
+        let mut slots: Vec<Vec<Completion>> = Vec::new();
+        let indexed: Vec<(usize, BatchSpec)> = batches.into_iter().enumerate().collect();
+        let mut shards: Vec<Vec<(usize, BatchSpec)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, b) in indexed {
+            shards[i % workers].push((i, b));
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|shard| {
+                    scope.spawn(move || {
+                        shard
+                            .into_iter()
+                            .map(|(i, b)| (i, self.execute_one(b)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut all: Vec<(usize, Vec<Completion>)> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_default())
+                .collect();
+            all.sort_by_key(|(i, _)| *i);
+            slots = all.into_iter().map(|(_, c)| c).collect();
+        });
+        slots.into_iter().flatten().collect()
+    }
+
+    /// Executes one batch against its leased plan. On an indexed shape
+    /// error (which submit-time validation should have made impossible)
+    /// the offending request alone is rejected and the rest retried.
+    fn execute_one(&self, batch: BatchSpec) -> Vec<Completion> {
+        let BatchSpec {
+            policy,
+            mut requests,
+            flushed_at,
+            trigger,
+            ..
+        } = batch;
+        let mut completions: Vec<Completion> = Vec::with_capacity(requests.len());
+        while !requests.is_empty() {
+            let size = requests.len();
+            let outcome = {
+                let lease = requests[0].lease.clone();
+                let rows = lease.rows() as usize;
+                let xs: Vec<&[f32]> = requests.iter().map(|r| r.x.as_slice()).collect();
+                let mut ys = vec![vec![0.0f32; rows]; size];
+                let mut prepared = lease.prepared();
+                prepared.set_integrity(policy);
+                match prepared.execute_batch_into(&xs, &mut ys) {
+                    Ok(report) => {
+                        let exec_seconds = report
+                            .batch
+                            .as_ref()
+                            .map(|b| b.seconds)
+                            .unwrap_or(report.seconds);
+                        Ok((ys, prepared.batch_health().to_vec(), exec_seconds))
+                    }
+                    Err(e) => Err(e),
+                }
+            };
+            match outcome {
+                Ok((ys, health, exec_seconds)) => {
+                    for ((request, y), h) in requests.drain(..).zip(ys).zip(health) {
+                        completions.push(Completion {
+                            id: request.id,
+                            result: Ok(Output {
+                                y,
+                                health: h,
+                                batch_size: size,
+                                queued_ticks: flushed_at.saturating_sub(request.arrival),
+                                exec_seconds,
+                                flushed_at,
+                                trigger,
+                            }),
+                        });
+                    }
+                }
+                Err(PipelineError::BatchDimensionMismatch {
+                    vector,
+                    expected,
+                    actual,
+                    ..
+                }) if vector < requests.len() => {
+                    let bad = requests.remove(vector);
+                    completions.push(Completion {
+                        id: bad.id,
+                        result: Err(ServeError::Shape { expected, actual }),
+                    });
+                }
+                Err(e) => {
+                    for request in requests.drain(..) {
+                        completions.push(Completion {
+                            id: request.id,
+                            result: Err(ServeError::Pipeline(e.clone())),
+                        });
+                    }
+                }
+            }
+        }
+        completions.sort_by_key(|c| c.id);
+        completions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::PolicyClass;
+    use spasm_sparse::Coo;
+
+    fn diag(n: u32) -> Coo {
+        Coo::from_triplets(n, n, (0..n).map(|i| (i, i, 1.0 + i as f32)).collect())
+            .expect("valid triplets")
+    }
+
+    fn server(max_batch: usize, max_delay: Tick) -> SpmvServer {
+        SpmvServer::new(ServerConfig {
+            queue: QueueConfig {
+                max_batch,
+                max_delay,
+            },
+            ..ServerConfig::default()
+        })
+    }
+
+    #[test]
+    fn submit_rejects_unknown_and_misshapen_requests() {
+        let s = server(4, 10);
+        let fp = s.ingest_coo(&diag(16)).expect("ingest");
+        let ghost = diag(8).clone();
+        let ghost_fp = {
+            let other = server(1, 0);
+            other.ingest_coo(&ghost).expect("ingest")
+        };
+        assert!(matches!(
+            s.submit(ghost_fp, vec![1.0; 8], IntegrityPolicy::off()),
+            Err(ServeError::UnknownMatrix(_))
+        ));
+        assert!(matches!(
+            s.submit(fp, vec![1.0; 5], IntegrityPolicy::off()),
+            Err(ServeError::Shape {
+                expected: 16,
+                actual: 5
+            })
+        ));
+        assert_eq!(s.pending(), 0, "rejected requests are never queued");
+    }
+
+    #[test]
+    fn size_trigger_fires_on_the_filling_submit() {
+        let s = server(2, 1_000);
+        let fp = s.ingest_coo(&diag(8)).expect("ingest");
+        let (id0, first) = s.submit(fp, vec![1.0; 8], IntegrityPolicy::off()).unwrap();
+        assert!(first.is_empty());
+        let (id1, second) = s.submit(fp, vec![2.0; 8], IntegrityPolicy::off()).unwrap();
+        assert_eq!(second.len(), 2);
+        assert_eq!(
+            second.iter().map(|c| c.id).collect::<Vec<_>>(),
+            vec![id0, id1]
+        );
+        for c in &second {
+            let out = c.result.as_ref().expect("served");
+            assert_eq!(out.batch_size, 2);
+            assert_eq!(out.trigger, FlushTrigger::Size);
+        }
+        assert_eq!(s.batch_log().len(), 1);
+        assert_eq!(s.batch_log()[0].request_ids, vec![id0, id1]);
+    }
+
+    #[test]
+    fn policies_do_not_mix_within_a_batch() {
+        let s = server(2, 100);
+        let fp = s.ingest_coo(&diag(8)).expect("ingest");
+        s.submit(fp, vec![1.0; 8], IntegrityPolicy::off()).unwrap();
+        let (_, flushed) = s.submit(fp, vec![1.0; 8], IntegrityPolicy::full()).unwrap();
+        assert!(
+            flushed.is_empty(),
+            "different policy classes must not coalesce"
+        );
+        assert_eq!(s.pending(), 2);
+        let done = s.drain();
+        assert_eq!(done.len(), 2);
+        assert_eq!(s.batch_log().len(), 2, "two singleton batches");
+        assert_ne!(
+            PolicyClass::from(IntegrityPolicy::off()),
+            PolicyClass::from(IntegrityPolicy::full())
+        );
+    }
+
+    #[test]
+    fn indexed_shape_error_evicts_only_the_offender() {
+        // Submit-time validation makes this unreachable through the public
+        // API, so drive execute_one directly with a malformed member.
+        let s = server(4, 10);
+        let fp = s.ingest_coo(&diag(8)).expect("ingest");
+        let lease = s.catalog().get(&fp).expect("resident");
+        let mk = |id: u64, len: usize| QueuedRequest {
+            id,
+            policy: IntegrityPolicy::off(),
+            x: vec![1.0; len],
+            arrival: 0,
+            lease: lease.clone(),
+        };
+        let batch = BatchSpec {
+            fingerprint: fp,
+            policy: IntegrityPolicy::off(),
+            requests: vec![mk(0, 8), mk(1, 3), mk(2, 8)],
+            flushed_at: 5,
+            trigger: FlushTrigger::Drain,
+        };
+        let completions = s.execute_one(batch);
+        assert_eq!(completions.len(), 3);
+        assert!(matches!(
+            completions[1].result,
+            Err(ServeError::Shape {
+                expected: 8,
+                actual: 3
+            })
+        ));
+        for c in [&completions[0], &completions[2]] {
+            let out = c.result.as_ref().expect("healthy members still serve");
+            assert_eq!(out.batch_size, 2, "retried without the offender");
+        }
+    }
+}

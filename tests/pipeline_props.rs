@@ -113,36 +113,49 @@ proptest! {
         // write — every output still holds its sentinel afterwards.
         let mut bad_xs = xs.clone();
         let mut bad_ys = vec![vec![0.125f32; rows]; batch];
-        let expected_operand = match defect {
+        // `(operand, vector index named by the error)`: per-vector shape
+        // defects carry the offending index, batch-length defects do not.
+        let expected_defect = match defect {
             // One x too short.
             0 if batch > 0 => {
                 bad_xs[batch - 1] = vec![0.0; cols.saturating_sub(1)];
-                Some("x")
+                Some(("x", Some(batch - 1)))
             }
             // One y too long.
             1 if batch > 0 => {
                 bad_ys[0] = vec![0.125f32; rows + 1];
-                Some("y")
+                Some(("y", Some(0)))
             }
             // ys shorter than xs.
             2 if batch > 0 => {
                 bad_ys.pop();
-                Some("batch")
+                Some(("batch", None))
             }
             // ys longer than xs.
             3 => {
                 bad_ys.push(vec![0.125f32; rows]);
-                Some("batch")
+                Some(("batch", None))
             }
             _ => None,
         };
-        if let Some(operand) = expected_operand {
+        if let Some((operand, vector)) = expected_defect {
             let err = prepared.execute_batch_into(&bad_xs, &mut bad_ys);
-            match err {
-                Err(PipelineError::DimensionMismatch { operand: o, .. }) => {
+            match (err, vector) {
+                (Err(PipelineError::DimensionMismatch { operand: o, .. }), None) => {
                     prop_assert_eq!(o, operand);
                 }
-                other => prop_assert!(false, "expected DimensionMismatch, got {:?}", other),
+                (
+                    Err(PipelineError::BatchDimensionMismatch {
+                        vector: v,
+                        operand: o,
+                        ..
+                    }),
+                    Some(want),
+                ) => {
+                    prop_assert_eq!(o, operand);
+                    prop_assert_eq!(v, want);
+                }
+                (other, _) => prop_assert!(false, "expected a shape error, got {:?}", other),
             }
             prop_assert!(
                 bad_ys.iter().flatten().all(|&v| v == 0.125),

@@ -1,0 +1,279 @@
+//! Serving determinism: coalesced batch compositions are an exact
+//! function of the arrival trace and virtual-clock schedule, and every
+//! served result is bit-identical to a serial batch-1
+//! `Prepared::execute` of the same request — for any worker count.
+//!
+//! Registered in `crates/serve` (`[[test]] name = "serving"`).
+
+use std::collections::BTreeMap;
+
+use spasm::{IntegrityPolicy, Pipeline, PipelineOptions, Prepared};
+use spasm_hw::HwConfig;
+use spasm_patterns::TemplateSet;
+use spasm_serve::loadgen::{seeded_x, TraceEvent, TraceGen};
+use spasm_serve::{
+    BatchRecord, Completion, FlushTrigger, Output, QueueConfig, ServerConfig, SpmvServer, Tick,
+};
+use spasm_sparse::Coo;
+
+/// An `n`×`n` scattered matrix, a few entries per row, `salt`-dependent
+/// structure and values so distinct salts give distinct streams.
+fn scatter(n: u32, per_row: u32, salt: u32) -> Coo {
+    let mut t = Vec::new();
+    for i in 0..n {
+        for k in 0..per_row {
+            let j = (i * 37 + k * 13 + salt) % n;
+            t.push((i, j, ((i + k + salt) % 9 + 1) as f32 * 0.5));
+        }
+    }
+    Coo::from_triplets(n, n, t).expect("valid triplets")
+}
+
+/// A pinned pipeline (fixed portfolio + schedule) so prepares are cheap
+/// and every server/oracle in this file runs the identical plan.
+fn pinned_pipeline() -> Pipeline {
+    Pipeline::with_options(
+        PipelineOptions::default()
+            .fixed_portfolio(TemplateSet::table_v_set(0))
+            .fixed_schedule(256, HwConfig::spasm_4_1()),
+    )
+}
+
+fn server(max_batch: usize, max_delay: Tick, workers: usize) -> SpmvServer {
+    SpmvServer::with_pipeline(
+        ServerConfig {
+            queue: QueueConfig {
+                max_batch,
+                max_delay,
+            },
+            workers,
+            ..ServerConfig::default()
+        },
+        pinned_pipeline(),
+    )
+}
+
+fn bits(y: &[f32]) -> Vec<u32> {
+    y.iter().map(|v| v.to_bits()).collect()
+}
+
+fn absorb(outputs: &mut BTreeMap<u64, Output>, completions: Vec<Completion>) {
+    for c in completions {
+        let out = c.result.expect("request must serve cleanly");
+        assert!(outputs.insert(c.id, out).is_none(), "duplicate completion");
+    }
+}
+
+#[test]
+fn handcrafted_trace_flushes_exact_batches() {
+    // max_batch 3, max_delay 10 ticks; trace:
+    //   t=0 A, t=1 A, t=2 B, t=3 A  -> size-flush A = [0, 1, 3] at t=3
+    //   t=4 B                       -> deadline-flush B = [2, 4] at t=12
+    let s = server(3, 10, 1);
+    let ma = scatter(96, 4, 0);
+    let mb = scatter(80, 4, 5);
+    let a = s.ingest_coo(&ma).expect("ingest A");
+    let b = s.ingest_coo(&mb).expect("ingest B");
+    let off = IntegrityPolicy::off();
+    let xa = |seed| seeded_x(96, seed);
+    let xb = |seed| seeded_x(80, seed);
+
+    let (id0, c) = s.submit(a, xa(0), off).expect("submit");
+    assert!(c.is_empty());
+    assert!(s.advance_to(1).is_empty());
+    let (id1, c) = s.submit(a, xa(1), off).expect("submit");
+    assert!(c.is_empty());
+    assert!(s.advance_to(2).is_empty());
+    let (id2, c) = s.submit(b, xb(2), off).expect("submit");
+    assert!(c.is_empty());
+    assert!(s.advance_to(3).is_empty());
+    let (id3, sized) = s.submit(a, xa(3), off).expect("submit");
+
+    // The third A fills the group: flushed right on the submit, at t=3.
+    assert_eq!(
+        sized.iter().map(|c| c.id).collect::<Vec<_>>(),
+        vec![id0, id1, id3]
+    );
+    let mut outputs = BTreeMap::new();
+    absorb(&mut outputs, sized);
+    for (id, queued) in [(id0, 3u64), (id1, 2), (id3, 0)] {
+        let out = &outputs[&id];
+        assert_eq!(out.trigger, FlushTrigger::Size);
+        assert_eq!(out.flushed_at, 3);
+        assert_eq!(out.queued_ticks, queued);
+        assert_eq!(out.batch_size, 3);
+    }
+
+    assert!(s.advance_to(4).is_empty());
+    let (id4, c) = s.submit(b, xb(4), off).expect("submit");
+    assert!(c.is_empty());
+    assert_eq!(s.pending(), 2);
+    assert_eq!(s.next_deadline(), Some(12), "B's oldest arrived at t=2");
+
+    // Advancing far past the deadline still stamps the flush *at* t=12.
+    let late = s.advance_to(40);
+    assert_eq!(
+        late.iter().map(|c| c.id).collect::<Vec<_>>(),
+        vec![id2, id4]
+    );
+    absorb(&mut outputs, late);
+    for (id, queued) in [(id2, 10u64), (id4, 8)] {
+        let out = &outputs[&id];
+        assert_eq!(out.trigger, FlushTrigger::Deadline);
+        assert_eq!(out.flushed_at, 12);
+        assert_eq!(out.queued_ticks, queued);
+        assert_eq!(out.batch_size, 2);
+    }
+    assert_eq!(s.pending(), 0);
+
+    // The batch log is the exact composition record.
+    assert_eq!(
+        s.batch_log(),
+        vec![
+            BatchRecord {
+                fingerprint: a,
+                request_ids: vec![id0, id1, id3],
+                flushed_at: 3,
+                trigger: FlushTrigger::Size,
+            },
+            BatchRecord {
+                fingerprint: b,
+                request_ids: vec![id2, id4],
+                flushed_at: 12,
+                trigger: FlushTrigger::Deadline,
+            },
+        ]
+    );
+
+    // And every served vector is bit-identical to a serial batch-1 run.
+    let mut oa = pinned_pipeline().prepare(&ma).expect("prepare A");
+    let mut ob = pinned_pipeline().prepare(&mb).expect("prepare B");
+    let oracle = |p: &mut Prepared, x: &[f32]| {
+        let mut y = vec![0.0f32; p.plan.rows() as usize];
+        p.execute(x, &mut y).expect("oracle execute");
+        y
+    };
+    assert_eq!(bits(&outputs[&id0].y), bits(&oracle(&mut oa, &xa(0))));
+    assert_eq!(bits(&outputs[&id1].y), bits(&oracle(&mut oa, &xa(1))));
+    assert_eq!(bits(&outputs[&id3].y), bits(&oracle(&mut oa, &xa(3))));
+    assert_eq!(bits(&outputs[&id2].y), bits(&oracle(&mut ob, &xb(2))));
+    assert_eq!(bits(&outputs[&id4].y), bits(&oracle(&mut ob, &xb(4))));
+}
+
+/// Replays `events` against a fresh server with `workers` execution
+/// threads; returns the batch log and the per-request outputs. Request
+/// ids are assigned in submission order, so id `i` serves `events[i]`.
+fn serve_trace(
+    workers: usize,
+    events: &[TraceEvent],
+    corpus: &[Coo],
+    policy: IntegrityPolicy,
+) -> (Vec<BatchRecord>, BTreeMap<u64, Output>) {
+    let s = server(3, 25, workers);
+    let fps: Vec<_> = corpus
+        .iter()
+        .map(|m| (s.ingest_coo(m).expect("ingest"), m.cols() as usize))
+        .collect();
+    let mut outputs = BTreeMap::new();
+    for e in events {
+        while let Some(d) = s.next_deadline().filter(|&d| d <= e.at) {
+            absorb(&mut outputs, s.advance_to(d));
+        }
+        s.clock().advance_to(e.at);
+        let (fp, cols) = fps[e.matrix];
+        let (_, done) = s
+            .submit(fp, seeded_x(cols, e.x_seed), policy)
+            .expect("submit");
+        absorb(&mut outputs, done);
+    }
+    while let Some(d) = s.next_deadline() {
+        absorb(&mut outputs, s.advance_to(d));
+    }
+    absorb(&mut outputs, s.drain());
+    (s.batch_log(), outputs)
+}
+
+#[test]
+fn seeded_trace_is_bit_identical_for_any_worker_count() {
+    let corpus = [scatter(96, 4, 0), scatter(80, 4, 5), scatter(120, 3, 11)];
+    let events: Vec<TraceEvent> = TraceGen::new(0xC0FFEE, corpus.len(), 1.0, 7)
+        .take(48)
+        .collect();
+
+    // Serial batch-1 oracle: one prepared plan per matrix, one
+    // single-vector execute per request, zeroed destination.
+    let mut oracles: Vec<Prepared> = corpus
+        .iter()
+        .map(|m| pinned_pipeline().prepare(m).expect("prepare"))
+        .collect();
+    let expected: Vec<Vec<u32>> = events
+        .iter()
+        .map(|e| {
+            let p = &mut oracles[e.matrix];
+            let x = seeded_x(corpus[e.matrix].cols() as usize, e.x_seed);
+            let mut y = vec![0.0f32; p.plan.rows() as usize];
+            p.execute(&x, &mut y).expect("oracle execute");
+            bits(&y)
+        })
+        .collect();
+
+    let (log1, out1) = serve_trace(1, &events, &corpus, IntegrityPolicy::off());
+    assert_eq!(out1.len(), events.len(), "every request completes");
+    let mut coalesced = 0usize;
+    for i in 0..events.len() {
+        let out = &out1[&(i as u64)];
+        assert_eq!(bits(&out.y), expected[i], "request {i} bits");
+        if out.batch_size > 1 {
+            coalesced += 1;
+        }
+    }
+    assert!(coalesced > 0, "trace never coalesced; tune the trace");
+    assert!(
+        log1.iter().any(|r| r.trigger == FlushTrigger::Size),
+        "no size flush in trace"
+    );
+    assert!(
+        log1.iter().any(|r| r.trigger == FlushTrigger::Deadline),
+        "no deadline flush in trace"
+    );
+
+    // Worker threads may change execution concurrency, never batch
+    // composition or a single output bit.
+    for workers in [2usize, 7] {
+        let (log, out) = serve_trace(workers, &events, &corpus, IntegrityPolicy::off());
+        assert_eq!(log, log1, "batch log differs with {workers} workers");
+        assert_eq!(out.len(), out1.len());
+        for (id, o1) in &out1 {
+            let o = &out[id];
+            assert_eq!(bits(&o.y), bits(&o1.y), "id {id}, {workers} workers");
+            assert_eq!(o.batch_size, o1.batch_size);
+            assert_eq!(o.flushed_at, o1.flushed_at);
+            assert_eq!(o.trigger, o1.trigger);
+        }
+    }
+
+    // Same seed + same virtual-clock schedule -> same compositions,
+    // every run.
+    let (log_again, _) = serve_trace(1, &events, &corpus, IntegrityPolicy::off());
+    assert_eq!(log_again, log1);
+}
+
+#[test]
+fn full_integrity_policy_serves_clean_and_bit_identical() {
+    let corpus = [scatter(96, 4, 0), scatter(80, 4, 5), scatter(120, 3, 11)];
+    let events: Vec<TraceEvent> = TraceGen::new(0xBEEF, corpus.len(), 1.0, 9)
+        .take(24)
+        .collect();
+    let (_, verified) = serve_trace(2, &events, &corpus, IntegrityPolicy::full());
+    let (_, unchecked) = serve_trace(2, &events, &corpus, IntegrityPolicy::off());
+    assert_eq!(verified.len(), events.len());
+    for (id, v) in &verified {
+        assert!(v.health.is_clean(), "id {id} not clean: {:?}", v.health);
+        assert!(!v.health.fallback, "id {id} took fallback unfaulted");
+        assert_eq!(
+            bits(&v.y),
+            bits(&unchecked[id].y),
+            "id {id}: verification changed bits"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Fault isolation in coalesced serving: a poisoned vector inside a
+//! coalesced batch degrades (golden-CSR fallback) only its own request;
+//! sibling requests in the same batch stay pristine and bit-identical to
+//! an unfaulted run.
+//!
+//! Requires `--features fault-injection`; registered in `crates/serve`
+//! with `required-features` so plain `cargo test` skips it.
+
+use spasm::hw::fault::{FaultPlan, FaultSpec};
+use spasm::hw::HwConfig;
+use spasm::sparse::{Coo, SpMv};
+use spasm::{IntegrityPolicy, Pipeline, PipelineOptions};
+use spasm_patterns::TemplateSet;
+use spasm_serve::loadgen::seeded_x;
+use spasm_serve::{QueueConfig, ServerConfig, SpmvServer};
+
+/// A 300×300 scattered matrix spanning two 256-row tile rows under the
+/// pinned schedule, 5 entries per row.
+fn matrix() -> Coo {
+    let n = 300u32;
+    let mut t = Vec::new();
+    for i in 0..n {
+        for k in 0..5u32 {
+            let j = (i * 37 + k * 13) % n;
+            t.push((i, j, ((i + k) % 9 + 1) as f32 * 0.5));
+        }
+    }
+    Coo::from_triplets(n, n, t).expect("valid triplets")
+}
+
+fn pinned_pipeline() -> Pipeline {
+    Pipeline::with_options(
+        PipelineOptions::default()
+            .fixed_portfolio(TemplateSet::table_v_set(0))
+            .fixed_schedule(256, HwConfig::spasm_4_1()),
+    )
+}
+
+fn bits(y: &[f32]) -> Vec<u32> {
+    y.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn poisoned_vector_degrades_only_its_own_request() {
+    let m = matrix();
+    let n = m.cols() as usize;
+    let xs: Vec<Vec<f32>> = (0..3).map(|k| seeded_x(n, 100 + k)).collect();
+    let policy = IntegrityPolicy::full();
+
+    // Oracles from an identical pinned pipeline: the clean accelerator
+    // bits per vector, and the golden CSR bits the fallback must produce.
+    let mut oracle = pinned_pipeline().prepare(&m).expect("prepare oracle");
+    let clean: Vec<Vec<u32>> = xs
+        .iter()
+        .map(|x| {
+            let mut y = vec![0.0f32; n];
+            oracle.execute(x, &mut y).expect("oracle execute");
+            bits(&y)
+        })
+        .collect();
+    let mut y_csr = vec![0.0f32; n];
+    oracle.golden().spmv(&xs[1], &mut y_csr).expect("csr spmv");
+
+    // Coalesce all three requests into one size-triggered batch, arming a
+    // persistent all-lane fault for batch vector 1 before the flush.
+    let server = SpmvServer::with_pipeline(
+        ServerConfig {
+            queue: QueueConfig {
+                max_batch: 3,
+                max_delay: 1_000,
+            },
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        pinned_pipeline(),
+    );
+    let fp = server.ingest_coo(&m).expect("ingest");
+    let (id0, c) = server.submit(fp, xs[0].clone(), policy).expect("submit");
+    assert!(c.is_empty());
+    let (id1, c) = server.submit(fp, xs[1].clone(), policy).expect("submit");
+    assert!(c.is_empty());
+    server
+        .with_prepared(fp, |p| {
+            let spec = FaultSpec {
+                lane_faults: 4,
+                ..FaultSpec::default()
+            };
+            p.plan
+                .arm_faults_for_vector(FaultPlan::seeded(9, &spec, p.plan.n_instances()), 1);
+        })
+        .expect("plan resident");
+    let (id2, done) = server.submit(fp, xs[2].clone(), policy).expect("submit");
+
+    assert_eq!(
+        done.iter().map(|c| c.id).collect::<Vec<_>>(),
+        vec![id0, id1, id2],
+        "all three coalesced into the size-triggered batch"
+    );
+    for c in &done {
+        let out = c.result.as_ref().expect("every request serves");
+        assert_eq!(out.batch_size, 3);
+        let vector = (c.id - id0) as usize;
+        if c.id == id1 {
+            // The poisoned vector: a persistent all-lane fault survives
+            // the retry ladder, so under the Full policy it must take the
+            // golden CSR fallback — and say so.
+            assert!(out.health.fallback, "vector 1 must fall back");
+            assert!(out.health.needs_fallback());
+            assert!(out.health.faults_injected > 0);
+            assert_eq!(bits(&out.y), bits(&y_csr), "fallback bits");
+        } else {
+            // Siblings in the same batch: untouched, bit-clean.
+            assert!(
+                out.health.is_clean(),
+                "vector {vector} dirtied: {:?}",
+                out.health
+            );
+            assert_eq!(bits(&out.y), clean[vector], "vector {vector} bits");
+        }
+    }
+
+    // Disarm the campaign: the next batch over the same cached plan is
+    // clean again for every vector.
+    server
+        .with_prepared(fp, |p| p.plan.disarm_faults())
+        .expect("plan resident");
+    let (_, c0) = server.submit(fp, xs[0].clone(), policy).expect("submit");
+    assert!(c0.is_empty());
+    let (_, c1) = server.submit(fp, xs[1].clone(), policy).expect("submit");
+    assert!(c1.is_empty());
+    let (_, redo) = server.submit(fp, xs[2].clone(), policy).expect("submit");
+    assert_eq!(redo.len(), 3);
+    for (k, c) in redo.iter().enumerate() {
+        let out = c.result.as_ref().expect("serves clean");
+        assert!(out.health.is_clean(), "vector {k} after disarm");
+        assert_eq!(bits(&out.y), clean[k], "vector {k} bits after disarm");
+    }
+}
