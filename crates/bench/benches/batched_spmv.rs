@@ -21,9 +21,15 @@ use std::time::Instant;
 
 use spasm::{Parallelism, Pipeline, PipelineOptions};
 use spasm_bench::timing::is_smoke;
+use spasm_hw::Dispatch;
 use spasm_workloads::Workload;
 
 const BATCH_SIZES: [usize; 3] = [2, 4, 8];
+
+/// Batch width for the large-batch layout comparison: big enough that the
+/// per-vector window walk no longer fits comfortably in L1/L2 alongside
+/// the instance stream, which is where the two layouts diverge.
+const LARGE_BATCH: usize = 128;
 
 /// Per-vector wall-clock of `iters` timed repetitions, in seconds.
 fn time_per_vector(iters: u32, vectors: usize, mut f: impl FnMut()) -> f64 {
@@ -150,8 +156,94 @@ fn main() {
     // per vector must beat the prepared single-vector loop.
     spasm_bench::maybe_assert_speedup("batched_spmv batch-8 amortization", batch8, 1.05);
 
+    // ---- Large-batch layout comparison (batch > 64) --------------------
+    //
+    // Window-major: the per-instance dispatcher walks every window of one
+    // vector before moving to the next (`Dispatch::PerInstance`).
+    // Vector-blocked: the classed kernels fuse `LANE_BLOCK` vectors per
+    // instance walk (`Dispatch::Classed`), streaming the instance stream
+    // through the cache once per lane block instead of once per vector.
+    // Both are asserted bit-identical; the verdict records which layout
+    // wins at batch 128 on this host.
+    let large_iters: u32 = if is_smoke() { 1 } else { 10 };
+    let mut large_rows: Vec<(String, usize, f64, f64)> = Vec::new();
+    for w in picks {
+        let m = w.generate(scale);
+        let n_cols = m.cols() as usize;
+        let n_rows = m.rows() as usize;
+        let pipeline =
+            Pipeline::with_options(PipelineOptions::default().parallelism(Parallelism::Auto));
+        let prepared = pipeline.prepare(&m).expect("pipeline");
+        let mut plan = prepared
+            .accelerator()
+            .prepare(&prepared.encoded)
+            .expect("prepare");
+
+        let xs: Vec<Vec<f32>> = (0..LARGE_BATCH)
+            .map(|j| {
+                (0..n_cols)
+                    .map(|i| (((i + 5 * j) % 11) as f32) * 0.25 - 1.25)
+                    .collect()
+            })
+            .collect();
+
+        // Bit-identity gate between the two dispatchers.
+        let mut want = vec![vec![0.0f32; n_rows]; LARGE_BATCH];
+        plan.set_dispatch(Dispatch::PerInstance);
+        plan.run_batch(&xs, &mut want).expect("run_batch");
+        let mut got = vec![vec![0.0f32; n_rows]; LARGE_BATCH];
+        plan.set_dispatch(Dispatch::Classed);
+        plan.run_batch(&xs, &mut got).expect("run_batch");
+        for (j, (g, ww)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(
+                g.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                ww.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{w}: classed batch-{LARGE_BATCH} vector {j} diverged from per-instance"
+            );
+        }
+
+        let mut ys = vec![vec![0.0f32; n_rows]; LARGE_BATCH];
+        plan.set_dispatch(Dispatch::PerInstance);
+        let window_major_s = time_per_vector(large_iters, LARGE_BATCH, || {
+            for y in ys.iter_mut() {
+                y.fill(0.0);
+            }
+            plan.run_batch(&xs, &mut ys).expect("run_batch");
+        });
+        plan.set_dispatch(Dispatch::Classed);
+        let vector_blocked_s = time_per_vector(large_iters, LARGE_BATCH, || {
+            for y in ys.iter_mut() {
+                y.fill(0.0);
+            }
+            plan.run_batch(&xs, &mut ys).expect("run_batch");
+        });
+        println!(
+            "{:<14} {:>9} nnz  batch {:>3}  window-major {:>9.1} us/vec  \
+             vector-blocked {:>9.1} us/vec  {:>6.2}x",
+            w.to_string(),
+            m.nnz(),
+            LARGE_BATCH,
+            window_major_s * 1e6,
+            vector_blocked_s * 1e6,
+            window_major_s / vector_blocked_s.max(1e-12),
+        );
+        large_rows.push((w.to_string(), m.nnz(), window_major_s, vector_blocked_s));
+    }
+    let large_geo =
+        spasm_bench::geomean(large_rows.iter().map(|(_, _, wm, vb)| wm / vb.max(1e-12)));
+    let verdict = if large_geo >= 1.0 {
+        "vector-blocked"
+    } else {
+        "window-major"
+    };
+    println!(
+        "batch-{LARGE_BATCH} layout verdict: {verdict} \
+         (vector-blocked {large_geo:.2}x vs window-major, geomean)"
+    );
+
     // Hand-rolled JSON (no serde in the build environment).
     let mut json = String::from("{\n  \"bench\": \"batched_spmv\",\n");
+    json.push_str(&spasm_bench::metadata_json());
     let _ = writeln!(json, "  \"smoke\": {},", is_smoke());
     let _ = writeln!(json, "  \"iters\": {iters},");
     let _ = writeln!(json, "  \"geomean_amortization\": {overall},");
@@ -172,7 +264,29 @@ fn main() {
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"large_batch\": {\n");
+    let _ = writeln!(json, "    \"batch\": {LARGE_BATCH},");
+    let _ = writeln!(json, "    \"iters\": {large_iters},");
+    let _ = writeln!(json, "    \"geomean_vector_blocked_speedup\": {large_geo},");
+    let _ = writeln!(json, "    \"verdict\": \"{verdict}\",");
+    json.push_str("    \"workloads\": [\n");
+    for (i, (name, nnz, wm, vb)) in large_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"workload\": \"{name}\", \"nnz\": {nnz}, \
+             \"window_major_per_vector_s\": {wm}, \
+             \"vector_blocked_per_vector_s\": {vb}, \
+             \"vector_blocked_speedup\": {}}}",
+            wm / vb.max(1e-12)
+        );
+        json.push_str(if i + 1 < large_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n  }\n}\n");
     // cargo bench runs with the package dir as cwd; anchor the artifact at
     // the workspace root where CI picks it up.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batched_spmv.json");

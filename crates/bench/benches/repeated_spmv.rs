@@ -154,6 +154,7 @@ fn main() {
 
     // Hand-rolled JSON (no serde in the build environment).
     let mut json = String::from("{\n  \"bench\": \"repeated_spmv\",\n");
+    json.push_str(&spasm_bench::metadata_json());
     let _ = writeln!(json, "  \"smoke\": {},", is_smoke());
     let _ = writeln!(json, "  \"iters\": {iters},");
     let _ = writeln!(json, "  \"geomean_amortization\": {geomean},");

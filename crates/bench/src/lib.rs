@@ -78,6 +78,25 @@ pub fn maybe_assert_speedup(label: &str, speedup: f64, floor: f64) {
     eprintln!("  [assert] {label}: {speedup:.3}x >= {floor:.2}x floor — ok");
 }
 
+/// The host's core count as the benches see it.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// JSON fragment recording the active cargo feature set and the host core
+/// count — spliced into every bench artifact so JSONs produced by
+/// different CI configurations (serial vs parallel, scalar vs simd,
+/// laptop vs runner) are distinguishable after the fact. The fragment is
+/// two complete `"key": value,` lines, indented for a top-level object.
+pub fn metadata_json() -> String {
+    format!(
+        "  \"features\": {{\"parallel\": {}, \"simd\": {}}},\n  \"cores\": {},\n",
+        cfg!(feature = "parallel"),
+        cfg!(feature = "simd"),
+        host_cores()
+    )
+}
+
 /// Human label for a scale.
 pub fn scale_name(scale: Scale) -> &'static str {
     match scale {
@@ -212,5 +231,14 @@ mod tests {
     #[test]
     fn scale_names() {
         assert!(scale_name(Scale::Paper).contains("paper"));
+    }
+
+    #[test]
+    fn metadata_fragment_reflects_build() {
+        let md = metadata_json();
+        assert!(md.contains("\"features\""));
+        assert!(md.contains(&format!("\"parallel\": {}", cfg!(feature = "parallel"))));
+        assert!(md.contains(&format!("\"simd\": {}", cfg!(feature = "simd"))));
+        assert!(md.contains(&format!("\"cores\": {}", host_cores())));
     }
 }

@@ -38,6 +38,7 @@ mod config;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 mod integrity;
+mod kernel;
 mod pe;
 pub mod perf;
 mod plan;
@@ -49,7 +50,7 @@ mod valu;
 pub use config::{ChannelRole, HwConfig, HBM_CHANNEL_GBS, PES_PER_GROUP, PES_PER_VALUE_CHANNEL};
 pub use integrity::{merge_health, HealthReport, IntegrityCheck, VerifyScope};
 pub use pe::Pe;
-pub use plan::ExecutionPlan;
+pub use plan::{Dispatch, ExecutionPlan};
 pub use sim::{Accelerator, BatchReport, ExecReport, SimError, Traffic};
 pub use trace::{EventKind, ExecutionTrace, TraceEvent};
 pub use valu::{OpcodeError, OutNode, ValuOpcode};

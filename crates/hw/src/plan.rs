@@ -9,9 +9,15 @@
 //!
 //! * the instance stream is pre-decoded into flat structure-of-arrays
 //!   form — per instance, the padded-x segment base, the y offset within
-//!   the owning tile row's window, the compiled VALU opcode and the four
-//!   value slots — so the hot loop never re-parses 32-bit position
-//!   encodings or re-derives tile bases;
+//!   the owning tile row's window, a 1-byte opcode-class index into the
+//!   compiled portfolio LUT, and the four value slots — so the hot loop
+//!   never re-parses 32-bit position encodings or re-derives tile bases;
+//! * each tile row's instance span is cut into fixed-size blocks whose
+//!   indices are stably sorted by opcode class at prepare time, feeding
+//!   the branch-free class kernels of the default [`Dispatch::Classed`]
+//!   executor (see the `kernel` module) — bit-identical to the
+//!   per-instance reference walk, which [`Dispatch::PerInstance`] keeps
+//!   available for differential testing and baselining;
 //! * the tile-row layout (instance spans, disjoint y windows), per-tile
 //!   lane statistics, [`TileJob`]s, the LPT assignment, per-group cycles,
 //!   traffic and the full [`ExecReport`] are computed once — the report is
@@ -71,6 +77,7 @@ use spasm_format::SpasmMatrix;
 
 use crate::config::HwConfig;
 use crate::integrity::{HealthReport, IntegrityCheck, VerifyScope};
+use crate::kernel::{self, BucketRef, ClassKernel, SoaRef};
 use crate::pe::Pe;
 use crate::sim::{BatchReport, ExecReport, SimError, Traffic};
 use crate::timing::{self, TileJob};
@@ -80,6 +87,27 @@ use crate::valu::ValuOpcode;
 use crate::fault::{Fault, FaultPlan};
 #[cfg(feature = "fault-injection")]
 use spasm_format::PositionEncoding;
+
+/// How [`ExecutionPlan`]'s functional pass walks the instance stream.
+///
+/// Both dispatchers produce bit-identical output for every matrix, batch
+/// size and thread count — the per-y-element accumulation order is the
+/// stream order in either case (see the `kernel` module docs for why the
+/// classed executor preserves it). [`Dispatch::Classed`] is the default;
+/// [`Dispatch::PerInstance`] is retained as the reference baseline for
+/// differential tests and scalar-vs-classed benchmarking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// The reference executor: one enum-dispatched
+    /// [`ValuOpcode::execute`] per instance, in stream order.
+    PerInstance,
+    /// Class-bucketed two-pass kernels: branch-free per-class compute
+    /// into a staging buffer, then a stream-order scatter — with batch
+    /// lanes fused so one instance walk feeds up to
+    /// [`ExecutionPlan::LANE_BLOCK`] vectors.
+    #[default]
+    Classed,
+}
 
 /// Everything derivable from `(matrix, config)` alone, plus reusable
 /// scratch — see the [module docs](self) for the full inventory.
@@ -120,14 +148,33 @@ pub struct ExecutionPlan {
     tile_size: u32,
     // Pre-decoded SoA instance stream, in stream (tile) order. `x_base[i]`
     // indexes the padded x scratch; `y_base[i]` is relative to the owning
-    // tile row's y window; `values` holds four slots per instance.
+    // tile row's y window; `op_idx[i]` is the instance's template (opcode
+    // class) — an index into the `lut`/`kernels` portfolio tables, 1 byte
+    // per instance instead of a full decoded `ValuOpcode`; `values` holds
+    // four slots per instance.
     x_base: Vec<u32>,
     y_base: Vec<u32>,
-    opcodes: Vec<ValuOpcode>,
+    op_idx: Vec<u8>,
+    // The compiled portfolio: one `ValuOpcode` per template (the PE's
+    // opcode LUT) and the same opcodes predigested for the class kernels.
+    lut: Vec<ValuOpcode>,
+    kernels: Vec<ClassKernel>,
     // Shared with the owning `SpasmMatrix` (and any sibling plans): the
     // stream is immutable after encoding, so plans clone the `Arc`, not
     // the buffer.
     values: Arc<[f32]>,
+    // Prepare-time pattern-class bucketing (see `crate::kernel`): per
+    // `kernel::EXEC_BLOCK`-sized block of each tile row's instance span,
+    // the instance indices stably sorted by class, plus the
+    // run/block/row directory over them.
+    bucket_idx: Vec<u32>,
+    class_runs: Vec<(u32, u32, u8)>,
+    block_runs: Vec<u32>,
+    row_blocks: Vec<u32>,
+    // Which executor the functional pass uses; `Dispatch::Classed` by
+    // default, the per-instance reference path kept for differential
+    // testing and baseline benchmarking.
+    dispatch: Dispatch,
     // Per worked tile row: instance span in the stream, y window in `yp`,
     // the tile-row id, a prefix sum of instance counts for balanced
     // chunking, and a prefix sum of window lengths addressing the packed
@@ -151,6 +198,11 @@ pub struct ExecutionPlan {
     chunks: Vec<usize>,
     vp: Vec<f32>,
     vq: Vec<f32>,
+    // Staging scratch for the class-bucketed kernels: one
+    // `kernel::STAGE_STRIDE` stripe per worker (grown before a parallel
+    // fan-out; the serial stripe is allocated at build so steady-state
+    // serial runs stay allocation-free).
+    stage: Vec<f32>,
     // Batched-run scratch, grown on first use and reused: `xb` holds every
     // padded x vector at stride `xp.len()`; `yb` packs each (tile-row,
     // vector) window contiguously in pair order (`window_prefix[r] * batch
@@ -158,15 +210,13 @@ pub struct ExecutionPlan {
     // ascending spans.
     xb: Vec<f32>,
     yb: Vec<f32>,
-    // Fault-injection state: the raw encoding words, per-instance tile
-    // column bases and the opcode LUT let the faulted executor re-decode
-    // the stream as the hardware would after a bit flip.
+    // Fault-injection state: the raw encoding words and per-instance tile
+    // column bases let the faulted executor re-decode the stream (against
+    // the shared `lut`) as the hardware would after a bit flip.
     #[cfg(feature = "fault-injection")]
     enc_bits: Vec<u32>,
     #[cfg(feature = "fault-injection")]
     col_base: Vec<u32>,
-    #[cfg(feature = "fault-injection")]
-    lut: Vec<ValuOpcode>,
     #[cfg(feature = "fault-injection")]
     armed: Option<ArmedFaults>,
     // Which batch lane single-vector executions act on behalf of, so a
@@ -201,7 +251,7 @@ impl ExecutionPlan {
         let n = matrix.n_instances();
         let mut x_base = Vec::with_capacity(n);
         let mut y_base = Vec::with_capacity(n);
-        let mut opcodes = Vec::with_capacity(n);
+        let mut op_idx = Vec::with_capacity(n);
         let mut jobs = Vec::with_capacity(matrix.tiles().len());
         #[cfg(feature = "fault-injection")]
         let mut enc_bits = Vec::with_capacity(n);
@@ -215,7 +265,7 @@ impl ExecutionPlan {
                 lanes[(e.r_idx() as usize) % 16] += 1;
                 x_base.push(col_base + e.c_idx() * 4);
                 y_base.push(e.r_idx() * 4);
-                opcodes.push(pe.opcode(e.t_idx()));
+                op_idx.push(e.t_idx());
                 #[cfg(feature = "fault-injection")]
                 {
                     enc_bits.push(e.bits());
@@ -263,6 +313,19 @@ impl ExecutionPlan {
             window_prefix.push(wsum);
         }
 
+        // Compiled portfolio tables (the PE's opcode LUT, shared by the
+        // faulted decoder, plus the class kernels), and the prepare-time
+        // pattern-class bucketing over the instance stream.
+        let lut = matrix
+            .template_masks()
+            .iter()
+            .map(|&m| ValuOpcode::compile(m))
+            .collect::<Result<Vec<_>, _>>()?;
+        let kernels: Vec<ClassKernel> =
+            lut.iter().map(|&op| ClassKernel::from_opcode(op)).collect();
+        let (bucket_idx, class_runs, block_runs, row_blocks) =
+            kernel::build_buckets(&inst_ranges, &op_idx);
+
         // Timing: the same LPT assignment and cycle pricing the per-run
         // simulator used, computed once.
         let worked_row_heights = row_spans.iter().map(|&(row, _, _)| {
@@ -309,8 +372,15 @@ impl ExecutionPlan {
             tile_size,
             x_base,
             y_base,
-            opcodes,
+            op_idx,
+            lut,
+            kernels,
             values: matrix.shared_values().clone(),
+            bucket_idx,
+            class_runs,
+            block_runs,
+            row_blocks,
+            dispatch: Dispatch::default(),
             inst_ranges,
             window_spans,
             tile_row_ids,
@@ -323,18 +393,13 @@ impl ExecutionPlan {
             chunks: Vec::with_capacity(worker_budget().max(1) + 1),
             vp: vec![0.0; max_window],
             vq: vec![0.0; max_window],
+            stage: vec![0.0; kernel::STAGE_STRIDE],
             xb: Vec::new(),
             yb: Vec::new(),
             #[cfg(feature = "fault-injection")]
             enc_bits,
             #[cfg(feature = "fault-injection")]
             col_base: col_bases,
-            #[cfg(feature = "fault-injection")]
-            lut: matrix
-                .template_masks()
-                .iter()
-                .map(|&m| crate::valu::ValuOpcode::compile(m))
-                .collect::<Result<Vec<_>, _>>()?,
             #[cfg(feature = "fault-injection")]
             armed: None,
             #[cfg(feature = "fault-injection")]
@@ -363,14 +428,55 @@ impl ExecutionPlan {
         self.tile_size
     }
 
+    /// Instances per execution block: the pattern-class bucketing (and
+    /// kernel staging) granule of the classed dispatcher.
+    pub const EXEC_BLOCK: usize = kernel::EXEC_BLOCK;
+
+    /// Batch vectors fused per instance walk by the classed dispatcher.
+    pub const LANE_BLOCK: usize = kernel::LANE_BLOCK;
+
     /// Template instances in the pre-decoded stream.
     pub fn n_instances(&self) -> usize {
-        self.opcodes.len()
+        self.op_idx.len()
     }
 
     /// Worked tile rows (each owns a disjoint y window).
     pub fn n_tile_rows(&self) -> usize {
         self.inst_ranges.len()
+    }
+
+    /// Selects the executor for subsequent runs (default
+    /// [`Dispatch::Classed`]). Output bits are unaffected — both
+    /// dispatchers are bit-identical; this exists for differential
+    /// testing and baseline benchmarking.
+    pub fn set_dispatch(&mut self, dispatch: Dispatch) {
+        self.dispatch = dispatch;
+    }
+
+    /// The active executor (see [`ExecutionPlan::set_dispatch`]).
+    pub fn dispatch(&self) -> Dispatch {
+        self.dispatch
+    }
+
+    /// The instance span of worked tile row `r` in the pre-decoded
+    /// stream, if `r` is in range.
+    pub fn instance_range(&self, r: usize) -> Option<(usize, usize)> {
+        self.inst_ranges.get(r).copied()
+    }
+
+    /// The classed dispatcher's execution order: instance indices,
+    /// block-wise stably sorted by opcode class. Each
+    /// [`ExecutionPlan::EXEC_BLOCK`]-aligned slice of a tile row's span
+    /// is a permutation of the corresponding stream positions (the
+    /// bucketing property test pins this down).
+    pub fn bucket_order(&self) -> &[u32] {
+        &self.bucket_idx
+    }
+
+    /// Per-instance opcode class: the template LUT index driving both
+    /// dispatchers (1 byte per instance).
+    pub fn opcode_classes(&self) -> &[u8] {
+        &self.op_idx
     }
 
     /// The LPT tile-to-group assignment computed at prepare time.
@@ -593,8 +699,10 @@ impl ExecutionPlan {
     }
 
     /// The resident size of this plan in bytes: the pre-decoded SoA
-    /// stream, tile-row layout, scheduling state and reusable scratch,
-    /// plus the value stream.
+    /// stream (1-byte opcode classes plus the portfolio LUT), the
+    /// pattern-class bucket directory, tile-row layout, scheduling state
+    /// and reusable scratch (including the kernel staging stripes), plus
+    /// the value stream.
     ///
     /// The value stream is `Arc`-shared with the owning matrix and any
     /// sibling plans, but it is counted here in full so the figure is a
@@ -610,13 +718,20 @@ impl ExecutionPlan {
             + self.yp.len()
             + self.vp.len()
             + self.vq.len()
+            + self.stage.len()
             + self.xb.len()
             + self.yb.len();
         let bytes = size_of::<Self>()
             + f32s * size_of::<f32>()
             + self.x_base.len() * size_of::<u32>()
             + self.y_base.len() * size_of::<u32>()
-            + self.opcodes.len() * size_of::<ValuOpcode>()
+            + self.op_idx.len() * size_of::<u8>()
+            + self.lut.len() * size_of::<ValuOpcode>()
+            + self.kernels.len() * size_of::<ClassKernel>()
+            + self.bucket_idx.len() * size_of::<u32>()
+            + self.class_runs.len() * size_of::<(u32, u32, u8)>()
+            + self.block_runs.len() * size_of::<u32>()
+            + self.row_blocks.len() * size_of::<u32>()
             + self.inst_ranges.len() * size_of::<(usize, usize)>()
             + self.window_spans.len() * size_of::<(usize, usize)>()
             + self.tile_row_ids.len() * size_of::<u32>()
@@ -629,10 +744,8 @@ impl ExecutionPlan {
                 .map(|jobs| size_of::<Vec<TileJob>>() + jobs.len() * size_of::<TileJob>())
                 .sum::<usize>();
         #[cfg(feature = "fault-injection")]
-        let bytes = bytes
-            + self.enc_bits.len() * size_of::<u32>()
-            + self.col_base.len() * size_of::<u32>()
-            + self.lut.len() * size_of::<ValuOpcode>();
+        let bytes =
+            bytes + self.enc_bits.len() * size_of::<u32>() + self.col_base.len() * size_of::<u32>();
         bytes
     }
 
@@ -714,23 +827,57 @@ impl ExecutionPlan {
                 return;
             }
         }
-        let xstride = self.xp.len();
-        for r in 0..n_rows {
-            let (i0, i1) = self.inst_ranges[r];
-            let (w0, w1) = self.window_spans[r];
-            let wlen = w1 - w0;
-            let base = self.window_prefix[r] * batch;
-            for j in 0..batch {
-                process_span(
-                    &self.x_base,
-                    &self.y_base,
-                    &self.opcodes,
-                    &self.values,
-                    &self.xb[j * xstride..(j + 1) * xstride],
-                    &mut self.yb[base + j * wlen..base + (j + 1) * wlen],
-                    i0,
-                    i1,
-                );
+        match self.dispatch {
+            Dispatch::PerInstance => {
+                let xstride = self.xp.len();
+                for r in 0..n_rows {
+                    let (i0, i1) = self.inst_ranges[r];
+                    let (w0, w1) = self.window_spans[r];
+                    let wlen = w1 - w0;
+                    let base = self.window_prefix[r] * batch;
+                    for j in 0..batch {
+                        process_span(
+                            &self.x_base,
+                            &self.y_base,
+                            &self.op_idx,
+                            &self.lut,
+                            &self.values,
+                            &self.xb[j * xstride..(j + 1) * xstride],
+                            &mut self.yb[base + j * wlen..base + (j + 1) * wlen],
+                            i0,
+                            i1,
+                        );
+                    }
+                }
+            }
+            // Batch-lane fusion: one instance walk feeds up to LANE_BLOCK
+            // vectors, and each vector's window still accumulates in
+            // stream order — the lane blocking only changes how often the
+            // instance metadata is re-read, not any per-window order.
+            Dispatch::Classed => {
+                let v = self.kernel_views();
+                let xstride = v.xp.len();
+                for (r, &(w0, w1)) in v.window_spans.iter().enumerate() {
+                    let wlen = w1 - w0;
+                    let base = v.window_prefix[r] * batch;
+                    let mut lb = 0usize;
+                    while lb < batch {
+                        let lanes = kernel::LANE_BLOCK.min(batch - lb);
+                        kernel::execute_row_classed(
+                            v.soa,
+                            v.buckets,
+                            r,
+                            v.xb,
+                            xstride,
+                            lb,
+                            lanes,
+                            &mut v.yb[base + lb * wlen..base + (lb + lanes) * wlen],
+                            wlen,
+                            v.stage,
+                        );
+                        lb += lanes;
+                    }
+                }
             }
         }
     }
@@ -774,27 +921,20 @@ impl ExecutionPlan {
         }
         self.chunks.push(n_pairs);
 
-        let ExecutionPlan {
-            x_base,
-            y_base,
-            opcodes,
-            values,
-            inst_ranges,
-            window_spans,
-            window_prefix,
-            xp,
-            xb,
-            yb,
-            chunks,
-            ..
-        } = self;
-        let xstride = xp.len();
-        let (x_base, y_base, opcodes) = (&*x_base, &*y_base, &*opcodes);
-        let values: &[f32] = values;
-        let xb: &[f32] = xb;
-        let inst_ranges = inst_ranges.as_slice();
-        let window_spans = window_spans.as_slice();
-        let window_prefix = window_prefix.as_slice();
+        // One staging stripe per chunk worker.
+        let n_chunks = self.chunks.len() - 1;
+        if self.dispatch == Dispatch::Classed && self.stage.len() < n_chunks * kernel::STAGE_STRIDE
+        {
+            self.stage.resize(n_chunks * kernel::STAGE_STRIDE, 0.0);
+        }
+        let dispatch = self.dispatch;
+        let v = self.kernel_views();
+        let (soa, buckets) = (v.soa, v.buckets);
+        let (op_idx, lut) = (v.op_idx, v.lut);
+        let (inst_ranges, window_spans) = (buckets.inst_ranges, v.window_spans);
+        let window_prefix = v.window_prefix;
+        let xb = v.xb;
+        let xstride = v.xp.len();
         // Packed offset of pair `p`'s window; `p == n_pairs` is the end of
         // the active region.
         let offset = |p: usize| {
@@ -806,34 +946,78 @@ impl ExecutionPlan {
             window_prefix[r] * batch + j * (w1 - w0)
         };
         std::thread::scope(|scope| {
-            let mut rest: &mut [f32] = &mut yb[..window_prefix[n_rows] * batch];
+            let mut rest: &mut [f32] = &mut v.yb[..window_prefix[n_rows] * batch];
+            let mut stage_rest: &mut [f32] = v.stage;
             let mut consumed = 0usize;
-            for w in chunks.windows(2) {
+            for w in v.chunks.windows(2) {
                 let (p0, p1) = (w[0], w[1]);
                 let (start, end) = (offset(p0), offset(p1));
                 let (chunk_y, tail) = rest.split_at_mut(end - start);
                 rest = tail;
                 debug_assert_eq!(start, consumed);
                 consumed = end;
-                scope.spawn(move || {
-                    for p in p0..p1 {
-                        let (r, j) = (p / batch, p % batch);
-                        let (i0, i1) = inst_ranges[r];
-                        let (w0, w1) = window_spans[r];
-                        let wlen = w1 - w0;
-                        let off = window_prefix[r] * batch + j * wlen - start;
-                        process_span(
-                            x_base,
-                            y_base,
-                            opcodes,
-                            values,
-                            &xb[j * xstride..(j + 1) * xstride],
-                            &mut chunk_y[off..off + wlen],
-                            i0,
-                            i1,
-                        );
+                match dispatch {
+                    Dispatch::PerInstance => {
+                        scope.spawn(move || {
+                            for p in p0..p1 {
+                                let (r, j) = (p / batch, p % batch);
+                                let (i0, i1) = inst_ranges[r];
+                                let (w0, w1) = window_spans[r];
+                                let wlen = w1 - w0;
+                                let off = window_prefix[r] * batch + j * wlen - start;
+                                process_span(
+                                    soa.x_base,
+                                    soa.y_base,
+                                    op_idx,
+                                    lut,
+                                    soa.values,
+                                    &xb[j * xstride..(j + 1) * xstride],
+                                    &mut chunk_y[off..off + wlen],
+                                    i0,
+                                    i1,
+                                );
+                            }
+                        });
                     }
-                });
+                    // A chunk's pairs are consecutive, so pairs sharing a
+                    // tile row form runs of consecutive vectors — each run
+                    // is lane-blocked through the fused kernel. Every
+                    // (row, vector) window is still produced in stream
+                    // order, so chunk boundaries cannot change any bits.
+                    Dispatch::Classed => {
+                        let (chunk_stage, s_tail) = stage_rest.split_at_mut(kernel::STAGE_STRIDE);
+                        stage_rest = s_tail;
+                        scope.spawn(move || {
+                            let mut p = p0;
+                            while p < p1 {
+                                let r = p / batch;
+                                let (w0, w1) = window_spans[r];
+                                let wlen = w1 - w0;
+                                let row_end = ((r + 1) * batch).min(p1);
+                                let jend = row_end - r * batch;
+                                let mut j = p % batch;
+                                while j < jend {
+                                    let lanes = kernel::LANE_BLOCK.min(jend - j);
+                                    let off = window_prefix[r] * batch + j * wlen - start;
+                                    kernel::execute_row_classed(
+                                        soa,
+                                        buckets,
+                                        r,
+                                        xb,
+                                        xstride,
+                                        j,
+                                        lanes,
+                                        &mut chunk_y[off..off + lanes * wlen],
+                                        wlen,
+                                        chunk_stage,
+                                    );
+                                    j += lanes;
+                                }
+                                p = row_end;
+                            }
+                        });
+                    }
+                }
             }
         });
     }
@@ -948,10 +1132,14 @@ impl ExecutionPlan {
 
         let oracle = &mut self.vp[..wlen];
         oracle.fill(0.0);
+        // The oracle is always the per-instance reference walk, whatever
+        // dispatcher produced the window — the two are bit-identical, so
+        // this doubles as a cross-dispatch check on every verified row.
         process_span(
             &self.x_base,
             &self.y_base,
-            &self.opcodes,
+            &self.op_idx,
+            &self.lut,
             &self.values,
             &self.xp,
             oracle,
@@ -968,7 +1156,7 @@ impl ExecutionPlan {
         // VALU lane) strike the retry too and stay uncorrected.
         let retry = &mut self.vq[..wlen];
         retry.fill(0.0);
-        self.reexecute_span(i0, i1, wlen);
+        self.reexecute_span(r, wlen);
         self.yp[w0..w1].copy_from_slice(&self.vq[..wlen]);
         if bits_equal(&self.yp[w0..w1], &self.vp[..wlen]) {
             health.tile_rows_corrected += 1;
@@ -980,10 +1168,11 @@ impl ExecutionPlan {
         }
     }
 
-    /// Re-executes instances `[i0, i1)` from the pristine stream into
+    /// Re-executes tile row `r` from the pristine stream into
     /// `vq[..wlen]`, keeping persistent (lane) faults in effect.
     #[cfg(feature = "fault-injection")]
-    fn reexecute_span(&mut self, i0: usize, i1: usize, wlen: usize) {
+    fn reexecute_span(&mut self, r: usize, wlen: usize) {
+        let (i0, i1) = self.inst_ranges[r];
         match &self.armed {
             Some(af) if af.strikes_lane(self.active_lane) => process_span_faulted(
                 af,
@@ -997,34 +1186,56 @@ impl ExecutionPlan {
                 i0,
                 i1,
             ),
-            _ => process_span(
-                &self.x_base,
-                &self.y_base,
-                &self.opcodes,
-                &self.values,
-                &self.xp,
-                &mut self.vq[..wlen],
-                i0,
-                i1,
-            ),
+            _ => self.reexecute_pristine(r, wlen),
         }
     }
 
-    /// Re-executes instances `[i0, i1)` from the pristine stream into
+    /// Re-executes tile row `r` from the pristine stream into
     /// `vq[..wlen]` (without fault injection compiled in, the pristine
     /// stream is the only stream).
     #[cfg(not(feature = "fault-injection"))]
-    fn reexecute_span(&mut self, i0: usize, i1: usize, wlen: usize) {
-        process_span(
-            &self.x_base,
-            &self.y_base,
-            &self.opcodes,
-            &self.values,
-            &self.xp,
-            &mut self.vq[..wlen],
-            i0,
-            i1,
-        );
+    fn reexecute_span(&mut self, r: usize, wlen: usize) {
+        self.reexecute_pristine(r, wlen);
+    }
+
+    /// The pristine retry, run through the *active* dispatcher — when the
+    /// plan executes classed, the quarantine re-execution replays the same
+    /// bucketed order (and the same staging/scatter passes) the original
+    /// execution used, so a healed window is exactly what a fault-free
+    /// run would have produced.
+    fn reexecute_pristine(&mut self, r: usize, wlen: usize) {
+        match self.dispatch {
+            Dispatch::PerInstance => {
+                let (i0, i1) = self.inst_ranges[r];
+                process_span(
+                    &self.x_base,
+                    &self.y_base,
+                    &self.op_idx,
+                    &self.lut,
+                    &self.values,
+                    &self.xp,
+                    &mut self.vq[..wlen],
+                    i0,
+                    i1,
+                );
+            }
+            Dispatch::Classed => {
+                let v = self.kernel_views();
+                let xstride = v.xp.len();
+                kernel::execute_row_classed(
+                    v.soa,
+                    v.buckets,
+                    r,
+                    v.xp,
+                    xstride,
+                    0,
+                    1,
+                    &mut v.vq[..wlen],
+                    wlen,
+                    v.stage,
+                );
+            }
+        }
     }
 
     /// Dispatches the functional pass over tile rows, fanning out only
@@ -1047,19 +1258,98 @@ impl ExecutionPlan {
                 return;
             }
         }
-        for r in 0..self.inst_ranges.len() {
-            let (w0, w1) = self.window_spans[r];
-            let (i0, i1) = self.inst_ranges[r];
-            process_span(
-                &self.x_base,
-                &self.y_base,
-                &self.opcodes,
-                &self.values,
-                &self.xp,
-                &mut self.yp[w0..w1],
-                i0,
-                i1,
-            );
+        match self.dispatch {
+            Dispatch::PerInstance => {
+                for r in 0..self.inst_ranges.len() {
+                    let (w0, w1) = self.window_spans[r];
+                    let (i0, i1) = self.inst_ranges[r];
+                    process_span(
+                        &self.x_base,
+                        &self.y_base,
+                        &self.op_idx,
+                        &self.lut,
+                        &self.values,
+                        &self.xp,
+                        &mut self.yp[w0..w1],
+                        i0,
+                        i1,
+                    );
+                }
+            }
+            Dispatch::Classed => {
+                let v = self.kernel_views();
+                let xstride = v.xp.len();
+                for (r, &(w0, w1)) in v.window_spans.iter().enumerate() {
+                    kernel::execute_row_classed(
+                        v.soa,
+                        v.buckets,
+                        r,
+                        v.xp,
+                        xstride,
+                        0,
+                        1,
+                        &mut v.yp[w0..w1],
+                        w1 - w0,
+                        v.stage,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Splits `self` into the disjoint borrows the classed executors
+    /// need: shared views of the SoA stream, portfolio tables and bucket
+    /// directory alongside mutable scratch — one destructure instead of
+    /// per-call-site field juggling.
+    fn kernel_views(&mut self) -> KernelViews<'_> {
+        let ExecutionPlan {
+            x_base,
+            y_base,
+            op_idx,
+            lut,
+            kernels,
+            values,
+            bucket_idx,
+            class_runs,
+            block_runs,
+            row_blocks,
+            inst_ranges,
+            window_spans,
+            window_prefix,
+            chunks,
+            xp,
+            xb,
+            yp,
+            yb,
+            vq,
+            stage,
+            ..
+        } = self;
+        KernelViews {
+            soa: SoaRef {
+                x_base,
+                y_base,
+                values,
+                kernels,
+            },
+            buckets: BucketRef {
+                bucket_idx,
+                class_runs,
+                block_runs,
+                row_blocks,
+                inst_ranges,
+            },
+            op_idx,
+            lut,
+            window_spans,
+            window_prefix,
+            chunks,
+            xp,
+            xb,
+            yp,
+            yb,
+            vq,
+            stage,
         }
     }
 
@@ -1115,27 +1405,25 @@ impl ExecutionPlan {
         }
         self.chunks.push(n_rows);
 
-        let ExecutionPlan {
-            x_base,
-            y_base,
-            opcodes,
-            values,
-            inst_ranges,
-            window_spans,
-            xp,
-            yp,
-            chunks,
-            ..
-        } = self;
-        let (x_base, y_base, opcodes, xp) = (&*x_base, &*y_base, &*opcodes, &*xp);
-        let values: &[f32] = values;
-        // Reborrow as shared slices so the spawn closures can Copy them.
-        let inst_ranges = inst_ranges.as_slice();
-        let window_spans = window_spans.as_slice();
+        // One staging stripe per chunk worker (grown once per budget, so
+        // the steady state at a fixed thread count does not allocate).
+        let n_chunks = self.chunks.len() - 1;
+        if self.dispatch == Dispatch::Classed && self.stage.len() < n_chunks * kernel::STAGE_STRIDE
+        {
+            self.stage.resize(n_chunks * kernel::STAGE_STRIDE, 0.0);
+        }
+        let dispatch = self.dispatch;
+        let v = self.kernel_views();
+        let (soa, buckets) = (v.soa, v.buckets);
+        let (op_idx, lut) = (v.op_idx, v.lut);
+        let (inst_ranges, window_spans) = (buckets.inst_ranges, v.window_spans);
+        let xp = v.xp;
+        let xstride = xp.len();
         std::thread::scope(|scope| {
-            let mut rest: &mut [f32] = yp;
+            let mut rest: &mut [f32] = v.yp;
+            let mut stage_rest: &mut [f32] = v.stage;
             let mut consumed = 0usize;
-            for w in chunks.windows(2) {
+            for w in v.chunks.windows(2) {
                 let (b0, b1) = (w[0], w[1]);
                 let start = window_spans[b0].0;
                 let end = window_spans[b1 - 1].1;
@@ -1143,22 +1431,48 @@ impl ExecutionPlan {
                 let (chunk_y, tail) = tail.split_at_mut(end - start);
                 rest = tail;
                 consumed = end;
-                scope.spawn(move || {
-                    for r in b0..b1 {
-                        let (i0, i1) = inst_ranges[r];
-                        let (w0, w1) = window_spans[r];
-                        process_span(
-                            x_base,
-                            y_base,
-                            opcodes,
-                            values,
-                            xp,
-                            &mut chunk_y[w0 - start..w1 - start],
-                            i0,
-                            i1,
-                        );
+                match dispatch {
+                    Dispatch::PerInstance => {
+                        scope.spawn(move || {
+                            for r in b0..b1 {
+                                let (i0, i1) = inst_ranges[r];
+                                let (w0, w1) = window_spans[r];
+                                process_span(
+                                    soa.x_base,
+                                    soa.y_base,
+                                    op_idx,
+                                    lut,
+                                    soa.values,
+                                    xp,
+                                    &mut chunk_y[w0 - start..w1 - start],
+                                    i0,
+                                    i1,
+                                );
+                            }
+                        });
                     }
-                });
+                    Dispatch::Classed => {
+                        let (chunk_stage, s_tail) = stage_rest.split_at_mut(kernel::STAGE_STRIDE);
+                        stage_rest = s_tail;
+                        scope.spawn(move || {
+                            for (r, &(w0, w1)) in window_spans.iter().enumerate().take(b1).skip(b0)
+                            {
+                                kernel::execute_row_classed(
+                                    soa,
+                                    buckets,
+                                    r,
+                                    xp,
+                                    xstride,
+                                    0,
+                                    1,
+                                    &mut chunk_y[w0 - start..w1 - start],
+                                    w1 - w0,
+                                    chunk_stage,
+                                );
+                            }
+                        });
+                    }
+                }
             }
         });
     }
@@ -1296,6 +1610,29 @@ impl ArmedFaults {
     }
 }
 
+/// Disjoint borrows of one [`ExecutionPlan`], split in a single
+/// destructure (see [`ExecutionPlan::kernel_views`]): shared views of the
+/// pre-decoded stream, portfolio tables, bucket directory and layout,
+/// alongside the mutable scratch the executors write.
+struct KernelViews<'a> {
+    soa: SoaRef<'a>,
+    buckets: BucketRef<'a>,
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+    op_idx: &'a [u8],
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+    lut: &'a [ValuOpcode],
+    window_spans: &'a [(usize, usize)],
+    window_prefix: &'a [usize],
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+    chunks: &'a [usize],
+    xp: &'a [f32],
+    xb: &'a [f32],
+    yp: &'a mut [f32],
+    yb: &'a mut [f32],
+    vq: &'a mut [f32],
+    stage: &'a mut [f32],
+}
+
 /// The worker budget the fan-out may use (always 1 in serial builds).
 #[cfg(feature = "parallel")]
 fn worker_budget() -> usize {
@@ -1379,14 +1716,17 @@ fn validate_stream(
     Ok(())
 }
 
-/// The hot loop: instances `[i0, i1)` of one tile row, accumulated into
-/// the row's y window. Pure SoA reads — no encoding parsing, no base
-/// derivation, no bounds re-computation beyond the slice indexing.
+/// The per-instance reference loop: instances `[i0, i1)` of one tile row,
+/// accumulated into the row's y window in stream order. Pure SoA reads —
+/// the 1-byte class index selects the opcode from the portfolio LUT.
+/// [`Dispatch::PerInstance`] runs this; [`Dispatch::Classed`] runs the
+/// bucketed kernels in `crate::kernel`, bit-identically.
 #[allow(clippy::too_many_arguments)]
 fn process_span(
     x_base: &[u32],
     y_base: &[u32],
-    opcodes: &[ValuOpcode],
+    op_idx: &[u8],
+    lut: &[ValuOpcode],
     values: &[f32],
     xp: &[f32],
     window: &mut [f32],
@@ -1402,7 +1742,7 @@ fn process_span(
             values[4 * i + 2],
             values[4 * i + 3],
         ];
-        let out = opcodes[i].execute(v, x_seg);
+        let out = lut[op_idx[i] as usize].execute(v, x_seg);
         let r0 = y_base[i] as usize;
         // Same accumulation order as `Pe::process_instance`.
         window[r0] += out[0];

@@ -72,6 +72,62 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Class bucketing is a stable per-block permutation: within every
+    /// `EXEC_BLOCK` chunk of a tile row's instance range the bucketed
+    /// order visits each instance exactly once, opcode classes are
+    /// contiguous and ascending, and equal-class instances keep their
+    /// stream order (the stability the deferred-verify replay relies on).
+    #[test]
+    fn bucketing_is_a_stable_block_permutation(
+        (m, _x, set_id, tile) in arb_case(),
+        cfg in arb_config(),
+    ) {
+        let table = DecompositionTable::build(&TemplateSet::table_v_set(set_id));
+        let map = SubmatrixMap::from_coo(&m);
+        let spasm = SpasmMatrix::encode(&map, &table, tile).unwrap();
+        let plan = Accelerator::new(cfg).prepare(&spasm).unwrap();
+
+        let order = plan.bucket_order();
+        let classes = plan.opcode_classes();
+        prop_assert_eq!(order.len(), classes.len());
+
+        let mut covered = 0usize;
+        let mut r = 0usize;
+        while let Some((i0, i1)) = plan.instance_range(r) {
+            let mut blk = i0;
+            while blk < i1 {
+                let end = (blk + spasm_hw::ExecutionPlan::EXEC_BLOCK).min(i1);
+                let mut seen = vec![false; end - blk];
+                let mut prev: Option<(u8, u32)> = None;
+                for &gi in &order[blk..end] {
+                    let g = gi as usize;
+                    prop_assert!(
+                        (blk..end).contains(&g),
+                        "bucket index {g} escapes block {blk}..{end}"
+                    );
+                    prop_assert!(!seen[g - blk], "instance {g} bucketed twice");
+                    seen[g - blk] = true;
+                    let c = classes[g];
+                    if let Some((pc, pg)) = prev {
+                        prop_assert!(c >= pc, "classes not ascending within a block");
+                        if c == pc {
+                            prop_assert!(gi > pg, "equal-class order not stable");
+                        }
+                    }
+                    prev = Some((c, gi));
+                }
+                covered += end - blk;
+                blk = end;
+            }
+            r += 1;
+        }
+        prop_assert_eq!(covered, order.len(), "every instance bucketed exactly once");
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// The execution trace totals equal the perf model, its group

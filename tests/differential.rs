@@ -16,7 +16,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use spasm::{IntegrityPolicy, Pipeline, PipelineOptions};
 use spasm_format::SpasmMatrix;
-use spasm_hw::Accelerator;
+use spasm_hw::{Accelerator, Dispatch};
 use spasm_sparse::{Bsr, Coo, Csc, Csr, Dia, Ell, SpMv};
 
 /// Batch sizes every batched-equivalence assertion sweeps.
@@ -309,6 +309,95 @@ fn execute_batch_matches_looped_execute_under_every_policy() {
                 assert_eq!(bits(g), bits(w), "vector {j} of batch {batch}");
             }
             assert_eq!(prepared.batch_health().len(), batch);
+        }
+    }
+}
+
+/// Runs `f` under an explicit ambient worker budget (no-op in serial
+/// builds, where every budget degenerates to one worker).
+fn with_budget<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("vendored shim pool builder is infallible")
+        .install(f)
+}
+
+/// The matrix zoo for the dispatcher differential: one representative of
+/// each adversarial structure the suite above exercises individually.
+fn dispatch_zoo() -> Vec<Coo> {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF_0009);
+    let mut zoo = vec![
+        random_coo(&mut rng, 96, 64, 420),
+        random_coo(&mut rng, 1, 200, 40),
+        random_coo(&mut rng, 200, 1, 40),
+    ];
+    // Anti-diagonal: scattered single-entry submatrices.
+    zoo.push(
+        Coo::from_triplets(
+            61,
+            61,
+            (0..61u32)
+                .map(|i| (i, 60 - i, ((i % 12) + 1) as f32 * 0.25))
+                .collect(),
+        )
+        .unwrap(),
+    );
+    // Dense 4x4 blocks: long same-class instance runs.
+    let mut t = Vec::new();
+    for _ in 0..16 {
+        let (br, bc) = (rng.gen_range(0..8u32), rng.gen_range(0..8u32));
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                t.push((br * 4 + r, bc * 4 + c, rng.gen_range(1..=8) as f32 * 0.25));
+            }
+        }
+    }
+    zoo.push(Coo::from_triplets(32, 32, t).unwrap());
+    zoo
+}
+
+#[test]
+fn classed_dispatch_is_bit_identical_to_per_instance() {
+    // The class-bucketed kernels must reproduce the per-instance enum walk
+    // bit for bit, for every batch size and thread budget. The
+    // per-instance dispatcher is always scalar, so building this suite
+    // with `--features simd` turns it into the SIMD-vs-scalar
+    // differential; CI runs it both ways.
+    for m in dispatch_zoo() {
+        let n_rows = m.rows() as usize;
+        let prepared = Pipeline::new().prepare(&m).unwrap();
+        let acc = prepared.accelerator();
+        for batch in [1usize, 2, 8, 64] {
+            let xs = probe_batch(m.cols(), batch);
+
+            // Scalar per-instance oracle, single worker.
+            let mut oracle = acc.prepare(&prepared.encoded).unwrap();
+            oracle.set_dispatch(Dispatch::PerInstance);
+            let mut want = vec![vec![0.25f32; n_rows]; batch];
+            with_budget(1, || oracle.run_batch(&xs, &mut want).map(|_| ())).unwrap();
+
+            for budget in [1usize, 2, 7] {
+                let mut plan = acc.prepare(&prepared.encoded).unwrap();
+                assert_eq!(
+                    plan.dispatch(),
+                    Dispatch::Classed,
+                    "classed dispatch must be the default"
+                );
+                let mut got = vec![vec![0.25f32; n_rows]; batch];
+                with_budget(budget, || plan.run_batch(&xs, &mut got).map(|_| ())).unwrap();
+                for (j, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        bits(g),
+                        bits(w),
+                        "classed vector {j}/{batch} at {budget} threads vs per-instance \
+                         on {}x{} nnz {}",
+                        m.rows(),
+                        m.cols(),
+                        m.nnz()
+                    );
+                }
+            }
         }
     }
 }
