@@ -113,6 +113,18 @@ impl HealthReport {
     pub fn needs_fallback(&self) -> bool {
         self.tile_rows_uncorrected > 0 || self.rows_failed_cross_check > 0
     }
+
+    /// The report attached to a result computed *directly* on the golden
+    /// CSR path, bypassing the accelerator entirely (e.g. a serving
+    /// layer degrading a quarantined plan): bit-exact output, no ladder
+    /// counters, `fallback` set so downstream accounting sees that the
+    /// accelerator path was not exercised.
+    pub fn degraded_golden() -> Self {
+        HealthReport {
+            fallback: true,
+            ..HealthReport::default()
+        }
+    }
 }
 
 /// Merges per-vector [`HealthReport`]s into a batch aggregate: counters

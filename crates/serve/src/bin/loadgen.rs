@@ -8,16 +8,30 @@
 //!
 //! ```text
 //! cargo run -p spasm-serve --release --bin loadgen -- [--smoke]
-//!     [--seed N] [--requests N] [--zipf S] [--clients N] [--mode open|closed|both]
+//!     [--seed N] [--requests N] [--zipf S] [--clients N]
+//!     [--mode open|closed|both] [--overload] [--deadline TICKS]
+//!     [--overload-gap TICKS]
 //! ```
 //!
 //! `--smoke` bounds the run for CI (few requests, small corpus scale);
 //! everything is virtual-clock driven, so even full runs never sleep.
+//!
+//! `--overload` adds an overload campaign: a bounded, rate-limited queue
+//! is driven well past capacity against a busy executor, so the run
+//! reports typed admission rejections and deadline sheds (and, in
+//! `fault-injection` builds, circuit-breaker quarantine transitions on a
+//! faulted hot plan). The campaign is as deterministic as the normal
+//! modes — same seed, same counts. Normal modes assert *zero* overload
+//! activity; the overload section asserts it is nonzero.
 
 use spasm::IntegrityPolicy;
 use spasm_format::MatrixFingerprint;
-use spasm_serve::loadgen::{drive_closed, drive_open, RunStats, TraceGen, TICKS_PER_SECOND};
-use spasm_serve::{QueueConfig, ServerConfig, SpmvServer};
+use spasm_serve::loadgen::{
+    drive_closed, drive_open, drive_overload, RunStats, TraceGen, TICKS_PER_SECOND,
+};
+use spasm_serve::{
+    BreakerConfig, OverloadStats, QueueConfig, RateLimit, ServerConfig, SpmvServer, Tick,
+};
 use spasm_workloads::{Scale, Workload};
 
 struct Args {
@@ -27,6 +41,10 @@ struct Args {
     zipf: f64,
     clients: usize,
     mode: String,
+    overload: bool,
+    deadline: Tick,
+    overload_gap: Tick,
+    overcommit: f64,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +66,16 @@ fn parse_args() -> Args {
             .and_then(|v| v.parse().ok())
             .unwrap_or(16),
         mode: value("--mode").unwrap_or_else(|| "both".to_string()),
+        overload: argv.iter().any(|a| a == "--overload"),
+        deadline: value("--deadline")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(400),
+        overload_gap: value("--overload-gap")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5),
+        overcommit: value("--overcommit")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(40.0),
     }
 }
 
@@ -63,25 +91,10 @@ const MEAN_GAP: u64 = 50;
 const THINK_MEAN: u64 = 100;
 
 fn build_server(
-    coalesced: bool,
+    config: ServerConfig,
     corpus_coos: &[spasm_sparse::Coo],
 ) -> (SpmvServer, Vec<(MatrixFingerprint, usize)>) {
-    let queue = if coalesced {
-        QueueConfig {
-            max_batch: 8,
-            max_delay: 200,
-        }
-    } else {
-        QueueConfig {
-            max_batch: 1,
-            max_delay: 0,
-        }
-    };
-    let server = SpmvServer::new(ServerConfig {
-        queue,
-        workers: if coalesced { 2 } else { 1 },
-        ..ServerConfig::default()
-    });
+    let server = SpmvServer::new(config);
     let corpus: Vec<(MatrixFingerprint, usize)> = corpus_coos
         .iter()
         .map(|coo| {
@@ -90,6 +103,73 @@ fn build_server(
         })
         .collect();
     (server, corpus)
+}
+
+fn normal_config(coalesced: bool) -> ServerConfig {
+    let queue = if coalesced {
+        QueueConfig {
+            max_batch: 8,
+            max_delay: 200,
+            ..QueueConfig::default()
+        }
+    } else {
+        QueueConfig {
+            max_batch: 1,
+            max_delay: 0,
+            ..QueueConfig::default()
+        }
+    };
+    ServerConfig {
+        queue,
+        workers: if coalesced { 2 } else { 1 },
+        ..ServerConfig::default()
+    }
+}
+
+/// A deliberately tight admission envelope: small bounded queue plus a
+/// token bucket well under the overload arrival rate, so the campaign
+/// exercises both `QueueFull` and `RateLimited` refusals as well as
+/// flush-time sheds.
+fn overload_config(seed: u64) -> ServerConfig {
+    ServerConfig {
+        queue: QueueConfig {
+            max_batch: 8,
+            max_delay: 200,
+            group_capacity: 16,
+            global_capacity: 20,
+            rate: Some(RateLimit {
+                burst: 8,
+                period: 10,
+            }),
+        },
+        breaker: BreakerConfig {
+            window: 8,
+            trip_failures: 4,
+            cooldown: 2_000,
+            probe_jitter: 100,
+            seed,
+        },
+        workers: 2,
+        ..ServerConfig::default()
+    }
+}
+
+fn overload_stats_json(o: &OverloadStats) -> String {
+    format!(
+        "{{\"rejected_queue_full\": {}, \"rejected_rate_limited\": {}, \
+         \"rejected_expired\": {}, \"rejected_shutdown\": {}, \"shed_expired\": {}, \
+         \"quarantine_trips\": {}, \"quarantine_recoveries\": {}, \"served_degraded\": {}, \
+         \"worker_panics\": {}}}",
+        o.rejected_queue_full,
+        o.rejected_rate_limited,
+        o.rejected_expired,
+        o.rejected_shutdown,
+        o.shed_expired,
+        o.quarantine_trips,
+        o.quarantine_recoveries,
+        o.served_degraded,
+        o.worker_panics,
+    )
 }
 
 fn stats_json(stats: &RunStats, names: &[&str]) -> String {
@@ -108,11 +188,15 @@ fn stats_json(stats: &RunStats, names: &[&str]) -> String {
         })
         .collect();
     format!(
-        "{{\"completed\": {}, \"errors\": {}, \"throughput_rps\": {:.1}, \
+        "{{\"completed\": {}, \"errors\": {}, \"rejected\": {}, \"shed\": {}, \
+         \"degraded\": {}, \"throughput_rps\": {:.1}, \
          \"p50_us\": {}, \"p99_us\": {}, \"mean_batch\": {:.3}, \"batches\": {}, \
          \"virtual_seconds\": {:.6}, \"per_matrix\": {{{}}}}}",
         stats.completed,
         stats.errors,
+        stats.rejected,
+        stats.shed,
+        stats.degraded,
         stats.throughput_rps(),
         stats.percentile(50.0),
         stats.percentile(99.0),
@@ -134,17 +218,117 @@ fn print_stats(label: &str, stats: &RunStats) {
     );
 }
 
+/// The capacity-pressure campaign: tight bounded queue, deadlines, busy
+/// executor. Returns the JSON fragment for the report.
+fn run_overload_pressure(args: &Args, coos: &[spasm_sparse::Coo], names: &[&str]) -> String {
+    let (server, corpus) = build_server(overload_config(args.seed), coos);
+    let trace = TraceGen::new(args.seed, corpus.len(), args.zipf, args.overload_gap);
+    let stats = drive_overload(
+        &server,
+        &corpus,
+        trace,
+        args.requests,
+        IntegrityPolicy::off(),
+        args.deadline,
+        args.overcommit,
+    );
+    let o = server.overload_stats();
+    println!(
+        "overload: pressure campaign (gap {} deadline {} overcommit {}x)",
+        args.overload_gap, args.deadline, args.overcommit
+    );
+    print_stats("overload", &stats);
+    println!(
+        "  rejected {} (queue_full {} rate_limited {})  shed {}  degraded {}",
+        stats.rejected, o.rejected_queue_full, o.rejected_rate_limited, stats.shed, stats.degraded
+    );
+    assert_eq!(
+        stats.completed + stats.errors + stats.rejected + stats.shed,
+        args.requests,
+        "every request must resolve: served, typed-rejected or typed-shed"
+    );
+    assert_eq!(stats.errors, 0, "overload may only refuse with typed reasons");
+    assert!(stats.rejected > 0, "campaign must exercise admission rejection");
+    assert!(stats.shed > 0, "campaign must exercise deadline shedding");
+    assert_eq!(
+        stats.rejected as u64,
+        o.rejected_queue_full + o.rejected_rate_limited + o.rejected_expired,
+        "driver and server must agree on rejection counts"
+    );
+    assert_eq!(stats.shed as u64, o.shed_expired, "shed counts must agree");
+    format!(
+        "\"pressure\": {{\"stats\": {}, \"server\": {}}}",
+        stats_json(&stats, names),
+        overload_stats_json(&o)
+    )
+}
+
+/// The quarantine campaign (`fault-injection` builds only): persistent
+/// faults on the hottest plan under the Full integrity policy drive the
+/// circuit breaker through trip → golden degradation (→ probes).
+#[cfg(feature = "fault-injection")]
+fn run_overload_quarantine(args: &Args, coos: &[spasm_sparse::Coo], names: &[&str]) -> String {
+    use spasm::hw::fault::{FaultPlan, FaultSpec};
+    let mut config = overload_config(args.seed);
+    // Roomier admission: this campaign is about integrity, not capacity.
+    config.queue.global_capacity = 1 << 20;
+    config.queue.group_capacity = 1 << 16;
+    config.queue.rate = None;
+    let (server, corpus) = build_server(config, coos);
+    server
+        .with_prepared(corpus[0].0, |p| {
+            let spec = FaultSpec {
+                lane_faults: 4,
+                ..FaultSpec::default()
+            };
+            p.plan
+                .arm_faults(FaultPlan::seeded(args.seed, &spec, p.plan.n_instances()));
+        })
+        .expect("hot plan resident");
+    let trace = TraceGen::new(args.seed, corpus.len(), args.zipf, MEAN_GAP);
+    let stats = drive_overload(
+        &server,
+        &corpus,
+        trace,
+        args.requests,
+        IntegrityPolicy::full(),
+        args.deadline.saturating_mul(16),
+        1.0,
+    );
+    let o = server.overload_stats();
+    println!("overload: quarantine campaign (persistent faults on {})", names[0]);
+    print_stats("quarantine", &stats);
+    println!(
+        "  trips {}  recoveries {}  served_degraded {}",
+        o.quarantine_trips, o.quarantine_recoveries, o.served_degraded
+    );
+    assert!(
+        o.quarantine_trips > 0,
+        "persistent faults must trip the breaker"
+    );
+    assert!(
+        o.served_degraded > 0 && stats.degraded > 0,
+        "quarantined plan must serve degraded from the golden CSR"
+    );
+    format!(
+        "\"quarantine\": {{\"stats\": {}, \"server\": {}}}",
+        stats_json(&stats, names),
+        overload_stats_json(&o)
+    )
+}
+
 fn main() {
     let args = parse_args();
     let scale = Scale::Small;
     let names: Vec<&str> = CORPUS.iter().map(|w| w.spec().name).collect();
     println!(
-        "serving loadgen: seed={} requests={} zipf={} corpus={:?} ({scale:?}){}",
+        "serving loadgen: seed={} requests={} zipf={} corpus={:?} ({scale:?}){}{}",
         args.seed,
         args.requests,
         args.zipf,
         names,
-        if args.smoke { " [smoke]" } else { "" }
+        if args.smoke { " [smoke]" } else { "" },
+        if args.overload { " [overload]" } else { "" }
     );
     let coos: Vec<spasm_sparse::Coo> = CORPUS.iter().map(|w| w.generate(scale)).collect();
 
@@ -159,7 +343,7 @@ fn main() {
         let mut mode_parts: Vec<String> = Vec::new();
         let mut p50 = [0u64; 2];
         for (slot, coalesced) in [true, false].into_iter().enumerate() {
-            let (server, corpus) = build_server(coalesced, &coos);
+            let (server, corpus) = build_server(normal_config(coalesced), &coos);
             let stats = if mode == "open" {
                 let trace = TraceGen::new(args.seed, corpus.len(), args.zipf, MEAN_GAP);
                 drive_open(&server, &corpus, trace, args.requests, policy)
@@ -182,6 +366,13 @@ fn main() {
                 "every request must complete"
             );
             assert_eq!(stats.errors, 0, "no request may error in a clean run");
+            assert_eq!(stats.rejected, 0, "no rejections under normal load");
+            assert_eq!(stats.shed, 0, "no sheds under normal load");
+            assert_eq!(
+                server.overload_stats(),
+                OverloadStats::default(),
+                "normal load must not trip any overload machinery"
+            );
             print_stats(label, &stats);
             p50[slot] = stats.percentile(50.0).max(1);
             mode_parts.push(format!("\"{}\": {}", label, stats_json(&stats, &names)));
@@ -191,6 +382,14 @@ fn main() {
             p50[0] as f64 / p50[1] as f64
         );
         sections.push(format!("\"{}\": {{{}}}", mode, mode_parts.join(", ")));
+    }
+
+    if args.overload {
+        #[allow(unused_mut)] // fault-injection builds push a second campaign
+        let mut overload_parts = Vec::from([run_overload_pressure(&args, &coos, &names)]);
+        #[cfg(feature = "fault-injection")]
+        overload_parts.push(run_overload_quarantine(&args, &coos, &names));
+        sections.push(format!("\"overload\": {{{}}}", overload_parts.join(", ")));
     }
 
     let json = format!(

@@ -20,6 +20,9 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use spasm::{Pipeline, PipelineError, Prepared};
 use spasm_format::{MatrixFingerprint, SpasmMatrix, WireError};
 
+use crate::breaker::{BreakerConfig, BreakerEvent, BreakerState, ExecRoute, PlanHealth};
+use crate::clock::Tick;
+
 /// Configuration for a [`PlanCatalog`].
 #[derive(Debug, Clone, Copy)]
 pub struct CatalogConfig {
@@ -118,6 +121,14 @@ pub struct CatalogEntry {
     bytes: usize,
     rows: u32,
     cols: u32,
+    /// Predicted simulated seconds of one single-vector execution, from
+    /// the plan's prepare-time cycle model: the price the server charges
+    /// a golden-CSR (quarantine) serve per vector, since the golden path
+    /// has no cycle model of its own.
+    seconds_estimate: f64,
+    /// Circuit-breaker bookkeeping: recent execution outcomes and the
+    /// Healthy → Quarantined → HalfOpen state (see [`crate::breaker`]).
+    health: Mutex<PlanHealth>,
     pins: AtomicUsize,
     last_used: AtomicU64,
 }
@@ -150,10 +161,60 @@ impl CatalogEntry {
     pub fn cols(&self) -> u32 {
         self.cols
     }
+
+    /// Predicted simulated seconds of one single-vector execution (the
+    /// prepare-time cycle model) — the deterministic price of a
+    /// golden-CSR serve.
+    pub fn seconds_estimate(&self) -> f64 {
+        self.seconds_estimate
+    }
+
+    /// The plan's current circuit-breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.lock_health().state()
+    }
+
+    /// How many times this plan has tripped into quarantine.
+    pub fn breaker_trips(&self) -> u64 {
+        self.lock_health().trips()
+    }
+
+    /// Routes the plan's next batch at `now` (see
+    /// [`PlanHealth::route`]). The server calls this serially, in flush
+    /// order, so the decision is independent of worker count.
+    pub fn route(&self, now: Tick, config: &BreakerConfig) -> ExecRoute {
+        self.lock_health().route(now, config)
+    }
+
+    /// Records a finished batch's per-vector outcomes (`true` = needed
+    /// the golden fallback or errored) for the route it was issued
+    /// under; returns the breaker transition, if one fired. The server
+    /// calls this in flush order after the round's barrier.
+    pub fn record_outcomes(
+        &self,
+        route: ExecRoute,
+        outcomes: &[bool],
+        now: Tick,
+        config: &BreakerConfig,
+    ) -> Option<BreakerEvent> {
+        self.lock_health().record(route, outcomes, now, config)
+    }
+
+    fn lock_health(&self) -> MutexGuard<'_, PlanHealth> {
+        self.health.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// An RAII pin on a catalog entry: while any lease is alive the entry is
 /// in flight and will not be evicted. Cloning a lease re-pins.
+///
+/// **Removal guarantee:** [`PlanCatalog::remove`] on a leased entry
+/// never invalidates the lease. The entry leaves the index immediately
+/// (no new leases can be taken), but its plan — and its bytes in the
+/// budget ledger — stay resident until the last live lease drops; the
+/// catalog reaps it on its next operation after that. A lease is
+/// therefore always safe to execute against, even across an explicit
+/// removal.
 #[derive(Debug)]
 pub struct PlanLease {
     entry: Arc<CatalogEntry>,
@@ -194,8 +255,25 @@ impl std::ops::Deref for PlanLease {
 #[derive(Debug, Default)]
 struct Inner {
     entries: BTreeMap<MatrixFingerprint, Arc<CatalogEntry>>,
+    /// Entries removed while leased: out of the index (no new leases),
+    /// but still charged to `resident` until their last lease drops.
+    doomed: Vec<Arc<CatalogEntry>>,
     resident: usize,
     use_counter: u64,
+}
+
+impl Inner {
+    /// Frees doomed entries whose last lease has dropped.
+    fn reap(&mut self) {
+        self.doomed.retain(|entry| {
+            if entry.pins.load(Ordering::SeqCst) == 0 {
+                self.resident -= entry.bytes;
+                false
+            } else {
+                true
+            }
+        });
+    }
 }
 
 /// The content-addressed plan cache. See the module docs for semantics.
@@ -215,7 +293,9 @@ impl PlanCatalog {
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.reap();
+        inner
     }
 
     /// The configured byte budget.
@@ -327,8 +407,10 @@ impl PlanCatalog {
             fingerprint: key,
             rows: prepared.plan.rows(),
             cols: prepared.plan.cols(),
+            seconds_estimate: prepared.report().seconds,
             prepared: Mutex::new(prepared),
             bytes,
+            health: Mutex::new(PlanHealth::default()),
             pins: AtomicUsize::new(0),
             last_used: AtomicU64::new(stamp),
         });
@@ -365,18 +447,118 @@ impl PlanCatalog {
     }
 
     /// Explicitly removes an entry. Returns `false` when the key is
-    /// absent or the entry is pinned by a live lease.
+    /// absent.
+    ///
+    /// Removal while [`PlanLease`]s are live is *deferred*: the entry
+    /// leaves the index at once (`contains` turns false, `get` stops
+    /// issuing leases), but its plan and bytes stay resident until the
+    /// last lease drops — in-flight requests are never invalidated. The
+    /// catalog reaps the bytes on its next operation after the final
+    /// drop.
     pub fn remove(&self, fingerprint: &MatrixFingerprint) -> bool {
         let mut inner = self.lock();
-        let Some(entry) = inner.entries.get(fingerprint) else {
+        let Some(entry) = inner.entries.remove(fingerprint) else {
             return false;
         };
         if entry.pins.load(Ordering::SeqCst) > 0 {
-            return false;
-        }
-        if let Some(e) = inner.entries.remove(fingerprint) {
-            inner.resident -= e.bytes;
+            inner.doomed.push(entry);
+        } else {
+            inner.resident -= entry.bytes;
         }
         true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spasm::PipelineOptions;
+    use spasm_hw::HwConfig;
+    use spasm_patterns::TemplateSet;
+    use spasm_sparse::Coo;
+
+    fn prepared(n: u32) -> Prepared {
+        let t: Vec<(u32, u32, f32)> = (0..n)
+            .flat_map(|i| (0..3u32).map(move |k| (i, (i * 37 + k * 13) % n, 0.5 + k as f32)))
+            .collect();
+        let coo = Coo::from_triplets(n, n, t).expect("valid triplets");
+        Pipeline::with_options(
+            PipelineOptions::default()
+                .fixed_portfolio(TemplateSet::table_v_set(0))
+                .fixed_schedule(256, HwConfig::spasm_4_1()),
+        )
+        .prepare(&coo)
+        .expect("prepare")
+    }
+
+    /// Satellite regression: removal while a lease is live defers the
+    /// eviction until the lease drops — the lease stays executable, the
+    /// bytes stay charged, and no new lease can be taken in between.
+    #[test]
+    fn remove_of_leased_entry_defers_eviction_until_lease_drops() {
+        let catalog = PlanCatalog::new(CatalogConfig::default());
+        let fp = catalog.insert_prepared(prepared(64)).expect("insert");
+        let bytes = catalog.resident_bytes();
+        assert!(bytes > 0);
+
+        let lease = catalog.get(&fp).expect("lease");
+        assert!(catalog.remove(&fp), "removal of a leased entry is accepted");
+        assert!(
+            !catalog.contains(&fp),
+            "a doomed entry leaves the index immediately"
+        );
+        assert!(catalog.get(&fp).is_none(), "no new leases after removal");
+        assert_eq!(
+            catalog.resident_bytes(),
+            bytes,
+            "bytes stay charged while the lease is live"
+        );
+        // The live lease still executes against the doomed plan.
+        {
+            let mut p = lease.prepared();
+            let cols = lease.cols() as usize;
+            let mut y = vec![0.0f32; lease.rows() as usize];
+            p.execute(&vec![1.0f32; cols], &mut y).expect("execute");
+        }
+        drop(lease);
+        assert_eq!(
+            catalog.resident_bytes(),
+            0,
+            "the last lease drop releases the bytes (reaped on the next op)"
+        );
+        assert!(!catalog.remove(&fp), "second removal finds nothing");
+    }
+
+    #[test]
+    fn remove_of_unleased_entry_is_immediate() {
+        let catalog = PlanCatalog::new(CatalogConfig::default());
+        let fp = catalog.insert_prepared(prepared(64)).expect("insert");
+        assert!(catalog.remove(&fp));
+        assert!(!catalog.contains(&fp));
+        assert_eq!(catalog.resident_bytes(), 0);
+    }
+
+    /// A doomed entry's bytes still count against the budget: an insert
+    /// that cannot fit alongside doomed-but-leased plans fails loudly
+    /// rather than overrunning.
+    #[test]
+    fn doomed_entries_still_count_against_the_budget() {
+        let seed = prepared(64);
+        let bytes = prepared_bytes(&seed);
+        let catalog = PlanCatalog::new(CatalogConfig {
+            byte_budget: bytes + bytes / 2,
+        });
+        let fp = catalog.insert_prepared(seed).expect("insert");
+        let lease = catalog.get(&fp).expect("lease");
+        assert!(catalog.remove(&fp));
+        let err = catalog
+            .insert_prepared(prepared(72))
+            .expect_err("doomed bytes are still pinned");
+        assert!(
+            matches!(err, CatalogError::BudgetPinned { .. }),
+            "got {err:?}"
+        );
+        drop(lease);
+        catalog.insert_prepared(prepared(72)).expect("fits after reap");
     }
 }

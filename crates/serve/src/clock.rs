@@ -63,6 +63,21 @@ impl Deadline {
     pub fn due(self, now: Tick) -> bool {
         now >= self.at
     }
+
+    /// Ticks left before the deadline fires, or `None` once it has.
+    ///
+    /// The boundary is exclusive: a deadline due exactly at `now` is
+    /// already expired (`remaining` is `None`), never runnable — this is
+    /// the contract the queue's shedding decisions are built on, so a
+    /// request whose completion deadline equals the flush tick is shed,
+    /// not executed.
+    pub fn remaining(self, now: Tick) -> Option<Tick> {
+        if now < self.at {
+            Some(self.at - now)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -86,5 +101,22 @@ mod tests {
         assert!(d.due(15));
         assert!(d.due(16));
         assert_eq!(Deadline::after(u64::MAX, 2).at, u64::MAX);
+    }
+
+    #[test]
+    fn remaining_boundary_tick_is_expired() {
+        let d = Deadline { at: 15 };
+        assert_eq!(d.remaining(14), Some(1), "one tick left just before");
+        assert_eq!(
+            d.remaining(15),
+            None,
+            "a deadline due exactly at `now` is expired, not runnable"
+        );
+        assert_eq!(d.remaining(16), None);
+        // `remaining` and `due` agree everywhere: due ⇔ no time remains.
+        for now in 0..32 {
+            assert_eq!(d.due(now), d.remaining(now).is_none(), "tick {now}");
+        }
+        assert_eq!(Deadline { at: 0 }.remaining(0), None);
     }
 }

@@ -24,8 +24,8 @@ use rand::{Rng, SeedableRng};
 use spasm::IntegrityPolicy;
 use spasm_format::MatrixFingerprint;
 
-use crate::clock::Tick;
-use crate::server::{Completion, SpmvServer};
+use crate::clock::{Deadline, Tick};
+use crate::server::{Completion, ServeError, SpmvServer};
 
 /// Virtual ticks per simulated second: one tick is one microsecond.
 pub const TICKS_PER_SECOND: f64 = 1_000_000.0;
@@ -130,6 +130,16 @@ pub struct RunStats {
     pub completed: usize,
     /// Requests that completed with an error.
     pub errors: usize,
+    /// Submissions refused at admission with a typed
+    /// [`crate::Rejected`] reason (queue full, rate limited, expired,
+    /// shutting down). Zero outside overload campaigns.
+    pub rejected: usize,
+    /// Admitted requests shed at flush time because their deadline
+    /// expired while queued. Zero outside overload campaigns.
+    pub shed: usize,
+    /// Requests served degraded (golden-CSR, quarantined plan). Counted
+    /// inside `completed` as well.
+    pub degraded: usize,
     /// The largest virtual completion tick (flush + execution).
     pub end_tick: Tick,
     /// Executed batches, from the server's batch log.
@@ -187,12 +197,18 @@ fn record(stats: &mut RunStats, owners: &HashMap<u64, usize>, c: &Completion) {
             stats.completed += 1;
             stats.latencies.push(latency);
             stats.end_tick = stats.end_tick.max(done_at);
+            if c.result.as_ref().map(|o| o.degraded).unwrap_or(false) {
+                stats.degraded += 1;
+            }
             if let Some(&m) = owners.get(&c.id) {
                 if m < stats.per_matrix.len() {
                     stats.per_matrix[m].push(latency);
                 }
             }
         }
+        // A queued request that expired before execution comes back as a
+        // typed shed completion, not an error.
+        None if matches!(c.result, Err(ServeError::Rejected(_))) => stats.shed += 1,
         None => stats.errors += 1,
     }
 }
@@ -232,6 +248,7 @@ pub fn drive_open(
                     record(&mut stats, &owners, &c);
                 }
             }
+            Err(ServeError::Rejected(_)) => stats.rejected += 1,
             Err(_) => stats.errors += 1,
         }
     }
@@ -244,6 +261,101 @@ pub fn drive_open(
     for c in server.drain() {
         record(&mut stats, &owners, &c);
     }
+    stats.batches = server.batch_log().len() - log_base;
+    stats
+}
+
+/// Replays `requests` arrivals open-loop with every request carrying a
+/// completion deadline of `relative_deadline` ticks, against a *busy
+/// executor*: the driver models a serial backend that can only service
+/// due flushes when it is free, so queued work genuinely outlives its
+/// deadline under pressure. This is the `--overload` campaign: with a
+/// bounded, rate-limited queue the run produces typed admission
+/// rejections, flush-time sheds and (when the server's plans are
+/// faulted) quarantine transitions — all deterministically, since the
+/// busy-time accounting consumes completions in flush order.
+///
+/// `overcommit` scales the modeled per-vector service time (`1.0` =
+/// the simulated accelerator's own cycle-model seconds). The benchmark
+/// corpus executes in single-digit microseconds per batch, far faster
+/// than any realistic request path; an overcommit factor stands in for
+/// the RPC/serialisation/host overheads the model does not price, and
+/// is what lets a small corpus genuinely saturate the executor.
+#[allow(clippy::too_many_arguments)] // mirrors drive_open plus the overload knobs
+pub fn drive_overload(
+    server: &SpmvServer,
+    corpus: &[(MatrixFingerprint, usize)],
+    trace: impl Iterator<Item = TraceEvent>,
+    requests: usize,
+    policy: IntegrityPolicy,
+    relative_deadline: Tick,
+    overcommit: f64,
+) -> RunStats {
+    let mut stats = RunStats {
+        per_matrix: vec![Vec::new(); corpus.len()],
+        ..RunStats::default()
+    };
+    let mut owners: HashMap<u64, usize> = HashMap::new();
+    let log_base = server.batch_log().len();
+    // The simulated executor is busy until this tick; deadline flushes
+    // that come due earlier wait for it (and may expire waiting).
+    let mut busy_until: Tick = 0;
+    let absorb = |stats: &mut RunStats,
+                      owners: &HashMap<u64, usize>,
+                      busy_until: &mut Tick,
+                      now: Tick,
+                      completions: Vec<Completion>| {
+        for c in completions {
+            if let Ok(out) = &c.result {
+                // exec_seconds is the whole batch's cost, shared by its
+                // members: charge each member its per-vector share so the
+                // batch costs its total once.
+                let share = (out.exec_seconds * TICKS_PER_SECOND * overcommit
+                    / out.batch_size.max(1) as f64)
+                    .ceil() as Tick;
+                *busy_until = (*busy_until).max(now).saturating_add(share);
+            }
+            record(stats, owners, &c);
+        }
+    };
+    for event in trace.take(requests) {
+        // Service flushes that come due before this arrival — but only
+        // once the executor frees up. A flush the executor cannot reach
+        // before the arrival stays queued (and its members keep aging).
+        while let Some(d) = server.next_deadline().filter(|&d| d <= event.at) {
+            let check_at = d.max(busy_until);
+            if check_at > event.at {
+                break;
+            }
+            let done = server.advance_to(check_at);
+            absorb(&mut stats, &owners, &mut busy_until, check_at, done);
+        }
+        server.clock().advance_to(event.at);
+        let m = event.matrix.min(corpus.len().saturating_sub(1));
+        let (fp, cols) = corpus[m];
+        let x = seeded_x(cols, event.x_seed);
+        let deadline = Deadline {
+            at: event.at.saturating_add(relative_deadline),
+        };
+        match server.submit_with_deadline(fp, x, policy, deadline) {
+            Ok((id, completions)) => {
+                owners.insert(id, m);
+                absorb(&mut stats, &owners, &mut busy_until, event.at, completions);
+            }
+            Err(ServeError::Rejected(_)) => stats.rejected += 1,
+            Err(_) => stats.errors += 1,
+        }
+    }
+    // Work off the backlog under the same busy-executor model, then
+    // drain the stragglers.
+    while let Some(d) = server.next_deadline() {
+        let check_at = d.max(busy_until);
+        let done = server.advance_to(check_at);
+        absorb(&mut stats, &owners, &mut busy_until, check_at, done);
+    }
+    let now = server.now();
+    let done = server.drain();
+    absorb(&mut stats, &owners, &mut busy_until, now, done);
     stats.batches = server.batch_log().len() - log_base;
     stats
 }
@@ -347,6 +459,10 @@ pub fn drive_closed(
                                 c,
                             );
                         }
+                    }
+                    Err(ServeError::Rejected(_)) => {
+                        stats.rejected += 1;
+                        issued += 1;
                     }
                     Err(_) => {
                         stats.errors += 1;

@@ -1,17 +1,34 @@
 //! The admission queue: coalesces concurrent single-vector requests
-//! against the same matrix into batches for `Prepared::execute_batch`.
+//! against the same matrix into batches for `Prepared::execute_batch` —
+//! and, since PR 8, enforces the server's overload policy at the door.
 //!
 //! Requests are grouped by *batch key* — the matrix fingerprint plus the
 //! request's [`IntegrityPolicy`] equivalence class — because one batched
 //! execution runs under one policy; requests with different policies
 //! against the same matrix form separate batches. A group flushes when
-//! it reaches [`QueueConfig::max_batch`] requests (size trigger) or when
+//! it reaches [`QueueConfig::max_batch`] requests (size trigger), when
 //! the *oldest* request in the group has waited
 //! [`QueueConfig::max_delay`] ticks (deadline trigger, evaluated against
-//! the shared [`crate::VirtualClock`]). All bookkeeping is deterministic:
-//! groups live in a [`BTreeMap`], due batches are ordered by (deadline,
-//! oldest request id), so a fixed arrival trace yields the exact same
-//! batch compositions on every run.
+//! the shared [`crate::VirtualClock`]), or — new — when a member's
+//! *completion deadline* is about to expire (urgent trigger: the group
+//! flushes at the last tick the member is still runnable). All
+//! bookkeeping is deterministic: groups live in a [`BTreeMap`], due
+//! batches are ordered by (flush tick, oldest request id), so a fixed
+//! arrival trace yields the exact same batch compositions on every run.
+//!
+//! Overload policy, all typed and all decided at admission or flush
+//! time under the server's queue lock:
+//!
+//! * **bounded admission** — per-group and global capacity limits; a
+//!   full queue rejects with [`Rejected::QueueFull`] carrying a
+//!   `retry_after` hint derived from the earliest pending flush;
+//! * **rate limiting** — a deterministic token bucket per
+//!   [`PolicyClass`] on the virtual clock ([`Rejected::RateLimited`]);
+//! * **deadline shedding** — a request that is already expired at
+//!   admission is rejected ([`Rejected::DeadlineExceeded`]); a request
+//!   that expires while queued is shed at flush time into
+//!   [`BatchSpec::shed`] instead of being executed late. The boundary
+//!   is [`Deadline::remaining`]: due exactly at `now` means expired.
 
 use std::collections::BTreeMap;
 
@@ -31,6 +48,16 @@ pub struct QueueConfig {
     /// Flush a group once its oldest request has waited this many ticks.
     /// `0` makes every request due immediately on the next clock check.
     pub max_delay: Tick,
+    /// Maximum queued requests per (matrix, policy) group; admission
+    /// beyond this rejects with [`Rejected::QueueFull`]. Clamped to at
+    /// least `max_batch` (a group must be allowed to fill a batch).
+    pub group_capacity: usize,
+    /// Maximum queued requests across all groups; admission beyond this
+    /// rejects with [`Rejected::QueueFull`].
+    pub global_capacity: usize,
+    /// Optional per-[`PolicyClass`] token-bucket rate limit; `None`
+    /// admits at any rate.
+    pub rate: Option<RateLimit>,
 }
 
 impl Default for QueueConfig {
@@ -38,6 +65,97 @@ impl Default for QueueConfig {
         QueueConfig {
             max_batch: 8,
             max_delay: 200,
+            group_capacity: 1 << 16,
+            global_capacity: 1 << 20,
+            rate: None,
+        }
+    }
+}
+
+/// A deterministic token bucket: `burst` tokens capacity, one token
+/// refilled every `period` ticks of virtual time. Admission takes one
+/// token; an empty bucket rejects with [`Rejected::RateLimited`] and the
+/// exact tick count until the next refill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Bucket capacity, in requests (clamped to at least 1).
+    pub burst: u32,
+    /// Ticks between token refills; `0` disables the limiter.
+    pub period: Tick,
+}
+
+/// Per-class token-bucket state. Buckets start full at tick 0.
+#[derive(Debug, Clone, Copy)]
+struct TokenBucket {
+    tokens: u32,
+    last_refill: Tick,
+}
+
+impl TokenBucket {
+    fn new(limit: RateLimit) -> Self {
+        TokenBucket {
+            tokens: limit.burst.max(1),
+            last_refill: 0,
+        }
+    }
+
+    /// Takes one token at `now`, or reports ticks until one refills.
+    fn admit(&mut self, limit: RateLimit, now: Tick) -> Result<(), Tick> {
+        if limit.period == 0 {
+            return Ok(());
+        }
+        let refills = now.saturating_sub(self.last_refill) / limit.period;
+        self.tokens = u32::try_from((u64::from(self.tokens) + refills).min(u64::from(limit.burst.max(1))))
+            .unwrap_or(u32::MAX);
+        self.last_refill += refills * limit.period;
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            Ok(())
+        } else {
+            Err((self.last_refill + limit.period).saturating_sub(now).max(1))
+        }
+    }
+}
+
+/// Why a request was refused (at admission) or shed (at flush). Every
+/// overload decision is typed — nothing is silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Rejected {
+    /// The queue (global or the request's group) is at capacity.
+    QueueFull {
+        /// Ticks until the earliest pending flush frees space — the
+        /// client's back-off hint.
+        retry_after: Tick,
+    },
+    /// The request's policy class is over its token-bucket rate.
+    RateLimited {
+        /// Ticks until the next token refill.
+        retry_after: Tick,
+    },
+    /// The request's completion deadline has passed (at admission: it
+    /// arrived expired; at flush: it expired while queued).
+    DeadlineExceeded {
+        /// How many ticks past the deadline the decision was taken.
+        late_by: Tick,
+    },
+    /// The server is draining for shutdown and admits nothing new.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull { retry_after } => {
+                write!(f, "queue full, retry after {retry_after} ticks")
+            }
+            Rejected::RateLimited { retry_after } => {
+                write!(f, "rate limited, retry after {retry_after} ticks")
+            }
+            Rejected::DeadlineExceeded { late_by } => {
+                write!(f, "deadline exceeded by {late_by} ticks")
+            }
+            Rejected::ShuttingDown => f.write_str("server is shutting down"),
         }
     }
 }
@@ -95,6 +213,9 @@ pub struct QueuedRequest {
     pub x: Vec<f32>,
     /// The tick at which the request was admitted.
     pub arrival: Tick,
+    /// The request's completion deadline, if it carries one: it must
+    /// start executing strictly before this tick or be shed.
+    pub deadline: Option<Deadline>,
     /// The pin on the catalog entry this request executes against.
     pub lease: PlanLease,
 }
@@ -113,6 +234,9 @@ pub enum FlushTrigger {
     Size,
     /// The group's oldest request reached [`QueueConfig::max_delay`].
     Deadline,
+    /// A member's completion deadline was about to expire: the group
+    /// flushed at the last tick that member was still runnable.
+    Urgent,
     /// The queue was drained explicitly (shutdown / end of trace).
     Drain,
 }
@@ -122,9 +246,20 @@ impl std::fmt::Display for FlushTrigger {
         match self {
             FlushTrigger::Size => f.write_str("size"),
             FlushTrigger::Deadline => f.write_str("deadline"),
+            FlushTrigger::Urgent => f.write_str("urgent"),
             FlushTrigger::Drain => f.write_str("drain"),
         }
     }
+}
+
+/// A request shed at flush time: admitted, but expired before its batch
+/// left the queue.
+#[derive(Debug)]
+pub struct ShedRequest {
+    /// The expired request (its lease drops when this does).
+    pub request: QueuedRequest,
+    /// Ticks past the request's deadline at the shedding decision.
+    pub late_by: Tick,
 }
 
 /// A flushed batch, ready for execution.
@@ -134,8 +269,12 @@ pub struct BatchSpec {
     pub fingerprint: MatrixFingerprint,
     /// The policy the batch executes under (shared by every member).
     pub policy: IntegrityPolicy,
-    /// The member requests, in admission order.
+    /// The runnable member requests, in admission order.
     pub requests: Vec<QueuedRequest>,
+    /// Members whose completion deadline expired while queued: dropped
+    /// before execution, completed with
+    /// [`Rejected::DeadlineExceeded`] by the server.
+    pub shed: Vec<ShedRequest>,
     /// The tick at which the batch left the queue. For deadline flushes
     /// this is the deadline itself (not the tick the driver happened to
     /// check), so latency accounting is independent of how coarsely the
@@ -146,23 +285,31 @@ pub struct BatchSpec {
 }
 
 /// The coalescing admission queue. Not internally synchronised — the
-/// server wraps it in a mutex and decides compositions under that lock,
-/// which is what makes them independent of execution concurrency.
+/// server wraps it in a mutex and decides compositions (and every
+/// shedding decision) under that lock, which is what makes them
+/// independent of execution concurrency.
 #[derive(Debug)]
 pub struct AdmissionQueue {
     config: QueueConfig,
     pending: BTreeMap<BatchKey, Vec<QueuedRequest>>,
+    queued: usize,
+    buckets: BTreeMap<PolicyClass, TokenBucket>,
 }
 
 impl AdmissionQueue {
     /// An empty queue.
     pub fn new(config: QueueConfig) -> Self {
+        let max_batch = config.max_batch.max(1);
         AdmissionQueue {
             config: QueueConfig {
-                max_batch: config.max_batch.max(1),
-                max_delay: config.max_delay,
+                max_batch,
+                group_capacity: config.group_capacity.max(max_batch),
+                global_capacity: config.global_capacity.max(1),
+                ..config
             },
             pending: BTreeMap::new(),
+            queued: 0,
+            buckets: BTreeMap::new(),
         }
     }
 
@@ -173,54 +320,117 @@ impl AdmissionQueue {
 
     /// Queued requests across all groups.
     pub fn len(&self) -> usize {
-        self.pending.values().map(Vec::len).sum()
+        self.queued
     }
 
     /// `true` when no request is waiting.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.queued == 0
     }
 
-    /// Admits a request at `now`. Returns the flushed batch when this
+    /// Admits a request at `now`, enforcing deadline, rate and capacity
+    /// policy in that order. Returns the flushed batch when this
     /// admission filled its group to `max_batch` (the size trigger).
-    pub fn push(&mut self, request: QueuedRequest, now: Tick) -> Option<BatchSpec> {
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejected`] reason; the request (and its lease) is
+    /// dropped, nothing is queued.
+    pub fn push(&mut self, request: QueuedRequest, now: Tick) -> Result<Option<BatchSpec>, Rejected> {
+        if let Some(deadline) = request.deadline {
+            if deadline.remaining(now).is_none() {
+                return Err(Rejected::DeadlineExceeded {
+                    late_by: now - deadline.at,
+                });
+            }
+        }
         let key = (request.fingerprint(), PolicyClass::from(request.policy));
+        if let Some(limit) = self.config.rate {
+            let bucket = self
+                .buckets
+                .entry(key.1)
+                .or_insert_with(|| TokenBucket::new(limit));
+            if let Err(retry_after) = bucket.admit(limit, now) {
+                return Err(Rejected::RateLimited { retry_after });
+            }
+        }
+        if self.queued >= self.config.global_capacity
+            || self.pending.get(&key).map_or(0, Vec::len) >= self.config.group_capacity
+        {
+            let retry_after = self
+                .next_deadline()
+                .map(|t| t.saturating_sub(now))
+                .unwrap_or(self.config.max_delay)
+                .max(1);
+            return Err(Rejected::QueueFull { retry_after });
+        }
         let group = self.pending.entry(key).or_default();
         group.push(request);
+        self.queued += 1;
         if group.len() >= self.config.max_batch {
             let requests = self.pending.remove(&key).unwrap_or_default();
-            return Some(Self::spec(key.0, requests, now, FlushTrigger::Size));
+            self.queued -= requests.len();
+            return Ok(Some(Self::spec(
+                key.0,
+                requests,
+                now,
+                now,
+                FlushTrigger::Size,
+            )));
         }
-        None
+        Ok(None)
     }
 
-    /// The earliest deadline across all groups, if any request waits.
+    /// The tick at which `group` must flush, and whether that flush is
+    /// urgent (a member's completion deadline forced it earlier than the
+    /// coalescing delay would have).
+    fn group_flush(&self, group: &[QueuedRequest]) -> Option<(Tick, FlushTrigger)> {
+        let oldest = group.first()?;
+        let coalesce = Deadline::after(oldest.arrival, self.config.max_delay).at;
+        // A member expiring at tick `d` is still runnable at `d - 1`
+        // (`Deadline::remaining` is exclusive at the boundary): flush at
+        // the last runnable tick to serve it with maximal coalescing.
+        let urgent = group
+            .iter()
+            .filter_map(|r| r.deadline.map(|d| d.at.saturating_sub(1)))
+            .min();
+        match urgent {
+            Some(u) if u < coalesce => Some((u, FlushTrigger::Urgent)),
+            _ => Some((coalesce, FlushTrigger::Deadline)),
+        }
+    }
+
+    /// The earliest flush tick across all groups (coalescing deadline or
+    /// urgent completion deadline), if any request waits.
     pub fn next_deadline(&self) -> Option<Tick> {
         self.pending
             .values()
-            .filter_map(|g| g.first())
-            .map(|oldest| Deadline::after(oldest.arrival, self.config.max_delay).at)
+            .filter_map(|g| self.group_flush(g).map(|(t, _)| t))
             .min()
     }
 
-    /// Flushes every group whose deadline has passed at `now`, ordered by
-    /// (deadline, oldest request id). Each flushed batch's `flushed_at`
-    /// is its deadline, not `now`.
+    /// Flushes every group whose flush tick has passed at `now`, ordered
+    /// by (flush tick, oldest request id). Each flushed batch's
+    /// `flushed_at` is its flush tick, not `now` — but shedding is
+    /// decided against the *real* `now`: if the driver advanced the
+    /// clock past a member's completion deadline (an overloaded executor
+    /// checking in late), that member really did expire and is shed.
     pub fn due(&mut self, now: Tick) -> Vec<BatchSpec> {
-        let mut due: Vec<(Tick, u64, BatchKey)> = self
+        let mut due: Vec<(Tick, u64, BatchKey, FlushTrigger)> = self
             .pending
             .iter()
             .filter_map(|(key, group)| {
+                let (at, trigger) = self.group_flush(group)?;
                 let oldest = group.first()?;
-                let deadline = Deadline::after(oldest.arrival, self.config.max_delay);
-                deadline.due(now).then_some((deadline.at, oldest.id, *key))
+                (at <= now).then_some((at, oldest.id, *key, trigger))
             })
             .collect();
-        due.sort_unstable();
+        due.sort_unstable_by_key(|&(at, id, _, _)| (at, id));
         due.into_iter()
-            .map(|(at, _, key)| {
+            .map(|(at, _, key, trigger)| {
                 let requests = self.pending.remove(&key).unwrap_or_default();
-                Self::spec(key.0, requests, at, FlushTrigger::Deadline)
+                self.queued -= requests.len();
+                Self::spec(key.0, requests, at, now, trigger)
             })
             .collect()
     }
@@ -240,29 +450,47 @@ impl AdmissionQueue {
         let mut out = Vec::new();
         for (_, _, key) in groups {
             let mut requests = self.pending.remove(&key).unwrap_or_default();
+            self.queued -= requests.len();
             while !requests.is_empty() {
                 let take = requests.len().min(self.config.max_batch);
                 let chunk: Vec<QueuedRequest> = requests.drain(..take).collect();
-                out.push(Self::spec(key.0, chunk, now, FlushTrigger::Drain));
+                out.push(Self::spec(key.0, chunk, now, now, FlushTrigger::Drain));
             }
         }
         out
     }
 
+    /// Builds a batch spec, shedding members whose completion deadline
+    /// has expired at `now` ([`Deadline::remaining`] boundary: due
+    /// exactly at `now` is expired).
     fn spec(
         fingerprint: MatrixFingerprint,
         requests: Vec<QueuedRequest>,
         flushed_at: Tick,
+        now: Tick,
         trigger: FlushTrigger,
     ) -> BatchSpec {
-        let policy = requests
+        let mut runnable = Vec::with_capacity(requests.len());
+        let mut shed = Vec::new();
+        for request in requests {
+            match request.deadline {
+                Some(d) if d.remaining(now).is_none() => shed.push(ShedRequest {
+                    late_by: now - d.at,
+                    request,
+                }),
+                _ => runnable.push(request),
+            }
+        }
+        let policy = runnable
             .first()
             .map(|r| r.policy)
+            .or_else(|| shed.first().map(|s| s.request.policy))
             .unwrap_or_else(IntegrityPolicy::off);
         BatchSpec {
             fingerprint,
             policy,
-            requests,
+            requests: runnable,
+            shed,
             flushed_at,
             trigger,
         }

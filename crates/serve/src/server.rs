@@ -1,4 +1,5 @@
-//! The serving front-end: catalog + admission queue + batch execution.
+//! The serving front-end: catalog + admission queue + batch execution,
+//! hardened for overload.
 //!
 //! [`SpmvServer`] ties the pieces together. Ingest routes a matrix
 //! through the pipeline into the [`PlanCatalog`]; [`SpmvServer::submit`]
@@ -10,26 +11,52 @@
 //! `Prepared::execute_batch` is itself bit-identical to looped
 //! single-vector execution for any thread count, every served result is
 //! bit-identical to a batch-1 serve of the same trace.
+//!
+//! The overload-safety layer (PR 8) extends that determinism to every
+//! degradation decision:
+//!
+//! * admission is bounded and rate-limited ([`crate::QueueConfig`]);
+//!   refusals are typed [`Rejected`] reasons, never silent drops;
+//! * requests admitted with a completion deadline are shed (typed, with
+//!   the ticks-late amount) at flush time instead of executing late;
+//! * each plan carries a circuit breaker ([`crate::breaker`]): too many
+//!   integrity fallbacks quarantine the plan and serve it straight from
+//!   the golden CSR (no ladder cost, `Output::degraded`), with
+//!   deterministic half-open probes for re-admission. Routing happens
+//!   serially at issue time and outcomes are recorded serially after the
+//!   round's barrier — both in flush order — so the whole quarantine
+//!   history is a pure function of the trace and clock schedule;
+//! * a panicking worker poisons only its own batch: the panic is caught
+//!   at the batch boundary, the batch is retried once (re-execution is
+//!   pure, so results stay bit-identical and are never duplicated), and
+//!   a second panic fails just that batch's requests with a typed error;
+//! * [`SpmvServer::shutdown`] stops admission ([`Rejected::ShuttingDown`])
+//!   and drains queued work to completion or typed rejection.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 use spasm::{IntegrityPolicy, Pipeline, PipelineError, Prepared};
 use spasm_format::MatrixFingerprint;
 use spasm_hw::HealthReport;
-use spasm_sparse::Coo;
+use spasm_sparse::{Coo, SpMv, SparseError};
 
+use crate::breaker::{BreakerConfig, BreakerEvent, ExecRoute};
 use crate::catalog::{CatalogConfig, CatalogError, PlanCatalog};
-use crate::clock::{Tick, VirtualClock};
-use crate::queue::{AdmissionQueue, BatchSpec, FlushTrigger, QueueConfig, QueuedRequest};
+use crate::clock::{Deadline, Tick, VirtualClock};
+use crate::queue::{
+    AdmissionQueue, BatchSpec, FlushTrigger, QueueConfig, QueuedRequest, Rejected,
+};
 
 /// Configuration for an [`SpmvServer`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServerConfig {
-    /// Admission-queue coalescing parameters.
+    /// Admission-queue coalescing and overload parameters.
     pub queue: QueueConfig,
     /// Plan-catalog byte budget.
     pub catalog: CatalogConfig,
+    /// Per-plan circuit-breaker (quarantine) parameters.
+    pub breaker: BreakerConfig,
     /// Worker threads executing flushed batches concurrently. `0` and
     /// `1` both mean "execute on the calling thread". Only throughput
     /// depends on this — never batch composition or results.
@@ -49,6 +76,12 @@ pub enum ServeError {
         /// The supplied vector length.
         actual: usize,
     },
+    /// The request was refused or shed by overload policy — a typed
+    /// [`Rejected`] reason with back-off / lateness detail.
+    Rejected(Rejected),
+    /// The executing worker panicked and the bounded retry panicked
+    /// again; the batch's requests fail rather than re-queue forever.
+    Panicked,
     /// Catalog ingest failed.
     Catalog(CatalogError),
     /// The underlying execution failed.
@@ -63,6 +96,10 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Shape { expected, actual } => {
                 write!(f, "request vector has length {actual}, expected {expected}")
+            }
+            ServeError::Rejected(r) => write!(f, "rejected: {r}"),
+            ServeError::Panicked => {
+                f.write_str("worker panicked executing the batch (retry also panicked)")
             }
             ServeError::Catalog(e) => write!(f, "catalog: {e}"),
             ServeError::Pipeline(e) => write!(f, "execution: {e}"),
@@ -84,6 +121,12 @@ impl From<PipelineError> for ServeError {
     }
 }
 
+impl From<Rejected> for ServeError {
+    fn from(r: Rejected) -> Self {
+        ServeError::Rejected(r)
+    }
+}
+
 /// A successfully served request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Output {
@@ -96,12 +139,18 @@ pub struct Output {
     /// Ticks spent queued (flush tick − arrival tick).
     pub queued_ticks: Tick,
     /// Simulated seconds of the whole batch execution on the modelled
-    /// accelerator (shared by all members of the batch).
+    /// accelerator (shared by all members of the batch). Golden-CSR
+    /// (quarantine) serves are priced at the plan's prepare-time
+    /// estimate per vector.
     pub exec_seconds: f64,
     /// The tick at which the batch left the queue.
     pub flushed_at: Tick,
     /// Why the batch flushed.
     pub trigger: FlushTrigger,
+    /// `true` when the plan was quarantined and this request was served
+    /// directly from the golden CSR (graceful degradation — correct
+    /// bits, no accelerator model, no verify-ladder cost).
+    pub degraded: bool,
 }
 
 /// The outcome of one admitted request.
@@ -118,12 +167,46 @@ pub struct Completion {
 pub struct BatchRecord {
     /// The matrix the batch ran against.
     pub fingerprint: MatrixFingerprint,
-    /// Member request ids, in admission order.
+    /// Member request ids, in admission order (shed members excluded —
+    /// they never executed).
     pub request_ids: Vec<u64>,
     /// The tick the batch left the queue.
     pub flushed_at: Tick,
     /// Why it flushed.
     pub trigger: FlushTrigger,
+}
+
+/// Deterministic counters for every overload / degradation decision the
+/// server has taken. All counts are decided in serial sections (under
+/// the queue lock, or in flush order around the execution barrier), so
+/// they are a pure function of the trace for any worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverloadStats {
+    /// Submissions refused because the queue (global or group) was full.
+    pub rejected_queue_full: u64,
+    /// Submissions refused by the per-policy-class token bucket.
+    pub rejected_rate_limited: u64,
+    /// Submissions that arrived with an already-expired deadline.
+    pub rejected_expired: u64,
+    /// Submissions refused because the server is shutting down.
+    pub rejected_shutdown: u64,
+    /// Admitted requests shed at flush time (expired while queued).
+    pub shed_expired: u64,
+    /// Plans tripped into quarantine by the circuit breaker.
+    pub quarantine_trips: u64,
+    /// Plans re-admitted to the accelerator path by a clean probe.
+    pub quarantine_recoveries: u64,
+    /// Requests served from the golden CSR while their plan was
+    /// quarantined.
+    pub served_degraded: u64,
+    /// Worker panics caught at the batch boundary (includes retry
+    /// panics).
+    pub worker_panics: u64,
+    /// Requests re-executed after their batch's worker panicked.
+    pub retried_requests: u64,
+    /// Requests failed with [`ServeError::Panicked`] after the bounded
+    /// retry also panicked.
+    pub abandoned_requests: u64,
 }
 
 /// The SpMV serving front-end. See the module docs.
@@ -133,9 +216,16 @@ pub struct SpmvServer {
     queue: Mutex<AdmissionQueue>,
     clock: VirtualClock,
     pipeline: Pipeline,
+    breaker: BreakerConfig,
     next_id: AtomicU64,
     workers: usize,
+    shutting_down: AtomicBool,
     log: Mutex<Vec<BatchRecord>>,
+    stats: Mutex<OverloadStats>,
+    /// Test hook (fault-injection builds): fingerprints whose next N
+    /// batch executions panic at the worker boundary.
+    #[cfg(feature = "fault-injection")]
+    panic_armed: Mutex<std::collections::BTreeMap<MatrixFingerprint, u32>>,
 }
 
 impl SpmvServer {
@@ -152,9 +242,14 @@ impl SpmvServer {
             queue: Mutex::new(AdmissionQueue::new(config.queue)),
             clock: VirtualClock::new(),
             pipeline,
+            breaker: config.breaker,
             next_id: AtomicU64::new(0),
             workers: config.workers.max(1),
+            shutting_down: AtomicBool::new(false),
             log: Mutex::new(Vec::new()),
+            stats: Mutex::new(OverloadStats::default()),
+            #[cfg(feature = "fault-injection")]
+            panic_armed: Mutex::new(std::collections::BTreeMap::new()),
         }
     }
 
@@ -171,6 +266,21 @@ impl SpmvServer {
     /// The plan catalog (for inspection and direct management).
     pub fn catalog(&self) -> &PlanCatalog {
         &self.catalog
+    }
+
+    /// The circuit-breaker configuration in effect.
+    pub fn breaker_config(&self) -> BreakerConfig {
+        self.breaker
+    }
+
+    /// A snapshot of the overload / degradation counters.
+    pub fn overload_stats(&self) -> OverloadStats {
+        *self.lock_stats()
+    }
+
+    /// `true` once [`SpmvServer::shutdown`] has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
     }
 
     /// Prepares a COO matrix through the server's pipeline and caches
@@ -197,7 +307,8 @@ impl SpmvServer {
         Ok(self.catalog.insert_wire(bytes, &self.pipeline)?)
     }
 
-    /// Admits one request against the cached plan for `fingerprint`.
+    /// Admits one request (no completion deadline) against the cached
+    /// plan for `fingerprint`.
     ///
     /// Returns the request id plus any completions produced *right now*
     /// (the admission filled a batch to the size trigger). Otherwise the
@@ -208,13 +319,49 @@ impl SpmvServer {
     /// # Errors
     ///
     /// [`ServeError::UnknownMatrix`] and [`ServeError::Shape`] reject the
-    /// request up front; nothing is queued on error.
+    /// request up front; [`ServeError::Rejected`] carries the typed
+    /// overload refusals (queue full, rate limited, shutting down).
+    /// Nothing is queued on error.
     pub fn submit(
         &self,
         fingerprint: MatrixFingerprint,
         x: Vec<f32>,
         policy: IntegrityPolicy,
     ) -> Result<(u64, Vec<Completion>), ServeError> {
+        self.submit_inner(fingerprint, x, policy, None)
+    }
+
+    /// As [`SpmvServer::submit`], with a completion deadline: the request
+    /// must *start executing* strictly before `deadline.at` or it is
+    /// shed ([`Rejected::DeadlineExceeded`] with the ticks-late amount).
+    /// A deadline tighter than the queue's coalescing delay flushes its
+    /// group early ([`FlushTrigger::Urgent`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`SpmvServer::submit`]; additionally, a request whose deadline
+    /// has already passed is rejected up front.
+    pub fn submit_with_deadline(
+        &self,
+        fingerprint: MatrixFingerprint,
+        x: Vec<f32>,
+        policy: IntegrityPolicy,
+        deadline: Deadline,
+    ) -> Result<(u64, Vec<Completion>), ServeError> {
+        self.submit_inner(fingerprint, x, policy, Some(deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        fingerprint: MatrixFingerprint,
+        x: Vec<f32>,
+        policy: IntegrityPolicy,
+        deadline: Option<Deadline>,
+    ) -> Result<(u64, Vec<Completion>), ServeError> {
+        if self.is_shutting_down() {
+            self.lock_stats().rejected_shutdown += 1;
+            return Err(Rejected::ShuttingDown.into());
+        }
         let lease = self
             .catalog
             .get(&fingerprint)
@@ -235,14 +382,27 @@ impl SpmvServer {
                     policy,
                     x,
                     arrival: now,
+                    deadline,
                     lease,
                 },
                 now,
             )
         };
         let completions = match flushed {
-            Some(batch) => self.execute_batches(vec![batch]),
-            None => Vec::new(),
+            Ok(Some(batch)) => self.execute_batches(vec![batch]),
+            Ok(None) => Vec::new(),
+            Err(rejected) => {
+                {
+                    let mut stats = self.lock_stats();
+                    match rejected {
+                        Rejected::QueueFull { .. } => stats.rejected_queue_full += 1,
+                        Rejected::RateLimited { .. } => stats.rejected_rate_limited += 1,
+                        Rejected::DeadlineExceeded { .. } => stats.rejected_expired += 1,
+                        Rejected::ShuttingDown => stats.rejected_shutdown += 1,
+                    }
+                }
+                return Err(rejected.into());
+            }
         };
         Ok((id, completions))
     }
@@ -269,6 +429,15 @@ impl SpmvServer {
         let now = self.clock.now();
         let batches = self.lock_queue().drain(now);
         self.execute_batches(batches)
+    }
+
+    /// Graceful shutdown: stops admitting ([`Rejected::ShuttingDown`]
+    /// from then on) and drains everything queued to completion — or to
+    /// a typed rejection for members whose deadline has expired. Safe to
+    /// call more than once.
+    pub fn shutdown(&self) -> Vec<Completion> {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        self.drain()
     }
 
     /// The earliest pending deadline, if any request is queued.
@@ -306,6 +475,34 @@ impl SpmvServer {
         Some(f(&mut prepared))
     }
 
+    /// Arms `count` injected worker panics for `fingerprint`: each of
+    /// the next `count` batch executions against that plan panics at the
+    /// worker boundary before touching the plan. Test hook for the
+    /// panic-isolation path; deterministic when at most one batch per
+    /// fingerprint executes per round.
+    #[cfg(feature = "fault-injection")]
+    pub fn arm_worker_panic(&self, fingerprint: MatrixFingerprint, count: u32) {
+        let mut armed = self.panic_armed.lock().unwrap_or_else(|e| e.into_inner());
+        if count == 0 {
+            armed.remove(&fingerprint);
+        } else {
+            armed.insert(fingerprint, count);
+        }
+    }
+
+    #[cfg(feature = "fault-injection")]
+    fn maybe_injected_panic(&self, fingerprint: MatrixFingerprint) {
+        let mut armed = self.panic_armed.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(n) = armed.get_mut(&fingerprint) {
+            *n -= 1;
+            if *n == 0 {
+                armed.remove(&fingerprint);
+            }
+            drop(armed);
+            panic!("injected worker panic (fault-injection test hook)");
+        }
+    }
+
     fn lock_queue(&self) -> MutexGuard<'_, AdmissionQueue> {
         self.queue.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -314,85 +511,244 @@ impl SpmvServer {
         self.log.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    fn lock_stats(&self) -> MutexGuard<'_, OverloadStats> {
+        self.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Executes flushed batches, fanning out across up to
     /// `self.workers` scoped threads. Compositions were already fixed by
     /// the queue; this only affects wall-clock concurrency. Completions
     /// come back grouped per batch in flush order, ids ascending within
     /// a batch.
+    ///
+    /// Three serial sections bracket the concurrent execution, all in
+    /// flush order, which is what keeps every overload decision
+    /// worker-count independent: (1) *issue* — shed expired members and
+    /// route each batch through its plan's circuit breaker; (2) *retry*
+    /// — re-execute batches whose worker panicked (once; a second panic
+    /// fails the batch typed); (3) *record* — feed per-vector outcomes
+    /// back to the breakers and count transitions.
     fn execute_batches(&self, batches: Vec<BatchSpec>) -> Vec<Completion> {
         if batches.is_empty() {
             return Vec::new();
         }
-        {
-            let mut log = self.lock_log();
-            for b in &batches {
-                log.push(BatchRecord {
-                    fingerprint: b.fingerprint,
-                    request_ids: b.requests.iter().map(|r| r.id).collect(),
-                    flushed_at: b.flushed_at,
-                    trigger: b.trigger,
-                });
+        let now = self.clock.now();
+        let mut slots: Vec<Vec<Completion>> = (0..batches.len()).map(|_| Vec::new()).collect();
+        // Issue (serial, flush order): shed expired members, log the
+        // executable compositions, route through the breakers.
+        let mut work: Vec<(usize, BatchSpec, ExecRoute)> = Vec::new();
+        for (i, mut batch) in batches.into_iter().enumerate() {
+            let shed = std::mem::take(&mut batch.shed);
+            if !shed.is_empty() {
+                self.lock_stats().shed_expired += shed.len() as u64;
+                for s in shed {
+                    slots[i].push(Completion {
+                        id: s.request.id,
+                        result: Err(Rejected::DeadlineExceeded { late_by: s.late_by }.into()),
+                    });
+                }
+            }
+            if batch.requests.is_empty() {
+                continue;
+            }
+            self.lock_log().push(BatchRecord {
+                fingerprint: batch.fingerprint,
+                request_ids: batch.requests.iter().map(|r| r.id).collect(),
+                flushed_at: batch.flushed_at,
+                trigger: batch.trigger,
+            });
+            let route = batch.requests[0].lease.entry().route(now, &self.breaker);
+            if route == ExecRoute::Golden {
+                self.lock_stats().served_degraded += batch.requests.len() as u64;
+            }
+            work.push((i, batch, route));
+        }
+        // Execute, catching panics at the batch boundary.
+        let run = |batch: &BatchSpec, route: ExecRoute| -> Option<Vec<Completion>> {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.execute_one(batch, route)
+            }))
+            .ok()
+        };
+        let workers = self.workers.min(work.len());
+        let mut outcomes: Vec<(usize, Option<Vec<Completion>>)> = if workers <= 1 {
+            work.iter()
+                .map(|(i, b, route)| (*i, run(b, *route)))
+                .collect()
+        } else {
+            // Round-robin the batches over `workers` scoped threads, then
+            // reassemble in flush order so the caller-visible order is
+            // independent of scheduling.
+            let mut shards: Vec<Vec<&(usize, BatchSpec, ExecRoute)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (k, item) in work.iter().enumerate() {
+                shards[k % workers].push(item);
+            }
+            let mut all: Vec<(usize, Option<Vec<Completion>>)> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            shard
+                                .into_iter()
+                                .map(|(i, b, route)| (*i, run(b, *route)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    all.extend(h.join().unwrap_or_default());
+                }
+            });
+            all.sort_by_key(|(i, _)| *i);
+            all
+        };
+        // Retry (serial, flush order): a panicked batch is re-executed
+        // exactly once; its requests were never completed, so the retry
+        // cannot duplicate results, and re-execution is pure, so the
+        // retried bits are identical to an undisturbed run.
+        for (slot, completions) in outcomes.iter_mut() {
+            if completions.is_some() {
+                continue;
+            }
+            let Some((_, batch, route)) = work.iter().find(|(i, _, _)| i == slot) else {
+                continue;
+            };
+            {
+                let mut stats = self.lock_stats();
+                stats.worker_panics += 1;
+                stats.retried_requests += batch.requests.len() as u64;
+            }
+            *completions = match run(batch, *route) {
+                Some(done) => Some(done),
+                None => {
+                    let mut stats = self.lock_stats();
+                    stats.worker_panics += 1;
+                    stats.abandoned_requests += batch.requests.len() as u64;
+                    drop(stats);
+                    Some(
+                        batch
+                            .requests
+                            .iter()
+                            .map(|r| Completion {
+                                id: r.id,
+                                result: Err(ServeError::Panicked),
+                            })
+                            .collect(),
+                    )
+                }
+            };
+        }
+        // Record (serial, flush order): feed per-vector outcomes back to
+        // each plan's breaker; count the transitions.
+        for ((_, completions), (_, batch, route)) in outcomes.iter().zip(&work) {
+            let Some(completions) = completions else {
+                continue;
+            };
+            if *route != ExecRoute::Golden {
+                let failures: Vec<bool> = completions
+                    .iter()
+                    .map(|c| match &c.result {
+                        Ok(out) => out.health.fallback || out.health.needs_fallback(),
+                        Err(_) => true,
+                    })
+                    .collect();
+                let event =
+                    batch.requests[0]
+                        .lease
+                        .entry()
+                        .record_outcomes(*route, &failures, now, &self.breaker);
+                match event {
+                    Some(BreakerEvent::Tripped { .. }) => {
+                        self.lock_stats().quarantine_trips += 1;
+                    }
+                    Some(BreakerEvent::Recovered) => {
+                        self.lock_stats().quarantine_recoveries += 1;
+                    }
+                    None => {}
+                }
             }
         }
-        let workers = self.workers.min(batches.len());
-        if workers <= 1 {
-            return batches
-                .into_iter()
-                .flat_map(|b| self.execute_one(b))
-                .collect();
+        for (slot, completions) in outcomes {
+            if let Some(mut done) = completions {
+                slots[slot].append(&mut done);
+            }
         }
-        // Round-robin the batches over `workers` scoped threads, then
-        // reassemble in flush order so the caller-visible order is
-        // independent of scheduling.
-        let mut slots: Vec<Vec<Completion>> = Vec::new();
-        let indexed: Vec<(usize, BatchSpec)> = batches.into_iter().enumerate().collect();
-        let mut shards: Vec<Vec<(usize, BatchSpec)>> = (0..workers).map(|_| Vec::new()).collect();
-        for (i, b) in indexed {
-            shards[i % workers].push((i, b));
-        }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .into_iter()
-                .map(|shard| {
-                    scope.spawn(move || {
-                        shard
-                            .into_iter()
-                            .map(|(i, b)| (i, self.execute_one(b)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            let mut all: Vec<(usize, Vec<Completion>)> = handles
-                .into_iter()
-                .flat_map(|h| h.join().unwrap_or_default())
-                .collect();
-            all.sort_by_key(|(i, _)| *i);
-            slots = all.into_iter().map(|(_, c)| c).collect();
-        });
-        slots.into_iter().flatten().collect()
+        slots
+            .into_iter()
+            .map(|mut batch_completions| {
+                batch_completions.sort_by_key(|c| c.id);
+                batch_completions
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
-    /// Executes one batch against its leased plan. On an indexed shape
-    /// error (which submit-time validation should have made impossible)
-    /// the offending request alone is rejected and the rest retried.
-    fn execute_one(&self, batch: BatchSpec) -> Vec<Completion> {
-        let BatchSpec {
-            policy,
-            mut requests,
-            flushed_at,
-            trigger,
-            ..
-        } = batch;
+    /// Executes one batch against its leased plan, on the route the
+    /// breaker chose. On an indexed shape error (which submit-time
+    /// validation should have made impossible) the offending request
+    /// alone is rejected and the rest retried.
+    fn execute_one(&self, batch: &BatchSpec, route: ExecRoute) -> Vec<Completion> {
+        #[cfg(feature = "fault-injection")]
+        self.maybe_injected_panic(batch.fingerprint);
+        let requests = &batch.requests;
         let mut completions: Vec<Completion> = Vec::with_capacity(requests.len());
-        while !requests.is_empty() {
-            let size = requests.len();
+        if requests.is_empty() {
+            return completions;
+        }
+        let lease = requests[0].lease.clone();
+        let rows = lease.rows() as usize;
+        if route == ExecRoute::Golden {
+            // Quarantined plan: serve straight from the golden CSR — the
+            // bit-exact reference, with none of the accelerator model or
+            // verify-ladder cost. Priced at the plan's prepare-time
+            // estimate per vector (the golden path has no cycle model).
+            let prepared = lease.prepared();
+            let golden = prepared.golden();
+            let exec_seconds = lease.seconds_estimate() * requests.len() as f64;
+            for request in requests {
+                let mut y = vec![0.0f32; rows];
+                let result = match golden.spmv(&request.x, &mut y) {
+                    Ok(()) => Ok(Output {
+                        y,
+                        health: HealthReport::degraded_golden(),
+                        batch_size: requests.len(),
+                        queued_ticks: batch.flushed_at.saturating_sub(request.arrival),
+                        exec_seconds,
+                        flushed_at: batch.flushed_at,
+                        trigger: batch.trigger,
+                        degraded: true,
+                    }),
+                    // Unreachable through the public API (x is validated at
+                    // submit, y is sized from the plan), but keep it typed.
+                    Err(SparseError::DimensionMismatch {
+                        expected, actual, ..
+                    }) => Err(ServeError::Shape { expected, actual }),
+                    Err(_) => Err(ServeError::Pipeline(PipelineError::EmptySearchSpace(
+                        "golden serving path",
+                    ))),
+                };
+                completions.push(Completion {
+                    id: request.id,
+                    result,
+                });
+            }
+            completions.sort_by_key(|c| c.id);
+            return completions;
+        }
+        // Accelerator path (healthy plan, or a half-open probe): the
+        // per-vector integrity ladder runs under the batch's policy.
+        let mut active: Vec<usize> = (0..requests.len()).collect();
+        while !active.is_empty() {
+            let size = active.len();
             let outcome = {
-                let lease = requests[0].lease.clone();
-                let rows = lease.rows() as usize;
-                let xs: Vec<&[f32]> = requests.iter().map(|r| r.x.as_slice()).collect();
+                let xs: Vec<&[f32]> = active.iter().map(|&k| requests[k].x.as_slice()).collect();
                 let mut ys = vec![vec![0.0f32; rows]; size];
                 let mut prepared = lease.prepared();
-                prepared.set_integrity(policy);
+                prepared.set_integrity(batch.policy);
                 match prepared.execute_batch_into(&xs, &mut ys) {
                     Ok(report) => {
                         let exec_seconds = report
@@ -407,40 +763,44 @@ impl SpmvServer {
             };
             match outcome {
                 Ok((ys, health, exec_seconds)) => {
-                    for ((request, y), h) in requests.drain(..).zip(ys).zip(health) {
+                    for ((&k, y), h) in active.iter().zip(ys).zip(health) {
+                        let request = &requests[k];
                         completions.push(Completion {
                             id: request.id,
                             result: Ok(Output {
                                 y,
                                 health: h,
                                 batch_size: size,
-                                queued_ticks: flushed_at.saturating_sub(request.arrival),
+                                queued_ticks: batch.flushed_at.saturating_sub(request.arrival),
                                 exec_seconds,
-                                flushed_at,
-                                trigger,
+                                flushed_at: batch.flushed_at,
+                                trigger: batch.trigger,
+                                degraded: false,
                             }),
                         });
                     }
+                    active.clear();
                 }
                 Err(PipelineError::BatchDimensionMismatch {
                     vector,
                     expected,
                     actual,
                     ..
-                }) if vector < requests.len() => {
-                    let bad = requests.remove(vector);
+                }) if vector < active.len() => {
+                    let bad = active.remove(vector);
                     completions.push(Completion {
-                        id: bad.id,
+                        id: requests[bad].id,
                         result: Err(ServeError::Shape { expected, actual }),
                     });
                 }
                 Err(e) => {
-                    for request in requests.drain(..) {
+                    for &k in &active {
                         completions.push(Completion {
-                            id: request.id,
+                            id: requests[k].id,
                             result: Err(ServeError::Pipeline(e.clone())),
                         });
                     }
+                    active.clear();
                 }
             }
         }
@@ -465,6 +825,7 @@ mod tests {
             queue: QueueConfig {
                 max_batch,
                 max_delay,
+                ..QueueConfig::default()
             },
             ..ServerConfig::default()
         })
@@ -509,9 +870,11 @@ mod tests {
             let out = c.result.as_ref().expect("served");
             assert_eq!(out.batch_size, 2);
             assert_eq!(out.trigger, FlushTrigger::Size);
+            assert!(!out.degraded);
         }
         assert_eq!(s.batch_log().len(), 1);
         assert_eq!(s.batch_log()[0].request_ids, vec![id0, id1]);
+        assert_eq!(s.overload_stats(), OverloadStats::default());
     }
 
     #[test]
@@ -546,16 +909,18 @@ mod tests {
             policy: IntegrityPolicy::off(),
             x: vec![1.0; len],
             arrival: 0,
+            deadline: None,
             lease: lease.clone(),
         };
         let batch = BatchSpec {
             fingerprint: fp,
             policy: IntegrityPolicy::off(),
             requests: vec![mk(0, 8), mk(1, 3), mk(2, 8)],
+            shed: Vec::new(),
             flushed_at: 5,
             trigger: FlushTrigger::Drain,
         };
-        let completions = s.execute_one(batch);
+        let completions = s.execute_one(&batch, ExecRoute::Plan);
         assert_eq!(completions.len(), 3);
         assert!(matches!(
             completions[1].result,
@@ -568,5 +933,181 @@ mod tests {
             let out = c.result.as_ref().expect("healthy members still serve");
             assert_eq!(out.batch_size, 2, "retried without the offender");
         }
+    }
+
+    #[test]
+    fn queue_full_rejects_with_retry_hint() {
+        let s = SpmvServer::new(ServerConfig {
+            queue: QueueConfig {
+                max_batch: 8,
+                max_delay: 100,
+                group_capacity: 8,
+                global_capacity: 2,
+                ..QueueConfig::default()
+            },
+            ..ServerConfig::default()
+        });
+        let fp = s.ingest_coo(&diag(8)).expect("ingest");
+        s.submit(fp, vec![1.0; 8], IntegrityPolicy::off()).unwrap();
+        s.submit(fp, vec![2.0; 8], IntegrityPolicy::off()).unwrap();
+        let err = s
+            .submit(fp, vec![3.0; 8], IntegrityPolicy::off())
+            .expect_err("queue is full");
+        match err {
+            ServeError::Rejected(Rejected::QueueFull { retry_after }) => {
+                assert_eq!(retry_after, 100, "hint points at the pending flush");
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(s.pending(), 2, "rejected request was not queued");
+        assert_eq!(s.overload_stats().rejected_queue_full, 1);
+        // Flushing frees the space.
+        assert_eq!(s.advance_to(100).len(), 2);
+        s.submit(fp, vec![3.0; 8], IntegrityPolicy::off())
+            .expect("space freed after flush");
+    }
+
+    #[test]
+    fn rate_limiter_is_deterministic_on_the_virtual_clock() {
+        let s = SpmvServer::new(ServerConfig {
+            queue: QueueConfig {
+                max_batch: 100,
+                max_delay: 1_000,
+                rate: Some(crate::queue::RateLimit {
+                    burst: 2,
+                    period: 10,
+                }),
+                ..QueueConfig::default()
+            },
+            ..ServerConfig::default()
+        });
+        let fp = s.ingest_coo(&diag(8)).expect("ingest");
+        let submit = || s.submit(fp, vec![1.0; 8], IntegrityPolicy::off());
+        submit().expect("token 1");
+        submit().expect("token 2");
+        let err = submit().expect_err("bucket empty");
+        match err {
+            ServeError::Rejected(Rejected::RateLimited { retry_after }) => {
+                assert_eq!(retry_after, 10, "next refill is one full period away");
+            }
+            other => panic!("expected RateLimited, got {other:?}"),
+        }
+        // One period later exactly one token has refilled.
+        s.clock().advance_to(10);
+        s.submit(fp, vec![1.0; 8], IntegrityPolicy::off())
+            .expect("refilled token");
+        let err = s
+            .submit(fp, vec![1.0; 8], IntegrityPolicy::off())
+            .expect_err("only one token refilled");
+        assert!(matches!(
+            err,
+            ServeError::Rejected(Rejected::RateLimited { retry_after: 10 })
+        ));
+        assert_eq!(s.overload_stats().rejected_rate_limited, 2);
+    }
+
+    #[test]
+    fn expired_submission_is_rejected_up_front() {
+        let s = server(8, 100);
+        let fp = s.ingest_coo(&diag(8)).expect("ingest");
+        s.clock().advance_to(50);
+        let err = s
+            .submit_with_deadline(
+                fp,
+                vec![1.0; 8],
+                IntegrityPolicy::off(),
+                Deadline { at: 50 },
+            )
+            .expect_err("due exactly at now is expired");
+        assert!(matches!(
+            err,
+            ServeError::Rejected(Rejected::DeadlineExceeded { late_by: 0 })
+        ));
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.overload_stats().rejected_expired, 1);
+    }
+
+    #[test]
+    fn tight_deadline_flushes_the_group_early() {
+        let s = server(8, 1_000);
+        let fp = s.ingest_coo(&diag(8)).expect("ingest");
+        let (id0, _) = s.submit(fp, vec![1.0; 8], IntegrityPolicy::off()).unwrap();
+        let (id1, _) = s
+            .submit_with_deadline(
+                fp,
+                vec![2.0; 8],
+                IntegrityPolicy::off(),
+                Deadline { at: 40 },
+            )
+            .unwrap();
+        // The tight deadline pulls the whole group's flush to tick 39 —
+        // the last tick the member is still runnable.
+        assert_eq!(s.next_deadline(), Some(39));
+        let done = s.advance_to(39);
+        assert_eq!(done.len(), 2);
+        for c in &done {
+            let out = c.result.as_ref().expect("served before expiry");
+            assert_eq!(out.trigger, FlushTrigger::Urgent);
+            assert_eq!(out.flushed_at, 39);
+        }
+        assert_eq!(
+            done.iter().map(|c| c.id).collect::<Vec<_>>(),
+            vec![id0, id1]
+        );
+        assert_eq!(s.overload_stats().shed_expired, 0);
+    }
+
+    #[test]
+    fn expired_queued_request_is_shed_not_executed() {
+        let s = server(8, 100);
+        let fp = s.ingest_coo(&diag(8)).expect("ingest");
+        let (id0, _) = s.submit(fp, vec![1.0; 8], IntegrityPolicy::off()).unwrap();
+        let (id1, _) = s
+            .submit_with_deadline(
+                fp,
+                vec![2.0; 8],
+                IntegrityPolicy::off(),
+                Deadline { at: 40 },
+            )
+            .unwrap();
+        // The driver never checked in before tick 500: the deadline'd
+        // request really expired while queued and must be shed; its
+        // sibling still serves (stamped at the group's flush tick).
+        let done = s.advance_to(500);
+        assert_eq!(done.len(), 2);
+        let shed = done.iter().find(|c| c.id == id1).expect("present");
+        match &shed.result {
+            Err(ServeError::Rejected(Rejected::DeadlineExceeded { late_by })) => {
+                assert_eq!(*late_by, 460, "500 now − 40 deadline");
+            }
+            other => panic!("expected shed completion, got {other:?}"),
+        }
+        let served = done.iter().find(|c| c.id == id0).expect("present");
+        assert!(served.result.is_ok());
+        assert_eq!(s.overload_stats().shed_expired, 1);
+        // The batch log records only what executed.
+        assert_eq!(s.batch_log().len(), 1);
+        assert_eq!(s.batch_log()[0].request_ids, vec![id0]);
+    }
+
+    #[test]
+    fn shutdown_drains_and_then_rejects() {
+        let s = server(8, 1_000);
+        let fp = s.ingest_coo(&diag(8)).expect("ingest");
+        let (id0, _) = s.submit(fp, vec![1.0; 8], IntegrityPolicy::off()).unwrap();
+        let done = s.shutdown();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id0);
+        assert!(done[0].result.is_ok(), "queued work drains to completion");
+        assert!(s.is_shutting_down());
+        let err = s
+            .submit(fp, vec![1.0; 8], IntegrityPolicy::off())
+            .expect_err("no admission after shutdown");
+        assert!(matches!(
+            err,
+            ServeError::Rejected(Rejected::ShuttingDown)
+        ));
+        assert_eq!(s.overload_stats().rejected_shutdown, 1);
+        assert!(s.shutdown().is_empty(), "second shutdown is a no-op drain");
     }
 }

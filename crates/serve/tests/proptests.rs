@@ -101,15 +101,12 @@ proptest! {
                     }
                 }
                 _ => {
-                    let pinned = held.iter().any(|l| l.fingerprint() == fps[i]);
+                    // Removal always de-indexes; a leased entry's plan and
+                    // bytes linger (doomed) until its last lease drops.
                     let resident = catalog.contains(&fps[i]);
                     let removed = catalog.remove(&fps[i]);
-                    if pinned {
-                        prop_assert!(!removed, "removed a pinned plan");
-                        prop_assert!(catalog.contains(&fps[i]));
-                    } else {
-                        prop_assert_eq!(removed, resident);
-                    }
+                    prop_assert_eq!(removed, resident, "remove reports de-indexing");
+                    prop_assert!(!catalog.contains(&fps[i]), "removed fp still indexed");
                 }
             }
             prop_assert!(
@@ -118,17 +115,18 @@ proptest! {
                 catalog.resident_bytes()
             );
             for lease in &held {
-                prop_assert!(
-                    catalog.contains(&lease.fingerprint()),
-                    "leased plan {} was evicted",
-                    lease.fingerprint().token()
-                );
+                // A leased plan is never freed mid-flight, removed or not:
+                // the plan behind the lease must still be lockable.
+                drop(lease.prepared());
             }
         }
 
-        // The byte ledger matches the entries actually resident.
-        let tally: usize = catalog
-            .fingerprints()
+        // Once every lease drops, the next catalog operation reaps any
+        // doomed entries, and the byte ledger matches the entries
+        // actually resident.
+        drop(held);
+        let resident_fps = catalog.fingerprints();
+        let tally: usize = resident_fps
             .iter()
             .filter_map(|fp| catalog.get(fp).map(|l| l.bytes()))
             .sum();

@@ -1,7 +1,10 @@
 //! Serving determinism: coalesced batch compositions are an exact
 //! function of the arrival trace and virtual-clock schedule, and every
 //! served result is bit-identical to a serial batch-1
-//! `Prepared::execute` of the same request — for any worker count.
+//! `Prepared::execute` of the same request — for any worker count. The
+//! same holds for every *overload* decision (typed rejections, deadline
+//! sheds, quarantine transitions): the degradation story of a trace is
+//! deterministic too.
 //!
 //! Registered in `crates/serve` (`[[test]] name = "serving"`).
 
@@ -12,7 +15,8 @@ use spasm_hw::HwConfig;
 use spasm_patterns::TemplateSet;
 use spasm_serve::loadgen::{seeded_x, TraceEvent, TraceGen};
 use spasm_serve::{
-    BatchRecord, Completion, FlushTrigger, Output, QueueConfig, ServerConfig, SpmvServer, Tick,
+    BatchRecord, BreakerState, Completion, Deadline, FlushTrigger, Output, QueueConfig, Rejected,
+    ServeError, ServerConfig, SpmvServer, Tick,
 };
 use spasm_sparse::Coo;
 
@@ -45,6 +49,7 @@ fn server(max_batch: usize, max_delay: Tick, workers: usize) -> SpmvServer {
             queue: QueueConfig {
                 max_batch,
                 max_delay,
+                ..QueueConfig::default()
             },
             workers,
             ..ServerConfig::default()
@@ -256,6 +261,240 @@ fn seeded_trace_is_bit_identical_for_any_worker_count() {
     // every run.
     let (log_again, _) = serve_trace(1, &events, &corpus, IntegrityPolicy::off());
     assert_eq!(log_again, log1);
+}
+
+/// The outcome of the handcrafted overload trace for one worker count:
+/// batch log, served outputs, and the typed refusals, keyed by id.
+struct OverloadRun {
+    log: Vec<BatchRecord>,
+    served: BTreeMap<u64, Output>,
+    shed: BTreeMap<u64, Rejected>,
+    rejected: BTreeMap<u64, Rejected>,
+    stats: spasm_serve::OverloadStats,
+    breaker_states: Vec<BreakerState>,
+}
+
+/// Replays the handcrafted overload trace with `workers` execution
+/// threads. Bounded queue (3 requests globally), no rate limiter,
+/// completion deadlines, a late-checking driver, and a shutdown —
+/// every id's fate is decided by the trace alone.
+fn overload_trace(workers: usize) -> OverloadRun {
+    let ma = scatter(96, 4, 0);
+    let mb = scatter(80, 4, 5);
+    let s = SpmvServer::with_pipeline(
+        ServerConfig {
+            queue: QueueConfig {
+                max_batch: 8,
+                max_delay: 50,
+                group_capacity: 8,
+                global_capacity: 3,
+                rate: None,
+            },
+            workers,
+            ..ServerConfig::default()
+        },
+        pinned_pipeline(),
+    );
+    let a = s.ingest_coo(&ma).expect("ingest A");
+    let b = s.ingest_coo(&mb).expect("ingest B");
+    let off = IntegrityPolicy::off();
+    let xa = |seed| seeded_x(96, seed);
+    let xb = |seed| seeded_x(80, seed);
+
+    let mut served = BTreeMap::new();
+    let mut shed = BTreeMap::new();
+    let mut rejected = BTreeMap::new();
+    let mut next_id = 0u64;
+    let mut take = |r: Result<(u64, Vec<Completion>), ServeError>,
+                    served: &mut BTreeMap<u64, Output>,
+                    shed: &mut BTreeMap<u64, Rejected>,
+                    rejected: &mut BTreeMap<u64, Rejected>| {
+        // Ids are allocated per submission, admitted or not, so id i is
+        // always trace event i.
+        let id = next_id;
+        next_id += 1;
+        match r {
+            Ok((got, completions)) => {
+                assert_eq!(got, id, "ids are allocated in submission order");
+                for c in completions {
+                    match c.result {
+                        Ok(out) => assert!(served.insert(c.id, out).is_none()),
+                        Err(ServeError::Rejected(rej)) => {
+                            assert!(shed.insert(c.id, rej).is_none());
+                        }
+                        Err(e) => panic!("unexpected completion error: {e}"),
+                    }
+                }
+            }
+            Err(ServeError::Rejected(rej)) => {
+                assert!(rejected.insert(id, rej).is_none());
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    };
+    let absorb = |done: Vec<Completion>,
+                  served: &mut BTreeMap<u64, Output>,
+                  shed: &mut BTreeMap<u64, Rejected>| {
+        for c in done {
+            match c.result {
+                Ok(out) => assert!(served.insert(c.id, out).is_none()),
+                Err(ServeError::Rejected(rej)) => {
+                    assert!(shed.insert(c.id, rej).is_none());
+                }
+                Err(e) => panic!("unexpected completion error: {e}"),
+            }
+        }
+    };
+
+    // t=0: id0 on A, no deadline (coalesce flush would be t=50).
+    take(s.submit(a, xa(0), off), &mut served, &mut shed, &mut rejected);
+    // t=5: id1 on B, due at 30 -> B's urgent flush tick is 29.
+    s.clock().advance_to(5);
+    take(
+        s.submit_with_deadline(b, xb(1), off, Deadline { at: 30 }),
+        &mut served,
+        &mut shed,
+        &mut rejected,
+    );
+    // t=10: id2 on A, due at 20 -> A's urgent flush tick becomes 19.
+    s.clock().advance_to(10);
+    take(
+        s.submit_with_deadline(a, xa(2), off, Deadline { at: 20 }),
+        &mut served,
+        &mut shed,
+        &mut rejected,
+    );
+    // t=12: id3 on A -> the global queue (3) is full; the retry hint
+    // points at the earliest pending flush (A at t=19).
+    s.clock().advance_to(12);
+    take(s.submit(a, xa(3), off), &mut served, &mut shed, &mut rejected);
+    // The driver checks in late, at t=25: A's batch flushes stamped at
+    // its urgent tick 19, but id2 (due at 20) has really expired while
+    // queued — it is shed, 5 ticks late; id0 still serves.
+    absorb(s.advance_to(25), &mut served, &mut shed);
+    // t=29: B's urgent flush, exactly at its last runnable tick.
+    absorb(s.advance_to(29), &mut served, &mut shed);
+    // t=35: id4 arrives already expired (due exactly at now).
+    s.clock().advance_to(35);
+    take(
+        s.submit_with_deadline(a, xa(4), off, Deadline { at: 35 }),
+        &mut served,
+        &mut shed,
+        &mut rejected,
+    );
+    // t=40: id5 on A, queued. t=45: graceful shutdown drains it.
+    s.clock().advance_to(40);
+    take(s.submit(a, xa(5), off), &mut served, &mut shed, &mut rejected);
+    s.clock().advance_to(45);
+    absorb(s.shutdown(), &mut served, &mut shed);
+    // t=45+: id6 is refused — the server is shutting down.
+    take(s.submit(a, xa(6), off), &mut served, &mut shed, &mut rejected);
+
+    let breaker_states = [a, b]
+        .iter()
+        .map(|fp| {
+            s.catalog()
+                .get(fp)
+                .expect("plan resident")
+                .breaker_state()
+        })
+        .collect();
+    OverloadRun {
+        log: s.batch_log(),
+        served,
+        shed,
+        rejected,
+        stats: s.overload_stats(),
+        breaker_states,
+    }
+}
+
+#[test]
+fn overload_trace_has_exact_typed_fates_for_any_worker_count() {
+    let ma = scatter(96, 4, 0);
+    let mb = scatter(80, 4, 5);
+    let run1 = overload_trace(1);
+
+    // Exact fates: ids 0, 1, 5 serve; id2 is shed; ids 3, 4, 6 are
+    // rejected at admission with typed reasons.
+    assert_eq!(
+        run1.served.keys().copied().collect::<Vec<_>>(),
+        vec![0, 1, 5]
+    );
+    assert_eq!(run1.shed.len(), 1);
+    assert_eq!(run1.shed[&2], Rejected::DeadlineExceeded { late_by: 5 });
+    assert_eq!(run1.rejected.len(), 3);
+    assert_eq!(run1.rejected[&3], Rejected::QueueFull { retry_after: 7 });
+    assert_eq!(run1.rejected[&4], Rejected::DeadlineExceeded { late_by: 0 });
+    assert_eq!(run1.rejected[&6], Rejected::ShuttingDown);
+
+    // Exact flush ticks and triggers, shed members excluded from the log.
+    let summary: Vec<(Vec<u64>, Tick, FlushTrigger)> = run1
+        .log
+        .iter()
+        .map(|r| (r.request_ids.clone(), r.flushed_at, r.trigger))
+        .collect();
+    assert_eq!(
+        summary,
+        vec![
+            (vec![0], 19, FlushTrigger::Urgent),
+            (vec![1], 29, FlushTrigger::Urgent),
+            (vec![5], 45, FlushTrigger::Drain),
+        ]
+    );
+    assert_eq!(run1.served[&0].queued_ticks, 19);
+    assert_eq!(run1.served[&1].queued_ticks, 24);
+    assert_eq!(run1.served[&5].queued_ticks, 5);
+
+    // The server's ledger agrees, and nothing was degraded or panicked;
+    // the clean trace never touches the circuit breaker.
+    assert_eq!(run1.stats.rejected_queue_full, 1);
+    assert_eq!(run1.stats.rejected_expired, 1);
+    assert_eq!(run1.stats.rejected_shutdown, 1);
+    assert_eq!(run1.stats.rejected_rate_limited, 0);
+    assert_eq!(run1.stats.shed_expired, 1);
+    assert_eq!(run1.stats.quarantine_trips, 0);
+    assert_eq!(run1.stats.quarantine_recoveries, 0);
+    assert_eq!(run1.stats.served_degraded, 0);
+    assert_eq!(run1.stats.worker_panics, 0);
+    for state in &run1.breaker_states {
+        assert_eq!(*state, BreakerState::Healthy);
+    }
+    for out in run1.served.values() {
+        assert!(!out.degraded);
+    }
+
+    // Accepted outputs are bit-identical to a serial batch-1 oracle.
+    let mut oa = pinned_pipeline().prepare(&ma).expect("prepare A");
+    let mut ob = pinned_pipeline().prepare(&mb).expect("prepare B");
+    let oracle = |p: &mut Prepared, x: &[f32]| {
+        let mut y = vec![0.0f32; p.plan.rows() as usize];
+        p.execute(x, &mut y).expect("oracle execute");
+        bits(&y)
+    };
+    assert_eq!(bits(&run1.served[&0].y), oracle(&mut oa, &seeded_x(96, 0)));
+    assert_eq!(bits(&run1.served[&1].y), oracle(&mut ob, &seeded_x(80, 1)));
+    assert_eq!(bits(&run1.served[&5].y), oracle(&mut oa, &seeded_x(96, 5)));
+
+    // Worker count changes nothing: not the fates, not the flush ticks,
+    // not one output bit.
+    for workers in [2usize, 7] {
+        let run = overload_trace(workers);
+        assert_eq!(run.log, run1.log, "{workers} workers: batch log");
+        assert_eq!(run.shed, run1.shed, "{workers} workers: sheds");
+        assert_eq!(run.rejected, run1.rejected, "{workers} workers: rejections");
+        assert_eq!(run.stats, run1.stats, "{workers} workers: ledger");
+        assert_eq!(
+            run.served.keys().copied().collect::<Vec<_>>(),
+            run1.served.keys().copied().collect::<Vec<_>>()
+        );
+        for (id, o1) in &run1.served {
+            let o = &run.served[id];
+            assert_eq!(bits(&o.y), bits(&o1.y), "id {id}, {workers} workers");
+            assert_eq!(o.flushed_at, o1.flushed_at);
+            assert_eq!(o.trigger, o1.trigger);
+        }
+    }
 }
 
 #[test]

@@ -1,7 +1,10 @@
 //! Fault isolation in coalesced serving: a poisoned vector inside a
 //! coalesced batch degrades (golden-CSR fallback) only its own request;
 //! sibling requests in the same batch stay pristine and bit-identical to
-//! an unfaulted run.
+//! an unfaulted run. A worker panic is contained at the batch boundary
+//! (retried once, bit-identical; a second panic fails the batch typed),
+//! and a persistently faulty plan walks the full circuit-breaker cycle:
+//! trip → quarantined golden serving → half-open probe → recovery.
 //!
 //! Requires `--features fault-injection`; registered in `crates/serve`
 //! with `required-features` so plain `cargo test` skips it.
@@ -12,7 +15,9 @@ use spasm::sparse::{Coo, SpMv};
 use spasm::{IntegrityPolicy, Pipeline, PipelineOptions};
 use spasm_patterns::TemplateSet;
 use spasm_serve::loadgen::seeded_x;
-use spasm_serve::{QueueConfig, ServerConfig, SpmvServer};
+use spasm_serve::{
+    BreakerConfig, BreakerState, QueueConfig, ServeError, ServerConfig, SpmvServer,
+};
 
 /// A 300×300 scattered matrix spanning two 256-row tile rows under the
 /// pinned schedule, 5 entries per row.
@@ -68,6 +73,7 @@ fn poisoned_vector_degrades_only_its_own_request() {
             queue: QueueConfig {
                 max_batch: 3,
                 max_delay: 1_000,
+                ..QueueConfig::default()
             },
             workers: 2,
             ..ServerConfig::default()
@@ -135,4 +141,218 @@ fn poisoned_vector_degrades_only_its_own_request() {
         assert!(out.health.is_clean(), "vector {k} after disarm");
         assert_eq!(bits(&out.y), clean[k], "vector {k} bits after disarm");
     }
+}
+
+/// A worker panic is contained at the batch boundary: the batch is
+/// retried exactly once and (since re-execution is pure and the panicked
+/// attempt completed nothing) the retried results are bit-identical to
+/// an undisturbed run. A batch that panics twice fails with a typed
+/// [`ServeError::Panicked`] per member — and the server keeps serving.
+#[test]
+fn worker_panic_retries_once_then_fails_typed() {
+    let m = matrix();
+    let n = m.cols() as usize;
+    let xs: Vec<Vec<f32>> = (0..3).map(|k| seeded_x(n, 200 + k)).collect();
+    let policy = IntegrityPolicy::off();
+
+    let mut oracle = pinned_pipeline().prepare(&m).expect("prepare oracle");
+    let clean: Vec<Vec<u32>> = xs
+        .iter()
+        .map(|x| {
+            let mut y = vec![0.0f32; n];
+            oracle.execute(x, &mut y).expect("oracle execute");
+            bits(&y)
+        })
+        .collect();
+
+    let server = SpmvServer::with_pipeline(
+        ServerConfig {
+            queue: QueueConfig {
+                max_batch: 3,
+                max_delay: 1_000,
+                ..QueueConfig::default()
+            },
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        pinned_pipeline(),
+    );
+    let fp = server.ingest_coo(&m).expect("ingest");
+    let submit_three = |tag: u32| {
+        let mut done = Vec::new();
+        for x in &xs {
+            let (_, c) = server.submit(fp, x.clone(), policy).expect("submit");
+            done.extend(c);
+        }
+        assert_eq!(done.len(), 3, "round {tag}: size flush on the third submit");
+        done
+    };
+
+    // Round 1: the first execution attempt panics; the serial retry pass
+    // re-runs the batch and every request serves, bit-clean.
+    server.arm_worker_panic(fp, 1);
+    let done = submit_three(1);
+    for (k, c) in done.iter().enumerate() {
+        let out = c.result.as_ref().expect("retried batch serves");
+        assert!(!out.degraded);
+        assert_eq!(bits(&out.y), clean[k], "vector {k} retried bits");
+    }
+    let stats = server.overload_stats();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.retried_requests, 3);
+    assert_eq!(stats.abandoned_requests, 0);
+
+    // Round 2: both the attempt and its retry panic; the batch is
+    // abandoned with a typed error per member, never silently dropped.
+    server.arm_worker_panic(fp, 2);
+    let done = submit_three(2);
+    for c in &done {
+        assert!(
+            matches!(c.result, Err(ServeError::Panicked)),
+            "expected Panicked, got {:?}",
+            c.result.as_ref().map(|_| "ok")
+        );
+    }
+    let stats = server.overload_stats();
+    assert_eq!(stats.worker_panics, 3, "1 from round 1, 2 from round 2");
+    assert_eq!(stats.retried_requests, 6);
+    assert_eq!(stats.abandoned_requests, 3);
+
+    // The panic never poisons the server: the next round serves clean.
+    let done = submit_three(3);
+    for (k, c) in done.iter().enumerate() {
+        let out = c.result.as_ref().expect("server still serves");
+        assert_eq!(bits(&out.y), clean[k], "vector {k} bits after panics");
+    }
+}
+
+/// A plan with a persistent fault walks the whole breaker cycle: enough
+/// golden fallbacks trip it into quarantine; quarantined batches serve
+/// straight from the golden CSR (degraded, bit-exact, no ladder cost);
+/// after the cooldown a half-open probe runs the accelerator path and a
+/// clean probe re-admits the healed plan.
+#[test]
+fn persistent_faults_trip_quarantine_and_a_clean_probe_recovers() {
+    let m = matrix();
+    let n = m.cols() as usize;
+    let xs: Vec<Vec<f32>> = (0..2).map(|k| seeded_x(n, 300 + k)).collect();
+    let policy = IntegrityPolicy::full();
+
+    let mut oracle = pinned_pipeline().prepare(&m).expect("prepare oracle");
+    let clean: Vec<Vec<u32>> = xs
+        .iter()
+        .map(|x| {
+            let mut y = vec![0.0f32; n];
+            oracle.execute(x, &mut y).expect("oracle execute");
+            bits(&y)
+        })
+        .collect();
+    let golden: Vec<Vec<u32>> = xs
+        .iter()
+        .map(|x| {
+            let mut y = vec![0.0f32; n];
+            oracle.golden().spmv(x, &mut y).expect("csr spmv");
+            bits(&y)
+        })
+        .collect();
+
+    let server = SpmvServer::with_pipeline(
+        ServerConfig {
+            queue: QueueConfig {
+                max_batch: 2,
+                max_delay: 1_000,
+                ..QueueConfig::default()
+            },
+            breaker: BreakerConfig {
+                window: 4,
+                trip_failures: 2,
+                cooldown: 100,
+                probe_jitter: 0,
+                seed: 0,
+            },
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        pinned_pipeline(),
+    );
+    let fp = server.ingest_coo(&m).expect("ingest");
+    let breaker_state = || {
+        server
+            .catalog()
+            .get(&fp)
+            .expect("plan resident")
+            .breaker_state()
+    };
+    let submit_pair = || {
+        let (_, c) = server.submit(fp, xs[0].clone(), policy).expect("submit");
+        assert!(c.is_empty());
+        let (_, done) = server.submit(fp, xs[1].clone(), policy).expect("submit");
+        assert_eq!(done.len(), 2, "size flush on the second submit");
+        done
+    };
+
+    // Persistent all-lane faults on every vector: under the Full policy
+    // each vector survives only via the golden fallback — two failures
+    // in a window of four trip the breaker on the first batch.
+    server
+        .with_prepared(fp, |p| {
+            let spec = FaultSpec {
+                lane_faults: 4,
+                ..FaultSpec::default()
+            };
+            p.plan
+                .arm_faults(FaultPlan::seeded(9, &spec, p.plan.n_instances()));
+        })
+        .expect("plan resident");
+    let done = submit_pair();
+    for (k, c) in done.iter().enumerate() {
+        let out = c.result.as_ref().expect("ladder fallback serves");
+        assert!(out.health.fallback, "vector {k} must fall back");
+        assert!(!out.degraded, "ladder fallback is not quarantine");
+        assert_eq!(bits(&out.y), golden[k], "vector {k} fallback bits");
+    }
+    assert_eq!(breaker_state(), BreakerState::Quarantined { until: 100 });
+    assert_eq!(server.overload_stats().quarantine_trips, 1);
+
+    // Quarantined: batches route straight to the golden CSR — degraded
+    // and flagged as such, still bit-exact, and the sliding window is
+    // untouched (golden serves say nothing about the accelerator).
+    let done = submit_pair();
+    for (k, c) in done.iter().enumerate() {
+        let out = c.result.as_ref().expect("golden route serves");
+        assert!(out.degraded, "vector {k} must be flagged degraded");
+        assert!(out.health.fallback);
+        assert_eq!(bits(&out.y), golden[k], "vector {k} golden bits");
+    }
+    assert_eq!(server.overload_stats().served_degraded, 2);
+    assert_eq!(breaker_state(), BreakerState::Quarantined { until: 100 });
+
+    // Heal the plan, wait out the cooldown: the next batch is the
+    // half-open probe on the accelerator path; a clean probe re-admits.
+    server
+        .with_prepared(fp, |p| p.plan.disarm_faults())
+        .expect("plan resident");
+    server.clock().advance_to(100);
+    let done = submit_pair();
+    for (k, c) in done.iter().enumerate() {
+        let out = c.result.as_ref().expect("probe serves");
+        assert!(!out.degraded, "probe runs the accelerator path");
+        assert!(out.health.is_clean(), "vector {k} probe: {:?}", out.health);
+        assert_eq!(bits(&out.y), clean[k], "vector {k} probe bits");
+    }
+    let stats = server.overload_stats();
+    assert_eq!(stats.quarantine_recoveries, 1);
+    assert_eq!(stats.quarantine_trips, 1, "no re-trip");
+    assert_eq!(breaker_state(), BreakerState::Healthy);
+
+    // Recovered: back on the plain accelerator path, clean and
+    // undegraded.
+    let done = submit_pair();
+    for (k, c) in done.iter().enumerate() {
+        let out = c.result.as_ref().expect("healthy serves");
+        assert!(!out.degraded);
+        assert!(out.health.is_clean());
+        assert_eq!(bits(&out.y), clean[k], "vector {k} healed bits");
+    }
+    assert_eq!(breaker_state(), BreakerState::Healthy);
 }
