@@ -1,5 +1,6 @@
 //! The end-to-end SPASM pipeline (workflow ①–⑥, Fig. 6).
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use spasm_format::{SpasmMatrix, SubmatrixMap};
@@ -8,7 +9,7 @@ use spasm_hw::{
     VerifyScope,
 };
 use spasm_patterns::selection::{self, TopN};
-use spasm_patterns::{SelectionOutcome, TemplateSet};
+use spasm_patterns::{DecompositionTable, GridSize, SelectionOutcome, Template, TemplateSet};
 use spasm_sparse::{Coo, Csr, SpMv};
 
 use crate::error::PipelineError;
@@ -353,12 +354,63 @@ impl Pipeline {
             timings,
             plan,
             parallelism: self.options.parallelism,
-            golden: Csr::from(matrix),
+            golden: Golden::seeded(Csr::from(matrix)),
             integrity: self.options.integrity,
             sample_rows: Vec::new(),
             scope: Vec::new(),
             batch_health: Vec::new(),
         })
+    }
+}
+
+/// The golden CSR reference, materialised on first use.
+///
+/// A fresh `prepare` seeds it eagerly — the input COO is in hand and the
+/// conversion is cheap next to preprocessing. A plan restored from a
+/// frozen wire-v3 container starts empty: only the verifying integrity
+/// ladder ever reads the golden path, and decoding it up front would
+/// dominate the cold start it exists to avoid.
+#[derive(Debug, Default)]
+struct Golden(OnceLock<Csr>);
+
+impl Clone for Golden {
+    fn clone(&self) -> Self {
+        let g = Golden::default();
+        if let Some(csr) = self.0.get() {
+            let _ = g.0.set(csr.clone());
+        }
+        g
+    }
+}
+
+impl Golden {
+    /// An eagerly materialised reference (the prepare path).
+    fn seeded(csr: Csr) -> Self {
+        let g = Golden::default();
+        let _ = g.0.set(csr);
+        g
+    }
+
+    /// The reference, decoding it from the encoded matrix on first use.
+    fn get(&self, encoded: &SpasmMatrix) -> &Csr {
+        self.0.get_or_init(|| Csr::from(&encoded.to_coo()))
+    }
+
+    /// Heap footprint of the reference without forcing it: the exact
+    /// size it will occupy once (if ever) materialised, so capacity
+    /// accounting does not change when it is.
+    fn bytes(&self, encoded: &SpasmMatrix) -> usize {
+        match self.0.get() {
+            Some(csr) => {
+                std::mem::size_of_val(csr.row_ptr())
+                    + std::mem::size_of_val(csr.col_indices())
+                    + std::mem::size_of_val(csr.values())
+            }
+            None => {
+                let nnz = encoded.nnz();
+                (encoded.rows() as usize + 1) * std::mem::size_of::<usize>() + nnz * 4 + nnz * 4
+            }
+        }
     }
 }
 
@@ -386,8 +438,9 @@ pub struct Prepared {
     parallelism: Parallelism,
     /// The bit-exact CSR reference of the input matrix: the oracle for the
     /// sampled residual cross-check and the last rung of the degradation
-    /// ladder.
-    golden: Csr,
+    /// ladder. Lazy — restored plans materialise it only if verification
+    /// asks for it.
+    golden: Golden,
     /// The integrity policy in effect (inherited from the pipeline options
     /// at prepare time; see [`Prepared::set_integrity`]).
     integrity: IntegrityPolicy,
@@ -401,6 +454,57 @@ pub struct Prepared {
 }
 
 impl Prepared {
+    /// Rebuilds a `Prepared` around an already-built execution plan and
+    /// its encoded matrix — the wire-v3 cold-start path (`spasm-store`),
+    /// which thaws both without re-running preprocessing.
+    ///
+    /// The selection and schedule state are reconstructed from what the
+    /// pair already carries: the portfolio from the encoded matrix's
+    /// template masks, the schedule from the plan's configuration, tile
+    /// size and cached report. Stage timings are zero (nothing was
+    /// re-run) and the golden CSR reference stays lazy — it only
+    /// materialises if a verifying [`IntegrityPolicy`] asks for it.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Format`] when the matrix's template masks do not
+    /// form a coverage-complete portfolio from the known shape family —
+    /// such a matrix could never have come out of this pipeline.
+    pub fn restore(
+        encoded: SpasmMatrix,
+        plan: ExecutionPlan,
+        parallelism: Parallelism,
+        integrity: IntegrityPolicy,
+    ) -> Result<Prepared, PipelineError> {
+        let set = portfolio_from_masks(encoded.template_masks())?;
+        let table = DecompositionTable::build(&set);
+        let selection = SelectionOutcome {
+            set,
+            table,
+            paddings: encoded.paddings(),
+            candidate_paddings: Vec::new(),
+        };
+        let best = ScheduleChoice {
+            config: plan.config().clone(),
+            tile_size: encoded.tile_size(),
+            predicted_cycles: plan.report().cycles,
+        };
+        Ok(Prepared {
+            selection,
+            best,
+            explored: Vec::new(),
+            encoded,
+            timings: StageTimings::default(),
+            plan,
+            parallelism,
+            golden: Golden::default(),
+            integrity,
+            sample_rows: Vec::new(),
+            scope: Vec::new(),
+            batch_health: Vec::new(),
+        })
+    }
+
     /// Executes `y += A·x` on the selected hardware configuration
     /// (step ⑥), reusing the prepared [`ExecutionPlan`] — no per-call
     /// decode, scheduling or scratch allocation.
@@ -597,7 +701,7 @@ impl Prepared {
     /// Returns the vector's health; the caller decides how to fold it into
     /// the report.
     fn guarded_vector(&mut self, x: &[f32], y: &mut [f32]) -> Result<HealthReport, PipelineError> {
-        let rows = self.golden.rows() as usize;
+        let rows = self.golden.get(&self.encoded).rows() as usize;
         if y.len() != rows {
             return Err(PipelineError::DimensionMismatch {
                 expected: rows,
@@ -642,7 +746,7 @@ impl Prepared {
         // tolerance (the two datapaths accumulate in different orders).
         if matches!(self.integrity.mode, IntegrityMode::Sampled(_)) {
             for &r in &self.sample_rows {
-                let want = golden_row_dot(&self.golden, r, x);
+                let want = golden_row_dot(self.golden.get(&self.encoded), r, x);
                 let got = self.plan.contribution(r);
                 health.rows_cross_checked += 1;
                 if (got - want).abs() > self.integrity.tolerance * (1.0 + want.abs()) {
@@ -668,7 +772,10 @@ impl Prepared {
             // Last rung: the accelerator result is unrecoverable, so the
             // whole product is recomputed on the bit-exact golden path.
             health.fallback = true;
-            self.golden.spmv(x, y).map_err(map_sparse)?;
+            self.golden
+                .get(&self.encoded)
+                .spmv(x, y)
+                .map_err(map_sparse)?;
         } else {
             self.plan.commit(y)?;
         }
@@ -697,9 +804,18 @@ impl Prepared {
         self.integrity = policy;
     }
 
-    /// The bit-exact golden CSR reference kept for the degradation ladder.
+    /// The bit-exact golden CSR reference kept for the degradation
+    /// ladder, materialising it from the encoded matrix on first use
+    /// (restored plans start without one).
     pub fn golden(&self) -> &Csr {
-        &self.golden
+        self.golden.get(&self.encoded)
+    }
+
+    /// Heap footprint of the golden reference without forcing a lazy one
+    /// to materialise: the exact size it occupies (or will occupy), so
+    /// catalog capacity accounting is stable across materialisation.
+    pub fn golden_bytes(&self) -> usize {
+        self.golden.bytes(&self.encoded)
     }
 
     /// The accelerator built for the winning configuration, for callers
@@ -708,6 +824,49 @@ impl Prepared {
     pub fn accelerator(&self) -> Accelerator {
         Accelerator::new(self.best.config.clone())
     }
+}
+
+/// Reconstructs a template portfolio from stored LUT masks by matching
+/// each against the full shape family every selection path draws from:
+/// rows, columns, diagonals, anti-diagonals, 2×2 blocks and DBB column
+/// pairs on the 4×4 grid. (Table V portfolios and the greedy custom
+/// search are all subsets of this family, so any pipeline-produced
+/// matrix round-trips.)
+fn portfolio_from_masks(masks: &[u16]) -> Result<TemplateSet, PipelineError> {
+    let s = GridSize::S4;
+    let mut pool: Vec<Template> = Vec::new();
+    pool.extend((0..4).map(|r| Template::row(s, r)));
+    pool.extend((0..4).map(|c| Template::col(s, c)));
+    pool.extend((0..4).map(|k| Template::diag(s, k)));
+    pool.extend((0..4).map(|k| Template::anti_diag(s, k)));
+    pool.extend((0..4).flat_map(|r| (0..4).map(move |c| Template::block2(r, c))));
+    // DBB pairs anchor on row pairs (0,1) and (2,3) only.
+    pool.extend([0u32, 2].into_iter().flat_map(|r| {
+        (0..4).flat_map(move |c1| (c1 + 1..4).map(move |c2| Template::dbb_pair(r, c1, c2)))
+    }));
+
+    let uncoverable =
+        |mask: u16| PipelineError::Format(spasm_format::FormatError::UncoverablePattern { mask });
+    let mut templates = Vec::with_capacity(masks.len());
+    let mut union: u16 = 0;
+    for &mask in masks {
+        let t = *pool
+            .iter()
+            .find(|t| t.mask() == mask)
+            .ok_or_else(|| uncoverable(mask))?;
+        templates.push(t);
+        union |= mask;
+    }
+    // `TemplateSet::new` panics on an incomplete portfolio; a stored
+    // stream must never be able to trigger that, so pre-check and
+    // return a typed error instead.
+    if templates.is_empty()
+        || templates.len() > TemplateSet::MAX_TEMPLATES
+        || union != s.full_mask()
+    {
+        return Err(uncoverable(union));
+    }
+    Ok(TemplateSet::new(s, "restored", templates))
 }
 
 /// One golden-reference output row: the CSR dot product of row `r` with

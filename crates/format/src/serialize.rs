@@ -68,6 +68,11 @@ pub enum WireError {
         /// The checksum computed over the received bytes.
         computed: u32,
     },
+    /// A v3 container is missing a section the reader requires.
+    MissingSection {
+        /// The absent section's id.
+        id: u32,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -83,6 +88,9 @@ impl std::fmt::Display for WireError {
                 f,
                 "stream checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
             ),
+            WireError::MissingSection { id } => {
+                write!(f, "container is missing required section {id}")
+            }
         }
     }
 }

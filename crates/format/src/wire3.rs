@@ -1,0 +1,453 @@
+//! Wire format v3: an alignment-aware, CRC-covered section container.
+//!
+//! Versions 1 and 2 of the SPASM wire format serialise the *encoding* (the
+//! tile directory and position-encoding stream) and must be fully decoded
+//! and re-prepared into an execution plan on every load. Version 3 instead
+//! freezes the *plan*: a fixed 64-byte header, a section directory, and a
+//! sequence of 64-byte-aligned sections whose byte content is exactly the
+//! plan's structure-of-arrays form — so a reader can back an execution
+//! plan with borrowed views into the (possibly memory-mapped) buffer,
+//! copying nothing.
+//!
+//! This module owns only the *container*: layout, alignment, and
+//! corruption detection. What the sections mean — ids, record layouts,
+//! and how they reassemble into a plan — belongs to the `spasm-store`
+//! crate, keeping this crate free of any dependency on the hardware
+//! model.
+//!
+//! ```text
+//! offset 0   ┌────────────────────────────────────────────┐
+//!            │ header (64 B)                              │
+//!            │   magic "SPSM" · version=3 · rows · cols   │
+//!            │   tile_size · n_templates · nnz · paddings │
+//!            │   n_instances · n_tiles · n_sections       │
+//!            │   directory_crc · header_crc               │
+//! offset 64  ├────────────────────────────────────────────┤
+//!            │ directory: n_sections × 24 B entries       │
+//!            │   { id u32 · section_crc u32 ·             │
+//!            │     offset u64 · len u64 }                 │
+//!            ├─── zero padding to a 64 B boundary ────────┤
+//!            │ section bytes (each starts 64-B aligned,   │
+//!            │ ascending, non-overlapping; gaps zeroed)   │
+//!            ├─── zero padding to a 64 B boundary ────────┤
+//!            └────────────────────────────────────────────┘ exact end
+//! ```
+//!
+//! Corruption coverage is total: the header CRC covers every header byte,
+//! the directory CRC covers every directory byte (including each
+//! section's CRC), each section CRC covers its bytes, all padding must be
+//! zero, and the buffer length must equal the aligned end exactly — so
+//! any bit flip anywhere in a v3 buffer is detected by
+//! [`Wire3Reader::parse`] + [`Wire3Reader::verify_sections`] as a typed
+//! [`WireError`], never a panic and never a silent wrong answer.
+
+use crate::crc::crc32;
+use crate::serialize::{WireError, MAGIC};
+
+/// Wire-format version written by [`Wire3Writer`].
+pub const VERSION3: u32 = 3;
+
+/// Alignment, in bytes, of every section start (and of the total length).
+pub const ALIGN3: usize = 64;
+
+/// Fixed v3 header size in bytes.
+pub const HEADER3_BYTES: usize = 64;
+
+/// Size of one section-directory entry in bytes.
+pub const DIR_ENTRY_BYTES: usize = 24;
+
+/// `true` when `bytes` carries the SPASM magic and declares version 3 —
+/// the cheap dispatch peek an ingest path uses to route between the
+/// v1/v2 decoder and the v3 mapper.
+pub fn is_v3(bytes: &[u8]) -> bool {
+    bytes.len() >= 8
+        && bytes[..4] == MAGIC
+        && u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) == VERSION3
+}
+
+/// The fixed v3 header: matrix shape and stream counts, plus the section
+/// count. CRCs are computed by the writer and checked by the reader; they
+/// are not part of this struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header3 {
+    /// Matrix rows.
+    pub rows: u32,
+    /// Matrix columns.
+    pub cols: u32,
+    /// Tile edge length of the encoding.
+    pub tile_size: u32,
+    /// Templates in the portfolio.
+    pub n_templates: u32,
+    /// Structural nonzeros of the original matrix.
+    pub nnz: u64,
+    /// Zero value slots added by the template decomposition.
+    pub paddings: u64,
+    /// Template instances in the stream.
+    pub n_instances: u64,
+    /// Tiles in the directory.
+    pub n_tiles: u32,
+    /// Sections in the container.
+    pub n_sections: u32,
+}
+
+/// One section-directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionEntry {
+    /// Section id (semantics owned by the caller, e.g. `spasm-store`).
+    pub id: u32,
+    /// CRC-32 over the section's bytes.
+    pub crc: u32,
+    /// Byte offset of the section in the buffer (64-byte aligned).
+    pub offset: u64,
+    /// Section length in bytes.
+    pub len: u64,
+}
+
+/// Rounds `n` up to the next multiple of [`ALIGN3`].
+fn align_up(n: usize) -> usize {
+    n.div_ceil(ALIGN3) * ALIGN3
+}
+
+/// Serialises a v3 container: collect sections, then [`Wire3Writer::finish`]
+/// lays them out aligned, stamps every CRC and returns the buffer.
+#[derive(Debug)]
+pub struct Wire3Writer {
+    header: Header3,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl Wire3Writer {
+    /// Starts a container with the given header (`n_sections` is
+    /// overwritten by [`Wire3Writer::finish`] with the actual count).
+    pub fn new(header: Header3) -> Self {
+        Wire3Writer {
+            header,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section. Ids must be unique; sections are laid out in
+    /// insertion order.
+    pub fn section(&mut self, id: u32, bytes: &[u8]) {
+        self.sections.push((id, bytes.to_vec()));
+    }
+
+    /// Lays out the container and stamps all CRCs.
+    pub fn finish(mut self) -> Vec<u8> {
+        let n_sections = self.sections.len();
+        self.header.n_sections = n_sections as u32;
+        let dir_end = HEADER3_BYTES + n_sections * DIR_ENTRY_BYTES;
+
+        // Assign aligned offsets.
+        let mut offsets = Vec::with_capacity(n_sections);
+        let mut cursor = align_up(dir_end);
+        for (_, bytes) in &self.sections {
+            offsets.push(cursor);
+            cursor = align_up(cursor + bytes.len());
+        }
+        let total = cursor.max(align_up(dir_end));
+
+        let mut buf = vec![0u8; total];
+        // Sections (gaps stay zero).
+        for ((_, bytes), &off) in self.sections.iter().zip(&offsets) {
+            buf[off..off + bytes.len()].copy_from_slice(bytes);
+        }
+        // Directory.
+        for (k, ((id, bytes), &off)) in self.sections.iter().zip(&offsets).enumerate() {
+            let e = HEADER3_BYTES + k * DIR_ENTRY_BYTES;
+            buf[e..e + 4].copy_from_slice(&id.to_le_bytes());
+            buf[e + 4..e + 8].copy_from_slice(&crc32(bytes).to_le_bytes());
+            buf[e + 8..e + 16].copy_from_slice(&(off as u64).to_le_bytes());
+            buf[e + 16..e + 24].copy_from_slice(&(bytes.len() as u64).to_le_bytes());
+        }
+        let directory_crc = crc32(&buf[HEADER3_BYTES..dir_end]);
+
+        // Header.
+        let h = &self.header;
+        buf[0..4].copy_from_slice(&MAGIC);
+        buf[4..8].copy_from_slice(&VERSION3.to_le_bytes());
+        buf[8..12].copy_from_slice(&h.rows.to_le_bytes());
+        buf[12..16].copy_from_slice(&h.cols.to_le_bytes());
+        buf[16..20].copy_from_slice(&h.tile_size.to_le_bytes());
+        buf[20..24].copy_from_slice(&h.n_templates.to_le_bytes());
+        buf[24..32].copy_from_slice(&h.nnz.to_le_bytes());
+        buf[32..40].copy_from_slice(&h.paddings.to_le_bytes());
+        buf[40..48].copy_from_slice(&h.n_instances.to_le_bytes());
+        buf[48..52].copy_from_slice(&h.n_tiles.to_le_bytes());
+        buf[52..56].copy_from_slice(&h.n_sections.to_le_bytes());
+        buf[56..60].copy_from_slice(&directory_crc.to_le_bytes());
+        let header_crc = crc32(&buf[..60]);
+        buf[60..64].copy_from_slice(&header_crc.to_le_bytes());
+        buf
+    }
+}
+
+/// A parsed, structurally validated view over a v3 buffer. Borrows the
+/// buffer; nothing is copied.
+///
+/// [`Wire3Reader::parse`] checks the header CRC, the directory CRC, the
+/// section layout (alignment, ascending non-overlap, exact total length)
+/// and that every padding byte is zero. Section *content* CRCs are
+/// checked separately by [`Wire3Reader::verify_sections`], so callers
+/// that only need the header can stay cheap.
+#[derive(Debug)]
+pub struct Wire3Reader<'a> {
+    buf: &'a [u8],
+    header: Header3,
+    entries: Vec<SectionEntry>,
+}
+
+impl<'a> Wire3Reader<'a> {
+    /// Parses and structurally validates `buf` as a v3 container.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`]s for anything malformed — wrong magic or
+    /// version, truncation, CRC mismatches, misaligned or overlapping
+    /// sections, nonzero padding, or trailing bytes. Never panics.
+    pub fn parse(buf: &'a [u8]) -> Result<Self, WireError> {
+        if buf.len() < HEADER3_BYTES {
+            return Err(WireError::Truncated { reading: "header" });
+        }
+        if buf[..4] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let u32_at = |o: usize| u32::from_le_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]]);
+        let u64_at = |o: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[o..o + 8]);
+            u64::from_le_bytes(b)
+        };
+        let version = u32_at(4);
+        if version != VERSION3 {
+            return Err(WireError::BadVersion(version));
+        }
+        let stored = u32_at(60);
+        let computed = crc32(&buf[..60]);
+        if stored != computed {
+            return Err(WireError::ChecksumMismatch { stored, computed });
+        }
+        let header = Header3 {
+            rows: u32_at(8),
+            cols: u32_at(12),
+            tile_size: u32_at(16),
+            n_templates: u32_at(20),
+            nnz: u64_at(24),
+            paddings: u64_at(32),
+            n_instances: u64_at(40),
+            n_tiles: u32_at(48),
+            n_sections: u32_at(52),
+        };
+        let n_sections = header.n_sections as usize;
+        let dir_end = (HEADER3_BYTES as u128) + (n_sections as u128) * (DIR_ENTRY_BYTES as u128);
+        if dir_end > buf.len() as u128 {
+            return Err(WireError::Truncated {
+                reading: "section directory",
+            });
+        }
+        let dir_end = dir_end as usize;
+        let stored = u32_at(56);
+        let computed = crc32(&buf[HEADER3_BYTES..dir_end]);
+        if stored != computed {
+            return Err(WireError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut entries = Vec::with_capacity(n_sections);
+        let mut prev_end = dir_end as u64;
+        for k in 0..n_sections {
+            let e = HEADER3_BYTES + k * DIR_ENTRY_BYTES;
+            let entry = SectionEntry {
+                id: u32_at(e),
+                crc: u32_at(e + 4),
+                offset: u64_at(e + 8),
+                len: u64_at(e + 16),
+            };
+            if !entry.offset.is_multiple_of(ALIGN3 as u64) {
+                return Err(WireError::Inconsistent("section offset misaligned"));
+            }
+            if entry.offset < prev_end {
+                return Err(WireError::Inconsistent(
+                    "section offsets must ascend without overlap",
+                ));
+            }
+            let end = entry
+                .offset
+                .checked_add(entry.len)
+                .ok_or(WireError::Inconsistent("section extent overflows"))?;
+            if end > buf.len() as u64 {
+                return Err(WireError::Truncated { reading: "section" });
+            }
+            if entries.iter().any(|p: &SectionEntry| p.id == entry.id) {
+                return Err(WireError::Inconsistent("duplicate section id"));
+            }
+            // Padding between the previous section (or the directory) and
+            // this one must be zero.
+            if buf[prev_end as usize..entry.offset as usize]
+                .iter()
+                .any(|&b| b != 0)
+            {
+                return Err(WireError::Inconsistent("nonzero padding bytes"));
+            }
+            prev_end = end;
+            entries.push(entry);
+        }
+        // Exact total length: the aligned end of the last section (or of
+        // the directory), with zero padding to it.
+        let total = align_up(prev_end as usize);
+        if buf.len() != total {
+            return Err(WireError::Inconsistent(
+                "buffer length disagrees with layout",
+            ));
+        }
+        if buf[prev_end as usize..].iter().any(|&b| b != 0) {
+            return Err(WireError::Inconsistent("nonzero padding bytes"));
+        }
+        Ok(Wire3Reader {
+            buf,
+            header,
+            entries,
+        })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &Header3 {
+        &self.header
+    }
+
+    /// The section directory, in layout order.
+    pub fn entries(&self) -> &[SectionEntry] {
+        &self.entries
+    }
+
+    /// The bytes of section `id`, if present.
+    pub fn section(&self, id: u32) -> Option<&'a [u8]> {
+        self.entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| &self.buf[e.offset as usize..(e.offset + e.len) as usize])
+    }
+
+    /// Byte offset of section `id` within the buffer, if present.
+    pub fn section_offset(&self, id: u32) -> Option<usize> {
+        self.entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.offset as usize)
+    }
+
+    /// Checks every section's CRC-32 against its directory entry.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::ChecksumMismatch`] on the first disagreeing section.
+    pub fn verify_sections(&self) -> Result<(), WireError> {
+        for e in &self.entries {
+            let bytes = &self.buf[e.offset as usize..(e.offset + e.len) as usize];
+            let computed = crc32(bytes);
+            if computed != e.crc {
+                return Err(WireError::ChecksumMismatch {
+                    stored: e.crc,
+                    computed,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> Header3 {
+        Header3 {
+            rows: 100,
+            cols: 80,
+            tile_size: 32,
+            n_templates: 3,
+            nnz: 250,
+            paddings: 30,
+            n_instances: 70,
+            n_tiles: 9,
+            n_sections: 0,
+        }
+    }
+
+    fn sample_container() -> Vec<u8> {
+        let mut w = Wire3Writer::new(sample_header());
+        w.section(1, &[1, 2, 3, 4, 5]);
+        w.section(7, &[0xAA; 130]);
+        w.section(2, b"");
+        w.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_header_and_sections() {
+        let buf = sample_container();
+        assert!(is_v3(&buf));
+        assert_eq!(buf.len() % ALIGN3, 0);
+        let r = Wire3Reader::parse(&buf).unwrap();
+        r.verify_sections().unwrap();
+        let h = r.header();
+        assert_eq!(h.rows, 100);
+        assert_eq!(h.n_sections, 3);
+        assert_eq!(r.section(1).unwrap(), &[1, 2, 3, 4, 5]);
+        assert_eq!(r.section(7).unwrap(), &[0xAA; 130]);
+        assert_eq!(r.section(2).unwrap(), b"");
+        assert!(r.section(99).is_none());
+        for e in r.entries() {
+            assert_eq!(e.offset % ALIGN3 as u64, 0);
+        }
+        // Zero-copy: the section slice points into the buffer.
+        let off = r.section_offset(7).unwrap();
+        assert_eq!(r.section(7).unwrap().as_ptr(), buf[off..].as_ptr());
+    }
+
+    #[test]
+    fn v2_streams_are_not_v3() {
+        assert!(!is_v3(b"SPSM\x02\x00\x00\x00rest"));
+        assert!(!is_v3(b"SPSM"));
+        assert!(!is_v3(b"XXXX\x03\x00\x00\x00"));
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let buf = sample_container();
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                let mut m = buf.clone();
+                m[byte] ^= 1 << bit;
+                let verdict = Wire3Reader::parse(&m).and_then(|r| r.verify_sections());
+                assert!(
+                    verdict.is_err(),
+                    "flip at {byte}:{bit} survived parse+verify"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_extension_rejected() {
+        let buf = sample_container();
+        for cut in [0, 4, 63, 64, buf.len() - 1] {
+            assert!(Wire3Reader::parse(&buf[..cut]).is_err(), "cut {cut}");
+        }
+        let mut extended = buf.clone();
+        extended.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(
+            Wire3Reader::parse(&extended),
+            Err(WireError::Inconsistent(
+                "buffer length disagrees with layout"
+            )),
+        ));
+    }
+
+    #[test]
+    fn empty_container_is_valid() {
+        let buf = Wire3Writer::new(sample_header()).finish();
+        assert_eq!(buf.len(), HEADER3_BYTES);
+        let r = Wire3Reader::parse(&buf).unwrap();
+        assert_eq!(r.entries().len(), 0);
+        r.verify_sections().unwrap();
+    }
+}

@@ -75,6 +75,23 @@ impl HwConfig {
         cfg
     }
 
+    /// Validates an already-constructed configuration without panicking —
+    /// the deserialisation path for configurations read from untrusted
+    /// wire bytes. Checks the same invariants as [`HwConfig::new`] plus
+    /// that the clock frequency is finite and positive.
+    pub fn checked(self) -> Result<Self, &'static str> {
+        if self.num_pe_groups == 0 || self.num_xvec_ch == 0 {
+            return Err("need at least one group and x channel");
+        }
+        if self.hbm_channels() > 32 {
+            return Err("channel budget exceeds the U280's 32 HBM channels");
+        }
+        if !self.frequency_mhz.is_finite() || self.frequency_mhz <= 0.0 {
+            return Err("clock frequency must be finite and positive");
+        }
+        Ok(self)
+    }
+
     /// `SPASM_4_1` (Table IV): 252 MHz, 417 GB/s, 129 GFLOP/s.
     pub fn spasm_4_1() -> Self {
         HwConfig::new(4, 1, 252.0)

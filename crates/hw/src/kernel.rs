@@ -57,6 +57,23 @@ pub const LANE_BLOCK: usize = 8;
 /// Staging floats one worker needs for any (block × lane-block) tile.
 pub(crate) const STAGE_STRIDE: usize = 4 * EXEC_BLOCK * LANE_BLOCK;
 
+/// One class-sorted run inside an execution block: instances
+/// `bucket_idx[start..end]` all dispatch through opcode class `class`.
+///
+/// `#[repr(C)]` with u32 fields only (12 bytes, no padding) so the runs
+/// table can be serialised to — and mapped back from — a wire-v3 section
+/// verbatim.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassRun {
+    /// First index into `bucket_idx` (inclusive).
+    pub start: u32,
+    /// Last index into `bucket_idx` (exclusive).
+    pub end: u32,
+    /// Opcode class (template LUT index) of every instance in the run.
+    pub class: u32,
+}
+
 /// A [`ValuOpcode`] predigested for the branch-free class kernels: the
 /// x-mux selectors as `usize` offsets and the output muxes as indices
 /// into the 8-entry node array `[p0, p1, p2, p3, p0+p1, p2+p3, Σp, 0]`.
@@ -107,8 +124,8 @@ pub(crate) struct SoaRef<'a> {
 pub(crate) struct BucketRef<'a> {
     /// Instance indices, block-wise stably sorted by class.
     pub bucket_idx: &'a [u32],
-    /// `(start, end, class)` runs into `bucket_idx`, in block order.
-    pub class_runs: &'a [(u32, u32, u8)],
+    /// Class-sorted runs into `bucket_idx`, in block order.
+    pub class_runs: &'a [ClassRun],
     /// Per block: prefix of run counts into `class_runs` (len blocks+1).
     pub block_runs: &'a [u32],
     /// Per tile row: prefix of block counts (len rows+1).
@@ -120,7 +137,7 @@ pub(crate) struct BucketRef<'a> {
 /// The owned bucketing tables `build_buckets` produces:
 /// `(bucket_idx, class_runs, block_runs, row_blocks)` as described on
 /// [`BucketRef`].
-pub(crate) type Buckets = (Vec<u32>, Vec<(u32, u32, u8)>, Vec<u32>, Vec<u32>);
+pub(crate) type Buckets = (Vec<u32>, Vec<ClassRun>, Vec<u32>, Vec<u32>);
 
 /// The prepare-time bucketing pass: cuts each tile row's instance span
 /// into [`EXEC_BLOCK`]-sized blocks and stably sorts each block's indices
@@ -128,7 +145,7 @@ pub(crate) type Buckets = (Vec<u32>, Vec<(u32, u32, u8)>, Vec<u32>, Vec<u32>);
 pub(crate) fn build_buckets(inst_ranges: &[(usize, usize)], op_idx: &[u8]) -> Buckets {
     let n: usize = inst_ranges.iter().map(|&(i0, i1)| i1 - i0).sum();
     let mut bucket_idx: Vec<u32> = Vec::with_capacity(n);
-    let mut class_runs: Vec<(u32, u32, u8)> = Vec::new();
+    let mut class_runs: Vec<ClassRun> = Vec::new();
     let mut block_runs: Vec<u32> = vec![0];
     let mut row_blocks: Vec<u32> = Vec::with_capacity(inst_ranges.len() + 1);
     row_blocks.push(0);
@@ -150,11 +167,11 @@ pub(crate) fn build_buckets(inst_ranges: &[(usize, usize)], op_idx: &[u8]) -> Bu
                 let boundary = k == scratch.len()
                     || op_idx[scratch[k] as usize] != op_idx[scratch[run_start] as usize];
                 if boundary {
-                    class_runs.push((
-                        base + run_start as u32,
-                        base + k as u32,
-                        op_idx[scratch[run_start] as usize],
-                    ));
+                    class_runs.push(ClassRun {
+                        start: base + run_start as u32,
+                        end: base + k as u32,
+                        class: u32::from(op_idx[scratch[run_start] as usize]),
+                    });
                     run_start = k;
                 }
             }
@@ -203,7 +220,11 @@ pub(crate) fn execute_row_classed(
     for b in b_lo..b_hi {
         let blk_i1 = (blk_i0 + EXEC_BLOCK).min(i1);
         for run in buckets.block_runs[b] as usize..buckets.block_runs[b + 1] as usize {
-            let (s, e, class) = buckets.class_runs[run];
+            let ClassRun {
+                start: s,
+                end: e,
+                class,
+            } = buckets.class_runs[run];
             let kern = soa.kernels[class as usize];
             let idx = &buckets.bucket_idx[s as usize..e as usize];
             compute_run(kern, idx, soa, xs, xstride, lane0, lanes, blk_i0, stage);
@@ -414,7 +435,12 @@ mod tests {
             let runs = &class_runs[block_runs[b] as usize..block_runs[b + 1] as usize];
             let mut cursor = blk_i0 as u32;
             let mut last_class = None;
-            for &(s, e, c) in runs {
+            for &ClassRun {
+                start: s,
+                end: e,
+                class: c,
+            } in runs
+            {
                 assert_eq!(s, cursor);
                 assert!(e > s);
                 cursor = e;
@@ -422,7 +448,7 @@ mod tests {
                 last_class = Some(c);
                 let run = &bucket_idx[s as usize..e as usize];
                 assert!(run.windows(2).all(|w| w[0] < w[1]), "stable within class");
-                assert!(run.iter().all(|&i| op_idx[i as usize] == c));
+                assert!(run.iter().all(|&i| u32::from(op_idx[i as usize]) == c));
             }
             assert_eq!(cursor, blk_i1 as u32);
         }

@@ -43,14 +43,17 @@ mod pe;
 pub mod perf;
 mod plan;
 mod sim;
+mod stream;
 pub mod timing;
 pub mod trace;
 mod valu;
 
 pub use config::{ChannelRole, HwConfig, HBM_CHANNEL_GBS, PES_PER_GROUP, PES_PER_VALUE_CHANNEL};
 pub use integrity::{merge_health, HealthReport, IntegrityCheck, VerifyScope};
+pub use kernel::ClassRun;
 pub use pe::Pe;
-pub use plan::{Dispatch, ExecutionPlan};
+pub use plan::{Dispatch, ExecutionPlan, FrozenTile, PlanParts, PlanStreams};
 pub use sim::{Accelerator, BatchReport, ExecReport, SimError, Traffic};
+pub use stream::{StableBytes, Stream};
 pub use trace::{EventKind, ExecutionTrace, TraceEvent};
 pub use valu::{OpcodeError, OutNode, ValuOpcode};

@@ -77,9 +77,10 @@ use spasm_format::SpasmMatrix;
 
 use crate::config::HwConfig;
 use crate::integrity::{HealthReport, IntegrityCheck, VerifyScope};
-use crate::kernel::{self, BucketRef, ClassKernel, SoaRef};
+use crate::kernel::{self, BucketRef, ClassKernel, ClassRun, SoaRef};
 use crate::pe::Pe;
 use crate::sim::{BatchReport, ExecReport, SimError, Traffic};
+use crate::stream::Stream;
 use crate::timing::{self, TileJob};
 use crate::valu::ValuOpcode;
 
@@ -151,26 +152,29 @@ pub struct ExecutionPlan {
     // tile row's y window; `op_idx[i]` is the instance's template (opcode
     // class) — an index into the `lut`/`kernels` portfolio tables, 1 byte
     // per instance instead of a full decoded `ValuOpcode`; `values` holds
-    // four slots per instance.
-    x_base: Vec<u32>,
-    y_base: Vec<u32>,
-    op_idx: Vec<u8>,
+    // four slots per instance. All of these are immutable `Stream`s:
+    // either owned (`prepare`) or zero-copy views into a mapped wire-v3
+    // buffer (`ExecutionPlan::from_parts` via `spasm-store`).
+    x_base: Stream<u32>,
+    y_base: Stream<u32>,
+    op_idx: Stream<u8>,
     // The compiled portfolio: one `ValuOpcode` per template (the PE's
     // opcode LUT) and the same opcodes predigested for the class kernels.
     lut: Vec<ValuOpcode>,
     kernels: Vec<ClassKernel>,
-    // Shared with the owning `SpasmMatrix` (and any sibling plans): the
-    // stream is immutable after encoding, so plans clone the `Arc`, not
-    // the buffer.
-    values: Arc<[f32]>,
+    // When owned, shared with the owning `SpasmMatrix` (and any sibling
+    // plans): the stream is immutable after encoding, so plans clone the
+    // `Arc`, not the buffer. Mapped plans read it straight from the
+    // wire-v3 buffer.
+    values: Stream<f32>,
     // Prepare-time pattern-class bucketing (see `crate::kernel`): per
     // `kernel::EXEC_BLOCK`-sized block of each tile row's instance span,
     // the instance indices stably sorted by class, plus the
     // run/block/row directory over them.
-    bucket_idx: Vec<u32>,
-    class_runs: Vec<(u32, u32, u8)>,
-    block_runs: Vec<u32>,
-    row_blocks: Vec<u32>,
+    bucket_idx: Stream<u32>,
+    class_runs: Stream<ClassRun>,
+    block_runs: Stream<u32>,
+    row_blocks: Stream<u32>,
     // Which executor the functional pass uses; `Dispatch::Classed` by
     // default, the per-instance reference path kept for differential
     // testing and baseline benchmarking.
@@ -223,6 +227,86 @@ pub struct ExecutionPlan {
     // fault plan armed for one vector of a batch strikes only that vector.
     #[cfg(feature = "fault-injection")]
     active_lane: usize,
+}
+
+/// Borrowed views of an [`ExecutionPlan`]'s immutable stream sections —
+/// exactly the content wire v3 freezes (see [`ExecutionPlan::streams`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PlanStreams<'a> {
+    /// Per instance: base of its 4-wide x segment in the padded operand.
+    pub x_base: &'a [u32],
+    /// Per instance: y offset within the owning tile row's window.
+    pub y_base: &'a [u32],
+    /// Per instance: opcode class (template LUT index).
+    pub op_idx: &'a [u8],
+    /// Four value slots per instance.
+    pub values: &'a [f32],
+    /// Classed execution order (see [`ExecutionPlan::bucket_order`]).
+    pub bucket_idx: &'a [u32],
+    /// Class runs into `bucket_idx`, in block order.
+    pub class_runs: &'a [ClassRun],
+    /// Per block: prefix of run counts into `class_runs` (len blocks+1).
+    pub block_runs: &'a [u32],
+    /// Per tile row: prefix of block counts (len rows+1).
+    pub row_blocks: &'a [u32],
+}
+
+/// One tile of a frozen plan's directory: the stream span it owns plus
+/// its grid position. The wire-v3 TILES section stores exactly these
+/// fields; everything else about the layout is derived from them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrozenTile {
+    /// Tile-row index in the tiling grid.
+    pub row: u32,
+    /// Tile-column index in the tiling grid.
+    pub col: u32,
+    /// First instance of this tile in the stream.
+    pub first_instance: usize,
+    /// Instances this tile owns.
+    pub n_instances: usize,
+}
+
+/// Everything [`ExecutionPlan::from_parts`] needs to reassemble a plan
+/// from frozen streams without re-preparing: the shape and schedule
+/// inputs, the tile directory, and the eight immutable stream sections
+/// (owned or mapped — the plan executes identically either way).
+#[derive(Debug)]
+pub struct PlanParts {
+    /// The hardware configuration the plan prices against.
+    pub config: HwConfig,
+    /// Matrix rows.
+    pub rows: u32,
+    /// Matrix columns.
+    pub cols: u32,
+    /// Tile edge length of the encoding.
+    pub tile_size: u32,
+    /// Structural nonzeros of the original matrix (for FLOP pricing).
+    pub nnz: u64,
+    /// The portfolio's template masks, in LUT order.
+    pub template_masks: Vec<u16>,
+    /// The tile directory, in stream order.
+    pub tiles: Vec<FrozenTile>,
+    /// Per instance: base of its 4-wide x segment in the padded operand.
+    pub x_base: Stream<u32>,
+    /// Per instance: y offset within the owning tile row's window.
+    pub y_base: Stream<u32>,
+    /// Per instance: opcode class (template LUT index).
+    pub op_idx: Stream<u8>,
+    /// Four value slots per instance.
+    pub values: Stream<f32>,
+    /// Classed execution order.
+    pub bucket_idx: Stream<u32>,
+    /// Class runs into `bucket_idx`, in block order.
+    pub class_runs: Stream<ClassRun>,
+    /// Per block: prefix of run counts into `class_runs`.
+    pub block_runs: Stream<u32>,
+    /// Per tile row: prefix of block counts.
+    pub row_blocks: Stream<u32>,
+    /// Raw 32-bit position-encoding words, one per instance. Required
+    /// (`Some` with matching length) by builds with the `fault-injection`
+    /// feature, whose executors re-decode the raw stream; ignored
+    /// otherwise.
+    pub encodings: Option<Vec<u32>>,
 }
 
 impl ExecutionPlan {
@@ -370,16 +454,351 @@ impl ExecutionPlan {
             rows: matrix.rows(),
             cols: matrix.cols(),
             tile_size,
-            x_base,
-            y_base,
-            op_idx,
+            x_base: Stream::from_vec(x_base),
+            y_base: Stream::from_vec(y_base),
+            op_idx: Stream::from_vec(op_idx),
             lut,
             kernels,
-            values: matrix.shared_values().clone(),
-            bucket_idx,
-            class_runs,
-            block_runs,
-            row_blocks,
+            values: Stream::owned(matrix.shared_values().clone()),
+            bucket_idx: Stream::from_vec(bucket_idx),
+            class_runs: Stream::from_vec(class_runs),
+            block_runs: Stream::from_vec(block_runs),
+            row_blocks: Stream::from_vec(row_blocks),
+            dispatch: Dispatch::default(),
+            inst_ranges,
+            window_spans,
+            tile_row_ids,
+            cum_instances,
+            window_prefix,
+            assignment,
+            report,
+            xp: vec![0.0; xp_len],
+            yp: vec![0.0; yp_len],
+            chunks: Vec::with_capacity(worker_budget().max(1) + 1),
+            vp: vec![0.0; max_window],
+            vq: vec![0.0; max_window],
+            stage: vec![0.0; kernel::STAGE_STRIDE],
+            xb: Vec::new(),
+            yb: Vec::new(),
+            #[cfg(feature = "fault-injection")]
+            enc_bits,
+            #[cfg(feature = "fault-injection")]
+            col_base: col_bases,
+            #[cfg(feature = "fault-injection")]
+            armed: None,
+            #[cfg(feature = "fault-injection")]
+            active_lane: 0,
+            config,
+        })
+    }
+
+    /// Reassembles an executable plan from frozen parts — the wire-v3
+    /// load path. The streams may be owned or mapped; either way the
+    /// resulting plan executes bit-identically to one built by
+    /// `prepare` from the same matrix, through the same dispatch paths.
+    ///
+    /// Every structural invariant `build` establishes by construction is
+    /// checked here instead, because the parts may come from a hostile or
+    /// corrupted buffer: tile-directory contiguity and bounds,
+    /// per-instance x/y bases against the padded operand layout, opcode
+    /// classes against the portfolio, and the full bucket directory
+    /// (blocks partition each tile row, runs partition each block,
+    /// indices are an in-block permutation agreeing with `op_idx`).
+    /// Derived state (portfolio LUT, tile-row layout, LPT schedule,
+    /// report, scratch) is rebuilt exactly as `build` does.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Plan`] naming the violated invariant; never panics.
+    pub fn from_parts(parts: PlanParts) -> Result<Self, SimError> {
+        let config = parts.config.checked().map_err(SimError::Plan)?;
+        let tile_size = parts.tile_size;
+        if tile_size == 0 || !tile_size.is_multiple_of(4) {
+            return Err(SimError::Plan("tile size must be a positive multiple of 4"));
+        }
+        if parts.template_masks.is_empty() || parts.template_masks.len() > 16 {
+            return Err(SimError::Plan("portfolio must hold 1..=16 templates"));
+        }
+        let n = parts.op_idx.len();
+        if parts.x_base.len() != n
+            || parts.y_base.len() != n
+            || parts.bucket_idx.len() != n
+            || parts.values.len() != 4 * n
+        {
+            return Err(SimError::Plan("stream section lengths disagree"));
+        }
+        if parts.nnz > 4 * n as u64 {
+            return Err(SimError::Plan("nnz exceeds the stream's value slots"));
+        }
+        let xp_len = (parts.cols as usize).div_ceil(4) * 4;
+        let yp_len = (parts.rows as usize).div_ceil(4) * 4;
+        let ts64 = u64::from(tile_size);
+
+        // Tile directory: tiles the stream contiguously, strictly
+        // ascending (row, col), every tile inside the matrix.
+        let mut cursor = 0usize;
+        let mut prev: Option<(u32, u32)> = None;
+        for t in &parts.tiles {
+            if t.first_instance != cursor {
+                return Err(SimError::Plan("tile directory does not tile the stream"));
+            }
+            cursor = cursor
+                .checked_add(t.n_instances)
+                .filter(|&c| c <= n)
+                .ok_or(SimError::Plan("tile instance counts overflow the stream"))?;
+            if prev.is_some_and(|p| (t.row, t.col) <= p) {
+                return Err(SimError::Plan("tile directory not strictly ascending"));
+            }
+            prev = Some((t.row, t.col));
+            if u64::from(t.row) * ts64 >= u64::from(parts.rows)
+                || u64::from(t.col) * ts64 >= u64::from(parts.cols)
+            {
+                return Err(SimError::Plan("tile outside the matrix"));
+            }
+        }
+        if cursor != n {
+            return Err(SimError::Plan("tile directory does not cover the stream"));
+        }
+
+        // Per-instance stream invariants, mirroring `validate_stream` on
+        // the already-decoded SoA form (u64 math: hostile coordinates
+        // cannot wrap).
+        let x_base = &parts.x_base;
+        let y_base = &parts.y_base;
+        let op_idx = &parts.op_idx;
+        let n_templates = parts.template_masks.len();
+        for t in &parts.tiles {
+            let col_base = u64::from(t.col) * ts64;
+            let w_start = u64::from(t.row) * ts64;
+            let w_end = (w_start + ts64).min(yp_len as u64);
+            let wlen = w_end - w_start;
+            for i in t.first_instance..t.first_instance + t.n_instances {
+                let xb = u64::from(x_base[i]);
+                if xb < col_base
+                    || (xb - col_base) % 4 != 0
+                    || xb + 4 > col_base + ts64
+                    || xb + 4 > xp_len as u64
+                {
+                    return Err(SimError::Plan("instance x base outside its tile"));
+                }
+                let yb = u64::from(y_base[i]);
+                if yb % 4 != 0 || yb + 4 > wlen {
+                    return Err(SimError::Plan("instance y base outside its window"));
+                }
+                if usize::from(op_idx[i]) >= n_templates {
+                    return Err(SimError::Plan("opcode class outside the portfolio"));
+                }
+            }
+        }
+
+        // Tile-row layout, exactly as `build` derives it.
+        let mut row_spans: Vec<(u32, usize, usize)> = Vec::new();
+        for (i, t) in parts.tiles.iter().enumerate() {
+            match row_spans.last_mut() {
+                Some((row, _, end)) if *row == t.row => *end = i + 1,
+                _ => row_spans.push((t.row, i, i + 1)),
+            }
+        }
+        let mut inst_ranges = Vec::with_capacity(row_spans.len());
+        let mut window_spans = Vec::with_capacity(row_spans.len());
+        let mut tile_row_ids = Vec::with_capacity(row_spans.len());
+        let mut cum_instances = Vec::with_capacity(row_spans.len() + 1);
+        let mut running = 0usize;
+        cum_instances.push(running);
+        for &(row, first, last) in &row_spans {
+            let i0 = parts.tiles[first].first_instance;
+            let t = &parts.tiles[last - 1];
+            let i1 = t.first_instance + t.n_instances;
+            inst_ranges.push((i0, i1));
+            running += i1 - i0;
+            cum_instances.push(running);
+            let start = (row as usize) * tile_size as usize;
+            let end = ((row as usize + 1) * tile_size as usize).min(yp_len);
+            window_spans.push((start, end));
+            tile_row_ids.push(row);
+        }
+        let max_window = window_spans
+            .iter()
+            .map(|&(start, end)| end - start)
+            .max()
+            .unwrap_or(0);
+        let mut window_prefix = Vec::with_capacity(window_spans.len() + 1);
+        window_prefix.push(0usize);
+        let mut wsum = 0usize;
+        for &(start, end) in &window_spans {
+            wsum += end - start;
+            window_prefix.push(wsum);
+        }
+
+        // Bucket directory: blocks partition each tile row, runs
+        // partition each block with strictly ascending classes, and each
+        // block's indices are a permutation of its instance span whose
+        // classes agree with `op_idx`.
+        let bucket_idx = &parts.bucket_idx;
+        let class_runs = &parts.class_runs;
+        let block_runs = &parts.block_runs;
+        let row_blocks = &parts.row_blocks;
+        let n_tile_rows = inst_ranges.len();
+        if row_blocks.len() != n_tile_rows + 1 || row_blocks.first() != Some(&0) {
+            return Err(SimError::Plan("row-block prefix has the wrong shape"));
+        }
+        for (r, &(i0, i1)) in inst_ranges.iter().enumerate() {
+            let want = (i1 - i0).div_ceil(kernel::EXEC_BLOCK) as u32;
+            if row_blocks[r + 1].checked_sub(row_blocks[r]) != Some(want) {
+                return Err(SimError::Plan("row-block prefix disagrees with the layout"));
+            }
+        }
+        let n_blocks = row_blocks.last().map_or(0, |&b| b as usize);
+        if block_runs.len() != n_blocks + 1
+            || block_runs.first() != Some(&0)
+            || block_runs.last() != Some(&(class_runs.len() as u32))
+            || block_runs.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(SimError::Plan("block-run prefix has the wrong shape"));
+        }
+        let mut seen = vec![u32::MAX; kernel::EXEC_BLOCK];
+        let mut b = 0usize;
+        for &(i0, i1) in &inst_ranges {
+            let mut blk_i0 = i0;
+            while blk_i0 < i1 {
+                let blk_i1 = (blk_i0 + kernel::EXEC_BLOCK).min(i1);
+                let mut cur = blk_i0 as u32;
+                let mut last_class: Option<u32> = None;
+                for run in block_runs[b] as usize..block_runs[b + 1] as usize {
+                    let cr = class_runs[run];
+                    if cr.start != cur || cr.end <= cr.start || cr.end as usize > blk_i1 {
+                        return Err(SimError::Plan("class runs do not partition their block"));
+                    }
+                    cur = cr.end;
+                    if cr.class as usize >= n_templates {
+                        return Err(SimError::Plan(
+                            "class run names a template outside the portfolio",
+                        ));
+                    }
+                    if last_class.is_some_and(|lc| cr.class <= lc) {
+                        return Err(SimError::Plan(
+                            "class runs must strictly ascend within a block",
+                        ));
+                    }
+                    last_class = Some(cr.class);
+                    for &idx in &bucket_idx[cr.start as usize..cr.end as usize] {
+                        let i = idx as usize;
+                        if i < blk_i0 || i >= blk_i1 {
+                            return Err(SimError::Plan("bucket index outside its block"));
+                        }
+                        if u32::from(op_idx[i]) != cr.class {
+                            return Err(SimError::Plan(
+                                "bucket index class disagrees with the stream",
+                            ));
+                        }
+                        let slot = i - blk_i0;
+                        if seen[slot] == b as u32 {
+                            return Err(SimError::Plan("duplicate bucket index in a block"));
+                        }
+                        seen[slot] = b as u32;
+                    }
+                }
+                if cur as usize != blk_i1 {
+                    return Err(SimError::Plan("class runs do not cover their block"));
+                }
+                blk_i0 = blk_i1;
+                b += 1;
+            }
+        }
+
+        // Fault-injection builds re-decode the raw encoding words; they
+        // are part of the frozen form there.
+        #[cfg(feature = "fault-injection")]
+        let (enc_bits, col_bases) = {
+            let enc = parts.encodings.ok_or(SimError::Plan(
+                "fault-injection builds need the encoding words",
+            ))?;
+            if enc.len() != n {
+                return Err(SimError::Plan("encoding-word section length disagrees"));
+            }
+            let mut col_bases = Vec::with_capacity(n);
+            for t in &parts.tiles {
+                for _ in 0..t.n_instances {
+                    col_bases.push(t.col * tile_size);
+                }
+            }
+            (enc, col_bases)
+        };
+        #[cfg(not(feature = "fault-injection"))]
+        let _ = parts.encodings;
+
+        // Compiled portfolio and timing, exactly as `build` computes them.
+        let lut = parts
+            .template_masks
+            .iter()
+            .map(|&m| ValuOpcode::compile(m))
+            .collect::<Result<Vec<_>, _>>()?;
+        let kernels: Vec<ClassKernel> =
+            lut.iter().map(|&op| ClassKernel::from_opcode(op)).collect();
+        let mut jobs = Vec::with_capacity(parts.tiles.len());
+        for t in &parts.tiles {
+            let mut lanes = [0usize; 16];
+            for i in t.first_instance..t.first_instance + t.n_instances {
+                lanes[(y_base[i] as usize / 4) % 16] += 1;
+            }
+            jobs.push(TileJob {
+                tile_row: t.row,
+                tile_col: t.col,
+                n_instances: t.n_instances,
+                max_lane_instances: timing::max_lane(&lanes),
+            });
+        }
+        let worked_row_heights = row_spans
+            .iter()
+            .map(|&(row, _, _)| (parts.rows - (row * tile_size).min(parts.rows)).min(tile_size));
+        let y_traffic = timing::y_bytes(worked_row_heights);
+        let x_traffic = parts.tiles.len() as u64 * ts64 * 4;
+        let assignment = timing::lpt_assign(jobs, config.num_pe_groups, tile_size, &config);
+        let per_group_cycles: Vec<u64> = assignment
+            .iter()
+            .map(|a| timing::group_cycles(a, tile_size, &config))
+            .collect();
+        let traffic = Traffic {
+            matrix: 20 * n as u64,
+            x: x_traffic,
+            y: y_traffic,
+        };
+        let cycles = timing::total_cycles(&per_group_cycles, y_traffic, &config);
+        let seconds = config.cycles_to_seconds(cycles);
+        let flops = 2.0 * parts.nnz as f64 + parts.rows as f64;
+        let gflops = flops / seconds / 1e9;
+        let achieved_bandwidth_gbs = traffic.total() as f64 / seconds / 1e9;
+        let compute_utilization = gflops / config.peak_gflops();
+        let estimated_power_w = config.power_estimate_w(compute_utilization);
+        let report = ExecReport {
+            cycles,
+            seconds,
+            gflops,
+            achieved_bandwidth_gbs,
+            compute_utilization,
+            bandwidth_utilization: achieved_bandwidth_gbs / config.bandwidth_gbs(),
+            per_group_cycles,
+            traffic,
+            estimated_power_w,
+            energy_j: estimated_power_w * seconds,
+            health: HealthReport::default(),
+            batch: None,
+        };
+
+        Ok(ExecutionPlan {
+            rows: parts.rows,
+            cols: parts.cols,
+            tile_size,
+            x_base: parts.x_base,
+            y_base: parts.y_base,
+            op_idx: parts.op_idx,
+            lut,
+            kernels,
+            values: parts.values,
+            bucket_idx: parts.bucket_idx,
+            class_runs: parts.class_runs,
+            block_runs: parts.block_runs,
+            row_blocks: parts.row_blocks,
             dispatch: Dispatch::default(),
             inst_ranges,
             window_spans,
@@ -484,11 +903,13 @@ impl ExecutionPlan {
         &self.assignment
     }
 
-    /// The plan's flattened value stream — the same `Arc` as
-    /// [`SpasmMatrix::shared_values`] of the matrix it was prepared from
-    /// (shared, never copied; `tests/alloc_free.rs` asserts this).
-    pub fn shared_values(&self) -> &Arc<[f32]> {
-        &self.values
+    /// The plan's flattened value stream when it is heap-owned — the same
+    /// `Arc` as [`SpasmMatrix::shared_values`] of the matrix it was
+    /// prepared from (shared, never copied; `tests/alloc_free.rs` asserts
+    /// this). `None` for plans whose streams are mapped out of a wire-v3
+    /// buffer (those own no value bytes at all).
+    pub fn shared_values(&self) -> Option<&Arc<[f32]>> {
+        self.values.as_owned()
     }
 
     /// The cached execution report — a pure function of `(matrix,
@@ -698,23 +1119,32 @@ impl ExecutionPlan {
         self.report.health = health;
     }
 
-    /// The resident size of this plan in bytes: the pre-decoded SoA
-    /// stream (1-byte opcode classes plus the portfolio LUT), the
+    /// The *owned* resident size of this plan in bytes: the pre-decoded
+    /// SoA stream (1-byte opcode classes plus the portfolio LUT), the
     /// pattern-class bucket directory, tile-row layout, scheduling state
     /// and reusable scratch (including the kernel staging stripes), plus
-    /// the value stream.
+    /// the value stream — counting only heap-owned stream sections.
+    /// Sections mapped out of a wire-v3 buffer are excluded here and
+    /// reported by [`ExecutionPlan::mapped_bytes`] instead, so a cache
+    /// can price owned memory and pinned file mappings separately.
     ///
-    /// The value stream is `Arc`-shared with the owning matrix and any
-    /// sibling plans, but it is counted here in full so the figure is a
-    /// safe upper bound for cache budgeting — evicting the plan may or
+    /// An owned value stream is `Arc`-shared with the owning matrix and
+    /// any sibling plans, but it is counted here in full so the figure is
+    /// a safe upper bound for cache budgeting — evicting the plan may or
     /// may not actually free those bytes depending on other holders.
     /// Buffer lengths (not capacities) are counted, and the batch scratch
     /// `xb`/`yb` grows with the largest batch seen, so the figure can
     /// grow across calls.
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
-        let f32s = self.values.len()
-            + self.xp.len()
+        fn owned<T>(s: &Stream<T>) -> usize {
+            if s.is_mapped() {
+                0
+            } else {
+                std::mem::size_of_val(&**s)
+            }
+        }
+        let f32s = self.xp.len()
             + self.yp.len()
             + self.vp.len()
             + self.vq.len()
@@ -723,15 +1153,16 @@ impl ExecutionPlan {
             + self.yb.len();
         let bytes = size_of::<Self>()
             + f32s * size_of::<f32>()
-            + self.x_base.len() * size_of::<u32>()
-            + self.y_base.len() * size_of::<u32>()
-            + self.op_idx.len() * size_of::<u8>()
+            + owned(&self.values)
+            + owned(&self.x_base)
+            + owned(&self.y_base)
+            + owned(&self.op_idx)
             + self.lut.len() * size_of::<ValuOpcode>()
             + self.kernels.len() * size_of::<ClassKernel>()
-            + self.bucket_idx.len() * size_of::<u32>()
-            + self.class_runs.len() * size_of::<(u32, u32, u8)>()
-            + self.block_runs.len() * size_of::<u32>()
-            + self.row_blocks.len() * size_of::<u32>()
+            + owned(&self.bucket_idx)
+            + owned(&self.class_runs)
+            + owned(&self.block_runs)
+            + owned(&self.row_blocks)
             + self.inst_ranges.len() * size_of::<(usize, usize)>()
             + self.window_spans.len() * size_of::<(usize, usize)>()
             + self.tile_row_ids.len() * size_of::<u32>()
@@ -747,6 +1178,47 @@ impl ExecutionPlan {
         let bytes =
             bytes + self.enc_bits.len() * size_of::<u32>() + self.col_base.len() * size_of::<u32>();
         bytes
+    }
+
+    /// Bytes this plan reads zero-copy out of a mapped wire-v3 buffer
+    /// (0 for plans built by `prepare`). These bytes are pinned in the
+    /// backing buffer, not owned by the plan; together with
+    /// [`ExecutionPlan::memory_bytes`] they describe the plan's full
+    /// working set.
+    pub fn mapped_bytes(&self) -> usize {
+        fn mapped<T>(s: &Stream<T>) -> usize {
+            if s.is_mapped() {
+                std::mem::size_of_val(&**s)
+            } else {
+                0
+            }
+        }
+        mapped(&self.values)
+            + mapped(&self.x_base)
+            + mapped(&self.y_base)
+            + mapped(&self.op_idx)
+            + mapped(&self.bucket_idx)
+            + mapped(&self.class_runs)
+            + mapped(&self.block_runs)
+            + mapped(&self.row_blocks)
+    }
+
+    /// Borrowed views of the plan's immutable stream sections — exactly
+    /// the byte content wire v3 freezes. The `spasm-store` serialiser
+    /// reads these; everything else about the plan (portfolio LUT,
+    /// tile-row layout, schedule, scratch) is derived from them plus the
+    /// tile directory at load time.
+    pub fn streams(&self) -> PlanStreams<'_> {
+        PlanStreams {
+            x_base: &self.x_base,
+            y_base: &self.y_base,
+            op_idx: &self.op_idx,
+            values: &self.values,
+            bucket_idx: &self.bucket_idx,
+            class_runs: &self.class_runs,
+            block_runs: &self.block_runs,
+            row_blocks: &self.row_blocks,
+        }
     }
 
     fn check_x(&self, x: &[f32]) -> Result<(), SimError> {
@@ -2018,13 +2490,14 @@ mod tests {
         let acc = Accelerator::new(HwConfig::spasm_4_1());
         let plan = acc.prepare(&m).unwrap();
         assert!(std::sync::Arc::ptr_eq(
-            plan.shared_values(),
+            plan.shared_values()
+                .expect("prepared plans own their values"),
             m.shared_values()
         ));
         let clone = plan.clone();
         assert!(std::sync::Arc::ptr_eq(
-            clone.shared_values(),
-            plan.shared_values()
+            clone.shared_values().expect("clone stays owned"),
+            plan.shared_values().expect("original stays owned")
         ));
     }
 

@@ -47,6 +47,11 @@ pub enum SimError {
         /// The violated invariant.
         check: IntegrityCheck,
     },
+    /// A frozen plan's parts are mutually inconsistent and cannot be
+    /// reassembled into an executable plan. Raised by
+    /// [`ExecutionPlan::from_parts`] for hostile or corrupted inputs —
+    /// never a panic. The payload names the violated invariant.
+    Plan(&'static str),
 }
 
 impl fmt::Display for SimError {
@@ -77,6 +82,7 @@ impl fmt::Display for SimError {
             SimError::Integrity { tile_row, check } => {
                 write!(f, "integrity check failed in tile row {tile_row}: {check}")
             }
+            SimError::Plan(what) => write!(f, "inconsistent plan parts: {what}"),
         }
     }
 }

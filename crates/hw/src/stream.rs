@@ -1,0 +1,178 @@
+//! Borrowed-capable instance streams: the owned-vs-mapped seam behind
+//! [`crate::ExecutionPlan`].
+//!
+//! A prepared plan's immutable SoA streams (x/y bases, class indices,
+//! value quadruples, bucket tables) are either built in memory at prepare
+//! time or mapped straight out of a wire-v3 buffer (`spasm-store`). Both
+//! flavours execute through the same kernels: [`Stream`] dereferences to
+//! `&[T]` and the hot paths never know which variant they read.
+//!
+//! The mapped variant does not copy. It pins the backing buffer alive via
+//! an `Arc<dyn StableBytes>` and carries a raw pointer/length pair into
+//! it, validated (alignment, bounds) by the reader that constructed it.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A heap- or mmap-backed byte buffer whose contents and address are
+/// stable for the lifetime of the handle.
+///
+/// # Safety
+///
+/// Implementors must guarantee that the slice returned by
+/// [`StableBytes::bytes`] (a) never changes contents, (b) never moves,
+/// and (c) stays valid until the implementor is dropped. `Stream::mapped`
+/// relies on this to hold raw pointers into the buffer across clones and
+/// threads.
+pub unsafe trait StableBytes: Send + Sync + fmt::Debug {
+    /// The stable backing bytes.
+    fn bytes(&self) -> &[u8];
+}
+
+/// An immutable stream of `T`: either an owned (`Arc`-shared) slice or a
+/// zero-copy view into a pinned [`StableBytes`] buffer.
+pub enum Stream<T> {
+    /// Heap-allocated, shared by reference count (the prepare path).
+    Owned(Arc<[T]>),
+    /// A typed view into a pinned buffer (the wire-v3 map path).
+    Mapped {
+        /// Keeps the backing buffer alive; never read through directly.
+        _keep: Arc<dyn StableBytes>,
+        /// First element; aligned and in-bounds, checked at construction.
+        ptr: *const T,
+        /// Element count.
+        len: usize,
+    },
+}
+
+// SAFETY: `Owned` is an Arc<[T]>; `Mapped` is an immutable view into a
+// buffer that is itself Send + Sync (per the StableBytes bound) and
+// pinned by `_keep`. No interior mutability anywhere.
+unsafe impl<T: Send + Sync> Send for Stream<T> {}
+unsafe impl<T: Send + Sync> Sync for Stream<T> {}
+
+impl<T> Stream<T> {
+    /// Wraps a freshly built vector (the prepare path).
+    pub fn from_vec(v: Vec<T>) -> Self {
+        Stream::Owned(v.into())
+    }
+
+    /// Wraps an already-shared slice.
+    pub fn owned(a: Arc<[T]>) -> Self {
+        Stream::Owned(a)
+    }
+
+    /// Builds a zero-copy stream over `len` elements starting at byte
+    /// offset `offset` of `keep`'s buffer.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have checked that `offset` is aligned for `T`,
+    /// that `offset + len * size_of::<T>()` is within `keep.bytes()`,
+    /// and that the bytes at that range are valid values of `T` (`T`
+    /// must be a plain-old-data type with no invalid bit patterns).
+    pub unsafe fn mapped(keep: Arc<dyn StableBytes>, offset: usize, len: usize) -> Self {
+        let ptr = keep.bytes().as_ptr().add(offset) as *const T;
+        debug_assert_eq!(ptr as usize % std::mem::align_of::<T>(), 0);
+        debug_assert!(offset + len * std::mem::size_of::<T>() <= keep.bytes().len());
+        Stream::Mapped {
+            _keep: keep,
+            ptr,
+            len,
+        }
+    }
+
+    /// `true` when this stream borrows a mapped buffer (no owned bytes).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Stream::Mapped { .. })
+    }
+
+    /// The shared owning allocation, if this stream is owned.
+    pub fn as_owned(&self) -> Option<&Arc<[T]>> {
+        match self {
+            Stream::Owned(a) => Some(a),
+            Stream::Mapped { .. } => None,
+        }
+    }
+}
+
+impl<T> Deref for Stream<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        match self {
+            Stream::Owned(a) => a,
+            // SAFETY: constructed via `Stream::mapped`, whose contract
+            // guarantees `ptr..ptr+len` is aligned, in-bounds and valid
+            // for the lifetime of `_keep` (held by self).
+            Stream::Mapped { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+impl<T> Clone for Stream<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Stream::Owned(a) => Stream::Owned(a.clone()),
+            Stream::Mapped { _keep, ptr, len } => Stream::Mapped {
+                _keep: _keep.clone(),
+                ptr: *ptr,
+                len: *len,
+            },
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Stream<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stream::Owned(a) => f.debug_tuple("Stream::Owned").field(&a.len()).finish(),
+            Stream::Mapped { len, .. } => f.debug_tuple("Stream::Mapped").field(len).finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct HeapBuf(Vec<u8>);
+
+    // SAFETY: the Vec is never touched after construction and HeapBuf is
+    // only dropped when the last Arc goes away.
+    unsafe impl StableBytes for HeapBuf {
+        fn bytes(&self) -> &[u8] {
+            &self.0
+        }
+    }
+
+    #[test]
+    fn owned_stream_derefs_and_clones() {
+        let s = Stream::from_vec(vec![1u32, 2, 3]);
+        assert_eq!(&*s, &[1, 2, 3]);
+        assert!(!s.is_mapped());
+        let c = s.clone();
+        assert_eq!(&*c, &[1, 2, 3]);
+        let (a, b) = (s.as_owned().unwrap(), c.as_owned().unwrap());
+        assert!(Arc::ptr_eq(a, b));
+    }
+
+    #[test]
+    fn mapped_stream_reads_backing_bytes_without_copy() {
+        let mut bytes = vec![0u8; 16];
+        bytes[4..8].copy_from_slice(&7u32.to_le_bytes());
+        bytes[8..12].copy_from_slice(&9u32.to_le_bytes());
+        let keep: Arc<dyn StableBytes> = Arc::new(HeapBuf(bytes));
+        let want = keep.bytes()[4..].as_ptr() as usize;
+        let s: Stream<u32> = unsafe { Stream::mapped(keep, 4, 2) };
+        assert!(s.is_mapped());
+        assert!(s.as_owned().is_none());
+        assert_eq!(&*s, &[7, 9]);
+        assert_eq!(s.as_ptr() as usize, want, "zero copy: same address");
+        let c = s.clone();
+        assert_eq!(c.as_ptr() as usize, want);
+    }
+}

@@ -247,8 +247,14 @@ fn run_overload_pressure(args: &Args, coos: &[spasm_sparse::Coo], names: &[&str]
         args.requests,
         "every request must resolve: served, typed-rejected or typed-shed"
     );
-    assert_eq!(stats.errors, 0, "overload may only refuse with typed reasons");
-    assert!(stats.rejected > 0, "campaign must exercise admission rejection");
+    assert_eq!(
+        stats.errors, 0,
+        "overload may only refuse with typed reasons"
+    );
+    assert!(
+        stats.rejected > 0,
+        "campaign must exercise admission rejection"
+    );
     assert!(stats.shed > 0, "campaign must exercise deadline shedding");
     assert_eq!(
         stats.rejected as u64,
@@ -296,7 +302,10 @@ fn run_overload_quarantine(args: &Args, coos: &[spasm_sparse::Coo], names: &[&st
         1.0,
     );
     let o = server.overload_stats();
-    println!("overload: quarantine campaign (persistent faults on {})", names[0]);
+    println!(
+        "overload: quarantine campaign (persistent faults on {})",
+        names[0]
+    );
     print_stats("quarantine", &stats);
     println!(
         "  trips {}  recoveries {}  served_degraded {}",

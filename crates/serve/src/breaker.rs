@@ -193,9 +193,7 @@ impl PlanHealth {
             ExecRoute::Plan => {
                 let window = config.window.max(1) as usize;
                 for &failed in outcomes {
-                    if self.outcomes.len() == window
-                        && self.outcomes.pop_front() == Some(true)
-                    {
+                    if self.outcomes.len() == window && self.outcomes.pop_front() == Some(true) {
                         self.failures -= 1;
                     }
                     self.outcomes.push_back(failed);
@@ -219,9 +217,7 @@ impl PlanHealth {
             SmallRng::seed_from_u64(config.seed ^ self.trips.wrapping_mul(0x9E37_79B9_7F4A_7C15))
                 .gen_range(0..=config.probe_jitter)
         };
-        let until = now
-            .saturating_add(config.cooldown)
-            .saturating_add(jitter);
+        let until = now.saturating_add(config.cooldown).saturating_add(jitter);
         self.state = BreakerState::Quarantined { until };
         self.outcomes.clear();
         self.failures = 0;
@@ -298,7 +294,10 @@ mod tests {
     fn golden_outcomes_never_touch_the_window() {
         let c = cfg();
         let mut h = PlanHealth::default();
-        assert_eq!(h.record(ExecRoute::Golden, &[true, true, true], 0, &c), None);
+        assert_eq!(
+            h.record(ExecRoute::Golden, &[true, true, true], 0, &c),
+            None
+        );
         assert_eq!(h.state(), BreakerState::Healthy);
     }
 
@@ -322,7 +321,11 @@ mod tests {
             assert_eq!(u, until_of(seed), "jitter must be deterministic");
         }
         assert!(
-            (0..8).map(until_of).collect::<std::collections::BTreeSet<_>>().len() > 1,
+            (0..8)
+                .map(until_of)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+                > 1,
             "jitter should actually vary across seeds"
         );
     }

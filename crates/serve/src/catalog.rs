@@ -18,7 +18,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use spasm::{Pipeline, PipelineError, Prepared};
-use spasm_format::{MatrixFingerprint, SpasmMatrix, WireError};
+use spasm_format::{is_v3, MatrixFingerprint, SpasmMatrix, WireError};
+use spasm_store::{FrozenPlan, PlanBuffer, StoreError};
 
 use crate::breaker::{BreakerConfig, BreakerEvent, BreakerState, ExecRoute, PlanHealth};
 use crate::clock::Tick;
@@ -100,17 +101,28 @@ impl From<PipelineError> for CatalogError {
     }
 }
 
-/// The resident footprint of a prepared plan for budgeting purposes: the
-/// execution plan (stream, layout, scratch, shared values), the encoded
-/// matrix's storage, and the golden CSR reference kept for the
-/// degradation ladder.
+/// Maps store-layer failures onto the catalog's error surface: container
+/// corruption is a wire error, inconsistent plan parts surface through
+/// the pipeline's simulator mapping. I/O cannot occur on the in-memory
+/// ingest path; it is reported as an inconsistent stream for
+/// completeness.
+fn map_store(e: StoreError) -> CatalogError {
+    match e {
+        StoreError::Wire(w) => CatalogError::Wire(w),
+        StoreError::Sim(s) => CatalogError::Pipeline(s.into()),
+        _ => CatalogError::Wire(WireError::Inconsistent("plan store i/o failure")),
+    }
+}
+
+/// The *owned* resident footprint of a prepared plan for budgeting
+/// purposes: the execution plan's owned streams, layout and scratch
+/// ([`spasm_hw::ExecutionPlan::memory_bytes`], which excludes mapped
+/// wire-v3 sections — those are priced separately as the container's
+/// bytes), the encoded matrix's storage, and the golden CSR reference
+/// kept for the degradation ladder (priced at its materialised size
+/// whether or not a lazy one has been forced yet).
 pub fn prepared_bytes(p: &Prepared) -> usize {
-    let golden = p.golden();
-    p.plan.memory_bytes()
-        + p.encoded.storage_bytes_full()
-        + std::mem::size_of_val(golden.row_ptr())
-        + std::mem::size_of_val(golden.col_indices())
-        + std::mem::size_of_val(golden.values())
+    p.plan.memory_bytes() + p.encoded.storage_bytes_full() + p.golden_bytes()
 }
 
 /// One cached plan. Accessed through a [`PlanLease`].
@@ -119,6 +131,9 @@ pub struct CatalogEntry {
     fingerprint: MatrixFingerprint,
     prepared: Mutex<Prepared>,
     bytes: usize,
+    /// Bytes of a pinned wire-v3 container the plan's streams borrow
+    /// (0 for plans prepared in process).
+    mapped: usize,
     rows: u32,
     cols: u32,
     /// Predicted simulated seconds of one single-vector execution, from
@@ -146,9 +161,18 @@ impl CatalogEntry {
         self.fingerprint
     }
 
-    /// Resident bytes charged against the catalog budget.
+    /// Resident bytes charged against the catalog budget (owned plan
+    /// state plus any mapped container).
     pub fn bytes(&self) -> usize {
         self.bytes
+    }
+
+    /// Bytes of this entry backed by a pinned wire-v3 container rather
+    /// than owned allocations — zero for plans prepared in process. The
+    /// plan's stream sections borrow these bytes; nothing was copied out
+    /// of them at ingest.
+    pub fn mapped_bytes(&self) -> usize {
+        self.mapped
     }
 
     /// Dense row count of the cached matrix.
@@ -281,6 +305,9 @@ impl Inner {
 pub struct PlanCatalog {
     budget: usize,
     inner: Mutex<Inner>,
+    /// Full pipeline prepares performed on behalf of ingest — the work
+    /// residency checks and the wire-v3 fast path exist to avoid.
+    prepares: AtomicU64,
 }
 
 impl PlanCatalog {
@@ -289,7 +316,15 @@ impl PlanCatalog {
         PlanCatalog {
             budget: config.byte_budget,
             inner: Mutex::new(Inner::default()),
+            prepares: AtomicU64::new(0),
         }
+    }
+
+    /// How many full pipeline prepares ingest has performed so far.
+    /// Residency hits and wire-v3 ingests do not count — tests pin the
+    /// re-ingest and cold-start fast paths on this staying flat.
+    pub fn prepares_performed(&self) -> u64 {
+        self.prepares.load(Ordering::SeqCst)
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
@@ -348,48 +383,103 @@ impl PlanCatalog {
     /// when the plan cannot fit (see the module docs).
     pub fn insert_prepared(&self, prepared: Prepared) -> Result<MatrixFingerprint, CatalogError> {
         let key = prepared.encoded.fingerprint();
-        self.insert_keyed(key, prepared)?;
+        self.insert_keyed(key, prepared, 0)?;
         Ok(key)
     }
 
-    /// Decodes a wire stream, prepares it through `pipeline`, and caches
-    /// the result keyed by the *ingested stream's* canonical fingerprint
-    /// (which is what remote clients can compute), not the re-encoded
-    /// one. If the key is already resident this is a cheap no-op.
+    /// Ingests a wire stream, keyed by the *ingested stream's* canonical
+    /// fingerprint (which is what remote clients can compute), not the
+    /// re-encoded one. If the key is already resident this is a cheap
+    /// no-op — decided from the stream *header* alone, before any decode
+    /// or prepare work.
+    ///
+    /// Three stream generations route differently:
+    ///
+    /// * **v3** — the zero-copy fast path: the container is copied once
+    ///   into an aligned buffer, validated, and the plan's streams point
+    ///   into it. No pipeline prepare runs.
+    /// * **v2** — fingerprint from the header; on a miss, decode and
+    ///   fully re-prepare through `pipeline`.
+    /// * **v1** — no trailing CRC, so the fingerprint requires the full
+    ///   decode; then as v2.
     ///
     /// # Errors
     ///
-    /// [`CatalogError::Wire`] on undecodable bytes,
-    /// [`CatalogError::Pipeline`] when prepare fails, and the budget
-    /// errors of [`PlanCatalog::insert_prepared`].
+    /// [`CatalogError::Wire`] on undecodable or corrupt bytes,
+    /// [`CatalogError::Pipeline`] when prepare (or a frozen plan's
+    /// validation) fails, and the budget errors of
+    /// [`PlanCatalog::insert_prepared`].
     pub fn insert_wire(
         &self,
         bytes: &[u8],
         pipeline: &Pipeline,
     ) -> Result<MatrixFingerprint, CatalogError> {
+        if is_v3(bytes) {
+            return self.insert_wire_v3(bytes, pipeline);
+        }
+        // v2 headers carry the fingerprint; check residency before
+        // spending any decode or prepare work on a stream we already
+        // hold. (v1 streams have no CRC in the header, so their key
+        // genuinely needs the decode below.)
+        if let Ok(key) = MatrixFingerprint::of_wire_bytes(bytes) {
+            if self.contains(&key) {
+                return Ok(key);
+            }
+        }
         let decoded = SpasmMatrix::from_bytes(bytes)?;
         let key = decoded.fingerprint();
         if self.contains(&key) {
             return Ok(key);
         }
         // Re-prepare from COO: the pipeline re-runs selection and
-        // scheduling for this corpus member. ROADMAP item 2 (mmap'd v3
-        // streams with embedded schedule hints) removes this cost; the
-        // catalog's key is already the stable content address that work
-        // needs.
+        // scheduling for this corpus member. Freezing the prepared plan
+        // to wire v3 (`spasm-store`) removes this cost on the next cold
+        // start; the catalog's key is the same either way.
+        self.prepares.fetch_add(1, Ordering::SeqCst);
         let prepared = pipeline.prepare(&decoded.to_coo())?;
-        self.insert_keyed(key, prepared)?;
+        self.insert_keyed(key, prepared, 0)?;
+        Ok(key)
+    }
+
+    /// The wire-v3 ingest fast path: one aligned copy of the container,
+    /// container + plan validation, then a [`Prepared`] whose immutable
+    /// streams borrow the pinned buffer. No pipeline prepare runs.
+    fn insert_wire_v3(
+        &self,
+        bytes: &[u8],
+        pipeline: &Pipeline,
+    ) -> Result<MatrixFingerprint, CatalogError> {
+        let buffer = PlanBuffer::from_bytes(bytes);
+        let frozen = FrozenPlan::open(buffer).map_err(map_store)?;
+        let key = frozen.fingerprint().map_err(map_store)?;
+        if self.contains(&key) {
+            return Ok(key);
+        }
+        let mapped = frozen.mapped_len();
+        let encoded = frozen.matrix().map_err(map_store)?;
+        let plan = frozen.into_plan().map_err(map_store)?;
+        let prepared = Prepared::restore(
+            encoded,
+            plan,
+            pipeline.options().parallelism,
+            pipeline.options().integrity,
+        )?;
+        self.insert_keyed(key, prepared, mapped)?;
         Ok(key)
     }
 
     /// Inserts under an explicit key. No-op when the key is resident
     /// (entries are content-addressed: same key, same content).
+    /// `mapped` is the pinned container size for wire-v3 entries (0 for
+    /// in-process plans); it is charged to the budget alongside the
+    /// owned footprint.
     pub(crate) fn insert_keyed(
         &self,
         key: MatrixFingerprint,
         prepared: Prepared,
+        mapped: usize,
     ) -> Result<(), CatalogError> {
-        let bytes = prepared_bytes(&prepared);
+        let bytes = prepared_bytes(&prepared) + mapped;
         if bytes > self.budget {
             return Err(CatalogError::PlanTooLarge {
                 bytes,
@@ -410,6 +500,7 @@ impl PlanCatalog {
             seconds_estimate: prepared.report().seconds,
             prepared: Mutex::new(prepared),
             bytes,
+            mapped,
             health: Mutex::new(PlanHealth::default()),
             pins: AtomicUsize::new(0),
             last_used: AtomicU64::new(stamp),
@@ -559,6 +650,8 @@ mod tests {
             "got {err:?}"
         );
         drop(lease);
-        catalog.insert_prepared(prepared(72)).expect("fits after reap");
+        catalog
+            .insert_prepared(prepared(72))
+            .expect("fits after reap");
     }
 }

@@ -301,10 +301,10 @@ pub fn drive_overload(
     // that come due earlier wait for it (and may expire waiting).
     let mut busy_until: Tick = 0;
     let absorb = |stats: &mut RunStats,
-                      owners: &HashMap<u64, usize>,
-                      busy_until: &mut Tick,
-                      now: Tick,
-                      completions: Vec<Completion>| {
+                  owners: &HashMap<u64, usize>,
+                  busy_until: &mut Tick,
+                  now: Tick,
+                  completions: Vec<Completion>| {
         for c in completions {
             if let Ok(out) = &c.result {
                 // exec_seconds is the whole batch's cost, shared by its

@@ -105,8 +105,9 @@ impl TokenBucket {
             return Ok(());
         }
         let refills = now.saturating_sub(self.last_refill) / limit.period;
-        self.tokens = u32::try_from((u64::from(self.tokens) + refills).min(u64::from(limit.burst.max(1))))
-            .unwrap_or(u32::MAX);
+        self.tokens =
+            u32::try_from((u64::from(self.tokens) + refills).min(u64::from(limit.burst.max(1))))
+                .unwrap_or(u32::MAX);
         self.last_refill += refills * limit.period;
         if self.tokens > 0 {
             self.tokens -= 1;
@@ -336,7 +337,11 @@ impl AdmissionQueue {
     ///
     /// A typed [`Rejected`] reason; the request (and its lease) is
     /// dropped, nothing is queued.
-    pub fn push(&mut self, request: QueuedRequest, now: Tick) -> Result<Option<BatchSpec>, Rejected> {
+    pub fn push(
+        &mut self,
+        request: QueuedRequest,
+        now: Tick,
+    ) -> Result<Option<BatchSpec>, Rejected> {
         if let Some(deadline) = request.deadline {
             if deadline.remaining(now).is_none() {
                 return Err(Rejected::DeadlineExceeded {

@@ -44,9 +44,7 @@ use spasm_sparse::{Coo, SpMv, SparseError};
 use crate::breaker::{BreakerConfig, BreakerEvent, ExecRoute};
 use crate::catalog::{CatalogConfig, CatalogError, PlanCatalog};
 use crate::clock::{Deadline, Tick, VirtualClock};
-use crate::queue::{
-    AdmissionQueue, BatchSpec, FlushTrigger, QueueConfig, QueuedRequest, Rejected,
-};
+use crate::queue::{AdmissionQueue, BatchSpec, FlushTrigger, QueueConfig, QueuedRequest, Rejected};
 
 /// Configuration for an [`SpmvServer`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -295,14 +293,19 @@ impl SpmvServer {
         Ok(self.catalog.insert_prepared(prepared)?)
     }
 
-    /// Ingests a v2 wire stream: decode, prepare, cache — keyed by the
-    /// *ingested stream's* canonical fingerprint, which remote clients
-    /// can compute locally. Cheap no-op when already resident.
+    /// Ingests a wire stream — keyed by the *ingested stream's*
+    /// canonical fingerprint, which remote clients can compute locally.
+    /// Cheap no-op when already resident, decided from the stream header
+    /// before any decode or prepare work.
+    ///
+    /// Wire-v3 containers (`spasm-store`) take the zero-copy cold-start
+    /// path: validate and map, no pipeline prepare. v1/v2 streams
+    /// decode and re-prepare on a residency miss.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Catalog`] wrapping decode, prepare or budget
-    /// failures.
+    /// [`ServeError::Catalog`] wrapping decode, validation, prepare or
+    /// budget failures.
     pub fn ingest_wire(&self, bytes: &[u8]) -> Result<MatrixFingerprint, ServeError> {
         Ok(self.catalog.insert_wire(bytes, &self.pipeline)?)
     }
@@ -654,11 +657,12 @@ impl SpmvServer {
                         Err(_) => true,
                     })
                     .collect();
-                let event =
-                    batch.requests[0]
-                        .lease
-                        .entry()
-                        .record_outcomes(*route, &failures, now, &self.breaker);
+                let event = batch.requests[0].lease.entry().record_outcomes(
+                    *route,
+                    &failures,
+                    now,
+                    &self.breaker,
+                );
                 match event {
                     Some(BreakerEvent::Tripped { .. }) => {
                         self.lock_stats().quarantine_trips += 1;
@@ -1103,10 +1107,7 @@ mod tests {
         let err = s
             .submit(fp, vec![1.0; 8], IntegrityPolicy::off())
             .expect_err("no admission after shutdown");
-        assert!(matches!(
-            err,
-            ServeError::Rejected(Rejected::ShuttingDown)
-        ));
+        assert!(matches!(err, ServeError::Rejected(Rejected::ShuttingDown)));
         assert_eq!(s.overload_stats().rejected_shutdown, 1);
         assert!(s.shutdown().is_empty(), "second shutdown is a no-op drain");
     }

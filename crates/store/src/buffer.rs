@@ -1,0 +1,246 @@
+//! Pinned, 64-byte-aligned plan buffers: the [`StableBytes`] backing for
+//! mapped execution-plan streams.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::path::Path;
+use std::sync::Arc;
+
+use spasm_format::ALIGN3;
+use spasm_hw::StableBytes;
+
+use crate::StoreError;
+
+/// How the buffer's bytes are held.
+#[derive(Debug)]
+enum Backing {
+    /// Heap allocation, 64-byte aligned; freed on drop.
+    Heap,
+    /// `mmap`'d file pages (page alignment ≥ 64); unmapped on drop.
+    #[cfg(unix)]
+    Mmap,
+}
+
+/// An immutable byte buffer whose start is 64-byte aligned and whose
+/// address never changes: the [`StableBytes`] implementor behind every
+/// mapped [`spasm_hw::Stream`].
+///
+/// Built either by copying a byte slice into one aligned heap allocation
+/// ([`PlanBuffer::from_bytes`] — the single permitted copy of an ingest
+/// path) or by memory-mapping a file read-only ([`PlanBuffer::open`] —
+/// no copy at all; the kernel pages bytes in on demand).
+#[derive(Debug)]
+pub struct PlanBuffer {
+    ptr: *mut u8,
+    len: usize,
+    backing: Backing,
+}
+
+// SAFETY: the buffer is immutable after construction and exclusively
+// owned until wrapped in an Arc; raw pointer aside, it is a plain byte
+// region with no interior mutability.
+unsafe impl Send for PlanBuffer {}
+unsafe impl Sync for PlanBuffer {}
+
+// SAFETY: `ptr` is never reallocated or written after construction and
+// stays valid until `Drop`; `bytes` always returns the same slice.
+unsafe impl StableBytes for PlanBuffer {
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: ptr/len describe the live allocation (or mapping); for
+        // the empty buffer, ptr is a dangling-but-aligned non-null
+        // pointer, valid for a zero-length slice.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl PlanBuffer {
+    /// Copies `bytes` into one fresh 64-byte-aligned heap allocation.
+    ///
+    /// This is the only copy an in-memory ingest path performs: every
+    /// stream mapped out of the buffer afterwards borrows these bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Arc<PlanBuffer> {
+        if bytes.is_empty() {
+            return Arc::new(PlanBuffer {
+                ptr: ALIGN3 as *mut u8,
+                len: 0,
+                backing: Backing::Heap,
+            });
+        }
+        // An alignment of 64 and a non-zero size always form a valid
+        // layout; a failed allocation aborts via handle_alloc_error.
+        let layout = match Layout::from_size_align(bytes.len(), ALIGN3) {
+            Ok(l) => l,
+            Err(_) => std::alloc::handle_alloc_error(Layout::new::<u8>()),
+        };
+        // SAFETY: layout has non-zero size.
+        let ptr = unsafe { alloc_zeroed(layout) };
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        // SAFETY: ptr points at a fresh allocation of bytes.len() bytes,
+        // disjoint from `bytes`.
+        unsafe { std::ptr::copy_nonoverlapping(bytes.as_ptr(), ptr, bytes.len()) };
+        Arc::new(PlanBuffer {
+            ptr,
+            len: bytes.len(),
+            backing: Backing::Heap,
+        })
+    }
+
+    /// Maps the file at `path` read-only.
+    ///
+    /// On Unix this is a private `mmap` — zero bytes are copied and pages
+    /// fault in lazily. Elsewhere (or if the mapping fails, e.g. on a
+    /// filesystem without mmap support) the file is read into an aligned
+    /// heap buffer instead, so callers behave identically everywhere.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be opened or read.
+    pub fn open(path: &Path) -> Result<Arc<PlanBuffer>, StoreError> {
+        #[cfg(unix)]
+        {
+            if let Some(buf) = Self::try_mmap(path)? {
+                return Ok(buf);
+            }
+        }
+        Ok(Self::from_bytes(&std::fs::read(path)?))
+    }
+
+    /// `true` when the bytes live in a file mapping rather than on the
+    /// heap (capacity accounting prices the two differently).
+    pub fn is_file_mapped(&self) -> bool {
+        #[cfg(unix)]
+        {
+            matches!(self.backing, Backing::Mmap)
+        }
+        #[cfg(not(unix))]
+        {
+            false
+        }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[cfg(unix)]
+    fn try_mmap(path: &Path) -> Result<Option<Arc<PlanBuffer>>, StoreError> {
+        use std::os::unix::io::AsRawFd;
+
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 || len > usize::MAX as u64 {
+            // Zero-length maps are an error on most systems; fall back.
+            return Ok(None);
+        }
+        let len = len as usize;
+
+        const PROT_READ: i32 = 1;
+        const MAP_PRIVATE: i32 = 2;
+        extern "C" {
+            fn mmap(
+                addr: *mut std::ffi::c_void,
+                length: usize,
+                prot: i32,
+                flags: i32,
+                fd: i32,
+                offset: i64,
+            ) -> *mut std::ffi::c_void;
+        }
+        // SAFETY: a fresh private read-only mapping of a file we hold
+        // open; the kernel picks the address. The fd may be closed after
+        // mmap returns — the mapping keeps the file referenced.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Ok(None); // MAP_FAILED → heap fallback
+        }
+        Ok(Some(Arc::new(PlanBuffer {
+            ptr: ptr as *mut u8,
+            len,
+            backing: Backing::Mmap,
+        })))
+    }
+}
+
+impl Drop for PlanBuffer {
+    fn drop(&mut self) {
+        match self.backing {
+            Backing::Heap => {
+                if self.len > 0 {
+                    if let Ok(layout) = Layout::from_size_align(self.len, ALIGN3) {
+                        // SAFETY: allocated in from_bytes with this exact
+                        // layout and never freed elsewhere.
+                        unsafe { dealloc(self.ptr, layout) };
+                    }
+                }
+            }
+            #[cfg(unix)]
+            Backing::Mmap => {
+                extern "C" {
+                    fn munmap(addr: *mut std::ffi::c_void, length: usize) -> i32;
+                }
+                // SAFETY: this exact mapping was created in try_mmap and
+                // is unmapped exactly once.
+                unsafe { munmap(self.ptr as *mut std::ffi::c_void, self.len) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_buffer_is_aligned_and_faithful() {
+        let data: Vec<u8> = (0..=255).collect();
+        let buf = PlanBuffer::from_bytes(&data);
+        assert_eq!(buf.bytes(), &data[..]);
+        assert_eq!(buf.bytes().as_ptr() as usize % ALIGN3, 0);
+        assert!(!buf.is_file_mapped());
+        assert_eq!(buf.len(), 256);
+    }
+
+    #[test]
+    fn empty_buffer_is_fine() {
+        let buf = PlanBuffer::from_bytes(&[]);
+        assert!(buf.is_empty());
+        assert_eq!(buf.bytes(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn mapped_file_round_trips() {
+        let dir = std::env::temp_dir().join("spasm-store-buffer-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("map.bin");
+        let data: Vec<u8> = (0u32..1000).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::write(&path, &data).unwrap();
+        let buf = PlanBuffer::open(&path).unwrap();
+        assert_eq!(buf.bytes(), &data[..]);
+        assert_eq!(buf.bytes().as_ptr() as usize % ALIGN3, 0);
+        #[cfg(unix)]
+        assert!(buf.is_file_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = PlanBuffer::open(Path::new("/nonexistent/spasm/plan.v3")).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+    }
+}

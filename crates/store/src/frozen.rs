@@ -1,0 +1,296 @@
+//! A validated, zero-copy view over a wire-v3 plan container.
+
+use std::sync::Arc;
+
+use spasm_format::{
+    crc32, Header3, MatrixFingerprint, SectionEntry, SpasmMatrix, Wire3Reader, WireError,
+};
+use spasm_hw::{ClassRun, ExecutionPlan, FrozenTile, HwConfig, PlanParts, StableBytes, Stream};
+
+use crate::buffer::PlanBuffer;
+use crate::save::section;
+use crate::StoreError;
+
+/// A wire-v3 container parsed over a pinned [`PlanBuffer`].
+///
+/// [`FrozenPlan::open`] performs the cheap structural validation
+/// (header CRC, directory CRC, section layout); [`FrozenPlan::into_plan`]
+/// then checks every section's content CRC and reassembles an
+/// [`ExecutionPlan`] whose immutable streams *borrow* the buffer —
+/// nothing is copied out of the stream sections, owned allocations cover
+/// only mutable scratch.
+///
+/// Cheap accessors ([`FrozenPlan::fingerprint`], [`FrozenPlan::header`],
+/// [`FrozenPlan::config`]) work without touching the bulk sections, so a
+/// catalog can identify a container and early-exit on residency before
+/// paying for full validation.
+#[derive(Debug)]
+pub struct FrozenPlan {
+    buffer: Arc<PlanBuffer>,
+    header: Header3,
+    entries: Vec<SectionEntry>,
+}
+
+impl FrozenPlan {
+    /// Parses and structurally validates the container in `buffer`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Wire`] for anything malformed: wrong magic or
+    /// version, truncation, CRC mismatch on the header or directory,
+    /// misaligned or overlapping sections, nonzero padding.
+    pub fn open(buffer: Arc<PlanBuffer>) -> Result<FrozenPlan, StoreError> {
+        let reader = Wire3Reader::parse(buffer.bytes())?;
+        let header = *reader.header();
+        let entries = reader.entries().to_vec();
+        Ok(FrozenPlan {
+            buffer,
+            header,
+            entries,
+        })
+    }
+
+    /// The container header.
+    pub fn header(&self) -> &Header3 {
+        &self.header
+    }
+
+    /// Total container size in bytes (what a catalog prices as mapped).
+    pub fn mapped_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The pinned backing buffer.
+    pub fn buffer(&self) -> &Arc<PlanBuffer> {
+        &self.buffer
+    }
+
+    /// The bytes of section `id`, if present.
+    pub fn section(&self, id: u32) -> Option<&[u8]> {
+        self.entry(id)
+            .map(|e| &self.buffer.bytes()[e.offset as usize..(e.offset + e.len) as usize])
+    }
+
+    /// Checks every section's CRC-32 against its directory entry.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::ChecksumMismatch`] (wrapped) on the first corrupted
+    /// section.
+    pub fn verify(&self) -> Result<(), StoreError> {
+        for e in &self.entries {
+            let bytes = &self.buffer.bytes()[e.offset as usize..(e.offset + e.len) as usize];
+            let computed = crc32(bytes);
+            if computed != e.crc {
+                return Err(StoreError::Wire(WireError::ChecksumMismatch {
+                    stored: e.crc,
+                    computed,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// The embedded canonical v2 wire stream of the encoded matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::MissingSection`] (wrapped) when absent.
+    pub fn v2_stream(&self) -> Result<&[u8], StoreError> {
+        Ok(&self.buffer.bytes()[self.require(section::V2STREAM)?])
+    }
+
+    /// The matrix fingerprint, computed from the embedded v2 stream's
+    /// header without decoding the matrix — a frozen plan and a v2
+    /// ingest of the same matrix produce the same catalog key.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Wire`] when the v2 section is absent or its header
+    /// malformed.
+    pub fn fingerprint(&self) -> Result<MatrixFingerprint, StoreError> {
+        Ok(MatrixFingerprint::of_wire_bytes(self.v2_stream()?)?)
+    }
+
+    /// The hardware configuration the plan was frozen for.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Wire`] when the META section is absent or
+    /// malformed.
+    pub fn config(&self) -> Result<HwConfig, StoreError> {
+        let m = &self.buffer.bytes()[self.require(section::META)?];
+        if m.len() < 20 {
+            return Err(StoreError::Wire(WireError::Truncated {
+                reading: "config section",
+            }));
+        }
+        let u32_at = |o: usize| u32::from_le_bytes([m[o], m[o + 1], m[o + 2], m[o + 3]]);
+        let mut freq = [0u8; 8];
+        freq.copy_from_slice(&m[8..16]);
+        let name_len = u32_at(16) as usize;
+        if m.len() != 20 + name_len {
+            return Err(StoreError::Wire(WireError::Inconsistent(
+                "config section length disagrees with name length",
+            )));
+        }
+        let name = std::str::from_utf8(&m[20..])
+            .map_err(|_| StoreError::Wire(WireError::Inconsistent("config name not UTF-8")))?;
+        Ok(HwConfig {
+            name: name.to_owned(),
+            num_pe_groups: u32_at(0),
+            num_xvec_ch: u32_at(4),
+            frequency_mhz: f64::from_bits(u64::from_le_bytes(freq)),
+        })
+    }
+
+    /// Decodes the embedded v2 stream into an owned [`SpasmMatrix`]
+    /// (needed to restore prepare-layer state around a mapped plan; the
+    /// plan itself never requires it).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Wire`] when the v2 section is absent or corrupt.
+    pub fn matrix(&self) -> Result<SpasmMatrix, StoreError> {
+        Ok(SpasmMatrix::from_bytes(self.v2_stream()?)?)
+    }
+
+    /// Verifies every section CRC, then reassembles an [`ExecutionPlan`]
+    /// whose eight immutable streams borrow this container's buffer.
+    ///
+    /// The returned plan executes bit-identically to one freshly
+    /// prepared from the same matrix and configuration; only mutable
+    /// scratch (operand staging, partial sums) is allocated.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Wire`] for container-level corruption,
+    /// [`StoreError::Sim`] when the sections do not assemble into a
+    /// structurally consistent plan. Never panics on hostile input.
+    pub fn into_plan(self) -> Result<ExecutionPlan, StoreError> {
+        self.verify()?;
+
+        let masks_bytes = &self.buffer.bytes()[self.require(section::TEMPLATES)?];
+        if !masks_bytes.len().is_multiple_of(2)
+            || masks_bytes.len() / 2 != self.header.n_templates as usize
+        {
+            return Err(StoreError::Wire(WireError::Inconsistent(
+                "template section length disagrees with header",
+            )));
+        }
+        let template_masks: Vec<u16> = masks_bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect();
+
+        let tile_bytes = &self.buffer.bytes()[self.require(section::TILES)?];
+        if !tile_bytes.len().is_multiple_of(20)
+            || tile_bytes.len() / 20 != self.header.n_tiles as usize
+        {
+            return Err(StoreError::Wire(WireError::Inconsistent(
+                "tile section length disagrees with header",
+            )));
+        }
+        let mut tiles = Vec::with_capacity(self.header.n_tiles as usize);
+        for t in tile_bytes.chunks_exact(20) {
+            let mut first = [0u8; 8];
+            first.copy_from_slice(&t[8..16]);
+            let first = usize::try_from(u64::from_le_bytes(first)).map_err(|_| {
+                StoreError::Wire(WireError::Inconsistent("tile first_instance overflows"))
+            })?;
+            tiles.push(FrozenTile {
+                row: u32::from_le_bytes([t[0], t[1], t[2], t[3]]),
+                col: u32::from_le_bytes([t[4], t[5], t[6], t[7]]),
+                first_instance: first,
+                n_instances: u32::from_le_bytes([t[16], t[17], t[18], t[19]]) as usize,
+            });
+        }
+
+        let n = usize::try_from(self.header.n_instances)
+            .map_err(|_| StoreError::Wire(WireError::Inconsistent("instance count overflows")))?;
+        let x_base = self.map_stream::<u32>(section::XBASE, n)?;
+        let y_base = self.map_stream::<u32>(section::YBASE, n)?;
+        let op_idx = self.map_stream::<u8>(section::OPIDX, n)?;
+        let values = self.map_stream::<f32>(section::VALUES, 4 * n)?;
+        let bucket_idx = self.map_stream::<u32>(section::BUCKET_IDX, n)?;
+        let class_runs = self.map_any::<ClassRun>(section::CLASS_RUNS)?;
+        let block_runs = self.map_any::<u32>(section::BLOCK_RUNS)?;
+        let row_blocks = self.map_any::<u32>(section::ROW_BLOCKS)?;
+
+        // Fault-injection builds re-decode the raw position words, which
+        // live only in the embedded v2 stream; plain builds skip the
+        // decode (and its allocation) entirely.
+        #[cfg(feature = "fault-injection")]
+        let encodings = Some(
+            self.matrix()?
+                .encodings()
+                .iter()
+                .map(|e| e.bits())
+                .collect(),
+        );
+        #[cfg(not(feature = "fault-injection"))]
+        let encodings = None;
+
+        let parts = PlanParts {
+            config: self.config()?,
+            rows: self.header.rows,
+            cols: self.header.cols,
+            tile_size: self.header.tile_size,
+            nnz: self.header.nnz,
+            template_masks,
+            tiles,
+            x_base,
+            y_base,
+            op_idx,
+            values,
+            bucket_idx,
+            class_runs,
+            block_runs,
+            row_blocks,
+            encodings,
+        };
+        Ok(ExecutionPlan::from_parts(parts)?)
+    }
+
+    fn entry(&self, id: u32) -> Option<&SectionEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    fn require(&self, id: u32) -> Result<std::ops::Range<usize>, StoreError> {
+        let e = self
+            .entry(id)
+            .ok_or(StoreError::Wire(WireError::MissingSection { id }))?;
+        Ok(e.offset as usize..(e.offset + e.len) as usize)
+    }
+
+    /// Maps section `id` as a typed stream of exactly `expect` records.
+    fn map_stream<T>(&self, id: u32, expect: usize) -> Result<Stream<T>, StoreError> {
+        let s = self.map_any::<T>(id)?;
+        if s.len() != expect {
+            return Err(StoreError::Wire(WireError::Inconsistent(
+                "stream section length disagrees with header",
+            )));
+        }
+        Ok(s)
+    }
+
+    /// Maps section `id` as a typed stream, length taken from the
+    /// section itself (prefix tables whose length the plan validates).
+    fn map_any<T>(&self, id: u32) -> Result<Stream<T>, StoreError> {
+        let range = self.require(id)?;
+        let size = std::mem::size_of::<T>();
+        if !range.len().is_multiple_of(size) {
+            return Err(StoreError::Wire(WireError::Inconsistent(
+                "section length is not a whole number of records",
+            )));
+        }
+        let keep: Arc<dyn StableBytes> = self.buffer.clone();
+        // SAFETY: sections start 64-byte aligned (enforced by
+        // Wire3Reader::parse), which satisfies any alignment the stream
+        // record types need; the range is in-bounds per the directory
+        // validation; all record types are plain-old-data (u8/u32/f32
+        // and the repr(C) ClassRun of three u32s) with no invalid bit
+        // patterns.
+        Ok(unsafe { Stream::mapped(keep, range.start, range.len() / size) })
+    }
+}

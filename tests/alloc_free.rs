@@ -193,10 +193,12 @@ fn prepared_plans_share_the_value_stream_without_copying() {
     let m = &prepared.encoded;
     let acc = prepared.accelerator();
 
-    // Same allocation, not equal copies.
+    // Same allocation, not equal copies. (`shared_values` is `Some` for
+    // every prepared plan; only mapped wire-v3 plans borrow their values.)
     let plan = acc.prepare(m).unwrap();
+    let plan_values = plan.shared_values().expect("prepared plans own values");
     assert!(
-        std::sync::Arc::ptr_eq(plan.shared_values(), m.shared_values()),
+        std::sync::Arc::ptr_eq(plan_values, m.shared_values()),
         "plan must share the matrix's value-stream allocation"
     );
 

@@ -347,7 +347,12 @@ fn overload_trace(workers: usize) -> OverloadRun {
     };
 
     // t=0: id0 on A, no deadline (coalesce flush would be t=50).
-    take(s.submit(a, xa(0), off), &mut served, &mut shed, &mut rejected);
+    take(
+        s.submit(a, xa(0), off),
+        &mut served,
+        &mut shed,
+        &mut rejected,
+    );
     // t=5: id1 on B, due at 30 -> B's urgent flush tick is 29.
     s.clock().advance_to(5);
     take(
@@ -367,7 +372,12 @@ fn overload_trace(workers: usize) -> OverloadRun {
     // t=12: id3 on A -> the global queue (3) is full; the retry hint
     // points at the earliest pending flush (A at t=19).
     s.clock().advance_to(12);
-    take(s.submit(a, xa(3), off), &mut served, &mut shed, &mut rejected);
+    take(
+        s.submit(a, xa(3), off),
+        &mut served,
+        &mut shed,
+        &mut rejected,
+    );
     // The driver checks in late, at t=25: A's batch flushes stamped at
     // its urgent tick 19, but id2 (due at 20) has really expired while
     // queued — it is shed, 5 ticks late; id0 still serves.
@@ -384,20 +394,25 @@ fn overload_trace(workers: usize) -> OverloadRun {
     );
     // t=40: id5 on A, queued. t=45: graceful shutdown drains it.
     s.clock().advance_to(40);
-    take(s.submit(a, xa(5), off), &mut served, &mut shed, &mut rejected);
+    take(
+        s.submit(a, xa(5), off),
+        &mut served,
+        &mut shed,
+        &mut rejected,
+    );
     s.clock().advance_to(45);
     absorb(s.shutdown(), &mut served, &mut shed);
     // t=45+: id6 is refused — the server is shutting down.
-    take(s.submit(a, xa(6), off), &mut served, &mut shed, &mut rejected);
+    take(
+        s.submit(a, xa(6), off),
+        &mut served,
+        &mut shed,
+        &mut rejected,
+    );
 
     let breaker_states = [a, b]
         .iter()
-        .map(|fp| {
-            s.catalog()
-                .get(fp)
-                .expect("plan resident")
-                .breaker_state()
-        })
+        .map(|fp| s.catalog().get(fp).expect("plan resident").breaker_state())
         .collect();
     OverloadRun {
         log: s.batch_log(),
@@ -515,4 +530,66 @@ fn full_integrity_policy_serves_clean_and_bit_identical() {
             "id {id}: verification changed bits"
         );
     }
+}
+
+#[test]
+fn wire_ingest_skips_resident_plans_and_maps_v3_without_preparing() {
+    let m = scatter(96, 3, 7);
+    let mut fresh = pinned_pipeline().prepare(&m).expect("prepare");
+    let v2 = fresh.encoded.to_bytes().to_vec();
+
+    // First v2 ingest pays exactly one full pipeline prepare.
+    let srv = server(4, 8, 1);
+    let fp = srv.ingest_wire(&v2).expect("first ingest");
+    assert_eq!(srv.catalog().prepares_performed(), 1);
+
+    // Re-ingesting the identical bytes is a pure residency hit: the
+    // fingerprint comes from the stream header and *no* prepare runs.
+    let fp2 = srv.ingest_wire(&v2).expect("second ingest");
+    assert_eq!(fp2.token(), fp.token());
+    assert_eq!(
+        srv.catalog().prepares_performed(),
+        1,
+        "re-ingest of resident bytes re-ran the pipeline"
+    );
+
+    // A frozen v3 container takes the mapped fast path: zero prepares,
+    // the mapped stream bytes are priced on the entry, and the restored
+    // plan serves bit-identically to the fresh one.
+    let v3 = spasm_store::save_v3(&fresh.encoded, &fresh.plan).expect("save_v3");
+    let srv3 = server(4, 8, 1);
+    let fp3 = srv3.ingest_wire(&v3).expect("v3 ingest");
+    assert_eq!(fp3.token(), fp.token());
+    assert_eq!(
+        srv3.catalog().prepares_performed(),
+        0,
+        "v3 ingest fell back to a full prepare"
+    );
+    {
+        let lease = srv3.catalog().get(&fp3).expect("resident");
+        assert!(
+            lease.entry().mapped_bytes() > 0,
+            "v3 entry prices no mapped bytes"
+        );
+    }
+
+    // Residency short-circuit holds for v3 bytes too.
+    srv3.ingest_wire(&v3).expect("v3 re-ingest");
+    assert_eq!(srv3.catalog().prepares_performed(), 0);
+
+    let x = seeded_x(m.cols() as usize, 0xC0FFEE);
+    let mut want = vec![0.0f32; m.rows() as usize];
+    fresh.execute(&x, &mut want).expect("fresh execute");
+    let got = srv3
+        .with_prepared(fp3, |p| {
+            let mut y = vec![0.0f32; 96];
+            p.execute(&x, &mut y).expect("mapped execute");
+            y
+        })
+        .expect("plan resident");
+    assert_eq!(
+        bits(&got),
+        bits(&want),
+        "mapped v3 plan diverged in serving"
+    );
 }

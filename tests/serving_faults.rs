@@ -15,9 +15,7 @@ use spasm::sparse::{Coo, SpMv};
 use spasm::{IntegrityPolicy, Pipeline, PipelineOptions};
 use spasm_patterns::TemplateSet;
 use spasm_serve::loadgen::seeded_x;
-use spasm_serve::{
-    BreakerConfig, BreakerState, QueueConfig, ServeError, ServerConfig, SpmvServer,
-};
+use spasm_serve::{BreakerConfig, BreakerState, QueueConfig, ServeError, ServerConfig, SpmvServer};
 
 /// A 300×300 scattered matrix spanning two 256-row tile rows under the
 /// pinned schedule, 5 entries per row.
