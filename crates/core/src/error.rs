@@ -2,6 +2,7 @@ use std::fmt;
 
 use spasm_format::FormatError;
 use spasm_hw::{IntegrityCheck, OpcodeError};
+use spasm_sparse::DeltaError;
 
 /// Errors from running the SPASM pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +36,8 @@ pub enum PipelineError {
     },
     /// The schedule exploration had nothing to explore.
     EmptySearchSpace(&'static str),
+    /// A streaming update was rejected; the prepared plan is untouched.
+    Delta(DeltaError),
     /// An integrity check failed and the policy forbade (or repair plus
     /// fallback could not restore) a correct result.
     Integrity {
@@ -74,6 +77,7 @@ impl fmt::Display for PipelineError {
             PipelineError::EmptySearchSpace(what) => {
                 write!(f, "schedule exploration requires at least one {what}")
             }
+            PipelineError::Delta(e) => write!(f, "rejected matrix delta: {e}"),
             PipelineError::Integrity { tile_row, check } => {
                 write!(f, "integrity failure in tile row {tile_row}: {check}")
             }
@@ -86,6 +90,7 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Format(e) => Some(e),
             PipelineError::Opcode(e) => Some(e),
+            PipelineError::Delta(e) => Some(e),
             _ => None,
         }
     }
@@ -94,6 +99,12 @@ impl std::error::Error for PipelineError {
 impl From<FormatError> for PipelineError {
     fn from(e: FormatError) -> Self {
         PipelineError::Format(e)
+    }
+}
+
+impl From<DeltaError> for PipelineError {
+    fn from(e: DeltaError) -> Self {
+        PipelineError::Delta(e)
     }
 }
 

@@ -1,16 +1,19 @@
 //! The end-to-end SPASM pipeline (workflow ①–⑥, Fig. 6).
 
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use spasm_format::{SpasmMatrix, SubmatrixMap};
+use spasm_format::{SpasmMatrix, SubBlock, SubmatrixMap};
 use spasm_hw::{
     merge_health, Accelerator, ExecReport, ExecutionPlan, HealthReport, HwConfig, IntegrityCheck,
     VerifyScope,
 };
 use spasm_patterns::selection::{self, TopN};
-use spasm_patterns::{DecompositionTable, GridSize, SelectionOutcome, Template, TemplateSet};
-use spasm_sparse::{Coo, Csr, SpMv};
+use spasm_patterns::{
+    DecompositionTable, GridSize, PatternHistogram, SelectionOutcome, Template, TemplateSet,
+};
+use spasm_sparse::{Coo, Csr, DeltaOp, MatrixDelta, SpMv};
 
 use crate::error::PipelineError;
 use crate::integrity::{IntegrityMode, IntegrityPolicy};
@@ -44,6 +47,12 @@ pub struct PipelineOptions {
     /// corruption falls back to the golden CSR path (default:
     /// [`IntegrityPolicy::off`]).
     pub integrity: IntegrityPolicy,
+    /// Streaming-update drift threshold (default 0.25): when a structural
+    /// delta touches more than this fraction of the matrix's occupied 4×4
+    /// submatrices — or shifts the pattern histogram enough that step ②
+    /// would pick a different portfolio — [`Prepared::apply_delta`] falls
+    /// back to a full re-prepare instead of splicing tiles.
+    pub drift_threshold: f64,
 }
 
 impl Default for PipelineOptions {
@@ -55,6 +64,7 @@ impl Default for PipelineOptions {
             configs: HwConfig::shipped(),
             parallelism: Parallelism::Auto,
             integrity: IntegrityPolicy::off(),
+            drift_threshold: 0.25,
         }
     }
 }
@@ -83,6 +93,13 @@ impl PipelineOptions {
     /// Sets the execution integrity policy.
     pub fn integrity(mut self, integrity: IntegrityPolicy) -> Self {
         self.integrity = integrity;
+        self
+    }
+
+    /// Sets the streaming-update drift threshold (a fraction of occupied
+    /// 4×4 submatrices; see [`PipelineOptions::drift_threshold`]).
+    pub fn drift_threshold(mut self, fraction: f64) -> Self {
+        self.drift_threshold = fraction;
         self
     }
 }
@@ -356,6 +373,8 @@ impl Pipeline {
             parallelism: self.options.parallelism,
             golden: Golden::seeded(Csr::from(matrix)),
             integrity: self.options.integrity,
+            options: self.options.clone(),
+            histogram: Some(histogram),
             sample_rows: Vec::new(),
             scope: Vec::new(),
             batch_health: Vec::new(),
@@ -396,6 +415,18 @@ impl Golden {
         self.0.get_or_init(|| Csr::from(&encoded.to_coo()))
     }
 
+    /// Co-updates a *materialised* reference with a values-only patch so
+    /// the integrity ladder keeps verifying against the current values.
+    /// A still-lazy reference needs nothing: it will materialise from the
+    /// already-patched encoded matrix.
+    fn patch(&mut self, entries: &[(u32, u32, f32)]) {
+        if let Some(csr) = self.0.get_mut() {
+            for &(r, c, v) in entries {
+                csr.patch_value(r, c, v);
+            }
+        }
+    }
+
     /// Heap footprint of the reference without forcing it: the exact
     /// size it will occupy once (if ever) materialised, so capacity
     /// accounting does not change when it is.
@@ -412,6 +443,35 @@ impl Golden {
             }
         }
     }
+}
+
+/// How [`Prepared::apply_delta`] absorbed a [`MatrixDelta`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum DeltaOutcome {
+    /// Values-only: the value stream was replaced copy-on-write under a
+    /// bumped plan version; nothing was re-encoded or re-decoded.
+    Patched {
+        /// Number of cells patched.
+        entries: usize,
+    },
+    /// Structural, within the drift threshold: the touched 4×4
+    /// submatrices were re-encoded and their tiles spliced into the
+    /// stream; untouched tiles' decoded spans were reused.
+    Spliced {
+        /// Number of 4×4 submatrices re-encoded.
+        submatrices: usize,
+    },
+    /// Structural, past the drift threshold (or the pattern mix shifted
+    /// enough that step ② would now pick a different portfolio): the
+    /// full pipeline re-ran on the mutated matrix with the original
+    /// options.
+    Reprepared {
+        /// Whether template re-selection (not just volume) forced it.
+        portfolio_changed: bool,
+        /// Touched fraction of the matrix's occupied 4×4 submatrices.
+        changed_fraction: f64,
+    },
 }
 
 /// The output of preprocessing: ready to execute and inspect.
@@ -444,6 +504,16 @@ pub struct Prepared {
     /// The integrity policy in effect (inherited from the pipeline options
     /// at prepare time; see [`Prepared::set_integrity`]).
     integrity: IntegrityPolicy,
+    /// The options this plan was prepared under, kept for the streaming
+    /// update path: a drifting [`Prepared::apply_delta`] re-runs the full
+    /// pipeline with exactly this search space. Restored plans synthesise
+    /// defaults pinned to the restored portfolio.
+    options: PipelineOptions,
+    /// The local-pattern histogram of the *current* matrix content, kept
+    /// incrementally by structural deltas for the drift check. `None` on
+    /// restored plans until first needed (rebuilt from the encoded
+    /// stream).
+    histogram: Option<PatternHistogram>,
     /// Scratch: output rows drawn for the sampled cross-check.
     sample_rows: Vec<usize>,
     /// Scratch: worked tile-row indices covering the sampled rows.
@@ -489,6 +559,15 @@ impl Prepared {
             tile_size: encoded.tile_size(),
             predicted_cycles: plan.report().cycles,
         };
+        // A thawed plan does not know the search space it came from; pin
+        // the synthesised options to the restored portfolio and schedule
+        // so a drifting delta re-prepares within what the plan already
+        // embodies.
+        let options = PipelineOptions::default()
+            .fixed_portfolio(selection.set.clone())
+            .fixed_schedule(best.tile_size, best.config.clone())
+            .parallelism(parallelism)
+            .integrity(integrity);
         Ok(Prepared {
             selection,
             best,
@@ -499,6 +578,8 @@ impl Prepared {
             parallelism,
             golden: Golden::default(),
             integrity,
+            options,
+            histogram: None,
             sample_rows: Vec::new(),
             scope: Vec::new(),
             batch_health: Vec::new(),
@@ -823,6 +904,236 @@ impl Prepared {
     /// [`ExecutionPlan`]s.
     pub fn accelerator(&self) -> Accelerator {
         Accelerator::new(self.best.config.clone())
+    }
+
+    /// The options this plan was prepared under (synthesised and pinned
+    /// to the plan's own portfolio/schedule for restored plans).
+    pub fn options(&self) -> &PipelineOptions {
+        &self.options
+    }
+
+    /// Applies a streaming update to this prepared plan *without*
+    /// re-running preprocessing, choosing the cheapest coherent path:
+    ///
+    /// * **values-only** deltas ([`MatrixDelta::is_values_only`]) patch
+    ///   the encoded value stream copy-on-write and install the new
+    ///   buffer under a bumped [`ExecutionPlan::version`] — executions
+    ///   (or plan clones) already in flight keep reading the old buffer;
+    /// * **structural** deltas (any insert/delete) re-encode only the
+    ///   touched 4×4 submatrices and splice the affected tiles into the
+    ///   stream, reusing the decoded spans of every untouched tile;
+    /// * when the update drifts past
+    ///   [`PipelineOptions::drift_threshold`] — or shifts the local
+    ///   pattern histogram enough that step ② would now select a
+    ///   different portfolio — the full pipeline re-runs on the mutated
+    ///   matrix with the original options.
+    ///
+    /// Every path leaves the plan bit-identical to a from-scratch
+    /// [`Pipeline::prepare`] of the mutated matrix (`tests/
+    /// update_equivalence.rs`), co-updates the golden CSR reference so a
+    /// verifying [`IntegrityPolicy`] checks against the *new* values, and
+    /// keeps [`ExecutionPlan::version`] strictly increasing. An empty
+    /// delta is a no-op (no version bump).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Delta`] when the delta fails validation against
+    /// the current matrix (out-of-bounds coordinates, explicit zeros,
+    /// conflicting ops, patches/deletes of absent cells, inserts into
+    /// occupied ones). On any error the plan is untouched.
+    pub fn apply_delta(&mut self, delta: &MatrixDelta) -> Result<DeltaOutcome, PipelineError> {
+        if delta.is_empty() {
+            return Ok(DeltaOutcome::Patched { entries: 0 });
+        }
+        delta.validate(self.golden.get(&self.encoded))?;
+        if delta.is_values_only() {
+            let entries: Vec<(u32, u32, f32)> = delta
+                .ops()
+                .iter()
+                .filter_map(|op| match *op {
+                    DeltaOp::Patch { row, col, value } => Some((row, col, value)),
+                    _ => None,
+                })
+                .collect();
+            let values = self.encoded.patch_values(&entries)?;
+            self.plan.adopt_values(values)?;
+            self.golden.patch(&entries);
+            return Ok(DeltaOutcome::Patched {
+                entries: entries.len(),
+            });
+        }
+        self.apply_structural(delta)
+    }
+
+    /// The structural-delta path: derive old/new 4×4 states from the
+    /// golden reference, run the drift check, then splice or re-prepare.
+    fn apply_structural(&mut self, delta: &MatrixDelta) -> Result<DeltaOutcome, PipelineError> {
+        let (rows, cols) = (self.encoded.rows(), self.encoded.cols());
+
+        // Group ops by the 4×4 submatrix they touch.
+        let mut groups: BTreeMap<(u32, u32), Vec<DeltaOp>> = BTreeMap::new();
+        for op in delta.ops() {
+            let (r, c) = op.coord();
+            groups.entry((r / 4, c / 4)).or_default().push(*op);
+        }
+
+        // Old and new submatrix states. Stored zeros (possible only when
+        // the *original* input carried explicit zeros) are treated as
+        // absent — the value stream cannot distinguish them from padding,
+        // so the delta layer canonicalises them away.
+        let mut replacements: Vec<SubBlock> = Vec::with_capacity(groups.len());
+        let mut mask_changes: Vec<(u16, u16)> = Vec::with_capacity(groups.len());
+        {
+            let golden = self.golden.get(&self.encoded);
+            for (&(sub_r, sub_c), ops) in &groups {
+                let mut mask: u16 = 0;
+                let mut values = [0.0f32; 16];
+                for bit in 0..16u32 {
+                    let (r, c) = (sub_r * 4 + bit / 4, sub_c * 4 + bit % 4);
+                    if r >= rows || c >= cols {
+                        continue;
+                    }
+                    if let Some(v) = golden.get(r, c) {
+                        if v != 0.0 {
+                            mask |= 1 << bit;
+                            values[bit as usize] = v;
+                        }
+                    }
+                }
+                let old_mask = mask;
+                for op in ops {
+                    let (r, c) = op.coord();
+                    let bit = (r % 4) * 4 + (c % 4);
+                    match *op {
+                        DeltaOp::Patch { value, .. } | DeltaOp::Insert { value, .. } => {
+                            mask |= 1 << bit;
+                            values[bit as usize] = value;
+                        }
+                        DeltaOp::Delete { .. } => {
+                            mask &= !(1 << bit);
+                            values[bit as usize] = 0.0;
+                        }
+                    }
+                }
+                mask_changes.push((old_mask, mask));
+                replacements.push(SubBlock {
+                    sub_r,
+                    sub_c,
+                    mask,
+                    values,
+                });
+            }
+        }
+
+        // Advance the local-pattern histogram incrementally and check for
+        // drift: would step ② still pick the same portfolio, and is the
+        // touched fraction under the threshold?
+        let mut counts: BTreeMap<u16, u64> = self
+            .histogram
+            .get_or_insert_with(|| SubmatrixMap::from_coo(&self.encoded.to_coo()).histogram())
+            .iter()
+            .map(|(m, f)| (*m, *f))
+            .collect();
+        for &(old_mask, new_mask) in &mask_changes {
+            if old_mask != 0 {
+                if let Some(f) = counts.get_mut(&old_mask) {
+                    *f = f.saturating_sub(1);
+                    if *f == 0 {
+                        counts.remove(&old_mask);
+                    }
+                }
+            }
+            if new_mask != 0 {
+                *counts.entry(new_mask).or_insert(0) += 1;
+            }
+        }
+        let new_histogram = PatternHistogram::from_counts(GridSize::S4, counts);
+        let reselected = selection::select_template_set(
+            &new_histogram,
+            &self.options.candidates,
+            self.options.top_n,
+        );
+        let portfolio_changed = !reselected.set.masks().eq(self.selection.set.masks());
+        let changed_fraction = groups.len() as f64 / new_histogram.total_blocks().max(1) as f64;
+        if portfolio_changed || changed_fraction > self.options.drift_threshold {
+            self.reprepare(delta)?;
+            return Ok(DeltaOutcome::Reprepared {
+                portfolio_changed,
+                changed_fraction,
+            });
+        }
+
+        // Splice path: re-encode touched tiles, reuse everything else.
+        // Both steps build out-of-place; the plan is untouched on error.
+        let new_encoded = self.encoded.spliced(&replacements, &self.selection.table)?;
+        let subs_per_tile = self.encoded.tile_size() / 4;
+        let mut touched_tiles: Vec<(u32, u32)> = groups
+            .keys()
+            .map(|&(sr, sc)| (sr / subs_per_tile, sc / subs_per_tile))
+            .collect();
+        touched_tiles.sort_unstable();
+        touched_tiles.dedup();
+        let new_plan = self
+            .plan
+            .respliced(&new_encoded, self.encoded.tiles(), &touched_tiles)?;
+
+        self.encoded = new_encoded;
+        self.plan = new_plan;
+        // The golden reference is structurally stale; rebuild lazily from
+        // the spliced stream on first integrity use.
+        self.golden = Golden::default();
+        self.histogram = Some(new_histogram);
+        self.selection.paddings = self.encoded.paddings();
+        self.best.predicted_cycles = self.plan.report().cycles;
+        Ok(DeltaOutcome::Spliced {
+            submatrices: replacements.len(),
+        })
+    }
+
+    /// The drift fallback: re-run the whole pipeline on the mutated
+    /// matrix with the original options, preserving the current integrity
+    /// policy and dispatch mode and keeping the version stamp monotonic.
+    fn reprepare(&mut self, delta: &MatrixDelta) -> Result<(), PipelineError> {
+        let (rows, cols) = (self.encoded.rows(), self.encoded.cols());
+        let mutated = {
+            let golden = self.golden.get(&self.encoded);
+            let mut cells: BTreeMap<(u32, u32), f32> = BTreeMap::new();
+            let ptr = golden.row_ptr();
+            let col_idx = golden.col_indices();
+            let vals = golden.values();
+            for r in 0..golden.rows() as usize {
+                for i in ptr[r]..ptr[r + 1] {
+                    // Canonicalise: explicit zeros encode as padding and
+                    // round-trip as absent, so drop them here too.
+                    if vals[i] != 0.0 {
+                        cells.insert((r as u32, col_idx[i]), vals[i]);
+                    }
+                }
+            }
+            for op in delta.ops() {
+                match *op {
+                    DeltaOp::Patch { row, col, value } | DeltaOp::Insert { row, col, value } => {
+                        cells.insert((row, col), value);
+                    }
+                    DeltaOp::Delete { row, col } => {
+                        cells.remove(&(row, col));
+                    }
+                }
+            }
+            let triplets: Vec<(u32, u32, f32)> =
+                cells.into_iter().map(|((r, c), v)| (r, c, v)).collect();
+            Coo::from_triplets(rows, cols, triplets).map_err(map_sparse)?
+        };
+
+        let next_version = self.plan.version() + 1;
+        let dispatch = self.plan.dispatch();
+        let integrity = self.integrity;
+        let mut fresh = Pipeline::with_options(self.options.clone()).prepare(&mutated)?;
+        fresh.plan.set_dispatch(dispatch);
+        fresh.plan.restamp_version(next_version);
+        fresh.integrity = integrity;
+        *self = fresh;
+        Ok(())
     }
 }
 

@@ -72,7 +72,7 @@ mod report;
 mod schedule;
 
 pub use error::PipelineError;
-pub use framework::{Parallelism, Pipeline, PipelineOptions, Prepared, StageTimings};
+pub use framework::{DeltaOutcome, Parallelism, Pipeline, PipelineOptions, Prepared, StageTimings};
 pub use integrity::{IntegrityMode, IntegrityPolicy};
 pub use report::{spasm_batch_report, spasm_report};
 pub use schedule::{default_tile_sizes, explore_schedule, ScheduleCandidate, ScheduleChoice};

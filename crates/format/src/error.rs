@@ -22,6 +22,22 @@ pub enum FormatError {
         /// Which operand (`"x"` or `"y"`).
         operand: &'static str,
     },
+    /// A values-only patch targeted a cell that holds no stored value
+    /// (out of bounds, in no encoded tile, or a padding slot).
+    AbsentCell {
+        /// Matrix row of the missing cell.
+        row: u32,
+        /// Matrix column of the missing cell.
+        col: u32,
+    },
+    /// A values-only patch tried to write 0.0 — reserved for padding
+    /// slots; removing an entry is a structural delete.
+    ZeroPatch {
+        /// Matrix row of the rejected write.
+        row: u32,
+        /// Matrix column of the rejected write.
+        col: u32,
+    },
 }
 
 impl fmt::Display for FormatError {
@@ -43,6 +59,15 @@ impl fmt::Display for FormatError {
                 write!(
                     f,
                     "vector `{operand}` has length {actual}, expected {expected}"
+                )
+            }
+            FormatError::AbsentCell { row, col } => {
+                write!(f, "no stored value at ({row}, {col}) to patch")
+            }
+            FormatError::ZeroPatch { row, col } => {
+                write!(
+                    f,
+                    "refusing to patch ({row}, {col}) to 0.0 (zero slots encode padding)"
                 )
             }
         }

@@ -1,13 +1,14 @@
 //! The encoded SPASM matrix: global tile directory + per-tile instance
 //! streams.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use spasm_patterns::DecompositionTable;
 
 use crate::encoding::{PositionEncoding, MAX_TILE_SIZE, PATTERN_EDGE};
 use crate::error::FormatError;
-use crate::submatrix::SubmatrixMap;
+use crate::submatrix::{SubBlock, SubmatrixMap};
 
 /// One entry of the global composition: a non-empty tile in COO order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,32 +108,14 @@ impl SpasmMatrix {
             let first_instance = encodings.len();
             while i < order.len() && tile_of(order[i]) == (tile_row, tile_col) {
                 let b = &map.blocks()[order[i]];
-                let d = table
-                    .decompose(b.mask)
-                    .ok_or(FormatError::UncoverablePattern { mask: b.mask })?;
-                paddings += u64::from(d.paddings);
-                let r_idx = b.sub_r % subs_per_tile;
-                let c_idx = b.sub_c % subs_per_tile;
-                // First template instance covering a cell carries its
-                // value; later overlapping instances pad with zero.
-                let mut remaining = b.mask;
-                for &t_id in &d.template_ids {
-                    let tmask = templates[t_id as usize];
-                    let mut slot_values = [0.0f32; 4];
-                    let mut slot = 0usize;
-                    for bit in 0..16u16 {
-                        if tmask & (1 << bit) != 0 {
-                            if remaining & (1 << bit) != 0 {
-                                slot_values[slot] = b.values[bit as usize];
-                                remaining &= !(1 << bit);
-                            }
-                            slot += 1;
-                        }
-                    }
-                    debug_assert_eq!(slot, 4, "templates have exactly 4 cells");
-                    encodings.push(PositionEncoding::new(c_idx, r_idx, false, false, t_id));
-                    values.extend_from_slice(&slot_values);
-                }
+                paddings += u64::from(Self::encode_block(
+                    &templates,
+                    table,
+                    b,
+                    subs_per_tile,
+                    &mut encodings,
+                    &mut values,
+                )?);
                 i += 1;
             }
             tiles.push(Tile {
@@ -143,17 +126,7 @@ impl SpasmMatrix {
             });
         }
 
-        // Stamp CE on each tile's last instance and RE on the last tile of
-        // each tile row.
-        for (t, tile) in tiles.iter().enumerate() {
-            if tile.n_instances == 0 {
-                continue;
-            }
-            let last = tile.first_instance + tile.n_instances - 1;
-            let e = encodings[last];
-            let row_end = t + 1 == tiles.len() || tiles[t + 1].tile_row != tile.tile_row;
-            encodings[last] = PositionEncoding::new(e.c_idx(), e.r_idx(), true, row_end, e.t_idx());
-        }
+        Self::stamp_boundaries(&tiles, &mut encodings);
 
         Ok(SpasmMatrix {
             rows: map.rows(),
@@ -166,6 +139,68 @@ impl SpasmMatrix {
             encodings,
             values: values.into(),
         })
+    }
+
+    /// Clears every CE/RE flag, then stamps CE on each tile's last
+    /// instance and RE on the last tile of each tile row.
+    ///
+    /// Running this over any instance stream consistent with `tiles`
+    /// yields exactly the flag assignment [`SpasmMatrix::encode`]
+    /// produces, which is what lets [`SpasmMatrix::spliced`] copy
+    /// untouched tile spans verbatim and restamp afterwards.
+    fn stamp_boundaries(tiles: &[Tile], encodings: &mut [PositionEncoding]) {
+        for e in encodings.iter_mut() {
+            *e = PositionEncoding::new(e.c_idx(), e.r_idx(), false, false, e.t_idx());
+        }
+        for (t, tile) in tiles.iter().enumerate() {
+            if tile.n_instances == 0 {
+                continue;
+            }
+            let last = tile.first_instance + tile.n_instances - 1;
+            let e = encodings[last];
+            let row_end = t + 1 == tiles.len() || tiles[t + 1].tile_row != tile.tile_row;
+            encodings[last] = PositionEncoding::new(e.c_idx(), e.r_idx(), true, row_end, e.t_idx());
+        }
+    }
+
+    /// Decomposes one occupied submatrix and appends its template
+    /// instances to the stream, returning the padding slots introduced.
+    ///
+    /// The shared inner loop of [`SpasmMatrix::encode`] and
+    /// [`SpasmMatrix::spliced`]: the first template instance covering a
+    /// cell carries its value; later overlapping instances pad with zero.
+    fn encode_block(
+        templates: &[u16],
+        table: &DecompositionTable,
+        b: &SubBlock,
+        subs_per_tile: u32,
+        encodings: &mut Vec<PositionEncoding>,
+        values: &mut Vec<f32>,
+    ) -> Result<u32, FormatError> {
+        let d = table
+            .decompose(b.mask)
+            .ok_or(FormatError::UncoverablePattern { mask: b.mask })?;
+        let r_idx = b.sub_r % subs_per_tile;
+        let c_idx = b.sub_c % subs_per_tile;
+        let mut remaining = b.mask;
+        for &t_id in &d.template_ids {
+            let tmask = templates[t_id as usize];
+            let mut slot_values = [0.0f32; 4];
+            let mut slot = 0usize;
+            for bit in 0..16u16 {
+                if tmask & (1 << bit) != 0 {
+                    if remaining & (1 << bit) != 0 {
+                        slot_values[slot] = b.values[bit as usize];
+                        remaining &= !(1 << bit);
+                    }
+                    slot += 1;
+                }
+            }
+            debug_assert_eq!(slot, 4, "templates have exactly 4 cells");
+            encodings.push(PositionEncoding::new(c_idx, r_idx, false, false, t_id));
+            values.extend_from_slice(&slot_values);
+        }
+        Ok(d.paddings)
     }
 
     /// Reassembles a matrix from pre-validated parts (wire
@@ -352,6 +387,262 @@ impl SpasmMatrix {
         Ok(y)
     }
 
+    /// Finds the `(instance, slot)` carrying the stored value of cell
+    /// `(r, c)`: the first instance (in decomposition order) of the
+    /// cell's 4×4 submatrix whose template mask covers the cell, with
+    /// the slot being the cell bit's rank within that mask.
+    ///
+    /// Returns `None` when the coordinate is out of bounds or no encoded
+    /// tile/instance covers it. Note a covering slot can still be
+    /// *padding* (value 0.0) when the cell itself holds no entry —
+    /// callers distinguish via the slot value, which is only 0.0 for
+    /// padding (explicit stored zeros are dropped at encode time).
+    fn locate_slot(&self, r: u32, c: u32) -> Option<(usize, usize)> {
+        if r >= self.rows || c >= self.cols {
+            return None;
+        }
+        let spt = self.tile_size / PATTERN_EDGE;
+        let (sub_r, sub_c) = (r / PATTERN_EDGE, c / PATTERN_EDGE);
+        let key = (sub_r / spt, sub_c / spt);
+        let t = self
+            .tiles
+            .binary_search_by_key(&key, |t| (t.tile_row, t.tile_col))
+            .ok()?;
+        let tile = &self.tiles[t];
+        let (r_idx, c_idx) = (sub_r % spt, sub_c % spt);
+        let bit = (r % PATTERN_EDGE) * PATTERN_EDGE + (c % PATTERN_EDGE);
+        for i in tile.first_instance..tile.first_instance + tile.n_instances {
+            let e = self.encodings[i];
+            if e.r_idx() != r_idx || e.c_idx() != c_idx {
+                continue;
+            }
+            let tmask = self.templates[e.t_idx() as usize];
+            if tmask & (1 << bit) != 0 {
+                let slot = (tmask & ((1u16 << bit) - 1)).count_ones() as usize;
+                return Some((i, slot));
+            }
+        }
+        None
+    }
+
+    /// The stored value at `(r, c)`, or `None` when the cell holds no
+    /// entry.
+    pub fn get(&self, r: u32, c: u32) -> Option<f32> {
+        let (i, slot) = self.locate_slot(r, c)?;
+        let v = self.values[i * 4 + slot];
+        (v != 0.0).then_some(v)
+    }
+
+    /// Applies a batch of values-only patches copy-on-write and returns
+    /// the new shared value buffer.
+    ///
+    /// The sparsity pattern, tile directory and position encodings are
+    /// untouched — only the value stream is replaced, with exactly one
+    /// new allocation. Existing clones of the previous buffer (held by
+    /// in-flight execution plans) keep reading the old values; see
+    /// `spasm_hw::ExecutionPlan::adopt_values` for the hand-over.
+    ///
+    /// Validation is transactional: on any error the matrix is
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// * [`FormatError::ZeroPatch`] when a patch writes 0.0 (reserved
+    ///   for padding slots — removing an entry is a structural delete);
+    /// * [`FormatError::AbsentCell`] when a target cell holds no entry.
+    pub fn patch_values(&mut self, entries: &[(u32, u32, f32)]) -> Result<Arc<[f32]>, FormatError> {
+        let mut slots = Vec::with_capacity(entries.len());
+        for &(r, c, v) in entries {
+            if v == 0.0 {
+                return Err(FormatError::ZeroPatch { row: r, col: c });
+            }
+            let (i, slot) = self
+                .locate_slot(r, c)
+                .ok_or(FormatError::AbsentCell { row: r, col: c })?;
+            let at = i * 4 + slot;
+            if self.values[at] == 0.0 {
+                // Covered by a template, but only as a padding slot: the
+                // cell itself holds no entry.
+                return Err(FormatError::AbsentCell { row: r, col: c });
+            }
+            slots.push((at, v));
+        }
+        let mut next: Arc<[f32]> = Arc::from(&self.values[..]);
+        if let Some(buf) = Arc::get_mut(&mut next) {
+            for (at, v) in slots {
+                buf[at] = v;
+            }
+        }
+        self.values = Arc::clone(&next);
+        Ok(next)
+    }
+
+    /// Reconstructs the occupied submatrices of one tile from its
+    /// instance stream, in `(sub_r, sub_c)` order.
+    ///
+    /// Padding slots (value 0.0) are not part of any mask, so a
+    /// reconstructed block's mask covers exactly the stored entries.
+    fn decode_tile_blocks(&self, tile: &Tile) -> Vec<SubBlock> {
+        let spt = self.tile_size / PATTERN_EDGE;
+        let mut out: Vec<SubBlock> = Vec::new();
+        for i in tile.first_instance..tile.first_instance + tile.n_instances {
+            let e = self.encodings[i];
+            let sub_r = tile.tile_row * spt + e.r_idx();
+            let sub_c = tile.tile_col * spt + e.c_idx();
+            if out.last().map(|b| (b.sub_r, b.sub_c)) != Some((sub_r, sub_c)) {
+                out.push(SubBlock {
+                    sub_r,
+                    sub_c,
+                    mask: 0,
+                    values: [0.0; 16],
+                });
+            }
+            if let Some(blk) = out.last_mut() {
+                let tmask = self.templates[e.t_idx() as usize];
+                let mut slot = 0usize;
+                for bit in 0..16u16 {
+                    if tmask & (1 << bit) != 0 {
+                        let v = self.values[i * 4 + slot];
+                        slot += 1;
+                        if v != 0.0 {
+                            blk.mask |= 1 << bit;
+                            blk.values[bit as usize] = v;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds a new matrix with the given submatrices replaced,
+    /// re-encoding only the touched tiles and splicing the rest of the
+    /// stream through verbatim.
+    ///
+    /// Each replacement is the complete new state of one global 4×4
+    /// submatrix (`sub_r`, `sub_c` are global submatrix coordinates); a
+    /// replacement with `mask == 0` removes the submatrix. Untouched
+    /// tiles contribute their encoding/value spans unchanged (then CE/RE
+    /// flags are restamped globally, exactly as [`SpasmMatrix::encode`]
+    /// assigns them), so the result is bit-identical to a from-scratch
+    /// encode of the mutated matrix.
+    ///
+    /// `table` must be the decomposition table of the portfolio this
+    /// matrix was encoded with (`template_masks()` equal) — the spliced
+    /// instances index the same opcode LUT.
+    ///
+    /// # Errors
+    ///
+    /// [`FormatError::UncoverablePattern`] when a replacement mask is
+    /// not decomposable by the portfolio; the original matrix is
+    /// untouched.
+    pub fn spliced(
+        &self,
+        replacements: &[SubBlock],
+        table: &DecompositionTable,
+    ) -> Result<SpasmMatrix, FormatError> {
+        debug_assert_eq!(
+            table.template_masks(),
+            &self.templates[..],
+            "spliced requires the table this matrix was encoded with"
+        );
+        let spt = self.tile_size / PATTERN_EDGE;
+        let mut touched: BTreeMap<(u32, u32), Vec<&SubBlock>> = BTreeMap::new();
+        for b in replacements {
+            touched
+                .entry((b.sub_r / spt, b.sub_c / spt))
+                .or_default()
+                .push(b);
+        }
+
+        let mut keys: Vec<(u32, u32)> = self
+            .tiles
+            .iter()
+            .map(|t| (t.tile_row, t.tile_col))
+            .chain(touched.keys().copied())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+
+        let mut tiles: Vec<Tile> = Vec::new();
+        let mut encodings: Vec<PositionEncoding> = Vec::new();
+        let mut values: Vec<f32> = Vec::new();
+
+        for key in keys {
+            let existing = self
+                .tiles
+                .binary_search_by_key(&key, |t| (t.tile_row, t.tile_col))
+                .ok()
+                .map(|i| &self.tiles[i]);
+            let first_instance = encodings.len();
+            match touched.get(&key) {
+                None => {
+                    // Untouched: splice the spans through verbatim.
+                    let t = existing.expect("key came from the tile directory");
+                    let span = t.first_instance..t.first_instance + t.n_instances;
+                    encodings.extend_from_slice(&self.encodings[span.clone()]);
+                    values.extend_from_slice(&self.values[span.start * 4..span.end * 4]);
+                }
+                Some(reps) => {
+                    // Touched: merge replacements over the decoded tile
+                    // and re-encode it wholesale.
+                    let mut blocks: BTreeMap<(u32, u32), SubBlock> = existing
+                        .map(|t| self.decode_tile_blocks(t))
+                        .unwrap_or_default()
+                        .into_iter()
+                        .map(|b| ((b.sub_r, b.sub_c), b))
+                        .collect();
+                    for r in reps {
+                        if r.mask == 0 {
+                            blocks.remove(&(r.sub_r, r.sub_c));
+                        } else {
+                            blocks.insert((r.sub_r, r.sub_c), (*r).clone());
+                        }
+                    }
+                    for b in blocks.values() {
+                        Self::encode_block(
+                            &self.templates,
+                            table,
+                            b,
+                            spt,
+                            &mut encodings,
+                            &mut values,
+                        )?;
+                    }
+                }
+            }
+            let n_instances = encodings.len() - first_instance;
+            if n_instances > 0 {
+                tiles.push(Tile {
+                    tile_row: key.0,
+                    tile_col: key.1,
+                    first_instance,
+                    n_instances,
+                });
+            }
+        }
+
+        Self::stamp_boundaries(&tiles, &mut encodings);
+
+        // The paddings invariant: every instance has 4 slots, and a slot
+        // is padding exactly when it holds 0.0 (stored zeros are never
+        // encoded), so nnz is the non-zero slot count.
+        let nnz = values.iter().filter(|v| **v != 0.0).count();
+        let paddings = encodings.len() as u64 * 4 - nnz as u64;
+
+        Ok(SpasmMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            tile_size: self.tile_size,
+            nnz,
+            paddings,
+            templates: self.templates.clone(),
+            tiles,
+            encodings,
+            values: values.into(),
+        })
+    }
+
     /// Decodes the matrix back to COO (padding slots and explicit zeros are
     /// dropped).
     pub fn to_coo(&self) -> spasm_sparse::Coo {
@@ -524,5 +815,159 @@ mod tests {
         assert_eq!(m.n_instances(), 0);
         assert_eq!(m.tiles().len(), 0);
         assert_eq!(m.spmv_alloc(&[1.0; 8]).unwrap(), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn get_reads_stored_cells_only() {
+        let m = encode(&sample(), 8);
+        assert_eq!(m.get(0, 3), Some(4.0));
+        assert_eq!(m.get(14, 2), Some(-3.0));
+        assert_eq!(m.get(14, 3), None, "covered padding slot is not a value");
+        assert_eq!(m.get(7, 7), None, "empty tile");
+        assert_eq!(m.get(99, 0), None, "out of bounds");
+    }
+
+    #[test]
+    fn patch_values_is_cow_and_transactional() {
+        let mut m = encode(&sample(), 8);
+        let before = Arc::clone(m.shared_values());
+        // Invalid batch: second entry targets an absent cell. Nothing
+        // changes, including the shared buffer identity.
+        let err = m.patch_values(&[(0, 0, 9.0), (7, 7, 1.0)]);
+        assert_eq!(err, Err(FormatError::AbsentCell { row: 7, col: 7 }));
+        assert!(Arc::ptr_eq(&before, m.shared_values()));
+        assert_eq!(
+            m.patch_values(&[(0, 0, 0.0)]),
+            Err(FormatError::ZeroPatch { row: 0, col: 0 })
+        );
+        // Valid batch: new buffer, old clone unchanged.
+        let fresh = m.patch_values(&[(0, 0, 9.0), (14, 2, 2.5)]).unwrap();
+        assert!(!Arc::ptr_eq(&before, &fresh));
+        assert_eq!(m.get(0, 0), Some(9.0));
+        assert_eq!(m.get(14, 2), Some(2.5));
+        assert_eq!(before[0], 1.0, "in-flight clone keeps the old values");
+        // Patched matrix is bit-identical to a fresh encode of the
+        // mutated matrix (patches don't change the pattern).
+        let mut t: Vec<_> = sample().iter().collect();
+        for e in t.iter_mut() {
+            if (e.0, e.1) == (0, 0) {
+                e.2 = 9.0;
+            }
+            if (e.0, e.1) == (14, 2) {
+                e.2 = 2.5;
+            }
+        }
+        let fresh_enc = encode(&Coo::from_triplets(16, 16, t).unwrap(), 8);
+        assert_eq!(m.to_bytes(), fresh_enc.to_bytes());
+    }
+
+    /// Splicing a replacement set must produce exactly the bytes a
+    /// from-scratch encode of the mutated matrix produces.
+    fn assert_splice_matches_fresh(
+        base: &Coo,
+        tile: u32,
+        mutate: impl Fn(&mut Vec<(u32, u32, f32)>),
+    ) {
+        let m = encode(base, tile);
+        let mut t: Vec<_> = base.iter().collect();
+        mutate(&mut t);
+        let mutated = Coo::from_triplets(base.rows(), base.cols(), t).unwrap();
+
+        // Replacement blocks: the new state of every submatrix whose
+        // content changed (including ones that became empty).
+        let old_map = SubmatrixMap::from_coo(base);
+        let new_map = SubmatrixMap::from_coo(&mutated);
+        let mut reps: Vec<SubBlock> = Vec::new();
+        for nb in new_map.blocks() {
+            match old_map
+                .blocks()
+                .iter()
+                .find(|ob| (ob.sub_r, ob.sub_c) == (nb.sub_r, nb.sub_c))
+            {
+                Some(ob) if ob == nb => {}
+                _ => reps.push(nb.clone()),
+            }
+        }
+        for ob in old_map.blocks() {
+            if !new_map
+                .blocks()
+                .iter()
+                .any(|nb| (nb.sub_r, nb.sub_c) == (ob.sub_r, ob.sub_c))
+            {
+                reps.push(SubBlock {
+                    sub_r: ob.sub_r,
+                    sub_c: ob.sub_c,
+                    mask: 0,
+                    values: [0.0; 16],
+                });
+            }
+        }
+
+        let spliced = m.spliced(&reps, &table()).unwrap();
+        let fresh = encode(&mutated, tile);
+        assert_eq!(spliced.to_bytes(), fresh.to_bytes(), "tile {tile}");
+        assert_eq!(spliced.fingerprint(), fresh.fingerprint());
+    }
+
+    #[test]
+    fn splice_insert_matches_fresh_encode() {
+        for tile in [4, 8, 16] {
+            assert_splice_matches_fresh(&sample(), tile, |t| {
+                t.push((5, 5, 7.0)); // new submatrix in an existing region
+                t.push((15, 0, 1.0)); // extends the scattered tile
+            });
+        }
+    }
+
+    #[test]
+    fn splice_delete_matches_fresh_encode() {
+        for tile in [4, 8, 16] {
+            assert_splice_matches_fresh(&sample(), tile, |t| {
+                t.retain(|&(r, c, _)| (r, c) != (14, 2)); // empties a submatrix
+                t.retain(|&(r, c, _)| (r, c) != (0, 0));
+            });
+        }
+    }
+
+    #[test]
+    fn splice_mixed_matches_fresh_encode() {
+        for tile in [4, 8, 16] {
+            assert_splice_matches_fresh(&sample(), tile, |t| {
+                t.retain(|&(r, c, _)| (r, c) != (9, 9));
+                t.push((9, 8, -1.0)); // same submatrix, different pattern
+                t.push((12, 12, 4.0)); // brand-new tile region
+                for e in t.iter_mut() {
+                    if (e.0, e.1) == (1, 1) {
+                        e.2 = -8.0; // value change routed structurally
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn splice_into_empty_matrix() {
+        assert_splice_matches_fresh(&Coo::new(16, 16), 8, |t| {
+            t.push((3, 3, 1.0));
+            t.push((10, 2, 2.0));
+        });
+    }
+
+    #[test]
+    fn splice_to_empty_matrix() {
+        let coo = Coo::from_triplets(16, 16, vec![(2, 2, 1.0)]).unwrap();
+        assert_splice_matches_fresh(&coo, 8, |t| t.clear());
+    }
+
+    #[test]
+    fn splice_of_identical_replacements_is_identity() {
+        // Re-submitting a submatrix's current state re-encodes its tile
+        // to exactly the same bytes.
+        let coo = sample();
+        let m = encode(&coo, 8);
+        let reps: Vec<SubBlock> = SubmatrixMap::from_coo(&coo).blocks().to_vec();
+        let spliced = m.spliced(&reps, &table()).unwrap();
+        assert_eq!(spliced.to_bytes(), m.to_bytes());
+        assert_eq!(spliced.fingerprint(), m.fingerprint());
     }
 }

@@ -315,11 +315,60 @@ impl ExecutionPlan {
     /// prices the execution once.
     pub(crate) fn build(config: HwConfig, matrix: &SpasmMatrix) -> Result<Self, SimError> {
         let pe = Pe::new(matrix.template_masks())?;
-        let tile_size = matrix.tile_size();
         let xp_len = (matrix.cols() as usize).div_ceil(4) * 4;
         let yp_len = (matrix.rows() as usize).div_ceil(4) * 4;
 
         validate_stream(matrix, &pe, xp_len as u64, yp_len as u64)?;
+
+        // Pre-decode every instance into SoA form.
+        let tile_size = matrix.tile_size();
+        let n = matrix.n_instances();
+        let mut x_base = Vec::with_capacity(n);
+        let mut y_base = Vec::with_capacity(n);
+        let mut op_idx = Vec::with_capacity(n);
+        let encodings = matrix.encodings();
+        for tile in matrix.tiles() {
+            let col_base = tile.tile_col * tile_size;
+            for e in &encodings[tile.first_instance..tile.first_instance + tile.n_instances] {
+                x_base.push(col_base + e.c_idx() * 4);
+                y_base.push(e.r_idx() * 4);
+                op_idx.push(e.t_idx());
+            }
+        }
+
+        Self::assemble(
+            config,
+            matrix,
+            x_base,
+            y_base,
+            op_idx,
+            Stream::owned(matrix.shared_values().clone()),
+            Dispatch::default(),
+        )
+    }
+
+    /// Assembles a plan around an already-decoded SoA instance stream:
+    /// tile-row layout, compiled portfolio, class buckets, LPT schedule,
+    /// cycle pricing and scratch — everything [`ExecutionPlan::build`]
+    /// derives after the decode loop, shared with the splice path
+    /// ([`ExecutionPlan::respliced`]) so both produce identical plans.
+    ///
+    /// `x_base`/`y_base`/`op_idx` must agree with `matrix`'s stream (the
+    /// callers either decode them from it or splice spans that decode
+    /// equal).
+    fn assemble(
+        config: HwConfig,
+        matrix: &SpasmMatrix,
+        x_base: Vec<u32>,
+        y_base: Vec<u32>,
+        op_idx: Vec<u8>,
+        values: Stream<f32>,
+        dispatch: Dispatch,
+    ) -> Result<Self, SimError> {
+        let tile_size = matrix.tile_size();
+        let xp_len = (matrix.cols() as usize).div_ceil(4) * 4;
+        let yp_len = (matrix.rows() as usize).div_ceil(4) * 4;
+        let n = matrix.n_instances();
 
         // Contiguous spans of same-tile-row tiles, in stream order.
         let mut row_spans: Vec<(u32, usize, usize)> = Vec::new(); // (row, first, last)
@@ -330,31 +379,13 @@ impl ExecutionPlan {
             }
         }
 
-        // Pre-decode every instance into SoA form and gather per-tile lane
-        // statistics (identical to what the simulator derived per run).
-        let n = matrix.n_instances();
-        let mut x_base = Vec::with_capacity(n);
-        let mut y_base = Vec::with_capacity(n);
-        let mut op_idx = Vec::with_capacity(n);
+        // Per-tile lane statistics for the LPT schedule, read back from
+        // the SoA form (`y_base[i] / 4` is the instance's `r_idx`).
         let mut jobs = Vec::with_capacity(matrix.tiles().len());
-        #[cfg(feature = "fault-injection")]
-        let mut enc_bits = Vec::with_capacity(n);
-        #[cfg(feature = "fault-injection")]
-        let mut col_bases = Vec::with_capacity(n);
-        let encodings = matrix.encodings();
         for tile in matrix.tiles() {
-            let col_base = tile.tile_col * tile_size;
             let mut lanes = [0usize; 16];
-            for e in &encodings[tile.first_instance..tile.first_instance + tile.n_instances] {
-                lanes[(e.r_idx() as usize) % 16] += 1;
-                x_base.push(col_base + e.c_idx() * 4);
-                y_base.push(e.r_idx() * 4);
-                op_idx.push(e.t_idx());
-                #[cfg(feature = "fault-injection")]
-                {
-                    enc_bits.push(e.bits());
-                    col_bases.push(col_base);
-                }
+            for i in tile.first_instance..tile.first_instance + tile.n_instances {
+                lanes[(y_base[i] as usize / 4) % 16] += 1;
             }
             jobs.push(TileJob {
                 tile_row: tile.tile_row,
@@ -363,6 +394,26 @@ impl ExecutionPlan {
                 max_lane_instances: timing::max_lane(&lanes),
             });
         }
+
+        // Fault-injection builds carry the raw encoding words so the
+        // faulted executors can re-decode the stream. These always come
+        // from the (current) matrix — after a splice, CE/RE flags of
+        // untouched tiles may have changed, so spans cannot be reused.
+        #[cfg(feature = "fault-injection")]
+        let (enc_bits, col_bases) = {
+            let mut enc_bits = Vec::with_capacity(n);
+            let mut col_bases = Vec::with_capacity(n);
+            for tile in matrix.tiles() {
+                let col_base = tile.tile_col * tile_size;
+                for e in
+                    &matrix.encodings()[tile.first_instance..tile.first_instance + tile.n_instances]
+                {
+                    enc_bits.push(e.bits());
+                    col_bases.push(col_base);
+                }
+            }
+            (enc_bits, col_bases)
+        };
 
         // Tile-row layout: instance spans (tiles of a row are contiguous
         // in the stream) and disjoint y windows over the padded scratch.
@@ -459,12 +510,12 @@ impl ExecutionPlan {
             op_idx: Stream::from_vec(op_idx),
             lut,
             kernels,
-            values: Stream::owned(matrix.shared_values().clone()),
+            values,
             bucket_idx: Stream::from_vec(bucket_idx),
             class_runs: Stream::from_vec(class_runs),
             block_runs: Stream::from_vec(block_runs),
             row_blocks: Stream::from_vec(row_blocks),
-            dispatch: Dispatch::default(),
+            dispatch,
             inst_ranges,
             window_spans,
             tile_row_ids,
@@ -490,6 +541,136 @@ impl ExecutionPlan {
             active_lane: 0,
             config,
         })
+    }
+
+    /// Replaces the plan's value stream copy-on-write: installs `values`
+    /// (typically the buffer returned by `SpasmMatrix::patch_values`)
+    /// under a bumped [`ExecutionPlan::version`].
+    ///
+    /// Clones of this plan — and executions already reading the old
+    /// buffer — keep the previous values; only subsequent runs of *this*
+    /// plan see the new ones. Works on mapped plans too (the value
+    /// stream becomes owned; [`ExecutionPlan::memory_bytes`] reprices
+    /// accordingly).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Plan`] when `values` does not hold exactly four slots
+    /// per instance; the plan is untouched.
+    pub fn adopt_values(&mut self, values: Arc<[f32]>) -> Result<(), SimError> {
+        if values.len() != self.values.len() {
+            return Err(SimError::Plan("adopted value stream has the wrong length"));
+        }
+        let next = self.values.version() + 1;
+        self.values = Stream::owned(values).with_version(next);
+        Ok(())
+    }
+
+    /// The plan's content generation: 0 as prepared, bumped by every
+    /// [`ExecutionPlan::adopt_values`] and [`ExecutionPlan::respliced`].
+    pub fn version(&self) -> u64 {
+        self.values.version()
+    }
+
+    /// Restamps the plan's content generation without touching its data.
+    /// The update path uses this to keep version stamps monotonic when a
+    /// drifting delta forces a full re-prepare (which otherwise builds a
+    /// fresh plan at generation 0).
+    pub fn restamp_version(&mut self, version: u64) {
+        self.values = self.values.clone().with_version(version);
+    }
+
+    /// Builds the successor plan for a structurally spliced matrix,
+    /// reusing this plan's decoded SoA spans for untouched tiles.
+    ///
+    /// `matrix` is the spliced encoding (`SpasmMatrix::spliced`),
+    /// `old_tiles` the *pre-splice* tile directory (the plan itself keeps
+    /// no directory), and `touched` the `(tile_row, tile_col)` keys of
+    /// re-encoded tiles. Untouched tiles' x/y-base and opcode-class
+    /// spans are copied from this plan verbatim — their decode is a pure
+    /// function of tile-local content, which did not change; CE/RE
+    /// boundary flags are not part of the SoA form, so global restamping
+    /// does not invalidate the spans. Touched tiles are decoded from the
+    /// new stream. Derived state (buckets, schedule, pricing, scratch)
+    /// is rebuilt exactly as a fresh prepare would, so the result is
+    /// bit-identical to preparing the mutated matrix from scratch, with
+    /// the [`Dispatch`] setting preserved and the version bumped.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Plan`] when the spliced matrix changed shape, tiling
+    /// or portfolio; [`SimError::Integrity`] when its stream fails
+    /// validation. The plan is untouched on error.
+    pub fn respliced(
+        &self,
+        matrix: &SpasmMatrix,
+        old_tiles: &[spasm_format::Tile],
+        touched: &[(u32, u32)],
+    ) -> Result<ExecutionPlan, SimError> {
+        if matrix.rows() != self.rows
+            || matrix.cols() != self.cols
+            || matrix.tile_size() != self.tile_size
+        {
+            return Err(SimError::Plan("spliced matrix changed shape or tiling"));
+        }
+        if matrix.template_masks().len() != self.lut.len() {
+            return Err(SimError::Plan("spliced matrix changed the portfolio"));
+        }
+        let pe = Pe::new(matrix.template_masks())?;
+        let xp_len = (matrix.cols() as usize).div_ceil(4) * 4;
+        let yp_len = (matrix.rows() as usize).div_ceil(4) * 4;
+        validate_stream(matrix, &pe, xp_len as u64, yp_len as u64)?;
+
+        let touched: std::collections::HashSet<(u32, u32)> = touched.iter().copied().collect();
+        let tile_size = self.tile_size;
+        let n = matrix.n_instances();
+        let mut x_base = Vec::with_capacity(n);
+        let mut y_base = Vec::with_capacity(n);
+        let mut op_idx = Vec::with_capacity(n);
+        let encodings = matrix.encodings();
+        for tile in matrix.tiles() {
+            let key = (tile.tile_row, tile.tile_col);
+            let old_span = if touched.contains(&key) {
+                None
+            } else {
+                old_tiles
+                    .binary_search_by_key(&key, |t| (t.tile_row, t.tile_col))
+                    .ok()
+                    .map(|i| &old_tiles[i])
+                    .filter(|ot| ot.n_instances == tile.n_instances)
+            };
+            match old_span {
+                Some(ot) => {
+                    // Splice: the old plan's SoA span decodes this
+                    // tile's unchanged content.
+                    let s = ot.first_instance..ot.first_instance + ot.n_instances;
+                    x_base.extend_from_slice(&self.x_base[s.clone()]);
+                    y_base.extend_from_slice(&self.y_base[s.clone()]);
+                    op_idx.extend_from_slice(&self.op_idx[s]);
+                }
+                None => {
+                    let col_base = tile.tile_col * tile_size;
+                    for e in &encodings[tile.first_instance..tile.first_instance + tile.n_instances]
+                    {
+                        x_base.push(col_base + e.c_idx() * 4);
+                        y_base.push(e.r_idx() * 4);
+                        op_idx.push(e.t_idx());
+                    }
+                }
+            }
+        }
+
+        let values =
+            Stream::owned(matrix.shared_values().clone()).with_version(self.values.version() + 1);
+        Self::assemble(
+            self.config.clone(),
+            matrix,
+            x_base,
+            y_base,
+            op_idx,
+            values,
+            self.dispatch,
+        )
     }
 
     /// Reassembles an executable plan from frozen parts — the wire-v3
@@ -2303,6 +2484,129 @@ mod tests {
             }
         }
         Coo::from_triplets(n, n, t).unwrap()
+    }
+
+    #[test]
+    fn adopt_values_is_cow_with_version_bump() {
+        let coo = sample(40);
+        let mut m = encode(&coo, 16);
+        let acc = Accelerator::new(HwConfig::spasm_4_1());
+        let mut plan = acc.prepare(&m).unwrap();
+        assert_eq!(plan.version(), 0);
+        let in_flight = plan.clone();
+
+        let x: Vec<f32> = (0..40).map(|i| (i as f32) * 0.25 - 4.0).collect();
+        let mut before = vec![0.0f32; 40];
+        plan.run(&x, &mut before).unwrap();
+
+        // Wrong length refused, plan untouched.
+        let bad: std::sync::Arc<[f32]> = vec![0.0f32; 3].into();
+        assert!(matches!(plan.adopt_values(bad), Err(SimError::Plan(_))));
+        assert_eq!(plan.version(), 0);
+
+        let fresh = m.patch_values(&[(0, 0, 5.0)]).unwrap();
+        plan.adopt_values(fresh).unwrap();
+        assert_eq!(plan.version(), 1);
+
+        // The updated plan matches a fresh prepare of the patched matrix
+        // bit for bit; the in-flight clone still serves the old values.
+        let mut fresh_plan = acc.prepare(&m).unwrap();
+        let (mut got, mut want, mut old) = (vec![0.0f32; 40], vec![0.0f32; 40], vec![0.0f32; 40]);
+        plan.run(&x, &mut got).unwrap();
+        fresh_plan.run(&x, &mut want).unwrap();
+        assert_eq!(bits(&got), bits(&want));
+        let mut stale = in_flight;
+        stale.run(&x, &mut old).unwrap();
+        assert_eq!(bits(&old), bits(&before));
+        assert_ne!(bits(&got), bits(&before));
+    }
+
+    #[test]
+    fn respliced_matches_fresh_prepare_bit_for_bit() {
+        let coo = sample(96);
+        let m = encode(&coo, 32);
+        let acc = Accelerator::new(HwConfig::spasm_4_1());
+        let plan = acc.prepare(&m).unwrap();
+
+        // Structural mutation: drop one entry, add two (one in a fresh
+        // tile region).
+        let mut t: Vec<_> = coo.iter().collect();
+        t.retain(|&(r, c, _)| (r, c) != (5, 5));
+        t.push((90, 2, 3.25));
+        t.push((6, 60, -0.75));
+        let mutated = Coo::from_triplets(96, 96, t).unwrap();
+        let fresh_m = encode(&mutated, 32);
+
+        // Replacement blocks for every changed submatrix.
+        let (old_map, new_map) = (
+            SubmatrixMap::from_coo(&coo),
+            SubmatrixMap::from_coo(&mutated),
+        );
+        let mut reps = Vec::new();
+        for nb in new_map.blocks() {
+            let same = old_map
+                .blocks()
+                .iter()
+                .any(|ob| (ob.sub_r, ob.sub_c) == (nb.sub_r, nb.sub_c) && ob == nb);
+            if !same {
+                reps.push(nb.clone());
+            }
+        }
+        for ob in old_map.blocks() {
+            if !new_map
+                .blocks()
+                .iter()
+                .any(|nb| (nb.sub_r, nb.sub_c) == (ob.sub_r, ob.sub_c))
+            {
+                let mut gone = ob.clone();
+                gone.mask = 0;
+                gone.values = [0.0; 16];
+                reps.push(gone);
+            }
+        }
+        let table = DecompositionTable::build(&TemplateSet::table_v_set(0));
+        let spliced_m = m.spliced(&reps, &table).unwrap();
+        assert_eq!(spliced_m.to_bytes(), fresh_m.to_bytes());
+
+        let spt = 32 / 4;
+        let touched: Vec<(u32, u32)> = {
+            let mut keys: Vec<_> = reps
+                .iter()
+                .map(|b| (b.sub_r / spt, b.sub_c / spt))
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            keys
+        };
+        let mut spliced_plan = plan.respliced(&spliced_m, m.tiles(), &touched).unwrap();
+        assert_eq!(spliced_plan.version(), 1);
+
+        let mut fresh_plan = acc.prepare(&fresh_m).unwrap();
+        let x: Vec<f32> = (0..96).map(|i| ((i % 13) as f32) * 0.5 - 3.0).collect();
+        let (mut got, mut want) = (vec![0.0f32; 96], vec![0.0f32; 96]);
+        let got_rep = spliced_plan.run(&x, &mut got).unwrap().clone();
+        let want_rep = fresh_plan.run(&x, &mut want).unwrap();
+        assert_eq!(bits(&got), bits(&want));
+        // Derived pricing state matches a fresh prepare too.
+        assert_eq!(got_rep.cycles, want_rep.cycles);
+        assert_eq!(got_rep.per_group_cycles, want_rep.per_group_cycles);
+        assert_eq!(
+            spliced_plan.memory_bytes(),
+            fresh_plan.memory_bytes(),
+            "memory repriced to the spliced stream"
+        );
+    }
+
+    #[test]
+    fn respliced_rejects_shape_changes() {
+        let m = encode(&sample(40), 16);
+        let acc = Accelerator::new(HwConfig::spasm_4_1());
+        let plan = acc.prepare(&m).unwrap();
+        let other = encode(&sample(44), 16);
+        assert!(matches!(
+            plan.respliced(&other, m.tiles(), &[]),
+            Err(SimError::Plan(_))
+        ));
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! The mapped variant does not copy. It pins the backing buffer alive via
 //! an `Arc<dyn StableBytes>` and carries a raw pointer/length pair into
 //! it, validated (alignment, bounds) by the reader that constructed it.
+//!
+//! Streams additionally carry a **version stamp** for the live-update
+//! path: replacing a plan's value stream copy-on-write
+//! (`ExecutionPlan::adopt_values`) installs a new buffer under a bumped
+//! version while clones held by in-flight executions keep reading the
+//! old one. The stamp never affects execution — it exists so callers can
+//! observe which generation of the data a plan (or a lease on it) serves.
 
 use std::fmt;
 use std::ops::Deref;
@@ -30,9 +37,8 @@ pub unsafe trait StableBytes: Send + Sync + fmt::Debug {
     fn bytes(&self) -> &[u8];
 }
 
-/// An immutable stream of `T`: either an owned (`Arc`-shared) slice or a
-/// zero-copy view into a pinned [`StableBytes`] buffer.
-pub enum Stream<T> {
+/// The two backing flavours of a [`Stream`].
+enum Repr<T> {
     /// Heap-allocated, shared by reference count (the prepare path).
     Owned(Arc<[T]>),
     /// A typed view into a pinned buffer (the wire-v3 map path).
@@ -46,6 +52,14 @@ pub enum Stream<T> {
     },
 }
 
+/// An immutable stream of `T`: either an owned (`Arc`-shared) slice or a
+/// zero-copy view into a pinned [`StableBytes`] buffer, stamped with a
+/// copy-on-write generation number (0 for freshly built streams).
+pub struct Stream<T> {
+    repr: Repr<T>,
+    version: u64,
+}
+
 // SAFETY: `Owned` is an Arc<[T]>; `Mapped` is an immutable view into a
 // buffer that is itself Send + Sync (per the StableBytes bound) and
 // pinned by `_keep`. No interior mutability anywhere.
@@ -55,12 +69,18 @@ unsafe impl<T: Send + Sync> Sync for Stream<T> {}
 impl<T> Stream<T> {
     /// Wraps a freshly built vector (the prepare path).
     pub fn from_vec(v: Vec<T>) -> Self {
-        Stream::Owned(v.into())
+        Stream {
+            repr: Repr::Owned(v.into()),
+            version: 0,
+        }
     }
 
     /// Wraps an already-shared slice.
     pub fn owned(a: Arc<[T]>) -> Self {
-        Stream::Owned(a)
+        Stream {
+            repr: Repr::Owned(a),
+            version: 0,
+        }
     }
 
     /// Builds a zero-copy stream over `len` elements starting at byte
@@ -76,24 +96,41 @@ impl<T> Stream<T> {
         let ptr = keep.bytes().as_ptr().add(offset) as *const T;
         debug_assert_eq!(ptr as usize % std::mem::align_of::<T>(), 0);
         debug_assert!(offset + len * std::mem::size_of::<T>() <= keep.bytes().len());
-        Stream::Mapped {
-            _keep: keep,
-            ptr,
-            len,
+        Stream {
+            repr: Repr::Mapped {
+                _keep: keep,
+                ptr,
+                len,
+            },
+            version: 0,
         }
     }
 
     /// `true` when this stream borrows a mapped buffer (no owned bytes).
     pub fn is_mapped(&self) -> bool {
-        matches!(self, Stream::Mapped { .. })
+        matches!(self.repr, Repr::Mapped { .. })
     }
 
     /// The shared owning allocation, if this stream is owned.
     pub fn as_owned(&self) -> Option<&Arc<[T]>> {
-        match self {
-            Stream::Owned(a) => Some(a),
-            Stream::Mapped { .. } => None,
+        match &self.repr {
+            Repr::Owned(a) => Some(a),
+            Repr::Mapped { .. } => None,
         }
+    }
+
+    /// The copy-on-write generation of this stream (0 when freshly
+    /// built or mapped; bumped each time a plan adopts replacement
+    /// content).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The same stream stamped with `version`.
+    #[must_use]
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
     }
 }
 
@@ -102,34 +139,46 @@ impl<T> Deref for Stream<T> {
 
     #[inline]
     fn deref(&self) -> &[T] {
-        match self {
-            Stream::Owned(a) => a,
+        match &self.repr {
+            Repr::Owned(a) => a,
             // SAFETY: constructed via `Stream::mapped`, whose contract
             // guarantees `ptr..ptr+len` is aligned, in-bounds and valid
             // for the lifetime of `_keep` (held by self).
-            Stream::Mapped { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Repr::Mapped { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
         }
     }
 }
 
 impl<T> Clone for Stream<T> {
     fn clone(&self) -> Self {
-        match self {
-            Stream::Owned(a) => Stream::Owned(a.clone()),
-            Stream::Mapped { _keep, ptr, len } => Stream::Mapped {
+        let repr = match &self.repr {
+            Repr::Owned(a) => Repr::Owned(a.clone()),
+            Repr::Mapped { _keep, ptr, len } => Repr::Mapped {
                 _keep: _keep.clone(),
                 ptr: *ptr,
                 len: *len,
             },
+        };
+        Stream {
+            repr,
+            version: self.version,
         }
     }
 }
 
 impl<T: fmt::Debug> fmt::Debug for Stream<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Stream::Owned(a) => f.debug_tuple("Stream::Owned").field(&a.len()).finish(),
-            Stream::Mapped { len, .. } => f.debug_tuple("Stream::Mapped").field(len).finish(),
+        match &self.repr {
+            Repr::Owned(a) => f
+                .debug_struct("Stream::Owned")
+                .field("len", &a.len())
+                .field("version", &self.version)
+                .finish(),
+            Repr::Mapped { len, .. } => f
+                .debug_struct("Stream::Mapped")
+                .field("len", len)
+                .field("version", &self.version)
+                .finish(),
         }
     }
 }
@@ -174,5 +223,16 @@ mod tests {
         assert_eq!(s.as_ptr() as usize, want, "zero copy: same address");
         let c = s.clone();
         assert_eq!(c.as_ptr() as usize, want);
+    }
+
+    #[test]
+    fn version_stamps_survive_clones_and_default_to_zero() {
+        let s = Stream::from_vec(vec![1u8]);
+        assert_eq!(s.version(), 0);
+        let s = s.with_version(3);
+        assert_eq!(s.version(), 3);
+        assert_eq!(s.clone().version(), 3);
+        let o = Stream::owned(Arc::from(vec![1u8].as_slice()));
+        assert_eq!(o.version(), 0);
     }
 }

@@ -17,8 +17,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use spasm::{Pipeline, PipelineError, Prepared};
+use spasm::{DeltaOutcome, Pipeline, PipelineError, Prepared};
 use spasm_format::{is_v3, MatrixFingerprint, SpasmMatrix, WireError};
+use spasm_sparse::MatrixDelta;
 use spasm_store::{FrozenPlan, PlanBuffer, StoreError};
 
 use crate::breaker::{BreakerConfig, BreakerEvent, BreakerState, ExecRoute, PlanHealth};
@@ -54,6 +55,8 @@ pub enum CatalogError {
         /// The catalog's budget.
         budget: usize,
     },
+    /// The requested fingerprint is not resident in the catalog.
+    NotResident,
     /// The plan fits the budget, but not alongside the currently pinned
     /// (in-flight) plans — nothing evictable is large enough.
     BudgetPinned {
@@ -74,6 +77,7 @@ impl fmt::Display for CatalogError {
             CatalogError::PlanTooLarge { bytes, budget } => {
                 write!(f, "plan needs {bytes} bytes, catalog budget is {budget}")
             }
+            CatalogError::NotResident => write!(f, "no resident plan under that fingerprint"),
             CatalogError::BudgetPinned {
                 bytes,
                 pinned,
@@ -126,21 +130,25 @@ pub fn prepared_bytes(p: &Prepared) -> usize {
 }
 
 /// One cached plan. Accessed through a [`PlanLease`].
+///
+/// The fingerprint, byte price and latency estimate are interior-mutable:
+/// a streaming update ([`PlanCatalog::apply_delta`]) re-keys and reprices
+/// the entry in place, without evicting it or invalidating live leases.
 #[derive(Debug)]
 pub struct CatalogEntry {
-    fingerprint: MatrixFingerprint,
+    fingerprint: Mutex<MatrixFingerprint>,
     prepared: Mutex<Prepared>,
-    bytes: usize,
+    bytes: AtomicUsize,
     /// Bytes of a pinned wire-v3 container the plan's streams borrow
     /// (0 for plans prepared in process).
     mapped: usize,
     rows: u32,
     cols: u32,
-    /// Predicted simulated seconds of one single-vector execution, from
-    /// the plan's prepare-time cycle model: the price the server charges
+    /// Predicted simulated seconds of one single-vector execution (f64
+    /// bits), from the plan's cycle model: the price the server charges
     /// a golden-CSR (quarantine) serve per vector, since the golden path
     /// has no cycle model of its own.
-    seconds_estimate: f64,
+    seconds_estimate: AtomicU64,
     /// Circuit-breaker bookkeeping: recent execution outcomes and the
     /// Healthy → Quarantined → HalfOpen state (see [`crate::breaker`]).
     health: Mutex<PlanHealth>,
@@ -156,15 +164,16 @@ impl CatalogEntry {
         self.prepared.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// The entry's content fingerprint.
+    /// The entry's content fingerprint (the current one — a streaming
+    /// update re-keys the entry under its mutated content).
     pub fn fingerprint(&self) -> MatrixFingerprint {
-        self.fingerprint
+        *self.fingerprint.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Resident bytes charged against the catalog budget (owned plan
-    /// state plus any mapped container).
+    /// state plus any mapped container; repriced by streaming updates).
     pub fn bytes(&self) -> usize {
-        self.bytes
+        self.bytes.load(Ordering::SeqCst)
     }
 
     /// Bytes of this entry backed by a pinned wire-v3 container rather
@@ -187,10 +196,10 @@ impl CatalogEntry {
     }
 
     /// Predicted simulated seconds of one single-vector execution (the
-    /// prepare-time cycle model) — the deterministic price of a
-    /// golden-CSR serve.
+    /// plan's cycle model; repriced by streaming updates) — the
+    /// deterministic price of a golden-CSR serve.
     pub fn seconds_estimate(&self) -> f64 {
-        self.seconds_estimate
+        f64::from_bits(self.seconds_estimate.load(Ordering::SeqCst))
     }
 
     /// The plan's current circuit-breaker state.
@@ -291,7 +300,7 @@ impl Inner {
     fn reap(&mut self) {
         self.doomed.retain(|entry| {
             if entry.pins.load(Ordering::SeqCst) == 0 {
-                self.resident -= entry.bytes;
+                self.resident -= entry.bytes();
                 false
             } else {
                 true
@@ -494,12 +503,12 @@ impl PlanCatalog {
         inner.use_counter += 1;
         let stamp = inner.use_counter;
         let entry = Arc::new(CatalogEntry {
-            fingerprint: key,
+            fingerprint: Mutex::new(key),
             rows: prepared.plan.rows(),
             cols: prepared.plan.cols(),
-            seconds_estimate: prepared.report().seconds,
+            seconds_estimate: AtomicU64::new(prepared.report().seconds.to_bits()),
             prepared: Mutex::new(prepared),
-            bytes,
+            bytes: AtomicUsize::new(bytes),
             mapped,
             health: Mutex::new(PlanHealth::default()),
             pins: AtomicUsize::new(0),
@@ -515,14 +524,14 @@ impl PlanCatalog {
         while inner.resident + incoming > budget {
             let victim = inner
                 .entries
-                .values()
-                .filter(|e| e.pins.load(Ordering::SeqCst) == 0)
-                .min_by_key(|e| e.last_used.load(Ordering::SeqCst))
-                .map(|e| e.fingerprint);
+                .iter()
+                .filter(|(_, e)| e.pins.load(Ordering::SeqCst) == 0)
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::SeqCst))
+                .map(|(k, _)| *k);
             match victim {
                 Some(fp) => {
                     if let Some(e) = inner.entries.remove(&fp) {
-                        inner.resident -= e.bytes;
+                        inner.resident -= e.bytes();
                     }
                 }
                 None => {
@@ -554,9 +563,82 @@ impl PlanCatalog {
         if entry.pins.load(Ordering::SeqCst) > 0 {
             inner.doomed.push(entry);
         } else {
-            inner.resident -= entry.bytes;
+            inner.resident -= entry.bytes();
         }
         true
+    }
+
+    /// Applies a streaming update to the resident plan for `fingerprint`
+    /// *in place*: the entry's [`spasm::Prepared`] absorbs the delta
+    /// through [`Prepared::apply_delta`], and the entry is re-keyed under
+    /// the mutated content's fingerprint and repriced (bytes, predicted
+    /// seconds) without being evicted — live [`PlanLease`]s, queued
+    /// requests and in-flight batches stay valid throughout. An in-flight
+    /// batch that cloned the plan's value stream before the update keeps
+    /// serving the old generation; the next flush reads the new one
+    /// (observable through [`spasm_hw::ExecutionPlan::version`]).
+    ///
+    /// Returns the new fingerprint (the key subsequent requests must use)
+    /// and how the delta was absorbed.
+    ///
+    /// If the update *grows* the entry past the byte budget, unpinned
+    /// siblings are evicted best-effort; the updated entry itself is
+    /// leased during the operation and never a victim. A transient
+    /// overrun can remain when everything else is pinned — it drains as
+    /// leases drop.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::NotResident`] when the key is unknown, and
+    /// [`CatalogError::Pipeline`] when the delta fails validation (the
+    /// plan and its catalog entry are untouched).
+    pub fn apply_delta(
+        &self,
+        fingerprint: &MatrixFingerprint,
+        delta: &MatrixDelta,
+    ) -> Result<(MatrixFingerprint, DeltaOutcome), CatalogError> {
+        // Lease the entry: pinned against eviction for the duration.
+        let lease = self.get(fingerprint).ok_or(CatalogError::NotResident)?;
+        let entry = lease.entry();
+        let (outcome, new_key, new_bytes, seconds) = {
+            let mut p = entry.prepared();
+            let outcome = p.apply_delta(delta).map_err(CatalogError::Pipeline)?;
+            (
+                outcome,
+                p.encoded.fingerprint(),
+                prepared_bytes(&p) + entry.mapped,
+                p.report().seconds,
+            )
+        };
+
+        let old_key = *fingerprint;
+        let mut inner = self.lock();
+        let old_bytes = entry.bytes.swap(new_bytes, Ordering::SeqCst);
+        entry
+            .seconds_estimate
+            .store(seconds.to_bits(), Ordering::SeqCst);
+        *entry.fingerprint.lock().unwrap_or_else(|e| e.into_inner()) = new_key;
+        inner.resident = inner.resident - old_bytes + new_bytes;
+        if new_key != old_key {
+            if let Some(arc) = inner.entries.remove(&old_key) {
+                // Content addressing: if the mutated content collides
+                // with another resident entry, the updated plan replaces
+                // it (same key ⇒ same content; the displaced entry is
+                // doomed if leased, freed otherwise).
+                if let Some(displaced) = inner.entries.insert(new_key, arc) {
+                    if displaced.pins.load(Ordering::SeqCst) > 0 {
+                        inner.doomed.push(displaced);
+                    } else {
+                        inner.resident -= displaced.bytes();
+                    }
+                }
+            }
+        }
+        // Growth may overrun the budget; shed unpinned siblings
+        // best-effort (a fully pinned catalog drains as leases drop).
+        let _ = Self::evict_to_fit(&mut inner, self.budget, 0);
+        drop(inner);
+        Ok((new_key, outcome))
     }
 }
 

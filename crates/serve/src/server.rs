@@ -36,10 +36,10 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
-use spasm::{IntegrityPolicy, Pipeline, PipelineError, Prepared};
+use spasm::{DeltaOutcome, IntegrityPolicy, Pipeline, PipelineError, Prepared};
 use spasm_format::MatrixFingerprint;
 use spasm_hw::HealthReport;
-use spasm_sparse::{Coo, SpMv, SparseError};
+use spasm_sparse::{Coo, MatrixDelta, SpMv, SparseError};
 
 use crate::breaker::{BreakerConfig, BreakerEvent, ExecRoute};
 use crate::catalog::{CatalogConfig, CatalogError, PlanCatalog};
@@ -308,6 +308,31 @@ impl SpmvServer {
     /// budget failures.
     pub fn ingest_wire(&self, bytes: &[u8]) -> Result<MatrixFingerprint, ServeError> {
         Ok(self.catalog.insert_wire(bytes, &self.pipeline)?)
+    }
+
+    /// Applies a streaming update to the resident plan for `fingerprint`
+    /// without evicting it: the plan absorbs the delta in place
+    /// ([`spasm::Prepared::apply_delta`]) and the catalog entry is
+    /// re-keyed under the mutated content and repriced. Returns the new
+    /// fingerprint (the key subsequent submissions must use) and how the
+    /// delta was absorbed.
+    ///
+    /// Coherence: a batch already flushed (its worker cloned the plan's
+    /// value stream) keeps serving the pre-update values; requests
+    /// flushed after this call serve the updated ones. Queued requests
+    /// and live leases are never invalidated.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Catalog`] wrapping [`CatalogError::NotResident`] for
+    /// an unknown key or the pipeline's delta-validation error (the plan
+    /// is untouched).
+    pub fn apply_delta(
+        &self,
+        fingerprint: &MatrixFingerprint,
+        delta: &MatrixDelta,
+    ) -> Result<(MatrixFingerprint, DeltaOutcome), ServeError> {
+        Ok(self.catalog.apply_delta(fingerprint, delta)?)
     }
 
     /// Admits one request (no completion deadline) against the cached

@@ -133,6 +133,41 @@ impl Csr {
     pub fn row_lengths(&self) -> Vec<usize> {
         self.row_ptr.windows(2).map(|w| w[1] - w[0]).collect()
     }
+
+    /// The stored value at `(r, c)`, or `None` when no entry exists there
+    /// (including when the coordinate is out of bounds).
+    ///
+    /// Binary-searches the row's column slice — columns within a row are
+    /// strictly increasing by construction.
+    pub fn get(&self, r: Index, c: Index) -> Option<Value> {
+        let pos = self.entry_position(r, c)?;
+        Some(self.values[pos])
+    }
+
+    /// Overwrites the stored value at `(r, c)` in place, returning `true`
+    /// when an entry existed there (and `false`, with the matrix
+    /// unchanged, otherwise). The sparsity pattern is never altered.
+    pub fn patch_value(&mut self, r: Index, c: Index, v: Value) -> bool {
+        match self.entry_position(r, c) {
+            Some(pos) => {
+                self.values[pos] = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Flat index of the entry at `(r, c)` in `col_idx`/`values`.
+    fn entry_position(&self, r: Index, c: Index) -> Option<usize> {
+        if r >= self.rows || c >= self.cols {
+            return None;
+        }
+        let span = self.row_ptr[r as usize]..self.row_ptr[r as usize + 1];
+        self.col_idx[span.clone()]
+            .binary_search(&c)
+            .ok()
+            .map(|off| span.start + off)
+    }
 }
 
 impl From<&Coo> for Csr {
@@ -224,6 +259,19 @@ mod tests {
         assert!(Csr::from_raw(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 2.0]).is_err());
         // duplicate column within a row
         assert!(Csr::from_raw(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn get_and_patch_value() {
+        let mut csr = Csr::from(&sample());
+        assert_eq!(csr.get(0, 3), Some(2.0));
+        assert_eq!(csr.get(0, 1), None);
+        assert_eq!(csr.get(9, 0), None);
+        assert_eq!(csr.get(0, 9), None);
+        assert!(csr.patch_value(2, 2, -7.0));
+        assert_eq!(csr.get(2, 2), Some(-7.0));
+        assert!(!csr.patch_value(1, 0, 1.0), "absent cell is not patched");
+        assert_eq!(csr.nnz(), 5, "patching never changes the pattern");
     }
 
     #[test]

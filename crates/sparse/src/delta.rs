@@ -1,0 +1,400 @@
+//! Streaming matrix updates: the delta representation applied by the
+//! plan layer (`spasm::Prepared::apply_delta`).
+//!
+//! A [`MatrixDelta`] is an ordered batch of cell-level operations against
+//! a matrix of fixed shape:
+//!
+//! * [`DeltaOp::Patch`] — change the value of an *existing* nonzero
+//!   (values-only; never changes the sparsity pattern);
+//! * [`DeltaOp::Insert`] — add a nonzero at a currently-empty cell;
+//! * [`DeltaOp::Delete`] — remove an existing nonzero.
+//!
+//! Deltas never resize the matrix. Explicit zeros are banned
+//! ([`DeltaError::ZeroValue`]): the position-encoded stream uses value
+//! slots of exactly 0.0 as decomposition padding, so a stored zero would
+//! be indistinguishable from an absent cell when splicing tiles.
+//!
+//! Validation ([`MatrixDelta::validate`]) is transactional: a delta
+//! either passes entirely against a [`Csr`] snapshot of the current
+//! matrix, or fails with a typed [`DeltaError`] and the caller leaves
+//! the plan untouched.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::{Csr, Index, Value};
+
+/// One cell-level operation within a [`MatrixDelta`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaOp {
+    /// Overwrite the value of an existing nonzero at `(row, col)`.
+    Patch {
+        /// Row of the existing entry.
+        row: Index,
+        /// Column of the existing entry.
+        col: Index,
+        /// New value (must be non-zero).
+        value: Value,
+    },
+    /// Add a new nonzero at a currently-empty `(row, col)`.
+    Insert {
+        /// Row of the new entry.
+        row: Index,
+        /// Column of the new entry.
+        col: Index,
+        /// Value of the new entry (must be non-zero).
+        value: Value,
+    },
+    /// Remove the existing nonzero at `(row, col)`.
+    Delete {
+        /// Row of the entry to remove.
+        row: Index,
+        /// Column of the entry to remove.
+        col: Index,
+    },
+}
+
+impl DeltaOp {
+    /// The `(row, col)` coordinate this operation targets.
+    pub fn coord(&self) -> (Index, Index) {
+        match *self {
+            DeltaOp::Patch { row, col, .. }
+            | DeltaOp::Insert { row, col, .. }
+            | DeltaOp::Delete { row, col } => (row, col),
+        }
+    }
+
+    /// `true` for [`DeltaOp::Patch`] — the only op that preserves the
+    /// sparsity pattern.
+    pub fn is_values_only(&self) -> bool {
+        matches!(self, DeltaOp::Patch { .. })
+    }
+}
+
+/// Why a delta was rejected. The plan is untouched when any of these is
+/// returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeltaError {
+    /// An op targets a coordinate outside the matrix shape.
+    OutOfBounds {
+        /// Offending row.
+        row: Index,
+        /// Offending column.
+        col: Index,
+        /// Matrix row count.
+        rows: Index,
+        /// Matrix column count.
+        cols: Index,
+    },
+    /// A patch or insert carries the value 0.0 (reserved for stream
+    /// padding slots; store-a-zero must be expressed as a delete).
+    ZeroValue {
+        /// Row of the zero-valued op.
+        row: Index,
+        /// Column of the zero-valued op.
+        col: Index,
+    },
+    /// Two ops in the same delta target the same coordinate.
+    Conflict {
+        /// Row of the contested cell.
+        row: Index,
+        /// Column of the contested cell.
+        col: Index,
+    },
+    /// A patch or delete targets a cell that holds no entry.
+    MissingEntry {
+        /// Row of the absent cell.
+        row: Index,
+        /// Column of the absent cell.
+        col: Index,
+    },
+    /// An insert targets a cell that already holds an entry.
+    DuplicateEntry {
+        /// Row of the occupied cell.
+        row: Index,
+        /// Column of the occupied cell.
+        col: Index,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DeltaError::OutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "delta op at ({row}, {col}) is outside the {rows}x{cols} matrix"
+            ),
+            DeltaError::ZeroValue { row, col } => write!(
+                f,
+                "delta op at ({row}, {col}) carries value 0.0 (use a delete to clear a cell)"
+            ),
+            DeltaError::Conflict { row, col } => {
+                write!(f, "multiple delta ops target cell ({row}, {col})")
+            }
+            DeltaError::MissingEntry { row, col } => {
+                write!(f, "delta patches or deletes absent cell ({row}, {col})")
+            }
+            DeltaError::DuplicateEntry { row, col } => {
+                write!(f, "delta inserts into occupied cell ({row}, {col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// An ordered, shape-preserving batch of cell updates.
+///
+/// Built with the fluent constructors and applied through the plan layer;
+/// see the module docs for semantics.
+///
+/// ```
+/// use spasm_sparse::{Coo, Csr, MatrixDelta};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let coo = Coo::from_triplets(4, 4, vec![(0, 0, 1.0), (2, 3, 2.0)])?;
+/// let csr = Csr::from(&coo);
+/// let delta = MatrixDelta::new()
+///     .patch(0, 0, 5.0)
+///     .delete(2, 3)
+///     .insert(3, 1, -1.0);
+/// delta.validate(&csr)?;
+/// assert!(!delta.is_values_only());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MatrixDelta {
+    ops: Vec<DeltaOp>,
+}
+
+impl MatrixDelta {
+    /// An empty delta (a no-op when applied).
+    pub fn new() -> Self {
+        MatrixDelta::default()
+    }
+
+    /// Wraps a pre-built op list.
+    pub fn from_ops(ops: Vec<DeltaOp>) -> Self {
+        MatrixDelta { ops }
+    }
+
+    /// Adds a value patch for the existing entry at `(row, col)`.
+    #[must_use]
+    pub fn patch(mut self, row: Index, col: Index, value: Value) -> Self {
+        self.ops.push(DeltaOp::Patch { row, col, value });
+        self
+    }
+
+    /// Adds an insert of `value` at the empty cell `(row, col)`.
+    #[must_use]
+    pub fn insert(mut self, row: Index, col: Index, value: Value) -> Self {
+        self.ops.push(DeltaOp::Insert { row, col, value });
+        self
+    }
+
+    /// Adds a delete of the existing entry at `(row, col)`.
+    #[must_use]
+    pub fn delete(mut self, row: Index, col: Index) -> Self {
+        self.ops.push(DeltaOp::Delete { row, col });
+        self
+    }
+
+    /// Appends a single op in place.
+    pub fn push(&mut self, op: DeltaOp) {
+        self.ops.push(op);
+    }
+
+    /// The operations, in insertion order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the delta contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// `true` when every op is a value patch — the sparsity pattern is
+    /// unchanged and the delta qualifies for the copy-on-write fast path.
+    pub fn is_values_only(&self) -> bool {
+        self.ops.iter().all(DeltaOp::is_values_only)
+    }
+
+    /// Checks the whole delta against `current`, the CSR snapshot of the
+    /// matrix it would apply to.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, in op order: out-of-bounds
+    /// coordinates, zero values on patch/insert, two ops on one cell,
+    /// patch/delete of an absent cell, or insert into an occupied cell.
+    pub fn validate(&self, current: &Csr) -> Result<(), DeltaError> {
+        let (rows, cols) = (current.rows(), current.cols());
+        let mut seen: HashSet<(Index, Index)> = HashSet::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let (row, col) = op.coord();
+            if row >= rows || col >= cols {
+                return Err(DeltaError::OutOfBounds {
+                    row,
+                    col,
+                    rows,
+                    cols,
+                });
+            }
+            if !seen.insert((row, col)) {
+                return Err(DeltaError::Conflict { row, col });
+            }
+            let present = current.get(row, col).is_some();
+            match *op {
+                DeltaOp::Patch { value, .. } => {
+                    if value == 0.0 {
+                        return Err(DeltaError::ZeroValue { row, col });
+                    }
+                    if !present {
+                        return Err(DeltaError::MissingEntry { row, col });
+                    }
+                }
+                DeltaOp::Insert { value, .. } => {
+                    if value == 0.0 {
+                        return Err(DeltaError::ZeroValue { row, col });
+                    }
+                    if present {
+                        return Err(DeltaError::DuplicateEntry { row, col });
+                    }
+                }
+                DeltaOp::Delete { .. } => {
+                    if !present {
+                        return Err(DeltaError::MissingEntry { row, col });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<DeltaOp> for MatrixDelta {
+    fn from_iter<I: IntoIterator<Item = DeltaOp>>(iter: I) -> Self {
+        MatrixDelta {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn csr() -> Csr {
+        let coo = Coo::from_triplets(
+            4,
+            5,
+            vec![(0, 0, 1.0), (1, 2, 2.0), (3, 4, 3.0), (3, 0, 4.0)],
+        )
+        .unwrap();
+        Csr::from(&coo)
+    }
+
+    #[test]
+    fn valid_mixed_delta_passes() {
+        let d = MatrixDelta::new()
+            .patch(0, 0, 9.0)
+            .delete(1, 2)
+            .insert(2, 2, -1.5);
+        assert!(d.validate(&csr()).is_ok());
+        assert!(!d.is_values_only());
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn values_only_detection() {
+        assert!(MatrixDelta::new().patch(0, 0, 2.0).is_values_only());
+        assert!(MatrixDelta::new().is_values_only());
+        assert!(!MatrixDelta::new().delete(0, 0).is_values_only());
+        assert!(!MatrixDelta::new().insert(0, 1, 1.0).is_values_only());
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let d = MatrixDelta::new().patch(4, 0, 1.0);
+        assert_eq!(
+            d.validate(&csr()),
+            Err(DeltaError::OutOfBounds {
+                row: 4,
+                col: 0,
+                rows: 4,
+                cols: 5
+            })
+        );
+        let d = MatrixDelta::new().insert(0, 5, 1.0);
+        assert!(matches!(
+            d.validate(&csr()),
+            Err(DeltaError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_values_rejected() {
+        let d = MatrixDelta::new().patch(0, 0, 0.0);
+        assert_eq!(
+            d.validate(&csr()),
+            Err(DeltaError::ZeroValue { row: 0, col: 0 })
+        );
+        let d = MatrixDelta::new().insert(2, 2, 0.0);
+        assert_eq!(
+            d.validate(&csr()),
+            Err(DeltaError::ZeroValue { row: 2, col: 2 })
+        );
+    }
+
+    #[test]
+    fn conflicting_coordinates_rejected() {
+        let d = MatrixDelta::new().patch(0, 0, 1.0).delete(0, 0);
+        assert_eq!(
+            d.validate(&csr()),
+            Err(DeltaError::Conflict { row: 0, col: 0 })
+        );
+    }
+
+    #[test]
+    fn presence_checks() {
+        // Patch of an absent cell.
+        let d = MatrixDelta::new().patch(2, 2, 1.0);
+        assert_eq!(
+            d.validate(&csr()),
+            Err(DeltaError::MissingEntry { row: 2, col: 2 })
+        );
+        // Delete of an absent cell.
+        let d = MatrixDelta::new().delete(0, 1);
+        assert_eq!(
+            d.validate(&csr()),
+            Err(DeltaError::MissingEntry { row: 0, col: 1 })
+        );
+        // Insert into an occupied cell.
+        let d = MatrixDelta::new().insert(3, 4, 1.0);
+        assert_eq!(
+            d.validate(&csr()),
+            Err(DeltaError::DuplicateEntry { row: 3, col: 4 })
+        );
+    }
+
+    #[test]
+    fn empty_delta_is_trivially_valid() {
+        let d = MatrixDelta::new();
+        assert!(d.validate(&csr()).is_ok());
+        assert!(d.is_empty());
+    }
+}

@@ -29,6 +29,7 @@ mod bsr;
 mod coo;
 mod csc;
 mod csr;
+mod delta;
 mod dense;
 mod dia;
 mod ell;
@@ -43,6 +44,7 @@ pub use bsr::Bsr;
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;
+pub use delta::{DeltaError, DeltaOp, MatrixDelta};
 pub use dense::Dense;
 pub use dia::Dia;
 pub use ell::Ell;

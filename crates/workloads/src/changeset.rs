@@ -1,0 +1,353 @@
+//! Seeded streaming-changeset generator: timestamped [`MatrixDelta`]
+//! sequences against an evolving matrix, for exercising the live-update
+//! path (`spasm::Prepared::apply_delta`).
+//!
+//! The generator keeps a shadow copy of the matrix's nonzero set while it
+//! emits deltas, so every operation is valid against the state the matrix
+//! will actually be in when the delta arrives: patches and deletes always
+//! target present entries, inserts always target absent cells, and no two
+//! operations inside one delta touch the same cell. Values are quantised
+//! to multiples of 0.25 so spliced and re-prepared plans stay bit-exact
+//! under any accumulation order.
+//!
+//! Everything is deterministic in the seed: the same `(matrix, seed,
+//! config)` triple always yields the same timestamped sequence.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spasm_sparse::{Coo, Index, MatrixDelta};
+
+/// Shape of a generated changeset sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChangesetConfig {
+    /// Number of timestamped deltas to emit.
+    pub deltas: usize,
+    /// Operations per delta.
+    pub ops_per_delta: usize,
+    /// Relative weight of value patches.
+    pub patch_weight: f64,
+    /// Relative weight of inserts.
+    pub insert_weight: f64,
+    /// Relative weight of deletes.
+    pub delete_weight: f64,
+    /// Maximum tick gap between consecutive deltas (timestamps advance
+    /// by `1..=tick_stride` each step).
+    pub tick_stride: u64,
+}
+
+impl Default for ChangesetConfig {
+    fn default() -> Self {
+        ChangesetConfig {
+            deltas: 8,
+            ops_per_delta: 16,
+            patch_weight: 2.0,
+            insert_weight: 1.0,
+            delete_weight: 1.0,
+            tick_stride: 100,
+        }
+    }
+}
+
+impl ChangesetConfig {
+    /// A values-only sequence (patches exclusively) — the copy-on-write
+    /// fast path.
+    pub fn values_only(mut self) -> Self {
+        self.insert_weight = 0.0;
+        self.delete_weight = 0.0;
+        self.patch_weight = 1.0;
+        self
+    }
+
+    /// A structural churn sequence (inserts and deletes only).
+    pub fn structural_only(mut self) -> Self {
+        self.patch_weight = 0.0;
+        self.insert_weight = 1.0;
+        self.delete_weight = 1.0;
+        self
+    }
+}
+
+/// The evolving nonzero set: O(1) membership, uniform sampling and
+/// removal.
+struct Shadow {
+    present: Vec<(Index, Index)>,
+    index: HashMap<(Index, Index), usize>,
+}
+
+impl Shadow {
+    fn new(matrix: &Coo) -> Self {
+        let mut present = Vec::with_capacity(matrix.nnz());
+        let mut index = HashMap::with_capacity(matrix.nnz());
+        for (r, c, v) in matrix.iter() {
+            // Explicit zeros round-trip as absent through the encoded
+            // stream; the delta layer never targets them.
+            if v != 0.0 {
+                index.insert((r, c), present.len());
+                present.push((r, c));
+            }
+        }
+        Shadow { present, index }
+    }
+
+    fn contains(&self, cell: (Index, Index)) -> bool {
+        self.index.contains_key(&cell)
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> Option<(Index, Index)> {
+        if self.present.is_empty() {
+            return None;
+        }
+        Some(self.present[rng.gen_range(0..self.present.len())])
+    }
+
+    fn insert(&mut self, cell: (Index, Index)) {
+        if !self.index.contains_key(&cell) {
+            self.index.insert(cell, self.present.len());
+            self.present.push(cell);
+        }
+    }
+
+    fn remove(&mut self, cell: (Index, Index)) {
+        if let Some(at) = self.index.remove(&cell) {
+            self.present.swap_remove(at);
+            if at < self.present.len() {
+                self.index.insert(self.present[at], at);
+            }
+        }
+    }
+}
+
+/// A quantised non-zero value: `±k·0.25`, `k ∈ 1..=32`. Exactly
+/// representable, so every accumulation order reproduces identical bits.
+fn quantized(rng: &mut SmallRng) -> f32 {
+    let magnitude = rng.gen_range(1..=32) as f32 * 0.25;
+    if rng.gen_bool(0.5) {
+        -magnitude
+    } else {
+        magnitude
+    }
+}
+
+/// Generates a timestamped delta sequence against `matrix`.
+///
+/// Each returned `(tick, delta)` is valid against the matrix state
+/// produced by applying all earlier deltas in order (the first against
+/// `matrix` itself); ticks are strictly increasing. Weights with zero
+/// total fall back to patches only; kinds that are impossible in the
+/// current state (deleting from an empty matrix, inserting into a full
+/// one) renormalise onto the possible ones.
+///
+/// # Panics
+///
+/// Panics when `matrix` is entirely empty *and* full (impossible), or
+/// when `config.ops_per_delta` is 0 with `config.deltas` non-zero ops
+/// requested — both indicate a misconfigured caller.
+pub fn changesets(matrix: &Coo, seed: u64, config: &ChangesetConfig) -> Vec<(u64, MatrixDelta)> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_CA5C_ADE5_0000);
+    let (rows, cols) = (matrix.rows(), matrix.cols());
+    let cells_total = rows as u64 * cols as u64;
+    let mut shadow = Shadow::new(matrix);
+    let mut out = Vec::with_capacity(config.deltas);
+    let mut tick = 0u64;
+
+    for _ in 0..config.deltas {
+        tick += rng.gen_range(1..=config.tick_stride.max(1));
+        let mut delta = MatrixDelta::new();
+        // Cells already claimed by this delta: validation rejects two
+        // ops on one cell, and a second op would also race the first's
+        // effect inside the same atomically-applied batch.
+        let mut used: HashMap<(Index, Index), ()> = HashMap::new();
+
+        for _ in 0..config.ops_per_delta {
+            let occupied = shadow.present.len() as u64;
+            let can_hit = shadow.present.iter().any(|cell| !used.contains_key(cell));
+            let can_insert = occupied + (used.len() as u64) < cells_total;
+            let (pw, iw, dw) = (
+                if can_hit {
+                    config.patch_weight.max(0.0)
+                } else {
+                    0.0
+                },
+                if can_insert {
+                    config.insert_weight.max(0.0)
+                } else {
+                    0.0
+                },
+                if can_hit {
+                    config.delete_weight.max(0.0)
+                } else {
+                    0.0
+                },
+            );
+            let total = pw + iw + dw;
+            if total <= 0.0 {
+                break;
+            }
+            let pick = rng.gen_range(0.0..total);
+
+            if pick < pw + dw {
+                // Patch or delete an unclaimed present entry.
+                let cell = loop {
+                    let Some(cell) = shadow.sample(&mut rng) else {
+                        break None;
+                    };
+                    if !used.contains_key(&cell) {
+                        break Some(cell);
+                    }
+                };
+                let Some((r, c)) = cell else { break };
+                used.insert((r, c), ());
+                if pick < pw {
+                    delta = delta.patch(r, c, quantized(&mut rng));
+                } else {
+                    delta = delta.delete(r, c);
+                    shadow.remove((r, c));
+                }
+            } else {
+                // Insert into an unclaimed absent cell.
+                let cell = loop {
+                    let (r, c) = (rng.gen_range(0..rows), rng.gen_range(0..cols));
+                    if !shadow.contains((r, c)) && !used.contains_key(&(r, c)) {
+                        break (r, c);
+                    }
+                };
+                used.insert(cell, ());
+                delta = delta.insert(cell.0, cell.1, quantized(&mut rng));
+                shadow.insert(cell);
+            }
+        }
+
+        if !delta.is_empty() {
+            out.push((tick, delta));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spasm_sparse::{Csr, DeltaOp};
+    use std::collections::BTreeMap;
+
+    fn base() -> Coo {
+        let mut rng = SmallRng::seed_from_u64(11);
+        crate::random_uniform(&mut rng, 96, 600)
+    }
+
+    /// Applies a delta to a cell map (the reference semantics).
+    fn apply(cells: &mut BTreeMap<(u32, u32), f32>, delta: &MatrixDelta) {
+        for op in delta.ops() {
+            match *op {
+                DeltaOp::Patch { row, col, value } | DeltaOp::Insert { row, col, value } => {
+                    cells.insert((row, col), value);
+                }
+                DeltaOp::Delete { row, col } => {
+                    cells.remove(&(row, col));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn changesets_are_deterministic() {
+        let m = base();
+        let a = changesets(&m, 42, &ChangesetConfig::default());
+        let b = changesets(&m, 42, &ChangesetConfig::default());
+        assert_eq!(a, b);
+        let c = changesets(&m, 43, &ChangesetConfig::default());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_delta_validates_against_the_evolving_matrix() {
+        let m = base();
+        let seq = changesets(
+            &m,
+            7,
+            &ChangesetConfig {
+                deltas: 12,
+                ops_per_delta: 24,
+                ..ChangesetConfig::default()
+            },
+        );
+        assert_eq!(seq.len(), 12);
+        let mut cells: BTreeMap<(u32, u32), f32> = m.iter().map(|(r, c, v)| ((r, c), v)).collect();
+        let mut last_tick = 0u64;
+        for (tick, delta) in &seq {
+            assert!(*tick > last_tick, "ticks strictly increase");
+            last_tick = *tick;
+            let triplets: Vec<(u32, u32, f32)> =
+                cells.iter().map(|(&(r, c), &v)| (r, c, v)).collect();
+            let csr = Csr::from(&Coo::from_triplets(m.rows(), m.cols(), triplets).unwrap());
+            delta.validate(&csr).expect("delta valid against its state");
+            apply(&mut cells, delta);
+        }
+    }
+
+    #[test]
+    fn values_only_config_emits_patches_exclusively() {
+        let m = base();
+        let seq = changesets(&m, 3, &ChangesetConfig::default().values_only());
+        assert!(!seq.is_empty());
+        for (_, delta) in &seq {
+            assert!(delta.is_values_only());
+            assert!(!delta.is_empty());
+        }
+    }
+
+    #[test]
+    fn structural_config_emits_no_patches() {
+        let m = base();
+        let seq = changesets(&m, 5, &ChangesetConfig::default().structural_only());
+        assert!(!seq.is_empty());
+        for (_, delta) in &seq {
+            assert!(delta
+                .ops()
+                .iter()
+                .all(|op| !matches!(op, DeltaOp::Patch { .. })));
+        }
+    }
+
+    #[test]
+    fn values_are_quantized_and_nonzero() {
+        let m = base();
+        for (_, delta) in changesets(&m, 9, &ChangesetConfig::default()) {
+            for op in delta.ops() {
+                if let DeltaOp::Patch { value, .. } | DeltaOp::Insert { value, .. } = *op {
+                    assert_ne!(value, 0.0);
+                    assert_eq!(value, (value * 4.0).round() / 4.0, "multiple of 0.25");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delete_heavy_sequence_survives_matrix_exhaustion() {
+        // A tiny matrix drained by deletes: the generator renormalises
+        // onto inserts instead of emitting invalid ops.
+        let m = Coo::from_triplets(8, 8, vec![(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        let seq = changesets(
+            &m,
+            1,
+            &ChangesetConfig {
+                deltas: 6,
+                ops_per_delta: 4,
+                patch_weight: 0.0,
+                insert_weight: 0.2,
+                delete_weight: 5.0,
+                tick_stride: 10,
+            },
+        );
+        let mut cells: BTreeMap<(u32, u32), f32> = m.iter().map(|(r, c, v)| ((r, c), v)).collect();
+        for (_, delta) in &seq {
+            let triplets: Vec<(u32, u32, f32)> =
+                cells.iter().map(|(&(r, c), &v)| (r, c, v)).collect();
+            let csr = Csr::from(&Coo::from_triplets(m.rows(), m.cols(), triplets).unwrap());
+            delta.validate(&csr).expect("still valid");
+            apply(&mut cells, delta);
+        }
+    }
+}

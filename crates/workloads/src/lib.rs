@@ -26,9 +26,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod changeset;
 mod gen;
 mod suite;
 
+pub use changeset::{changesets, ChangesetConfig};
 pub use gen::{
     anti_diag_stencil, fem_blocks, mixed_fragments, nm_pruned, random_uniform, staircase, stencil,
     FragmentMix,

@@ -175,6 +175,76 @@ fn run_batch_is_allocation_free_at_steady_state() {
 }
 
 #[test]
+fn values_only_delta_apply_is_allocation_bounded() {
+    use spasm_sparse::{DeltaOp, MatrixDelta};
+
+    // A values-only delta must be a copy-on-write patch of the 4-slot
+    // value stream: its allocation cost is bounded by a few copies of
+    // that stream, and is nowhere near a full re-prepare (which would
+    // re-run analysis, decomposition and encoding).
+    let mut t = Vec::new();
+    for i in 0..256u32 {
+        t.push((i, i, 2.0));
+        t.push((i, (i * 5 + 2) % 256, 0.5));
+        if i + 1 < 256 {
+            t.push((i + 1, i, -0.25));
+        }
+    }
+    let a = spasm_sparse::Coo::from_triplets(256, 256, t).unwrap();
+    let opts = PipelineOptions::default().parallelism(Parallelism::Serial);
+    let mut prepared = Pipeline::with_options(opts.clone()).prepare(&a).unwrap();
+
+    // Warm the lazy golden CSR outside the window: validation consults it,
+    // and its one-time build is not part of the per-delta cost.
+    let _ = prepared.golden();
+
+    let delta: MatrixDelta = (0..256u32)
+        .step_by(3)
+        .map(|i| DeltaOp::Patch {
+            row: i,
+            col: i,
+            value: 2.5,
+        })
+        .collect();
+    let value_bytes = (prepared.encoded.n_instances() * 4 * std::mem::size_of::<f32>()) as u64;
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        let (_, apply_bytes) = count_allocs_and_bytes(|| {
+            prepared.apply_delta(&delta).unwrap();
+        });
+        assert!(
+            apply_bytes <= 4 * value_bytes + 64 * 1024,
+            "values-only apply moved {apply_bytes} bytes for a {value_bytes}-byte value \
+             stream — the encoded stream was re-decoded"
+        );
+
+        // For scale: a from-scratch prepare of the same matrix.
+        let (_, rebuild_bytes) =
+            count_allocs_and_bytes(|| drop(Pipeline::with_options(opts.clone()).prepare(&a)));
+        assert!(
+            apply_bytes < rebuild_bytes / 4,
+            "values-only apply ({apply_bytes} bytes) is not meaningfully cheaper than a \
+             full re-prepare ({rebuild_bytes} bytes)"
+        );
+    });
+
+    // And the patch really landed: the updated plan computes the mutated
+    // product.
+    let x: Vec<f32> = (0..256).map(|i| ((i % 9) as f32) * 0.5 - 2.0).collect();
+    let mut got = vec![0.0f32; 256];
+    prepared.execute_into(&x, &mut got).unwrap();
+    let mut want = vec![0.0f32; 256];
+    prepared.golden().spmv(&x, &mut want).unwrap();
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g - w).abs() <= 1e-3 * (1.0 + w.abs()), "{g} vs {w}");
+    }
+}
+
+#[test]
 fn prepared_plans_share_the_value_stream_without_copying() {
     // The flattened value stream is `Arc<[f32]>`-shared between the
     // encoded matrix and every plan prepared from it: preparing another

@@ -10,8 +10,8 @@
 
 use spasm::hw::fault::{FaultPlan, FaultSpec};
 use spasm::hw::HwConfig;
-use spasm::sparse::{Coo, SpMv};
-use spasm::{IntegrityPolicy, Pipeline, PipelineError, PipelineOptions, Prepared};
+use spasm::sparse::{Coo, Csr, MatrixDelta, SpMv};
+use spasm::{DeltaOutcome, IntegrityPolicy, Pipeline, PipelineError, PipelineOptions, Prepared};
 
 /// A 600×600 scattered matrix: 5 entries per row, no duplicates, spanning
 /// three 256-row tile rows under the pinned schedule.
@@ -159,6 +159,104 @@ fn campaign_without_fallback_errors_instead_of_lying() {
         }
     }
     assert!(errors > 0, "no lane fault was ever refused");
+}
+
+#[test]
+fn campaign_on_a_just_spliced_stream_is_never_silent() {
+    // A structural delta splices the value/encoding streams in place;
+    // seeded strikes landing on the freshly spliced stream must still be
+    // caught by the verify-and-heal ladder, and the golden fallback must
+    // recompute against the *mutated* matrix (the lazily-rebuilt golden
+    // CSR), never the pre-delta values.
+    let pristine = prepare(IntegrityPolicy::full());
+
+    // campaign_matrix row 0 holds entries at columns {0, 13, 26, 39, 52}
+    // (j = k·13 % 600): patch one, delete one, insert into an empty cell.
+    let delta = MatrixDelta::new()
+        .patch(0, 0, 2.25)
+        .delete(0, 13)
+        .insert(0, 1, 1.75);
+    let mut updated = pristine.clone();
+    let outcome = updated.apply_delta(&delta).unwrap();
+    assert!(
+        matches!(outcome, DeltaOutcome::Spliced { .. }),
+        "three touched submatrices must splice, got {outcome:?}"
+    );
+
+    // The lazily-rebuilt golden CSR must describe the mutated matrix.
+    let mutated = {
+        let mut t: Vec<(u32, u32, f32)> = campaign_matrix()
+            .iter()
+            .filter(|&(r, c, _)| !(r == 0 && c == 13))
+            .map(|(r, c, v)| {
+                if (r, c) == (0, 0) {
+                    (r, c, 2.25)
+                } else {
+                    (r, c, v)
+                }
+            })
+            .collect();
+        t.push((0, 1, 1.75));
+        Coo::from_triplets(600, 600, t).unwrap()
+    };
+    let n = 600usize;
+    let x = campaign_vector(n);
+    let mut y_csr = vec![0.0f32; n];
+    Csr::from(&mutated).spmv(&x, &mut y_csr).unwrap();
+    let mut y_golden = vec![0.0f32; n];
+    updated.golden().spmv(&x, &mut y_golden).unwrap();
+    assert_eq!(
+        bits(&y_golden),
+        bits(&y_csr),
+        "post-splice golden must track the mutated matrix"
+    );
+
+    // Clean post-splice baseline bits.
+    let mut y_clean = vec![0.0f32; n];
+    updated.clone().execute_into(&x, &mut y_clean).unwrap();
+
+    let (mut healed, mut fallbacks, mut harmless) = (0u32, 0u32, 0u32);
+    for seed in 0..32u64 {
+        let spec = spec_for(seed);
+        let mut p = updated.clone();
+        let plan = FaultPlan::seeded(seed, &spec, p.plan.n_instances());
+        let expected_faults = plan.faults().len() as u32;
+        p.plan.arm_faults(plan);
+
+        let mut y = vec![0.0f32; n];
+        p.execute_into(&x, &mut y)
+            .unwrap_or_else(|e| panic!("seed {seed}: guarded execute failed: {e}"));
+        let health = p.health();
+        assert_eq!(
+            health.faults_injected, expected_faults,
+            "seed {seed}: injection accounting on the spliced stream"
+        );
+        if health.fallback {
+            assert_eq!(
+                bits(&y),
+                bits(&y_csr),
+                "seed {seed}: fallback must use updated values"
+            );
+            fallbacks += 1;
+        } else {
+            assert_eq!(bits(&y), bits(&y_clean), "seed {seed}: clean bits");
+            assert_eq!(health.tile_rows_uncorrected, 0, "seed {seed}");
+            if health.tile_rows_corrected > 0 {
+                healed += 1;
+            } else {
+                harmless += 1;
+            }
+        }
+    }
+    assert!(
+        healed > 0,
+        "no seed exercised quarantine-and-retry post-splice"
+    );
+    assert!(
+        fallbacks > 0,
+        "no seed exercised the golden fallback post-splice"
+    );
+    assert_eq!(healed + fallbacks + harmless, 32);
 }
 
 #[test]

@@ -1,17 +1,48 @@
 //! Property tests over the whole pipeline: correctness and schedule
 //! optimality for arbitrary matrices.
 
+use std::collections::BTreeMap;
+
 use proptest::prelude::*;
 use spasm::{Pipeline, PipelineError, PipelineOptions};
 use spasm_hw::HwConfig;
 use spasm_patterns::TemplateSet;
-use spasm_sparse::{Coo, Csr, SpMv};
+use spasm_sparse::{Coo, Csr, DeltaOp, MatrixDelta, SpMv};
 
 fn arb_matrix() -> impl Strategy<Value = Coo> {
     (16u32..128, 16u32..128).prop_flat_map(|(rows, cols)| {
         let entry = (0..rows, 0..cols, (1i32..32).prop_map(|q| q as f32 * 0.25));
         proptest::collection::vec(entry, 1..256)
             .prop_map(move |t| Coo::from_triplets(rows, cols, t).unwrap())
+    })
+}
+
+/// A matrix plus a stream of raw delta encodings: `(kind, row, col,
+/// value)` with coordinates that may overshoot the shape, values that may
+/// be the banned explicit zero, repeated cells within one delta
+/// (conflicts), ops targeting absent entries, and empty deltas — the full
+/// space of hostile changesets.
+#[allow(clippy::type_complexity)]
+fn arb_update_case() -> impl Strategy<Value = (Coo, Vec<Vec<(u8, u32, u32, f32)>>)> {
+    (16u32..48, 16u32..48).prop_flat_map(|(rows, cols)| {
+        let entry = (0..rows, 0..cols, (1i32..32).prop_map(|q| q as f32 * 0.25));
+        let matrix = proptest::collection::vec(entry, 1..128)
+            .prop_map(move |t| Coo::from_triplets(rows, cols, t).unwrap());
+        let op = (
+            0u8..3,
+            0..rows + 8,
+            0..cols + 8,
+            // Mostly valid quantised values, ~1-in-8 the banned zero.
+            (0i32..256).prop_map(|q| {
+                if q < 32 {
+                    0.0
+                } else {
+                    (q % 31 + 1) as f32 * 0.25
+                }
+            }),
+        );
+        let deltas = proptest::collection::vec(proptest::collection::vec(op, 0..6), 1..6);
+        (matrix, deltas)
     })
 }
 
@@ -161,6 +192,75 @@ proptest! {
                 bad_ys.iter().flatten().all(|&v| v == 0.125),
                 "a malformed batch wrote partial results"
             );
+        }
+    }
+
+    /// Streaming updates under arbitrary — and arbitrarily invalid —
+    /// changesets: `apply_delta` never panics, every rejection is the
+    /// typed [`PipelineError::Delta`] and leaves the plan untouched, and
+    /// the accepted subsequence lands the plan bit-identical to preparing
+    /// the mutated matrix from scratch.
+    #[test]
+    fn arbitrary_changesets_never_corrupt_the_plan(
+        (m, raw_deltas) in arb_update_case(),
+    ) {
+        let opts = PipelineOptions::default()
+            .fixed_portfolio(TemplateSet::table_v_set(0))
+            .fixed_schedule(256, HwConfig::spasm_4_1());
+        let mut live = Pipeline::with_options(opts.clone()).prepare(&m).unwrap();
+        let mut cells: BTreeMap<(u32, u32), f32> =
+            m.iter().map(|(r, c, v)| ((r, c), v)).collect();
+
+        for raw in &raw_deltas {
+            let delta: MatrixDelta = raw
+                .iter()
+                .map(|&(kind, row, col, value)| match kind {
+                    0 => DeltaOp::Patch { row, col, value },
+                    1 => DeltaOp::Insert { row, col, value },
+                    _ => DeltaOp::Delete { row, col },
+                })
+                .collect();
+            let version = live.plan.version();
+            match live.apply_delta(&delta) {
+                Ok(_) => {
+                    for op in delta.ops() {
+                        match *op {
+                            DeltaOp::Patch { row, col, value }
+                            | DeltaOp::Insert { row, col, value } => {
+                                cells.insert((row, col), value);
+                            }
+                            DeltaOp::Delete { row, col } => {
+                                cells.remove(&(row, col));
+                            }
+                        }
+                    }
+                }
+                Err(PipelineError::Delta(_)) => {
+                    // Typed rejection: the plan must be exactly as before.
+                    prop_assert_eq!(live.plan.version(), version);
+                }
+                Err(other) => {
+                    prop_assert!(false, "expected PipelineError::Delta, got {:?}", other)
+                }
+            }
+        }
+
+        // The surviving plan equals a from-scratch prepare of the state
+        // the accepted deltas describe, bit for bit. (If every entry was
+        // deleted there is nothing left to compare.)
+        if !cells.is_empty() {
+            let triplets: Vec<(u32, u32, f32)> =
+                cells.into_iter().map(|((r, c), v)| (r, c, v)).collect();
+            let mutated = Coo::from_triplets(m.rows(), m.cols(), triplets).unwrap();
+            let mut fresh = Pipeline::with_options(opts).prepare(&mutated).unwrap();
+            let x: Vec<f32> = (0..m.cols()).map(|i| ((i % 11) as f32) * 0.5 - 2.0).collect();
+            let mut got = vec![0.0f32; m.rows() as usize];
+            let mut want = vec![0.0f32; m.rows() as usize];
+            live.execute_into(&x, &mut got).unwrap();
+            fresh.execute_into(&x, &mut want).unwrap();
+            let gb: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            let wb: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(gb, wb, "accepted changesets must equal re-prepare");
         }
     }
 }

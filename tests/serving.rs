@@ -533,6 +533,128 @@ fn full_integrity_policy_serves_clean_and_bit_identical() {
 }
 
 #[test]
+fn delta_mid_flight_serves_old_version_then_new_without_evicting_leases() {
+    use spasm::DeltaOutcome;
+    use spasm_sparse::MatrixDelta;
+
+    // scatter(96, 4, 0) row 0 holds entries at columns {0, 13, 26, 39}
+    // (j = k·13 % 96) with value ((k) % 9 + 1)·0.5. The delta patches one,
+    // deletes one, and inserts into an absent cell — exercising the
+    // structural splice path through the serving stack.
+    let base = scatter(96, 4, 0);
+    let delta = MatrixDelta::new()
+        .patch(0, 0, 2.5)
+        .delete(0, 13)
+        .insert(0, 1, 1.75);
+    let mutated = {
+        let mut t: Vec<(u32, u32, f32)> = base
+            .iter()
+            .filter(|&(r, c, _)| !(r == 0 && c == 13))
+            .map(|(r, c, v)| {
+                if (r, c) == (0, 0) {
+                    (r, c, 2.5)
+                } else {
+                    (r, c, v)
+                }
+            })
+            .collect();
+        t.push((0, 1, 1.75));
+        Coo::from_triplets(96, 96, t).expect("mutated triplets")
+    };
+
+    // Serial baselines on both sides of the update.
+    let mut old_oracle = pinned_pipeline().prepare(&base).expect("prepare base");
+    let mut new_oracle = pinned_pipeline()
+        .prepare(&mutated)
+        .expect("prepare mutated");
+    let x = seeded_x(96, 0xFEED);
+    let oracle = |p: &mut Prepared| {
+        let mut y = vec![0.0f32; 96];
+        p.execute(&x, &mut y).expect("oracle execute");
+        bits(&y)
+    };
+    let old_bits = oracle(&mut old_oracle);
+    let new_bits = oracle(&mut new_oracle);
+    assert_ne!(old_bits, new_bits, "delta must be observable in row 0");
+
+    let s = server(2, 10, 1);
+    let fp = s.ingest_coo(&base).expect("ingest");
+    let off = IntegrityPolicy::off();
+    let prepares_before = s.catalog().prepares_performed();
+
+    // Hold a lease across the update: repricing must not evict it.
+    let lease = s.catalog().get(&fp).expect("resident");
+
+    // A batch already executing when the delta lands finishes on the old
+    // values: execution holds the plan lock, so the delta waits for it.
+    // The channel guarantees the batch really is in flight before the
+    // delta is submitted.
+    let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+    let (new_fp, outcome, inflight) = std::thread::scope(|scope| {
+        let inflight = scope.spawn(|| {
+            s.with_prepared(fp, |p| {
+                started_tx.send(()).expect("signal");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                let mut y = vec![0.0f32; 96];
+                p.execute(&x, &mut y).expect("in-flight execute");
+                y
+            })
+            .expect("plan resident")
+        });
+        started_rx.recv().expect("in-flight batch started");
+        let (new_fp, outcome) = s.apply_delta(&fp, &delta).expect("apply delta");
+        (new_fp, outcome, inflight.join().expect("in-flight thread"))
+    });
+    assert_eq!(
+        bits(&inflight),
+        old_bits,
+        "the in-flight batch must serve the pre-delta values"
+    );
+    assert!(
+        matches!(outcome, DeltaOutcome::Spliced { .. }),
+        "three touched submatrices must splice, got {outcome:?}"
+    );
+
+    // The catalog re-keyed the entry to the mutated content address and
+    // repriced it in place: no eviction, no re-prepare, and the old lease
+    // still reaches the (updated) plan.
+    assert_ne!(new_fp.token(), fp.token(), "content address must advance");
+    assert!(s.catalog().get(&new_fp).is_some(), "new key resident");
+    assert!(s.catalog().get(&fp).is_none(), "old key retired");
+    assert_eq!(
+        s.catalog().prepares_performed(),
+        prepares_before,
+        "an in-place delta must not re-run the pipeline"
+    );
+    assert_eq!(
+        s.catalog().resident_bytes(),
+        lease.entry().bytes(),
+        "the residency ledger must carry the repriced figure"
+    );
+    assert_eq!(lease.entry().fingerprint().token(), new_fp.token());
+    assert_eq!(lease.entry().breaker_state(), BreakerState::Healthy);
+
+    // Submitting under the retired key is a typed refusal...
+    assert!(matches!(
+        s.submit(fp, x.clone(), off),
+        Err(ServeError::UnknownMatrix(_))
+    ));
+
+    // ...and the next flush under the new key serves the new values, bit
+    // for bit against the from-scratch baseline.
+    let (id, done) = s.submit(new_fp, x.clone(), off).expect("submit post-delta");
+    assert!(done.is_empty());
+    let mut outputs = BTreeMap::new();
+    let deadline = s.next_deadline().expect("queued request has a deadline");
+    absorb(&mut outputs, s.advance_to(deadline));
+    assert_eq!(
+        bits(&outputs[&id].y),
+        new_bits,
+        "post-delta flush must serve the updated matrix"
+    );
+}
+
+#[test]
 fn wire_ingest_skips_resident_plans_and_maps_v3_without_preparing() {
     let m = scatter(96, 3, 7);
     let mut fresh = pinned_pipeline().prepare(&m).expect("prepare");
